@@ -1,0 +1,272 @@
+//! Adaptive model replacement: estimating the boost factor online.
+//!
+//! §4.4 notes that "an attacker who does not know γ_i can approximate it by
+//! iteratively increasing it every round". This adversary implements that:
+//! it attacks every round in a window, checks whether its previous attempt
+//! actually landed (distance between the current global model and the
+//! malicious model it pushed), and doubles its boost until it does.
+
+use fedcav_data::Dataset;
+use fedcav_fl::client::{local_update, LocalConfig};
+use fedcav_fl::server::{Interceptor, ModelFactory};
+use fedcav_fl::update::LocalUpdate;
+use fedcav_tensor::{Result, TensorError};
+
+/// Configuration for the adaptive adversary.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReplacementConfig {
+    /// First round to attack.
+    pub start_round: usize,
+    /// Initial boost guess `1/γ_m` (e.g. 1.0 — assume full weight).
+    pub initial_boost: f32,
+    /// Multiplier applied when the previous attempt failed to land.
+    pub escalation: f32,
+    /// Upper bound on the boost (safety/realism: enormous updates are
+    /// trivially filtered by norm checks in practice).
+    pub max_boost: f32,
+    /// Relative distance below which the attack counts as landed.
+    pub success_tolerance: f32,
+    /// Loss the adversary reports.
+    pub reported_loss: f32,
+    /// Local training for the malicious model.
+    pub local: LocalConfig,
+    /// Seed for malicious training.
+    pub seed: u64,
+}
+
+impl Default for AdaptiveReplacementConfig {
+    fn default() -> Self {
+        AdaptiveReplacementConfig {
+            start_round: 2,
+            initial_boost: 1.0,
+            escalation: 2.0,
+            max_boost: 1024.0,
+            success_tolerance: 0.25,
+            reported_loss: 1.0,
+            local: LocalConfig::default(),
+            seed: 0xADA7,
+        }
+    }
+}
+
+/// The adaptive adversary.
+pub struct AdaptiveReplacement<'a> {
+    factory: &'a ModelFactory,
+    poisoned: Dataset,
+    config: AdaptiveReplacementConfig,
+    boost: f32,
+    /// (pre-attack global, malicious model) of the previous attack, for
+    /// landing checks.
+    last_attempt: Option<(Vec<f32>, Vec<f32>)>,
+    /// (round, boost) log of every attempt.
+    attempts: Vec<(usize, f32)>,
+    /// Rounds where the landing check succeeded.
+    landed: Vec<usize>,
+}
+
+impl<'a> AdaptiveReplacement<'a> {
+    /// New adaptive adversary.
+    pub fn new(
+        factory: &'a ModelFactory,
+        poisoned: Dataset,
+        config: AdaptiveReplacementConfig,
+    ) -> Self {
+        assert!(!poisoned.is_empty(), "adversary needs poisoned data");
+        assert!(config.initial_boost > 0.0 && config.escalation > 1.0);
+        let boost = config.initial_boost;
+        AdaptiveReplacement {
+            factory,
+            poisoned,
+            config,
+            boost,
+            last_attempt: None,
+            attempts: Vec::new(),
+            landed: Vec::new(),
+        }
+    }
+
+    /// Every attempted (round, boost) pair so far.
+    pub fn attempts(&self) -> &[(usize, f32)] {
+        &self.attempts
+    }
+
+    /// Rounds at which the attack landed (global ≈ malicious model).
+    pub fn landed(&self) -> &[usize] {
+        &self.landed
+    }
+
+    /// Current boost estimate.
+    pub fn boost(&self) -> f32 {
+        self.boost
+    }
+
+    /// How far the aggregation moved toward the malicious model, as the
+    /// remaining fraction of the pre-attack distance: 0 = fully landed,
+    /// 1 = no movement at all.
+    fn remaining_fraction(now: &[f32], pre: &[f32], target: &[f32]) -> f32 {
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        let full = dist(pre, target).max(1e-12);
+        dist(now, target) / full
+    }
+}
+
+impl Interceptor for AdaptiveReplacement<'_> {
+    fn intercept(
+        &mut self,
+        round: usize,
+        global: &[f32],
+        updates: &mut Vec<LocalUpdate>,
+    ) -> Result<()> {
+        if round < self.config.start_round {
+            return Ok(());
+        }
+        if updates.is_empty() {
+            return Err(TensorError::Empty { op: "AdaptiveReplacement::intercept" });
+        }
+        // Feedback step: did the last attempt land?
+        if let Some((pre, target)) = &self.last_attempt {
+            let dist = Self::remaining_fraction(global, pre, target);
+            if dist <= self.config.success_tolerance {
+                self.landed.push(round - 1);
+                // Landed: keep the boost (γ estimate found).
+            } else {
+                self.boost = (self.boost * self.config.escalation).min(self.config.max_boost);
+            }
+        }
+        // Train the malicious model M from the current global.
+        let malicious = local_update(
+            self.factory,
+            global,
+            usize::MAX,
+            &self.poisoned,
+            &self.config.local,
+            self.config.seed.wrapping_add(round as u64),
+        )?;
+        let boosted: Vec<f32> = global
+            .iter()
+            .zip(&malicious.params)
+            .map(|(&w, &m)| w + self.boost * (m - w))
+            .collect();
+        let victim = &mut updates[0];
+        victim.params = boosted;
+        victim.inference_loss = self.config.reported_loss;
+        self.last_attempt = Some((global.to_vec(), malicious.params));
+        self.attempts.push((round, self.boost));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_data::poison::flip_all_labels;
+    use fedcav_data::{SyntheticConfig, SyntheticKind};
+    use fedcav_fl::fedavg::FedAvg;
+    use fedcav_fl::strategy::{Aggregation, RoundContext, Strategy};
+    use fedcav_nn::{models, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, Box<dyn Fn() -> Sequential + Sync>) {
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 5, 1)
+            .generate()
+            .unwrap();
+        let img_len = train.image_len();
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(3);
+            models::tiny_mlp(&mut rng, img_len, 10)
+        };
+        (train, Box::new(factory))
+    }
+
+    #[test]
+    fn boost_escalates_until_attack_lands() {
+        let (train, factory) = setup();
+        let poisoned = flip_all_labels(&train);
+        let mut adv = AdaptiveReplacement::new(
+            &*factory,
+            poisoned,
+            AdaptiveReplacementConfig {
+                start_round: 0,
+                initial_boost: 0.25, // deliberately too small for 8 clients
+                local: LocalConfig { epochs: 1, batch_size: 16, lr: 0.05, prox_mu: 0.0 },
+                ..Default::default()
+            },
+        );
+        // Simulate an 8-client FedAvg deployment manually.
+        let mut global = factory().flat_params();
+        let mut strategy = FedAvg::new();
+        let mut boosts = Vec::new();
+        for round in 0..8 {
+            let mut updates: Vec<LocalUpdate> = (0..8)
+                .map(|i| LocalUpdate::new(i, global.clone(), 0.3, 10))
+                .collect();
+            adv.intercept(round, &global, &mut updates).unwrap();
+            boosts.push(adv.boost());
+            let ctx = RoundContext { round, global: &global };
+            global = match strategy.aggregate(&ctx, &updates).unwrap() {
+                Aggregation::Accept(p) => p,
+                _ => unreachable!(),
+            };
+        }
+        // The boost must be non-decreasing and eventually the attack lands.
+        assert!(boosts.windows(2).all(|w| w[1] >= w[0]), "boosts {boosts:?}");
+        assert!(
+            !adv.landed().is_empty(),
+            "attack should eventually land; attempts {:?}",
+            adv.attempts()
+        );
+        // With 8 equal clients, landing requires a boost around 8.
+        let landing_boost = adv
+            .attempts()
+            .iter()
+            .find(|(r, _)| adv.landed().contains(r))
+            .map(|&(_, b)| b)
+            .unwrap();
+        assert!(landing_boost >= 4.0, "landing boost {landing_boost}");
+    }
+
+    #[test]
+    fn respects_start_round() {
+        let (train, factory) = setup();
+        let poisoned = flip_all_labels(&train);
+        let mut adv = AdaptiveReplacement::new(
+            &*factory,
+            poisoned,
+            AdaptiveReplacementConfig { start_round: 3, ..Default::default() },
+        );
+        let global = factory().flat_params();
+        let mut updates = vec![LocalUpdate::new(0, global.clone(), 0.1, 10)];
+        adv.intercept(0, &global, &mut updates).unwrap();
+        assert!(adv.attempts().is_empty());
+        adv.intercept(3, &global, &mut updates).unwrap();
+        assert_eq!(adv.attempts().len(), 1);
+    }
+
+    #[test]
+    fn boost_capped_at_max() {
+        let (train, factory) = setup();
+        let poisoned = flip_all_labels(&train);
+        let mut adv = AdaptiveReplacement::new(
+            &*factory,
+            poisoned,
+            AdaptiveReplacementConfig {
+                start_round: 0,
+                initial_boost: 1.0,
+                escalation: 100.0,
+                max_boost: 50.0,
+                success_tolerance: 1e-9, // never counts as landed
+                local: LocalConfig { epochs: 1, batch_size: 16, lr: 0.05, prox_mu: 0.0 },
+                ..Default::default()
+            },
+        );
+        let global = factory().flat_params();
+        for round in 0..4 {
+            let mut updates = vec![LocalUpdate::new(0, global.clone(), 0.1, 10)];
+            adv.intercept(round, &global, &mut updates).unwrap();
+        }
+        assert!(adv.boost() <= 50.0);
+    }
+}

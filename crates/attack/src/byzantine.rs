@@ -1,0 +1,107 @@
+//! Byzantine random-update adversary (untargeted model downgrade, §2).
+
+use fedcav_fl::server::Interceptor;
+use fedcav_fl::update::LocalUpdate;
+use fedcav_tensor::{Result, TensorError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Controls `n_compromised` participant slots and replaces their updates
+/// with Gaussian noise around the global model — the classic Byzantine
+/// threat model (Blanchard et al.).
+pub struct ByzantineRandom {
+    /// How many of the round's updates to corrupt (clamped to the round size).
+    pub n_compromised: usize,
+    /// Noise standard deviation relative to the parameter scale.
+    pub noise_std: f32,
+    /// Rounds at which to attack; empty = every round.
+    pub attack_rounds: Vec<usize>,
+    seed: u64,
+}
+
+impl ByzantineRandom {
+    /// New Byzantine adversary.
+    pub fn new(n_compromised: usize, noise_std: f32, attack_rounds: Vec<usize>, seed: u64) -> Self {
+        assert!(noise_std >= 0.0, "noise std must be non-negative");
+        ByzantineRandom { n_compromised, noise_std, attack_rounds, seed }
+    }
+}
+
+impl Interceptor for ByzantineRandom {
+    fn intercept(
+        &mut self,
+        round: usize,
+        global: &[f32],
+        updates: &mut Vec<LocalUpdate>,
+    ) -> Result<()> {
+        if !self.attack_rounds.is_empty() && !self.attack_rounds.contains(&round) {
+            return Ok(());
+        }
+        if updates.is_empty() {
+            return Err(TensorError::Empty { op: "ByzantineRandom::intercept" });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(round as u64));
+        let k = self.n_compromised.min(updates.len());
+        for update in updates.iter_mut().take(k) {
+            let noise =
+                fedcav_tensor::init::normal(&mut rng, &[global.len()], 0.0, self.noise_std);
+            update.params = global
+                .iter()
+                .zip(noise.as_slice())
+                .map(|(&w, &n)| w + n)
+                .collect();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest_updates(n: usize, len: usize) -> Vec<LocalUpdate> {
+        (0..n)
+            .map(|i| LocalUpdate::new(i, vec![1.0; len], 0.5, 10))
+            .collect()
+    }
+
+    #[test]
+    fn corrupts_exactly_k_updates() {
+        let mut adv = ByzantineRandom::new(2, 1.0, vec![], 0);
+        let global = vec![1.0; 8];
+        let mut updates = honest_updates(5, 8);
+        adv.intercept(0, &global, &mut updates).unwrap();
+        let corrupted = updates
+            .iter()
+            .filter(|u| u.params != vec![1.0; 8])
+            .count();
+        assert_eq!(corrupted, 2);
+    }
+
+    #[test]
+    fn respects_attack_rounds() {
+        let mut adv = ByzantineRandom::new(1, 1.0, vec![3], 0);
+        let global = vec![0.0; 4];
+        let mut updates = honest_updates(2, 4);
+        adv.intercept(0, &global, &mut updates).unwrap();
+        assert!(updates.iter().all(|u| u.params == vec![1.0; 4]));
+        adv.intercept(3, &global, &mut updates).unwrap();
+        assert_ne!(updates[0].params, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn k_clamped_to_round_size() {
+        let mut adv = ByzantineRandom::new(10, 1.0, vec![], 0);
+        let global = vec![0.0; 4];
+        let mut updates = honest_updates(2, 4);
+        adv.intercept(0, &global, &mut updates).unwrap(); // must not panic
+        assert_eq!(updates.len(), 2);
+    }
+
+    #[test]
+    fn empty_round_errors() {
+        let mut adv = ByzantineRandom::new(1, 1.0, vec![], 0);
+        let mut updates = Vec::new();
+        assert!(adv.intercept(0, &[0.0], &mut updates).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Loss-inflation adversary: honest parameters, dishonest inference loss.
+//!
+//! This isolates the threat FedCav's *clipping* addresses (§4.2.3 / §6
+//! "Authenticity of updates"): a client that merely exaggerates its
+//! reported loss grabs a disproportionate softmax weight without doing any
+//! model poisoning at all.
+
+use fedcav_fl::server::Interceptor;
+use fedcav_fl::update::LocalUpdate;
+use fedcav_tensor::{Result, TensorError};
+
+/// Multiplies (or overrides) the reported inference loss of one
+/// participant slot each round.
+pub struct LossInflation {
+    /// Which collected-update slot to corrupt.
+    pub slot: usize,
+    /// `reported = factor * true_loss + offset`.
+    pub factor: f32,
+    /// Constant added after scaling.
+    pub offset: f32,
+    /// Rounds at which to lie; empty = every round.
+    pub attack_rounds: Vec<usize>,
+}
+
+impl LossInflation {
+    /// Adversary that multiplies its loss by `factor` every round.
+    pub fn scaling(slot: usize, factor: f32) -> Self {
+        LossInflation { slot, factor, offset: 0.0, attack_rounds: Vec::new() }
+    }
+
+    /// Adversary that always reports a fixed loss.
+    pub fn fixed(slot: usize, reported: f32) -> Self {
+        LossInflation { slot, factor: 0.0, offset: reported, attack_rounds: Vec::new() }
+    }
+}
+
+impl Interceptor for LossInflation {
+    fn intercept(
+        &mut self,
+        round: usize,
+        _global: &[f32],
+        updates: &mut Vec<LocalUpdate>,
+    ) -> Result<()> {
+        if !self.attack_rounds.is_empty() && !self.attack_rounds.contains(&round) {
+            return Ok(());
+        }
+        let slot = self.slot;
+        let update = updates.get_mut(slot).ok_or(TensorError::IndexOutOfBounds {
+            index: slot,
+            bound: 0,
+        })?;
+        update.inference_loss = self.factor * update.inference_loss + self.offset;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn updates() -> Vec<LocalUpdate> {
+        vec![
+            LocalUpdate::new(0, vec![0.0], 0.5, 10),
+            LocalUpdate::new(1, vec![0.0], 0.7, 10),
+        ]
+    }
+
+    #[test]
+    fn scaling_multiplies() {
+        let mut adv = LossInflation::scaling(1, 10.0);
+        let mut u = updates();
+        adv.intercept(0, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].inference_loss, 0.5);
+        assert!((u[1].inference_loss - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_overrides() {
+        let mut adv = LossInflation::fixed(0, 99.0);
+        let mut u = updates();
+        adv.intercept(0, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].inference_loss, 99.0);
+    }
+
+    #[test]
+    fn attack_rounds_respected() {
+        let mut adv = LossInflation {
+            slot: 0,
+            factor: 0.0,
+            offset: 9.0,
+            attack_rounds: vec![5],
+        };
+        let mut u = updates();
+        adv.intercept(4, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].inference_loss, 0.5);
+        adv.intercept(5, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].inference_loss, 9.0);
+    }
+
+    #[test]
+    fn out_of_range_slot_errors() {
+        let mut adv = LossInflation::fixed(7, 1.0);
+        let mut u = updates();
+        assert!(adv.intercept(0, &[0.0], &mut u).is_err());
+    }
+
+    #[test]
+    fn params_never_touched() {
+        let mut adv = LossInflation::fixed(0, 50.0);
+        let mut u = updates();
+        let before = u[0].params.clone();
+        adv.intercept(0, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].params, before);
+    }
+}

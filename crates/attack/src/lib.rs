@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # fedcav-attack
+//!
+//! Adversaries for the paper's robustness experiments (§4.4, §5.2.4):
+//!
+//! * [`replacement`] — the model-replacement attack (Eq. 10–11, after
+//!   Bagdasaryan et al.): train a malicious model `M` on label-flipped data
+//!   and submit `w_t + (1/γ_m)(M − w_t)` with an inflated inference loss so
+//!   the boosted update survives (or hijacks) aggregation,
+//! * [`byzantine`] — random-update Byzantine clients (Blanchard et al.,
+//!   the "untargeted / model downgrade" threat of §2),
+//! * [`inflation`] — clients that submit *honest* parameters but lie about
+//!   their inference loss (the threat FedCav's clipping addresses).
+//!
+//! All adversaries implement [`fedcav_fl::Interceptor`] and splice into the
+//! round loop between update collection and aggregation.
+
+pub mod adaptive;
+pub mod byzantine;
+pub mod inflation;
+pub mod replacement;
+
+pub use adaptive::{AdaptiveReplacement, AdaptiveReplacementConfig};
+pub use byzantine::ByzantineRandom;
+pub use inflation::LossInflation;
+pub use replacement::{ModelReplacement, ModelReplacementConfig};

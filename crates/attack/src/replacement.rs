@@ -1,0 +1,245 @@
+//! The model-replacement attack (§4.4, Eq. 10–11).
+
+use fedcav_data::Dataset;
+use fedcav_fl::client::{local_update, LocalConfig};
+use fedcav_fl::server::{Interceptor, ModelFactory};
+use fedcav_fl::update::LocalUpdate;
+use fedcav_tensor::{Result, TensorError};
+
+/// Attack configuration.
+#[derive(Debug, Clone)]
+pub struct ModelReplacementConfig {
+    /// Rounds at which the adversary strikes (the paper uses a single
+    /// "one-time-on-one-round" attack, §5.2.4).
+    pub attack_rounds: Vec<usize>,
+    /// Boost factor `1/γ_m`. `None` auto-estimates it as the number of
+    /// participants in the round (the FedAvg uniform-weight case the paper
+    /// describes attackers approximating iteratively).
+    pub boost: Option<f32>,
+    /// Inference loss the adversary *reports*. FedCav's softmax rewards
+    /// high loss, so a rational adversary inflates it (§4.4: "attackers
+    /// just need to scale up the local loss").
+    pub reported_loss: f32,
+    /// Local-training setup used to produce the malicious model `M`.
+    pub local: LocalConfig,
+    /// Seed for the malicious training run.
+    pub seed: u64,
+}
+
+impl Default for ModelReplacementConfig {
+    fn default() -> Self {
+        ModelReplacementConfig {
+            attack_rounds: vec![2],
+            boost: None,
+            reported_loss: 10.0,
+            local: LocalConfig::default(),
+            seed: 0xBAD,
+        }
+    }
+}
+
+/// A model-replacement adversary controlling one participant slot.
+///
+/// At each configured round it trains `M` on its poisoned dataset starting
+/// from the downloaded global model, then overwrites the *first* collected
+/// update with
+///
+/// ```text
+/// w_m = w_t + (1/γ_m) (M − w_t)        (Eq. 11)
+/// ```
+///
+/// so that after weighted averaging the new global model lands on `M`.
+pub struct ModelReplacement<'a> {
+    factory: &'a ModelFactory,
+    poisoned: Dataset,
+    config: ModelReplacementConfig,
+    /// Rounds in which the attack actually fired (for test/harness asserts).
+    fired: Vec<usize>,
+}
+
+impl<'a> ModelReplacement<'a> {
+    /// New adversary training `M` on `poisoned` (typically label-flipped)
+    /// data.
+    pub fn new(factory: &'a ModelFactory, poisoned: Dataset, config: ModelReplacementConfig) -> Self {
+        assert!(!poisoned.is_empty(), "adversary needs poisoned data");
+        ModelReplacement { factory, poisoned, config, fired: Vec::new() }
+    }
+
+    /// Rounds in which the attack fired so far.
+    pub fn fired(&self) -> &[usize] {
+        &self.fired
+    }
+
+    /// Craft the boosted malicious update for the given global model.
+    pub fn craft(&self, round: usize, global: &[f32], n_participants: usize) -> Result<Vec<f32>> {
+        let malicious = local_update(
+            self.factory,
+            global,
+            usize::MAX,
+            &self.poisoned,
+            &self.config.local,
+            self.config.seed.wrapping_add(round as u64),
+        )?;
+        let boost = self.config.boost.unwrap_or(n_participants.max(1) as f32);
+        Ok(global
+            .iter()
+            .zip(&malicious.params)
+            .map(|(&w, &m)| w + boost * (m - w))
+            .collect())
+    }
+}
+
+impl Interceptor for ModelReplacement<'_> {
+    fn intercept(
+        &mut self,
+        round: usize,
+        global: &[f32],
+        updates: &mut Vec<LocalUpdate>,
+    ) -> Result<()> {
+        if !self.config.attack_rounds.contains(&round) {
+            return Ok(());
+        }
+        if updates.is_empty() {
+            return Err(TensorError::Empty { op: "ModelReplacement::intercept (no updates)" });
+        }
+        let params = self.craft(round, global, updates.len())?;
+        let victim = &mut updates[0];
+        victim.params = params;
+        victim.inference_loss = self.config.reported_loss;
+        self.fired.push(round);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_data::poison::flip_all_labels;
+    use fedcav_data::{SyntheticConfig, SyntheticKind};
+    use fedcav_fl::eval::evaluate;
+    use fedcav_fl::fedavg::FedAvg;
+    use fedcav_fl::strategy::{Aggregation, RoundContext, Strategy};
+    use fedcav_nn::{models, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, Dataset, Box<dyn Fn() -> Sequential + Sync>) {
+        let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 6, 2)
+            .generate()
+            .unwrap();
+        let img_len = train.image_len();
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(3);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        (train, test, Box::new(factory))
+    }
+
+    #[test]
+    fn fires_only_at_configured_rounds() {
+        let (train, _test, factory) = setup();
+        let poisoned = flip_all_labels(&train);
+        let mut adv = ModelReplacement::new(
+            &*factory,
+            poisoned,
+            ModelReplacementConfig { attack_rounds: vec![1, 3], ..Default::default() },
+        );
+        let global = factory().flat_params();
+        for round in 0..4 {
+            let mut updates =
+                vec![LocalUpdate::new(0, global.clone(), 0.5, 10)];
+            adv.intercept(round, &global, &mut updates).unwrap();
+        }
+        assert_eq!(adv.fired(), &[1, 3]);
+    }
+
+    #[test]
+    fn boosted_update_replaces_global_under_fedavg() {
+        // With one attacker among k equal-size clients all submitting w_t,
+        // FedAvg yields w_t + (boost/k)(M - w_t); boost = k lands on M.
+        let (train, test, factory) = setup();
+        let poisoned = flip_all_labels(&train);
+
+        // Pre-train an honest global model so accuracy is high.
+        let honest_cfg = LocalConfig { epochs: 5, batch_size: 10, lr: 0.1, prox_mu: 0.0 };
+        let honest =
+            local_update(&*factory, &factory().flat_params(), 0, &train, &honest_cfg, 1)
+                .unwrap();
+        let global = honest.params;
+        let mut model = factory();
+        model.set_flat_params(&global).unwrap();
+        let (_, acc_before) = evaluate(&mut model, &test, 32).unwrap();
+        assert!(acc_before > 0.5, "pre-attack model should work: {acc_before}");
+
+        let mut adv = ModelReplacement::new(
+            &*factory,
+            poisoned,
+            ModelReplacementConfig {
+                attack_rounds: vec![0],
+                local: honest_cfg,
+                ..Default::default()
+            },
+        );
+        // Three honest updates equal to the global (converged deployment).
+        let mut updates = vec![
+            LocalUpdate::new(0, global.clone(), 0.2, 10),
+            LocalUpdate::new(1, global.clone(), 0.2, 10),
+            LocalUpdate::new(2, global.clone(), 0.2, 10),
+        ];
+        adv.intercept(0, &global, &mut updates).unwrap();
+        let ctx = RoundContext { round: 0, global: &global };
+        let new_global = match FedAvg::new().aggregate(&ctx, &updates).unwrap() {
+            Aggregation::Accept(p) => p,
+            _ => unreachable!(),
+        };
+        let mut attacked = factory();
+        attacked.set_flat_params(&new_global).unwrap();
+        let (_, acc_after) = evaluate(&mut attacked, &test, 32).unwrap();
+        assert!(
+            acc_after < acc_before - 0.3,
+            "replacement should destroy accuracy: {acc_before} -> {acc_after}"
+        );
+    }
+
+    #[test]
+    fn reported_loss_is_inflated() {
+        let (train, _test, factory) = setup();
+        let poisoned = flip_all_labels(&train);
+        let mut adv = ModelReplacement::new(
+            &*factory,
+            poisoned,
+            ModelReplacementConfig {
+                attack_rounds: vec![0],
+                reported_loss: 42.0,
+                ..Default::default()
+            },
+        );
+        let global = factory().flat_params();
+        let mut updates = vec![LocalUpdate::new(0, global.clone(), 0.1, 10)];
+        adv.intercept(0, &global, &mut updates).unwrap();
+        assert_eq!(updates[0].inference_loss, 42.0);
+    }
+
+    #[test]
+    fn intercept_with_no_updates_errors() {
+        let (train, _test, factory) = setup();
+        let poisoned = flip_all_labels(&train);
+        let mut adv = ModelReplacement::new(
+            &*factory,
+            poisoned,
+            ModelReplacementConfig { attack_rounds: vec![0], ..Default::default() },
+        );
+        let global = factory().flat_params();
+        let mut updates = Vec::new();
+        assert!(adv.intercept(0, &global, &mut updates).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned data")]
+    fn empty_poison_panics() {
+        let (_train, _test, factory) = setup();
+        let empty = Dataset::new(fedcav_tensor::Tensor::zeros(&[0, 1, 28, 28]), vec![], 10)
+            .unwrap();
+        let _ = ModelReplacement::new(&*factory, empty, ModelReplacementConfig::default());
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion micro-benches of the tensor kernels underlying the
+//! simulation: matmul, conv2d forward/backward, softmax/weight math.
+//! Used to tune the rayon parallelism threshold and to catch kernel
+//! regressions; not tied to a paper figure.
+//!
+//! Run: `cargo bench -p fedcav-bench --bench kernels`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedcav_core::weights::contribution_weights;
+use fedcav_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dParams};
+use fedcav_tensor::{init, numerics, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = init::uniform(&mut rng, &[128, 256], -1.0, 1.0);
+    let b = init::uniform(&mut rng, &[256, 128], -1.0, 1.0);
+    c.bench_function("matmul_128x256x128", |bch| {
+        bch.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = init::uniform(&mut rng, &[10, 6, 12, 12], -1.0, 1.0);
+    let weight = init::uniform(&mut rng, &[16, 6, 5, 5], -0.5, 0.5);
+    let bias = Tensor::zeros(&[16]);
+    let params = Conv2dParams { stride: 1, padding: 0 };
+    c.bench_function("conv2d_fwd_lenet_c2_b10", |bch| {
+        bch.iter(|| black_box(conv2d_forward(&input, &weight, &bias, params).unwrap()))
+    });
+    let out = conv2d_forward(&input, &weight, &bias, params).unwrap();
+    c.bench_function("conv2d_bwd_lenet_c2_b10", |bch| {
+        bch.iter(|| black_box(conv2d_backward(&input, &weight, &out, params).unwrap()))
+    });
+}
+
+fn bench_weight_math(c: &mut Criterion) {
+    let losses: Vec<f32> = (0..100).map(|i| 0.1 + (i as f32 * 0.37).sin().abs()).collect();
+    c.bench_function("softmax_100", |bch| {
+        bch.iter(|| black_box(numerics::softmax(&losses)))
+    });
+    c.bench_function("contribution_weights_100", |bch| {
+        bch.iter(|| black_box(contribution_weights(&losses, true, 1.0)))
+    });
+    c.bench_function("logsumexp_100", |bch| {
+        bch.iter(|| black_box(numerics::logsumexp(&losses)))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_weight_math);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! **E7 — §6 "Overhead of FedCav":** criterion micro-benches comparing the
+//! per-round cost FedCav adds (one inference pass to compute `f_i(w_t)`)
+//! against the local-training cost that exists anyway, plus the server-side
+//! aggregation cost of softmax-weighting vs plain averaging.
+//!
+//! Paper's numbers (their hardware): inference latency 0.0857 s vs training
+//! 0.1620 s × E per round on MNIST — i.e. the extra inference is roughly
+//! half of one epoch. The *ratio* is what we reproduce.
+//!
+//! Run: `cargo bench -p fedcav-bench --bench overhead`
+
+use criterion::{criterion_group, Criterion};
+use fedcav_bench::experiment::ExperimentSpec;
+use fedcav_core::weights::contribution_weights;
+use fedcav_data::SyntheticKind;
+use fedcav_fl::aggregate::{sample_weights, weighted_sum};
+use fedcav_fl::client::{local_update, LocalConfig};
+use fedcav_fl::eval::evaluate;
+use fedcav_fl::update::LocalUpdate;
+use std::hint::black_box;
+
+fn bench_client_side(c: &mut Criterion) {
+    let spec = ExperimentSpec::fast(SyntheticKind::MnistLike, 1);
+    let (train, _) = spec.data().expect("data");
+    let local = train.subset(&(0..60).collect::<Vec<_>>()).expect("subset");
+    let factory = spec.model_factory();
+    let global = factory().flat_params();
+
+    let mut group = c.benchmark_group("client_side");
+    group.sample_size(10);
+    // FedCav's extra cost: one inference pass over the local data.
+    group.bench_function("inference_loss (FedCav extra)", |b| {
+        b.iter(|| {
+            let mut model = factory();
+            model.set_flat_params(&global).unwrap();
+            black_box(evaluate(&mut model, &local, 32).unwrap())
+        })
+    });
+    // The cost that exists anyway: one local epoch of training.
+    group.bench_function("one_local_epoch (baseline cost)", |b| {
+        let cfg = LocalConfig { epochs: 1, batch_size: 10, lr: 0.01, prox_mu: 0.0 };
+        b.iter(|| black_box(local_update(&*factory, &global, 0, &local, &cfg, 7).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_server_side(c: &mut Criterion) {
+    // 30 participants (paper: 100 clients x q=0.3), LeNet-5-sized updates.
+    let spec = ExperimentSpec::fast(SyntheticKind::MnistLike, 1);
+    let factory = spec.model_factory();
+    let params = factory().flat_params();
+    let updates: Vec<LocalUpdate> = (0..30)
+        .map(|i| LocalUpdate::new(i, params.clone(), 0.1 + i as f32 * 0.05, 60))
+        .collect();
+
+    let mut group = c.benchmark_group("server_side");
+    group.bench_function("fedavg_aggregate", |b| {
+        b.iter(|| {
+            let w = sample_weights(&updates).unwrap();
+            black_box(weighted_sum(&updates, &w).unwrap())
+        })
+    });
+    group.bench_function("fedcav_aggregate", |b| {
+        b.iter(|| {
+            let losses: Vec<f32> = updates.iter().map(|u| u.inference_loss).collect();
+            let w = contribution_weights(&losses, true, 1.0);
+            black_box(weighted_sum(&updates, &w).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn report_comm_overhead() {
+    // Not a timing bench: print the §6 communication accounting directly.
+    use fedcav_fl::CommModel;
+    let spec = ExperimentSpec::fast(SyntheticKind::MnistLike, 1);
+    let n_params = spec.model_factory()().state_len();
+    let m = CommModel::new(n_params);
+    let participants = 30;
+    println!("# comm accounting (LeNet-5, {participants} participants/round)");
+    println!(
+        "# fedavg_uplink_bytes\t{}\n# fedcav_uplink_bytes\t{}\n# fedcav_extra_bytes\t{} ({} per client)",
+        m.uplink(participants, false),
+        m.uplink(participants, true),
+        m.fedcav_overhead(participants),
+        m.fedcav_overhead(participants) / participants as u64,
+    );
+}
+
+criterion_group!(benches, bench_client_side, bench_server_side);
+
+fn main() {
+    report_comm_overhead();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

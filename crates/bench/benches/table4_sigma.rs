@@ -1,0 +1,125 @@
+//! **E2 — Table 4:** converged classification accuracy of FedAvg / FedProx /
+//! FedCav at σ ∈ {300, 600, 900} on the three datasets.
+//!
+//! Expected shape (paper): FedCav wins or ties everywhere, with the margin
+//! growing as σ grows; all methods degrade with σ.
+//!
+//! Fast scale runs the MNIST-like tier only (LeNet-5); `--full` adds the
+//! FMNIST-like (CNN-9) and CIFAR-10-like (ResNet-18) tiers at paper scale.
+//! `--ablate-temp` additionally sweeps the FedCav softmax temperature, and
+//! `--ablate-hybrid` compares the size-hybrid weight mode (DESIGN.md §6).
+//!
+//! Run: `cargo bench -p fedcav-bench --bench table4_sigma [-- --full]`
+
+use fedcav_bench::experiment::{run_standard, Algo, Dist, ExperimentSpec, Scale};
+use fedcav_bench::output;
+use fedcav_core::{FedCav, FedCavConfig, WeightMode};
+use fedcav_data::SyntheticKind;
+use fedcav_fl::Simulation;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ablate_temp = std::env::args().any(|a| a == "--ablate-temp");
+    let ablate_hybrid = std::env::args().any(|a| a == "--ablate-hybrid");
+    let kinds: &[SyntheticKind] = match scale {
+        Scale::Fast => &[SyntheticKind::MnistLike],
+        Scale::Full => &[
+            SyntheticKind::MnistLike,
+            SyntheticKind::FmnistLike,
+            SyntheticKind::Cifar10Like,
+        ],
+    };
+    let sigmas = [300.0f32, 600.0, 900.0];
+    let algos = [Algo::FedAvg, Algo::FedProx, Algo::FedCav];
+
+    // Table 4 reports *average* accuracy after convergence; we average over
+    // independent seeds (partition + sampling randomness) per cell.
+    let n_seeds: u64 = 3;
+    output::meta("experiment", "table4_sigma (converged accuracy vs sigma)");
+    output::meta("scale", format!("{scale:?}"));
+    output::meta("seeds_per_cell", n_seeds);
+    output::header(&["dataset", "sigma", "algo", "converged_acc", "convergence_round"]);
+
+    for &kind in kinds {
+        let base = ExperimentSpec::at(scale, kind, 15, 60);
+        for &sigma in &sigmas {
+            for algo in algos {
+                let mut accs = Vec::new();
+                let mut rounds = Vec::new();
+                for s in 0..n_seeds {
+                    let spec = ExperimentSpec { seed: base.seed + 101 * s, ..base };
+                    let h = run_standard(&spec, Dist::NonIidSigma(sigma), algo)
+                        .unwrap_or_else(|e| panic!("{} σ={sigma}: {e}", algo.name()));
+                    accs.push(h.converged_accuracy(5).unwrap_or(f32::NAN));
+                    if let Some(r) = h.convergence_round(0.99, 5) {
+                        rounds.push(r + 1);
+                    }
+                }
+                let acc = accs.iter().sum::<f32>() / accs.len() as f32;
+                let round = if rounds.is_empty() {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", rounds.iter().sum::<usize>() as f32 / rounds.len() as f32)
+                };
+                println!("{}\t{sigma:.0}\t{}\t{acc:.4}\t{round}", kind.name(), algo.name());
+            }
+        }
+        if ablate_temp {
+            ablation_temperature(&base);
+        }
+        if ablate_hybrid {
+            ablation_hybrid(&base);
+        }
+    }
+}
+
+/// DESIGN.md §6 ablation: FedCav softmax temperature sweep at σ=600.
+fn ablation_temperature(spec: &ExperimentSpec) {
+    println!("# ablation: FedCav softmax temperature (sigma=600)");
+    for temperature in [0.5f32, 1.0, 2.0, 4.0] {
+        let acc = run_fedcav_variant(spec, FedCavConfig {
+            temperature,
+            detection: None,
+            ..Default::default()
+        });
+        println!("{}\tT={temperature}\tFedCav\t{acc:.4}\t-", spec.kind.name());
+    }
+}
+
+/// DESIGN.md §6 ablation: weight-rule variants at σ=600 (including the
+/// linear weighting the paper's §4.2.2 argues against).
+fn ablation_hybrid(spec: &ExperimentSpec) {
+    println!("# ablation: FedCav weight mode (sigma=600)");
+    for (label, mode) in [
+        ("softmax-loss", WeightMode::SoftmaxLoss),
+        ("softmax-loss-x-size", WeightMode::SoftmaxLossSizeHybrid),
+        ("linear-loss", WeightMode::LinearLoss),
+    ] {
+        let acc = run_fedcav_variant(spec, FedCavConfig {
+            weight_mode: mode,
+            detection: None,
+            ..Default::default()
+        });
+        println!("{}\t{label}\tFedCav\t{acc:.4}\t-", spec.kind.name());
+    }
+}
+
+fn run_fedcav_variant(spec: &ExperimentSpec, config: FedCavConfig) -> f32 {
+    use fedcav_data::{partition, ImbalanceSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let (train, test) = spec.data().expect("data generation");
+    let factory = spec.model_factory();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xD157);
+    let part = partition::noniid(&train, spec.n_clients, 2, ImbalanceSpec::PaperSigma(600.0), &mut rng);
+    let clients = part.client_datasets(&train).expect("partition");
+    let mut sim = Simulation::new(
+        &*factory,
+        clients,
+        test,
+        Box::new(FedCav::new(config)),
+        spec.sim_config(),
+    );
+    sim.run(spec.rounds).expect("simulation");
+    sim.history().converged_accuracy(5).unwrap_or(f32::NAN)
+}

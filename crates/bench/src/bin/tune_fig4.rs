@@ -1,0 +1,33 @@
+//! Calibration probe for the fresh-class experiment: sweeps local learning
+//! rate and sampling ratio at fast scale and prints FedCav-vs-FedAvg
+//! convergence, to pick fast-scale defaults where the paper's dynamics are
+//! visible. Not part of the figure reproduction itself.
+
+use fedcav_bench::experiment::{run_fresh_class, Algo, Dist, ExperimentSpec};
+use fedcav_data::SyntheticKind;
+use fedcav_fl::LocalConfig;
+
+fn main() {
+    let alpha = 0.3;
+    println!("lr\tq\talgo\tr1\tr3\tr5\tconverged");
+    for &lr in &[0.015f32, 0.03] {
+        for &q in &[0.3f64, 0.5] {
+            for algo in [Algo::FedCav, Algo::FedAvg] {
+                let mut spec = ExperimentSpec::fast(SyntheticKind::MnistLike, 12);
+                spec.local = LocalConfig { epochs: 3, batch_size: 10, lr, prox_mu: 0.0 };
+                spec.sample_ratio = q;
+                let out = run_fresh_class(&spec, alpha, Dist::NonIidBalanced, algo, 3)
+                    .expect("run");
+                let acc = out.history.accuracies();
+                println!(
+                    "{lr}\t{q}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+                    algo.name(),
+                    acc[0],
+                    acc[2],
+                    acc[4],
+                    out.history.converged_accuracy(3).unwrap()
+                );
+            }
+        }
+    }
+}

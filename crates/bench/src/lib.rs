@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! # fedcav-bench
+//!
+//! Shared experiment machinery for the harnesses that regenerate every
+//! table and figure of the paper (see DESIGN.md §4 for the index):
+//!
+//! * [`experiment`] — dataset/model/deployment specs with `fast` (CI
+//!   wall-clock) and `full` (paper-scale) presets, plus runners for the
+//!   standard σ-imbalance experiments and the fresh-class (α) dynamics,
+//! * [`output`] — TSV series printing shared by all harnesses.
+//!
+//! Each bench target under `benches/` is a `harness = false` binary: run
+//! `cargo bench -p fedcav-bench --bench fig2_heterogeneity` (add
+//! `-- --full` for paper-scale parameters).
+
+pub mod experiment;
+pub mod output;
+
+pub use experiment::{Algo, Dist, ExperimentSpec, Scale};

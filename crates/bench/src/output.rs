@@ -1,0 +1,71 @@
+//! TSV output helpers shared by all figure harnesses.
+//!
+//! Every harness prints:
+//! 1. a header block (`# key<TAB>value`) describing the configuration, and
+//! 2. one TSV table whose rows are the same series the paper's figure or
+//!    table reports.
+
+use fedcav_fl::History;
+
+/// Print a `# key\tvalue` configuration line.
+pub fn meta(key: &str, value: impl std::fmt::Display) {
+    println!("# {key}\t{value}");
+}
+
+/// Print a TSV header row.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Print one accuracy-per-round series as rows `label, round, accuracy`.
+pub fn series(label: &str, history: &History) {
+    for r in &history.records {
+        println!(
+            "{label}\t{}\t{:.4}\t{:.4}\t{}",
+            r.round + 1,
+            r.test_accuracy,
+            r.test_loss,
+            if r.rejected { "REVERSED" } else { "-" }
+        );
+    }
+}
+
+/// Format a convergence summary for a history: converged accuracy (mean of
+/// the last `tail` rounds) and the 99%-of-plateau convergence round.
+pub fn summary(label: &str, history: &History, tail: usize) {
+    let acc = history.converged_accuracy(tail).unwrap_or(f32::NAN);
+    let round = history
+        .convergence_round(0.99, tail)
+        .map(|r| (r + 1).to_string())
+        .unwrap_or_else(|| "-".to_string());
+    println!("## {label}\tconverged_acc={acc:.4}\tconvergence_round={round}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_fl::RoundRecord;
+
+    #[test]
+    fn helpers_do_not_panic() {
+        meta("scale", "fast");
+        header(&["algo", "round", "acc", "loss", "note"]);
+        let mut h = History::new();
+        h.records.push(RoundRecord {
+            round: 0,
+            test_accuracy: 0.5,
+            test_loss: 1.2,
+            mean_inference_loss: 1.0,
+            max_inference_loss: 2.0,
+            participants: 3,
+            rejected: true,
+            reject_reason: Some("vote".into()),
+            bytes_down: 100,
+            bytes_up: 104,
+            round_duration: 1.5,
+            sim_time: 1.5,
+        });
+        series("FedCav", &h);
+        summary("FedCav", &h, 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Model-replacement detection and model reverse (§4.4, Eq. 13).
+
+/// Detection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Fraction of participants whose "worse than all of last round" vote
+    /// triggers the alarm. The paper uses majority voting (`0.5`, Eq. 13's
+    /// `≥ n/2`).
+    pub vote_fraction: f32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { vote_fraction: 0.5 }
+    }
+}
+
+/// Stateful detector: caches the previous round's inference losses and the
+/// pre-aggregation global model so an abnormal round can be *reversed*.
+///
+/// ```
+/// use fedcav_core::{Detector, DetectorConfig};
+///
+/// let mut detector = Detector::new(DetectorConfig::default());
+/// // Round t-1 was healthy: cache the model and the losses.
+/// detector.commit(&[1.0, 2.0, 3.0], &[0.4, 0.5, 0.45]);
+/// // Round t: every client reports a loss above last round's max — the
+/// // previous aggregation must have been poisoned; reverse to the cache.
+/// let reverted = detector.check(&[2.0, 2.5, 1.9]).expect("alarm");
+/// assert_eq!(reverted, &[1.0, 2.0, 3.0]);
+/// ```
+///
+/// Protocol (matching Fig. 3's workflow):
+/// 1. At round `t` the server receives the participants' inference losses
+///    `f_i(w_t)` and calls [`Detector::check`].
+/// 2. `check` compares them against `max(f(w_{t-1}))` (Eq. 13). If at least
+///    `vote_fraction · n` clients report a loss above that maximum, the
+///    previous aggregation is declared abnormal and `check` returns the
+///    cached pre-attack model to reverse to.
+/// 3. On a normal round the server calls [`Detector::commit`] with the
+///    current global model (cached as the next reversal target) and the
+///    current losses.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    config: DetectorConfig,
+    prev_losses: Option<Vec<f32>>,
+    cached_model: Option<Vec<f32>>,
+}
+
+impl Detector {
+    /// New detector with the given config.
+    pub fn new(config: DetectorConfig) -> Self {
+        assert!(
+            config.vote_fraction > 0.0 && config.vote_fraction <= 1.0,
+            "vote fraction must be in (0, 1], got {}",
+            config.vote_fraction
+        );
+        Detector { config, prev_losses: None, cached_model: None }
+    }
+
+    /// Eq. 13: does the vote declare the last aggregation abnormal?
+    /// Returns the cached model to reverse to when it does.
+    ///
+    /// Returns `None` (normal) when there is no history yet — the first
+    /// round cannot be judged.
+    pub fn check(&self, current_losses: &[f32]) -> Option<&[f32]> {
+        let prev = self.prev_losses.as_ref()?;
+        let cached = self.cached_model.as_ref()?;
+        if current_losses.is_empty() {
+            return None;
+        }
+        let prev_max = prev.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let votes = current_losses.iter().filter(|&&f| f > prev_max).count();
+        let needed = (self.config.vote_fraction * current_losses.len() as f32).ceil() as usize;
+        if votes >= needed.max(1) {
+            Some(cached)
+        } else {
+            None
+        }
+    }
+
+    /// Record a normal round: cache the pre-aggregation global model as the
+    /// next reversal target and the round's losses as the next baseline.
+    pub fn commit(&mut self, global_before_aggregation: &[f32], losses: &[f32]) {
+        self.cached_model = Some(global_before_aggregation.to_vec());
+        self.prev_losses = Some(losses.to_vec());
+    }
+
+    /// Whether the detector has enough history to judge a round.
+    pub fn has_baseline(&self) -> bool {
+        self.prev_losses.is_some() && self.cached_model.is_some()
+    }
+
+    /// Drop all cached state.
+    pub fn reset(&mut self) {
+        self.prev_losses = None;
+        self.cached_model = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector_with_baseline(losses: &[f32], model: &[f32]) -> Detector {
+        let mut d = Detector::new(DetectorConfig::default());
+        d.commit(model, losses);
+        d
+    }
+
+    #[test]
+    fn first_round_never_fires() {
+        let d = Detector::new(DetectorConfig::default());
+        assert!(d.check(&[100.0, 100.0]).is_none());
+        assert!(!d.has_baseline());
+    }
+
+    #[test]
+    fn fires_when_majority_exceed_previous_max() {
+        let d = detector_with_baseline(&[0.5, 0.8, 0.6], &[1.0, 2.0]);
+        // All three current losses exceed max(prev)=0.8 -> reverse.
+        let reverted = d.check(&[2.0, 3.0, 1.5]).expect("should fire");
+        assert_eq!(reverted, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn silent_when_losses_converge() {
+        let d = detector_with_baseline(&[0.5, 0.8, 0.6], &[1.0]);
+        // Losses went down: normal training.
+        assert!(d.check(&[0.4, 0.5, 0.3]).is_none());
+    }
+
+    #[test]
+    fn minority_votes_do_not_fire() {
+        let d = detector_with_baseline(&[0.5, 0.8, 0.6, 0.7], &[1.0]);
+        // Only 1 of 4 exceeds 0.8 -> below the n/2 threshold.
+        assert!(d.check(&[0.9, 0.5, 0.4, 0.6]).is_none());
+    }
+
+    #[test]
+    fn exactly_half_fires_with_default_config() {
+        // Eq. 13 uses >= n/2.
+        let d = detector_with_baseline(&[1.0], &[0.0]);
+        assert!(d.check(&[2.0, 0.5]).is_some());
+    }
+
+    #[test]
+    fn vote_fraction_configurable() {
+        let mut strict = Detector::new(DetectorConfig { vote_fraction: 0.9 });
+        strict.commit(&[0.0], &[1.0]);
+        // 2 of 3 exceed: 0.66 < 0.9 -> silent.
+        assert!(strict.check(&[2.0, 2.0, 0.5]).is_none());
+        // 3 of 3 -> fires.
+        assert!(strict.check(&[2.0, 2.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn commit_replaces_baseline() {
+        let mut d = detector_with_baseline(&[1.0], &[9.0]);
+        d.commit(&[7.0], &[5.0]);
+        // New baseline max is 5.0; a loss of 2.0 is fine now.
+        assert!(d.check(&[2.0]).is_none());
+        // 6.0 exceeds -> reverse to the *new* cached model.
+        assert_eq!(d.check(&[6.0]).unwrap(), &[7.0]);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut d = detector_with_baseline(&[0.1], &[1.0]);
+        d.reset();
+        assert!(d.check(&[100.0]).is_none());
+    }
+
+    #[test]
+    fn empty_current_losses_is_normal() {
+        let d = detector_with_baseline(&[1.0], &[0.0]);
+        assert!(d.check(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "vote fraction")]
+    fn zero_vote_fraction_panics() {
+        Detector::new(DetectorConfig { vote_fraction: 0.0 });
+    }
+}

@@ -1,0 +1,119 @@
+//! Aggregation-weight diagnostics.
+//!
+//! FedCav's behaviour is entirely characterised by the weight vector it
+//! assigns each round. These metrics quantify how far a round's weights are
+//! from FedAvg-like uniformity — used by the ablation harnesses and useful
+//! operationally to spot a client capturing the aggregation (the §4.4
+//! attack precondition).
+
+/// Shannon entropy (nats) of a weight distribution.
+///
+/// Uniform weights over `n` clients give `ln n`; a single dominating client
+/// gives 0.
+pub fn weight_entropy(weights: &[f32]) -> f32 {
+    let mut h = 0.0f32;
+    for &w in weights {
+        if w > 0.0 {
+            h -= w * w.ln();
+        }
+    }
+    h
+}
+
+/// Effective number of participants: `1 / Σ w_i²` (inverse Simpson index).
+///
+/// Uniform weights give `n`; one dominating client gives ≈ 1. The FL
+/// interpretation: how many clients' updates "really" entered the model.
+pub fn effective_participants(weights: &[f32]) -> f32 {
+    let s: f32 = weights.iter().map(|w| w * w).sum();
+    if s <= 0.0 {
+        return 0.0;
+    }
+    1.0 / s
+}
+
+/// Largest single weight — a direct capture indicator.
+pub fn max_weight(weights: &[f32]) -> f32 {
+    weights.iter().copied().fold(0.0, f32::max)
+}
+
+/// Per-round weight diagnostics record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightDiagnostics {
+    /// Entropy in nats.
+    pub entropy: f32,
+    /// Effective participant count.
+    pub effective: f32,
+    /// Maximum weight.
+    pub max: f32,
+    /// Number of weights.
+    pub n: usize,
+}
+
+impl WeightDiagnostics {
+    /// Compute all diagnostics for one round's weights.
+    pub fn from_weights(weights: &[f32]) -> Self {
+        WeightDiagnostics {
+            entropy: weight_entropy(weights),
+            effective: effective_participants(weights),
+            max: max_weight(weights),
+            n: weights.len(),
+        }
+    }
+
+    /// Fraction of uniform entropy achieved (1 = FedAvg-like uniform).
+    pub fn uniformity(&self) -> f32 {
+        if self.n <= 1 {
+            return 1.0;
+        }
+        self.entropy / (self.n as f32).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_max_entropy() {
+        let w = [0.25f32; 4];
+        assert!((weight_entropy(&w) - 4.0f32.ln()).abs() < 1e-6);
+        assert!((effective_participants(&w) - 4.0).abs() < 1e-5);
+        let d = WeightDiagnostics::from_weights(&w);
+        assert!((d.uniformity() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn captured_round_flags() {
+        let w = [0.97f32, 0.01, 0.01, 0.01];
+        let d = WeightDiagnostics::from_weights(&w);
+        assert!(d.entropy < 0.25, "entropy {}", d.entropy);
+        assert!(d.effective < 1.1, "effective {}", d.effective);
+        assert_eq!(d.max, 0.97);
+        assert!(d.uniformity() < 0.2);
+    }
+
+    #[test]
+    fn effective_interpolates() {
+        // Half the mass on each of 2 clients among 4 -> effective = 2.
+        let w = [0.5f32, 0.5, 0.0, 0.0];
+        assert!((effective_participants(&w) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(weight_entropy(&[]), 0.0);
+        assert_eq!(effective_participants(&[]), 0.0);
+        assert_eq!(max_weight(&[]), 0.0);
+        let d = WeightDiagnostics::from_weights(&[1.0]);
+        assert_eq!(d.uniformity(), 1.0);
+    }
+
+    #[test]
+    fn entropy_monotone_toward_uniform() {
+        let sharp = weight_entropy(&[0.7, 0.1, 0.1, 0.1]);
+        let soft = weight_entropy(&[0.4, 0.2, 0.2, 0.2]);
+        let uniform = weight_entropy(&[0.25; 4]);
+        assert!(sharp < soft && soft < uniform);
+    }
+}

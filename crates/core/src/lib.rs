@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # fedcav-core
+//!
+//! The FedCav paper's contribution (§4):
+//!
+//! * [`weights`] — contribution-aware aggregation weights: loss clipping
+//!   (Algorithm 1 line 7) followed by a stable softmax over per-client
+//!   inference losses (Eq. 9),
+//! * [`objective`] — the log-sum-exp global objective `F(w)` (Eq. 7) whose
+//!   gradient produces exactly those softmax weights, plus helpers used by
+//!   the convexity property tests (Theorem 2),
+//! * [`detect`] — the model-replacement detection of §4.4 (Eq. 13):
+//!   majority voting on "my inference loss exceeds every loss of last
+//!   round", triggering a **reverse** to the cached pre-attack model,
+//! * [`strategy`] — [`FedCav`], the [`fedcav_fl::Strategy`] implementation
+//!   tying the three together.
+
+pub mod detect;
+pub mod diagnostics;
+pub mod monitor;
+pub mod objective;
+pub mod strategy;
+pub mod weights;
+
+pub use detect::{Detector, DetectorConfig};
+pub use diagnostics::WeightDiagnostics;
+pub use monitor::ObjectiveMonitor;
+pub use strategy::{FedCav, FedCavConfig, WeightMode};
+pub use weights::{clip_losses, contribution_weights};

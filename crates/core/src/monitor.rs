@@ -1,0 +1,141 @@
+//! Global-objective monitoring.
+//!
+//! The FedCav server can watch its own objective `F(w_t) = logsumexp(f)`
+//! (Eq. 7) across rounds. Under healthy training `F` trends down (each
+//! `f_i` shrinks); sustained increases signal divergence, too-aggressive
+//! weighting, or an attack the majority vote missed. This complements the
+//! §4.4 detector: Eq. 13 is a one-round spike test, the monitor tracks the
+//! trend.
+
+use crate::objective::global_objective;
+
+/// Rolling record of the global objective over rounds.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectiveMonitor {
+    values: Vec<f32>,
+}
+
+impl ObjectiveMonitor {
+    /// Empty monitor.
+    pub fn new() -> Self {
+        ObjectiveMonitor { values: Vec::new() }
+    }
+
+    /// Record a round's participant losses; returns the objective value.
+    pub fn record(&mut self, losses: &[f32]) -> f32 {
+        let f = global_objective(losses);
+        self.values.push(f);
+        f
+    }
+
+    /// All recorded objective values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Least-squares slope of the last `window` values (nats/round);
+    /// `None` with fewer than two points. Negative = converging.
+    pub fn trend(&self, window: usize) -> Option<f32> {
+        let n = self.values.len().min(window.max(2));
+        if n < 2 {
+            return None;
+        }
+        let tail = &self.values[self.values.len() - n..];
+        let mean_x = (n as f32 - 1.0) / 2.0;
+        let mean_y = tail.iter().sum::<f32>() / n as f32;
+        let mut num = 0.0f32;
+        let mut den = 0.0f32;
+        for (i, &y) in tail.iter().enumerate() {
+            let dx = i as f32 - mean_x;
+            num += dx * (y - mean_y);
+            den += dx * dx;
+        }
+        Some(num / den)
+    }
+
+    /// Number of consecutive most-recent rounds with a rising objective.
+    pub fn rising_streak(&self) -> usize {
+        let mut streak = 0;
+        for w in self.values.windows(2).rev() {
+            if w[1] > w[0] {
+                streak += 1;
+            } else {
+                break;
+            }
+        }
+        streak
+    }
+
+    /// Clear all history.
+    pub fn reset(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_returns_logsumexp() {
+        let mut m = ObjectiveMonitor::new();
+        let v = m.record(&[0.0, 0.0]);
+        assert!((v - 2.0f32.ln()).abs() < 1e-6);
+        assert_eq!(m.values().len(), 1);
+    }
+
+    #[test]
+    fn healthy_training_has_negative_trend() {
+        let mut m = ObjectiveMonitor::new();
+        for round in 0..10 {
+            let loss = 2.0 / (1.0 + round as f32);
+            m.record(&[loss, loss * 1.1, loss * 0.9]);
+        }
+        let t = m.trend(10).unwrap();
+        assert!(t < 0.0, "trend {t}");
+        assert_eq!(m.rising_streak(), 0);
+    }
+
+    #[test]
+    fn divergence_has_positive_trend_and_streak() {
+        let mut m = ObjectiveMonitor::new();
+        for round in 0..6 {
+            let loss = 0.5 + 0.5 * round as f32;
+            m.record(&[loss, loss]);
+        }
+        assert!(m.trend(6).unwrap() > 0.0);
+        assert_eq!(m.rising_streak(), 5);
+    }
+
+    #[test]
+    fn trend_needs_two_points() {
+        let mut m = ObjectiveMonitor::new();
+        assert!(m.trend(5).is_none());
+        m.record(&[1.0]);
+        assert!(m.trend(5).is_none());
+        m.record(&[0.9]);
+        assert!(m.trend(5).is_some());
+    }
+
+    #[test]
+    fn window_limits_lookback() {
+        let mut m = ObjectiveMonitor::new();
+        // Long decline then a sharp 3-round rise.
+        for i in 0..10 {
+            m.record(&[5.0 - 0.5 * i as f32]);
+        }
+        for i in 0..3 {
+            m.record(&[1.0 + i as f32]);
+        }
+        assert!(m.trend(3).unwrap() > 0.0, "short window sees the rise");
+        assert!(m.trend(13).unwrap() < 0.0, "long window still dominated by decline");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = ObjectiveMonitor::new();
+        m.record(&[1.0]);
+        m.reset();
+        assert!(m.values().is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! The FedCav global objective (Eq. 7) and its softmax gradient weights.
+//!
+//! `F(w) = ln(Σ_i exp(f_i(w)))` — a log-sum-exp over per-client losses.
+//! Its partial derivative w.r.t. each `f_i` is `softmax(f)_i`, which is why
+//! the aggregation rule (Eq. 9) weights client `i`'s update by
+//! `softmax(f_i(w_t))`. Theorem 2 of the paper shows `F` is convex whenever
+//! every `f_i` is convex and non-negative — the property tests in this
+//! module (and `tests/convexity.rs` at the workspace root) verify the
+//! log-sum-exp building block numerically.
+
+use fedcav_tensor::numerics::{logsumexp, softmax};
+
+/// The global objective value `F` for a vector of local losses (Eq. 7).
+pub fn global_objective(losses: &[f32]) -> f32 {
+    logsumexp(losses)
+}
+
+/// `∂F/∂f_i = softmax(f)_i`: the per-client sensitivity of the global
+/// objective, i.e. FedCav's (un-clipped) aggregation weights.
+pub fn objective_gradient(losses: &[f32]) -> Vec<f32> {
+    softmax(losses)
+}
+
+/// Numerical convexity check of `F` along the segment between two loss
+/// vectors: verifies `F(t·a + (1−t)·b) ≤ t·F(a) + (1−t)·F(b) + tol` at the
+/// given interpolation points. Used by property tests of Theorem 2's
+/// log-sum-exp building block.
+pub fn is_convex_between(a: &[f32], b: &[f32], ts: &[f32], tol: f32) -> bool {
+    assert_eq!(a.len(), b.len(), "loss vectors must have equal length");
+    let fa = global_objective(a);
+    let fb = global_objective(b);
+    ts.iter().all(|&t| {
+        let mix: Vec<f32> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| t * x + (1.0 - t) * y)
+            .collect();
+        global_objective(&mix) <= t * fa + (1.0 - t) * fb + tol
+    })
+}
+
+/// Upper and lower bounds of Eq. 7: `max(f) ≤ F(f) ≤ max(f) + ln(n)`.
+///
+/// These are the bounds that motivate the paper's "logarithm to limit the
+/// interval of the exponential sum" remark (§4.2.2).
+pub fn objective_bounds(losses: &[f32]) -> Option<(f32, f32)> {
+    if losses.is_empty() {
+        return None;
+    }
+    let m = losses.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    Some((m, m + (losses.len() as f32).ln()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_within_bounds() {
+        let losses = [0.2f32, 1.5, 0.9, 3.1];
+        let f = global_objective(&losses);
+        let (lo, hi) = objective_bounds(&losses).unwrap();
+        assert!(f >= lo && f <= hi, "{lo} <= {f} <= {hi}");
+    }
+
+    #[test]
+    fn gradient_is_softmax() {
+        let losses = [1.0f32, 2.0, 3.0];
+        let g = objective_gradient(&losses);
+        assert!((g.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // Finite-difference check: dF/df_i ≈ softmax_i.
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut up = losses;
+            up[i] += eps;
+            let mut dn = losses;
+            dn[i] -= eps;
+            let fd = (global_objective(&up) - global_objective(&dn)) / (2.0 * eps);
+            assert!((fd - g[i]).abs() < 1e-3, "grad[{i}] fd {fd} vs {}", g[i]);
+        }
+    }
+
+    #[test]
+    fn convex_along_random_segments() {
+        let a = [0.1f32, 2.0, -1.0, 4.0];
+        let b = [3.0f32, -0.5, 1.5, 0.0];
+        assert!(is_convex_between(&a, &b, &[0.1, 0.25, 0.5, 0.75, 0.9], 1e-5));
+    }
+
+    #[test]
+    fn dominant_loss_dominates_objective() {
+        // The paper's intuition: a client with much larger loss leads the
+        // optimisation direction.
+        let f = global_objective(&[0.1, 0.1, 10.0]);
+        assert!((f - 10.0).abs() < 0.01);
+        let g = objective_gradient(&[0.1, 0.1, 10.0]);
+        assert!(g[2] > 0.99);
+    }
+
+    #[test]
+    fn bounds_empty_none() {
+        assert!(objective_bounds(&[]).is_none());
+    }
+}

@@ -1,0 +1,394 @@
+//! [`FedCav`]: the contribution-aware aggregation strategy (Algorithm 1).
+
+use crate::detect::{Detector, DetectorConfig};
+use crate::weights::contribution_weights;
+use fedcav_fl::aggregate::weighted_sum;
+use fedcav_fl::strategy::{Aggregation, RoundContext, Strategy};
+use fedcav_fl::update::LocalUpdate;
+use fedcav_tensor::Result;
+
+/// How inference losses map to aggregation weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightMode {
+    /// The paper's rule: `softmax(clip(f_i))` (Eq. 9).
+    SoftmaxLoss,
+    /// Extension (ablation): re-introduce data size by multiplying the
+    /// softmax weight with `|d_i|` and renormalising — studies whether
+    /// discarding sample counts entirely (as the paper does) matters.
+    SoftmaxLossSizeHybrid,
+    /// Ablation of §4.2.2's design argument: weight linearly by loss
+    /// (`w_i = f_i / Σf`) instead of exponentially. The paper claims "the
+    /// linear average weakens the influence of each client", motivating the
+    /// exponential; this mode lets the benches test that claim.
+    LinearLoss,
+}
+
+/// FedCav configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedCavConfig {
+    /// Apply mean-clipping to the losses (Alg. 1 line 7). The paper's
+    /// default; `false` reproduces the Fig. 5 "without Clip" ablation.
+    pub clip: bool,
+    /// Softmax temperature (1.0 = the paper; ablation knob).
+    pub temperature: f32,
+    /// Enable §4.4 detection + reverse. `None` reproduces the Fig. 6
+    /// "FedCav without Detection" configuration.
+    pub detection: Option<DetectorConfig>,
+    /// Weight rule (paper vs size-hybrid extension).
+    pub weight_mode: WeightMode,
+}
+
+impl Default for FedCavConfig {
+    fn default() -> Self {
+        FedCavConfig {
+            clip: true,
+            temperature: 1.0,
+            detection: Some(DetectorConfig::default()),
+            weight_mode: WeightMode::SoftmaxLoss,
+        }
+    }
+}
+
+impl FedCavConfig {
+    /// Paper configuration but with detection disabled (Fig. 6).
+    pub fn without_detection() -> Self {
+        FedCavConfig { detection: None, ..Default::default() }
+    }
+
+    /// Paper configuration but without loss clipping (Fig. 5).
+    pub fn without_clip() -> Self {
+        FedCavConfig { clip: false, ..Default::default() }
+    }
+}
+
+/// The FedCav aggregation strategy.
+///
+/// Per round (Algorithm 1 + §4.4):
+/// 1. optionally run the detector on the reported inference losses; if the
+///    majority vote fires, **reject** the round and reverse the global
+///    model to the cached pre-attack parameters;
+/// 2. otherwise clip the losses at their mean, softmax them into
+///    contribution weights, and return
+///    `w_{t+1} = Σ_i softmax(clip(f_i(w_t))) · w^i_{t+1}`.
+pub struct FedCav {
+    config: FedCavConfig,
+    detector: Option<Detector>,
+    /// Weights used in the most recent accepted aggregation (diagnostics).
+    last_weights: Vec<f32>,
+}
+
+impl FedCav {
+    /// New FedCav strategy.
+    pub fn new(config: FedCavConfig) -> Self {
+        let detector = config.detection.map(Detector::new);
+        FedCav { config, detector, last_weights: Vec::new() }
+    }
+
+    /// Paper-default FedCav (clip on, detection on, T = 1).
+    pub fn paper() -> Self {
+        FedCav::new(FedCavConfig::default())
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> FedCavConfig {
+        self.config
+    }
+
+    /// The aggregation weights of the last accepted round.
+    pub fn last_weights(&self) -> &[f32] {
+        &self.last_weights
+    }
+
+    fn compute_weights(&self, updates: &[LocalUpdate]) -> Vec<f32> {
+        let losses: Vec<f32> = updates.iter().map(|u| u.inference_loss).collect();
+        match self.config.weight_mode {
+            WeightMode::SoftmaxLoss => {
+                contribution_weights(&losses, self.config.clip, self.config.temperature)
+            }
+            WeightMode::SoftmaxLossSizeHybrid => {
+                let mut w =
+                    contribution_weights(&losses, self.config.clip, self.config.temperature);
+                for (wi, u) in w.iter_mut().zip(updates) {
+                    *wi *= u.num_samples as f32;
+                }
+                normalise(w, updates.len())
+            }
+            WeightMode::LinearLoss => {
+                let clipped = if self.config.clip {
+                    crate::weights::clip_losses(&losses)
+                } else {
+                    losses
+                };
+                normalise(clipped.iter().map(|&f| f.max(0.0)).collect(), updates.len())
+            }
+        }
+    }
+}
+
+/// Normalise weights to sum 1, falling back to uniform when degenerate
+/// (all-zero losses).
+fn normalise(mut w: Vec<f32>, n: usize) -> Vec<f32> {
+    let s: f32 = w.iter().sum();
+    if s > 0.0 && s.is_finite() {
+        for wi in &mut w {
+            *wi /= s;
+        }
+    } else {
+        w.fill(1.0 / n.max(1) as f32);
+    }
+    w
+}
+
+impl Strategy for FedCav {
+    fn name(&self) -> &'static str {
+        "FedCav"
+    }
+
+    fn uses_inference_loss(&self) -> bool {
+        true
+    }
+
+    fn aggregate(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        let losses: Vec<f32> = updates.iter().map(|u| u.inference_loss).collect();
+
+        if let Some(detector) = &mut self.detector {
+            if let Some(reverted) = detector.check(&losses) {
+                // Abandon the round (Fig. 3 "reverse to the cached model").
+                // Caches are left untouched: the baseline still describes
+                // the healthy model we just restored.
+                return Ok(Aggregation::Reject {
+                    reverted: reverted.to_vec(),
+                    reason: format!(
+                        "majority vote: inference losses exceed last round's max \
+                         (round {})",
+                        ctx.round
+                    ),
+                });
+            }
+            detector.commit(ctx.global, &losses);
+        }
+
+        let weights = self.compute_weights(updates);
+        let next = weighted_sum(updates, &weights)?;
+        self.last_weights = weights;
+        Ok(Aggregation::Accept(next))
+    }
+
+    fn reset(&mut self) {
+        if let Some(d) = &mut self.detector {
+            d.reset();
+        }
+        self.last_weights.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, params: Vec<f32>, loss: f32, n: usize) -> LocalUpdate {
+        LocalUpdate::new(id, params, loss, n)
+    }
+
+    fn accept(a: Aggregation) -> Vec<f32> {
+        match a {
+            Aggregation::Accept(p) => p,
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn higher_loss_gets_more_weight_than_fedavg_would_give() {
+        let mut s = FedCav::new(FedCavConfig::without_detection());
+        // Client 1 has tiny data but big loss; FedAvg would nearly ignore it.
+        let updates = vec![
+            upd(0, vec![0.0], 0.1, 90),
+            upd(1, vec![1.0], 1.2, 10),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        // FedAvg would give 0.1; FedCav's softmax favors the high-loss client.
+        assert!(out[0] > 0.4, "high-loss client under-weighted: {}", out[0]);
+        let w = s.last_weights();
+        assert!(w[1] > w[0]);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn equal_losses_reduce_to_uniform_average() {
+        let mut s = FedCav::new(FedCavConfig::without_detection());
+        let updates = vec![
+            upd(0, vec![2.0, 0.0], 0.7, 10),
+            upd(1, vec![0.0, 2.0], 0.7, 30),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert_eq!(out, vec![1.0, 1.0]); // uniform, NOT size-weighted
+    }
+
+    #[test]
+    fn size_hybrid_reintroduces_counts() {
+        let mut s = FedCav::new(FedCavConfig {
+            weight_mode: WeightMode::SoftmaxLossSizeHybrid,
+            detection: None,
+            ..Default::default()
+        });
+        let updates = vec![
+            upd(0, vec![2.0, 0.0], 0.7, 30),
+            upd(1, vec![0.0, 2.0], 0.7, 10),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert!((out[0] - 1.5).abs() < 1e-5);
+        assert!((out[1] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn linear_loss_weights_proportional() {
+        let mut s = FedCav::new(FedCavConfig {
+            weight_mode: WeightMode::LinearLoss,
+            clip: false,
+            detection: None,
+            ..Default::default()
+        });
+        let updates = vec![
+            upd(0, vec![0.0], 1.0, 10),
+            upd(1, vec![4.0], 3.0, 10),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        // weights 0.25 / 0.75 -> 0.75 * 4 = 3.
+        assert!((out[0] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn linear_loss_flatter_than_softmax() {
+        // The paper's §4.2.2 claim: linear weighting differentiates less
+        // than the exponential for the same losses (given losses spread
+        // wider than ~1 nat).
+        let losses = [0.5f32, 3.0];
+        let linear = [losses[0] / 3.5, losses[1] / 3.5];
+        let soft = crate::weights::contribution_weights(&losses, false, 1.0);
+        assert!(soft[1] > linear[1], "softmax {} vs linear {}", soft[1], linear[1]);
+    }
+
+    #[test]
+    fn all_zero_losses_fall_back_to_uniform() {
+        let mut s = FedCav::new(FedCavConfig {
+            weight_mode: WeightMode::LinearLoss,
+            detection: None,
+            ..Default::default()
+        });
+        let updates = vec![
+            upd(0, vec![2.0], 0.0, 10),
+            upd(1, vec![4.0], 0.0, 10),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert!((out[0] - 3.0).abs() < 1e-5, "uniform fallback, got {}", out[0]);
+    }
+
+    #[test]
+    fn clipping_limits_attacker_weight() {
+        let mut clipped = FedCav::new(FedCavConfig::without_detection());
+        let mut unclipped = FedCav::new(FedCavConfig {
+            clip: false,
+            detection: None,
+            ..Default::default()
+        });
+        let updates = vec![
+            upd(0, vec![0.0], 0.5, 10),
+            upd(1, vec![0.0], 0.6, 10),
+            upd(2, vec![100.0], 3.0, 10), // exaggerated loss
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let c = accept(clipped.aggregate(&ctx, &updates).unwrap());
+        let u = accept(unclipped.aggregate(&ctx, &updates).unwrap());
+        assert!(u[0] > 80.0, "unclipped attacker should dominate: {}", u[0]);
+        assert!(c[0] < u[0] * 0.7, "clip should damp the attacker: {} vs {}", c[0], u[0]);
+    }
+
+    #[test]
+    fn detection_reverses_after_loss_spike() {
+        let mut s = FedCav::paper();
+        let healthy_global = vec![5.0, 5.0];
+        // Round 0: normal losses, establishes the baseline and caches w_0.
+        let r0 = vec![upd(0, vec![1.0, 1.0], 0.5, 10), upd(1, vec![1.0, 1.0], 0.6, 10)];
+        let ctx0 = RoundContext { round: 0, global: &healthy_global };
+        accept(s.aggregate(&ctx0, &r0).unwrap());
+        // Round 1: every client reports a loss above last round's max —
+        // the aggregated model of round 0 must have been replaced.
+        let poisoned_global = vec![1.0, 1.0];
+        let r1 = vec![upd(0, vec![0.0, 0.0], 9.0, 10), upd(1, vec![0.0, 0.0], 8.0, 10)];
+        let ctx1 = RoundContext { round: 1, global: &poisoned_global };
+        match s.aggregate(&ctx1, &r1).unwrap() {
+            Aggregation::Reject { reverted, reason } => {
+                assert_eq!(reverted, healthy_global, "reverse to cached w_0");
+                assert!(reason.contains("majority vote"));
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detection_survives_reverse_and_keeps_working() {
+        let mut s = FedCav::paper();
+        let g0 = vec![5.0];
+        let ctx0 = RoundContext { round: 0, global: &g0 };
+        accept(
+            s.aggregate(&ctx0, &[upd(0, vec![1.0], 0.5, 1), upd(1, vec![1.0], 0.6, 1)])
+                .unwrap(),
+        );
+        // Attack detected in round 1.
+        let g1 = vec![0.0];
+        let ctx1 = RoundContext { round: 1, global: &g1 };
+        let rej = s
+            .aggregate(&ctx1, &[upd(0, vec![0.0], 9.0, 1), upd(1, vec![0.0], 9.5, 1)])
+            .unwrap();
+        assert!(matches!(rej, Aggregation::Reject { .. }));
+        // Round 2 runs on the reverted model with normal losses: accepted,
+        // because the baseline still describes the healthy model.
+        let ctx2 = RoundContext { round: 2, global: &g0 };
+        let ok = s
+            .aggregate(&ctx2, &[upd(0, vec![2.0], 0.4, 1), upd(1, vec![2.0], 0.5, 1)])
+            .unwrap();
+        assert!(matches!(ok, Aggregation::Accept(_)));
+    }
+
+    #[test]
+    fn no_detection_config_never_rejects() {
+        let mut s = FedCav::new(FedCavConfig::without_detection());
+        let g = vec![0.0];
+        for round in 0..3 {
+            let ctx = RoundContext { round, global: &g };
+            let out = s
+                .aggregate(&ctx, &[upd(0, vec![1.0], 1000.0 * round as f32, 1)])
+                .unwrap();
+            assert!(matches!(out, Aggregation::Accept(_)));
+        }
+    }
+
+    #[test]
+    fn reset_clears_detector_state() {
+        let mut s = FedCav::paper();
+        let g = vec![1.0];
+        let ctx = RoundContext { round: 0, global: &g };
+        accept(s.aggregate(&ctx, &[upd(0, vec![0.0], 0.1, 1)]).unwrap());
+        s.reset();
+        // Huge loss right after reset: no baseline, must accept.
+        let ctx1 = RoundContext { round: 1, global: &g };
+        let out = s.aggregate(&ctx1, &[upd(0, vec![0.0], 99.0, 1)]).unwrap();
+        assert!(matches!(out, Aggregation::Accept(_)));
+    }
+
+    #[test]
+    fn empty_round_errors() {
+        let mut s = FedCav::new(FedCavConfig::without_detection());
+        let ctx = RoundContext { round: 0, global: &[] };
+        assert!(s.aggregate(&ctx, &[]).is_err());
+    }
+}

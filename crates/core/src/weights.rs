@@ -1,0 +1,119 @@
+//! Contribution-aware aggregation weights (Eq. 9 + Algorithm 1 line 7).
+
+use fedcav_tensor::numerics::softmax_with_temperature;
+
+/// Clip each loss at the mean of all losses:
+/// `f_j ← min(f_j, mean(f))` (Algorithm 1 line 7).
+///
+/// The paper adds this because the softmax "scales up the difference
+/// between local losses; if the difference is extreme, the model training
+/// process will be jiggling" (§4.2.3) — one outlier client would otherwise
+/// take the whole aggregation weight (the Fig. 5 ablation shows exactly
+/// that oscillation).
+pub fn clip_losses(losses: &[f32]) -> Vec<f32> {
+    if losses.is_empty() {
+        return Vec::new();
+    }
+    let mean = losses.iter().sum::<f32>() / losses.len() as f32;
+    losses.iter().map(|&f| f.min(mean)).collect()
+}
+
+/// FedCav aggregation weights: `softmax(clip(f) / T)`.
+///
+/// * `clip` — apply mean-clipping first (the paper's default; `false`
+///   reproduces the Fig. 5 "without Clip" ablation).
+/// * `temperature` — `1.0` is the paper; exposed for the ablation bench.
+///
+/// Output sums to 1 and is non-negative; the softmax max-subtraction makes
+/// it safe for arbitrarily large reported losses (the overflow concern the
+/// paper raises in §4.2.3).
+///
+/// ```
+/// use fedcav_core::contribution_weights;
+///
+/// // The client whose data the global model fits worst gets the most say.
+/// let w = contribution_weights(&[0.2, 0.4, 1.5], true, 1.0);
+/// assert!(w[2] > w[1] && w[1] > w[0]);
+/// assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+/// ```
+pub fn contribution_weights(losses: &[f32], clip: bool, temperature: f32) -> Vec<f32> {
+    if clip {
+        softmax_with_temperature(&clip_losses(losses), temperature)
+    } else {
+        softmax_with_temperature(losses, temperature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn clip_caps_at_mean() {
+        let clipped = clip_losses(&[1.0, 2.0, 9.0]); // mean = 4
+        assert_eq!(clipped, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn clip_no_change_when_uniform() {
+        assert_eq!(clip_losses(&[2.0, 2.0, 2.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn clip_empty() {
+        assert!(clip_losses(&[]).is_empty());
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_favor_high_loss() {
+        let w = contribution_weights(&[0.5, 1.0, 2.0], true, 1.0);
+        assert!(close(w.iter().sum::<f32>(), 1.0));
+        assert!(w[2] > w[1] && w[1] > w[0]);
+    }
+
+    #[test]
+    fn clipping_bounds_a_runaway_loss() {
+        // Without clip, a client reporting loss 10 takes essentially all
+        // weight; the mean-clip caps it and honest clients keep weight.
+        // (Against *huge* lies the clip alone is weak — that is exactly why
+        // the paper adds detection, §4.4.)
+        let losses = [0.5f32, 0.6, 10.0];
+        let unclipped = contribution_weights(&losses, false, 1.0);
+        assert!(unclipped[2] > 0.999);
+        let clipped = contribution_weights(&losses, true, 1.0);
+        assert!(clipped[0] > 0.01 && clipped[1] > 0.01, "honest weights {clipped:?}");
+        assert!(clipped[2] < 0.95, "attacker weight {:?}", clipped[2]);
+    }
+
+    #[test]
+    fn equal_losses_give_fedavg_like_uniform_weights() {
+        let w = contribution_weights(&[1.0; 4], true, 1.0);
+        assert!(w.iter().all(|&v| close(v, 0.25)));
+    }
+
+    #[test]
+    fn temperature_controls_sharpness() {
+        let losses = [0.0f32, 1.0];
+        let sharp = contribution_weights(&losses, false, 0.25);
+        let soft = contribution_weights(&losses, false, 4.0);
+        assert!(sharp[1] > soft[1]);
+    }
+
+    #[test]
+    fn single_update_gets_full_weight() {
+        let w = contribution_weights(&[3.7], true, 1.0);
+        assert_eq!(w.len(), 1);
+        assert!(close(w[0], 1.0));
+    }
+
+    #[test]
+    fn huge_losses_do_not_overflow() {
+        let w = contribution_weights(&[1e30, 1e30], false, 1.0);
+        assert!(w.iter().all(|v| v.is_finite()));
+        assert!(close(w.iter().sum::<f32>(), 1.0));
+    }
+}

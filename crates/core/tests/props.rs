@@ -1,0 +1,121 @@
+//! Property-based tests of the detection mechanism and aggregation weights
+//! that the unit tests can't cover exhaustively.
+
+use fedcav_core::{clip_losses, contribution_weights, Detector, DetectorConfig, WeightDiagnostics};
+use proptest::prelude::*;
+
+fn losses(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.0f32..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // --------------------------------------------------------------- detect
+
+    #[test]
+    fn detector_never_fires_without_baseline(current in losses(1..20)) {
+        let d = Detector::new(DetectorConfig::default());
+        prop_assert!(d.check(&current).is_none());
+    }
+
+    #[test]
+    fn detector_never_fires_when_losses_do_not_exceed_prev_max(
+        prev in losses(1..20),
+        current in losses(1..20),
+    ) {
+        let prev_max = prev.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // Scale current losses to sit at or below prev_max.
+        let cur_max = current.iter().copied().fold(f32::NEG_INFINITY, f32::max).max(1e-6);
+        let scaled: Vec<f32> = current.iter().map(|&c| c / cur_max * prev_max).collect();
+        let mut d = Detector::new(DetectorConfig::default());
+        d.commit(&[1.0, 2.0], &prev);
+        prop_assert!(d.check(&scaled).is_none(), "no loss strictly exceeds the max");
+    }
+
+    #[test]
+    fn detector_always_fires_when_all_losses_exceed_prev_max(
+        prev in losses(1..20),
+        current in losses(1..20),
+        bump in 0.1f32..5.0,
+    ) {
+        let prev_max = prev.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let raised: Vec<f32> = current.iter().map(|&c| prev_max + bump + c).collect();
+        let mut d = Detector::new(DetectorConfig::default());
+        let cached = vec![7.0f32, 8.0];
+        d.commit(&cached, &prev);
+        let reverted = d.check(&raised);
+        prop_assert!(reverted.is_some(), "unanimous vote must fire");
+        prop_assert_eq!(reverted.unwrap(), &cached[..]);
+    }
+
+    #[test]
+    fn detector_vote_threshold_monotone(
+        prev in losses(2..10),
+        votes_frac in 0.0f32..1.0,
+    ) {
+        // If a loss vector fires a strict detector, it must also fire any
+        // laxer one.
+        let prev_max = prev.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let n = 10usize;
+        let k = (votes_frac * n as f32) as usize;
+        let current: Vec<f32> = (0..n)
+            .map(|i| if i < k { prev_max + 1.0 } else { 0.0 })
+            .collect();
+        let fire_at = |vote_fraction: f32| -> bool {
+            let mut d = Detector::new(DetectorConfig { vote_fraction });
+            d.commit(&[0.0], &prev);
+            d.check(&current).is_some()
+        };
+        if fire_at(0.75) {
+            prop_assert!(fire_at(0.5), "stricter fired but laxer did not");
+            prop_assert!(fire_at(0.25));
+        }
+    }
+
+    // -------------------------------------------------------------- weights
+
+    #[test]
+    fn clip_then_weights_never_exceed_unclipped_max_weight(f in losses(2..20)) {
+        let clipped = contribution_weights(&f, true, 1.0);
+        let unclipped = contribution_weights(&f, false, 1.0);
+        // The largest weight can only shrink (or stay) under clipping.
+        let max_c = clipped.iter().copied().fold(0.0f32, f32::max);
+        let max_u = unclipped.iter().copied().fold(0.0f32, f32::max);
+        prop_assert!(max_c <= max_u + 1e-5, "clip raised the max weight: {max_c} > {max_u}");
+    }
+
+    #[test]
+    fn clipping_never_reduces_weight_entropy(f in losses(2..20)) {
+        // Clipping compresses the loss spread, so the weight distribution
+        // can only get more uniform (higher entropy).
+        let clipped = WeightDiagnostics::from_weights(&contribution_weights(&f, true, 1.0));
+        let unclipped = WeightDiagnostics::from_weights(&contribution_weights(&f, false, 1.0));
+        prop_assert!(
+            clipped.entropy >= unclipped.entropy - 1e-4,
+            "clip lowered entropy: {} < {}",
+            clipped.entropy,
+            unclipped.entropy
+        );
+    }
+
+    #[test]
+    fn clip_preserves_total_order_of_values(f in losses(2..20)) {
+        let c = clip_losses(&f);
+        for i in 0..f.len() {
+            for j in 0..f.len() {
+                if f[i] > f[j] {
+                    prop_assert!(c[i] >= c[j] - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_participants_bounded_by_n(f in losses(1..30)) {
+        let w = contribution_weights(&f, true, 1.0);
+        let d = WeightDiagnostics::from_weights(&w);
+        prop_assert!(d.effective >= 1.0 - 1e-4);
+        prop_assert!(d.effective <= f.len() as f32 + 1e-3);
+    }
+}

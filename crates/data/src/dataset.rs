@@ -1,0 +1,270 @@
+//! In-memory labelled image dataset and mini-batch iteration.
+
+use fedcav_tensor::{Result, Tensor, TensorError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled image dataset: images `[n, c, h, w]`, integer labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Images in NCHW layout.
+    pub images: Tensor,
+    /// One label per image, in `0..n_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset, validating shapes and label ranges.
+    pub fn new(images: Tensor, labels: Vec<usize>, n_classes: usize) -> Result<Self> {
+        let dims = images.dims();
+        if dims.len() != 4 {
+            return Err(TensorError::InvalidShape {
+                op: "Dataset::new",
+                shape: dims.to_vec(),
+                expected: "rank 4 (NCHW)".to_string(),
+            });
+        }
+        if dims[0] != labels.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "Dataset::new",
+                lhs: vec![dims[0]],
+                rhs: vec![labels.len()],
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= n_classes) {
+            return Err(TensorError::IndexOutOfBounds { index: bad, bound: n_classes });
+        }
+        Ok(Dataset { images, labels, n_classes })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Image shape `[c, h, w]`.
+    pub fn image_dims(&self) -> &[usize] {
+        &self.images.dims()[1..]
+    }
+
+    /// Flattened per-image element count.
+    pub fn image_len(&self) -> usize {
+        self.image_dims().iter().product()
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Indices of all samples with the given label.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == class).then_some(i))
+            .collect()
+    }
+
+    /// Materialise a subset by sample indices (copies).
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        let images = self.images.gather_rows(indices)?;
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.labels.len() {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound: self.labels.len() });
+            }
+            labels.push(self.labels[i]);
+        }
+        Ok(Dataset { images, labels, n_classes: self.n_classes })
+    }
+
+    /// Concatenate two datasets with identical image dims and class counts.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset> {
+        if self.image_dims() != other.image_dims() || self.n_classes != other.n_classes {
+            return Err(TensorError::ShapeMismatch {
+                op: "Dataset::concat",
+                lhs: self.image_dims().to_vec(),
+                rhs: other.image_dims().to_vec(),
+            });
+        }
+        let mut data = self.images.as_slice().to_vec();
+        data.extend_from_slice(other.images.as_slice());
+        let mut dims = self.images.dims().to_vec();
+        dims[0] = self.len() + other.len();
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Ok(Dataset {
+            images: Tensor::from_vec(&dims, data)?,
+            labels,
+            n_classes: self.n_classes,
+        })
+    }
+}
+
+/// Shuffled mini-batch iterator over a dataset.
+///
+/// Follows the paper's local-training loop (Algorithm 2 line 4: "split d_i
+/// into batches of size B"); a fresh `BatchIter` per epoch reshuffles.
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// New iterator with shuffled sample order.
+    pub fn new<R: Rng>(dataset: &'a Dataset, batch_size: usize, rng: &mut R) -> Self {
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        order.shuffle(rng);
+        BatchIter { dataset, order, batch_size: batch_size.max(1), cursor: 0 }
+    }
+
+    /// New iterator preserving dataset order (deterministic evaluation).
+    pub fn sequential(dataset: &'a Dataset, batch_size: usize) -> Self {
+        BatchIter {
+            dataset,
+            order: (0..dataset.len()).collect(),
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
+    }
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        let images = self
+            .dataset
+            .images
+            .gather_rows(idx)
+            .expect("BatchIter indices are in range by construction");
+        let labels = idx.iter().map(|&i| self.dataset.labels[i]).collect();
+        Some((images, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::from_vec(
+            &[n, 1, 1, 2],
+            (0..2 * n).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3).unwrap()
+    }
+
+    #[test]
+    fn new_validates() {
+        let img = Tensor::zeros(&[2, 1, 2, 2]);
+        assert!(Dataset::new(img.clone(), vec![0], 2).is_err()); // len mismatch
+        assert!(Dataset::new(img.clone(), vec![0, 5], 2).is_err()); // label range
+        assert!(Dataset::new(Tensor::zeros(&[2, 4]), vec![0, 1], 2).is_err()); // rank
+        assert!(Dataset::new(img, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn class_counts_and_indices() {
+        let d = toy(7); // labels 0,1,2,0,1,2,0
+        assert_eq!(d.class_counts(), vec![3, 2, 2]);
+        assert_eq!(d.indices_of_class(0), vec![0, 3, 6]);
+        assert_eq!(d.indices_of_class(2), vec![2, 5]);
+    }
+
+    #[test]
+    fn subset_copies_right_rows() {
+        let d = toy(5);
+        let s = d.subset(&[4, 0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![1, 0]);
+        assert_eq!(s.images.as_slice(), &[8.0, 9.0, 0.0, 1.0]);
+        assert!(d.subset(&[5]).is_err());
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = toy(2);
+        let b = toy(3);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(&c.labels[..2], &a.labels[..]);
+        assert_eq!(&c.labels[2..], &b.labels[..]);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_dims() {
+        let a = toy(2);
+        let b = Dataset::new(Tensor::zeros(&[1, 1, 2, 2]), vec![0], 3).unwrap();
+        assert!(a.concat(&b).is_err());
+    }
+
+    #[test]
+    fn batch_iter_covers_every_sample_once() {
+        let d = toy(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = [0usize; 10];
+        for (images, labels) in BatchIter::new(&d, 3, &mut rng) {
+            assert_eq!(images.dims()[0], labels.len());
+            for (row, &l) in images.as_slice().chunks(2).zip(&labels) {
+                let sample = (row[0] / 2.0) as usize;
+                assert_eq!(l, sample % 3);
+                seen[sample] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn batch_iter_last_batch_may_be_short() {
+        let d = toy(10);
+        let sizes: Vec<usize> =
+            BatchIter::sequential(&d, 4).map(|(_, l)| l.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn sequential_iter_is_ordered() {
+        let d = toy(4);
+        let (first, labels) = BatchIter::sequential(&d, 2).next().unwrap();
+        assert_eq!(first.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn shuffle_differs_between_seeds() {
+        let d = toy(32);
+        let order = |seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            BatchIter::new(&d, 32, &mut rng)
+                .flat_map(|(_, l)| l)
+                .collect()
+        };
+        assert_ne!(order(1), order(2));
+        assert_eq!(order(3), order(3));
+    }
+}

@@ -1,0 +1,186 @@
+//! Dirichlet label-skew partitioning — the de-facto standard non-IID
+//! benchmark protocol in the post-2020 FL literature (Hsu et al.), provided
+//! as an **extension** beyond the paper's 2-class shard scheme so FedCav
+//! can be evaluated under the modern protocol too.
+
+use crate::dataset::Dataset;
+use crate::partition::ClientPartition;
+use fedcav_tensor::init::box_muller;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Sample a Dirichlet(α, …, α) vector of length `k` via normalised Gamma
+/// draws (Marsaglia–Tsang for shape ≥ 1, boosted for shape < 1).
+pub fn dirichlet<R: Rng>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    assert!(alpha > 0.0, "Dirichlet concentration must be positive");
+    assert!(k > 0, "need at least one component");
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma_sample(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        // Degenerate (all underflowed): fall back to uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+/// Marsaglia–Tsang Gamma(shape, 1) sampler.
+fn gamma_sample<R: Rng>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let (z, _) = box_muller(rng);
+        let z = z as f64;
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Partition by per-client Dirichlet draws over classes: client `i` receives
+/// a fraction `p_i[c]` of class `c`'s samples, where each class's allocation
+/// vector over clients is Dirichlet(α)-distributed. Small α → extreme label
+/// skew; large α → IID-like.
+pub fn dirichlet_partition<R: Rng>(
+    dataset: &Dataset,
+    n_clients: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> ClientPartition {
+    assert!(n_clients > 0, "need at least one client");
+    let mut client_indices: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    for class in 0..dataset.n_classes {
+        let mut pool = dataset.indices_of_class(class);
+        pool.shuffle(rng);
+        if pool.is_empty() {
+            continue;
+        }
+        let props = dirichlet(rng, alpha, n_clients);
+        // Convert proportions to cumulative cut points.
+        let mut cuts = vec![0usize];
+        let mut acc = 0.0f64;
+        for p in &props[..n_clients - 1] {
+            acc += p;
+            cuts.push(((acc * pool.len() as f64).round() as usize).min(pool.len()));
+        }
+        cuts.push(pool.len());
+        for i in 1..cuts.len() {
+            if cuts[i] < cuts[i - 1] {
+                cuts[i] = cuts[i - 1];
+            }
+        }
+        for (i, w) in cuts.windows(2).enumerate() {
+            client_indices[i].extend_from_slice(&pool[w[0]..w[1]]);
+        }
+    }
+    ClientPartition { client_indices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data(per_class: usize) -> Dataset {
+        SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1)
+            .generate()
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for &alpha in &[0.1, 1.0, 10.0] {
+            let d = dirichlet(&mut rng, alpha, 8);
+            assert_eq!(d.len(), 8);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9, "alpha {alpha}");
+            assert!(d.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Average the max component across draws: smaller alpha -> larger.
+        let mean_max = |alpha: f64, rng: &mut StdRng| {
+            (0..64)
+                .map(|_| {
+                    dirichlet(rng, alpha, 10)
+                        .into_iter()
+                        .fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / 64.0
+        };
+        let sharp = mean_max(0.1, &mut rng);
+        let flat = mean_max(10.0, &mut rng);
+        assert!(sharp > flat + 0.2, "sharp {sharp} vs flat {flat}");
+    }
+
+    #[test]
+    fn gamma_sampler_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &shape in &[0.5f64, 1.0, 3.0, 8.0] {
+            let mean =
+                (0..4000).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / 4000.0;
+            assert!(
+                (mean - shape).abs() < shape * 0.15 + 0.05,
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_sample_once() {
+        let d = data(13);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = dirichlet_partition(&d, 7, 0.5, &mut rng);
+        let mut all: Vec<usize> = p.client_indices.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..d.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn alpha_controls_label_skew() {
+        let d = data(40);
+        // Measure the mean number of distinct classes per client.
+        let mean_classes = |alpha: f64| {
+            let mut acc = 0.0;
+            for seed in 0..5 {
+                let mut rng = StdRng::seed_from_u64(100 + seed);
+                let p = dirichlet_partition(&d, 10, alpha, &mut rng);
+                let counts = p.classes_per_client(&d);
+                acc += counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+            }
+            acc / 5.0
+        };
+        let skewed = mean_classes(0.1);
+        let uniform = mean_classes(100.0);
+        assert!(
+            skewed < uniform - 1.0,
+            "alpha=0.1 classes/client {skewed} should be well below alpha=100 {uniform}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "concentration must be positive")]
+    fn zero_alpha_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        dirichlet(&mut rng, 0.0, 3);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # fedcav-data
+//!
+//! Synthetic stand-ins for MNIST / FMNIST / CIFAR-10 plus the paper's data
+//! distribution machinery:
+//!
+//! * [`synthetic`] — procedural class-pattern image datasets (the repo has
+//!   no dataset downloads; see DESIGN.md §2 for why procedural class
+//!   templates preserve the experiments' structure), with difficulty
+//!   overrides (noise / shift),
+//! * [`dataset`] — the in-memory [`Dataset`] type and batching,
+//! * [`partition`] — IID / non-IID(2-class) / σ-imbalanced client splits
+//!   (paper §3.2 Table 1 and §5.1.3),
+//! * [`dirichlet`] — Dirichlet(α) label-skew partitioning (extension: the
+//!   modern FL non-IID protocol),
+//! * [`fresh`] — the fresh-class α split of §5.2.2,
+//! * [`poison`] — label flipping utilities for the attack experiments
+//!   (§5.2.4),
+//! * [`stats`] — heterogeneity statistics (label entropy, size Gini,
+//!   realised shard-size variance) for auditable experiment output.
+
+pub mod dataset;
+pub mod dirichlet;
+pub mod fresh;
+pub mod partition;
+pub mod poison;
+pub mod quantity;
+pub mod stats;
+pub mod synthetic;
+
+pub use dataset::{BatchIter, Dataset};
+pub use dirichlet::dirichlet_partition;
+pub use fresh::FreshClassSplit;
+pub use partition::{ClientPartition, ImbalanceSpec};
+pub use stats::PartitionStats;
+pub use synthetic::{SyntheticConfig, SyntheticKind};

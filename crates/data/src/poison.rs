@@ -1,0 +1,129 @@
+//! Label-poisoning utilities for the attack experiments (§5.2.4).
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Flip *all* labels deterministically: `l -> n_classes - 1 - l`.
+///
+/// This is the "all labels flipped data" the paper's model-replacement
+/// adversary trains on (§5.2.4) — predictions become maximally inconsistent
+/// with honest clients' data.
+pub fn flip_all_labels(dataset: &Dataset) -> Dataset {
+    let labels = dataset
+        .labels
+        .iter()
+        .map(|&l| dataset.n_classes - 1 - l)
+        .collect();
+    Dataset {
+        images: dataset.images.clone(),
+        labels,
+        n_classes: dataset.n_classes,
+    }
+}
+
+/// Flip a `fraction` of labels to a uniformly random *different* class
+/// (the 20% / 50% / 80% poisoned models of Fig. 7).
+pub fn flip_fraction<R: Rng>(dataset: &Dataset, fraction: f64, rng: &mut R) -> Dataset {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1], got {fraction}");
+    let n = dataset.len();
+    let k = ((fraction * n as f64).round() as usize).min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut labels = dataset.labels.clone();
+    for &i in order.iter().take(k) {
+        if dataset.n_classes < 2 {
+            break;
+        }
+        let old = labels[i];
+        let mut new = rng.random_range(0..dataset.n_classes - 1);
+        if new >= old {
+            new += 1;
+        }
+        labels[i] = new;
+    }
+    Dataset {
+        images: dataset.images.clone(),
+        labels,
+        n_classes: dataset.n_classes,
+    }
+}
+
+/// Fraction of labels that differ between two datasets of equal length.
+pub fn label_disagreement(a: &Dataset, b: &Dataset) -> f64 {
+    assert_eq!(a.len(), b.len(), "datasets must be the same length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let diff = a.labels.iter().zip(&b.labels).filter(|(x, y)| x != y).count();
+    diff as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> Dataset {
+        SyntheticConfig::new(SyntheticKind::MnistLike, 4, 1)
+            .generate()
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn flip_all_is_involution() {
+        let d = data();
+        let f = flip_all_labels(&d);
+        assert_eq!(label_disagreement(&d, &f), 1.0);
+        let ff = flip_all_labels(&f);
+        assert_eq!(ff.labels, d.labels);
+    }
+
+    #[test]
+    fn flip_all_keeps_images() {
+        let d = data();
+        let f = flip_all_labels(&d);
+        assert_eq!(f.images.as_slice(), d.images.as_slice());
+    }
+
+    #[test]
+    fn flip_fraction_hits_target_rate() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(0);
+        for &frac in &[0.2, 0.5, 0.8] {
+            let f = flip_fraction(&d, frac, &mut rng);
+            let got = label_disagreement(&d, &f);
+            assert!((got - frac).abs() < 1e-9, "asked {frac}, got {got}");
+        }
+    }
+
+    #[test]
+    fn flipped_labels_stay_in_range_and_differ() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = flip_fraction(&d, 1.0, &mut rng);
+        for (&orig, &new) in d.labels.iter().zip(&f.labels) {
+            assert!(new < d.n_classes);
+            assert_ne!(orig, new);
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = flip_fraction(&d, 0.0, &mut rng);
+        assert_eq!(f.labels, d.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0,1]")]
+    fn bad_fraction_panics() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = flip_fraction(&d, 1.5, &mut rng);
+    }
+}

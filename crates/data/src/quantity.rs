@@ -1,0 +1,126 @@
+//! Quantity-skew partitioning: clients share the label *distribution* but
+//! differ (possibly wildly) in how much data they hold.
+//!
+//! Complements the label-skew partitioners: quantity skew isolates the
+//! "FedAvg favors 'large' clients" effect the paper's introduction
+//! describes, without confounding it with class imbalance.
+
+use crate::dataset::Dataset;
+use crate::partition::ClientPartition;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Partition with client sizes proportional to a power-law:
+/// client `i` gets a share ∝ `(i+1)^(-skew)`. `skew = 0` is uniform;
+/// `skew = 1.2` gives a heavy head (a few data-rich clients).
+///
+/// Labels stay IID across clients: the pool is shuffled before slicing.
+pub fn powerlaw_partition<R: Rng>(
+    dataset: &Dataset,
+    n_clients: usize,
+    skew: f64,
+    rng: &mut R,
+) -> ClientPartition {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(skew >= 0.0, "skew must be non-negative");
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.shuffle(rng);
+
+    // Power-law shares, normalised.
+    let weights: Vec<f64> = (0..n_clients).map(|i| ((i + 1) as f64).powf(-skew)).collect();
+    let total_w: f64 = weights.iter().sum();
+    // Cumulative cut points over the shuffled pool. Note: at extreme skew
+    // the tail clients may receive zero samples — callers should pair this
+    // with an availability model or filter empty clients before training.
+    let n = dataset.len();
+    let mut cuts = vec![0usize];
+    let mut acc = 0.0f64;
+    for w in &weights[..n_clients - 1] {
+        acc += w / total_w;
+        cuts.push(((acc * n as f64).round() as usize).min(n));
+    }
+    cuts.push(n);
+    for i in 1..cuts.len() {
+        if cuts[i] < cuts[i - 1] {
+            cuts[i] = cuts[i - 1];
+        }
+    }
+    let client_indices = cuts
+        .windows(2)
+        .map(|w| order[w[0]..w[1]].to_vec())
+        .collect();
+    ClientPartition { client_indices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::gini;
+    use crate::synthetic::{SyntheticConfig, SyntheticKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data(per_class: usize) -> Dataset {
+        SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1)
+            .generate()
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn covers_every_sample_once() {
+        let d = data(13);
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = powerlaw_partition(&d, 7, 1.0, &mut rng);
+        let mut all: Vec<usize> = p.client_indices.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..d.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let d = data(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = powerlaw_partition(&d, 10, 0.0, &mut rng);
+        let sizes = p.sizes();
+        let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(mx - mn <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn skew_raises_size_gini_monotonically() {
+        let d = data(60);
+        let gini_at = |skew: f64| {
+            let mut rng = StdRng::seed_from_u64(2);
+            gini(&powerlaw_partition(&d, 10, skew, &mut rng).sizes())
+        };
+        let g0 = gini_at(0.0);
+        let g1 = gini_at(1.0);
+        let g2 = gini_at(2.0);
+        assert!(g0 < g1 && g1 < g2, "gini {g0} {g1} {g2}");
+        assert!(g2 > 0.5, "strong skew should be very unequal: {g2}");
+    }
+
+    #[test]
+    fn labels_stay_mixed_per_client() {
+        let d = data(40);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = powerlaw_partition(&d, 5, 1.0, &mut rng);
+        // The largest client must hold most classes (IID labels).
+        let largest = p
+            .class_counts(&d)
+            .into_iter()
+            .max_by_key(|c| c.iter().sum::<usize>())
+            .unwrap();
+        let covered = largest.iter().filter(|&&c| c > 0).count();
+        assert!(covered >= 8, "largest client covers {covered}/10 classes");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let d = data(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        powerlaw_partition(&d, 0, 1.0, &mut rng);
+    }
+}

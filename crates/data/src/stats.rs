@@ -1,0 +1,164 @@
+//! Heterogeneity statistics for partitions: quantifies *how* non-IID a
+//! deployment is, so harness output can report the realised skew next to
+//! the configured one (DESIGN.md §7).
+
+use crate::dataset::Dataset;
+use crate::partition::ClientPartition;
+
+/// Shannon entropy (nats) of a count vector, 0 for degenerate input.
+pub fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0f64;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Gini coefficient of a count vector (0 = perfectly equal, →1 = one holder
+/// has everything).
+pub fn gini(counts: &[usize]) -> f64 {
+    let n = counts.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    let mut cum = 0.0f64;
+    let mut weighted = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        cum += x;
+        weighted += (i as f64 + 1.0) * x;
+    }
+    (2.0 * weighted) / (n as f64 * cum) - (n as f64 + 1.0) / n as f64
+}
+
+/// Deployment-level heterogeneity summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionStats {
+    /// Mean per-client label entropy (nats). IID ≈ ln(n_classes);
+    /// 2-class shards ≈ ln 2.
+    pub mean_label_entropy: f64,
+    /// Gini coefficient of client sizes (quantity skew).
+    pub size_gini: f64,
+    /// Mean number of distinct classes held per client.
+    pub mean_classes_per_client: f64,
+    /// Empirical variance of class-shard sizes (the realised σ).
+    pub shard_size_variance: f32,
+}
+
+impl PartitionStats {
+    /// Compute all statistics for a partition of a dataset.
+    pub fn compute(partition: &ClientPartition, dataset: &Dataset) -> Self {
+        let class_counts = partition.class_counts(dataset);
+        let n = class_counts.len().max(1) as f64;
+        let mean_label_entropy =
+            class_counts.iter().map(|c| entropy(c)).sum::<f64>() / n;
+        let mean_classes_per_client = class_counts
+            .iter()
+            .map(|c| c.iter().filter(|&&x| x > 0).count() as f64)
+            .sum::<f64>()
+            / n;
+        PartitionStats {
+            mean_label_entropy,
+            size_gini: gini(&partition.sizes()),
+            mean_classes_per_client,
+            shard_size_variance: partition.shard_size_variance(dataset),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{iid_balanced, noniid, ImbalanceSpec};
+    use crate::synthetic::{SyntheticConfig, SyntheticKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> Dataset {
+        SyntheticConfig::new(SyntheticKind::MnistLike, 30, 1)
+            .generate()
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn entropy_uniform_is_ln_k() {
+        let h = entropy(&[5, 5, 5, 5]);
+        assert!((h - 4.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_degenerate_is_zero() {
+        assert_eq!(entropy(&[10, 0, 0]), 0.0);
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gini_equal_is_zero() {
+        assert!(gini(&[7, 7, 7, 7]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_concentrated_near_limit() {
+        // One holder: Gini = (n-1)/n.
+        let g = gini(&[0, 0, 0, 100]);
+        assert!((g - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_monotone_in_inequality() {
+        assert!(gini(&[1, 9]) > gini(&[4, 6]));
+    }
+
+    #[test]
+    fn iid_has_high_entropy_noniid_low() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(0);
+        let iid = PartitionStats::compute(&iid_balanced(&d, 10, &mut rng), &d);
+        let two = PartitionStats::compute(
+            &noniid(&d, 10, 2, ImbalanceSpec::Balanced, &mut rng),
+            &d,
+        );
+        assert!(iid.mean_label_entropy > 2.0, "IID entropy {}", iid.mean_label_entropy);
+        assert!(
+            two.mean_label_entropy < 1.2,
+            "2-class entropy {}",
+            two.mean_label_entropy
+        );
+        assert!(iid.mean_classes_per_client > two.mean_classes_per_client);
+    }
+
+    #[test]
+    fn imbalance_raises_size_gini() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let bal = PartitionStats::compute(
+            &noniid(&d, 10, 2, ImbalanceSpec::Balanced, &mut rng),
+            &d,
+        );
+        let imb = PartitionStats::compute(
+            &noniid(&d, 10, 2, ImbalanceSpec::PaperSigma(900.0), &mut rng),
+            &d,
+        );
+        assert!(
+            imb.size_gini > bal.size_gini,
+            "imbalanced Gini {} vs balanced {}",
+            imb.size_gini,
+            bal.size_gini
+        );
+        assert!(imb.shard_size_variance > bal.shard_size_variance);
+    }
+}

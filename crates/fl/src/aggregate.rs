@@ -1,0 +1,84 @@
+//! Shared aggregation arithmetic: weighted sums over flat parameter vectors.
+
+use crate::update::LocalUpdate;
+use fedcav_tensor::{Result, TensorError};
+
+/// Weighted sum of the updates' parameter vectors: `Σ_i weights[i] · w_i`.
+///
+/// Weights are used as given (callers normalise). Errors if lengths differ
+/// or the update list is empty.
+pub fn weighted_sum(updates: &[LocalUpdate], weights: &[f32]) -> Result<Vec<f32>> {
+    if updates.is_empty() {
+        return Err(TensorError::Empty { op: "weighted_sum(updates)" });
+    }
+    if updates.len() != weights.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "weighted_sum",
+            lhs: vec![updates.len()],
+            rhs: vec![weights.len()],
+        });
+    }
+    let len = updates[0].params.len();
+    let mut out = vec![0.0f32; len];
+    for (u, &w) in updates.iter().zip(weights) {
+        if u.params.len() != len {
+            return Err(TensorError::ShapeMismatch {
+                op: "weighted_sum(params)",
+                lhs: vec![len],
+                rhs: vec![u.params.len()],
+            });
+        }
+        for (o, &p) in out.iter_mut().zip(&u.params) {
+            *o += w * p;
+        }
+    }
+    Ok(out)
+}
+
+/// Sample-count weights `|d_i| / |D_St|` (FedAvg, Eq. 6 simplified form).
+pub fn sample_weights(updates: &[LocalUpdate]) -> Result<Vec<f32>> {
+    let total: usize = updates.iter().map(|u| u.num_samples).sum();
+    if total == 0 {
+        return Err(TensorError::Empty { op: "sample_weights (no samples)" });
+    }
+    Ok(updates.iter().map(|u| u.num_samples as f32 / total as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, params: Vec<f32>, n: usize) -> LocalUpdate {
+        LocalUpdate::new(id, params, 0.0, n)
+    }
+
+    #[test]
+    fn weighted_sum_basic() {
+        let updates = vec![upd(0, vec![2.0, 0.0], 1), upd(1, vec![0.0, 4.0], 1)];
+        let out = weighted_sum(&updates, &[0.5, 0.25]).unwrap();
+        assert_eq!(out, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_sum_checks() {
+        assert!(weighted_sum(&[], &[]).is_err());
+        let updates = vec![upd(0, vec![1.0], 1), upd(1, vec![1.0, 2.0], 1)];
+        assert!(weighted_sum(&updates, &[0.5, 0.5]).is_err());
+        let updates = vec![upd(0, vec![1.0], 1)];
+        assert!(weighted_sum(&updates, &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn sample_weights_normalised() {
+        let updates = vec![upd(0, vec![0.0], 30), upd(1, vec![0.0], 10)];
+        let w = sample_weights(&updates).unwrap();
+        assert_eq!(w, vec![0.75, 0.25]);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_weights_zero_total_errors() {
+        let updates = vec![upd(0, vec![0.0], 0)];
+        assert!(sample_weights(&updates).is_err());
+    }
+}

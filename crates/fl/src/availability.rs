@@ -1,0 +1,163 @@
+//! Client availability models.
+//!
+//! The paper's §3.1 notes that "the data distribution changes with the
+//! clients dynamically participating the training process at any time" —
+//! real deployments sample from whoever is *online*, not from the full
+//! population. These models make that dynamic explicit; the round loop
+//! samples its `q` fraction from the available subset.
+
+/// Decides which clients are reachable at a given round.
+pub trait AvailabilityModel: Send {
+    /// Whether `client` can participate in `round`.
+    fn is_available(&self, client: usize, round: usize) -> bool;
+
+    /// All available clients out of `n` at `round`.
+    fn available(&self, n: usize, round: usize) -> Vec<usize> {
+        (0..n).filter(|&c| self.is_available(c, round)).collect()
+    }
+}
+
+/// Everyone is always online (the paper's experimental setting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysAvailable;
+
+impl AvailabilityModel for AlwaysAvailable {
+    fn is_available(&self, _client: usize, _round: usize) -> bool {
+        true
+    }
+}
+
+/// Each client is independently online with probability `p` each round
+/// (deterministic per (client, round) via a hash, so runs reproduce).
+#[derive(Debug, Clone, Copy)]
+pub struct BernoulliAvailability {
+    /// Online probability.
+    pub p: f64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl BernoulliAvailability {
+    /// New model; `p` must be in (0, 1].
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "availability probability in (0,1], got {p}");
+        BernoulliAvailability { p, seed }
+    }
+}
+
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl AvailabilityModel for BernoulliAvailability {
+    fn is_available(&self, client: usize, round: usize) -> bool {
+        let h = mix(self.seed, client as u64, round as u64);
+        (h as f64 / u64::MAX as f64) < self.p
+    }
+}
+
+/// Diurnal availability: clients in "timezone" cohorts whose online
+/// probability follows a shifted sinusoid over rounds — models the
+/// day/night participation cycles of mobile deployments.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalAvailability {
+    /// Mean online probability.
+    pub base: f64,
+    /// Oscillation amplitude (base ± amplitude clamped to (0,1)).
+    pub amplitude: f64,
+    /// Rounds per full cycle.
+    pub period: usize,
+    /// Number of phase cohorts clients are spread across.
+    pub cohorts: usize,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl DiurnalAvailability {
+    fn probability(&self, client: usize, round: usize) -> f64 {
+        let cohort = client % self.cohorts.max(1);
+        let phase = cohort as f64 / self.cohorts.max(1) as f64;
+        let t = round as f64 / self.period.max(1) as f64 + phase;
+        let p = self.base + self.amplitude * (2.0 * std::f64::consts::PI * t).sin();
+        p.clamp(0.02, 1.0)
+    }
+}
+
+impl AvailabilityModel for DiurnalAvailability {
+    fn is_available(&self, client: usize, round: usize) -> bool {
+        let h = mix(self.seed, client as u64, round as u64);
+        (h as f64 / u64::MAX as f64) < self.probability(client, round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_available_is_total() {
+        let m = AlwaysAvailable;
+        assert_eq!(m.available(5, 3), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let m = BernoulliAvailability::new(0.3, 7);
+        let mut online = 0usize;
+        let total = 200 * 50;
+        for round in 0..50 {
+            online += m.available(200, round).len();
+        }
+        let rate = online as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_deterministic() {
+        let m = BernoulliAvailability::new(0.5, 1);
+        assert_eq!(m.available(50, 4), m.available(50, 4));
+        // Different rounds give different subsets (w.h.p.).
+        assert_ne!(m.available(50, 4), m.available(50, 5));
+    }
+
+    #[test]
+    fn diurnal_oscillates() {
+        let m = DiurnalAvailability {
+            base: 0.5,
+            amplitude: 0.45,
+            period: 20,
+            cohorts: 1,
+            seed: 3,
+        };
+        // Probability at peak (round 5 of 20: sin(π/2)=1) vs trough.
+        let peak = m.probability(0, 5);
+        let trough = m.probability(0, 15);
+        assert!(peak > 0.9 && trough < 0.1, "peak {peak}, trough {trough}");
+    }
+
+    #[test]
+    fn diurnal_cohorts_out_of_phase() {
+        let m = DiurnalAvailability {
+            base: 0.5,
+            amplitude: 0.45,
+            period: 20,
+            cohorts: 2,
+            seed: 3,
+        };
+        // Cohort 1 is half a cycle shifted: its peak is cohort 0's trough.
+        let c0 = m.probability(0, 5);
+        let c1 = m.probability(1, 5);
+        assert!((c0 + c1 - 1.0).abs() < 0.1, "{c0} + {c1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "availability probability")]
+    fn zero_p_panics() {
+        BernoulliAvailability::new(0.0, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Centralized gradient descent — the paper's upper-bound baseline
+//! (§5.1.2 item 1, the "Centralized CNN" curves of Fig. 4).
+
+use crate::client::{local_update, LocalConfig};
+use crate::eval::evaluate;
+use crate::metrics::{History, RoundRecord};
+use crate::server::ModelFactory;
+use fedcav_data::Dataset;
+use fedcav_tensor::Result;
+
+/// Trains one model on the pooled dataset; each "round" runs the same
+/// number of local epochs a federated client would, so curves are
+/// comparable per communication round.
+pub struct CentralizedTrainer<'a> {
+    factory: &'a ModelFactory,
+    train: Dataset,
+    test: Dataset,
+    config: LocalConfig,
+    eval_batch: usize,
+    seed: u64,
+    global: Vec<f32>,
+    history: History,
+    round: usize,
+}
+
+impl<'a> CentralizedTrainer<'a> {
+    /// New centralized baseline.
+    pub fn new(
+        factory: &'a ModelFactory,
+        train: Dataset,
+        test: Dataset,
+        config: LocalConfig,
+        eval_batch: usize,
+        seed: u64,
+    ) -> Self {
+        let global = factory().flat_params();
+        CentralizedTrainer {
+            factory,
+            train,
+            test,
+            config,
+            eval_batch,
+            seed,
+            global,
+            history: History::new(),
+            round: 0,
+        }
+    }
+
+    /// Replace the model parameters (pre-training hand-off, §5.2.2).
+    pub fn set_global(&mut self, params: Vec<f32>) -> Result<()> {
+        if params.len() != self.global.len() {
+            return Err(fedcav_tensor::TensorError::ElementCountMismatch {
+                from: params.len(),
+                to: self.global.len(),
+            });
+        }
+        self.global = params;
+        Ok(())
+    }
+
+    /// Current model parameters.
+    pub fn global(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// History so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// One "round": `E` epochs over the pooled data, then evaluate.
+    pub fn run_round(&mut self) -> Result<RoundRecord> {
+        let update = local_update(
+            self.factory,
+            &self.global,
+            0,
+            &self.train,
+            &self.config,
+            self.seed.wrapping_add(self.round as u64),
+        )?;
+        self.global = update.params;
+
+        let mut model = (self.factory)();
+        model.set_flat_params(&self.global)?;
+        let (test_loss, test_accuracy) = evaluate(&mut model, &self.test, self.eval_batch)?;
+        let record = RoundRecord {
+            round: self.round,
+            test_accuracy,
+            test_loss,
+            mean_inference_loss: update.inference_loss,
+            max_inference_loss: update.inference_loss,
+            participants: 1,
+            rejected: false,
+            reject_reason: None,
+            bytes_down: 0, // pooled training: nothing crosses a network
+            bytes_up: 0,
+            round_duration: 0.0,
+            sim_time: 0.0,
+        };
+        self.history.records.push(record.clone());
+        self.round += 1;
+        Ok(record)
+    }
+
+    /// Run `n` rounds, returning the final record.
+    pub fn run(&mut self, n: usize) -> Result<RoundRecord> {
+        assert!(n > 0, "run at least one round");
+        let mut last = None;
+        for _ in 0..n {
+            last = Some(self.run_round()?);
+        }
+        Ok(last.expect("n > 0 rounds were run"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_data::{SyntheticConfig, SyntheticKind};
+    use fedcav_nn::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn centralized_learns_fast() {
+        let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2)
+            .generate()
+            .unwrap();
+        let img_len = train.image_len();
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(0);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut t = CentralizedTrainer::new(
+            &factory,
+            train,
+            test,
+            LocalConfig { epochs: 2, batch_size: 8, lr: 0.1, prox_mu: 0.0 },
+            32,
+            1,
+        );
+        let first = t.run_round().unwrap();
+        let last = t.run(4).unwrap();
+        assert!(last.test_accuracy >= first.test_accuracy);
+        assert!(last.test_accuracy > 0.5, "centralized should learn: {}", last.test_accuracy);
+        assert_eq!(t.history().len(), 5);
+    }
+
+    #[test]
+    fn set_global_checks_len() {
+        let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 2, 1)
+            .generate()
+            .unwrap();
+        let img_len = train.image_len();
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(0);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut t = CentralizedTrainer::new(&factory, train, test, LocalConfig::default(), 32, 1);
+        assert!(t.set_global(vec![1.0]).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Client-side local training: the paper's Algorithm 2 (`LocalUpdate`).
+
+use crate::eval::evaluate;
+use crate::update::LocalUpdate;
+use fedcav_data::{BatchIter, Dataset};
+use fedcav_nn::{Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy};
+use fedcav_tensor::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Local-training hyper-parameters (paper defaults, §5.1.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalConfig {
+    /// Local epochs `E` (paper: 5).
+    pub epochs: usize,
+    /// Mini-batch size `B` (paper: 10).
+    pub batch_size: usize,
+    /// Local learning rate `η` (paper: 0.01).
+    pub lr: f32,
+    /// FedProx proximal coefficient `μ` (0 = FedAvg/FedCav local training).
+    pub prox_mu: f32,
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        LocalConfig { epochs: 5, batch_size: 10, lr: 0.01, prox_mu: 0.0 }
+    }
+}
+
+/// Run Algorithm 2 on one client.
+///
+/// 1. Load the downloaded global model `w_t` into a fresh model instance.
+/// 2. Compute the **inference loss** `f_i(w_t)` — mean cross-entropy of the
+///    *untrained* global model on the full local dataset (Alg. 2 line 2).
+/// 3. Train `E` epochs of mini-batch SGD (line 5-7).
+/// 4. Return `(w^i_{t+1}, f_i(w_t))` as a [`LocalUpdate`].
+///
+/// `seed` drives batch shuffling only, so runs are reproducible per
+/// `(experiment seed, round, client)`.
+pub fn local_update(
+    factory: &(dyn Fn() -> Sequential + Sync),
+    global: &[f32],
+    client_id: usize,
+    data: &Dataset,
+    cfg: &LocalConfig,
+    seed: u64,
+) -> Result<LocalUpdate> {
+    let mut model = factory();
+    model.set_flat_params(global)?;
+
+    // Inference loss on the downloaded global model.
+    let (inference_loss, _) = evaluate(&mut model, data, cfg.batch_size.max(32))?;
+
+    // Local SGD.
+    let mut opt = Sgd::new(
+        SgdConfig { lr: cfg.lr, prox_mu: cfg.prox_mu, ..Default::default() },
+        model.trainable_len(),
+    );
+    if cfg.prox_mu > 0.0 {
+        // Anchor = the global model's trainable parameters, in visit order.
+        let mut anchor = Vec::with_capacity(model.trainable_len());
+        model.visit_trainable(&mut |p, _| anchor.extend_from_slice(p.as_slice()));
+        opt.set_prox_anchor(anchor)?;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _epoch in 0..cfg.epochs {
+        for (images, labels) in BatchIter::new(data, cfg.batch_size, &mut rng) {
+            let logits = model.forward(&images, true)?;
+            let grad = SoftmaxCrossEntropy::grad(&logits, &labels)?;
+            model.zero_grad();
+            model.backward(&grad)?;
+            opt.step(&mut model)?;
+        }
+    }
+    Ok(LocalUpdate::new(client_id, model.flat_params(), inference_loss, data.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_data::{SyntheticConfig, SyntheticKind};
+    use fedcav_nn::models;
+    use rand::rngs::StdRng;
+
+    fn setup() -> (Dataset, impl Fn() -> Sequential + Sync) {
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 6, 1)
+            .generate()
+            .unwrap();
+        let img_len = train.image_len();
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(0);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        (train, factory)
+    }
+
+    #[test]
+    fn training_improves_local_fit() {
+        let (data, factory) = setup();
+        let global = factory().flat_params();
+        let cfg = LocalConfig { epochs: 3, batch_size: 10, lr: 0.1, prox_mu: 0.0 };
+        let update = local_update(&factory, &global, 0, &data, &cfg, 1).unwrap();
+
+        // Post-training local loss must beat the reported inference loss.
+        let mut model = factory();
+        model.set_flat_params(&update.params).unwrap();
+        let (after, _) = evaluate(&mut model, &data, 32).unwrap();
+        assert!(
+            after < update.inference_loss,
+            "local training should fit local data: {} -> {after}",
+            update.inference_loss
+        );
+        assert_eq!(update.num_samples, data.len());
+    }
+
+    #[test]
+    fn inference_loss_matches_direct_evaluation() {
+        let (data, factory) = setup();
+        let global = factory().flat_params();
+        let cfg = LocalConfig { epochs: 1, batch_size: 10, lr: 0.01, prox_mu: 0.0 };
+        let update = local_update(&factory, &global, 2, &data, &cfg, 3).unwrap();
+        let mut model = factory();
+        model.set_flat_params(&global).unwrap();
+        let (direct, _) = evaluate(&mut model, &data, 32).unwrap();
+        assert!((update.inference_loss - direct).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, factory) = setup();
+        let global = factory().flat_params();
+        let cfg = LocalConfig::default();
+        let a = local_update(&factory, &global, 0, &data, &cfg, 9).unwrap();
+        let b = local_update(&factory, &global, 0, &data, &cfg, 9).unwrap();
+        assert_eq!(a.params, b.params);
+        let c = local_update(&factory, &global, 0, &data, &cfg, 10).unwrap();
+        assert_ne!(a.params, c.params);
+    }
+
+    #[test]
+    fn prox_keeps_update_closer_to_global() {
+        let (data, factory) = setup();
+        let global = factory().flat_params();
+        let free_cfg = LocalConfig { epochs: 3, batch_size: 10, lr: 0.1, prox_mu: 0.0 };
+        let prox_cfg = LocalConfig { prox_mu: 1.0, ..free_cfg };
+        let free = local_update(&factory, &global, 0, &data, &free_cfg, 4).unwrap();
+        let prox = local_update(&factory, &global, 0, &data, &prox_cfg, 4).unwrap();
+        let dist = |p: &[f32]| -> f32 {
+            p.iter().zip(&global).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        assert!(
+            dist(&prox.params) < dist(&free.params),
+            "prox {} should be < free {}",
+            dist(&prox.params),
+            dist(&free.params)
+        );
+    }
+
+    #[test]
+    fn wrong_global_len_errors() {
+        let (data, factory) = setup();
+        let cfg = LocalConfig::default();
+        assert!(local_update(&factory, &[0.0; 3], 0, &data, &cfg, 0).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Communication accounting (§6 "Overhead of FedCav").
+//!
+//! The paper argues FedCav's communication overhead is exactly **one extra
+//! float per client per round** (the reported inference loss) on top of the
+//! parameter vector FedAvg already transfers. This module makes that claim
+//! measurable: the round loop records the bytes each round moves, per
+//! direction, given the strategy's wire needs.
+
+/// Byte-level model of the client↔server protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommModel {
+    /// Bytes of one serialized model state (`f32` count × 4).
+    pub param_bytes: u64,
+    /// Bytes of one reported inference loss (one `f32`).
+    pub loss_bytes: u64,
+    /// Fixed per-message envelope (ids, counters); kept explicit so the
+    /// FedCav overhead is measured against a realistic baseline rather
+    /// than a bare float array.
+    pub envelope_bytes: u64,
+}
+
+impl CommModel {
+    /// Model for a parameter vector of `n_params` scalars.
+    pub fn new(n_params: usize) -> Self {
+        CommModel {
+            param_bytes: 4 * n_params as u64,
+            loss_bytes: 4,
+            envelope_bytes: 24,
+        }
+    }
+
+    /// Bytes the server pushes in one round (global model to each
+    /// participant).
+    pub fn downlink(&self, participants: usize) -> u64 {
+        participants as u64 * (self.param_bytes + self.envelope_bytes)
+    }
+
+    /// Bytes the participants push back: model update each, plus the
+    /// inference loss when the strategy consumes it.
+    pub fn uplink(&self, participants: usize, with_loss: bool) -> u64 {
+        let per_client =
+            self.param_bytes + self.envelope_bytes + if with_loss { self.loss_bytes } else { 0 };
+        participants as u64 * per_client
+    }
+
+    /// FedCav's extra uplink bytes per round relative to FedAvg — the
+    /// paper's "only one extra float for each client".
+    pub fn fedcav_overhead(&self, participants: usize) -> u64 {
+        self.uplink(participants, true) - self.uplink(participants, false)
+    }
+}
+
+/// Cumulative traffic counters for a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Total bytes server → clients.
+    pub total_down: u64,
+    /// Total bytes clients → server.
+    pub total_up: u64,
+    /// Rounds accounted.
+    pub rounds: u64,
+}
+
+impl CommStats {
+    /// Add one round's traffic.
+    pub fn record(&mut self, down: u64, up: u64) {
+        self.total_down += down;
+        self.total_up += up;
+        self.rounds += 1;
+    }
+
+    /// Total bytes in both directions.
+    pub fn total(&self) -> u64 {
+        self.total_down + self.total_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fedcav_overhead_is_one_float_per_client() {
+        let m = CommModel::new(61_706); // LeNet-5
+        assert_eq!(m.fedcav_overhead(30), 30 * 4);
+    }
+
+    #[test]
+    fn downlink_scales_with_participants() {
+        let m = CommModel::new(100);
+        assert_eq!(m.downlink(2), 2 * (400 + 24));
+        assert_eq!(m.downlink(0), 0);
+    }
+
+    #[test]
+    fn uplink_with_and_without_loss() {
+        let m = CommModel::new(10);
+        assert_eq!(m.uplink(3, false), 3 * (40 + 24));
+        assert_eq!(m.uplink(3, true), 3 * (40 + 24 + 4));
+    }
+
+    #[test]
+    fn overhead_is_negligible_fraction() {
+        // The paper's practicality argument: the extra float is noise
+        // relative to the parameter payload.
+        let m = CommModel::new(61_706);
+        let frac = m.fedcav_overhead(30) as f64 / m.uplink(30, false) as f64;
+        assert!(frac < 1e-4, "overhead fraction {frac}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = CommStats::default();
+        s.record(100, 50);
+        s.record(100, 54);
+        assert_eq!(s.total_down, 200);
+        assert_eq!(s.total_up, 104);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.total(), 304);
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-class evaluation: confusion matrix, per-class recall, and the
+//! fresh-class accuracy readout the Fig. 4 experiments care about (overall
+//! accuracy can mask whether the *fresh* classes were actually learned).
+
+use fedcav_data::{BatchIter, Dataset};
+use fedcav_nn::Sequential;
+use fedcav_tensor::reduce::argmax_rows;
+use fedcav_tensor::{Result, TensorError};
+
+/// A `[true class × predicted class]` count matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    n_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        ConfusionMatrix { counts: vec![0; n_classes * n_classes], n_classes }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Record one prediction.
+    pub fn record(&mut self, true_class: usize, predicted: usize) -> Result<()> {
+        if true_class >= self.n_classes || predicted >= self.n_classes {
+            return Err(TensorError::IndexOutOfBounds {
+                index: true_class.max(predicted),
+                bound: self.n_classes,
+            });
+        }
+        self.counts[true_class * self.n_classes + predicted] += 1;
+        Ok(())
+    }
+
+    /// Count at (true, predicted).
+    pub fn at(&self, true_class: usize, predicted: usize) -> usize {
+        self.counts[true_class * self.n_classes + predicted]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes).map(|c| self.at(c, c)).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Per-class recall (`None` for classes with no samples).
+    pub fn per_class_recall(&self) -> Vec<Option<f32>> {
+        (0..self.n_classes)
+            .map(|c| {
+                let row: usize = (0..self.n_classes).map(|p| self.at(c, p)).sum();
+                if row == 0 {
+                    None
+                } else {
+                    Some(self.at(c, c) as f32 / row as f32)
+                }
+            })
+            .collect()
+    }
+
+    /// Mean recall over a subset of classes (e.g. the fresh classes of
+    /// §5.2.2); `None` when no listed class has samples.
+    pub fn subset_recall(&self, classes: &[usize]) -> Option<f32> {
+        let recalls = self.per_class_recall();
+        let vals: Vec<f32> = classes
+            .iter()
+            .filter_map(|&c| recalls.get(c).copied().flatten())
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f32>() / vals.len() as f32)
+        }
+    }
+}
+
+/// Evaluate a model into a confusion matrix.
+pub fn evaluate_confusion(
+    model: &mut Sequential,
+    dataset: &Dataset,
+    batch_size: usize,
+) -> Result<ConfusionMatrix> {
+    if dataset.is_empty() {
+        return Err(TensorError::Empty { op: "evaluate_confusion (empty dataset)" });
+    }
+    let mut cm = ConfusionMatrix::new(dataset.n_classes);
+    for (images, labels) in BatchIter::sequential(dataset, batch_size) {
+        let logits = model.forward(&images, false)?;
+        let preds = argmax_rows(&logits)?;
+        for (&t, &p) in labels.iter().zip(&preds) {
+            // Clamp predictions outside the label space (a model with more
+            // outputs than classes would be a caller bug; surface it).
+            cm.record(t, p.min(dataset.n_classes - 1))?;
+        }
+    }
+    Ok(cm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_data::{SyntheticConfig, SyntheticKind};
+    use fedcav_nn::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0).unwrap();
+        cm.record(0, 0).unwrap();
+        cm.record(1, 2).unwrap();
+        cm.record(2, 2).unwrap();
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.at(0, 0), 2);
+        assert_eq!(cm.at(1, 2), 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut cm = ConfusionMatrix::new(2);
+        assert!(cm.record(2, 0).is_err());
+        assert!(cm.record(0, 2).is_err());
+    }
+
+    #[test]
+    fn per_class_recall_with_missing_class() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0).unwrap();
+        cm.record(0, 1).unwrap();
+        cm.record(2, 2).unwrap();
+        let r = cm.per_class_recall();
+        assert_eq!(r[0], Some(0.5));
+        assert_eq!(r[1], None); // no class-1 samples
+        assert_eq!(r[2], Some(1.0));
+    }
+
+    #[test]
+    fn subset_recall_focuses_on_fresh_classes() {
+        let mut cm = ConfusionMatrix::new(4);
+        // Class 3 ("fresh") is never predicted correctly.
+        cm.record(3, 0).unwrap();
+        cm.record(3, 1).unwrap();
+        // Common classes perfect.
+        for c in 0..3 {
+            cm.record(c, c).unwrap();
+        }
+        assert!(cm.accuracy() > 0.5);
+        assert_eq!(cm.subset_recall(&[3]), Some(0.0));
+        assert_eq!(cm.subset_recall(&[0, 1]), Some(1.0));
+        assert_eq!(cm.subset_recall(&[]), None);
+    }
+
+    #[test]
+    fn evaluate_matches_overall_accuracy() {
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 4, 1)
+            .generate()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = models::tiny_mlp(&mut rng, train.image_len(), 10);
+        let cm = evaluate_confusion(&mut m, &train, 16).unwrap();
+        let (_, acc) = crate::eval::evaluate(&mut m, &train, 16).unwrap();
+        assert_eq!(cm.total(), train.len());
+        assert!((cm.accuracy() - acc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let d = Dataset::new(fedcav_tensor::Tensor::zeros(&[0, 1, 2, 2]), vec![], 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = models::tiny_mlp(&mut rng, 4, 2);
+        assert!(evaluate_confusion(&mut m, &d, 4).is_err());
+    }
+}

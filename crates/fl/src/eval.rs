@@ -1,0 +1,75 @@
+//! Model evaluation on a dataset: mean loss and top-1 accuracy.
+
+use fedcav_data::{BatchIter, Dataset};
+use fedcav_nn::{Sequential, SoftmaxCrossEntropy};
+use fedcav_tensor::{Result, TensorError};
+
+/// Mean cross-entropy and top-1 accuracy of `model` on `dataset`,
+/// evaluated in deterministic order with the given batch size.
+///
+/// This is both the server's test-set evaluation and the client's
+/// inference-loss computation (Alg. 2 line 2) — one code path, as in the
+/// paper where both are "the loss of making a prediction on local data
+/// with the current global model".
+pub fn evaluate(model: &mut Sequential, dataset: &Dataset, batch_size: usize) -> Result<(f32, f32)> {
+    if dataset.is_empty() {
+        return Err(TensorError::Empty { op: "evaluate (empty dataset)" });
+    }
+    let mut loss_sum = 0.0f64;
+    let mut acc_sum = 0.0f64;
+    let mut n = 0usize;
+    for (images, labels) in BatchIter::sequential(dataset, batch_size) {
+        let logits = model.forward(&images, false)?;
+        let loss = SoftmaxCrossEntropy::loss(&logits, &labels)?;
+        let acc = SoftmaxCrossEntropy::accuracy(&logits, &labels)?;
+        let b = labels.len();
+        loss_sum += loss as f64 * b as f64;
+        acc_sum += acc as f64 * b as f64;
+        n += b;
+    }
+    Ok(((loss_sum / n as f64) as f32, (acc_sum / n as f64) as f32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_data::{SyntheticConfig, SyntheticKind};
+    use fedcav_nn::models;
+    use fedcav_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_model_near_chance_loss() {
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 4, 1)
+            .generate()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = models::mlp(&mut rng, train.image_len(), 10);
+        let (loss, acc) = evaluate(&mut m, &train, 16).unwrap();
+        // Untrained: loss near ln(10) ≈ 2.30, accuracy near 10%.
+        assert!((loss - 10.0f32.ln()).abs() < 0.8, "loss {loss}");
+        assert!(acc < 0.5, "acc {acc}");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_result() {
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 3, 1)
+            .generate()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = models::mlp(&mut rng, train.image_len(), 10);
+        let (l1, a1) = evaluate(&mut m, &train, 7).unwrap();
+        let (l2, a2) = evaluate(&mut m, &train, 30).unwrap();
+        assert!((l1 - l2).abs() < 1e-4);
+        assert!((a1 - a2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let d = Dataset::new(Tensor::zeros(&[0, 1, 2, 2]), vec![], 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = models::mlp(&mut rng, 4, 2);
+        assert!(evaluate(&mut m, &d, 4).is_err());
+    }
+}

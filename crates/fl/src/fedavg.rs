@@ -1,0 +1,71 @@
+//! FedAvg (McMahan et al., baseline §5.1.2): sample-count weighted averaging.
+
+use crate::aggregate::{sample_weights, weighted_sum};
+use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::update::LocalUpdate;
+use fedcav_tensor::Result;
+
+/// The vanilla FedAvg aggregation rule:
+/// `w_{t+1} = Σ_i (|d_i| / |D_St|) · w^i_{t+1}`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FedAvg;
+
+impl FedAvg {
+    /// New FedAvg strategy.
+    pub fn new() -> Self {
+        FedAvg
+    }
+}
+
+impl Strategy for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn aggregate(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        let weights = sample_weights(updates)?;
+        Ok(Aggregation::Accept(weighted_sum(updates, &weights)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_by_sample_count() {
+        let updates = vec![
+            LocalUpdate::new(0, vec![0.0, 0.0], 0.1, 30),
+            LocalUpdate::new(1, vec![4.0, 8.0], 0.9, 10),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
+        match FedAvg::new().aggregate(&ctx, &updates).unwrap() {
+            Aggregation::Accept(p) => assert_eq!(p, vec![1.0, 2.0]),
+            _ => panic!("FedAvg never rejects"),
+        }
+    }
+
+    #[test]
+    fn ignores_inference_loss() {
+        // Two updates with wildly different losses but equal sizes: plain mean.
+        let updates = vec![
+            LocalUpdate::new(0, vec![0.0], 100.0, 5),
+            LocalUpdate::new(1, vec![2.0], 0.0, 5),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        match FedAvg::new().aggregate(&ctx, &updates).unwrap() {
+            Aggregation::Accept(p) => assert_eq!(p, vec![1.0]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn empty_round_errors() {
+        let ctx = RoundContext { round: 0, global: &[] };
+        assert!(FedAvg::new().aggregate(&ctx, &[]).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! FedAvgM — FedAvg with server momentum (Hsu et al. 2019), an extension
+//! baseline: the server treats the averaged *update direction* as a
+//! pseudo-gradient and applies momentum to it, which is known to help under
+//! label skew.
+
+use crate::aggregate::{sample_weights, weighted_sum};
+use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::update::LocalUpdate;
+use fedcav_tensor::{Result, TensorError};
+
+/// FedAvg + server momentum:
+///
+/// ```text
+/// Δ_t = w_t − Σ_i (|d_i|/|D|) w^i_{t+1}     (average pseudo-gradient)
+/// v_t = β v_{t−1} + Δ_t
+/// w_{t+1} = w_t − v_t
+/// ```
+#[derive(Debug, Clone)]
+pub struct FedAvgM {
+    beta: f32,
+    velocity: Vec<f32>,
+}
+
+impl FedAvgM {
+    /// New strategy with momentum `beta` (Hsu et al. use 0.9).
+    pub fn new(beta: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta), "momentum in [0,1), got {beta}");
+        FedAvgM { beta, velocity: Vec::new() }
+    }
+}
+
+impl Strategy for FedAvgM {
+    fn name(&self) -> &'static str {
+        "FedAvgM"
+    }
+
+    fn aggregate(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        let weights = sample_weights(updates)?;
+        let avg = weighted_sum(updates, &weights)?;
+        if avg.len() != ctx.global.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "FedAvgM::aggregate",
+                lhs: vec![avg.len()],
+                rhs: vec![ctx.global.len()],
+            });
+        }
+        if self.velocity.len() != avg.len() {
+            self.velocity = vec![0.0; avg.len()];
+        }
+        let mut next = vec![0.0f32; avg.len()];
+        for k in 0..avg.len() {
+            let delta = ctx.global[k] - avg[k];
+            self.velocity[k] = self.beta * self.velocity[k] + delta;
+            next[k] = ctx.global[k] - self.velocity[k];
+        }
+        Ok(Aggregation::Accept(next))
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, params: Vec<f32>) -> LocalUpdate {
+        LocalUpdate::new(id, params, 0.1, 10)
+    }
+
+    #[test]
+    fn zero_momentum_equals_fedavg() {
+        let mut s = FedAvgM::new(0.0);
+        let global = vec![1.0f32, 1.0];
+        let updates = vec![upd(0, vec![0.0, 2.0]), upd(1, vec![2.0, 0.0])];
+        let ctx = RoundContext { round: 0, global: &global };
+        match s.aggregate(&ctx, &updates).unwrap() {
+            Aggregation::Accept(p) => assert_eq!(p, vec![1.0, 1.0]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates_across_rounds() {
+        let mut s = FedAvgM::new(0.5);
+        let global = vec![0.0f32];
+        // Every round the clients pull toward +1.0 (delta = -1).
+        let updates = vec![upd(0, vec![1.0])];
+        let ctx = RoundContext { round: 0, global: &global };
+        let w1 = match s.aggregate(&ctx, &updates).unwrap() {
+            Aggregation::Accept(p) => p,
+            _ => unreachable!(),
+        };
+        assert_eq!(w1, vec![1.0]); // v = -1, w = 0 - (-1)
+        // Second round from w1, clients pull to 2.0 (delta = -1 again);
+        // v = 0.5·(-1) + (-1) = -1.5 -> w = 1 + 1.5 = 2.5 (overshoot).
+        let updates2 = vec![upd(0, vec![2.0])];
+        let ctx2 = RoundContext { round: 1, global: &w1 };
+        let w2 = match s.aggregate(&ctx2, &updates2).unwrap() {
+            Aggregation::Accept(p) => p,
+            _ => unreachable!(),
+        };
+        assert_eq!(w2, vec![2.5]);
+    }
+
+    #[test]
+    fn reset_clears_velocity() {
+        let mut s = FedAvgM::new(0.9);
+        let global = vec![0.0f32];
+        let ctx = RoundContext { round: 0, global: &global };
+        s.aggregate(&ctx, &[upd(0, vec![1.0])]).unwrap();
+        s.reset();
+        // After reset, behaves like the first round again.
+        let out = match s.aggregate(&ctx, &[upd(0, vec![1.0])]).unwrap() {
+            Aggregation::Accept(p) => p,
+            _ => unreachable!(),
+        };
+        assert_eq!(out, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum in [0,1)")]
+    fn bad_beta_panics() {
+        FedAvgM::new(1.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! FedProx (Li et al., baseline §5.1.2): FedAvg aggregation plus a proximal
+//! term `(μ/2)‖w − w_t‖²` in every client's local objective.
+
+use crate::aggregate::{sample_weights, weighted_sum};
+use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::update::LocalUpdate;
+use fedcav_tensor::Result;
+
+/// FedProx: server-side aggregation identical to FedAvg; the difference is
+/// the proximal coefficient injected into local training via
+/// [`Strategy::prox_mu`].
+#[derive(Debug, Clone, Copy)]
+pub struct FedProx {
+    mu: f32,
+}
+
+impl FedProx {
+    /// New FedProx strategy with proximal coefficient `mu` (the original
+    /// paper sweeps 0.001–1; 0.01 is a common default).
+    pub fn new(mu: f32) -> Self {
+        assert!(mu >= 0.0, "mu must be non-negative");
+        FedProx { mu }
+    }
+}
+
+impl Default for FedProx {
+    fn default() -> Self {
+        FedProx::new(0.01)
+    }
+}
+
+impl Strategy for FedProx {
+    fn name(&self) -> &'static str {
+        "FedProx"
+    }
+
+    fn prox_mu(&self) -> f32 {
+        self.mu
+    }
+
+    fn aggregate(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        let weights = sample_weights(updates)?;
+        Ok(Aggregation::Accept(weighted_sum(updates, &weights)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposes_mu_to_local_training() {
+        assert_eq!(FedProx::new(0.1).prox_mu(), 0.1);
+        assert_eq!(FedProx::default().prox_mu(), 0.01);
+    }
+
+    #[test]
+    fn aggregation_matches_fedavg() {
+        let updates = vec![
+            LocalUpdate::new(0, vec![1.0], 0.0, 10),
+            LocalUpdate::new(1, vec![3.0], 0.0, 10),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        match FedProx::default().aggregate(&ctx, &updates).unwrap() {
+            Aggregation::Accept(p) => assert_eq!(p, vec![2.0]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mu_panics() {
+        FedProx::new(-1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Simulated wall-clock time for synchronous FL rounds.
+//!
+//! The paper reports convergence in *rounds*; real deployments care about
+//! *time*, and a synchronous round lasts as long as its slowest participant
+//! (the straggler problem motivating FedProx). This module assigns each
+//! client a latency distribution and computes per-round durations so
+//! harnesses can report time-to-accuracy alongside rounds-to-accuracy.
+
+/// Per-(client, round) latency in seconds.
+pub trait LatencyModel: Send {
+    /// Simulated seconds for `client` to download, train and upload in
+    /// `round`.
+    fn latency(&self, client: usize, round: usize) -> f64;
+
+    /// Duration of a synchronous round: the slowest sampled participant.
+    fn round_duration(&self, participants: &[usize], round: usize) -> f64 {
+        participants
+            .iter()
+            .map(|&c| self.latency(c, round))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// All clients take the same fixed time.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformLatency(pub f64);
+
+impl LatencyModel for UniformLatency {
+    fn latency(&self, _client: usize, _round: usize) -> f64 {
+        self.0
+    }
+}
+
+/// Log-normal per-client base speed with per-round jitter — the standard
+/// empirical model for mobile-device training times (heavy right tail:
+/// occasional very slow stragglers).
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormalLatency {
+    /// Median latency in seconds.
+    pub median: f64,
+    /// Log-space std of the per-client base speed.
+    pub client_sigma: f64,
+    /// Log-space std of the per-round jitter.
+    pub round_sigma: f64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl LogNormalLatency {
+    fn gauss(seed: u64, a: u64, b: u64) -> f64 {
+        // Two hashed uniforms -> Box-Muller; deterministic per (a, b).
+        let mix = |x: u64, y: u64, z: u64| -> u64 {
+            let mut v = x
+                .wrapping_add(y.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(z.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            v = (v ^ (v >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            v = (v ^ (v >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            v ^ (v >> 31)
+        };
+        let u1 = (mix(seed, a, b) as f64 / u64::MAX as f64).clamp(1e-12, 1.0);
+        let u2 = mix(seed ^ 0xABCD, a, b) as f64 / u64::MAX as f64;
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl LatencyModel for LogNormalLatency {
+    fn latency(&self, client: usize, round: usize) -> f64 {
+        // Client base speed is round-independent (b = 0 stream); jitter
+        // varies per round.
+        let base = Self::gauss(self.seed, client as u64, 0);
+        let jitter = Self::gauss(self.seed ^ 0x7172, client as u64, 1 + round as u64);
+        self.median * (self.client_sigma * base + self.round_sigma * jitter).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_round_duration_is_constant() {
+        let m = UniformLatency(2.5);
+        assert_eq!(m.latency(3, 9), 2.5);
+        assert_eq!(m.round_duration(&[0, 1, 2], 0), 2.5);
+        assert_eq!(m.round_duration(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_deterministic() {
+        let m = LogNormalLatency { median: 10.0, client_sigma: 0.5, round_sigma: 0.2, seed: 1 };
+        for c in 0..20 {
+            for r in 0..5 {
+                let l = m.latency(c, r);
+                assert!(l > 0.0 && l.is_finite());
+                assert_eq!(l, m.latency(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_median_roughly_right() {
+        let m = LogNormalLatency { median: 10.0, client_sigma: 0.5, round_sigma: 0.2, seed: 2 };
+        let mut samples: Vec<f64> =
+            (0..2000).map(|c| m.latency(c, 0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 10.0).abs() < 1.5, "median {median}");
+    }
+
+    #[test]
+    fn stragglers_dominate_round_duration() {
+        let m = LogNormalLatency { median: 10.0, client_sigma: 0.8, round_sigma: 0.1, seed: 3 };
+        // A bigger cohort has a slower max (extreme value grows with n).
+        let small: f64 = (0..100)
+            .map(|r| m.round_duration(&(0..3).collect::<Vec<_>>(), r))
+            .sum::<f64>()
+            / 100.0;
+        let large: f64 = (0..100)
+            .map(|r| m.round_duration(&(0..30).collect::<Vec<_>>(), r))
+            .sum::<f64>()
+            / 100.0;
+        assert!(large > small, "straggler effect: {large} <= {small}");
+    }
+
+    #[test]
+    fn per_client_speed_is_persistent() {
+        // The same client should be consistently fast or slow across
+        // rounds (client_sigma dominates round_sigma).
+        let m = LogNormalLatency { median: 10.0, client_sigma: 1.0, round_sigma: 0.05, seed: 4 };
+        let mean_of = |c: usize| -> f64 {
+            (0..50).map(|r| m.latency(c, r)).sum::<f64>() / 50.0
+        };
+        // Find a fast and a slow client; their orderings hold per round.
+        let m0 = mean_of(0);
+        let (slowest, fastest) = (0..20)
+            .map(|c| (mean_of(c), c))
+            .fold(((m0, 0usize), (m0, 0usize)), |(mx, mn), (v, c)| {
+                (if v > mx.0 { (v, c) } else { mx }, if v < mn.0 { (v, c) } else { mn })
+            });
+        assert!(slowest.0 > 2.0 * fastest.0, "spread {} vs {}", slowest.0, fastest.0);
+        let wins = (0..50)
+            .filter(|&r| m.latency(slowest.1, r) > m.latency(fastest.1, r))
+            .count();
+        assert!(wins >= 45, "persistent ordering violated: {wins}/50");
+    }
+}

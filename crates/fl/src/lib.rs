@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! # fedcav-fl
+//!
+//! The federated-learning simulation substrate: everything the FedCav paper
+//! *builds on* rather than contributes.
+//!
+//! * [`update`] — the client→server wire format ([`LocalUpdate`]: flat model
+//!   state + inference loss + sample count),
+//! * [`client`] — Algorithm 2 (`LocalUpdate`): inference-loss computation on
+//!   the downloaded global model followed by `E` local epochs of SGD,
+//! * [`strategy`] — the [`Strategy`] trait every aggregation rule
+//!   implements, with an accept-or-reject decision so FedCav's detection
+//!   can *reverse* a round,
+//! * [`fedavg`] / [`fedprox`] — the paper's baselines (§5.1.2),
+//! * [`centralized`] — the centralized gradient-descent upper-bound baseline,
+//! * [`server`] — the round loop (client sampling, rayon-parallel local
+//!   training, aggregation, evaluation, history), with an [`Interceptor`]
+//!   hook where adversaries splice in malicious updates,
+//! * [`eval`] / [`metrics`] — test-set evaluation and per-round records,
+//! * [`availability`] — who is online each round (always / Bernoulli /
+//!   diurnal cohorts),
+//! * [`latency`] — simulated wall-clock per round (uniform / log-normal
+//!   stragglers) for time-to-accuracy readouts,
+//! * [`comm`] — byte-level traffic accounting (§6's "one extra float"
+//!   overhead claim, made measurable).
+
+pub mod aggregate;
+pub mod availability;
+pub mod centralized;
+pub mod client;
+pub mod comm;
+pub mod confusion;
+pub mod eval;
+pub mod fedavg;
+pub mod fedavgm;
+pub mod fedprox;
+pub mod latency;
+pub mod metrics;
+pub mod robust;
+pub mod sampling;
+pub mod server;
+pub mod strategy;
+pub mod update;
+
+pub use availability::{AlwaysAvailable, AvailabilityModel, BernoulliAvailability, DiurnalAvailability};
+pub use centralized::CentralizedTrainer;
+pub use client::{local_update, LocalConfig};
+pub use comm::{CommModel, CommStats};
+pub use confusion::{evaluate_confusion, ConfusionMatrix};
+pub use fedavg::FedAvg;
+pub use fedavgm::FedAvgM;
+pub use fedprox::FedProx;
+pub use robust::{CoordinateMedian, TrimmedMean};
+pub use latency::{LatencyModel, LogNormalLatency, UniformLatency};
+pub use metrics::{History, RoundRecord};
+pub use server::{Interceptor, ModelFactory, Simulation, SimulationConfig};
+pub use strategy::{Aggregation, RoundContext, Strategy};
+pub use update::LocalUpdate;
+
+pub use fedcav_tensor::{Result, TensorError};

@@ -1,0 +1,189 @@
+//! Per-round records and experiment history.
+
+/// What the server records after each communication round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Communication round index (0-based).
+    pub round: usize,
+    /// Test-set top-1 accuracy of the (possibly reverted) global model.
+    pub test_accuracy: f32,
+    /// Test-set mean cross-entropy.
+    pub test_loss: f32,
+    /// Mean inference loss reported by this round's participants.
+    pub mean_inference_loss: f32,
+    /// Max inference loss reported by this round's participants.
+    pub max_inference_loss: f32,
+    /// Number of participating clients.
+    pub participants: usize,
+    /// Whether the strategy rejected the round (FedCav detection fired).
+    pub rejected: bool,
+    /// Rejection reason, when `rejected`.
+    pub reject_reason: Option<String>,
+    /// Bytes the server pushed this round (global model downlink).
+    pub bytes_down: u64,
+    /// Bytes the participants pushed back (updates + any inference loss).
+    pub bytes_up: u64,
+    /// Simulated duration of this round in seconds (slowest participant
+    /// under the installed [`crate::LatencyModel`]; 0 when none installed).
+    pub round_duration: f64,
+    /// Simulated wall-clock at the *end* of this round.
+    pub sim_time: f64,
+}
+
+/// The full trajectory of an experiment.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// One record per round, in order.
+    pub records: Vec<RoundRecord>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        History { records: Vec::new() }
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no rounds have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Accuracy series (one entry per round).
+    pub fn accuracies(&self) -> Vec<f32> {
+        self.records.iter().map(|r| r.test_accuracy).collect()
+    }
+
+    /// Final-round accuracy.
+    pub fn final_accuracy(&self) -> Option<f32> {
+        self.records.last().map(|r| r.test_accuracy)
+    }
+
+    /// Mean accuracy over the last `k` rounds (the "after convergence"
+    /// accuracy reported in Table 4).
+    pub fn converged_accuracy(&self, k: usize) -> Option<f32> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let k = k.clamp(1, self.records.len());
+        let tail = &self.records[self.records.len() - k..];
+        Some(tail.iter().map(|r| r.test_accuracy).sum::<f32>() / k as f32)
+    }
+
+    /// First round whose accuracy reaches `fraction` of the converged
+    /// accuracy (DESIGN.md §7's convergence-round definition, used for the
+    /// paper's "~34% fewer rounds" comparison).
+    pub fn convergence_round(&self, fraction: f32, tail_k: usize) -> Option<usize> {
+        let target = self.converged_accuracy(tail_k)? * fraction;
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy >= target)
+            .map(|r| r.round)
+    }
+
+    /// Simulated time at which accuracy first reached `target` (requires a
+    /// latency model on the simulation; `None` if never reached).
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy >= target)
+            .map(|r| r.sim_time)
+    }
+
+    /// First round (0-based) whose accuracy reached `target`; `None` if
+    /// never. This is the paper's "fewer training rounds" speed metric.
+    pub fn rounds_to_accuracy(&self, target: f32) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy >= target)
+            .map(|r| r.round)
+    }
+
+    /// Rounds where the strategy rejected the aggregation.
+    pub fn rejected_rounds(&self) -> Vec<usize> {
+        self.records
+            .iter()
+            .filter(|r| r.rejected)
+            .map(|r| r.round)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: usize, acc: f32) -> RoundRecord {
+        RoundRecord {
+            round,
+            test_accuracy: acc,
+            test_loss: 1.0 - acc,
+            mean_inference_loss: 0.5,
+            max_inference_loss: 1.0,
+            participants: 3,
+            rejected: false,
+            reject_reason: None,
+            bytes_down: 0,
+            bytes_up: 0,
+            round_duration: 0.0,
+            sim_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn converged_accuracy_tail_mean() {
+        let mut h = History::new();
+        for (i, a) in [0.1, 0.5, 0.8, 0.9, 0.9].iter().enumerate() {
+            h.records.push(rec(i, *a));
+        }
+        assert!((h.converged_accuracy(2).unwrap() - 0.9).abs() < 1e-6);
+        assert!((h.converged_accuracy(100).unwrap() - 0.64).abs() < 1e-6);
+        assert_eq!(h.final_accuracy(), Some(0.9));
+    }
+
+    #[test]
+    fn convergence_round_finds_first_crossing() {
+        let mut h = History::new();
+        for (i, a) in [0.1, 0.5, 0.85, 0.9, 0.9].iter().enumerate() {
+            h.records.push(rec(i, *a));
+        }
+        // target = 0.99 * 0.9 = 0.891 -> first round >= 0.891 is round 3.
+        assert_eq!(h.convergence_round(0.99, 2), Some(3));
+        // 0.5 * 0.9 = 0.45 -> round 1.
+        assert_eq!(h.convergence_round(0.5, 2), Some(1));
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.converged_accuracy(3), None);
+        assert_eq!(h.convergence_round(0.99, 3), None);
+        assert_eq!(h.final_accuracy(), None);
+    }
+
+    #[test]
+    fn rounds_to_accuracy_first_crossing() {
+        let mut h = History::new();
+        for (i, a) in [0.2, 0.5, 0.92, 0.88, 0.95].iter().enumerate() {
+            h.records.push(rec(i, *a));
+        }
+        assert_eq!(h.rounds_to_accuracy(0.9), Some(2));
+        assert_eq!(h.rounds_to_accuracy(0.99), None);
+    }
+
+    #[test]
+    fn rejected_rounds_listed() {
+        let mut h = History::new();
+        h.records.push(rec(0, 0.5));
+        let mut r = rec(1, 0.2);
+        r.rejected = true;
+        r.reject_reason = Some("vote".into());
+        h.records.push(r);
+        assert_eq!(h.rejected_rounds(), vec![1]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Byzantine-robust aggregation baselines: coordinate-wise median and
+//! trimmed mean (Yin et al.), referenced by the paper's threat-model
+//! discussion (§2, Blanchard et al.) but not evaluated there. Provided so
+//! the extension benches can compare FedCav's detect-and-reverse against
+//! the classical robust-statistics defenses.
+
+use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::update::LocalUpdate;
+use fedcav_tensor::{Result, TensorError};
+
+fn check_updates(updates: &[LocalUpdate], op: &'static str) -> Result<usize> {
+    if updates.is_empty() {
+        return Err(TensorError::Empty { op });
+    }
+    let len = updates[0].params.len();
+    for u in updates {
+        if u.params.len() != len {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: vec![len],
+                rhs: vec![u.params.len()],
+            });
+        }
+    }
+    Ok(len)
+}
+
+/// Coordinate-wise median aggregation.
+///
+/// Tolerates up to ⌊(n−1)/2⌋ arbitrary (Byzantine) updates per coordinate,
+/// at the cost of ignoring data-size and loss information entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CoordinateMedian;
+
+impl CoordinateMedian {
+    /// New median strategy.
+    pub fn new() -> Self {
+        CoordinateMedian
+    }
+}
+
+impl Strategy for CoordinateMedian {
+    fn name(&self) -> &'static str {
+        "CoordMedian"
+    }
+
+    fn aggregate(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        let len = check_updates(updates, "CoordinateMedian::aggregate")?;
+        let n = updates.len();
+        let mut out = vec![0.0f32; len];
+        let mut column = vec![0.0f32; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            for (j, u) in updates.iter().enumerate() {
+                column[j] = u.params[k];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            *o = if n % 2 == 1 {
+                column[n / 2]
+            } else {
+                0.5 * (column[n / 2 - 1] + column[n / 2])
+            };
+        }
+        Ok(Aggregation::Accept(out))
+    }
+}
+
+/// Coordinate-wise `β`-trimmed mean: drop the `β` largest and `β` smallest
+/// values per coordinate, average the rest.
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMean {
+    /// Values trimmed from *each* end per coordinate.
+    pub beta: usize,
+}
+
+impl TrimmedMean {
+    /// New trimmed mean trimming `beta` from each end.
+    pub fn new(beta: usize) -> Self {
+        TrimmedMean { beta }
+    }
+}
+
+impl Strategy for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "TrimmedMean"
+    }
+
+    fn aggregate(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        let len = check_updates(updates, "TrimmedMean::aggregate")?;
+        let n = updates.len();
+        if 2 * self.beta >= n {
+            return Err(TensorError::InvalidShape {
+                op: "TrimmedMean::aggregate",
+                shape: vec![n],
+                expected: format!("more than 2·β = {} updates", 2 * self.beta),
+            });
+        }
+        let keep = n - 2 * self.beta;
+        let mut out = vec![0.0f32; len];
+        let mut column = vec![0.0f32; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            for (j, u) in updates.iter().enumerate() {
+                column[j] = u.params[k];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            *o = column[self.beta..n - self.beta].iter().sum::<f32>() / keep as f32;
+        }
+        Ok(Aggregation::Accept(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, params: Vec<f32>) -> LocalUpdate {
+        LocalUpdate::new(id, params, 0.1, 10)
+    }
+
+    fn accept(a: Aggregation) -> Vec<f32> {
+        match a {
+            Aggregation::Accept(p) => p,
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn median_odd_count() {
+        let updates = vec![
+            upd(0, vec![1.0, 10.0]),
+            upd(1, vec![2.0, 20.0]),
+            upd(2, vec![100.0, -5.0]),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
+        let out = accept(CoordinateMedian::new().aggregate(&ctx, &updates).unwrap());
+        assert_eq!(out, vec![2.0, 10.0]);
+    }
+
+    #[test]
+    fn median_even_count_averages_middle() {
+        let updates = vec![upd(0, vec![1.0]), upd(1, vec![3.0]), upd(2, vec![5.0]), upd(3, vec![7.0])];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let out = accept(CoordinateMedian::new().aggregate(&ctx, &updates).unwrap());
+        assert_eq!(out, vec![4.0]);
+    }
+
+    #[test]
+    fn median_ignores_one_outlier() {
+        // One Byzantine update with huge values must not move the median.
+        let honest: Vec<LocalUpdate> = (0..4).map(|i| upd(i, vec![1.0; 3])).collect();
+        let mut with_attacker = honest.clone();
+        with_attacker.push(upd(9, vec![1e9; 3]));
+        let ctx = RoundContext { round: 0, global: &[0.0; 3] };
+        let out = accept(CoordinateMedian::new().aggregate(&ctx, &with_attacker).unwrap());
+        assert_eq!(out, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let updates = vec![
+            upd(0, vec![-100.0]),
+            upd(1, vec![1.0]),
+            upd(2, vec![2.0]),
+            upd(3, vec![3.0]),
+            upd(4, vec![100.0]),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let out = accept(TrimmedMean::new(1).aggregate(&ctx, &updates).unwrap());
+        assert_eq!(out, vec![2.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_beta_zero_is_plain_mean() {
+        let updates = vec![upd(0, vec![1.0]), upd(1, vec![3.0])];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let out = accept(TrimmedMean::new(0).aggregate(&ctx, &updates).unwrap());
+        assert_eq!(out, vec![2.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_overtrimming() {
+        let updates = vec![upd(0, vec![1.0]), upd(1, vec![2.0])];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        assert!(TrimmedMean::new(1).aggregate(&ctx, &updates).is_err());
+    }
+
+    #[test]
+    fn empty_round_errors() {
+        let ctx = RoundContext { round: 0, global: &[] };
+        assert!(CoordinateMedian::new().aggregate(&ctx, &[]).is_err());
+        assert!(TrimmedMean::new(0).aggregate(&ctx, &[]).is_err());
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let updates = vec![upd(0, vec![1.0]), upd(1, vec![1.0, 2.0])];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        assert!(CoordinateMedian::new().aggregate(&ctx, &updates).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Client sampling: each round the server samples a fraction `q` of the
+//! deployment (paper: q = 0.3 of 100 clients, §5.1.4).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sample `ceil(q · n_clients)` distinct client indices, at least one.
+pub fn sample_clients<R: Rng>(n_clients: usize, q: f64, rng: &mut R) -> Vec<usize> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(q > 0.0 && q <= 1.0, "sample ratio must be in (0,1], got {q}");
+    let k = ((q * n_clients as f64).ceil() as usize).clamp(1, n_clients);
+    let mut all: Vec<usize> = (0..n_clients).collect();
+    all.shuffle(rng);
+    let mut picked = all[..k].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn count_matches_ratio() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_clients(100, 0.3, &mut rng).len(), 30);
+        assert_eq!(sample_clients(100, 1.0, &mut rng).len(), 100);
+        assert_eq!(sample_clients(10, 0.05, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn indices_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_clients(50, 0.5, &mut rng);
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len());
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn different_rounds_differ() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = sample_clients(100, 0.3, &mut rng);
+        let b = sample_clients(100, 0.3, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample ratio")]
+    fn zero_ratio_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        sample_clients(10, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,570 @@
+//! The server round loop: sampling, parallel local training, aggregation,
+//! evaluation (Algorithm 1's outer loop).
+
+use crate::availability::{AlwaysAvailable, AvailabilityModel};
+use crate::client::{local_update, LocalConfig};
+use crate::comm::{CommModel, CommStats};
+use crate::latency::LatencyModel;
+use crate::eval::evaluate;
+use crate::metrics::{History, RoundRecord};
+use crate::sampling::sample_clients;
+use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::update::LocalUpdate;
+use fedcav_data::Dataset;
+use fedcav_nn::Sequential;
+use fedcav_tensor::{Result, TensorError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// A model constructor. Every worker thread builds its own model instance
+/// from this, so the architecture definition is shared but no tensor is.
+pub type ModelFactory = dyn Fn() -> Sequential + Sync;
+
+/// Deployment-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// Fraction `q` of clients sampled each round (paper: 0.3).
+    pub sample_ratio: f64,
+    /// Local-training hyper-parameters (Algorithm 2).
+    pub local: LocalConfig,
+    /// Batch size for server-side test evaluation.
+    pub eval_batch: usize,
+    /// Master seed; drives sampling and all per-client shuffles.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            sample_ratio: 0.3,
+            local: LocalConfig::default(),
+            eval_batch: 64,
+            seed: 42,
+        }
+    }
+}
+
+/// A hook that may tamper with the round's updates before aggregation —
+/// the seam where `fedcav-attack` splices in model-replacement updates.
+pub trait Interceptor: Send {
+    /// Inspect/mutate the collected updates for round `round`.
+    fn intercept(
+        &mut self,
+        round: usize,
+        global: &[f32],
+        updates: &mut Vec<LocalUpdate>,
+    ) -> Result<()>;
+}
+
+/// A federated deployment: `n` clients with local datasets, one test set,
+/// one aggregation strategy, one global model.
+pub struct Simulation<'a> {
+    factory: &'a ModelFactory,
+    clients: Vec<Dataset>,
+    test: Dataset,
+    strategy: Box<dyn Strategy + 'a>,
+    interceptor: Option<Box<dyn Interceptor + 'a>>,
+    availability: Box<dyn AvailabilityModel + 'a>,
+    latency: Option<Box<dyn LatencyModel + 'a>>,
+    sim_time: f64,
+    global: Vec<f32>,
+    history: History,
+    config: SimulationConfig,
+    round: usize,
+    rng: StdRng,
+    comm_model: CommModel,
+    comm_stats: CommStats,
+}
+
+/// SplitMix64 — derives independent per-(round, client) seeds from the
+/// master seed so parallel execution order never affects results.
+fn derive_seed(master: u64, round: usize, client: usize) -> u64 {
+    let mut z = master
+        .wrapping_add((round as u64).wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add((client as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl<'a> Simulation<'a> {
+    /// Build a deployment. The initial global model is one fresh `factory()`
+    /// instance (the paper's "initialize weights" step).
+    pub fn new(
+        factory: &'a ModelFactory,
+        clients: Vec<Dataset>,
+        test: Dataset,
+        strategy: Box<dyn Strategy + 'a>,
+        config: SimulationConfig,
+    ) -> Self {
+        assert!(!clients.is_empty(), "need at least one client");
+        let global = factory().flat_params();
+        let comm_model = CommModel::new(global.len());
+        let rng = StdRng::seed_from_u64(config.seed);
+        Simulation {
+            factory,
+            clients,
+            test,
+            strategy,
+            interceptor: None,
+            availability: Box::new(AlwaysAvailable),
+            latency: None,
+            sim_time: 0.0,
+            global,
+            history: History::new(),
+            config,
+            round: 0,
+            rng,
+            comm_model,
+            comm_stats: CommStats::default(),
+        }
+    }
+
+    /// Install an adversarial interceptor.
+    pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor + 'a>) {
+        self.interceptor = Some(interceptor);
+    }
+
+    /// Install a client-availability model (default: everyone online).
+    pub fn set_availability(&mut self, model: Box<dyn AvailabilityModel + 'a>) {
+        self.availability = model;
+    }
+
+    /// Install a latency model; rounds then advance simulated wall-clock by
+    /// the slowest participant's latency (synchronous FL).
+    pub fn set_latency(&mut self, model: Box<dyn LatencyModel + 'a>) {
+        self.latency = Some(model);
+    }
+
+    /// Simulated wall-clock so far (0 when no latency model installed).
+    pub fn sim_time(&self) -> f64 {
+        self.sim_time
+    }
+
+    /// Replace the global model (e.g. with a pre-trained one, §5.2.2).
+    pub fn set_global(&mut self, params: Vec<f32>) -> Result<()> {
+        if params.len() != self.global.len() {
+            return Err(TensorError::ElementCountMismatch {
+                from: params.len(),
+                to: self.global.len(),
+            });
+        }
+        self.global = params;
+        Ok(())
+    }
+
+    /// Current global model parameters.
+    pub fn global(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Number of clients in the deployment.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Strategy name (for experiment output).
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// History so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Cumulative communication traffic (§6 overhead accounting).
+    pub fn comm_stats(&self) -> CommStats {
+        self.comm_stats
+    }
+
+    /// Run one communication round; returns the recorded metrics.
+    pub fn run_round(&mut self) -> Result<RoundRecord> {
+        // Sample `q` of the *online* clients; if the availability model
+        // leaves nobody online this round, fall back to the full population
+        // (a real server would retry / wait — the simulation keeps moving).
+        let online = self.availability.available(self.clients.len(), self.round);
+        let participants: Vec<usize> = if online.is_empty() {
+            sample_clients(self.clients.len(), self.config.sample_ratio, &mut self.rng)
+        } else {
+            sample_clients(online.len(), self.config.sample_ratio, &mut self.rng)
+                .into_iter()
+                .map(|i| online[i])
+                .collect()
+        };
+
+        // FedProx injects its μ into local training; others leave the
+        // configured value (normally 0).
+        let strategy_mu = self.strategy.prox_mu();
+        let local_cfg = LocalConfig {
+            prox_mu: if strategy_mu > 0.0 { strategy_mu } else { self.config.local.prox_mu },
+            ..self.config.local
+        };
+
+        let factory = self.factory;
+        let global = &self.global;
+        let clients = &self.clients;
+        let seed = self.config.seed;
+        let round = self.round;
+
+        // Algorithm 1 line 4: "for each client i in P_t in parallel".
+        let mut updates: Vec<LocalUpdate> = participants
+            .par_iter()
+            .map(|&cid| {
+                local_update(
+                    factory,
+                    global,
+                    cid,
+                    &clients[cid],
+                    &local_cfg,
+                    derive_seed(seed, round, cid),
+                )
+            })
+            .collect::<Result<_>>()?;
+
+        if let Some(interceptor) = &mut self.interceptor {
+            interceptor.intercept(round, &self.global, &mut updates)?;
+        }
+
+        let mean_loss = if updates.is_empty() {
+            0.0
+        } else {
+            updates.iter().map(|u| u.inference_loss).sum::<f32>() / updates.len() as f32
+        };
+        let max_loss = updates
+            .iter()
+            .map(|u| u.inference_loss)
+            .fold(f32::NEG_INFINITY, f32::max);
+
+        let ctx = RoundContext { round, global: &self.global };
+        let (rejected, reason) = match self.strategy.aggregate(&ctx, &updates)? {
+            Aggregation::Accept(params) => {
+                if params.len() != self.global.len() {
+                    return Err(TensorError::ElementCountMismatch {
+                        from: params.len(),
+                        to: self.global.len(),
+                    });
+                }
+                self.global = params;
+                (false, None)
+            }
+            Aggregation::Reject { reverted, reason } => {
+                if reverted.len() != self.global.len() {
+                    return Err(TensorError::ElementCountMismatch {
+                        from: reverted.len(),
+                        to: self.global.len(),
+                    });
+                }
+                self.global = reverted;
+                (true, Some(reason))
+            }
+        };
+
+        let mut eval_model = (self.factory)();
+        eval_model.set_flat_params(&self.global)?;
+        let (test_loss, test_accuracy) = evaluate(&mut eval_model, &self.test, self.config.eval_batch)?;
+
+        let bytes_down = self.comm_model.downlink(updates.len());
+        let bytes_up = self
+            .comm_model
+            .uplink(updates.len(), self.strategy.uses_inference_loss());
+        self.comm_stats.record(bytes_down, bytes_up);
+
+        let round_duration = self
+            .latency
+            .as_ref()
+            .map(|m| m.round_duration(&participants, round))
+            .unwrap_or(0.0);
+        self.sim_time += round_duration;
+
+        let record = RoundRecord {
+            round,
+            test_accuracy,
+            test_loss,
+            mean_inference_loss: mean_loss,
+            max_inference_loss: max_loss,
+            participants: updates.len(),
+            rejected,
+            reject_reason: reason,
+            bytes_down,
+            bytes_up,
+            round_duration,
+            sim_time: self.sim_time,
+        };
+        self.history.records.push(record.clone());
+        self.round += 1;
+        Ok(record)
+    }
+
+    /// Run `n` rounds, returning the final record.
+    pub fn run(&mut self, n: usize) -> Result<RoundRecord> {
+        assert!(n > 0, "run at least one round");
+        let mut last = None;
+        for _ in 0..n {
+            last = Some(self.run_round()?);
+        }
+        Ok(last.expect("n > 0 rounds were run"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fedavg::FedAvg;
+    use fedcav_data::{partition, SyntheticConfig, SyntheticKind};
+    use fedcav_nn::models;
+
+    fn deployment(n_clients: usize) -> (Vec<Dataset>, Dataset, usize) {
+        let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2)
+            .generate()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let part = partition::iid_balanced(&train, n_clients, &mut rng);
+        let img_len = train.image_len();
+        (part.client_datasets(&train).unwrap(), test, img_len)
+    }
+
+    #[test]
+    fn fedavg_learns_over_rounds() {
+        let (clients, test, img_len) = deployment(5);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let config = SimulationConfig {
+            sample_ratio: 0.6,
+            local: LocalConfig { epochs: 2, batch_size: 8, lr: 0.1, prox_mu: 0.0 },
+            eval_batch: 32,
+            seed: 1,
+        };
+        let mut sim = Simulation::new(&factory, clients, test, Box::new(FedAvg::new()), config);
+        let first = sim.run_round().unwrap();
+        let last = sim.run(6).unwrap();
+        assert!(
+            last.test_accuracy > first.test_accuracy,
+            "acc should rise: {} -> {}",
+            first.test_accuracy,
+            last.test_accuracy
+        );
+        assert_eq!(sim.history().len(), 7);
+    }
+
+    #[test]
+    fn round_records_have_expected_fields() {
+        let (clients, test, img_len) = deployment(4);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = Simulation::new(
+            &factory,
+            clients,
+            test,
+            Box::new(FedAvg::new()),
+            SimulationConfig {
+                sample_ratio: 0.5,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                eval_batch: 32,
+                seed: 3,
+            },
+        );
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.round, 0);
+        assert_eq!(r.participants, 2);
+        assert!(!r.rejected);
+        assert!(r.max_inference_loss >= r.mean_inference_loss);
+        assert!(r.test_accuracy >= 0.0 && r.test_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run_once = || {
+            let (clients, test, img_len) = deployment(4);
+            let factory = move || {
+                let mut rng = StdRng::seed_from_u64(7);
+                models::mlp(&mut rng, img_len, 10)
+            };
+            let mut sim = Simulation::new(
+                &factory,
+                clients,
+                test,
+                Box::new(FedAvg::new()),
+                SimulationConfig {
+                    sample_ratio: 0.5,
+                    local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                    eval_batch: 32,
+                    seed: 11,
+                },
+            );
+            sim.run(3).unwrap();
+            sim.global().to_vec()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn set_global_validates_len() {
+        let (clients, test, img_len) = deployment(2);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = Simulation::new(
+            &factory,
+            clients,
+            test,
+            Box::new(FedAvg::new()),
+            SimulationConfig::default(),
+        );
+        assert!(sim.set_global(vec![0.0; 3]).is_err());
+        let p = sim.global().to_vec();
+        assert!(sim.set_global(p).is_ok());
+    }
+
+    #[test]
+    fn interceptor_sees_and_mutates_updates() {
+        struct DropAll;
+        impl Interceptor for DropAll {
+            fn intercept(
+                &mut self,
+                _round: usize,
+                global: &[f32],
+                updates: &mut Vec<LocalUpdate>,
+            ) -> Result<()> {
+                // Replace every update with the unchanged global model.
+                for u in updates.iter_mut() {
+                    u.params = global.to_vec();
+                }
+                Ok(())
+            }
+        }
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = Simulation::new(
+            &factory,
+            clients,
+            test,
+            Box::new(FedAvg::new()),
+            SimulationConfig {
+                sample_ratio: 1.0,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.1, prox_mu: 0.0 },
+                eval_batch: 32,
+                seed: 5,
+            },
+        );
+        let before = sim.global().to_vec();
+        sim.set_interceptor(Box::new(DropAll));
+        sim.run_round().unwrap();
+        // Aggregating copies of the global leaves it unchanged.
+        for (a, b) in sim.global().iter().zip(&before) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn latency_model_advances_sim_time() {
+        use crate::latency::UniformLatency;
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = Simulation::new(
+            &factory,
+            clients,
+            test,
+            Box::new(FedAvg::new()),
+            SimulationConfig {
+                sample_ratio: 1.0,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                eval_batch: 32,
+                seed: 3,
+            },
+        );
+        assert_eq!(sim.sim_time(), 0.0);
+        sim.set_latency(Box::new(UniformLatency(3.0)));
+        let r1 = sim.run_round().unwrap();
+        assert_eq!(r1.round_duration, 3.0);
+        assert_eq!(r1.sim_time, 3.0);
+        let r2 = sim.run_round().unwrap();
+        assert_eq!(r2.sim_time, 6.0);
+        assert_eq!(sim.sim_time(), 6.0);
+        // History helper: first time accuracy >= 0 is the first round's end.
+        assert_eq!(sim.history().time_to_accuracy(0.0), Some(3.0));
+    }
+
+    #[test]
+    fn availability_restricts_participants() {
+        use crate::availability::AvailabilityModel;
+        // Only clients 0 and 1 are ever online.
+        struct OnlyTwo;
+        impl AvailabilityModel for OnlyTwo {
+            fn is_available(&self, client: usize, _round: usize) -> bool {
+                client < 2
+            }
+        }
+        let (clients, test, img_len) = deployment(6);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = Simulation::new(
+            &factory,
+            clients,
+            test,
+            Box::new(FedAvg::new()),
+            SimulationConfig {
+                sample_ratio: 1.0,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                eval_batch: 32,
+                seed: 3,
+            },
+        );
+        sim.set_availability(Box::new(OnlyTwo));
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.participants, 2, "only the online clients participate");
+    }
+
+    #[test]
+    fn comm_accounting_matches_model() {
+        let (clients, test, img_len) = deployment(4);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = Simulation::new(
+            &factory,
+            clients,
+            test,
+            Box::new(FedAvg::new()),
+            SimulationConfig {
+                sample_ratio: 0.5,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                eval_batch: 32,
+                seed: 3,
+            },
+        );
+        let n_params = sim.global().len();
+        let r = sim.run_round().unwrap();
+        let model = CommModel::new(n_params);
+        assert_eq!(r.bytes_down, model.downlink(r.participants));
+        // FedAvg does not consume the inference loss.
+        assert_eq!(r.bytes_up, model.uplink(r.participants, false));
+        let stats = sim.comm_stats();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.total_down, r.bytes_down);
+        assert_eq!(stats.total_up, r.bytes_up);
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spreads() {
+        assert_eq!(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+        assert_ne!(derive_seed(1, 2, 3), derive_seed(1, 2, 4));
+        assert_ne!(derive_seed(1, 2, 3), derive_seed(1, 3, 3));
+        assert_ne!(derive_seed(1, 2, 3), derive_seed(2, 2, 3));
+    }
+}

@@ -1,0 +1,101 @@
+//! The aggregation strategy interface.
+
+use crate::update::LocalUpdate;
+use fedcav_tensor::Result;
+
+/// Server-side context handed to a strategy at aggregation time.
+#[derive(Debug)]
+pub struct RoundContext<'a> {
+    /// Communication round index `t` (0-based).
+    pub round: usize,
+    /// The current global model `w_t` (what clients downloaded this round).
+    pub global: &'a [f32],
+}
+
+/// Outcome of an aggregation step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregation {
+    /// Normal round: install these parameters as `w_{t+1}`.
+    Accept(Vec<f32>),
+    /// The strategy detected an abnormal round (FedCav §4.4): discard all
+    /// updates and install `reverted` (the cached pre-attack model) instead.
+    Reject {
+        /// Parameters to roll back to.
+        reverted: Vec<f32>,
+        /// Human-readable reason, recorded in the round history.
+        reason: String,
+    },
+}
+
+/// An FL aggregation rule.
+///
+/// Implementations: [`crate::FedAvg`], [`crate::FedProx`], and FedCav in the
+/// `fedcav-core` crate. Strategies are stateful (FedCav caches the previous
+/// round's model and losses for detection).
+pub trait Strategy: Send {
+    /// Name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// FedProx proximal coefficient to apply during *local* training.
+    /// Zero for everything except FedProx.
+    fn prox_mu(&self) -> f32 {
+        0.0
+    }
+
+    /// Whether this strategy consumes the clients' reported inference loss
+    /// (drives the §6 communication accounting: +1 float per client per
+    /// round when true). FedCav overrides this to `true`.
+    fn uses_inference_loss(&self) -> bool {
+        false
+    }
+
+    /// Combine the round's local updates into the next global model.
+    fn aggregate(&mut self, ctx: &RoundContext<'_>, updates: &[LocalUpdate])
+        -> Result<Aggregation>;
+
+    /// Reset any cached state (fresh deployment).
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Uniform;
+    impl Strategy for Uniform {
+        fn name(&self) -> &'static str {
+            "Uniform"
+        }
+        fn aggregate(
+            &mut self,
+            _ctx: &RoundContext<'_>,
+            updates: &[LocalUpdate],
+        ) -> Result<Aggregation> {
+            let n = updates.len() as f32;
+            let len = updates[0].params.len();
+            let mut out = vec![0.0f32; len];
+            for u in updates {
+                for (o, &p) in out.iter_mut().zip(&u.params) {
+                    *o += p / n;
+                }
+            }
+            Ok(Aggregation::Accept(out))
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut s: Box<dyn Strategy> = Box::new(Uniform);
+        assert_eq!(s.name(), "Uniform");
+        assert_eq!(s.prox_mu(), 0.0);
+        let updates = vec![
+            LocalUpdate::new(0, vec![1.0, 3.0], 0.1, 10),
+            LocalUpdate::new(1, vec![3.0, 5.0], 0.2, 10),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
+        match s.aggregate(&ctx, &updates).unwrap() {
+            Aggregation::Accept(p) => assert_eq!(p, vec![2.0, 4.0]),
+            _ => panic!("expected accept"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The client → server wire format.
+
+/// What a client uploads after local training (Algorithm 2's return value).
+///
+/// The paper's overhead analysis (§6) notes FedCav adds exactly one float —
+/// `inference_loss` — on top of what FedAvg already transfers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalUpdate {
+    /// Index of the client in the deployment.
+    pub client_id: usize,
+    /// Full model state after local training (`w^i_{t+1}`), in the
+    /// [`Sequential::flat_params`](fedcav_nn::Sequential::flat_params)
+    /// wire format.
+    pub params: Vec<f32>,
+    /// Inference loss `f_i(w_t)`: mean cross-entropy of the *downloaded
+    /// global* model on the client's local data, computed before training.
+    pub inference_loss: f32,
+    /// Local sample count `|d_i|` (FedAvg's aggregation weight).
+    pub num_samples: usize,
+}
+
+impl LocalUpdate {
+    /// Build an update.
+    pub fn new(client_id: usize, params: Vec<f32>, inference_loss: f32, num_samples: usize) -> Self {
+        LocalUpdate { client_id, params, inference_loss, num_samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_stores_fields() {
+        let u = LocalUpdate::new(3, vec![1.0, 2.0], 0.5, 40);
+        assert_eq!(u.client_id, 3);
+        assert_eq!(u.params, vec![1.0, 2.0]);
+        assert_eq!(u.inference_loss, 0.5);
+        assert_eq!(u.num_samples, 40);
+    }
+}

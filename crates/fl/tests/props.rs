@@ -1,0 +1,95 @@
+//! Property-based tests of the FL substrate: aggregation weight identities
+//! and fixed points that must hold for any update set.
+
+use fedcav_fl::aggregate::{sample_weights, weighted_sum};
+use fedcav_fl::update::LocalUpdate;
+use proptest::prelude::*;
+
+fn updates(
+    n: std::ops::Range<usize>,
+    dim: usize,
+) -> impl Strategy<Value = Vec<LocalUpdate>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(-10.0f32..10.0, dim..=dim),
+            0.0f32..10.0,
+            1usize..200,
+        ),
+        n,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (params, loss, samples))| LocalUpdate::new(i, params, loss, samples))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sample_weights_always_normalised(us in updates(1..20, 4)) {
+        let w = sample_weights(&us).unwrap();
+        prop_assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn identical_params_are_a_fixed_point(
+        params in proptest::collection::vec(-10.0f32..10.0, 8),
+        n in 1usize..10,
+    ) {
+        // If every client returns the same parameters, any normalised
+        // weighting must return exactly those parameters.
+        let us: Vec<LocalUpdate> = (0..n)
+            .map(|i| LocalUpdate::new(i, params.clone(), 0.5, 10 + i))
+            .collect();
+        let w = sample_weights(&us).unwrap();
+        let out = weighted_sum(&us, &w).unwrap();
+        for (o, p) in out.iter().zip(&params) {
+            prop_assert!((o - p).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_bounded_by_extremes(us in updates(1..12, 6)) {
+        // A convex combination is coordinate-wise within [min, max] of the
+        // inputs.
+        let w = sample_weights(&us).unwrap();
+        let out = weighted_sum(&us, &w).unwrap();
+        for k in 0..6 {
+            let lo = us.iter().map(|u| u.params[k]).fold(f32::INFINITY, f32::min);
+            let hi = us.iter().map(|u| u.params[k]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out[k] >= lo - 1e-3 && out[k] <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_linear_in_weights(us in updates(2..8, 5), k in 0.1f32..5.0) {
+        // weighted_sum(k * w) = k * weighted_sum(w).
+        let w = sample_weights(&us).unwrap();
+        let scaled: Vec<f32> = w.iter().map(|x| x * k).collect();
+        let base = weighted_sum(&us, &w).unwrap();
+        let scaled_out = weighted_sum(&us, &scaled).unwrap();
+        for (s, b) in scaled_out.iter().zip(&base) {
+            prop_assert!((s - k * b).abs() < 1e-2 + b.abs() * 1e-3);
+        }
+    }
+
+    #[test]
+    fn order_of_updates_does_not_matter(us in updates(2..10, 4)) {
+        // FedAvg-style aggregation must be permutation-invariant.
+        let w = sample_weights(&us).unwrap();
+        let fwd = weighted_sum(&us, &w).unwrap();
+        let mut rev_us = us.clone();
+        rev_us.reverse();
+        let mut rev_w = w.clone();
+        rev_w.reverse();
+        let bwd = weighted_sum(&rev_us, &rev_w).unwrap();
+        for (a, b) in fwd.iter().zip(&bwd) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Activation layers.
+
+use crate::layer::Layer;
+use fedcav_tensor::{Result, Tensor, TensorError};
+
+/// Rectified linear unit, `y = max(0, x)`, any shape.
+///
+/// Caches the activation mask during training for the backward pass.
+#[derive(Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        ReLU { mask: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if train {
+            self.mask = Some(input.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or(TensorError::Empty {
+            op: "ReLU::backward (no cached forward)",
+        })?;
+        if mask.len() != d_out.numel() {
+            return Err(TensorError::ShapeMismatch {
+                op: "ReLU::backward",
+                lhs: vec![mask.len()],
+                rhs: vec![d_out.numel()],
+            });
+        }
+        let mut out = d_out.clone();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(mask.iter()) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = r.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
+        r.forward(&x, true).unwrap();
+        let g = Tensor::from_slice(&[10.0, 10.0, 10.0]);
+        let dx = r.backward(&g).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // Subgradient convention: relu'(0) = 0.
+        let mut r = ReLU::new();
+        r.forward(&Tensor::from_slice(&[0.0]), true).unwrap();
+        let dx = r.backward(&Tensor::from_slice(&[5.0])).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut r = ReLU::new();
+        assert!(r.backward(&Tensor::ones(&[2])).is_err());
+    }
+
+    #[test]
+    fn backward_shape_mismatch_errors() {
+        let mut r = ReLU::new();
+        r.forward(&Tensor::ones(&[3]), true).unwrap();
+        assert!(r.backward(&Tensor::ones(&[4])).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Convolution layer wrapping the `fedcav-tensor` conv kernels.
+
+use crate::layer::{read_tensor, write_tensor, Layer};
+use fedcav_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dParams};
+use fedcav_tensor::{init, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// 2-D convolution layer (NCHW), Kaiming-normal init, zero bias.
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    d_weight: Tensor,
+    d_bias: Tensor,
+    params: Conv2dParams,
+    cached_input: Option<Tensor>,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl Conv2d {
+    /// New conv layer: `out_c` filters of `in_c × k × k`, given stride and
+    /// symmetric padding.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let dims = [out_channels, in_channels, kernel, kernel];
+        Conv2d {
+            weight: init::kaiming_normal(rng, &dims),
+            bias: Tensor::zeros(&[out_channels]),
+            d_weight: Tensor::zeros(&dims),
+            d_bias: Tensor::zeros(&[out_channels]),
+            params: Conv2dParams { stride, padding },
+            cached_input: None,
+            in_channels,
+            out_channels,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (filters).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let out = conv2d_forward(input, &self.weight, &self.bias, self.params)?;
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or(TensorError::Empty {
+            op: "Conv2d::backward (no cached forward)",
+        })?;
+        let grads = conv2d_backward(input, &self.weight, d_out, self.params)?;
+        self.d_weight.add_assign(&grads.d_weight)?;
+        self.d_bias.add_assign(&grads.d_bias)?;
+        Ok(grads.d_input)
+    }
+
+    fn visit_trainable(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.d_weight);
+        f(&mut self.bias, &self.d_bias);
+    }
+
+    fn trainable_len(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+
+    fn zero_grad(&mut self) {
+        self.d_weight.map_in_place(|_| 0.0);
+        self.d_bias.map_in_place(|_| 0.0);
+    }
+
+    fn state_len(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+
+    fn write_state(&self, out: &mut Vec<f32>) {
+        write_tensor(out, &self.weight);
+        write_tensor(out, &self.bias);
+    }
+
+    fn read_state(&mut self, src: &[f32]) -> Result<usize> {
+        let a = read_tensor(&mut self.weight, src)?;
+        let b = read_tensor(&mut self.bias, &src[a..])?;
+        Ok(a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_tensor::numerics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_output_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(&mut rng, 1, 6, 5, 1, 0);
+        let x = Tensor::zeros(&[2, 1, 28, 28]);
+        let y = c.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 6, 24, 24]);
+    }
+
+    #[test]
+    fn padded_strided_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(&mut rng, 3, 8, 3, 2, 1);
+        let x = Tensor::zeros(&[1, 3, 32, 32]);
+        let y = c.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 8, 16, 16]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(&mut rng, 1, 1, 3, 1, 0);
+        assert!(c.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        // conv -> CE loss; finite-difference a few weights.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut c = Conv2d::new(&mut rng, 1, 2, 3, 1, 0);
+        let x = init::uniform(&mut rng, &[2, 1, 4, 4], -1.0, 1.0);
+        let labels = [1usize, 3];
+
+        let flat_logits = |y: &Tensor| y.reshape(&[2, 2 * 2 * 2]).unwrap();
+
+        let y = c.forward(&x, true).unwrap();
+        let g = numerics::cross_entropy_grad(&flat_logits(&y), &labels).unwrap();
+        let g4 = g.reshape(y.dims()).unwrap();
+        c.zero_grad();
+        c.backward(&g4).unwrap();
+
+        let loss_of = |c: &mut Conv2d| {
+            let y = c.forward(&x, false).unwrap();
+            numerics::cross_entropy_mean(&flat_logits(&y), &labels).unwrap()
+        };
+        let eps = 1e-2f32;
+        for &k in &[0usize, 4, 9, 17] {
+            let orig = c.weight.as_slice()[k];
+            c.weight.as_mut_slice()[k] = orig + eps;
+            let lu = loss_of(&mut c);
+            c.weight.as_mut_slice()[k] = orig - eps;
+            let ld = loss_of(&mut c);
+            c.weight.as_mut_slice()[k] = orig;
+            let fd = (lu - ld) / (2.0 * eps);
+            let an = c.d_weight.as_slice()[k];
+            assert!((fd - an).abs() < 1e-2, "dW[{k}] fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Conv2d::new(&mut rng, 2, 3, 3, 1, 1);
+        let mut b = Conv2d::new(&mut rng, 2, 3, 3, 1, 1);
+        let mut buf = Vec::new();
+        a.write_state(&mut buf);
+        assert_eq!(buf.len(), a.state_len());
+        b.read_state(&buf).unwrap();
+        assert_eq!(a.weight.as_slice(), b.weight.as_slice());
+    }
+}

@@ -1,0 +1,240 @@
+//! Fully-connected layer.
+
+use crate::layer::{read_tensor, write_tensor, Layer};
+use fedcav_tensor::{init, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// A dense (fully-connected) layer: `y = x · W + b`.
+///
+/// * weights `W`: `[in_features, out_features]` (Xavier-uniform init)
+/// * bias `b`: `[out_features]` (zero init)
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    d_weight: Tensor,
+    d_bias: Tensor,
+    cached_input: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// New dense layer with Xavier-uniform weights.
+    pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Dense {
+            weight: init::xavier_uniform(rng, in_features, out_features),
+            bias: Tensor::zeros(&[out_features]),
+            d_weight: Tensor::zeros(&[in_features, out_features]),
+            d_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable access to the weight matrix (for tests/inspection).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.len() != 2 || dims[1] != self.in_features {
+            return Err(TensorError::InvalidShape {
+                op: "Dense::forward",
+                shape: dims.to_vec(),
+                expected: format!("[batch, {}]", self.in_features),
+            });
+        }
+        let mut out = input.matmul(&self.weight)?;
+        // Broadcast-add bias across rows.
+        let b = self.bias.as_slice();
+        for row in out.as_mut_slice().chunks_mut(self.out_features) {
+            for (v, &bi) in row.iter_mut().zip(b) {
+                *v += bi;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or(TensorError::Empty {
+            op: "Dense::backward (no cached forward)",
+        })?;
+        // dW += x^T d_out ; db += column-sum(d_out) ; dx = d_out W^T
+        let dw = input.transpose()?.matmul(d_out)?;
+        self.d_weight.add_assign(&dw)?;
+        let go = d_out.as_slice();
+        let db = self.d_bias.as_mut_slice();
+        for row in go.chunks(self.out_features) {
+            for (acc, &g) in db.iter_mut().zip(row) {
+                *acc += g;
+            }
+        }
+        d_out.matmul(&self.weight.transpose()?)
+    }
+
+    fn visit_trainable(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.d_weight);
+        f(&mut self.bias, &self.d_bias);
+    }
+
+    fn trainable_len(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+
+    fn zero_grad(&mut self) {
+        self.d_weight.map_in_place(|_| 0.0);
+        self.d_bias.map_in_place(|_| 0.0);
+    }
+
+    fn state_len(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+
+    fn write_state(&self, out: &mut Vec<f32>) {
+        write_tensor(out, &self.weight);
+        write_tensor(out, &self.bias);
+    }
+
+    fn read_state(&mut self, src: &[f32]) -> Result<usize> {
+        let a = read_tensor(&mut self.weight, src)?;
+        let b = read_tensor(&mut self.bias, &src[a..])?;
+        Ok(a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_tensor::numerics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(seed: u64, i: usize, o: usize) -> Dense {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dense::new(&mut rng, i, o)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut d = layer(0, 3, 2);
+        // Zero the weights; output should equal the bias.
+        d.weight = Tensor::zeros(&[3, 2]);
+        d.bias = Tensor::from_slice(&[0.5, -0.5]);
+        let x = Tensor::ones(&[4, 3]);
+        let y = d.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+        for row in y.as_slice().chunks(2) {
+            assert_eq!(row, &[0.5, -0.5]);
+        }
+    }
+
+    #[test]
+    fn forward_rejects_bad_width() {
+        let mut d = layer(0, 3, 2);
+        assert!(d.forward(&Tensor::ones(&[1, 4]), false).is_err());
+        assert!(d.forward(&Tensor::ones(&[4]), false).is_err());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut d = layer(0, 3, 2);
+        assert!(d.backward(&Tensor::ones(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn gradient_check_through_loss() {
+        // Scalar loss = mean CE of Dense output; finite-difference the params.
+        let mut d = layer(7, 4, 3);
+        let x = {
+            let mut rng = StdRng::seed_from_u64(1);
+            init::uniform(&mut rng, &[2, 4], -1.0, 1.0)
+        };
+        let labels = [0usize, 2];
+
+        let y = d.forward(&x, true).unwrap();
+        let g = numerics::cross_entropy_grad(&y, &labels).unwrap();
+        d.zero_grad();
+        let dx = d.backward(&g).unwrap();
+
+        let loss_of = |d: &mut Dense, x: &Tensor| {
+            let y = d.forward(x, false).unwrap();
+            numerics::cross_entropy_mean(&y, &labels).unwrap()
+        };
+        let eps = 1e-2f32;
+
+        // weight grads
+        for &k in &[0usize, 3, 7, 11] {
+            let orig = d.weight.as_slice()[k];
+            d.weight.as_mut_slice()[k] = orig + eps;
+            let lu = loss_of(&mut d, &x);
+            d.weight.as_mut_slice()[k] = orig - eps;
+            let ld = loss_of(&mut d, &x);
+            d.weight.as_mut_slice()[k] = orig;
+            let fd = (lu - ld) / (2.0 * eps);
+            let an = d.d_weight.as_slice()[k];
+            assert!((fd - an).abs() < 1e-2, "dW[{k}] fd {fd} vs {an}");
+        }
+        // input grads
+        for &k in &[0usize, 5] {
+            let mut up = x.clone();
+            up.as_mut_slice()[k] += eps;
+            let mut dn = x.clone();
+            dn.as_mut_slice()[k] -= eps;
+            let fd = (loss_of(&mut d, &up) - loss_of(&mut d, &dn)) / (2.0 * eps);
+            let an = dx.as_slice()[k];
+            assert!((fd - an).abs() < 1e-2, "dx[{k}] fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut d = layer(3, 2, 2);
+        let x = Tensor::ones(&[1, 2]);
+        let g = Tensor::ones(&[1, 2]);
+        d.forward(&x, true).unwrap();
+        d.backward(&g).unwrap();
+        let first = d.d_weight.as_slice().to_vec();
+        d.forward(&x, true).unwrap();
+        d.backward(&g).unwrap();
+        for (two, one) in d.d_weight.as_slice().iter().zip(&first) {
+            assert!((two - 2.0 * one).abs() < 1e-6);
+        }
+        d.zero_grad();
+        assert!(d.d_weight.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let a = layer(1, 3, 2);
+        let mut b = layer(2, 3, 2);
+        assert_ne!(a.weight.as_slice(), b.weight.as_slice());
+        let mut buf = Vec::new();
+        a.write_state(&mut buf);
+        assert_eq!(buf.len(), a.state_len());
+        let used = b.read_state(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(a.weight.as_slice(), b.weight.as_slice());
+        assert_eq!(a.bias.as_slice(), b.bias.as_slice());
+    }
+}

@@ -1,0 +1,135 @@
+//! Inverted dropout layer.
+
+use crate::layer::Layer;
+use fedcav_tensor::{Result, Tensor, TensorError};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so inference is a
+/// plain identity. The mask is drawn from a deterministic per-layer
+/// counter-based stream so federated runs stay reproducible regardless of
+/// rayon scheduling.
+pub struct Dropout {
+    p: f32,
+    /// Deterministic stream state (SplitMix64 over a per-forward counter).
+    state: u64,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// New dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1), got {p}");
+        Dropout { p, state: seed, mask: None }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let threshold = (self.p as f64 * u64::MAX as f64) as u64;
+        let mask: Vec<bool> = (0..input.numel()).map(|_| self.next_u64() >= threshold).collect();
+        let mut out = input.clone();
+        for (v, &keep) in out.as_mut_slice().iter_mut().zip(&mask) {
+            *v = if keep { *v * scale } else { 0.0 };
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            None => Ok(d_out.clone()), // eval-mode or p=0 forward
+            Some(mask) => {
+                if mask.len() != d_out.numel() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "Dropout::backward",
+                        lhs: vec![mask.len()],
+                        rhs: vec![d_out.numel()],
+                    });
+                }
+                let scale = 1.0 / (1.0 - self.p);
+                let mut out = d_out.clone();
+                for (v, &keep) in out.as_mut_slice().iter_mut().zip(mask) {
+                    *v = if keep { *v * scale } else { 0.0 };
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = d.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn training_drops_roughly_p() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true).unwrap();
+        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let rate = dropped as f32 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.05, "drop rate {rate}");
+        // Survivors are scaled by 2.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn expected_value_preserved() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor::ones(&[50_000]);
+        let y = d.forward(&x, true).unwrap();
+        let mean = y.mean().unwrap();
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, true).unwrap();
+        let g = d.backward(&Tensor::ones(&[64])).unwrap();
+        // Gradient flows exactly where the activation survived.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_p_is_identity_both_ways() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Tensor::from_slice(&[1.0, -1.0]);
+        assert_eq!(d.forward(&x, true).unwrap().as_slice(), x.as_slice());
+        assert_eq!(d.backward(&x).unwrap().as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn p_one_panics() {
+        Dropout::new(1.0, 0);
+    }
+}

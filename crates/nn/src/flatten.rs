@@ -1,0 +1,68 @@
+//! Flatten layer: `[n, ...] -> [n, prod(...)]`.
+
+use crate::layer::Layer;
+use fedcav_tensor::{Result, Tensor, TensorError};
+
+/// Flattens all non-batch axes.
+#[derive(Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.is_empty() {
+            return Err(TensorError::InvalidShape {
+                op: "Flatten::forward",
+                shape: dims.to_vec(),
+                expected: "rank >= 1".to_string(),
+            });
+        }
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        if train {
+            self.cached_dims = Some(dims.to_vec());
+        }
+        input.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        let dims = self.cached_dims.as_ref().ok_or(TensorError::Empty {
+            op: "Flatten::backward (no cached forward)",
+        })?;
+        d_out.reshape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let dx = f.backward(&y).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[2, 4])).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Softmax cross-entropy loss head.
+
+use fedcav_tensor::{numerics, Result, Tensor};
+
+/// Combined softmax + cross-entropy loss.
+///
+/// Kept separate from the model so that *evaluating* the loss (the paper's
+/// "inference loss" `f_i(w)`, Alg. 2 line 2) and *training* with it share
+/// one implementation.
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Mean loss of `logits` against integer labels.
+    pub fn loss(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+        numerics::cross_entropy_mean(logits, labels)
+    }
+
+    /// Gradient of the mean loss w.r.t. the logits.
+    pub fn grad(logits: &Tensor, labels: &[usize]) -> Result<Tensor> {
+        numerics::cross_entropy_grad(logits, labels)
+    }
+
+    /// Loss and gradient in one call (shares the softmax computation cost).
+    pub fn loss_and_grad(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+        let loss = numerics::cross_entropy_mean(logits, labels)?;
+        let grad = numerics::cross_entropy_grad(logits, labels)?;
+        Ok((loss, grad))
+    }
+
+    /// Top-1 accuracy of `logits` against labels.
+    pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+        numerics::accuracy(logits, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_and_grad_consistent_with_parts() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 0.0, 0.1, -0.1]).unwrap();
+        let labels = [2usize, 1];
+        let (l, g) = SoftmaxCrossEntropy::loss_and_grad(&logits, &labels).unwrap();
+        assert_eq!(l, SoftmaxCrossEntropy::loss(&logits, &labels).unwrap());
+        assert_eq!(
+            g.as_slice(),
+            SoftmaxCrossEntropy::grad(&logits, &labels).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn accuracy_delegates() {
+        let logits = Tensor::from_vec(&[1, 2], vec![0.0, 1.0]).unwrap();
+        assert_eq!(SoftmaxCrossEntropy::accuracy(&logits, &[1]).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Pooling layers.
+
+use crate::layer::Layer;
+use fedcav_tensor::pool;
+use fedcav_tensor::{Result, Tensor, TensorError};
+
+/// Non-overlapping max pooling with a square window.
+pub struct MaxPool2d {
+    window: usize,
+    cached: Option<(Vec<usize>, Vec<usize>)>, // (input dims, argmax)
+}
+
+impl MaxPool2d {
+    /// New max-pool layer with window (and stride) `window`.
+    pub fn new(window: usize) -> Self {
+        MaxPool2d { window, cached: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let out = pool::maxpool2d_forward(input, self.window)?;
+        if train {
+            self.cached = Some((input.dims().to_vec(), out.argmax));
+        }
+        Ok(out.output)
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        let (dims, argmax) = self.cached.as_ref().ok_or(TensorError::Empty {
+            op: "MaxPool2d::backward (no cached forward)",
+        })?;
+        pool::maxpool2d_backward(dims, argmax, d_out)
+    }
+}
+
+/// Global average pooling `[n,c,h,w] -> [n,c]` (ResNet head).
+pub struct GlobalAvgPool {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// New global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_dims: None }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let out = pool::global_avgpool_forward(input)?;
+        if train {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        let dims = self.cached_dims.as_ref().ok_or(TensorError::Empty {
+            op: "GlobalAvgPool::backward (no cached forward)",
+        })?;
+        pool::global_avgpool_backward(dims, d_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_layer_forward_backward() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 4.0, 2.0, 3.0]).unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+        let dx = p.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]).unwrap()).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_requires_forward() {
+        let mut p = MaxPool2d::new(2);
+        assert!(p.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn gap_layer_forward_backward() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 1]);
+        assert_eq!(y.as_slice(), &[2.5]);
+        let dx = p.backward(&Tensor::from_vec(&[1, 1], vec![4.0]).unwrap()).unwrap();
+        assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gap_backward_requires_forward() {
+        let mut p = GlobalAvgPool::new();
+        assert!(p.backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+}

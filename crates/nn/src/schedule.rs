@@ -1,0 +1,126 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with a constant η = 0.01; schedules are provided as an
+//! extension so the harnesses can study FedCav's sensitivity to the local
+//! learning rate decaying over communication rounds (a common FL
+//! convergence requirement, cf. Li et al. "On the convergence of FedAvg").
+
+/// A learning-rate schedule over communication rounds.
+pub trait LrSchedule: Send + Sync {
+    /// Learning rate to use at (0-based) round `round`.
+    fn lr_at(&self, round: usize) -> f32;
+}
+
+/// Constant learning rate (the paper's setting).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _round: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Step decay: `lr = base · gamma^(round / step)`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepLr {
+    /// Initial learning rate.
+    pub base: f32,
+    /// Multiplicative decay applied every `step` rounds.
+    pub gamma: f32,
+    /// Rounds between decays.
+    pub step: usize,
+}
+
+impl LrSchedule for StepLr {
+    fn lr_at(&self, round: usize) -> f32 {
+        let k = (round / self.step.max(1)) as i32;
+        self.base * self.gamma.powi(k)
+    }
+}
+
+/// Inverse-time decay `lr = base / (1 + decay·round)` — the schedule FedAvg
+/// convergence proofs assume.
+#[derive(Debug, Clone, Copy)]
+pub struct InverseTimeLr {
+    /// Initial learning rate.
+    pub base: f32,
+    /// Decay slope.
+    pub decay: f32,
+}
+
+impl LrSchedule for InverseTimeLr {
+    fn lr_at(&self, round: usize) -> f32 {
+        self.base / (1.0 + self.decay * round as f32)
+    }
+}
+
+/// Cosine annealing from `base` to `floor` over `total` rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineLr {
+    /// Initial learning rate.
+    pub base: f32,
+    /// Final learning rate.
+    pub floor: f32,
+    /// Total schedule length in rounds.
+    pub total: usize,
+}
+
+impl LrSchedule for CosineLr {
+    fn lr_at(&self, round: usize) -> f32 {
+        let t = (round.min(self.total) as f32) / self.total.max(1) as f32;
+        self.floor + 0.5 * (self.base - self.floor) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = ConstantLr(0.01);
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(1000), 0.01);
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = StepLr { base: 1.0, gamma: 0.5, step: 10 };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert_eq!(s.lr_at(10), 0.5);
+        assert_eq!(s.lr_at(25), 0.25);
+    }
+
+    #[test]
+    fn inverse_time_monotone() {
+        let s = InverseTimeLr { base: 0.1, decay: 0.1 };
+        assert!(s.lr_at(0) > s.lr_at(1));
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-9);
+        assert!((s.lr_at(10) - 0.05).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = CosineLr { base: 0.1, floor: 0.001, total: 100 };
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(100) - 0.001).abs() < 1e-6);
+        assert!((s.lr_at(200) - 0.001).abs() < 1e-6); // clamped past the end
+        // Midpoint is the mean of base and floor.
+        assert!((s.lr_at(50) - 0.0505).abs() < 1e-4);
+    }
+
+    #[test]
+    fn schedules_usable_as_trait_objects() {
+        let schedules: Vec<Box<dyn LrSchedule>> = vec![
+            Box::new(ConstantLr(0.01)),
+            Box::new(StepLr { base: 0.01, gamma: 0.9, step: 5 }),
+            Box::new(InverseTimeLr { base: 0.01, decay: 0.01 }),
+            Box::new(CosineLr { base: 0.01, floor: 0.0001, total: 50 }),
+        ];
+        for s in &schedules {
+            assert!(s.lr_at(3) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Sequential model container and the FL flat-parameter wire format.
+
+use crate::layer::Layer;
+use fedcav_tensor::{Result, Tensor, TensorError};
+
+/// A stack of layers executed in order.
+///
+/// `Sequential` is the model type used by the whole reproduction: the model
+/// zoo in [`crate::models`] returns `Sequential`s, clients train them, and
+/// the server aggregates their [`flat_params`](Sequential::flat_params).
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty model.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Append a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names, for summaries.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Read-only access to the layer stack (summaries, inspection).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    /// Backward pass through all layers (reverse order), accumulating
+    /// parameter gradients; returns the gradient w.r.t. the model input.
+    pub fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        let mut g = d_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Zero all gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Visit `(param, grad)` pairs across all layers in deterministic order.
+    pub fn visit_trainable(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_trainable(f);
+        }
+    }
+
+    /// Total trainable scalar count.
+    pub fn trainable_len(&self) -> usize {
+        self.layers.iter().map(|l| l.trainable_len()).sum()
+    }
+
+    /// Total wire-format scalar count (trainable + buffers).
+    pub fn state_len(&self) -> usize {
+        self.layers.iter().map(|l| l.state_len()).sum()
+    }
+
+    /// Serialise the full model state into one flat vector.
+    ///
+    /// This is the FL wire format: what a client uploads and what the server
+    /// aggregates.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.state_len());
+        for layer in &self.layers {
+            layer.write_state(&mut out);
+        }
+        out
+    }
+
+    /// Restore the full model state from a flat vector.
+    pub fn set_flat_params(&mut self, src: &[f32]) -> Result<()> {
+        if src.len() != self.state_len() {
+            return Err(TensorError::ElementCountMismatch {
+                from: src.len(),
+                to: self.state_len(),
+            });
+        }
+        let mut off = 0usize;
+        for layer in &mut self.layers {
+            off += layer.read_state(&src[off..])?;
+        }
+        debug_assert_eq!(off, src.len());
+        Ok(())
+    }
+
+    /// Collect all trainable gradients into one flat vector (diagnostics and
+    /// the proximal-term plumbing in `fedcav-fl`).
+    pub fn flat_grads(&mut self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.trainable_len());
+        self.visit_trainable(&mut |_p, g| out.extend_from_slice(g.as_slice()));
+        out
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Flatten, ReLU};
+    use fedcav_tensor::numerics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Flatten::new())
+            .push(Dense::new(&mut rng, 4, 8))
+            .push(ReLU::new())
+            .push(Dense::new(&mut rng, 8, 3))
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut m = tiny_model(0);
+        let x = Tensor::zeros(&[5, 2, 2]);
+        let y = m.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[5, 3]);
+    }
+
+    #[test]
+    fn layer_names_ordered() {
+        let m = tiny_model(0);
+        assert_eq!(m.layer_names(), vec!["Flatten", "Dense", "ReLU", "Dense"]);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn flat_params_round_trip() {
+        let a = tiny_model(1);
+        let mut b = tiny_model(2);
+        let pa = a.flat_params();
+        assert_eq!(pa.len(), a.state_len());
+        assert_ne!(pa, b.flat_params());
+        b.set_flat_params(&pa).unwrap();
+        assert_eq!(b.flat_params(), pa);
+    }
+
+    #[test]
+    fn set_flat_params_rejects_wrong_len() {
+        let mut m = tiny_model(0);
+        let p = m.flat_params();
+        assert!(m.set_flat_params(&p[..p.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trainable_len_matches_flat_grads() {
+        let mut m = tiny_model(0);
+        let x = Tensor::ones(&[2, 2, 2]);
+        let y = m.forward(&x, true).unwrap();
+        let g = numerics::cross_entropy_grad(&y, &[0, 1]).unwrap();
+        m.zero_grad();
+        m.backward(&g).unwrap();
+        assert_eq!(m.flat_grads().len(), m.trainable_len());
+        // 4*8+8 + 8*3+3 = 40 + 27
+        assert_eq!(m.trainable_len(), 67);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        // A few manual SGD steps must reduce CE loss on a fixed batch.
+        let mut m = tiny_model(3);
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = fedcav_tensor::init::uniform(&mut rng, &[8, 2, 2], -1.0, 1.0);
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+
+        let loss_at = |m: &mut Sequential| {
+            let y = m.forward(&x, false).unwrap();
+            numerics::cross_entropy_mean(&y, &labels).unwrap()
+        };
+        let before = loss_at(&mut m);
+        for _ in 0..50 {
+            let y = m.forward(&x, true).unwrap();
+            let g = numerics::cross_entropy_grad(&y, &labels).unwrap();
+            m.zero_grad();
+            m.backward(&g).unwrap();
+            m.visit_trainable(&mut |p, g| {
+                p.axpy(-0.5, g).unwrap();
+            });
+        }
+        let after = loss_at(&mut m);
+        assert!(after < before * 0.8, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn whole_model_gradient_check() {
+        let mut m = tiny_model(11);
+        let x = Tensor::from_vec(&[1, 2, 2], vec![0.4, -0.3, 0.8, 0.1]).unwrap();
+        let labels = [2usize];
+        let y = m.forward(&x, true).unwrap();
+        let g = numerics::cross_entropy_grad(&y, &labels).unwrap();
+        m.zero_grad();
+        let dx = m.backward(&g).unwrap();
+
+        let eps = 1e-2f32;
+        let loss_of = |m: &mut Sequential, x: &Tensor| {
+            let y = m.forward(x, false).unwrap();
+            numerics::cross_entropy_mean(&y, &labels).unwrap()
+        };
+        for k in 0..4 {
+            let mut up = x.clone();
+            up.as_mut_slice()[k] += eps;
+            let mut dn = x.clone();
+            dn.as_mut_slice()[k] -= eps;
+            let fd = (loss_of(&mut m, &up) - loss_of(&mut m, &dn)) / (2.0 * eps);
+            assert!(
+                (fd - dx.as_slice()[k]).abs() < 1e-2,
+                "dx[{k}] fd {fd} vs {}",
+                dx.as_slice()[k]
+            );
+        }
+    }
+}

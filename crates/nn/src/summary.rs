@@ -1,0 +1,97 @@
+//! Model summaries: a layer table with parameter counts, for README-style
+//! output and sanity-checking architectures against the paper.
+
+use crate::Sequential;
+
+/// One row of a model summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSummary {
+    /// Layer name.
+    pub name: &'static str,
+    /// Trainable scalars.
+    pub trainable: usize,
+    /// Wire-format scalars (trainable + buffers).
+    pub state: usize,
+}
+
+/// Full-model summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSummary {
+    /// Per-layer rows, in execution order.
+    pub layers: Vec<LayerSummary>,
+    /// Total trainable scalars.
+    pub total_trainable: usize,
+    /// Total wire-format scalars.
+    pub total_state: usize,
+}
+
+impl ModelSummary {
+    /// Render as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("layer           trainable      state\n");
+        for l in &self.layers {
+            out.push_str(&format!("{:<15} {:>9} {:>10}\n", l.name, l.trainable, l.state));
+        }
+        out.push_str(&format!(
+            "{:<15} {:>9} {:>10}\n",
+            "TOTAL", self.total_trainable, self.total_state
+        ));
+        out
+    }
+}
+
+/// Summarise a model.
+pub fn summarize(model: &Sequential) -> ModelSummary {
+    let layers: Vec<LayerSummary> = model
+        .layers()
+        .iter()
+        .map(|l| LayerSummary {
+            name: l.name(),
+            trainable: l.trainable_len(),
+            state: l.state_len(),
+        })
+        .collect();
+    let total_trainable = layers.iter().map(|l| l.trainable).sum();
+    let total_state = layers.iter().map(|l| l.state).sum();
+    ModelSummary { layers, total_trainable, total_state }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lenet5_summary_totals_match() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = models::lenet5(&mut rng, 10);
+        let s = summarize(&m);
+        assert_eq!(s.total_trainable, m.trainable_len());
+        assert_eq!(s.total_state, m.state_len());
+        assert_eq!(s.layers.len(), m.len());
+        // LeNet-5 without batch norm: state == trainable.
+        assert_eq!(s.total_state, s.total_trainable);
+    }
+
+    #[test]
+    fn cnn9_state_exceeds_trainable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = models::cnn9(&mut rng, 10);
+        let s = summarize(&m);
+        // BN running stats are state but not trainable.
+        assert!(s.total_state > s.total_trainable);
+    }
+
+    #[test]
+    fn table_renders_every_layer() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = models::mlp(&mut rng, 16, 10);
+        let s = summarize(&m);
+        let table = s.to_table();
+        assert!(table.contains("Dense"));
+        assert!(table.contains("TOTAL"));
+        assert_eq!(table.lines().count(), m.len() + 2);
+    }
+}

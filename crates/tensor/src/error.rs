@@ -1,0 +1,104 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor kernels.
+///
+/// All shape/validity checks are explicit: the training stack built on top
+/// never panics on malformed shapes but surfaces a structured error instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that had to match did not.
+    ShapeMismatch {
+        /// What the caller was doing.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: Vec<usize>,
+        /// Shape of the right/second operand.
+        rhs: Vec<usize>,
+    },
+    /// A shape was invalid for the requested operation (e.g. wrong rank).
+    InvalidShape {
+        /// What the caller was doing.
+        op: &'static str,
+        /// The offending shape.
+        shape: Vec<usize>,
+        /// Human-readable constraint that was violated.
+        expected: String,
+    },
+    /// Reshape to a different element count.
+    ElementCountMismatch {
+        /// Element count of the source.
+        from: usize,
+        /// Element count implied by the target shape.
+        to: usize,
+    },
+    /// Index out of bounds.
+    IndexOutOfBounds {
+        /// The flat or per-axis index.
+        index: usize,
+        /// The bound it violated.
+        bound: usize,
+    },
+    /// An operation that requires a non-empty tensor got an empty one.
+    Empty {
+        /// What the caller was doing.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch {lhs:?} vs {rhs:?}")
+            }
+            TensorError::InvalidShape { op, shape, expected } => {
+                write!(f, "{op}: invalid shape {shape:?} (expected {expected})")
+            }
+            TensorError::ElementCountMismatch { from, to } => {
+                write!(f, "reshape: element count mismatch {from} -> {to}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound} required)")
+            }
+            TensorError::Empty { op } => write!(f, "{op}: tensor is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch { op: "add", lhs: vec![2, 3], rhs: vec![3, 2] };
+        assert_eq!(e.to_string(), "add: shape mismatch [2, 3] vs [3, 2]");
+    }
+
+    #[test]
+    fn display_invalid_shape() {
+        let e = TensorError::InvalidShape {
+            op: "conv2d",
+            shape: vec![2],
+            expected: "rank 4".to_string(),
+        };
+        assert!(e.to_string().contains("conv2d"));
+        assert!(e.to_string().contains("rank 4"));
+    }
+
+    #[test]
+    fn display_element_count() {
+        let e = TensorError::ElementCountMismatch { from: 6, to: 8 };
+        assert!(e.to_string().contains("6 -> 8"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(TensorError::Empty { op: "mean" });
+        assert!(e.to_string().contains("mean"));
+    }
+}

@@ -1,0 +1,205 @@
+//! im2col-based convolution: an alternative forward kernel that lowers the
+//! convolution to one large matrix multiplication.
+//!
+//! The direct kernel in [`crate::conv`] wins on the small feature maps the
+//! paper's models use (LeNet-5's 24×24, CNN-9's 28×28); im2col wins once
+//! `in_c·kh·kw` gets large because the matmul amortises better over cache
+//! lines. Both are exposed so the kernel micro-benches (`fedcav-bench
+//! --bench kernels`) can compare, and the equivalence tests here pin them
+//! to each other bit-for-bit-ish (f32 rounding aside).
+
+use crate::conv::Conv2dParams;
+use crate::{Result, Tensor, TensorError};
+
+/// Unfold an NCHW input into the im2col matrix
+/// `[n·oh·ow, in_c·kh·kw]`: row `r` holds the receptive field of output
+/// pixel `r` (zero-padded out-of-range taps).
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, params: Conv2dParams) -> Result<Tensor> {
+    let d = input.dims();
+    if d.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "im2col",
+            shape: d.to_vec(),
+            expected: "rank 4 (NCHW)".to_string(),
+        });
+    }
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let oh = params.out_extent(h, kh).ok_or_else(|| TensorError::InvalidShape {
+        op: "im2col",
+        shape: d.to_vec(),
+        expected: format!("spatial >= kernel {kh}x{kw} after padding"),
+    })?;
+    let ow = params.out_extent(w, kw).ok_or_else(|| TensorError::InvalidShape {
+        op: "im2col",
+        shape: d.to_vec(),
+        expected: format!("spatial >= kernel {kh}x{kw} after padding"),
+    })?;
+    let x = input.as_slice();
+    let row_len = c * kh * kw;
+    let mut cols = vec![0.0f32; n * oh * ow * row_len];
+    let (stride, pad) = (params.stride, params.padding);
+
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * row_len;
+                for ci in 0..c {
+                    let x_plane = &x[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                    for ky in 0..kh {
+                        let iy = oy * stride + ky;
+                        for kx in 0..kw {
+                            let ix = ox * stride + kx;
+                            let dst = row + (ci * kh + ky) * kw + kx;
+                            if iy >= pad && iy - pad < h && ix >= pad && ix - pad < w {
+                                cols[dst] = x_plane[(iy - pad) * w + (ix - pad)];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[n * oh * ow, row_len], cols)
+}
+
+/// Forward convolution via im2col + matmul. Same contract as
+/// [`crate::conv::conv2d_forward`].
+pub fn conv2d_forward_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: Conv2dParams,
+) -> Result<Tensor> {
+    let wd = weight.dims();
+    if wd.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "conv2d_forward_im2col(weight)",
+            shape: wd.to_vec(),
+            expected: "rank 4 (OIHW)".to_string(),
+        });
+    }
+    let (out_c, in_c, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    let d = input.dims();
+    if d.len() != 4 || d[1] != in_c {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_forward_im2col",
+            lhs: d.to_vec(),
+            rhs: wd.to_vec(),
+        });
+    }
+    if bias.dims() != [out_c] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_forward_im2col(bias)",
+            lhs: bias.dims().to_vec(),
+            rhs: vec![out_c],
+        });
+    }
+    let (n, h, w) = (d[0], d[2], d[3]);
+    let oh = params.out_extent(h, kh).ok_or_else(|| TensorError::InvalidShape {
+        op: "conv2d_forward_im2col",
+        shape: d.to_vec(),
+        expected: "spatial >= kernel after padding".to_string(),
+    })?;
+    let ow = params.out_extent(w, kw).ok_or_else(|| TensorError::InvalidShape {
+        op: "conv2d_forward_im2col",
+        shape: d.to_vec(),
+        expected: "spatial >= kernel after padding".to_string(),
+    })?;
+
+    // cols: [n·oh·ow, K] ; weight as [K, out_c] -> out_rows [n·oh·ow, out_c].
+    let cols = im2col(input, kh, kw, params)?;
+    let k = in_c * kh * kw;
+    let w_mat = weight.reshape(&[out_c, k])?.transpose()?;
+    let out_rows = cols.matmul(&w_mat)?;
+
+    // Transpose the [n·oh·ow, out_c] rows into NCHW and add bias.
+    let rows = out_rows.as_slice();
+    let b = bias.as_slice();
+    let mut out = vec![0.0f32; n * out_c * oh * ow];
+    for ni in 0..n {
+        for p in 0..oh * ow {
+            let row = &rows[(ni * oh * ow + p) * out_c..(ni * oh * ow + p + 1) * out_c];
+            for (oc, &v) in row.iter().enumerate() {
+                out[(ni * out_c + oc) * oh * ow + p] = v + b[oc];
+            }
+        }
+    }
+    Tensor::from_vec(&[n, out_c, oh, ow], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d_forward;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn im2col_identity_kernel_rows() {
+        // 1x1 kernel: rows are just the channel values at each pixel.
+        let input = Tensor::from_vec(&[1, 2, 2, 2], (0..8).map(|v| v as f32).collect()).unwrap();
+        let cols = im2col(&input, 1, 1, Conv2dParams::default()).unwrap();
+        assert_eq!(cols.dims(), &[4, 2]);
+        assert_eq!(cols.as_slice(), &[0.0, 4.0, 1.0, 5.0, 2.0, 6.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let cols = im2col(&input, 3, 3, Conv2dParams { stride: 1, padding: 1 }).unwrap();
+        assert_eq!(cols.dims(), &[4, 9]);
+        // Top-left output: only the bottom-right 2x2 taps land in-bounds.
+        let first = &cols.as_slice()[..9];
+        assert_eq!(first, &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn matches_direct_conv_various_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cases = [
+            (2usize, 1usize, 8usize, 8usize, 4usize, 3usize, 1usize, 0usize),
+            (1, 3, 9, 7, 2, 3, 2, 1),
+            (3, 2, 6, 6, 5, 1, 1, 0),
+            (1, 4, 10, 10, 3, 5, 1, 2),
+            (2, 2, 8, 8, 3, 2, 2, 0),
+        ];
+        for &(n, c, h, w, oc, k, stride, padding) in &cases {
+            let input = init::uniform(&mut rng, &[n, c, h, w], -1.0, 1.0);
+            let weight = init::uniform(&mut rng, &[oc, c, k, k], -0.5, 0.5);
+            let bias = init::uniform(&mut rng, &[oc], -0.1, 0.1);
+            let params = Conv2dParams { stride, padding };
+            let direct = conv2d_forward(&input, &weight, &bias, params).unwrap();
+            let lowered = conv2d_forward_im2col(&input, &weight, &bias, params).unwrap();
+            assert_close(&direct, &lowered, 1e-4);
+        }
+    }
+
+    #[test]
+    fn shape_errors_match_direct() {
+        let input = Tensor::zeros(&[1, 2, 4, 4]);
+        let weight = Tensor::zeros(&[1, 3, 3, 3]); // channel mismatch
+        let bias = Tensor::zeros(&[1]);
+        assert!(conv2d_forward_im2col(&input, &weight, &bias, Conv2dParams::default()).is_err());
+        let weight = Tensor::zeros(&[1, 2, 3, 3]);
+        let bias_bad = Tensor::zeros(&[2]);
+        assert!(
+            conv2d_forward_im2col(&input, &weight, &bias_bad, Conv2dParams::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn kernel_larger_than_input_rejected() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        let weight = Tensor::zeros(&[1, 1, 5, 5]);
+        let bias = Tensor::zeros(&[1]);
+        assert!(conv2d_forward_im2col(&input, &weight, &bias, Conv2dParams::default()).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # fedcav-tensor
+//!
+//! A small, dependency-light dense tensor library backing the FedCav
+//! reproduction. It provides exactly the kernels a from-scratch CNN training
+//! stack needs:
+//!
+//! * an owned, contiguous, row-major [`Tensor`] of `f32`,
+//! * rayon-parallel [`matmul`](Tensor::matmul) and direct 2-D convolution
+//!   (forward and backward) in NCHW layout,
+//! * max/average pooling with backward passes,
+//! * numerically stable softmax / log-sum-exp / cross-entropy,
+//! * deterministic random initialisation (uniform, normal, Xavier/Kaiming).
+//!
+//! The library is deliberately *not* an autograd engine: the companion
+//! `fedcav-nn` crate implements explicit layer-by-layer backward passes on
+//! top of these kernels, which keeps the numerics auditable — important when
+//! the experiment being reproduced is about *loss values* driving
+//! aggregation weights.
+
+pub mod conv;
+pub mod error;
+pub mod im2col;
+pub mod init;
+pub mod numerics;
+pub mod pool;
+pub mod reduce;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

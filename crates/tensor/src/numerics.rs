@@ -1,0 +1,365 @@
+//! Numerically stable primitives underlying FedCav's aggregation math.
+//!
+//! The paper's global objective is a log-sum-exp of local losses (Eq. 7) and
+//! its aggregation weights are a softmax over those losses (Eq. 9); the paper
+//! explicitly calls out the overflow problem and the max-subtraction fix
+//! (§4.2.3). These functions are that fix, shared by the model's output layer
+//! and by the server-side aggregation in `fedcav-core`.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Stable `ln(Σ exp(x_i))`.
+///
+/// Returns `-inf` for an empty slice (the sum over nothing is 0).
+pub fn logsumexp(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !m.is_finite() {
+        // All -inf, or contains +inf/NaN: fall back to the dominant value.
+        return m;
+    }
+    let s: f32 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Stable softmax of a slice, written into a fresh `Vec`.
+///
+/// Uses max-subtraction; output sums to 1 (up to rounding) for any finite
+/// input, including large-magnitude losses.
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut out: Vec<f32> = xs.iter().map(|&x| (x - m).exp()).collect();
+    let s: f32 = out.iter().sum();
+    if s > 0.0 && s.is_finite() {
+        for v in &mut out {
+            *v /= s;
+        }
+    } else {
+        // Degenerate (all -inf): fall back to uniform.
+        out.fill(1.0 / xs.len() as f32);
+    }
+    out
+}
+
+/// Temperature-scaled softmax: `softmax(x / T)`.
+///
+/// `T = 1` reproduces the paper; lower `T` sharpens the preference for
+/// high-loss clients, higher `T` approaches FedAvg-like uniformity. Exposed
+/// for the temperature ablation in the bench harnesses.
+pub fn softmax_with_temperature(xs: &[f32], temperature: f32) -> Vec<f32> {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let scaled: Vec<f32> = xs.iter().map(|&x| x / temperature).collect();
+    softmax(&scaled)
+}
+
+/// Row-wise stable softmax of a `[batch, classes]` tensor.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let dims = logits.dims();
+    if dims.len() != 2 {
+        return Err(TensorError::InvalidShape {
+            op: "softmax_rows",
+            shape: dims.to_vec(),
+            expected: "rank 2".to_string(),
+        });
+    }
+    let (b, c) = (dims[0], dims[1]);
+    let mut out = logits.clone();
+    for row in out.as_mut_slice().chunks_mut(c) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut s = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            s += *v;
+        }
+        let inv = 1.0 / s;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    debug_assert_eq!(out.dims(), &[b, c]);
+    Ok(out)
+}
+
+/// Mean cross-entropy of `[batch, classes]` logits against integer labels.
+///
+/// Computed as `logsumexp(row) - row[label]` per sample — never materialises
+/// probabilities, so it is stable for extreme logits. This is *the*
+/// "inference loss" `f_i(w)` of the paper when evaluated on a client's data.
+pub fn cross_entropy_mean(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let dims = logits.dims();
+    if dims.len() != 2 {
+        return Err(TensorError::InvalidShape {
+            op: "cross_entropy_mean",
+            shape: dims.to_vec(),
+            expected: "rank 2".to_string(),
+        });
+    }
+    let (b, c) = (dims[0], dims[1]);
+    if labels.len() != b {
+        return Err(TensorError::ShapeMismatch {
+            op: "cross_entropy_mean",
+            lhs: vec![b],
+            rhs: vec![labels.len()],
+        });
+    }
+    if b == 0 {
+        return Err(TensorError::Empty { op: "cross_entropy_mean" });
+    }
+    let data = logits.as_slice();
+    let mut total = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= c {
+            return Err(TensorError::IndexOutOfBounds { index: label, bound: c });
+        }
+        let row = &data[i * c..(i + 1) * c];
+        total += (logsumexp(row) - row[label]) as f64;
+    }
+    Ok((total / b as f64) as f32)
+}
+
+/// Gradient of mean cross-entropy w.r.t. logits: `(softmax(row) - onehot)/batch`.
+pub fn cross_entropy_grad(logits: &Tensor, labels: &[usize]) -> Result<Tensor> {
+    let dims = logits.dims();
+    if dims.len() != 2 {
+        return Err(TensorError::InvalidShape {
+            op: "cross_entropy_grad",
+            shape: dims.to_vec(),
+            expected: "rank 2".to_string(),
+        });
+    }
+    let (b, c) = (dims[0], dims[1]);
+    if labels.len() != b {
+        return Err(TensorError::ShapeMismatch {
+            op: "cross_entropy_grad",
+            lhs: vec![b],
+            rhs: vec![labels.len()],
+        });
+    }
+    let mut grad = softmax_rows(logits)?;
+    let inv_b = 1.0 / b as f32;
+    let g = grad.as_mut_slice();
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= c {
+            return Err(TensorError::IndexOutOfBounds { index: label, bound: c });
+        }
+        g[i * c + label] -= 1.0;
+    }
+    for v in g.iter_mut() {
+        *v *= inv_b;
+    }
+    Ok(grad)
+}
+
+/// Fraction of rows whose argmax equals the label (top-1 accuracy).
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let dims = logits.dims();
+    if dims.len() != 2 {
+        return Err(TensorError::InvalidShape {
+            op: "accuracy",
+            shape: dims.to_vec(),
+            expected: "rank 2".to_string(),
+        });
+    }
+    let (b, c) = (dims[0], dims[1]);
+    if labels.len() != b {
+        return Err(TensorError::ShapeMismatch {
+            op: "accuracy",
+            lhs: vec![b],
+            rhs: vec![labels.len()],
+        });
+    }
+    if b == 0 {
+        return Err(TensorError::Empty { op: "accuracy" });
+    }
+    let data = logits.as_slice();
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &data[i * c..(i + 1) * c];
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / b as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn logsumexp_matches_naive_small() {
+        let xs = [0.1f32, 0.7, -0.3];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!(close(logsumexp(&xs), naive));
+    }
+
+    #[test]
+    fn logsumexp_large_values_no_overflow() {
+        let xs = [1000.0f32, 1000.0];
+        let v = logsumexp(&xs);
+        assert!(v.is_finite());
+        assert!(close(v, 1000.0 + 2.0f32.ln()));
+    }
+
+    #[test]
+    fn logsumexp_empty_is_neg_inf() {
+        assert_eq!(logsumexp(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn logsumexp_single() {
+        assert!(close(logsumexp(&[3.5]), 3.5));
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let w = softmax(&[1.0, 2.0, 3.0]);
+        assert!(close(w.iter().sum::<f32>(), 1.0));
+        assert!(w[2] > w[1] && w[1] > w[0]);
+    }
+
+    #[test]
+    fn softmax_extreme_values_stable() {
+        let w = softmax(&[1e4, 1e4 + 1.0]);
+        assert!(w.iter().all(|v| v.is_finite()));
+        assert!(close(w.iter().sum::<f32>(), 1.0));
+        assert!(w[1] > w[0]);
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_inputs() {
+        let w = softmax(&[5.0; 4]);
+        assert!(w.iter().all(|&v| close(v, 0.25)));
+    }
+
+    #[test]
+    fn softmax_empty() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(close(*x, *y));
+        }
+    }
+
+    #[test]
+    fn temperature_one_is_plain_softmax() {
+        let xs = [0.5f32, 1.5, -0.7];
+        let a = softmax(&xs);
+        let b = softmax_with_temperature(&xs, 1.0);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(close(*x, *y));
+        }
+    }
+
+    #[test]
+    fn high_temperature_flattens() {
+        let xs = [0.0f32, 3.0];
+        let sharp = softmax_with_temperature(&xs, 0.5);
+        let flat = softmax_with_temperature(&xs, 10.0);
+        assert!(sharp[1] > flat[1]);
+        assert!(flat[1] > 0.5); // still ordered
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_panics() {
+        softmax_with_temperature(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_each_row_normalised() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let p = softmax_rows(&t).unwrap();
+        let d = p.as_slice();
+        assert!(close(d[0] + d[1] + d[2], 1.0));
+        assert!(close(d[3] + d[4] + d[5], 1.0));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        // Huge logit on the right class -> loss ~ 0.
+        let t = Tensor::from_vec(&[1, 3], vec![100.0, 0.0, 0.0]).unwrap();
+        let l = cross_entropy_mean(&t, &[0]).unwrap();
+        assert!(l < 1e-4, "loss {l}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_ln_c() {
+        let t = Tensor::zeros(&[4, 10]);
+        let l = cross_entropy_mean(&t, &[0, 1, 2, 3]).unwrap();
+        assert!(close(l, (10.0f32).ln()));
+    }
+
+    #[test]
+    fn cross_entropy_label_out_of_range() {
+        let t = Tensor::zeros(&[1, 3]);
+        assert!(cross_entropy_mean(&t, &[3]).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_label_count_mismatch() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy_mean(&t, &[0]).is_err());
+    }
+
+    #[test]
+    fn ce_grad_rows_sum_to_zero() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]).unwrap();
+        let g = cross_entropy_grad(&t, &[0, 2]).unwrap();
+        let d = g.as_slice();
+        assert!(close(d[0] + d[1] + d[2], 0.0));
+        assert!(close(d[3] + d[4] + d[5], 0.0));
+    }
+
+    #[test]
+    fn ce_grad_numerical_check() {
+        // Finite-difference check of d(mean CE)/d(logit).
+        let base = vec![0.3f32, -0.2, 0.9, 0.1, 0.4, -0.5];
+        let labels = [2usize, 0];
+        let t = Tensor::from_vec(&[2, 3], base.clone()).unwrap();
+        let g = cross_entropy_grad(&t, &labels).unwrap();
+        let eps = 1e-3f32;
+        for k in 0..base.len() {
+            let mut up = base.clone();
+            up[k] += eps;
+            let mut dn = base.clone();
+            dn[k] -= eps;
+            let lu = cross_entropy_mean(&Tensor::from_vec(&[2, 3], up).unwrap(), &labels).unwrap();
+            let ld = cross_entropy_mean(&Tensor::from_vec(&[2, 3], dn).unwrap(), &labels).unwrap();
+            let fd = (lu - ld) / (2.0 * eps);
+            assert!(
+                (fd - g.as_slice()[k]).abs() < 2e-3,
+                "grad[{k}] fd {fd} vs analytic {}",
+                g.as_slice()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let t = Tensor::from_vec(&[2, 2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        assert!(close(accuracy(&t, &[0, 1]).unwrap(), 1.0));
+        assert!(close(accuracy(&t, &[1, 0]).unwrap(), 0.0));
+        assert!(close(accuracy(&t, &[0, 0]).unwrap(), 0.5));
+    }
+}

@@ -1,0 +1,249 @@
+//! Max and global-average pooling (NCHW), forward and backward.
+
+use crate::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+fn dims4(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    let d = t.dims();
+    if d.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op,
+            shape: d.to_vec(),
+            expected: "rank 4 (NCHW)".to_string(),
+        });
+    }
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Result of a max-pool forward pass: outputs plus argmax indices needed by
+/// the backward pass.
+#[derive(Debug)]
+pub struct MaxPoolOut {
+    /// Pooled output `[n, c, oh, ow]`.
+    pub output: Tensor,
+    /// Flat input index (within the whole input buffer) of each max.
+    pub argmax: Vec<usize>,
+}
+
+/// Max pooling with square window `k` and stride `k` (non-overlapping, as in
+/// LeNet-5 / the paper's CNNs). Input spatial dims must be divisible by `k`.
+pub fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<MaxPoolOut> {
+    let (n, c, h, w) = dims4(input, "maxpool2d_forward")?;
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(TensorError::InvalidShape {
+            op: "maxpool2d_forward",
+            shape: input.dims().to_vec(),
+            expected: format!("spatial dims divisible by window {k}"),
+        });
+    }
+    let (oh, ow) = (h / k, w / k);
+    let x = input.as_slice();
+    let mut output = vec![0.0f32; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+
+    output
+        .par_chunks_mut(oh * ow)
+        .zip(argmax.par_chunks_mut(oh * ow))
+        .enumerate()
+        .for_each(|(plane_idx, (out_plane, arg_plane))| {
+            // plane_idx enumerates (n, c) pairs.
+            let base = plane_idx * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy * k + ky;
+                            let ix = ox * k + kx;
+                            let idx = base + iy * w + ix;
+                            let v = x[idx];
+                            if v > best {
+                                best = v;
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out_plane[oy * ow + ox] = best;
+                    arg_plane[oy * ow + ox] = best_idx;
+                }
+            }
+        });
+
+    Ok(MaxPoolOut {
+        output: Tensor::from_vec(&[n, c, oh, ow], output)?,
+        argmax,
+    })
+}
+
+/// Backward max pooling: routes each upstream gradient to its argmax source.
+pub fn maxpool2d_backward(
+    input_dims: &[usize],
+    argmax: &[usize],
+    d_out: &Tensor,
+) -> Result<Tensor> {
+    if d_out.numel() != argmax.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "maxpool2d_backward",
+            lhs: vec![d_out.numel()],
+            rhs: vec![argmax.len()],
+        });
+    }
+    let mut d_input = Tensor::zeros(input_dims);
+    let dx = d_input.as_mut_slice();
+    for (&src, &g) in argmax.iter().zip(d_out.as_slice()) {
+        if src >= dx.len() {
+            return Err(TensorError::IndexOutOfBounds { index: src, bound: dx.len() });
+        }
+        dx[src] += g;
+    }
+    Ok(d_input)
+}
+
+/// Global average pooling: `[n, c, h, w] -> [n, c]`.
+pub fn global_avgpool_forward(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = dims4(input, "global_avgpool_forward")?;
+    let hw = (h * w) as f32;
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for (plane_idx, o) in out.iter_mut().enumerate() {
+        let base = plane_idx * h * w;
+        *o = x[base..base + h * w].iter().sum::<f32>() / hw;
+    }
+    Tensor::from_vec(&[n, c], out)
+}
+
+/// Backward of global average pooling: spreads each gradient uniformly.
+pub fn global_avgpool_backward(input_dims: &[usize], d_out: &Tensor) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "global_avgpool_backward",
+            shape: input_dims.to_vec(),
+            expected: "rank 4 (NCHW)".to_string(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if d_out.dims() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            op: "global_avgpool_backward",
+            lhs: d_out.dims().to_vec(),
+            rhs: vec![n, c],
+        });
+    }
+    let inv_hw = 1.0 / (h * w) as f32;
+    let go = d_out.as_slice();
+    let mut dx = vec![0.0f32; n * c * h * w];
+    for (plane_idx, chunk) in dx.chunks_mut(h * w).enumerate() {
+        let g = go[plane_idx] * inv_hw;
+        for v in chunk {
+            *v = g;
+        }
+    }
+    Tensor::from_vec(input_dims, dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_2x2_known_values() {
+        let input = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let out = maxpool2d_forward(&input, 2).unwrap();
+        assert_eq!(out.output.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.output.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_rejects_indivisible() {
+        let input = Tensor::zeros(&[1, 1, 5, 4]);
+        assert!(maxpool2d_forward(&input, 2).is_err());
+        assert!(maxpool2d_forward(&input, 0).is_err());
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]).unwrap();
+        let fwd = maxpool2d_forward(&input, 2).unwrap();
+        assert_eq!(fwd.output.as_slice(), &[9.0]);
+        let d_out = Tensor::from_slice(&[5.0]).reshape(&[1, 1, 1, 1]).unwrap();
+        let dx = maxpool2d_backward(input.dims(), &fwd.argmax, &d_out).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_ties_pick_first() {
+        // Equal values: strict > keeps the first-scanned element.
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![7.0, 7.0, 7.0, 7.0]).unwrap();
+        let fwd = maxpool2d_forward(&input, 2).unwrap();
+        assert_eq!(fwd.argmax, vec![0]);
+    }
+
+    #[test]
+    fn maxpool_multichannel_batches() {
+        let input = Tensor::from_vec(
+            &[2, 2, 2, 2],
+            (0..16).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let out = maxpool2d_forward(&input, 2).unwrap();
+        assert_eq!(out.output.dims(), &[2, 2, 1, 1]);
+        assert_eq!(out.output.as_slice(), &[3.0, 7.0, 11.0, 15.0]);
+    }
+
+    #[test]
+    fn gap_forward_means() {
+        let input = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
+            .unwrap();
+        let out = global_avgpool_forward(&input).unwrap();
+        assert_eq!(out.dims(), &[1, 2]);
+        assert_eq!(out.as_slice(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn gap_backward_uniform_spread() {
+        let d_out = Tensor::from_vec(&[1, 1], vec![8.0]).unwrap();
+        let dx = global_avgpool_backward(&[1, 1, 2, 2], &d_out).unwrap();
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_round_trip_gradient_check() {
+        // d(mean)/dx_k = 1/(hw): verify via finite differences.
+        let base = vec![0.5f32, -1.0, 2.0, 0.25];
+        let eps = 1e-3;
+        let f = |v: &[f32]| -> f32 {
+            global_avgpool_forward(&Tensor::from_vec(&[1, 1, 2, 2], v.to_vec()).unwrap())
+                .unwrap()
+                .as_slice()[0]
+        };
+        let d_out = Tensor::from_vec(&[1, 1], vec![1.0]).unwrap();
+        let dx = global_avgpool_backward(&[1, 1, 2, 2], &d_out).unwrap();
+        for k in 0..4 {
+            let mut up = base.clone();
+            up[k] += eps;
+            let mut dn = base.clone();
+            dn[k] -= eps;
+            let fd = (f(&up) - f(&dn)) / (2.0 * eps);
+            assert!((fd - dx.as_slice()[k]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_bad_shapes_rejected() {
+        let d_out = Tensor::zeros(&[1, 2]);
+        assert!(global_avgpool_backward(&[1, 1, 2, 2], &d_out).is_err());
+        assert!(global_avgpool_backward(&[1, 2], &d_out).is_err());
+        let d_out4 = Tensor::zeros(&[1, 1, 1, 1]);
+        assert!(maxpool2d_backward(&[1, 1, 2, 2], &[9], &d_out4).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Axis reductions and per-row statistics used by batch-norm and metrics.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Per-channel mean over an NCHW batch: `[n, c, h, w] -> [c]`.
+pub fn channel_mean(input: &Tensor) -> Result<Tensor> {
+    let d = input.dims();
+    if d.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "channel_mean",
+            shape: d.to_vec(),
+            expected: "rank 4 (NCHW)".to_string(),
+        });
+    }
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let count = (n * h * w) as f32;
+    if count == 0.0 {
+        return Err(TensorError::Empty { op: "channel_mean" });
+    }
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; c];
+    for ni in 0..n {
+        for (ci, o) in out.iter_mut().enumerate() {
+            let base = (ni * c + ci) * h * w;
+            *o += x[base..base + h * w].iter().sum::<f32>();
+        }
+    }
+    for o in &mut out {
+        *o /= count;
+    }
+    Tensor::from_vec(&[c], out)
+}
+
+/// Per-channel (biased) variance over an NCHW batch given channel means.
+pub fn channel_var(input: &Tensor, means: &Tensor) -> Result<Tensor> {
+    let d = input.dims();
+    if d.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "channel_var",
+            shape: d.to_vec(),
+            expected: "rank 4 (NCHW)".to_string(),
+        });
+    }
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    if means.dims() != [c] {
+        return Err(TensorError::ShapeMismatch {
+            op: "channel_var",
+            lhs: means.dims().to_vec(),
+            rhs: vec![c],
+        });
+    }
+    let count = (n * h * w) as f32;
+    if count == 0.0 {
+        return Err(TensorError::Empty { op: "channel_var" });
+    }
+    let x = input.as_slice();
+    let m = means.as_slice();
+    let mut out = vec![0.0f32; c];
+    for ni in 0..n {
+        for (ci, o) in out.iter_mut().enumerate() {
+            let base = (ni * c + ci) * h * w;
+            let mu = m[ci];
+            *o += x[base..base + h * w].iter().map(|v| (v - mu) * (v - mu)).sum::<f32>();
+        }
+    }
+    for o in &mut out {
+        *o /= count;
+    }
+    Tensor::from_vec(&[c], out)
+}
+
+/// Argmax of each row of a `[rows, cols]` tensor.
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
+    let d = t.dims();
+    if d.len() != 2 {
+        return Err(TensorError::InvalidShape {
+            op: "argmax_rows",
+            shape: d.to_vec(),
+            expected: "rank 2".to_string(),
+        });
+    }
+    let (rows, cols) = (d[0], d[1]);
+    if cols == 0 {
+        return Err(TensorError::Empty { op: "argmax_rows" });
+    }
+    let data = t.as_slice();
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Population variance of a plain slice (used for the σ imbalance metric).
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+    xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / xs.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_mean_known() {
+        let t = Tensor::from_vec(
+            &[2, 2, 1, 2],
+            vec![
+                1.0, 3.0, /* n0 c0 */ 10.0, 10.0, /* n0 c1 */
+                5.0, 7.0, /* n1 c0 */ 20.0, 20.0, /* n1 c1 */
+            ],
+        )
+        .unwrap();
+        let m = channel_mean(&t).unwrap();
+        assert_eq!(m.as_slice(), &[4.0, 15.0]);
+    }
+
+    #[test]
+    fn channel_var_known() {
+        let t = Tensor::from_vec(&[1, 1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let m = channel_mean(&t).unwrap();
+        let v = channel_var(&t, &m).unwrap();
+        assert!((v.as_slice()[0] - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn channel_var_zero_for_constant() {
+        let t = Tensor::full(&[3, 2, 2, 2], 5.0);
+        let m = channel_mean(&t).unwrap();
+        let v = channel_var(&t, &m).unwrap();
+        assert!(v.as_slice().iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.5, 2.0, -1.0, 1.0]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_ties_pick_first() {
+        let t = Tensor::from_vec(&[1, 3], vec![1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn variance_basic() {
+        assert_eq!(variance(&[2.0, 2.0, 2.0]), 0.0);
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 1.25).abs() < 1e-6);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn wrong_ranks_rejected() {
+        assert!(channel_mean(&Tensor::zeros(&[2, 2])).is_err());
+        assert!(argmax_rows(&Tensor::zeros(&[2, 2, 2])).is_err());
+        let means = Tensor::zeros(&[3]);
+        assert!(channel_var(&Tensor::zeros(&[1, 2, 2, 2]), &means).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Shape arithmetic shared by all kernels.
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: a list of dimension extents, row-major.
+///
+/// Kept as a thin newtype over `Vec<usize>` so it can grow helpers (strides,
+/// flat indexing) without leaking representation into the kernel code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Build a shape from a slice of extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for rank-0).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of axis `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides.
+    ///
+    /// `strides()[i]` is the flat-index step for a unit move along axis `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index; checks bounds.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::InvalidShape {
+                op: "offset",
+                shape: index.to_vec(),
+                expected: format!("rank {}", self.0.len()),
+            });
+        }
+        let strides = self.strides();
+        let mut acc = 0usize;
+        for ((&idx, &ext), &st) in index.iter().zip(self.0.iter()).zip(strides.iter()) {
+            if idx >= ext {
+                return Err(TensorError::IndexOutOfBounds { index: idx, bound: ext });
+            }
+            acc += idx * st;
+        }
+        Ok(acc)
+    }
+
+    /// Dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+    }
+
+    #[test]
+    fn numel_rank0_is_one() {
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn strides_rank1() {
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_basic() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[0, 1, 2]).unwrap(), 6);
+    }
+
+    #[test]
+    fn offset_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(s.offset(&[2, 0]), Err(TensorError::IndexOutOfBounds { .. })));
+        assert!(matches!(s.offset(&[0, 3]), Err(TensorError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn offset_wrong_rank() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.offset(&[1]).is_err());
+    }
+}

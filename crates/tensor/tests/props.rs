@@ -1,0 +1,181 @@
+//! Property-based tests of the tensor kernels: algebraic identities that
+//! must hold for any shapes/values, and numerical-stability invariants.
+
+use fedcav_tensor::conv::{conv2d_forward, Conv2dParams};
+use fedcav_tensor::pool::{maxpool2d_backward, maxpool2d_forward};
+use fedcav_tensor::{numerics, Tensor};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // ---------------------------------------------------------- elementwise
+
+    #[test]
+    fn add_commutes(v in finite_vec(24), w in finite_vec(24)) {
+        let a = Tensor::from_vec(&[4, 6], v).unwrap();
+        let b = Tensor::from_vec(&[4, 6], w).unwrap();
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(v in finite_vec(12), w in finite_vec(12)) {
+        let a = Tensor::from_vec(&[12], v).unwrap();
+        let b = Tensor::from_vec(&[12], w).unwrap();
+        let direct = a.sub(&b).unwrap();
+        let via_neg = a.add(&b.scale(-1.0)).unwrap();
+        for (x, y) in direct.as_slice().iter().zip(via_neg.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scale_add(v in finite_vec(16), w in finite_vec(16), k in -5.0f32..5.0) {
+        let a = Tensor::from_vec(&[16], v).unwrap();
+        let b = Tensor::from_vec(&[16], w).unwrap();
+        let mut lhs = a.clone();
+        lhs.axpy(k, &b).unwrap();
+        let rhs = a.add(&b.scale(k)).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    // --------------------------------------------------------------- matmul
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in finite_vec(6), b in finite_vec(6), c in finite_vec(6)
+    ) {
+        // A(B + C) = AB + AC for 2x3 x 3x2 matrices.
+        let a = Tensor::from_vec(&[2, 3], a).unwrap();
+        let b = Tensor::from_vec(&[3, 2], b).unwrap();
+        let c = Tensor::from_vec(&[3, 2], c).unwrap();
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 0.5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in finite_vec(6), b in finite_vec(6)) {
+        // (AB)^T = B^T A^T.
+        let a = Tensor::from_vec(&[2, 3], a).unwrap();
+        let b = Tensor::from_vec(&[3, 2], b).unwrap();
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 0.5);
+        }
+    }
+
+    // ------------------------------------------------------------- numerics
+
+    #[test]
+    fn softmax_is_distribution(v in proptest::collection::vec(-50.0f32..50.0, 1..30)) {
+        let s = numerics::softmax(&v);
+        prop_assert!((s.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(s.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn logsumexp_shift_identity(
+        v in proptest::collection::vec(-50.0f32..50.0, 1..30),
+        c in -100.0f32..100.0,
+    ) {
+        // logsumexp(x + c) = logsumexp(x) + c.
+        let shifted: Vec<f32> = v.iter().map(|x| x + c).collect();
+        let lhs = numerics::logsumexp(&shifted);
+        let rhs = numerics::logsumexp(&v) + c;
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative(
+        v in finite_vec(30),
+        labels in proptest::collection::vec(0usize..10, 3..=3),
+    ) {
+        let logits = Tensor::from_vec(&[3, 10], v).unwrap();
+        let l = numerics::cross_entropy_mean(&logits, &labels).unwrap();
+        prop_assert!(l >= -1e-5, "CE must be non-negative, got {l}");
+    }
+
+    #[test]
+    fn accuracy_bounded(
+        v in finite_vec(20),
+        labels in proptest::collection::vec(0usize..5, 4..=4),
+    ) {
+        let logits = Tensor::from_vec(&[4, 5], v).unwrap();
+        let a = numerics::accuracy(&logits, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    // ------------------------------------------------------------ conv/pool
+
+    #[test]
+    fn conv_is_linear_in_input(
+        x in finite_vec(2 * 16), y in finite_vec(2 * 16), k in -2.0f32..2.0
+    ) {
+        // conv(x + k*y) = conv(x) + k*conv(y) with fixed weights.
+        let x = Tensor::from_vec(&[2, 1, 4, 4], x).unwrap();
+        let y = Tensor::from_vec(&[2, 1, 4, 4], y).unwrap();
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let b = Tensor::zeros(&[1]);
+        let p = Conv2dParams { stride: 1, padding: 1 };
+        let mixed = x.add(&y.scale(k)).unwrap();
+        let lhs = conv2d_forward(&mixed, &w, &b, p).unwrap();
+        let rhs = conv2d_forward(&x, &w, &b, p).unwrap()
+            .add(&conv2d_forward(&y, &w, &b, p).unwrap().scale(k)).unwrap();
+        for (a_, b_) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((a_ - b_).abs() < 0.1, "{a_} vs {b_}");
+        }
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input(v in finite_vec(16)) {
+        let x = Tensor::from_vec(&[1, 1, 4, 4], v.clone()).unwrap();
+        let out = maxpool2d_forward(&x, 2).unwrap();
+        let max_in = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for &o in out.output.as_slice() {
+            prop_assert!(o <= max_in + 1e-6);
+            prop_assert!(v.contains(&o), "pool output must be an input element");
+        }
+    }
+
+    #[test]
+    fn maxpool_backward_conserves_gradient_mass(v in finite_vec(16), g in finite_vec(4)) {
+        let x = Tensor::from_vec(&[1, 1, 4, 4], v).unwrap();
+        let fwd = maxpool2d_forward(&x, 2).unwrap();
+        let d_out = Tensor::from_vec(&[1, 1, 2, 2], g.clone()).unwrap();
+        let dx = maxpool2d_backward(&[1, 1, 4, 4], &fwd.argmax, &d_out).unwrap();
+        let mass_out: f32 = g.iter().sum();
+        let mass_in: f32 = dx.as_slice().iter().sum();
+        prop_assert!((mass_out - mass_in).abs() < 1e-3);
+    }
+
+    // -------------------------------------------------------------- reshape
+
+    #[test]
+    fn reshape_preserves_data(v in finite_vec(24)) {
+        let a = Tensor::from_vec(&[2, 3, 4], v.clone()).unwrap();
+        let b = a.reshape(&[6, 4]).unwrap().reshape(&[24]).unwrap();
+        prop_assert_eq!(b.as_slice(), &v[..]);
+    }
+
+    #[test]
+    fn gather_rows_picks_exact_rows(
+        v in finite_vec(20),
+        idx in proptest::collection::vec(0usize..5, 1..8),
+    ) {
+        let a = Tensor::from_vec(&[5, 4], v.clone()).unwrap();
+        let g = a.gather_rows(&idx).unwrap();
+        for (row_out, &i) in g.as_slice().chunks(4).zip(&idx) {
+            prop_assert_eq!(row_out, &v[i * 4..(i + 1) * 4]);
+        }
+    }
+}

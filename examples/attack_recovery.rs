@@ -1,0 +1,83 @@
+//! Model-replacement attack and FedCav's detection + reverse (§4.4).
+//!
+//! An adversary trains a malicious model on label-flipped data, boosts it
+//! per Eq. 11 and hijacks one round. With detection off the global model is
+//! destroyed and crawls back; with detection on, the majority vote fires on
+//! the next round's inference losses and the server reverses to the cached
+//! model.
+//!
+//! Run with: `cargo run --release --example attack_recovery`
+
+use fedcav::attack::{ModelReplacement, ModelReplacementConfig};
+use fedcav::core::{FedCav, FedCavConfig};
+use fedcav::data::poison::flip_all_labels;
+use fedcav::data::{partition, ImbalanceSpec, SyntheticConfig, SyntheticKind};
+use fedcav::fl::{LocalConfig, Simulation, SimulationConfig};
+use fedcav::nn::models;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 40, 10).generate()?;
+    let mut rng = StdRng::seed_from_u64(3);
+    let part = partition::noniid(&train, 10, 2, ImbalanceSpec::Balanced, &mut rng);
+    let clients = part.client_datasets(&train)?;
+
+    let factory = || {
+        let mut rng = StdRng::seed_from_u64(7);
+        models::lenet5(&mut rng, 10)
+    };
+    let local = LocalConfig { epochs: 3, batch_size: 10, lr: 0.05, prox_mu: 0.0 };
+    let config = SimulationConfig { sample_ratio: 0.5, local, eval_batch: 64, seed: 42 };
+    let attack_round = 3;
+
+    println!("attack at round {}\n", attack_round + 1);
+    println!("round\tno-detection\twith-detection\tnote");
+
+    let run = |detect: bool| -> Result<Vec<(f32, bool)>, Box<dyn std::error::Error>> {
+        let strategy = if detect {
+            FedCav::new(FedCavConfig::default())
+        } else {
+            FedCav::new(FedCavConfig::without_detection())
+        };
+        let mut sim = Simulation::new(
+            &factory,
+            clients.clone(),
+            test.clone(),
+            Box::new(strategy),
+            config,
+        );
+        let adversary = ModelReplacement::new(
+            &factory,
+            flip_all_labels(&clients[0]),
+            ModelReplacementConfig {
+                attack_rounds: vec![attack_round],
+                boost: None,
+                reported_loss: 5.0,
+                local,
+                seed: 0xBAD,
+            },
+        );
+        sim.set_interceptor(Box::new(adversary));
+        let mut out = Vec::new();
+        for _ in 0..9 {
+            let r = sim.run_round()?;
+            out.push((r.test_accuracy, r.rejected));
+        }
+        Ok(out)
+    };
+
+    let naked = run(false)?;
+    let guarded = run(true)?;
+    for (i, ((a, _), (b, reversed))) in naked.iter().zip(&guarded).enumerate() {
+        let mut note = String::new();
+        if i == attack_round {
+            note.push_str("<- attack");
+        }
+        if *reversed {
+            note.push_str(" [REVERSED]");
+        }
+        println!("{}\t{a:.3}\t{b:.3}\t{note}", i + 1);
+    }
+    Ok(())
+}

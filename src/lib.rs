@@ -1,0 +1,21 @@
+//! # fedcav — umbrella crate
+//!
+//! Re-exports the whole FedCav reproduction stack behind one dependency:
+//!
+//! * [`tensor`] — dense f32 tensor kernels,
+//! * [`nn`] — layers, models, SGD,
+//! * [`data`] — synthetic datasets and non-IID partitioners,
+//! * [`fl`] — the federated-learning simulation substrate (FedAvg, FedProx,
+//!   centralized baseline, round loop),
+//! * [`core`] — the paper's contribution: FedCav aggregation, loss clipping,
+//!   anomaly detection and model reverse,
+//! * [`attack`] — model replacement / label flipping adversaries.
+//!
+//! See `examples/quickstart.rs` for a minimal end-to-end run.
+
+pub use fedcav_attack as attack;
+pub use fedcav_core as core;
+pub use fedcav_data as data;
+pub use fedcav_fl as fl;
+pub use fedcav_nn as nn;
+pub use fedcav_tensor as tensor;

@@ -1,0 +1,132 @@
+//! Attack ↔ defense integration tests: each adversary from `fedcav-attack`
+//! against the defenses FedCav ships (clipping, detection + reverse).
+
+use fedcav::attack::{ByzantineRandom, LossInflation};
+use fedcav::core::{FedCav, FedCavConfig, WeightDiagnostics};
+use fedcav::data::{partition, ImbalanceSpec, SyntheticConfig, SyntheticKind};
+use fedcav::fl::{FedAvg, LocalConfig, Simulation, SimulationConfig, Strategy};
+use fedcav::nn::{models, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(
+    n_clients: usize,
+) -> (Vec<fedcav::data::Dataset>, fedcav::data::Dataset, impl Fn() -> Sequential + Sync) {
+    let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2)
+        .generate()
+        .expect("generation");
+    let mut rng = StdRng::seed_from_u64(0);
+    let part = partition::noniid(&train, n_clients, 2, ImbalanceSpec::Balanced, &mut rng);
+    let clients = part.client_datasets(&train).expect("partition");
+    let img_len = train.image_len();
+    let factory = move || {
+        let mut rng = StdRng::seed_from_u64(7);
+        models::tiny_mlp(&mut rng, img_len, 10)
+    };
+    (clients, test, factory)
+}
+
+fn config() -> SimulationConfig {
+    SimulationConfig {
+        sample_ratio: 1.0,
+        local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+        eval_batch: 32,
+        seed: 42,
+    }
+}
+
+/// A loss-inflating client drags the global model further from the honest
+/// consensus when clipping is off — the §4.2.3 rationale, end to end. The
+/// liar both inflates its loss *and* (via Byzantine noise on the same slot)
+/// submits damaging parameters, so the weight it grabs translates into
+/// model damage we can measure as test accuracy.
+#[test]
+fn clipping_dampens_loss_inflation_end_to_end() {
+    let final_acc = |clip: bool| -> f32 {
+        let (clients, test, factory) = setup(12);
+        let strategy = FedCav::new(FedCavConfig {
+            clip,
+            detection: None,
+            ..Default::default()
+        });
+        let mut sim = Simulation::new(&factory, clients, test, Box::new(strategy), config());
+        // Slot 0: noisy params + a hugely inflated loss, every round.
+        struct NoisyLiar {
+            noise: ByzantineRandom,
+            lie: LossInflation,
+        }
+        impl fedcav::fl::Interceptor for NoisyLiar {
+            fn intercept(
+                &mut self,
+                round: usize,
+                global: &[f32],
+                updates: &mut Vec<fedcav::fl::LocalUpdate>,
+            ) -> fedcav::fl::Result<()> {
+                self.noise.intercept(round, global, updates)?;
+                self.lie.intercept(round, global, updates)
+            }
+        }
+        sim.set_interceptor(Box::new(NoisyLiar {
+            noise: ByzantineRandom::new(1, 0.15, vec![], 3),
+            lie: LossInflation::fixed(0, 25.0),
+        }));
+        sim.run(6).expect("rounds");
+        *sim.history().accuracies().last().unwrap()
+    };
+    let clipped = final_acc(true);
+    let unclipped = final_acc(false);
+    assert!(
+        clipped > unclipped + 0.03,
+        "clipping should blunt the liar: clipped {clipped} vs unclipped {unclipped}"
+    );
+}
+
+/// Byzantine noise updates crater FedAvg; FedCav-with-detection reverses
+/// the damage when the noise is large enough to spike inference losses.
+#[test]
+fn detection_bounds_byzantine_damage() {
+    let run = |strategy: Box<dyn Strategy>, rounds: usize| -> (Vec<f32>, usize) {
+        let (clients, test, factory) = setup(6);
+        let mut sim = Simulation::new(&factory, clients, test, strategy, config());
+        // Byzantine client with violent noise from round 3 onward.
+        sim.set_interceptor(Box::new(ByzantineRandom::new(
+            1,
+            5.0,
+            (3..rounds).collect(),
+            13,
+        )));
+        sim.run(rounds).expect("rounds");
+        let reversals = sim.history().rejected_rounds().len();
+        (sim.history().accuracies(), reversals)
+    };
+    let rounds = 8;
+    let (avg_acc, avg_rev) = run(Box::new(FedAvg::new()), rounds);
+    let (cav_acc, cav_rev) = run(Box::new(FedCav::new(FedCavConfig::default())), rounds);
+    assert_eq!(avg_rev, 0, "FedAvg has no reversal mechanism");
+    // FedAvg's accuracy after sustained noise should sag; FedCav's
+    // detection fires at least once and final accuracy ends at least as
+    // high.
+    assert!(
+        cav_rev > 0,
+        "FedCav should reverse at least one noisy round; acc {cav_acc:?}"
+    );
+    let avg_final = *avg_acc.last().unwrap();
+    let cav_final = *cav_acc.last().unwrap();
+    assert!(
+        cav_final >= avg_final - 0.05,
+        "FedCav {cav_final} should not trail FedAvg {avg_final} under attack"
+    );
+}
+
+/// Weight diagnostics flag a captured round.
+#[test]
+fn diagnostics_flag_weight_capture() {
+    // Compare entropy/effective-participants of honest vs attacked rounds.
+    let honest = fedcav::core::contribution_weights(&[0.5, 0.6, 0.55, 0.45], false, 1.0);
+    let attacked = fedcav::core::contribution_weights(&[9.0, 0.6, 0.55, 0.45], false, 1.0);
+    let dh = WeightDiagnostics::from_weights(&honest);
+    let da = WeightDiagnostics::from_weights(&attacked);
+    assert!(dh.effective > 3.5, "honest round is near-uniform: {}", dh.effective);
+    assert!(da.effective < 1.5, "attacked round is captured: {}", da.effective);
+    assert!(da.max > 0.95);
+}

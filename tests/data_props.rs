@@ -1,0 +1,104 @@
+//! Property-based tests of the data substrate: partitions must cover every
+//! sample exactly once under any configuration, and the poisoning utilities
+//! must hit their target rates.
+
+use fedcav::data::poison::{flip_fraction, label_disagreement};
+use fedcav::data::{partition, Dataset, FreshClassSplit, ImbalanceSpec, SyntheticConfig, SyntheticKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(per_class: usize) -> Dataset {
+    SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1)
+        .generate()
+        .expect("generation")
+        .0
+}
+
+fn assert_exact_cover(part: &partition::ClientPartition, n: usize) {
+    let mut all: Vec<usize> = part.client_indices.iter().flatten().copied().collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..n).collect::<Vec<_>>(), "every sample exactly once");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn iid_partition_covers_exactly(
+        per_class in 2usize..12,
+        n_clients in 1usize..15,
+        seed in 0u64..1000,
+    ) {
+        let d = dataset(per_class);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = partition::iid_balanced(&d, n_clients, &mut rng);
+        prop_assert_eq!(p.n_clients(), n_clients);
+        assert_exact_cover(&p, d.len());
+        // Sizes differ by at most one (round-robin dealing).
+        let sizes = p.sizes();
+        let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(mx - mn <= 1);
+    }
+
+    #[test]
+    fn noniid_partition_covers_exactly(
+        per_class in 4usize..12,
+        n_clients in 2usize..12,
+        sigma in 0.0f32..1200.0,
+        seed in 0u64..1000,
+    ) {
+        let d = dataset(per_class);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = if sigma == 0.0 {
+            ImbalanceSpec::Balanced
+        } else {
+            ImbalanceSpec::PaperSigma(sigma)
+        };
+        let p = partition::noniid(&d, n_clients, 2, spec, &mut rng);
+        assert_exact_cover(&p, d.len());
+        // Each client holds ~2 classes; when there are more classes than
+        // shard slots (n_clients*2 < 10) the surplus single-class shards are
+        // dealt to the smallest clients, so allow that overflow.
+        let overflow = 10usize.div_ceil(n_clients);
+        for c in p.classes_per_client(&d) {
+            prop_assert!(c <= 2 + overflow, "client with {c} classes (n={n_clients})");
+        }
+    }
+
+    #[test]
+    fn fresh_split_partitions_classes(
+        per_class in 2usize..8,
+        alpha in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let d = dataset(per_class);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = FreshClassSplit::new(&d, alpha, &mut rng).unwrap();
+        prop_assert_eq!(s.common.len() + s.fresh.len(), d.len());
+        let expected = ((alpha * 10.0).ceil() as usize).clamp(1, 9);
+        prop_assert_eq!(s.fresh_classes.len(), expected);
+        for &l in &s.fresh.labels {
+            prop_assert!(s.fresh_classes.contains(&l));
+        }
+        for &l in &s.common.labels {
+            prop_assert!(!s.fresh_classes.contains(&l));
+        }
+    }
+
+    #[test]
+    fn flip_fraction_rate_exact(
+        per_class in 2usize..8,
+        num in 0u32..=10,
+        seed in 0u64..1000,
+    ) {
+        let frac = num as f64 / 10.0;
+        let d = dataset(per_class);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = flip_fraction(&d, frac, &mut rng);
+        let got = label_disagreement(&d, &f);
+        let expected = (frac * d.len() as f64).round() / d.len() as f64;
+        prop_assert!((got - expected).abs() < 1e-9, "asked {frac}, got {got}");
+        prop_assert!(f.labels.iter().all(|&l| l < d.n_classes));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the paper's theory (§4.2):
+//!
+//! * Theorem 2's building block: the log-sum-exp global objective is convex
+//!   and bounded by `max(f) ≤ F(f) ≤ max(f) + ln n`,
+//! * Eq. 9's weights: softmax of (clipped) losses is a probability
+//!   distribution that is monotone in the loss,
+//! * Algorithm 1 line 7's clip: idempotent, order-preserving, mean-bounded.
+
+use fedcav::core::objective::{global_objective, is_convex_between, objective_bounds, objective_gradient};
+use fedcav::core::weights::{clip_losses, contribution_weights};
+use proptest::prelude::*;
+
+fn losses() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-20.0f32..20.0, 1..40)
+}
+
+proptest! {
+    #[test]
+    fn objective_within_theoretical_bounds(f in losses()) {
+        let v = global_objective(&f);
+        let (lo, hi) = objective_bounds(&f).unwrap();
+        prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4, "{lo} <= {v} <= {hi}");
+    }
+
+    #[test]
+    fn objective_is_convex_along_segments(
+        a in losses(),
+        b in losses(),
+        t in 0.0f32..1.0,
+    ) {
+        // Make the two loss vectors the same length.
+        let n = a.len().min(b.len());
+        prop_assume!(n >= 1);
+        let (a, b) = (&a[..n], &b[..n]);
+        prop_assert!(is_convex_between(a, b, &[t], 1e-3));
+    }
+
+    #[test]
+    fn gradient_is_probability_distribution(f in losses()) {
+        let g = objective_gradient(&f);
+        prop_assert!((g.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(g.iter().all(|&w| (0.0..=1.0 + 1e-6).contains(&w)));
+    }
+
+    #[test]
+    fn weights_sum_to_one_for_any_losses(f in losses(), clip in any::<bool>()) {
+        let w = contribution_weights(&f, clip, 1.0);
+        prop_assert_eq!(w.len(), f.len());
+        prop_assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(w.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn weights_monotone_in_loss(f in losses()) {
+        // Higher loss -> at least as much weight (softmax is monotone).
+        let w = contribution_weights(&f, false, 1.0);
+        for i in 0..f.len() {
+            for j in 0..f.len() {
+                if f[i] > f[j] {
+                    prop_assert!(
+                        w[i] >= w[j] - 1e-6,
+                        "loss {} > {} but weight {} < {}", f[i], f[j], w[i], w[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clip_is_idempotent_and_mean_bounded(f in losses()) {
+        let once = clip_losses(&f);
+        let mean = f.iter().sum::<f32>() / f.len() as f32;
+        // Every clipped value is bounded by the original mean.
+        prop_assert!(once.iter().all(|&v| v <= mean + 1e-5));
+        // Order is preserved (weakly).
+        for i in 0..f.len() {
+            for j in 0..f.len() {
+                if f[i] >= f[j] {
+                    prop_assert!(once[i] >= once[j] - 1e-6);
+                }
+            }
+        }
+        // Second clip can shrink further only where the new mean falls; it
+        // must never *raise* a value.
+        let twice = clip_losses(&once);
+        for (a, b) in twice.iter().zip(&once) {
+            prop_assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn temperature_extremes_behave(f in losses()) {
+        prop_assume!(f.len() >= 2);
+        // Very high temperature -> near uniform.
+        let flat = contribution_weights(&f, false, 1e4);
+        let u = 1.0 / f.len() as f32;
+        prop_assert!(flat.iter().all(|&w| (w - u).abs() < 0.01));
+    }
+}

@@ -144,11 +144,8 @@ impl Interceptor for AdaptiveReplacement<'_> {
             &self.config.local,
             self.config.seed.wrapping_add(round as u64),
         )?;
-        let boosted: Vec<f32> = global
-            .iter()
-            .zip(&malicious.params)
-            .map(|(&w, &m)| w + self.boost * (m - w))
-            .collect();
+        let boosted: Vec<f32> =
+            global.iter().zip(&malicious.params).map(|(&w, &m)| w + self.boost * (m - w)).collect();
         let victim = &mut updates[0];
         victim.params = boosted;
         victim.inference_loss = self.config.reported_loss;
@@ -170,9 +167,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (Dataset, Box<dyn Fn() -> Sequential + Sync>) {
-        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 5, 1)
-            .generate()
-            .unwrap();
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 5, 1).generate().unwrap();
         let img_len = train.image_len();
         let factory = move || {
             let mut rng = StdRng::seed_from_u64(3);
@@ -200,9 +195,8 @@ mod tests {
         let mut strategy = FedAvg::new();
         let mut boosts = Vec::new();
         for round in 0..8 {
-            let mut updates: Vec<LocalUpdate> = (0..8)
-                .map(|i| LocalUpdate::new(i, global.clone(), 0.3, 10))
-                .collect();
+            let mut updates: Vec<LocalUpdate> =
+                (0..8).map(|i| LocalUpdate::new(i, global.clone(), 0.3, 10)).collect();
             adv.intercept(round, &global, &mut updates).unwrap();
             boosts.push(adv.boost());
             let ctx = RoundContext { round, global: &global };
@@ -219,12 +213,8 @@ mod tests {
             adv.attempts()
         );
         // With 8 equal clients, landing requires a boost around 8.
-        let landing_boost = adv
-            .attempts()
-            .iter()
-            .find(|(r, _)| adv.landed().contains(r))
-            .map(|&(_, b)| b)
-            .unwrap();
+        let landing_boost =
+            adv.attempts().iter().find(|(r, _)| adv.landed().contains(r)).map(|&(_, b)| b).unwrap();
         assert!(landing_boost >= 4.0, "landing boost {landing_boost}");
     }
 

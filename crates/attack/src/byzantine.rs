@@ -43,13 +43,8 @@ impl Interceptor for ByzantineRandom {
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(round as u64));
         let k = self.n_compromised.min(updates.len());
         for update in updates.iter_mut().take(k) {
-            let noise =
-                fedcav_tensor::init::normal(&mut rng, &[global.len()], 0.0, self.noise_std);
-            update.params = global
-                .iter()
-                .zip(noise.as_slice())
-                .map(|(&w, &n)| w + n)
-                .collect();
+            let noise = fedcav_tensor::init::normal(&mut rng, &[global.len()], 0.0, self.noise_std);
+            update.params = global.iter().zip(noise.as_slice()).map(|(&w, &n)| w + n).collect();
         }
         Ok(())
     }
@@ -60,9 +55,7 @@ mod tests {
     use super::*;
 
     fn honest_updates(n: usize, len: usize) -> Vec<LocalUpdate> {
-        (0..n)
-            .map(|i| LocalUpdate::new(i, vec![1.0; len], 0.5, 10))
-            .collect()
+        (0..n).map(|i| LocalUpdate::new(i, vec![1.0; len], 0.5, 10)).collect()
     }
 
     #[test]
@@ -71,10 +64,7 @@ mod tests {
         let global = vec![1.0; 8];
         let mut updates = honest_updates(5, 8);
         adv.intercept(0, &global, &mut updates).unwrap();
-        let corrupted = updates
-            .iter()
-            .filter(|u| u.params != vec![1.0; 8])
-            .count();
+        let corrupted = updates.iter().filter(|u| u.params != vec![1.0; 8]).count();
         assert_eq!(corrupted, 2);
     }
 

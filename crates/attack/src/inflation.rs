@@ -45,10 +45,8 @@ impl Interceptor for LossInflation {
             return Ok(());
         }
         let slot = self.slot;
-        let update = updates.get_mut(slot).ok_or(TensorError::IndexOutOfBounds {
-            index: slot,
-            bound: 0,
-        })?;
+        let update =
+            updates.get_mut(slot).ok_or(TensorError::IndexOutOfBounds { index: slot, bound: 0 })?;
         update.inference_loss = self.factor * update.inference_loss + self.offset;
         Ok(())
     }
@@ -59,10 +57,7 @@ mod tests {
     use super::*;
 
     fn updates() -> Vec<LocalUpdate> {
-        vec![
-            LocalUpdate::new(0, vec![0.0], 0.5, 10),
-            LocalUpdate::new(1, vec![0.0], 0.7, 10),
-        ]
+        vec![LocalUpdate::new(0, vec![0.0], 0.5, 10), LocalUpdate::new(1, vec![0.0], 0.7, 10)]
     }
 
     #[test]
@@ -84,12 +79,7 @@ mod tests {
 
     #[test]
     fn attack_rounds_respected() {
-        let mut adv = LossInflation {
-            slot: 0,
-            factor: 0.0,
-            offset: 9.0,
-            attack_rounds: vec![5],
-        };
+        let mut adv = LossInflation { slot: 0, factor: 0.0, offset: 9.0, attack_rounds: vec![5] };
         let mut u = updates();
         adv.intercept(4, &[0.0], &mut u).unwrap();
         assert_eq!(u[0].inference_loss, 0.5);

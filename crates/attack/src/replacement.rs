@@ -60,7 +60,11 @@ pub struct ModelReplacement<'a> {
 impl<'a> ModelReplacement<'a> {
     /// New adversary training `M` on `poisoned` (typically label-flipped)
     /// data.
-    pub fn new(factory: &'a ModelFactory, poisoned: Dataset, config: ModelReplacementConfig) -> Self {
+    pub fn new(
+        factory: &'a ModelFactory,
+        poisoned: Dataset,
+        config: ModelReplacementConfig,
+    ) -> Self {
         assert!(!poisoned.is_empty(), "adversary needs poisoned data");
         ModelReplacement { factory, poisoned, config, fired: Vec::new() }
     }
@@ -81,11 +85,7 @@ impl<'a> ModelReplacement<'a> {
             self.config.seed.wrapping_add(round as u64),
         )?;
         let boost = self.config.boost.unwrap_or(n_participants.max(1) as f32);
-        Ok(global
-            .iter()
-            .zip(&malicious.params)
-            .map(|(&w, &m)| w + boost * (m - w))
-            .collect())
+        Ok(global.iter().zip(&malicious.params).map(|(&w, &m)| w + boost * (m - w)).collect())
     }
 }
 
@@ -124,9 +124,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (Dataset, Dataset, Box<dyn Fn() -> Sequential + Sync>) {
-        let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 6, 2)
-            .generate()
-            .unwrap();
+        let (train, test) =
+            SyntheticConfig::new(SyntheticKind::MnistLike, 6, 2).generate().unwrap();
         let img_len = train.image_len();
         let factory = move || {
             let mut rng = StdRng::seed_from_u64(3);
@@ -146,8 +145,7 @@ mod tests {
         );
         let global = factory().flat_params();
         for round in 0..4 {
-            let mut updates =
-                vec![LocalUpdate::new(0, global.clone(), 0.5, 10)];
+            let mut updates = vec![LocalUpdate::new(0, global.clone(), 0.5, 10)];
             adv.intercept(round, &global, &mut updates).unwrap();
         }
         assert_eq!(adv.fired(), &[1, 3]);
@@ -163,8 +161,7 @@ mod tests {
         // Pre-train an honest global model so accuracy is high.
         let honest_cfg = LocalConfig { epochs: 5, batch_size: 10, lr: 0.1, prox_mu: 0.0 };
         let honest =
-            local_update(&*factory, &factory().flat_params(), 0, &train, &honest_cfg, 1)
-                .unwrap();
+            local_update(&*factory, &factory().flat_params(), 0, &train, &honest_cfg, 1).unwrap();
         let global = honest.params;
         let mut model = factory();
         model.set_flat_params(&global).unwrap();
@@ -238,8 +235,8 @@ mod tests {
     #[should_panic(expected = "poisoned data")]
     fn empty_poison_panics() {
         let (_train, _test, factory) = setup();
-        let empty = Dataset::new(fedcav_tensor::Tensor::zeros(&[0, 1, 28, 28]), vec![], 10)
-            .unwrap();
+        let empty =
+            Dataset::new(fedcav_tensor::Tensor::zeros(&[0, 1, 28, 28]), vec![], 10).unwrap();
         let _ = ModelReplacement::new(&*factory, empty, ModelReplacementConfig::default());
     }
 }

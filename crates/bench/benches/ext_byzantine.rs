@@ -43,8 +43,7 @@ fn main() {
         let (train, test) = spec.data().expect("data");
         let factory = spec.model_factory();
         let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xB12A);
-        let part =
-            partition::noniid(&train, spec.n_clients, 2, ImbalanceSpec::Balanced, &mut rng);
+        let part = partition::noniid(&train, spec.n_clients, 2, ImbalanceSpec::Balanced, &mut rng);
         let clients = part.client_datasets(&train).expect("partition");
         let mut sim = Simulation::new(&*factory, clients, test, strategy, spec.sim_config());
         sim.set_interceptor(Box::new(ByzantineRandom::new(

@@ -19,11 +19,9 @@ fn main() {
     let scale = Scale::from_args();
     let kinds: &[SyntheticKind] = match scale {
         Scale::Fast => &[SyntheticKind::MnistLike],
-        Scale::Full => &[
-            SyntheticKind::MnistLike,
-            SyntheticKind::FmnistLike,
-            SyntheticKind::Cifar10Like,
-        ],
+        Scale::Full => {
+            &[SyntheticKind::MnistLike, SyntheticKind::FmnistLike, SyntheticKind::Cifar10Like]
+        }
     };
     let alphas = [0.1f64, 0.3, 0.5];
     let algos = [Algo::Centralized, Algo::FedCav, Algo::FedAvg, Algo::FedProx];
@@ -62,9 +60,7 @@ fn main() {
                     .rounds_to_accuracy(0.9)
                     .map(|r| (r + 1).to_string())
                     .unwrap_or_else(|| ">end".into());
-                println!(
-                    "## {label}\tfresh_class_recall={recall}\trounds_to_90pct={speed}"
-                );
+                println!("## {label}\tfresh_class_recall={recall}\trounds_to_90pct={speed}");
             }
         }
     }

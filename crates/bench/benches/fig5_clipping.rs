@@ -25,11 +25,9 @@ fn main() {
     let scale = Scale::from_args();
     let kinds: &[SyntheticKind] = match scale {
         Scale::Fast => &[SyntheticKind::MnistLike],
-        Scale::Full => &[
-            SyntheticKind::MnistLike,
-            SyntheticKind::FmnistLike,
-            SyntheticKind::Cifar10Like,
-        ],
+        Scale::Full => {
+            &[SyntheticKind::MnistLike, SyntheticKind::FmnistLike, SyntheticKind::Cifar10Like]
+        }
     };
 
     output::meta("experiment", "fig5_clipping (clip vs no-clip)");
@@ -46,7 +44,8 @@ fn main() {
             spec.local.lr = 0.05;
         }
         let mut results = Vec::new();
-        for (label, algo) in [("FedCav", Algo::FedCavNoDetect), ("FedCav-noClip", Algo::FedCavNoClip)]
+        for (label, algo) in
+            [("FedCav", Algo::FedCavNoDetect), ("FedCav-noClip", Algo::FedCavNoClip)]
         {
             let series_label = format!("{}/{label}", kind.name());
             let h = run_standard(&spec, Dist::NonIidSigma(900.0), algo)

@@ -17,11 +17,9 @@ fn main() {
     let scale = Scale::from_args();
     let kinds: &[SyntheticKind] = match scale {
         Scale::Fast => &[SyntheticKind::MnistLike],
-        Scale::Full => &[
-            SyntheticKind::MnistLike,
-            SyntheticKind::FmnistLike,
-            SyntheticKind::Cifar10Like,
-        ],
+        Scale::Full => {
+            &[SyntheticKind::MnistLike, SyntheticKind::FmnistLike, SyntheticKind::Cifar10Like]
+        }
     };
     // The paper attacks "at the second round" of an already-warmed-up
     // deployment (§5.2.1 pre-trains before comparing); model replacement
@@ -47,10 +45,8 @@ fn main() {
             output::series(&label, &h);
             // Recovery metric: rounds from the attack until accuracy regains
             // 90% of the pre-attack value.
-            let pre = h.records[..attack_round]
-                .iter()
-                .map(|r| r.test_accuracy)
-                .fold(0.0f32, f32::max);
+            let pre =
+                h.records[..attack_round].iter().map(|r| r.test_accuracy).fold(0.0f32, f32::max);
             let recover = h.records[attack_round..]
                 .iter()
                 .find(|r| r.test_accuracy >= 0.9 * pre)

@@ -56,8 +56,7 @@ fn main() {
         let (train, test) = spec.data().expect("data generation");
         let factory = spec.model_factory();
         let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xF16);
-        let part =
-            partition::noniid(&train, spec.n_clients, 2, ImbalanceSpec::Balanced, &mut rng);
+        let part = partition::noniid(&train, spec.n_clients, 2, ImbalanceSpec::Balanced, &mut rng);
         let clients = part.client_datasets(&train).expect("partition");
 
         let poisoned = flip_fraction(&clients[0], poison, &mut rng);
@@ -95,11 +94,7 @@ fn main() {
             if reversed.is_empty() {
                 "-".to_string()
             } else {
-                reversed
-                    .iter()
-                    .map(|r| (r + 1).to_string())
-                    .collect::<Vec<_>>()
-                    .join(",")
+                reversed.iter().map(|r| (r + 1).to_string()).collect::<Vec<_>>().join(",")
             }
         );
     }

@@ -17,9 +17,7 @@ fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let a = init::uniform(&mut rng, &[128, 256], -1.0, 1.0);
     let b = init::uniform(&mut rng, &[256, 128], -1.0, 1.0);
-    c.bench_function("matmul_128x256x128", |bch| {
-        bch.iter(|| black_box(a.matmul(&b).unwrap()))
-    });
+    c.bench_function("matmul_128x256x128", |bch| bch.iter(|| black_box(a.matmul(&b).unwrap())));
 }
 
 fn bench_conv(c: &mut Criterion) {
@@ -39,15 +37,11 @@ fn bench_conv(c: &mut Criterion) {
 
 fn bench_weight_math(c: &mut Criterion) {
     let losses: Vec<f32> = (0..100).map(|i| 0.1 + (i as f32 * 0.37).sin().abs()).collect();
-    c.bench_function("softmax_100", |bch| {
-        bch.iter(|| black_box(numerics::softmax(&losses)))
-    });
+    c.bench_function("softmax_100", |bch| bch.iter(|| black_box(numerics::softmax(&losses))));
     c.bench_function("contribution_weights_100", |bch| {
         bch.iter(|| black_box(contribution_weights(&losses, true, 1.0)))
     });
-    c.bench_function("logsumexp_100", |bch| {
-        bch.iter(|| black_box(numerics::logsumexp(&losses)))
-    });
+    c.bench_function("logsumexp_100", |bch| bch.iter(|| black_box(numerics::logsumexp(&losses))));
 }
 
 criterion_group!(benches, bench_matmul, bench_conv, bench_weight_math);

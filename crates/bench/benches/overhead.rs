@@ -49,9 +49,8 @@ fn bench_server_side(c: &mut Criterion) {
     let spec = ExperimentSpec::fast(SyntheticKind::MnistLike, 1);
     let factory = spec.model_factory();
     let params = factory().flat_params();
-    let updates: Vec<LocalUpdate> = (0..30)
-        .map(|i| LocalUpdate::new(i, params.clone(), 0.1 + i as f32 * 0.05, 60))
-        .collect();
+    let updates: Vec<LocalUpdate> =
+        (0..30).map(|i| LocalUpdate::new(i, params.clone(), 0.1 + i as f32 * 0.05, 60)).collect();
 
     let mut group = c.benchmark_group("server_side");
     group.bench_function("fedavg_aggregate", |b| {

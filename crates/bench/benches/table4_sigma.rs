@@ -23,11 +23,9 @@ fn main() {
     let ablate_hybrid = std::env::args().any(|a| a == "--ablate-hybrid");
     let kinds: &[SyntheticKind] = match scale {
         Scale::Fast => &[SyntheticKind::MnistLike],
-        Scale::Full => &[
-            SyntheticKind::MnistLike,
-            SyntheticKind::FmnistLike,
-            SyntheticKind::Cifar10Like,
-        ],
+        Scale::Full => {
+            &[SyntheticKind::MnistLike, SyntheticKind::FmnistLike, SyntheticKind::Cifar10Like]
+        }
     };
     let sigmas = [300.0f32, 600.0, 900.0];
     let algos = [Algo::FedAvg, Algo::FedProx, Algo::FedCav];
@@ -77,11 +75,10 @@ fn main() {
 fn ablation_temperature(spec: &ExperimentSpec) {
     println!("# ablation: FedCav softmax temperature (sigma=600)");
     for temperature in [0.5f32, 1.0, 2.0, 4.0] {
-        let acc = run_fedcav_variant(spec, FedCavConfig {
-            temperature,
-            detection: None,
-            ..Default::default()
-        });
+        let acc = run_fedcav_variant(
+            spec,
+            FedCavConfig { temperature, detection: None, ..Default::default() },
+        );
         println!("{}\tT={temperature}\tFedCav\t{acc:.4}\t-", spec.kind.name());
     }
 }
@@ -95,11 +92,10 @@ fn ablation_hybrid(spec: &ExperimentSpec) {
         ("softmax-loss-x-size", WeightMode::SoftmaxLossSizeHybrid),
         ("linear-loss", WeightMode::LinearLoss),
     ] {
-        let acc = run_fedcav_variant(spec, FedCavConfig {
-            weight_mode: mode,
-            detection: None,
-            ..Default::default()
-        });
+        let acc = run_fedcav_variant(
+            spec,
+            FedCavConfig { weight_mode: mode, detection: None, ..Default::default() },
+        );
         println!("{}\t{label}\tFedCav\t{acc:.4}\t-", spec.kind.name());
     }
 }
@@ -111,15 +107,11 @@ fn run_fedcav_variant(spec: &ExperimentSpec, config: FedCavConfig) -> f32 {
     let (train, test) = spec.data().expect("data generation");
     let factory = spec.model_factory();
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xD157);
-    let part = partition::noniid(&train, spec.n_clients, 2, ImbalanceSpec::PaperSigma(600.0), &mut rng);
+    let part =
+        partition::noniid(&train, spec.n_clients, 2, ImbalanceSpec::PaperSigma(600.0), &mut rng);
     let clients = part.client_datasets(&train).expect("partition");
-    let mut sim = Simulation::new(
-        &*factory,
-        clients,
-        test,
-        Box::new(FedCav::new(config)),
-        spec.sim_config(),
-    );
+    let mut sim =
+        Simulation::new(&*factory, clients, test, Box::new(FedCav::new(config)), spec.sim_config());
     sim.run(spec.rounds).expect("simulation");
     sim.history().converged_accuracy(5).unwrap_or(f32::NAN)
 }

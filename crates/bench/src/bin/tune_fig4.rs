@@ -16,8 +16,8 @@ fn main() {
                 let mut spec = ExperimentSpec::fast(SyntheticKind::MnistLike, 12);
                 spec.local = LocalConfig { epochs: 3, batch_size: 10, lr, prox_mu: 0.0 };
                 spec.sample_ratio = q;
-                let out = run_fresh_class(&spec, alpha, Dist::NonIidBalanced, algo, 3)
-                    .expect("run");
+                let out =
+                    run_fresh_class(&spec, alpha, Dist::NonIidBalanced, algo, 3).expect("run");
                 let acc = out.history.accuracies();
                 println!(
                     "{lr}\t{q}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",

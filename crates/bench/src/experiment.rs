@@ -3,7 +3,9 @@
 use fedcav_attack::{ModelReplacement, ModelReplacementConfig};
 use fedcav_core::{FedCav, FedCavConfig};
 use fedcav_data::poison::{flip_all_labels, flip_fraction};
-use fedcav_data::{partition, Dataset, FreshClassSplit, ImbalanceSpec, SyntheticConfig, SyntheticKind};
+use fedcav_data::{
+    partition, Dataset, FreshClassSplit, ImbalanceSpec, SyntheticConfig, SyntheticKind,
+};
 use fedcav_fl::{
     CentralizedTrainer, FedAvg, FedProx, History, LocalConfig, Simulation, SimulationConfig,
     Strategy,
@@ -101,7 +103,12 @@ impl Dist {
         }
     }
 
-    fn partition(self, data: &Dataset, n_clients: usize, rng: &mut StdRng) -> partition::ClientPartition {
+    fn partition(
+        self,
+        data: &Dataset,
+        n_clients: usize,
+        rng: &mut StdRng,
+    ) -> partition::ClientPartition {
         match self {
             Dist::IidBalanced => partition::iid_balanced(data, n_clients, rng),
             Dist::NonIidBalanced => {

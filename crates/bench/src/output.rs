@@ -64,6 +64,7 @@ mod tests {
             bytes_up: 104,
             round_duration: 1.5,
             sim_time: 1.5,
+            faults: fedcav_fl::FaultTelemetry::default(),
         });
         series("FedCav", &h);
         summary("FedCav", &h, 3);

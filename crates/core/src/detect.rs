@@ -70,6 +70,12 @@ impl Detector {
             return None;
         }
         let prev_max = prev.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // No finite baseline (empty or corrupted history): the round cannot
+        // be judged — an empty previous round must not make every current
+        // loss "exceed -inf" and fire a spurious reverse.
+        if !prev_max.is_finite() {
+            return None;
+        }
         let votes = current_losses.iter().filter(|&&f| f > prev_max).count();
         let needed = (self.config.vote_fraction * current_losses.len() as f32).ceil() as usize;
         if votes >= needed.max(1) {
@@ -81,9 +87,13 @@ impl Detector {
 
     /// Record a normal round: cache the pre-aggregation global model as the
     /// next reversal target and the round's losses as the next baseline.
+    ///
+    /// Non-finite losses are ignored — a corrupted report committed as the
+    /// baseline would make `max(f(w_{t-1}))` NaN/Inf and blind (or
+    /// hair-trigger) every later vote.
     pub fn commit(&mut self, global_before_aggregation: &[f32], losses: &[f32]) {
         self.cached_model = Some(global_before_aggregation.to_vec());
-        self.prev_losses = Some(losses.to_vec());
+        self.prev_losses = Some(losses.iter().copied().filter(|f| f.is_finite()).collect());
     }
 
     /// Whether the detector has enough history to judge a round.
@@ -175,6 +185,27 @@ mod tests {
     fn empty_current_losses_is_normal() {
         let d = detector_with_baseline(&[1.0], &[0.0]);
         assert!(d.check(&[]).is_none());
+    }
+
+    #[test]
+    fn commit_filters_non_finite_losses() {
+        // An Inf in the baseline would make prev_max = inf and blind the
+        // detector forever; commit must drop it.
+        let d = detector_with_baseline(&[f32::INFINITY, 0.8, f32::NAN], &[1.0]);
+        // Finite baseline max is 0.8: a unanimous 2.0 vote still fires.
+        assert!(d.check(&[2.0, 3.0]).is_some());
+        // And a normal round stays silent.
+        assert!(d.check(&[0.5, 0.6]).is_none());
+    }
+
+    #[test]
+    fn empty_baseline_never_fires() {
+        // A degraded (zero-participant) round commits no finite losses;
+        // the next round must not see "everything exceeds -inf".
+        let d = detector_with_baseline(&[], &[1.0]);
+        assert!(d.check(&[0.1, 0.2]).is_none());
+        let d2 = detector_with_baseline(&[f32::NAN, f32::INFINITY], &[1.0]);
+        assert!(d2.check(&[0.1, 0.2]).is_none());
     }
 
     #[test]

@@ -30,11 +30,7 @@ pub fn is_convex_between(a: &[f32], b: &[f32], ts: &[f32], tol: f32) -> bool {
     let fa = global_objective(a);
     let fb = global_objective(b);
     ts.iter().all(|&t| {
-        let mix: Vec<f32> = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| t * x + (1.0 - t) * y)
-            .collect();
+        let mix: Vec<f32> = a.iter().zip(b).map(|(&x, &y)| t * x + (1.0 - t) * y).collect();
         global_objective(&mix) <= t * fa + (1.0 - t) * fb + tol
     })
 }

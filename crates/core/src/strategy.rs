@@ -114,12 +114,14 @@ impl FedCav {
                 normalise(w, updates.len())
             }
             WeightMode::LinearLoss => {
-                let clipped = if self.config.clip {
-                    crate::weights::clip_losses(&losses)
-                } else {
-                    losses
-                };
-                normalise(clipped.iter().map(|&f| f.max(0.0)).collect(), updates.len())
+                let clipped =
+                    if self.config.clip { crate::weights::clip_losses(&losses) } else { losses };
+                // Non-finite reported losses get zero weight — one NaN/Inf
+                // must not survive into the normalisation sum.
+                normalise(
+                    clipped.iter().map(|&f| if f.is_finite() { f.max(0.0) } else { 0.0 }).collect(),
+                    updates.len(),
+                )
             }
         }
     }
@@ -205,10 +207,7 @@ mod tests {
     fn higher_loss_gets_more_weight_than_fedavg_would_give() {
         let mut s = FedCav::new(FedCavConfig::without_detection());
         // Client 1 has tiny data but big loss; FedAvg would nearly ignore it.
-        let updates = vec![
-            upd(0, vec![0.0], 0.1, 90),
-            upd(1, vec![1.0], 1.2, 10),
-        ];
+        let updates = vec![upd(0, vec![0.0], 0.1, 90), upd(1, vec![1.0], 1.2, 10)];
         let ctx = RoundContext { round: 0, global: &[0.0] };
         let out = accept(s.aggregate(&ctx, &updates).unwrap());
         // FedAvg would give 0.1; FedCav's softmax favors the high-loss client.
@@ -221,10 +220,7 @@ mod tests {
     #[test]
     fn equal_losses_reduce_to_uniform_average() {
         let mut s = FedCav::new(FedCavConfig::without_detection());
-        let updates = vec![
-            upd(0, vec![2.0, 0.0], 0.7, 10),
-            upd(1, vec![0.0, 2.0], 0.7, 30),
-        ];
+        let updates = vec![upd(0, vec![2.0, 0.0], 0.7, 10), upd(1, vec![0.0, 2.0], 0.7, 30)];
         let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
         let out = accept(s.aggregate(&ctx, &updates).unwrap());
         assert_eq!(out, vec![1.0, 1.0]); // uniform, NOT size-weighted
@@ -237,10 +233,7 @@ mod tests {
             detection: None,
             ..Default::default()
         });
-        let updates = vec![
-            upd(0, vec![2.0, 0.0], 0.7, 30),
-            upd(1, vec![0.0, 2.0], 0.7, 10),
-        ];
+        let updates = vec![upd(0, vec![2.0, 0.0], 0.7, 30), upd(1, vec![0.0, 2.0], 0.7, 10)];
         let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
         let out = accept(s.aggregate(&ctx, &updates).unwrap());
         assert!((out[0] - 1.5).abs() < 1e-5);
@@ -255,10 +248,7 @@ mod tests {
             detection: None,
             ..Default::default()
         });
-        let updates = vec![
-            upd(0, vec![0.0], 1.0, 10),
-            upd(1, vec![4.0], 3.0, 10),
-        ];
+        let updates = vec![upd(0, vec![0.0], 1.0, 10), upd(1, vec![4.0], 3.0, 10)];
         let ctx = RoundContext { round: 0, global: &[0.0] };
         let out = accept(s.aggregate(&ctx, &updates).unwrap());
         // weights 0.25 / 0.75 -> 0.75 * 4 = 3.
@@ -277,16 +267,46 @@ mod tests {
     }
 
     #[test]
+    fn linear_loss_survives_non_finite_reports() {
+        let mut s = FedCav::new(FedCavConfig {
+            weight_mode: WeightMode::LinearLoss,
+            clip: false,
+            detection: None,
+            ..Default::default()
+        });
+        let updates = vec![
+            upd(0, vec![0.0], 1.0, 10),
+            upd(1, vec![4.0], f32::INFINITY, 10),
+            upd(2, vec![8.0], f32::NAN, 10),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        // Only the honest client carries weight: result = 1.0 * 0.0.
+        assert!(out[0].is_finite(), "non-finite weight leaked: {}", out[0]);
+        assert!((out[0] - 0.0).abs() < 1e-5);
+        let w = s.last_weights();
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[2], 0.0);
+    }
+
+    #[test]
+    fn softmax_mode_survives_non_finite_reports() {
+        let mut s = FedCav::new(FedCavConfig::without_detection());
+        let updates = vec![upd(0, vec![1.0], 0.5, 10), upd(1, vec![3.0], f32::NAN, 10)];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert!(out[0].is_finite());
+        assert!(s.last_weights().iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
     fn all_zero_losses_fall_back_to_uniform() {
         let mut s = FedCav::new(FedCavConfig {
             weight_mode: WeightMode::LinearLoss,
             detection: None,
             ..Default::default()
         });
-        let updates = vec![
-            upd(0, vec![2.0], 0.0, 10),
-            upd(1, vec![4.0], 0.0, 10),
-        ];
+        let updates = vec![upd(0, vec![2.0], 0.0, 10), upd(1, vec![4.0], 0.0, 10)];
         let ctx = RoundContext { round: 0, global: &[0.0] };
         let out = accept(s.aggregate(&ctx, &updates).unwrap());
         assert!((out[0] - 3.0).abs() < 1e-5, "uniform fallback, got {}", out[0]);
@@ -295,11 +315,8 @@ mod tests {
     #[test]
     fn clipping_limits_attacker_weight() {
         let mut clipped = FedCav::new(FedCavConfig::without_detection());
-        let mut unclipped = FedCav::new(FedCavConfig {
-            clip: false,
-            detection: None,
-            ..Default::default()
-        });
+        let mut unclipped =
+            FedCav::new(FedCavConfig { clip: false, detection: None, ..Default::default() });
         let updates = vec![
             upd(0, vec![0.0], 0.5, 10),
             upd(1, vec![0.0], 0.6, 10),
@@ -340,22 +357,19 @@ mod tests {
         let g0 = vec![5.0];
         let ctx0 = RoundContext { round: 0, global: &g0 };
         accept(
-            s.aggregate(&ctx0, &[upd(0, vec![1.0], 0.5, 1), upd(1, vec![1.0], 0.6, 1)])
-                .unwrap(),
+            s.aggregate(&ctx0, &[upd(0, vec![1.0], 0.5, 1), upd(1, vec![1.0], 0.6, 1)]).unwrap(),
         );
         // Attack detected in round 1.
         let g1 = vec![0.0];
         let ctx1 = RoundContext { round: 1, global: &g1 };
-        let rej = s
-            .aggregate(&ctx1, &[upd(0, vec![0.0], 9.0, 1), upd(1, vec![0.0], 9.5, 1)])
-            .unwrap();
+        let rej =
+            s.aggregate(&ctx1, &[upd(0, vec![0.0], 9.0, 1), upd(1, vec![0.0], 9.5, 1)]).unwrap();
         assert!(matches!(rej, Aggregation::Reject { .. }));
         // Round 2 runs on the reverted model with normal losses: accepted,
         // because the baseline still describes the healthy model.
         let ctx2 = RoundContext { round: 2, global: &g0 };
-        let ok = s
-            .aggregate(&ctx2, &[upd(0, vec![2.0], 0.4, 1), upd(1, vec![2.0], 0.5, 1)])
-            .unwrap();
+        let ok =
+            s.aggregate(&ctx2, &[upd(0, vec![2.0], 0.4, 1), upd(1, vec![2.0], 0.5, 1)]).unwrap();
         assert!(matches!(ok, Aggregation::Accept(_)));
     }
 
@@ -365,9 +379,7 @@ mod tests {
         let g = vec![0.0];
         for round in 0..3 {
             let ctx = RoundContext { round, global: &g };
-            let out = s
-                .aggregate(&ctx, &[upd(0, vec![1.0], 1000.0 * round as f32, 1)])
-                .unwrap();
+            let out = s.aggregate(&ctx, &[upd(0, vec![1.0], 1000.0 * round as f32, 1)]).unwrap();
             assert!(matches!(out, Aggregation::Accept(_)));
         }
     }

@@ -10,12 +10,18 @@ use fedcav_tensor::numerics::softmax_with_temperature;
 /// process will be jiggling" (§4.2.3) — one outlier client would otherwise
 /// take the whole aggregation weight (the Fig. 5 ablation shows exactly
 /// that oscillation).
+/// Non-finite entries (NaN/±Inf — a corrupted report) are *clamped to the
+/// finite mean*: one broken float must neither poison the mean (a NaN mean
+/// would disable clipping for everyone) nor survive into the softmax.
 pub fn clip_losses(losses: &[f32]) -> Vec<f32> {
     if losses.is_empty() {
         return Vec::new();
     }
-    let mean = losses.iter().sum::<f32>() / losses.len() as f32;
-    losses.iter().map(|&f| f.min(mean)).collect()
+    // Mean over the finite entries only.
+    let (sum, n) =
+        losses.iter().filter(|f| f.is_finite()).fold((0.0f32, 0usize), |(s, n), &f| (s + f, n + 1));
+    let mean = if n > 0 { sum / n as f32 } else { 0.0 };
+    losses.iter().map(|&f| if f.is_finite() { f.min(mean) } else { mean }).collect()
 }
 
 /// FedCav aggregation weights: `softmax(clip(f) / T)`.
@@ -28,6 +34,11 @@ pub fn clip_losses(losses: &[f32]) -> Vec<f32> {
 /// it safe for arbitrarily large reported losses (the overflow concern the
 /// paper raises in §4.2.3).
 ///
+/// Non-finite losses can never produce non-finite weights: with `clip` on
+/// they are clamped to the finite mean by [`clip_losses`]; with `clip` off
+/// they are excluded (weight 0, the remaining weights renormalised). If
+/// *no* loss is finite the weights fall back to uniform.
+///
 /// ```
 /// use fedcav_core::contribution_weights;
 ///
@@ -38,10 +49,29 @@ pub fn clip_losses(losses: &[f32]) -> Vec<f32> {
 /// ```
 pub fn contribution_weights(losses: &[f32], clip: bool, temperature: f32) -> Vec<f32> {
     if clip {
-        softmax_with_temperature(&clip_losses(losses), temperature)
-    } else {
-        softmax_with_temperature(losses, temperature)
+        // clip_losses clamps non-finite entries to the finite mean, so the
+        // softmax input is always finite.
+        return softmax_with_temperature(&clip_losses(losses), temperature);
     }
+    if losses.iter().all(|f| f.is_finite()) {
+        return softmax_with_temperature(losses, temperature);
+    }
+    // Unclipped guard path: give corrupted entries zero weight and softmax
+    // the finite rest.
+    let finite: Vec<f32> = losses.iter().copied().filter(|f| f.is_finite()).collect();
+    if finite.is_empty() {
+        return vec![1.0 / losses.len() as f32; losses.len()];
+    }
+    let inner = softmax_with_temperature(&finite, temperature);
+    let mut out = vec![0.0f32; losses.len()];
+    let mut k = 0;
+    for (o, &f) in out.iter_mut().zip(losses) {
+        if f.is_finite() {
+            *o = inner[k];
+            k += 1;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -115,5 +145,59 @@ mod tests {
         let w = contribution_weights(&[1e30, 1e30], false, 1.0);
         assert!(w.iter().all(|v| v.is_finite()));
         assert!(close(w.iter().sum::<f32>(), 1.0));
+    }
+
+    #[test]
+    fn clip_clamps_non_finite_to_finite_mean() {
+        // Finite mean over {1, 3} = 2; NaN and Inf are clamped to it.
+        let clipped = clip_losses(&[1.0, 3.0, f32::NAN, f32::INFINITY]);
+        assert_eq!(clipped, vec![1.0, 2.0, 2.0, 2.0]);
+        assert!(clipped.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn clip_all_non_finite_yields_zeros() {
+        let clipped = clip_losses(&[f32::NAN, f32::INFINITY]);
+        assert_eq!(clipped, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_nan_cannot_poison_clipped_weights() {
+        let w = contribution_weights(&[0.5, 0.7, f32::NAN], true, 1.0);
+        assert!(w.iter().all(|v| v.is_finite()), "weights {w:?}");
+        assert!(close(w.iter().sum::<f32>(), 1.0));
+    }
+
+    #[test]
+    fn one_inf_cannot_poison_clipped_weights() {
+        let w = contribution_weights(&[0.5, 0.7, f32::INFINITY], true, 1.0);
+        assert!(w.iter().all(|v| v.is_finite()), "weights {w:?}");
+        assert!(close(w.iter().sum::<f32>(), 1.0));
+        // The corrupted client is clamped to the mean: it cannot dominate.
+        assert!(w[2] < 0.5, "clamped corrupt weight {}", w[2]);
+    }
+
+    #[test]
+    fn unclipped_excludes_non_finite_with_zero_weight() {
+        let w = contribution_weights(&[0.5, f32::NAN, 1.0, f32::INFINITY], false, 1.0);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[3], 0.0);
+        assert!(w[0] > 0.0 && w[2] > w[0]);
+        assert!(close(w.iter().sum::<f32>(), 1.0));
+    }
+
+    #[test]
+    fn all_non_finite_falls_back_to_uniform() {
+        let w = contribution_weights(&[f32::NAN, f32::INFINITY, f32::NEG_INFINITY], false, 1.0);
+        assert!(w.iter().all(|&v| close(v, 1.0 / 3.0)));
+    }
+
+    #[test]
+    fn finite_inputs_take_the_unguarded_path_unchanged() {
+        // The guard must not perturb healthy weights at all.
+        let losses = [0.5f32, 1.0, 2.0];
+        let a = contribution_weights(&losses, false, 1.0);
+        let b = fedcav_tensor::numerics::softmax_with_temperature(&losses, 1.0);
+        assert_eq!(a, b);
     }
 }

@@ -70,11 +70,7 @@ impl Dataset {
 
     /// Indices of all samples with the given label.
     pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &l)| (l == class).then_some(i))
-            .collect()
+        self.labels.iter().enumerate().filter_map(|(i, &l)| (l == class).then_some(i)).collect()
     }
 
     /// Materialise a subset by sample indices (copies).
@@ -105,11 +101,7 @@ impl Dataset {
         dims[0] = self.len() + other.len();
         let mut labels = self.labels.clone();
         labels.extend_from_slice(&other.labels);
-        Ok(Dataset {
-            images: Tensor::from_vec(&dims, data)?,
-            labels,
-            n_classes: self.n_classes,
-        })
+        Ok(Dataset { images: Tensor::from_vec(&dims, data)?, labels, n_classes: self.n_classes })
     }
 }
 
@@ -170,11 +162,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy(n: usize) -> Dataset {
-        let images = Tensor::from_vec(
-            &[n, 1, 1, 2],
-            (0..2 * n).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let images =
+            Tensor::from_vec(&[n, 1, 1, 2], (0..2 * n).map(|v| v as f32).collect()).unwrap();
         let labels = (0..n).map(|i| i % 3).collect();
         Dataset::new(images, labels, 3).unwrap()
     }
@@ -242,8 +231,7 @@ mod tests {
     #[test]
     fn batch_iter_last_batch_may_be_short() {
         let d = toy(10);
-        let sizes: Vec<usize> =
-            BatchIter::sequential(&d, 4).map(|(_, l)| l.len()).collect();
+        let sizes: Vec<usize> = BatchIter::sequential(&d, 4).map(|(_, l)| l.len()).collect();
         assert_eq!(sizes, vec![4, 4, 2]);
     }
 
@@ -260,9 +248,7 @@ mod tests {
         let d = toy(32);
         let order = |seed: u64| -> Vec<usize> {
             let mut rng = StdRng::seed_from_u64(seed);
-            BatchIter::new(&d, 32, &mut rng)
-                .flat_map(|(_, l)| l)
-                .collect()
+            BatchIter::new(&d, 32, &mut rng).flat_map(|(_, l)| l).collect()
         };
         assert_ne!(order(1), order(2));
         assert_eq!(order(3), order(3));

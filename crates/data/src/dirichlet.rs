@@ -96,10 +96,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn data(per_class: usize) -> Dataset {
-        SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1)
-            .generate()
-            .unwrap()
-            .0
+        SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1).generate().unwrap().0
     }
 
     #[test]
@@ -119,11 +116,7 @@ mod tests {
         // Average the max component across draws: smaller alpha -> larger.
         let mean_max = |alpha: f64, rng: &mut StdRng| {
             (0..64)
-                .map(|_| {
-                    dirichlet(rng, alpha, 10)
-                        .into_iter()
-                        .fold(0.0f64, f64::max)
-                })
+                .map(|_| dirichlet(rng, alpha, 10).into_iter().fold(0.0f64, f64::max))
                 .sum::<f64>()
                 / 64.0
         };
@@ -136,12 +129,8 @@ mod tests {
     fn gamma_sampler_mean_matches_shape() {
         let mut rng = StdRng::seed_from_u64(2);
         for &shape in &[0.5f64, 1.0, 3.0, 8.0] {
-            let mean =
-                (0..4000).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / 4000.0;
-            assert!(
-                (mean - shape).abs() < shape * 0.15 + 0.05,
-                "shape {shape}: mean {mean}"
-            );
+            let mean = (0..4000).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / 4000.0;
+            assert!((mean - shape).abs() < shape * 0.15 + 0.05, "shape {shape}: mean {mean}");
         }
     }
 

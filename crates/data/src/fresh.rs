@@ -26,10 +26,7 @@ impl FreshClassSplit {
     /// The paper uses α ∈ {0.1, 0.3, 0.5} and caps at 0.5; we accept any
     /// `0 < alpha < 1` but debug-assert the paper's range in harnesses.
     pub fn new<R: Rng>(dataset: &Dataset, alpha: f64, rng: &mut R) -> Result<Self> {
-        assert!(
-            alpha > 0.0 && alpha < 1.0,
-            "alpha must be in (0,1), got {alpha}"
-        );
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
         let n_fresh = ((alpha * dataset.n_classes as f64).ceil() as usize)
             .clamp(1, dataset.n_classes.saturating_sub(1));
         let mut classes: Vec<usize> = (0..dataset.n_classes).collect();
@@ -38,12 +35,10 @@ impl FreshClassSplit {
         fresh_classes.sort_unstable();
 
         let is_fresh = |l: usize| fresh_classes.binary_search(&l).is_ok();
-        let fresh_idx: Vec<usize> = (0..dataset.len())
-            .filter(|&i| is_fresh(dataset.labels[i]))
-            .collect();
-        let common_idx: Vec<usize> = (0..dataset.len())
-            .filter(|&i| !is_fresh(dataset.labels[i]))
-            .collect();
+        let fresh_idx: Vec<usize> =
+            (0..dataset.len()).filter(|&i| is_fresh(dataset.labels[i])).collect();
+        let common_idx: Vec<usize> =
+            (0..dataset.len()).filter(|&i| !is_fresh(dataset.labels[i])).collect();
         Ok(FreshClassSplit {
             common: dataset.subset(&common_idx)?,
             fresh: dataset.subset(&fresh_idx)?,
@@ -65,10 +60,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn data() -> Dataset {
-        SyntheticConfig::new(SyntheticKind::MnistLike, 6, 1)
-            .generate()
-            .unwrap()
-            .0
+        SyntheticConfig::new(SyntheticKind::MnistLike, 6, 1).generate().unwrap().0
     }
 
     #[test]

@@ -246,9 +246,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn data(per_class: usize) -> Dataset {
-        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1)
-            .generate()
-            .unwrap();
+        let (train, _) =
+            SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1).generate().unwrap();
         train
     }
 
@@ -297,10 +296,7 @@ mod tests {
         let p_imb = noniid(&d, 10, 2, ImbalanceSpec::PaperSigma(900.0), &mut rng);
         let v_bal = p_bal.shard_size_variance(&d);
         let v_imb = p_imb.shard_size_variance(&d);
-        assert!(
-            v_imb > 2.0 * v_bal,
-            "imbalanced variance {v_imb} should exceed balanced {v_bal}"
-        );
+        assert!(v_imb > 2.0 * v_bal, "imbalanced variance {v_imb} should exceed balanced {v_bal}");
     }
 
     #[test]

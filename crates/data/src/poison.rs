@@ -10,16 +10,8 @@ use rand::{Rng, RngExt};
 /// adversary trains on (§5.2.4) — predictions become maximally inconsistent
 /// with honest clients' data.
 pub fn flip_all_labels(dataset: &Dataset) -> Dataset {
-    let labels = dataset
-        .labels
-        .iter()
-        .map(|&l| dataset.n_classes - 1 - l)
-        .collect();
-    Dataset {
-        images: dataset.images.clone(),
-        labels,
-        n_classes: dataset.n_classes,
-    }
+    let labels = dataset.labels.iter().map(|&l| dataset.n_classes - 1 - l).collect();
+    Dataset { images: dataset.images.clone(), labels, n_classes: dataset.n_classes }
 }
 
 /// Flip a `fraction` of labels to a uniformly random *different* class
@@ -42,11 +34,7 @@ pub fn flip_fraction<R: Rng>(dataset: &Dataset, fraction: f64, rng: &mut R) -> D
         }
         labels[i] = new;
     }
-    Dataset {
-        images: dataset.images.clone(),
-        labels,
-        n_classes: dataset.n_classes,
-    }
+    Dataset { images: dataset.images.clone(), labels, n_classes: dataset.n_classes }
 }
 
 /// Fraction of labels that differ between two datasets of equal length.
@@ -67,10 +55,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn data() -> Dataset {
-        SyntheticConfig::new(SyntheticKind::MnistLike, 4, 1)
-            .generate()
-            .unwrap()
-            .0
+        SyntheticConfig::new(SyntheticKind::MnistLike, 4, 1).generate().unwrap().0
     }
 
     #[test]

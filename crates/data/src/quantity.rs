@@ -45,10 +45,7 @@ pub fn powerlaw_partition<R: Rng>(
             cuts[i] = cuts[i - 1];
         }
     }
-    let client_indices = cuts
-        .windows(2)
-        .map(|w| order[w[0]..w[1]].to_vec())
-        .collect();
+    let client_indices = cuts.windows(2).map(|w| order[w[0]..w[1]].to_vec()).collect();
     ClientPartition { client_indices }
 }
 
@@ -61,10 +58,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn data(per_class: usize) -> Dataset {
-        SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1)
-            .generate()
-            .unwrap()
-            .0
+        SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1).generate().unwrap().0
     }
 
     #[test]
@@ -107,11 +101,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let p = powerlaw_partition(&d, 5, 1.0, &mut rng);
         // The largest client must hold most classes (IID labels).
-        let largest = p
-            .class_counts(&d)
-            .into_iter()
-            .max_by_key(|c| c.iter().sum::<usize>())
-            .unwrap();
+        let largest =
+            p.class_counts(&d).into_iter().max_by_key(|c| c.iter().sum::<usize>()).unwrap();
         let covered = largest.iter().filter(|&&c| c > 0).count();
         assert!(covered >= 8, "largest client covers {covered}/10 classes");
     }

@@ -62,13 +62,10 @@ impl PartitionStats {
     pub fn compute(partition: &ClientPartition, dataset: &Dataset) -> Self {
         let class_counts = partition.class_counts(dataset);
         let n = class_counts.len().max(1) as f64;
-        let mean_label_entropy =
-            class_counts.iter().map(|c| entropy(c)).sum::<f64>() / n;
-        let mean_classes_per_client = class_counts
-            .iter()
-            .map(|c| c.iter().filter(|&&x| x > 0).count() as f64)
-            .sum::<f64>()
-            / n;
+        let mean_label_entropy = class_counts.iter().map(|c| entropy(c)).sum::<f64>() / n;
+        let mean_classes_per_client =
+            class_counts.iter().map(|c| c.iter().filter(|&&x| x > 0).count() as f64).sum::<f64>()
+                / n;
         PartitionStats {
             mean_label_entropy,
             size_gini: gini(&partition.sizes()),
@@ -87,10 +84,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn data() -> Dataset {
-        SyntheticConfig::new(SyntheticKind::MnistLike, 30, 1)
-            .generate()
-            .unwrap()
-            .0
+        SyntheticConfig::new(SyntheticKind::MnistLike, 30, 1).generate().unwrap().0
     }
 
     #[test]
@@ -128,16 +122,10 @@ mod tests {
         let d = data();
         let mut rng = StdRng::seed_from_u64(0);
         let iid = PartitionStats::compute(&iid_balanced(&d, 10, &mut rng), &d);
-        let two = PartitionStats::compute(
-            &noniid(&d, 10, 2, ImbalanceSpec::Balanced, &mut rng),
-            &d,
-        );
+        let two =
+            PartitionStats::compute(&noniid(&d, 10, 2, ImbalanceSpec::Balanced, &mut rng), &d);
         assert!(iid.mean_label_entropy > 2.0, "IID entropy {}", iid.mean_label_entropy);
-        assert!(
-            two.mean_label_entropy < 1.2,
-            "2-class entropy {}",
-            two.mean_label_entropy
-        );
+        assert!(two.mean_label_entropy < 1.2, "2-class entropy {}", two.mean_label_entropy);
         assert!(iid.mean_classes_per_client > two.mean_classes_per_client);
     }
 
@@ -145,10 +133,8 @@ mod tests {
     fn imbalance_raises_size_gini() {
         let d = data();
         let mut rng = StdRng::seed_from_u64(1);
-        let bal = PartitionStats::compute(
-            &noniid(&d, 10, 2, ImbalanceSpec::Balanced, &mut rng),
-            &d,
-        );
+        let bal =
+            PartitionStats::compute(&noniid(&d, 10, 2, ImbalanceSpec::Balanced, &mut rng), &d);
         let imb = PartitionStats::compute(
             &noniid(&d, 10, 2, ImbalanceSpec::PaperSigma(900.0), &mut rng),
             &d,

@@ -161,7 +161,11 @@ struct Template {
 }
 
 /// Build `n_classes * templates_per_class` smooth blob templates.
-fn make_templates<R: Rng>(rng: &mut R, kind: SyntheticKind, n_classes: usize) -> Vec<Vec<Template>> {
+fn make_templates<R: Rng>(
+    rng: &mut R,
+    kind: SyntheticKind,
+    n_classes: usize,
+) -> Vec<Vec<Template>> {
     let [c, h, w] = kind.image_dims();
     (0..n_classes)
         .map(|_| {
@@ -181,7 +185,8 @@ fn smooth_pattern<R: Rng>(rng: &mut R, c: usize, h: usize, w: usize) -> Vec<f32>
         for _ in 0..bumps {
             let cy: f32 = rng.random_range(0.2..0.8) * h as f32;
             let cx: f32 = rng.random_range(0.2..0.8) * w as f32;
-            let amp: f32 = rng.random_range(0.5..1.5) * if rng.random::<bool>() { 1.0 } else { -1.0 };
+            let amp: f32 =
+                rng.random_range(0.5..1.5) * if rng.random::<bool>() { 1.0 } else { -1.0 };
             let sig: f32 = rng.random_range(1.5..4.0);
             let inv2s2 = 1.0 / (2.0 * sig * sig);
             for y in 0..h {
@@ -321,9 +326,8 @@ mod tests {
 
     #[test]
     fn zero_shift_override_centers_all_samples() {
-        let cfg = SyntheticConfig::new(SyntheticKind::MnistLike, 3, 1)
-            .with_shift(0)
-            .with_noise(0.0);
+        let cfg =
+            SyntheticConfig::new(SyntheticKind::MnistLike, 3, 1).with_shift(0).with_noise(0.0);
         let (train, _) = cfg.generate().unwrap();
         // With no shift and no noise, same-class samples from the single
         // template are identical.

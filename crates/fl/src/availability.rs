@@ -127,13 +127,7 @@ mod tests {
 
     #[test]
     fn diurnal_oscillates() {
-        let m = DiurnalAvailability {
-            base: 0.5,
-            amplitude: 0.45,
-            period: 20,
-            cohorts: 1,
-            seed: 3,
-        };
+        let m = DiurnalAvailability { base: 0.5, amplitude: 0.45, period: 20, cohorts: 1, seed: 3 };
         // Probability at peak (round 5 of 20: sin(π/2)=1) vs trough.
         let peak = m.probability(0, 5);
         let trough = m.probability(0, 15);
@@ -142,13 +136,7 @@ mod tests {
 
     #[test]
     fn diurnal_cohorts_out_of_phase() {
-        let m = DiurnalAvailability {
-            base: 0.5,
-            amplitude: 0.45,
-            period: 20,
-            cohorts: 2,
-            seed: 3,
-        };
+        let m = DiurnalAvailability { base: 0.5, amplitude: 0.45, period: 20, cohorts: 2, seed: 3 };
         // Cohort 1 is half a cycle shifted: its peak is cohort 0's trough.
         let c0 = m.probability(0, 5);
         let c1 = m.probability(1, 5);

@@ -97,6 +97,7 @@ impl<'a> CentralizedTrainer<'a> {
             bytes_up: 0,
             round_duration: 0.0,
             sim_time: 0.0,
+            faults: crate::metrics::FaultTelemetry::default(),
         };
         self.history.records.push(record.clone());
         self.round += 1;
@@ -124,9 +125,8 @@ mod tests {
 
     #[test]
     fn centralized_learns_fast() {
-        let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2)
-            .generate()
-            .unwrap();
+        let (train, test) =
+            SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2).generate().unwrap();
         let img_len = train.image_len();
         let factory = move || {
             let mut rng = StdRng::seed_from_u64(0);
@@ -149,9 +149,8 @@ mod tests {
 
     #[test]
     fn set_global_checks_len() {
-        let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 2, 1)
-            .generate()
-            .unwrap();
+        let (train, test) =
+            SyntheticConfig::new(SyntheticKind::MnistLike, 2, 1).generate().unwrap();
         let img_len = train.image_len();
         let factory = move || {
             let mut rng = StdRng::seed_from_u64(0);

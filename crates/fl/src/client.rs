@@ -83,9 +83,7 @@ mod tests {
     use rand::rngs::StdRng;
 
     fn setup() -> (Dataset, impl Fn() -> Sequential + Sync) {
-        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 6, 1)
-            .generate()
-            .unwrap();
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 6, 1).generate().unwrap();
         let img_len = train.image_len();
         let factory = move || {
             let mut rng = StdRng::seed_from_u64(0);
@@ -145,9 +143,8 @@ mod tests {
         let prox_cfg = LocalConfig { prox_mu: 1.0, ..free_cfg };
         let free = local_update(&factory, &global, 0, &data, &free_cfg, 4).unwrap();
         let prox = local_update(&factory, &global, 0, &data, &prox_cfg, 4).unwrap();
-        let dist = |p: &[f32]| -> f32 {
-            p.iter().zip(&global).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let dist =
+            |p: &[f32]| -> f32 { p.iter().zip(&global).map(|(a, b)| (a - b) * (a - b)).sum() };
         assert!(
             dist(&prox.params) < dist(&free.params),
             "prox {} should be < free {}",

@@ -22,11 +22,7 @@ pub struct CommModel {
 impl CommModel {
     /// Model for a parameter vector of `n_params` scalars.
     pub fn new(n_params: usize) -> Self {
-        CommModel {
-            param_bytes: 4 * n_params as u64,
-            loss_bytes: 4,
-            envelope_bytes: 24,
-        }
+        CommModel { param_bytes: 4 * n_params as u64, loss_bytes: 4, envelope_bytes: 24 }
     }
 
     /// Bytes the server pushes in one round (global model to each

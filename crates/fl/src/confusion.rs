@@ -75,10 +75,8 @@ impl ConfusionMatrix {
     /// §5.2.2); `None` when no listed class has samples.
     pub fn subset_recall(&self, classes: &[usize]) -> Option<f32> {
         let recalls = self.per_class_recall();
-        let vals: Vec<f32> = classes
-            .iter()
-            .filter_map(|&c| recalls.get(c).copied().flatten())
-            .collect();
+        let vals: Vec<f32> =
+            classes.iter().filter_map(|&c| recalls.get(c).copied().flatten()).collect();
         if vals.is_empty() {
             None
         } else {
@@ -167,9 +165,7 @@ mod tests {
 
     #[test]
     fn evaluate_matches_overall_accuracy() {
-        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 4, 1)
-            .generate()
-            .unwrap();
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 4, 1).generate().unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let mut m = models::tiny_mlp(&mut rng, train.image_len(), 10);
         let cm = evaluate_confusion(&mut m, &train, 16).unwrap();

@@ -11,7 +11,11 @@ use fedcav_tensor::{Result, TensorError};
 /// inference-loss computation (Alg. 2 line 2) — one code path, as in the
 /// paper where both are "the loss of making a prediction on local data
 /// with the current global model".
-pub fn evaluate(model: &mut Sequential, dataset: &Dataset, batch_size: usize) -> Result<(f32, f32)> {
+pub fn evaluate(
+    model: &mut Sequential,
+    dataset: &Dataset,
+    batch_size: usize,
+) -> Result<(f32, f32)> {
     if dataset.is_empty() {
         return Err(TensorError::Empty { op: "evaluate (empty dataset)" });
     }
@@ -41,9 +45,7 @@ mod tests {
 
     #[test]
     fn random_model_near_chance_loss() {
-        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 4, 1)
-            .generate()
-            .unwrap();
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 4, 1).generate().unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let mut m = models::mlp(&mut rng, train.image_len(), 10);
         let (loss, acc) = evaluate(&mut m, &train, 16).unwrap();
@@ -54,9 +56,7 @@ mod tests {
 
     #[test]
     fn batch_size_does_not_change_result() {
-        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 3, 1)
-            .generate()
-            .unwrap();
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 3, 1).generate().unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let mut m = models::mlp(&mut rng, train.image_len(), 10);
         let (l1, a1) = evaluate(&mut m, &train, 7).unwrap();

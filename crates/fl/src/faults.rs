@@ -1,0 +1,332 @@
+//! Deterministic fault injection for the round loop.
+//!
+//! The paper's threat model (§4.4) covers clients that *lie*; a production
+//! server must additionally survive clients that *break*: devices that go
+//! silent mid-round, uploads corrupted to NaN/Inf garbage, loss reports
+//! mangled in transit, and stragglers that blow through the round deadline.
+//! This module injects exactly those failures, deterministically per
+//! `(seed, round, client)` — the same contract as the server's seed
+//! derivation — so faulty runs reproduce bit-for-bit and A/B comparisons
+//! against a fault-free run are meaningful.
+//!
+//! The server (`crate::server`) consumes the injected faults: crashes and
+//! training errors become recorded drop events, corrupted updates are
+//! quarantined by server-side validation, and stragglers interact with the
+//! [`crate::LatencyModel`] and the round deadline.
+
+use crate::update::LocalUpdate;
+
+/// How a float (or a parameter vector) is mangled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Corruption {
+    /// Replaced by NaN.
+    Nan,
+    /// Replaced by positive infinity.
+    Inf,
+    /// Replaced by finite pseudo-random garbage of roughly this magnitude
+    /// (passes the non-finite check; exercises the norm-bound quarantine
+    /// path instead).
+    Garbage(f32),
+}
+
+/// The failure a client exhibits in one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// The client goes silent mid-round: no update reaches the server.
+    Crash,
+    /// The uploaded parameter vector is corrupted.
+    CorruptParams(Corruption),
+    /// The reported inference loss is corrupted.
+    CorruptLoss(Corruption),
+    /// The client runs this many times slower than its latency model says
+    /// (dropped only when the round has a deadline it then exceeds).
+    Straggle(f64),
+}
+
+/// Decides which fault (if any) a client exhibits in a round.
+///
+/// Implementations must be pure functions of `(seed, round, client)` so a
+/// simulation replays identically: never consult wall-clock time or hidden
+/// mutable state.
+pub trait FaultModel: Send + Sync {
+    /// The fault for `client` in `round`, derived from the master `seed`.
+    fn inject(&self, seed: u64, round: usize, client: usize) -> Option<InjectedFault>;
+}
+
+/// Injects nothing — installing it must leave a simulation byte-identical
+/// to running with no fault model at all (asserted in the integration
+/// suite).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    fn inject(&self, _seed: u64, _round: usize, _client: usize) -> Option<InjectedFault> {
+        None
+    }
+}
+
+/// Independent per-`(round, client)` fault rates, hashed from the seed.
+///
+/// Each pair draws one uniform deviate; the rates partition `[0, 1)` in
+/// order crash → corrupt-params → corrupt-loss → straggle, so the rates
+/// must sum to at most 1. Corruptions alternate NaN/Inf (both non-finite,
+/// so both are caught by server validation).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomFaults {
+    /// Probability the client crashes and uploads nothing.
+    pub crash_rate: f64,
+    /// Probability the uploaded parameters are NaN/Inf-corrupted.
+    pub corrupt_param_rate: f64,
+    /// Probability the reported inference loss is NaN/Inf-corrupted.
+    pub corrupt_loss_rate: f64,
+    /// Probability the client straggles.
+    pub straggler_rate: f64,
+    /// Latency multiplier applied to a straggler.
+    pub straggler_factor: f64,
+    /// Extra salt separating the fault stream from training/sampling
+    /// streams that hash the same master seed.
+    pub salt: u64,
+}
+
+impl Default for RandomFaults {
+    fn default() -> Self {
+        RandomFaults {
+            crash_rate: 0.0,
+            corrupt_param_rate: 0.0,
+            corrupt_loss_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: 10.0,
+            salt: 0,
+        }
+    }
+}
+
+impl RandomFaults {
+    /// A crash-only model (pure dropout).
+    pub fn dropouts(crash_rate: f64) -> Self {
+        RandomFaults { crash_rate, ..Default::default() }
+    }
+
+    fn total_rate(&self) -> f64 {
+        self.crash_rate + self.corrupt_param_rate + self.corrupt_loss_rate + self.straggler_rate
+    }
+}
+
+impl FaultModel for RandomFaults {
+    fn inject(&self, seed: u64, round: usize, client: usize) -> Option<InjectedFault> {
+        debug_assert!(self.total_rate() <= 1.0 + 1e-9, "fault rates must sum to <= 1");
+        let stream = seed ^ FAULT_STREAM_SALT ^ self.salt;
+        let u = unit(mix(stream, round as u64, client as u64));
+        // Second independent deviate picks the corruption flavour.
+        let flavour = if mix(stream ^ 0x5EED, round as u64, client as u64) & 1 == 0 {
+            Corruption::Nan
+        } else {
+            Corruption::Inf
+        };
+        let mut acc = self.crash_rate;
+        if u < acc {
+            return Some(InjectedFault::Crash);
+        }
+        acc += self.corrupt_param_rate;
+        if u < acc {
+            return Some(InjectedFault::CorruptParams(flavour));
+        }
+        acc += self.corrupt_loss_rate;
+        if u < acc {
+            return Some(InjectedFault::CorruptLoss(flavour));
+        }
+        acc += self.straggler_rate;
+        if u < acc {
+            return Some(InjectedFault::Straggle(self.straggler_factor));
+        }
+        None
+    }
+}
+
+/// Apply the server-visible effect of a fault to an update.
+///
+/// [`InjectedFault::Crash`] and [`InjectedFault::Straggle`] have no effect
+/// on the payload (the server handles them at delivery time); the corrupt
+/// variants mangle the parameters or the loss in place. `seed` drives the
+/// (deterministic) choice of which elements are poisoned and what garbage
+/// values look like.
+pub fn apply_fault(fault: InjectedFault, update: &mut LocalUpdate, seed: u64) {
+    match fault {
+        InjectedFault::Crash | InjectedFault::Straggle(_) => {}
+        InjectedFault::CorruptParams(c) => corrupt_slice(&mut update.params, c, seed),
+        InjectedFault::CorruptLoss(c) => {
+            update.inference_loss = corrupt_value(c, seed);
+        }
+    }
+}
+
+/// The straggler slowdown of a fault (1.0 for everything else).
+pub fn slowdown_of(fault: Option<InjectedFault>) -> f64 {
+    match fault {
+        Some(InjectedFault::Straggle(s)) => s.max(1.0),
+        _ => 1.0,
+    }
+}
+
+const FAULT_STREAM_SALT: u64 = 0x0FA0_17D3_AD11_4E5D;
+
+/// SplitMix64-style mixer, the same construction as the server's
+/// `derive_seed` and the availability models' hash.
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    h as f64 / u64::MAX as f64
+}
+
+fn corrupt_value(c: Corruption, seed: u64) -> f32 {
+    match c {
+        Corruption::Nan => f32::NAN,
+        Corruption::Inf => f32::INFINITY,
+        Corruption::Garbage(mag) => (2.0 * unit(mix(seed, 0, 0)) as f32 - 1.0) * mag,
+    }
+}
+
+fn corrupt_slice(xs: &mut [f32], c: Corruption, seed: u64) {
+    if xs.is_empty() {
+        return;
+    }
+    match c {
+        Corruption::Nan | Corruption::Inf => {
+            // Poison a deterministic stride of elements — realistic partial
+            // corruption (a damaged chunk), and enough that any validator
+            // scanning the vector must find one.
+            let val = if c == Corruption::Nan { f32::NAN } else { f32::INFINITY };
+            let stride = (xs.len() / 16).max(1);
+            let offset = (mix(seed, 1, 0) as usize) % stride;
+            let mut i = offset;
+            while i < xs.len() {
+                xs[i] = val;
+                i += stride;
+            }
+        }
+        Corruption::Garbage(mag) => {
+            for (i, x) in xs.iter_mut().enumerate() {
+                *x = (2.0 * unit(mix(seed, 2, i as u64)) as f32 - 1.0) * mag;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_injects_nothing() {
+        for r in 0..10 {
+            for c in 0..10 {
+                assert_eq!(NoFaults.inject(42, r, c), None);
+            }
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_key() {
+        let m = RandomFaults {
+            crash_rate: 0.2,
+            corrupt_param_rate: 0.1,
+            corrupt_loss_rate: 0.1,
+            straggler_rate: 0.1,
+            ..Default::default()
+        };
+        for r in 0..20 {
+            for c in 0..20 {
+                assert_eq!(m.inject(7, r, c), m.inject(7, r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let m = RandomFaults { crash_rate: 0.25, ..Default::default() };
+        let n = 4000;
+        let crashed = (0..n).filter(|&c| m.inject(1, 0, c) == Some(InjectedFault::Crash)).count();
+        let frac = crashed as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "crash fraction {frac}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let m = RandomFaults { crash_rate: 0.5, ..Default::default() };
+        let stream =
+            |seed: u64| -> Vec<bool> { (0..64).map(|c| m.inject(seed, 0, c).is_some()).collect() };
+        assert_ne!(stream(1), stream(2));
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let m = RandomFaults::default();
+        for c in 0..100 {
+            assert_eq!(m.inject(3, 0, c), None);
+        }
+    }
+
+    #[test]
+    fn corrupt_params_produces_non_finite() {
+        let mut u = LocalUpdate::new(0, vec![1.0; 100], 0.5, 10);
+        apply_fault(InjectedFault::CorruptParams(Corruption::Nan), &mut u, 9);
+        assert!(u.params.iter().any(|p| p.is_nan()));
+        assert!(u.inference_loss.is_finite(), "loss untouched");
+
+        let mut v = LocalUpdate::new(0, vec![1.0; 100], 0.5, 10);
+        apply_fault(InjectedFault::CorruptParams(Corruption::Inf), &mut v, 9);
+        assert!(v.params.iter().any(|p| p.is_infinite()));
+    }
+
+    #[test]
+    fn corrupt_loss_only_touches_loss() {
+        let mut u = LocalUpdate::new(0, vec![1.0; 8], 0.5, 10);
+        apply_fault(InjectedFault::CorruptLoss(Corruption::Inf), &mut u, 3);
+        assert!(u.inference_loss.is_infinite());
+        assert!(u.params.iter().all(|p| p.is_finite()), "params untouched");
+    }
+
+    #[test]
+    fn garbage_is_finite_and_bounded() {
+        let mut u = LocalUpdate::new(0, vec![0.0; 64], 0.5, 10);
+        apply_fault(InjectedFault::CorruptParams(Corruption::Garbage(100.0)), &mut u, 5);
+        assert!(u.params.iter().all(|p| p.is_finite()));
+        assert!(u.params.iter().any(|p| p.abs() > 1.0), "should be garbage");
+        assert!(u.params.iter().all(|p| p.abs() <= 100.0));
+    }
+
+    #[test]
+    fn crash_and_straggle_leave_payload_alone() {
+        let orig = LocalUpdate::new(0, vec![1.0, 2.0], 0.5, 10);
+        for f in [InjectedFault::Crash, InjectedFault::Straggle(8.0)] {
+            let mut u = orig.clone();
+            apply_fault(f, &mut u, 1);
+            assert_eq!(u, orig);
+        }
+    }
+
+    #[test]
+    fn slowdown_extraction() {
+        assert_eq!(slowdown_of(None), 1.0);
+        assert_eq!(slowdown_of(Some(InjectedFault::Crash)), 1.0);
+        assert_eq!(slowdown_of(Some(InjectedFault::Straggle(6.0))), 6.0);
+        // A "speedup" straggler is clamped to nominal.
+        assert_eq!(slowdown_of(Some(InjectedFault::Straggle(0.5))), 1.0);
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let mut a = LocalUpdate::new(0, vec![1.0; 50], 0.5, 10);
+        let mut b = LocalUpdate::new(0, vec![1.0; 50], 0.5, 10);
+        apply_fault(InjectedFault::CorruptParams(Corruption::Garbage(5.0)), &mut a, 11);
+        apply_fault(InjectedFault::CorruptParams(Corruption::Garbage(5.0)), &mut b, 11);
+        assert_eq!(a, b);
+    }
+}

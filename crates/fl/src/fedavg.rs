@@ -52,10 +52,8 @@ mod tests {
     #[test]
     fn ignores_inference_loss() {
         // Two updates with wildly different losses but equal sizes: plain mean.
-        let updates = vec![
-            LocalUpdate::new(0, vec![0.0], 100.0, 5),
-            LocalUpdate::new(1, vec![2.0], 0.0, 5),
-        ];
+        let updates =
+            vec![LocalUpdate::new(0, vec![0.0], 100.0, 5), LocalUpdate::new(1, vec![2.0], 0.0, 5)];
         let ctx = RoundContext { round: 0, global: &[0.0] };
         match FedAvg::new().aggregate(&ctx, &updates).unwrap() {
             Aggregation::Accept(p) => assert_eq!(p, vec![1.0]),

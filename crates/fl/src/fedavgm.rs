@@ -97,8 +97,8 @@ mod tests {
             _ => unreachable!(),
         };
         assert_eq!(w1, vec![1.0]); // v = -1, w = 0 - (-1)
-        // Second round from w1, clients pull to 2.0 (delta = -1 again);
-        // v = 0.5·(-1) + (-1) = -1.5 -> w = 1 + 1.5 = 2.5 (overshoot).
+                                   // Second round from w1, clients pull to 2.0 (delta = -1 again);
+                                   // v = 0.5·(-1) + (-1) = -1.5 -> w = 1 + 1.5 = 2.5 (overshoot).
         let updates2 = vec![upd(0, vec![2.0])];
         let ctx2 = RoundContext { round: 1, global: &w1 };
         let w2 = match s.aggregate(&ctx2, &updates2).unwrap() {

@@ -60,10 +60,8 @@ mod tests {
 
     #[test]
     fn aggregation_matches_fedavg() {
-        let updates = vec![
-            LocalUpdate::new(0, vec![1.0], 0.0, 10),
-            LocalUpdate::new(1, vec![3.0], 0.0, 10),
-        ];
+        let updates =
+            vec![LocalUpdate::new(0, vec![1.0], 0.0, 10), LocalUpdate::new(1, vec![3.0], 0.0, 10)];
         let ctx = RoundContext { round: 0, global: &[0.0] };
         match FedProx::default().aggregate(&ctx, &updates).unwrap() {
             Aggregation::Accept(p) => assert_eq!(p, vec![2.0]),

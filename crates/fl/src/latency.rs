@@ -14,10 +14,28 @@ pub trait LatencyModel: Send {
 
     /// Duration of a synchronous round: the slowest sampled participant.
     fn round_duration(&self, participants: &[usize], round: usize) -> f64 {
-        participants
-            .iter()
-            .map(|&c| self.latency(c, round))
-            .fold(0.0, f64::max)
+        participants.iter().map(|&c| self.latency(c, round)).fold(0.0, f64::max)
+    }
+
+    /// Duration of a round in which each client runs `slowdown`× slower than
+    /// its modelled latency and the server cuts the round off at `deadline`.
+    ///
+    /// `participants` pairs each client index with its slowdown factor
+    /// (1.0 = nominal). Used by the fault-tolerant round loop: injected
+    /// stragglers stretch the round, the deadline caps it — the server
+    /// never waits past the deadline, it proceeds with whoever arrived.
+    fn round_duration_capped(
+        &self,
+        participants: &[(usize, f64)],
+        round: usize,
+        deadline: Option<f64>,
+    ) -> f64 {
+        let slowest =
+            participants.iter().map(|&(c, s)| self.latency(c, round) * s).fold(0.0, f64::max);
+        match deadline {
+            Some(d) => slowest.min(d),
+            None => slowest,
+        }
     }
 }
 
@@ -86,6 +104,26 @@ mod tests {
     }
 
     #[test]
+    fn capped_duration_matches_uncapped_without_deadline() {
+        let m = UniformLatency(2.5);
+        let pairs = [(0, 1.0), (1, 1.0), (2, 1.0)];
+        assert_eq!(m.round_duration_capped(&pairs, 0, None), 2.5);
+        assert_eq!(m.round_duration_capped(&[], 0, None), 0.0);
+    }
+
+    #[test]
+    fn stragglers_stretch_and_deadline_caps() {
+        let m = UniformLatency(2.0);
+        // Client 1 runs 10x slower: the round would last 20s...
+        let pairs = [(0, 1.0), (1, 10.0)];
+        assert_eq!(m.round_duration_capped(&pairs, 0, None), 20.0);
+        // ...but a 5s deadline cuts it off.
+        assert_eq!(m.round_duration_capped(&pairs, 0, Some(5.0)), 5.0);
+        // A deadline slower than everyone changes nothing.
+        assert_eq!(m.round_duration_capped(&pairs, 0, Some(60.0)), 20.0);
+    }
+
+    #[test]
     fn lognormal_is_positive_and_deterministic() {
         let m = LogNormalLatency { median: 10.0, client_sigma: 0.5, round_sigma: 0.2, seed: 1 };
         for c in 0..20 {
@@ -100,8 +138,7 @@ mod tests {
     #[test]
     fn lognormal_median_roughly_right() {
         let m = LogNormalLatency { median: 10.0, client_sigma: 0.5, round_sigma: 0.2, seed: 2 };
-        let mut samples: Vec<f64> =
-            (0..2000).map(|c| m.latency(c, 0)).collect();
+        let mut samples: Vec<f64> = (0..2000).map(|c| m.latency(c, 0)).collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
         assert!((median - 10.0).abs() < 1.5, "median {median}");
@@ -111,14 +148,11 @@ mod tests {
     fn stragglers_dominate_round_duration() {
         let m = LogNormalLatency { median: 10.0, client_sigma: 0.8, round_sigma: 0.1, seed: 3 };
         // A bigger cohort has a slower max (extreme value grows with n).
-        let small: f64 = (0..100)
-            .map(|r| m.round_duration(&(0..3).collect::<Vec<_>>(), r))
-            .sum::<f64>()
-            / 100.0;
-        let large: f64 = (0..100)
-            .map(|r| m.round_duration(&(0..30).collect::<Vec<_>>(), r))
-            .sum::<f64>()
-            / 100.0;
+        let small: f64 =
+            (0..100).map(|r| m.round_duration(&(0..3).collect::<Vec<_>>(), r)).sum::<f64>() / 100.0;
+        let large: f64 =
+            (0..100).map(|r| m.round_duration(&(0..30).collect::<Vec<_>>(), r)).sum::<f64>()
+                / 100.0;
         assert!(large > small, "straggler effect: {large} <= {small}");
     }
 
@@ -127,20 +161,17 @@ mod tests {
         // The same client should be consistently fast or slow across
         // rounds (client_sigma dominates round_sigma).
         let m = LogNormalLatency { median: 10.0, client_sigma: 1.0, round_sigma: 0.05, seed: 4 };
-        let mean_of = |c: usize| -> f64 {
-            (0..50).map(|r| m.latency(c, r)).sum::<f64>() / 50.0
-        };
+        let mean_of = |c: usize| -> f64 { (0..50).map(|r| m.latency(c, r)).sum::<f64>() / 50.0 };
         // Find a fast and a slow client; their orderings hold per round.
         let m0 = mean_of(0);
-        let (slowest, fastest) = (0..20)
-            .map(|c| (mean_of(c), c))
-            .fold(((m0, 0usize), (m0, 0usize)), |(mx, mn), (v, c)| {
+        let (slowest, fastest) = (0..20).map(|c| (mean_of(c), c)).fold(
+            ((m0, 0usize), (m0, 0usize)),
+            |(mx, mn), (v, c)| {
                 (if v > mx.0 { (v, c) } else { mx }, if v < mn.0 { (v, c) } else { mn })
-            });
+            },
+        );
         assert!(slowest.0 > 2.0 * fastest.0, "spread {} vs {}", slowest.0, fastest.0);
-        let wins = (0..50)
-            .filter(|&r| m.latency(slowest.1, r) > m.latency(fastest.1, r))
-            .count();
+        let wins = (0..50).filter(|&r| m.latency(slowest.1, r) > m.latency(fastest.1, r)).count();
         assert!(wins >= 45, "persistent ordering violated: {wins}/50");
     }
 }

@@ -19,6 +19,10 @@
 //! * [`eval`] / [`metrics`] — test-set evaluation and per-round records,
 //! * [`availability`] — who is online each round (always / Bernoulli /
 //!   diurnal cohorts),
+//! * [`faults`] — deterministic fault injection (crashes, NaN/Inf
+//!   corruption, stragglers); the round loop tolerates everything this
+//!   module can inject via validation, quarantine, deadlines and quorum
+//!   ([`FaultPolicy`]),
 //! * [`latency`] — simulated wall-clock per round (uniform / log-normal
 //!   stragglers) for time-to-accuracy readouts,
 //! * [`comm`] — byte-level traffic accounting (§6's "one extra float"
@@ -31,6 +35,7 @@ pub mod client;
 pub mod comm;
 pub mod confusion;
 pub mod eval;
+pub mod faults;
 pub mod fedavg;
 pub mod fedavgm;
 pub mod fedprox;
@@ -42,19 +47,22 @@ pub mod server;
 pub mod strategy;
 pub mod update;
 
-pub use availability::{AlwaysAvailable, AvailabilityModel, BernoulliAvailability, DiurnalAvailability};
+pub use availability::{
+    AlwaysAvailable, AvailabilityModel, BernoulliAvailability, DiurnalAvailability,
+};
 pub use centralized::CentralizedTrainer;
 pub use client::{local_update, LocalConfig};
 pub use comm::{CommModel, CommStats};
 pub use confusion::{evaluate_confusion, ConfusionMatrix};
+pub use faults::{apply_fault, Corruption, FaultModel, InjectedFault, NoFaults, RandomFaults};
 pub use fedavg::FedAvg;
 pub use fedavgm::FedAvgM;
 pub use fedprox::FedProx;
-pub use robust::{CoordinateMedian, TrimmedMean};
 pub use latency::{LatencyModel, LogNormalLatency, UniformLatency};
-pub use metrics::{History, RoundRecord};
-pub use server::{Interceptor, ModelFactory, Simulation, SimulationConfig};
+pub use metrics::{FaultEvent, FaultEventKind, FaultTelemetry, History, RoundRecord};
+pub use robust::{CoordinateMedian, TrimmedMean};
+pub use server::{FaultPolicy, Interceptor, ModelFactory, Simulation, SimulationConfig};
 pub use strategy::{Aggregation, RoundContext, Strategy};
-pub use update::LocalUpdate;
+pub use update::{LocalUpdate, UpdateDefect};
 
 pub use fedcav_tensor::{Result, TensorError};

@@ -1,4 +1,65 @@
-//! Per-round records and experiment history.
+//! Per-round records, fault telemetry and experiment history.
+
+/// Where in the round pipeline a client's contribution was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// The client crashed or its local training errored; nothing arrived.
+    Dropped,
+    /// The update arrived but failed server-side validation.
+    Quarantined,
+    /// The update missed the round deadline.
+    TimedOut,
+}
+
+/// One client's failure in one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// The client the event concerns.
+    pub client: usize,
+    /// Pipeline stage at which the contribution was lost.
+    pub kind: FaultEventKind,
+    /// Human-readable cause (crash, validation defect, deadline…).
+    pub detail: String,
+}
+
+/// Per-round fault telemetry: how many sampled clients never made it into
+/// the aggregation, and why.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultTelemetry {
+    /// Clients that crashed or whose local training errored.
+    pub dropped: usize,
+    /// Updates rejected by server-side validation.
+    pub quarantined: usize,
+    /// Updates that missed the round deadline.
+    pub timed_out: usize,
+    /// Too few valid updates survived: the global model was held and the
+    /// round recorded as degraded instead of aggregating.
+    pub degraded: bool,
+    /// One event per lost contribution, in participant order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultTelemetry {
+    /// Record an event, bumping the matching counter.
+    pub fn record(&mut self, event: FaultEvent) {
+        match event.kind {
+            FaultEventKind::Dropped => self.dropped += 1,
+            FaultEventKind::Quarantined => self.quarantined += 1,
+            FaultEventKind::TimedOut => self.timed_out += 1,
+        }
+        self.events.push(event);
+    }
+
+    /// Total contributions lost this round.
+    pub fn total_lost(&self) -> usize {
+        self.dropped + self.quarantined + self.timed_out
+    }
+
+    /// Whether the round saw no faults at all.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty() && !self.degraded
+    }
+}
 
 /// What the server records after each communication round.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +89,17 @@ pub struct RoundRecord {
     pub round_duration: f64,
     /// Simulated wall-clock at the *end* of this round.
     pub sim_time: f64,
+    /// Fault telemetry: dropped / quarantined / timed-out contributions and
+    /// whether the round degraded (quorum miss).
+    pub faults: FaultTelemetry,
+}
+
+impl RoundRecord {
+    /// Number of updates that actually reached the aggregation strategy
+    /// (sampled participants minus every lost contribution).
+    pub fn aggregated(&self) -> usize {
+        self.participants.saturating_sub(self.faults.total_lost())
+    }
 }
 
 /// The full trajectory of an experiment.
@@ -79,37 +151,44 @@ impl History {
     /// paper's "~34% fewer rounds" comparison).
     pub fn convergence_round(&self, fraction: f32, tail_k: usize) -> Option<usize> {
         let target = self.converged_accuracy(tail_k)? * fraction;
-        self.records
-            .iter()
-            .find(|r| r.test_accuracy >= target)
-            .map(|r| r.round)
+        self.records.iter().find(|r| r.test_accuracy >= target).map(|r| r.round)
     }
 
     /// Simulated time at which accuracy first reached `target` (requires a
     /// latency model on the simulation; `None` if never reached).
     pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
-        self.records
-            .iter()
-            .find(|r| r.test_accuracy >= target)
-            .map(|r| r.sim_time)
+        self.records.iter().find(|r| r.test_accuracy >= target).map(|r| r.sim_time)
     }
 
     /// First round (0-based) whose accuracy reached `target`; `None` if
     /// never. This is the paper's "fewer training rounds" speed metric.
     pub fn rounds_to_accuracy(&self, target: f32) -> Option<usize> {
-        self.records
-            .iter()
-            .find(|r| r.test_accuracy >= target)
-            .map(|r| r.round)
+        self.records.iter().find(|r| r.test_accuracy >= target).map(|r| r.round)
     }
 
     /// Rounds where the strategy rejected the aggregation.
     pub fn rejected_rounds(&self) -> Vec<usize> {
-        self.records
-            .iter()
-            .filter(|r| r.rejected)
-            .map(|r| r.round)
-            .collect()
+        self.records.iter().filter(|r| r.rejected).map(|r| r.round).collect()
+    }
+
+    /// Total contributions dropped (crash / training error) so far.
+    pub fn total_dropped(&self) -> usize {
+        self.records.iter().map(|r| r.faults.dropped).sum()
+    }
+
+    /// Total updates quarantined by server validation so far.
+    pub fn total_quarantined(&self) -> usize {
+        self.records.iter().map(|r| r.faults.quarantined).sum()
+    }
+
+    /// Total updates that missed a round deadline so far.
+    pub fn total_timed_out(&self) -> usize {
+        self.records.iter().map(|r| r.faults.timed_out).sum()
+    }
+
+    /// Rounds that degraded (held the global model on a quorum miss).
+    pub fn degraded_rounds(&self) -> Vec<usize> {
+        self.records.iter().filter(|r| r.faults.degraded).map(|r| r.round).collect()
     }
 }
 
@@ -131,6 +210,7 @@ mod tests {
             bytes_up: 0,
             round_duration: 0.0,
             sim_time: 0.0,
+            faults: FaultTelemetry::default(),
         }
     }
 
@@ -185,5 +265,55 @@ mod tests {
         r.reject_reason = Some("vote".into());
         h.records.push(r);
         assert_eq!(h.rejected_rounds(), vec![1]);
+    }
+
+    #[test]
+    fn telemetry_counters_track_events() {
+        let mut t = FaultTelemetry::default();
+        assert!(t.is_clean());
+        t.record(FaultEvent { client: 0, kind: FaultEventKind::Dropped, detail: "crash".into() });
+        t.record(FaultEvent { client: 2, kind: FaultEventKind::Quarantined, detail: "NaN".into() });
+        t.record(FaultEvent { client: 5, kind: FaultEventKind::TimedOut, detail: "late".into() });
+        assert_eq!((t.dropped, t.quarantined, t.timed_out), (1, 1, 1));
+        assert_eq!(t.total_lost(), 3);
+        assert_eq!(t.events.len(), 3);
+        assert!(!t.is_clean());
+    }
+
+    #[test]
+    fn aggregated_subtracts_lost_contributions() {
+        let mut r = rec(0, 0.5);
+        assert_eq!(r.aggregated(), r.participants);
+        r.faults.record(FaultEvent {
+            client: 1,
+            kind: FaultEventKind::Dropped,
+            detail: "crash".into(),
+        });
+        assert_eq!(r.aggregated(), r.participants - 1);
+    }
+
+    #[test]
+    fn history_fault_totals_and_degraded_rounds() {
+        let mut h = History::new();
+        h.records.push(rec(0, 0.5));
+        let mut r1 = rec(1, 0.5);
+        r1.faults.record(FaultEvent {
+            client: 0,
+            kind: FaultEventKind::Quarantined,
+            detail: "Inf".into(),
+        });
+        r1.faults.record(FaultEvent {
+            client: 1,
+            kind: FaultEventKind::TimedOut,
+            detail: "late".into(),
+        });
+        h.records.push(r1);
+        let mut r2 = rec(2, 0.5);
+        r2.faults.degraded = true;
+        h.records.push(r2);
+        assert_eq!(h.total_dropped(), 0);
+        assert_eq!(h.total_quarantined(), 1);
+        assert_eq!(h.total_timed_out(), 1);
+        assert_eq!(h.degraded_rounds(), vec![2]);
     }
 }

@@ -58,11 +58,7 @@ impl Strategy for CoordinateMedian {
                 column[j] = u.params[k];
             }
             column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            *o = if n % 2 == 1 {
-                column[n / 2]
-            } else {
-                0.5 * (column[n / 2 - 1] + column[n / 2])
-            };
+            *o = if n % 2 == 1 { column[n / 2] } else { 0.5 * (column[n / 2 - 1] + column[n / 2]) };
         }
         Ok(Aggregation::Accept(out))
     }
@@ -133,11 +129,8 @@ mod tests {
 
     #[test]
     fn median_odd_count() {
-        let updates = vec![
-            upd(0, vec![1.0, 10.0]),
-            upd(1, vec![2.0, 20.0]),
-            upd(2, vec![100.0, -5.0]),
-        ];
+        let updates =
+            vec![upd(0, vec![1.0, 10.0]), upd(1, vec![2.0, 20.0]), upd(2, vec![100.0, -5.0])];
         let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
         let out = accept(CoordinateMedian::new().aggregate(&ctx, &updates).unwrap());
         assert_eq!(out, vec![2.0, 10.0]);
@@ -145,7 +138,8 @@ mod tests {
 
     #[test]
     fn median_even_count_averages_middle() {
-        let updates = vec![upd(0, vec![1.0]), upd(1, vec![3.0]), upd(2, vec![5.0]), upd(3, vec![7.0])];
+        let updates =
+            vec![upd(0, vec![1.0]), upd(1, vec![3.0]), upd(2, vec![5.0]), upd(3, vec![7.0])];
         let ctx = RoundContext { round: 0, global: &[0.0] };
         let out = accept(CoordinateMedian::new().aggregate(&ctx, &updates).unwrap());
         assert_eq!(out, vec![4.0]);

@@ -1,12 +1,17 @@
 //! The server round loop: sampling, parallel local training, aggregation,
 //! evaluation (Algorithm 1's outer loop).
+//!
+//! The loop is *fault-tolerant*: a client that crashes, errors, uploads
+//! garbage or misses the deadline costs the round one contribution, never
+//! the whole simulation. See [`FaultPolicy`] and [`crate::faults`].
 
 use crate::availability::{AlwaysAvailable, AvailabilityModel};
 use crate::client::{local_update, LocalConfig};
 use crate::comm::{CommModel, CommStats};
-use crate::latency::LatencyModel;
 use crate::eval::evaluate;
-use crate::metrics::{History, RoundRecord};
+use crate::faults::{apply_fault, slowdown_of, FaultModel, InjectedFault};
+use crate::latency::LatencyModel;
+use crate::metrics::{FaultEvent, FaultEventKind, FaultTelemetry, History, RoundRecord};
 use crate::sampling::sample_clients;
 use crate::strategy::{Aggregation, RoundContext, Strategy};
 use crate::update::LocalUpdate;
@@ -45,6 +50,35 @@ impl Default for SimulationConfig {
     }
 }
 
+/// How the server degrades gracefully when clients fail.
+///
+/// The defaults reproduce the pre-fault-tolerance behaviour exactly for
+/// healthy runs: no deadline, a quorum of one, no norm bound. Validation
+/// (length + finiteness) is always on — it only ever rejects updates that
+/// would otherwise poison the aggregation arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Round deadline in simulated seconds. A participant whose modelled
+    /// latency (times any injected straggler slowdown) exceeds it is
+    /// dropped, and the round's duration is capped at the deadline.
+    /// Requires a [`LatencyModel`]; ignored without one.
+    pub deadline: Option<f64>,
+    /// Minimum number of validated updates required to aggregate. Below
+    /// this the round *degrades*: the global model is held unchanged and
+    /// the round is recorded with `faults.degraded = true`. Values below 1
+    /// are treated as 1 (aggregating nothing is never meaningful).
+    pub min_quorum: usize,
+    /// Optional L2-norm bound on incoming parameter vectors; updates above
+    /// it are quarantined. `None` disables the check.
+    pub max_param_norm: Option<f32>,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy { deadline: None, min_quorum: 1, max_param_norm: None }
+    }
+}
+
 /// A hook that may tamper with the round's updates before aggregation —
 /// the seam where `fedcav-attack` splices in model-replacement updates.
 pub trait Interceptor: Send {
@@ -67,6 +101,8 @@ pub struct Simulation<'a> {
     interceptor: Option<Box<dyn Interceptor + 'a>>,
     availability: Box<dyn AvailabilityModel + 'a>,
     latency: Option<Box<dyn LatencyModel + 'a>>,
+    fault_model: Option<Box<dyn FaultModel + 'a>>,
+    fault_policy: FaultPolicy,
     sim_time: f64,
     global: Vec<f32>,
     history: History,
@@ -76,6 +112,10 @@ pub struct Simulation<'a> {
     comm_model: CommModel,
     comm_stats: CommStats,
 }
+
+/// Seed salt separating the corruption-value stream from the training
+/// stream (both hash the same master seed per (round, client)).
+const CORRUPTION_STREAM: u64 = 0xC044_BADD_0B5E_55ED;
 
 /// SplitMix64 — derives independent per-(round, client) seeds from the
 /// master seed so parallel execution order never affects results.
@@ -110,6 +150,8 @@ impl<'a> Simulation<'a> {
             interceptor: None,
             availability: Box::new(AlwaysAvailable),
             latency: None,
+            fault_model: None,
+            fault_policy: FaultPolicy::default(),
             sim_time: 0.0,
             global,
             history: History::new(),
@@ -135,6 +177,23 @@ impl<'a> Simulation<'a> {
     /// the slowest participant's latency (synchronous FL).
     pub fn set_latency(&mut self, model: Box<dyn LatencyModel + 'a>) {
         self.latency = Some(model);
+    }
+
+    /// Install a fault model (default: none — every client behaves).
+    /// Installing [`crate::faults::NoFaults`] is byte-identical to
+    /// installing nothing.
+    pub fn set_fault_model(&mut self, model: Box<dyn FaultModel + 'a>) {
+        self.fault_model = Some(model);
+    }
+
+    /// Configure graceful degradation (deadline, quorum, norm bound).
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.fault_policy = policy;
+    }
+
+    /// The fault-tolerance policy in force.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
     }
 
     /// Simulated wall-clock so far (0 when no latency model installed).
@@ -208,73 +267,175 @@ impl<'a> Simulation<'a> {
         let seed = self.config.seed;
         let round = self.round;
 
+        // Per-client result of the training phase. A crash, a training
+        // error or an injected corruption is a recorded outcome, never a
+        // `?`-abort of the whole round.
+        enum Outcome {
+            /// The update reached the server (possibly corrupted).
+            Arrived(LocalUpdate),
+            /// The client went silent; nothing arrived.
+            Crashed,
+            /// Local training errored out.
+            Failed(String),
+        }
+
+        let fault_model = self.fault_model.as_deref();
+
         // Algorithm 1 line 4: "for each client i in P_t in parallel".
-        let mut updates: Vec<LocalUpdate> = participants
+        let outcomes: Vec<(usize, Option<InjectedFault>, Outcome)> = participants
             .par_iter()
             .map(|&cid| {
-                local_update(
+                let fault = fault_model.and_then(|m| m.inject(seed, round, cid));
+                if matches!(fault, Some(InjectedFault::Crash)) {
+                    return (cid, fault, Outcome::Crashed);
+                }
+                let trained = local_update(
                     factory,
                     global,
                     cid,
                     &clients[cid],
                     &local_cfg,
                     derive_seed(seed, round, cid),
-                )
+                );
+                match trained {
+                    Ok(mut update) => {
+                        if let Some(f) = fault {
+                            apply_fault(
+                                f,
+                                &mut update,
+                                derive_seed(seed ^ CORRUPTION_STREAM, round, cid),
+                            );
+                        }
+                        (cid, fault, Outcome::Arrived(update))
+                    }
+                    Err(e) => (cid, fault, Outcome::Failed(e.to_string())),
+                }
             })
-            .collect::<Result<_>>()?;
+            .collect();
+
+        // Delivery: crashes and training errors are dropped contributions;
+        // with a deadline + latency model, over-deadline clients time out.
+        // Crashed clients keep their nominal latency in the duration math —
+        // a synchronous server still waits on them until it gives up.
+        let mut telemetry = FaultTelemetry::default();
+        let deadline = self.fault_policy.deadline;
+        let mut slowdowns: Vec<(usize, f64)> = Vec::with_capacity(outcomes.len());
+        let mut updates: Vec<LocalUpdate> = Vec::with_capacity(outcomes.len());
+        for (cid, fault, outcome) in outcomes {
+            let slowdown = slowdown_of(fault);
+            slowdowns.push((cid, slowdown));
+            match outcome {
+                Outcome::Arrived(update) => {
+                    let late = match (deadline, self.latency.as_ref()) {
+                        (Some(d), Some(m)) => {
+                            let eff = m.latency(cid, round) * slowdown;
+                            (eff > d).then_some((eff, d))
+                        }
+                        _ => None,
+                    };
+                    match late {
+                        Some((eff, d)) => telemetry.record(FaultEvent {
+                            client: cid,
+                            kind: FaultEventKind::TimedOut,
+                            detail: format!("latency {eff:.3}s exceeds round deadline {d:.3}s"),
+                        }),
+                        None => updates.push(update),
+                    }
+                }
+                Outcome::Crashed => telemetry.record(FaultEvent {
+                    client: cid,
+                    kind: FaultEventKind::Dropped,
+                    detail: "client crashed mid-round".to_string(),
+                }),
+                Outcome::Failed(err) => telemetry.record(FaultEvent {
+                    client: cid,
+                    kind: FaultEventKind::Dropped,
+                    detail: format!("local training failed: {err}"),
+                }),
+            }
+        }
 
         if let Some(interceptor) = &mut self.interceptor {
             interceptor.intercept(round, &self.global, &mut updates)?;
         }
+        let arrived = updates.len();
 
-        let mean_loss = if updates.is_empty() {
+        // Server-side validation: quarantine anything that would poison the
+        // aggregation arithmetic (§4.4's detection defends against clients
+        // that lie; this pass defends against clients that break).
+        let expected_len = self.global.len();
+        let max_norm = self.fault_policy.max_param_norm;
+        let mut valid: Vec<LocalUpdate> = Vec::with_capacity(updates.len());
+        for update in updates {
+            match update.validate(expected_len, max_norm) {
+                Ok(()) => valid.push(update),
+                Err(defect) => telemetry.record(FaultEvent {
+                    client: update.client_id,
+                    kind: FaultEventKind::Quarantined,
+                    detail: defect.to_string(),
+                }),
+            }
+        }
+
+        let mean_loss = if valid.is_empty() {
             0.0
         } else {
-            updates.iter().map(|u| u.inference_loss).sum::<f32>() / updates.len() as f32
+            valid.iter().map(|u| u.inference_loss).sum::<f32>() / valid.len() as f32
         };
-        let max_loss = updates
-            .iter()
-            .map(|u| u.inference_loss)
-            .fold(f32::NEG_INFINITY, f32::max);
+        // `fold(NEG_INFINITY, max)` over an empty round would leak -inf
+        // into the record (and from there into detector baselines); report
+        // 0.0 instead, matching mean_loss.
+        let max_loss = valid.iter().map(|u| u.inference_loss).fold(f32::NEG_INFINITY, f32::max);
+        let max_loss = if max_loss.is_finite() { max_loss } else { 0.0 };
 
-        let ctx = RoundContext { round, global: &self.global };
-        let (rejected, reason) = match self.strategy.aggregate(&ctx, &updates)? {
-            Aggregation::Accept(params) => {
-                if params.len() != self.global.len() {
-                    return Err(TensorError::ElementCountMismatch {
-                        from: params.len(),
-                        to: self.global.len(),
-                    });
+        let quorum = self.fault_policy.min_quorum.max(1);
+        let (rejected, reason) = if valid.len() < quorum {
+            // Quorum miss: hold the global model and record a degraded
+            // round rather than aggregating a handful of survivors (or
+            // nothing at all).
+            telemetry.degraded = true;
+            (false, None)
+        } else {
+            let ctx = RoundContext { round, global: &self.global };
+            match self.strategy.aggregate(&ctx, &valid)? {
+                Aggregation::Accept(params) => {
+                    if params.len() != self.global.len() {
+                        return Err(TensorError::ElementCountMismatch {
+                            from: params.len(),
+                            to: self.global.len(),
+                        });
+                    }
+                    self.global = params;
+                    (false, None)
                 }
-                self.global = params;
-                (false, None)
-            }
-            Aggregation::Reject { reverted, reason } => {
-                if reverted.len() != self.global.len() {
-                    return Err(TensorError::ElementCountMismatch {
-                        from: reverted.len(),
-                        to: self.global.len(),
-                    });
+                Aggregation::Reject { reverted, reason } => {
+                    if reverted.len() != self.global.len() {
+                        return Err(TensorError::ElementCountMismatch {
+                            from: reverted.len(),
+                            to: self.global.len(),
+                        });
+                    }
+                    self.global = reverted;
+                    (true, Some(reason))
                 }
-                self.global = reverted;
-                (true, Some(reason))
             }
         };
 
         let mut eval_model = (self.factory)();
         eval_model.set_flat_params(&self.global)?;
-        let (test_loss, test_accuracy) = evaluate(&mut eval_model, &self.test, self.config.eval_batch)?;
+        let (test_loss, test_accuracy) =
+            evaluate(&mut eval_model, &self.test, self.config.eval_batch)?;
 
-        let bytes_down = self.comm_model.downlink(updates.len());
-        let bytes_up = self
-            .comm_model
-            .uplink(updates.len(), self.strategy.uses_inference_loss());
+        // The server pushed the global model to every sampled participant;
+        // only the updates that actually arrived consumed uplink.
+        let bytes_down = self.comm_model.downlink(participants.len());
+        let bytes_up = self.comm_model.uplink(arrived, self.strategy.uses_inference_loss());
         self.comm_stats.record(bytes_down, bytes_up);
 
         let round_duration = self
             .latency
             .as_ref()
-            .map(|m| m.round_duration(&participants, round))
+            .map(|m| m.round_duration_capped(&slowdowns, round, deadline))
             .unwrap_or(0.0);
         self.sim_time += round_duration;
 
@@ -284,13 +445,14 @@ impl<'a> Simulation<'a> {
             test_loss,
             mean_inference_loss: mean_loss,
             max_inference_loss: max_loss,
-            participants: updates.len(),
+            participants: participants.len(),
             rejected,
             reject_reason: reason,
             bytes_down,
             bytes_up,
             round_duration,
             sim_time: self.sim_time,
+            faults: telemetry,
         };
         self.history.records.push(record.clone());
         self.round += 1;
@@ -316,9 +478,8 @@ mod tests {
     use fedcav_nn::models;
 
     fn deployment(n_clients: usize) -> (Vec<Dataset>, Dataset, usize) {
-        let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2)
-            .generate()
-            .unwrap();
+        let (train, test) =
+            SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2).generate().unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let part = partition::iid_balanced(&train, n_clients, &mut rng);
         let img_len = train.image_len();
@@ -566,5 +727,221 @@ mod tests {
         assert_ne!(derive_seed(1, 2, 3), derive_seed(1, 2, 4));
         assert_ne!(derive_seed(1, 2, 3), derive_seed(1, 3, 3));
         assert_ne!(derive_seed(1, 2, 3), derive_seed(2, 2, 3));
+    }
+
+    use crate::faults::{Corruption, FaultModel, NoFaults};
+
+    /// A fault model that applies one fixed fault to one fixed client.
+    struct TargetOne(usize, InjectedFault);
+    impl FaultModel for TargetOne {
+        fn inject(&self, _seed: u64, _round: usize, client: usize) -> Option<InjectedFault> {
+            (client == self.0).then_some(self.1)
+        }
+    }
+
+    fn full_participation_sim<'a>(
+        factory: &'a ModelFactory,
+        clients: Vec<Dataset>,
+        test: Dataset,
+    ) -> Simulation<'a> {
+        Simulation::new(
+            factory,
+            clients,
+            test,
+            Box::new(FedAvg::new()),
+            SimulationConfig {
+                sample_ratio: 1.0,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                eval_batch: 32,
+                seed: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn crash_fault_drops_the_client_not_the_round() {
+        let (clients, test, img_len) = deployment(4);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_fault_model(Box::new(TargetOne(0, InjectedFault::Crash)));
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.participants, 4, "participants counts the sampled cohort");
+        assert_eq!(r.faults.dropped, 1);
+        assert_eq!(r.aggregated(), 3);
+        assert!(!r.faults.degraded);
+        assert!(sim.global().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn corrupted_update_is_quarantined_before_aggregation() {
+        let (clients, test, img_len) = deployment(4);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_fault_model(Box::new(TargetOne(1, InjectedFault::CorruptParams(Corruption::Nan))));
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.faults.quarantined, 1);
+        assert_eq!(r.aggregated(), 3);
+        assert!(
+            sim.global().iter().all(|p| p.is_finite()),
+            "quarantine must keep NaN out of the global model"
+        );
+        assert!(r.mean_inference_loss.is_finite());
+        assert!(r.max_inference_loss.is_finite());
+    }
+
+    #[test]
+    fn corrupted_loss_is_quarantined() {
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_fault_model(Box::new(TargetOne(2, InjectedFault::CorruptLoss(Corruption::Inf))));
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.faults.quarantined, 1);
+        assert!(r.max_inference_loss.is_finite());
+    }
+
+    #[test]
+    fn quorum_miss_holds_the_global_model() {
+        struct CrashAll;
+        impl FaultModel for CrashAll {
+            fn inject(&self, _s: u64, _r: usize, _c: usize) -> Option<InjectedFault> {
+                Some(InjectedFault::Crash)
+            }
+        }
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_fault_model(Box::new(CrashAll));
+        let before = sim.global().to_vec();
+        let r = sim.run_round().unwrap();
+        assert!(r.faults.degraded);
+        assert_eq!(r.faults.dropped, 3);
+        assert!(!r.rejected, "degraded is not a strategy rejection");
+        assert_eq!(r.mean_inference_loss, 0.0);
+        assert_eq!(r.max_inference_loss, 0.0, "no -inf leak on an empty round");
+        assert_eq!(sim.global(), &before[..], "global model held");
+        // The simulation keeps going afterwards.
+        assert_eq!(sim.history().len(), 1);
+    }
+
+    #[test]
+    fn min_quorum_threshold_enforced() {
+        let (clients, test, img_len) = deployment(4);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_fault_model(Box::new(TargetOne(0, InjectedFault::Crash)));
+        // 3 of 4 survive; a quorum of 4 is now unreachable.
+        sim.set_fault_policy(FaultPolicy { min_quorum: 4, ..Default::default() });
+        let before = sim.global().to_vec();
+        let r = sim.run_round().unwrap();
+        assert!(r.faults.degraded);
+        assert_eq!(sim.global(), &before[..]);
+    }
+
+    #[test]
+    fn deadline_times_out_stragglers_and_caps_duration() {
+        use crate::latency::UniformLatency;
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_latency(Box::new(UniformLatency(2.0)));
+        sim.set_fault_model(Box::new(TargetOne(1, InjectedFault::Straggle(10.0))));
+        sim.set_fault_policy(FaultPolicy { deadline: Some(5.0), ..Default::default() });
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.faults.timed_out, 1);
+        assert_eq!(r.aggregated(), 2);
+        assert_eq!(r.round_duration, 5.0, "server gives up at the deadline");
+    }
+
+    #[test]
+    fn straggler_without_deadline_just_slows_the_round() {
+        use crate::latency::UniformLatency;
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_latency(Box::new(UniformLatency(2.0)));
+        sim.set_fault_model(Box::new(TargetOne(1, InjectedFault::Straggle(10.0))));
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.faults.timed_out, 0);
+        assert_eq!(r.round_duration, 20.0);
+    }
+
+    #[test]
+    fn no_faults_model_is_byte_identical_to_none() {
+        let run_with = |install: bool| -> (Vec<f32>, Vec<f32>) {
+            let (clients, test, img_len) = deployment(4);
+            let factory = move || {
+                let mut rng = StdRng::seed_from_u64(7);
+                models::mlp(&mut rng, img_len, 10)
+            };
+            let mut sim = Simulation::new(
+                &factory,
+                clients,
+                test,
+                Box::new(FedAvg::new()),
+                SimulationConfig {
+                    sample_ratio: 0.5,
+                    local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                    eval_batch: 32,
+                    seed: 11,
+                },
+            );
+            if install {
+                sim.set_fault_model(Box::new(NoFaults));
+            }
+            sim.run(3).unwrap();
+            (sim.global().to_vec(), sim.history().accuracies())
+        };
+        let (g_none, a_none) = run_with(false);
+        let (g_zero, a_zero) = run_with(true);
+        assert_eq!(g_none, g_zero, "zero-fault model must be bit-identical");
+        assert_eq!(a_none, a_zero);
+    }
+
+    #[test]
+    fn interceptor_injected_garbage_is_quarantined() {
+        struct PoisonFirst;
+        impl Interceptor for PoisonFirst {
+            fn intercept(
+                &mut self,
+                _round: usize,
+                _global: &[f32],
+                updates: &mut Vec<LocalUpdate>,
+            ) -> Result<()> {
+                updates[0].params[0] = f32::NAN;
+                Ok(())
+            }
+        }
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_interceptor(Box::new(PoisonFirst));
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.faults.quarantined, 1);
+        assert!(sim.global().iter().all(|p| p.is_finite()));
     }
 }

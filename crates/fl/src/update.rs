@@ -1,4 +1,7 @@
-//! The client → server wire format.
+//! The client → server wire format, plus the server-side sanity checks an
+//! update must pass before it may reach any aggregation strategy.
+
+use std::fmt;
 
 /// What a client uploads after local training (Algorithm 2's return value).
 ///
@@ -21,8 +24,102 @@ pub struct LocalUpdate {
 
 impl LocalUpdate {
     /// Build an update.
-    pub fn new(client_id: usize, params: Vec<f32>, inference_loss: f32, num_samples: usize) -> Self {
+    pub fn new(
+        client_id: usize,
+        params: Vec<f32>,
+        inference_loss: f32,
+        num_samples: usize,
+    ) -> Self {
         LocalUpdate { client_id, params, inference_loss, num_samples }
+    }
+
+    /// L2 norm of the parameter vector (f64 accumulation so a huge vector
+    /// cannot overflow the sum of squares in f32).
+    pub fn param_norm(&self) -> f32 {
+        self.params.iter().map(|&p| p as f64 * p as f64).sum::<f64>().sqrt() as f32
+    }
+
+    /// Server-side validation: the checks an update must pass before it may
+    /// reach a [`crate::Strategy`]. Returns the first defect found.
+    ///
+    /// * wrong parameter-vector length (protocol violation),
+    /// * non-finite reported inference loss (would poison the softmax
+    ///   aggregation weights),
+    /// * any non-finite parameter (would poison the weighted sum),
+    /// * optional L2-norm bound (crude magnitude filter against garbage or
+    ///   boosted updates; `None` disables it).
+    pub fn validate(
+        &self,
+        expected_len: usize,
+        max_l2_norm: Option<f32>,
+    ) -> Result<(), UpdateDefect> {
+        if self.params.len() != expected_len {
+            return Err(UpdateDefect::WrongLength {
+                got: self.params.len(),
+                expected: expected_len,
+            });
+        }
+        if !self.inference_loss.is_finite() {
+            return Err(UpdateDefect::NonFiniteLoss { loss: self.inference_loss });
+        }
+        if let Some(index) = self.params.iter().position(|p| !p.is_finite()) {
+            return Err(UpdateDefect::NonFiniteParam { index });
+        }
+        if let Some(bound) = max_l2_norm {
+            let norm = self.param_norm();
+            if norm > bound {
+                return Err(UpdateDefect::NormExceeded { norm, bound });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why the server refused to let an update reach aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateDefect {
+    /// Parameter vector length differs from the global model's.
+    WrongLength {
+        /// Length the update carried.
+        got: usize,
+        /// Length the global model requires.
+        expected: usize,
+    },
+    /// A parameter is NaN or ±Inf.
+    NonFiniteParam {
+        /// Index of the first offending element.
+        index: usize,
+    },
+    /// The reported inference loss is NaN or ±Inf.
+    NonFiniteLoss {
+        /// The offending value.
+        loss: f32,
+    },
+    /// The parameter vector's L2 norm exceeds the policy bound.
+    NormExceeded {
+        /// Observed norm.
+        norm: f32,
+        /// Configured bound.
+        bound: f32,
+    },
+}
+
+impl fmt::Display for UpdateDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateDefect::WrongLength { got, expected } => {
+                write!(f, "wrong parameter count: got {got}, expected {expected}")
+            }
+            UpdateDefect::NonFiniteParam { index } => {
+                write!(f, "non-finite parameter at index {index}")
+            }
+            UpdateDefect::NonFiniteLoss { loss } => {
+                write!(f, "non-finite inference loss {loss}")
+            }
+            UpdateDefect::NormExceeded { norm, bound } => {
+                write!(f, "parameter norm {norm:.3} exceeds bound {bound:.3}")
+            }
+        }
     }
 }
 
@@ -37,5 +134,61 @@ mod tests {
         assert_eq!(u.params, vec![1.0, 2.0]);
         assert_eq!(u.inference_loss, 0.5);
         assert_eq!(u.num_samples, 40);
+    }
+
+    #[test]
+    fn valid_update_passes() {
+        let u = LocalUpdate::new(0, vec![3.0, 4.0], 0.5, 10);
+        assert_eq!(u.validate(2, None), Ok(()));
+        assert!((u.param_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let u = LocalUpdate::new(0, vec![1.0, 2.0], 0.5, 10);
+        assert_eq!(u.validate(3, None), Err(UpdateDefect::WrongLength { got: 2, expected: 3 }));
+    }
+
+    #[test]
+    fn non_finite_param_rejected() {
+        let u = LocalUpdate::new(0, vec![1.0, f32::NAN, 2.0], 0.5, 10);
+        assert_eq!(u.validate(3, None), Err(UpdateDefect::NonFiniteParam { index: 1 }));
+        let v = LocalUpdate::new(0, vec![f32::INFINITY], 0.5, 10);
+        assert_eq!(v.validate(1, None), Err(UpdateDefect::NonFiniteParam { index: 0 }));
+    }
+
+    #[test]
+    fn non_finite_loss_rejected() {
+        let u = LocalUpdate::new(0, vec![1.0], f32::NAN, 10);
+        assert!(matches!(u.validate(1, None), Err(UpdateDefect::NonFiniteLoss { .. })));
+        let v = LocalUpdate::new(0, vec![1.0], f32::NEG_INFINITY, 10);
+        assert!(matches!(v.validate(1, None), Err(UpdateDefect::NonFiniteLoss { .. })));
+    }
+
+    #[test]
+    fn norm_bound_enforced_only_when_set() {
+        let u = LocalUpdate::new(0, vec![3.0, 4.0], 0.5, 10);
+        assert_eq!(
+            u.validate(2, Some(4.0)),
+            Err(UpdateDefect::NormExceeded { norm: 5.0, bound: 4.0 })
+        );
+        assert_eq!(u.validate(2, Some(5.5)), Ok(()));
+        assert_eq!(u.validate(2, None), Ok(()));
+    }
+
+    #[test]
+    fn huge_params_do_not_overflow_norm() {
+        let u = LocalUpdate::new(0, vec![1e30; 4], 0.5, 10);
+        assert!(u.param_norm().is_infinite() || u.param_norm() > 1e30);
+        // Still caught by a (finite) bound.
+        assert!(matches!(u.validate(4, Some(1e6)), Err(UpdateDefect::NormExceeded { .. })));
+    }
+
+    #[test]
+    fn defect_display_is_informative() {
+        let d = UpdateDefect::WrongLength { got: 2, expected: 3 };
+        assert!(d.to_string().contains("got 2"));
+        let d = UpdateDefect::NonFiniteLoss { loss: f32::NAN };
+        assert!(d.to_string().contains("loss"));
     }
 }

@@ -5,16 +5,9 @@ use fedcav_fl::aggregate::{sample_weights, weighted_sum};
 use fedcav_fl::update::LocalUpdate;
 use proptest::prelude::*;
 
-fn updates(
-    n: std::ops::Range<usize>,
-    dim: usize,
-) -> impl Strategy<Value = Vec<LocalUpdate>> {
+fn updates(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = Vec<LocalUpdate>> {
     proptest::collection::vec(
-        (
-            proptest::collection::vec(-10.0f32..10.0, dim..=dim),
-            0.0f32..10.0,
-            1usize..200,
-        ),
+        (proptest::collection::vec(-10.0f32..10.0, dim..=dim), 0.0f32..10.0, 1usize..200),
         n,
     )
     .prop_map(|items| {

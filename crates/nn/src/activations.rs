@@ -31,9 +31,10 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
-        let mask = self.mask.as_ref().ok_or(TensorError::Empty {
-            op: "ReLU::backward (no cached forward)",
-        })?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "ReLU::backward (no cached forward)" })?;
         if mask.len() != d_out.numel() {
             return Err(TensorError::ShapeMismatch {
                 op: "ReLU::backward",

@@ -66,9 +66,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::Empty {
-            op: "Conv2d::backward (no cached forward)",
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "Conv2d::backward (no cached forward)" })?;
         let grads = conv2d_backward(input, &self.weight, d_out, self.params)?;
         self.d_weight.add_assign(&grads.d_weight)?;
         self.d_bias.add_assign(&grads.d_bias)?;

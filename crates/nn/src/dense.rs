@@ -77,9 +77,10 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::Empty {
-            op: "Dense::backward (no cached forward)",
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "Dense::backward (no cached forward)" })?;
         // dW += x^T d_out ; db += column-sum(d_out) ; dx = d_out W^T
         let dw = input.transpose()?.matmul(d_out)?;
         self.d_weight.add_assign(&dw)?;

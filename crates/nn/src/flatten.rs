@@ -39,9 +39,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
-        let dims = self.cached_dims.as_ref().ok_or(TensorError::Empty {
-            op: "Flatten::backward (no cached forward)",
-        })?;
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "Flatten::backward (no cached forward)" })?;
         d_out.reshape(dims)
     }
 }

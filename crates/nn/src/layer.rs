@@ -65,10 +65,7 @@ pub(crate) fn write_tensor(out: &mut Vec<f32>, t: &Tensor) {
 pub(crate) fn read_tensor(t: &mut Tensor, src: &[f32]) -> Result<usize> {
     let n = t.numel();
     if src.len() < n {
-        return Err(fedcav_tensor::TensorError::ElementCountMismatch {
-            from: src.len(),
-            to: n,
-        });
+        return Err(fedcav_tensor::TensorError::ElementCountMismatch { from: src.len(), to: n });
     }
     t.as_mut_slice().copy_from_slice(&src[..n]);
     Ok(n)

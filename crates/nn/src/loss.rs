@@ -43,10 +43,7 @@ mod tests {
         let labels = [2usize, 1];
         let (l, g) = SoftmaxCrossEntropy::loss_and_grad(&logits, &labels).unwrap();
         assert_eq!(l, SoftmaxCrossEntropy::loss(&logits, &labels).unwrap());
-        assert_eq!(
-            g.as_slice(),
-            SoftmaxCrossEntropy::grad(&logits, &labels).unwrap().as_slice()
-        );
+        assert_eq!(g.as_slice(), SoftmaxCrossEntropy::grad(&logits, &labels).unwrap().as_slice());
     }
 
     #[test]

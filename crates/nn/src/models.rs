@@ -194,10 +194,8 @@ mod tests {
             *v = 1.0;
         }
         let labels = [0usize, 1];
-        let mut opt = crate::Sgd::new(
-            crate::SgdConfig { lr: 0.05, ..Default::default() },
-            m.trainable_len(),
-        );
+        let mut opt =
+            crate::Sgd::new(crate::SgdConfig { lr: 0.05, ..Default::default() }, m.trainable_len());
         for _ in 0..20 {
             let y = m.forward(&x, true).unwrap();
             let g = numerics::cross_entropy_grad(&y, &labels).unwrap();

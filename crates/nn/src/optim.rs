@@ -24,13 +24,7 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig {
-            lr: 0.01,
-            momentum: 0.0,
-            weight_decay: 0.0,
-            prox_mu: 0.0,
-            max_grad_norm: 0.0,
-        }
+        SgdConfig { lr: 0.01, momentum: 0.0, weight_decay: 0.0, prox_mu: 0.0, max_grad_norm: 0.0 }
     }
 }
 
@@ -49,11 +43,7 @@ pub struct Sgd {
 impl Sgd {
     /// New optimizer for a model with `trainable_len` trainable scalars.
     pub fn new(config: SgdConfig, trainable_len: usize) -> Self {
-        Sgd {
-            config,
-            velocity: vec![0.0; trainable_len],
-            prox_anchor: None,
-        }
+        Sgd { config, velocity: vec![0.0; trainable_len], prox_anchor: None }
     }
 
     /// Configuration in use.
@@ -219,10 +209,8 @@ mod tests {
     fn prox_pulls_toward_anchor() {
         let mut m = model(3);
         let anchor: Vec<f32> = vec![0.0; m.trainable_len()];
-        let mut opt = Sgd::new(
-            SgdConfig { lr: 0.1, prox_mu: 10.0, ..Default::default() },
-            m.trainable_len(),
-        );
+        let mut opt =
+            Sgd::new(SgdConfig { lr: 0.1, prox_mu: 10.0, ..Default::default() }, m.trainable_len());
         opt.set_prox_anchor(anchor).unwrap();
         let norm_before: f32 = m.flat_params().iter().map(|v| v * v).sum();
         let x = Tensor::zeros(&[1, 2]);
@@ -253,12 +241,7 @@ mod tests {
                 m.trainable_len(),
             );
             opt.step(&mut m).unwrap();
-            m.flat_params()
-                .iter()
-                .zip(&before)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
-                .sqrt()
+            m.flat_params().iter().zip(&before).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt()
         };
         let free = run(0.0);
         let clipped = run(0.1);
@@ -295,10 +278,7 @@ mod tests {
     #[test]
     fn prox_without_anchor_errors() {
         let mut m = model(4);
-        let mut opt = Sgd::new(
-            SgdConfig { prox_mu: 0.1, ..Default::default() },
-            m.trainable_len(),
-        );
+        let mut opt = Sgd::new(SgdConfig { prox_mu: 0.1, ..Default::default() }, m.trainable_len());
         let x = Tensor::zeros(&[1, 2]);
         m.forward(&x, true).unwrap();
         m.zero_grad();

@@ -31,9 +31,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
-        let (dims, argmax) = self.cached.as_ref().ok_or(TensorError::Empty {
-            op: "MaxPool2d::backward (no cached forward)",
-        })?;
+        let (dims, argmax) = self
+            .cached
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "MaxPool2d::backward (no cached forward)" })?;
         pool::maxpool2d_backward(dims, argmax, d_out)
     }
 }
@@ -70,9 +71,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
-        let dims = self.cached_dims.as_ref().ok_or(TensorError::Empty {
-            op: "GlobalAvgPool::backward (no cached forward)",
-        })?;
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "GlobalAvgPool::backward (no cached forward)" })?;
         pool::global_avgpool_backward(dims, d_out)
     }
 }

@@ -49,10 +49,7 @@ pub fn quantize(params: &[f32]) -> Result<QuantizedParams> {
     }
     let scale = if hi > lo { (hi - lo) / 255.0 } else { 1.0 };
     let inv = 1.0 / scale;
-    let data = params
-        .iter()
-        .map(|&p| (((p - lo) * inv).round().clamp(0.0, 255.0)) as u8)
-        .collect();
+    let data = params.iter().map(|&p| (((p - lo) * inv).round().clamp(0.0, 255.0)) as u8).collect();
     Ok(QuantizedParams { data, min: lo, scale })
 }
 
@@ -129,13 +126,8 @@ mod tests {
         let q = quantize(&m.flat_params()).unwrap();
         m.set_flat_params(&dequantize(&q)).unwrap();
         let after = m.forward(&x, false).unwrap();
-        let drift: f32 = before
-            .sub(&after)
-            .unwrap()
-            .as_slice()
-            .iter()
-            .map(|v| v.abs())
-            .fold(0.0, f32::max);
+        let drift: f32 =
+            before.sub(&after).unwrap().as_slice().iter().map(|v| v.abs()).fold(0.0, f32::max);
         assert!(drift < 0.1, "logit drift {drift}");
     }
 }

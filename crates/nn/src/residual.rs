@@ -30,10 +30,7 @@ impl BasicBlock {
     /// New basic block `in_c -> out_c` with the given first-conv stride.
     pub fn new<R: Rng>(rng: &mut R, in_c: usize, out_c: usize, stride: usize) -> Self {
         let shortcut = if stride != 1 || in_c != out_c {
-            Some((
-                Conv2d::new(rng, in_c, out_c, 1, stride, 0),
-                BatchNorm2d::new(out_c),
-            ))
+            Some((Conv2d::new(rng, in_c, out_c, 1, stride, 0), BatchNorm2d::new(out_c)))
         } else {
             None
         };
@@ -81,9 +78,10 @@ impl Layer for BasicBlock {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
-        let mask = self.sum_mask.as_ref().ok_or(TensorError::Empty {
-            op: "BasicBlock::backward (no cached forward)",
-        })?;
+        let mask = self
+            .sum_mask
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "BasicBlock::backward (no cached forward)" })?;
         if mask.len() != d_out.numel() {
             return Err(TensorError::ShapeMismatch {
                 op: "BasicBlock::backward",

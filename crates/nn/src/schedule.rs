@@ -107,7 +107,7 @@ mod tests {
         assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
         assert!((s.lr_at(100) - 0.001).abs() < 1e-6);
         assert!((s.lr_at(200) - 0.001).abs() < 1e-6); // clamped past the end
-        // Midpoint is the mean of base and floor.
+                                                      // Midpoint is the mean of base and floor.
         assert!((s.lr_at(50) - 0.0505).abs() < 1e-4);
     }
 

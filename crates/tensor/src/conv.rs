@@ -204,15 +204,11 @@ pub fn conv2d_backward(
     // d_weight / d_bias: parallel over output channels (disjoint per-oc rows).
     let mut d_weight = vec![0.0f32; out_c * in_c * kh * kw];
     let mut d_bias = vec![0.0f32; out_c];
-    d_weight
-        .par_chunks_mut(in_c * kh * kw)
-        .zip(d_bias.par_iter_mut())
-        .enumerate()
-        .for_each(|(oc, (dw_oc, db_oc))| {
+    d_weight.par_chunks_mut(in_c * kh * kw).zip(d_bias.par_iter_mut()).enumerate().for_each(
+        |(oc, (dw_oc, db_oc))| {
             for ni in 0..n {
                 let x_img = &x[ni * in_c * h * w..(ni + 1) * in_c * h * w];
-                let go_plane =
-                    &go[(ni * out_c + oc) * oh * ow..(ni * out_c + oc + 1) * oh * ow];
+                let go_plane = &go[(ni * out_c + oc) * oh * ow..(ni * out_c + oc + 1) * oh * ow];
                 for oy in 0..oh {
                     for ox in 0..ow {
                         let g = go_plane[oy * ow + ox];
@@ -241,7 +237,8 @@ pub fn conv2d_backward(
                     }
                 }
             }
-        });
+        },
+    );
 
     Ok(Conv2dGrads {
         d_input: Tensor::from_vec(&[n, in_c, h, w], d_input)?,
@@ -312,13 +309,8 @@ mod tests {
         let input = Tensor::ones(&[1, 1, 4, 4]);
         let weight = Tensor::ones(&[1, 1, 3, 3]);
         let bias = Tensor::zeros(&[1]);
-        let out = conv2d_forward(
-            &input,
-            &weight,
-            &bias,
-            Conv2dParams { stride: 1, padding: 1 },
-        )
-        .unwrap();
+        let out =
+            conv2d_forward(&input, &weight, &bias, Conv2dParams { stride: 1, padding: 1 }).unwrap();
         assert_eq!(out.dims(), &[1, 1, 4, 4]);
         // Corner sees a 2x2 window of ones -> 4; centre sees 3x3 -> 9.
         assert_eq!(out.at(&[0, 0, 0, 0]).unwrap(), 4.0);
@@ -330,13 +322,8 @@ mod tests {
         let input = Tensor::ones(&[1, 1, 4, 4]);
         let weight = Tensor::ones(&[1, 1, 2, 2]);
         let bias = Tensor::zeros(&[1]);
-        let out = conv2d_forward(
-            &input,
-            &weight,
-            &bias,
-            Conv2dParams { stride: 2, padding: 0 },
-        )
-        .unwrap();
+        let out =
+            conv2d_forward(&input, &weight, &bias, Conv2dParams { stride: 2, padding: 0 }).unwrap();
         assert_eq!(out.dims(), &[1, 1, 2, 2]);
         assert!(out.as_slice().iter().all(|&v| v == 4.0));
     }

@@ -190,9 +190,7 @@ mod tests {
         assert!(conv2d_forward_im2col(&input, &weight, &bias, Conv2dParams::default()).is_err());
         let weight = Tensor::zeros(&[1, 2, 3, 3]);
         let bias_bad = Tensor::zeros(&[2]);
-        assert!(
-            conv2d_forward_im2col(&input, &weight, &bias_bad, Conv2dParams::default()).is_err()
-        );
+        assert!(conv2d_forward_im2col(&input, &weight, &bias_bad, Conv2dParams::default()).is_err());
     }
 
     #[test]

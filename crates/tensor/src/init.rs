@@ -85,8 +85,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = normal(&mut rng, &[10_000], 1.0, 2.0);
         let mean = t.mean().unwrap();
-        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / (t.numel() - 1) as f32;
+        let var =
+            t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (t.numel() - 1) as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -41,11 +41,8 @@ pub fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<MaxPoolOut> {
     let mut output = vec![0.0f32; n * c * oh * ow];
     let mut argmax = vec![0usize; n * c * oh * ow];
 
-    output
-        .par_chunks_mut(oh * ow)
-        .zip(argmax.par_chunks_mut(oh * ow))
-        .enumerate()
-        .for_each(|(plane_idx, (out_plane, arg_plane))| {
+    output.par_chunks_mut(oh * ow).zip(argmax.par_chunks_mut(oh * ow)).enumerate().for_each(
+        |(plane_idx, (out_plane, arg_plane))| {
             // plane_idx enumerates (n, c) pairs.
             let base = plane_idx * h * w;
             for oy in 0..oh {
@@ -68,12 +65,10 @@ pub fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<MaxPoolOut> {
                     arg_plane[oy * ow + ox] = best_idx;
                 }
             }
-        });
+        },
+    );
 
-    Ok(MaxPoolOut {
-        output: Tensor::from_vec(&[n, c, oh, ow], output)?,
-        argmax,
-    })
+    Ok(MaxPoolOut { output: Tensor::from_vec(&[n, c, oh, ow], output)?, argmax })
 }
 
 /// Backward max pooling: routes each upstream gradient to its argmax source.
@@ -190,11 +185,7 @@ mod tests {
 
     #[test]
     fn maxpool_multichannel_batches() {
-        let input = Tensor::from_vec(
-            &[2, 2, 2, 2],
-            (0..16).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let input = Tensor::from_vec(&[2, 2, 2, 2], (0..16).map(|v| v as f32).collect()).unwrap();
         let out = maxpool2d_forward(&input, 2).unwrap();
         assert_eq!(out.output.dims(), &[2, 2, 1, 1]);
         assert_eq!(out.output.as_slice(), &[3.0, 7.0, 11.0, 15.0]);
@@ -202,8 +193,9 @@ mod tests {
 
     #[test]
     fn gap_forward_means() {
-        let input = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
-            .unwrap();
+        let input =
+            Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
+                .unwrap();
         let out = global_avgpool_forward(&input).unwrap();
         assert_eq!(out.dims(), &[1, 2]);
         assert_eq!(out.as_slice(), &[2.5, 10.0]);

@@ -48,10 +48,7 @@ impl Tensor {
     pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Result<Self> {
         let shape = Shape::new(dims);
         if shape.numel() != data.len() {
-            return Err(TensorError::ElementCountMismatch {
-                from: data.len(),
-                to: shape.numel(),
-            });
+            return Err(TensorError::ElementCountMismatch { from: data.len(), to: shape.numel() });
         }
         Ok(Tensor { shape, data })
     }

@@ -40,13 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             FedCav::new(FedCavConfig::without_detection())
         };
-        let mut sim = Simulation::new(
-            &factory,
-            clients.clone(),
-            test.clone(),
-            Box::new(strategy),
-            config,
-        );
+        let mut sim =
+            Simulation::new(&factory, clients.clone(), test.clone(), Box::new(strategy), config);
         let adversary = ModelReplacement::new(
             &factory,
             flip_all_labels(&clients[0]),

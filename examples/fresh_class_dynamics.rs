@@ -9,7 +9,9 @@
 
 use fedcav::core::{FedCav, FedCavConfig};
 use fedcav::data::{partition, FreshClassSplit, ImbalanceSpec, SyntheticConfig, SyntheticKind};
-use fedcav::fl::{CentralizedTrainer, FedAvg, FedProx, LocalConfig, Simulation, SimulationConfig, Strategy};
+use fedcav::fl::{
+    CentralizedTrainer, FedAvg, FedProx, LocalConfig, Simulation, SimulationConfig, Strategy,
+};
 use fedcav::nn::models;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let local = LocalConfig { epochs: 3, batch_size: 10, lr: 0.05, prox_mu: 0.0 };
 
     // Pre-train on the common classes only.
-    let mut pre = CentralizedTrainer::new(&factory, split.common.clone(), test.clone(), local, 64, 9);
+    let mut pre =
+        CentralizedTrainer::new(&factory, split.common.clone(), test.clone(), local, 64, 9);
     pre.run(4)?;
     let pretrained = pre.global().to_vec();
     println!(
@@ -61,10 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     for round in 1..=12 {
-        let accs: Vec<f32> = sims
-            .iter_mut()
-            .map(|s| s.run_round().expect("round").test_accuracy)
-            .collect();
+        let accs: Vec<f32> =
+            sims.iter_mut().map(|s| s.run_round().expect("round").test_accuracy).collect();
         println!("{round}\t{:.3}\t{:.3}\t{:.3}", accs[0], accs[1], accs[2]);
     }
     Ok(())

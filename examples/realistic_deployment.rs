@@ -1,12 +1,17 @@
 //! A "production-flavoured" deployment: Dirichlet(0.3) label skew, diurnal
 //! client availability, FedCav aggregation with detection, wire-codec
-//! round-trip of the updates, and the §6 communication accounting.
+//! round-trip of the updates, the §6 communication accounting — and the
+//! faults a real fleet throws at a server: crashes, corrupted uploads and
+//! stragglers, handled by quarantine, a round deadline and a quorum.
 //!
 //! Run with: `cargo run --release --example realistic_deployment`
 
 use fedcav::core::{FedCav, FedCavConfig};
 use fedcav::data::{dirichlet_partition, PartitionStats, SyntheticConfig, SyntheticKind};
-use fedcav::fl::{DiurnalAvailability, LocalConfig, Simulation, SimulationConfig};
+use fedcav::fl::{
+    DiurnalAvailability, FaultPolicy, LocalConfig, LogNormalLatency, RandomFaults, Simulation,
+    SimulationConfig,
+};
 use fedcav::nn::{codec, models};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,15 +63,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 5,
     }));
 
-    println!("\nround\tonline-sampled\taccuracy");
+    // Faults: 10% of client-rounds crash, 5% upload NaN/Inf-corrupted
+    // parameters, 10% straggle at 8x their modelled latency. The server
+    // quarantines corrupted updates, drops anyone past the 20 s deadline,
+    // and holds the global model if fewer than 2 valid updates survive.
+    sim.set_latency(Box::new(LogNormalLatency {
+        median: 5.0,
+        client_sigma: 0.4,
+        round_sigma: 0.2,
+        seed: 9,
+    }));
+    sim.set_fault_model(Box::new(RandomFaults {
+        crash_rate: 0.10,
+        corrupt_param_rate: 0.05,
+        straggler_rate: 0.10,
+        straggler_factor: 8.0,
+        ..Default::default()
+    }));
+    sim.set_fault_policy(FaultPolicy { deadline: Some(20.0), min_quorum: 2, max_param_norm: None });
+
+    println!("\nround\tsampled\tdropped\tquarantined\ttimed-out\taccuracy");
     for round in 1..=12 {
         let r = sim.run_round()?;
-        println!("{round}\t{}\t{:.3}", r.participants, r.test_accuracy);
+        let degraded = if r.faults.degraded { "  [DEGRADED: model held]" } else { "" };
+        println!(
+            "{round}\t{}\t{}\t{}\t{}\t{:.3}{degraded}",
+            r.participants,
+            r.faults.dropped,
+            r.faults.quarantined,
+            r.faults.timed_out,
+            r.test_accuracy
+        );
     }
+    let h = sim.history();
+    println!(
+        "\nfault totals: {} dropped, {} quarantined, {} timed out, degraded rounds {:?}",
+        h.total_dropped(),
+        h.total_quarantined(),
+        h.total_timed_out(),
+        h.degraded_rounds()
+    );
     let comm = sim.comm_stats();
     println!(
-        "\ntraffic over {} rounds: {:.2} MiB down, {:.2} MiB up",
+        "traffic over {} rounds ({:.0} s simulated): {:.2} MiB down, {:.2} MiB up",
         comm.rounds,
+        sim.sim_time(),
         comm.total_down as f64 / (1024.0 * 1024.0),
         comm.total_up as f64 / (1024.0 * 1024.0)
     );

@@ -12,9 +12,8 @@ use rand::SeedableRng;
 fn setup(
     n_clients: usize,
 ) -> (Vec<fedcav::data::Dataset>, fedcav::data::Dataset, impl Fn() -> Sequential + Sync) {
-    let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2)
-        .generate()
-        .expect("generation");
+    let (train, test) =
+        SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2).generate().expect("generation");
     let mut rng = StdRng::seed_from_u64(0);
     let part = partition::noniid(&train, n_clients, 2, ImbalanceSpec::Balanced, &mut rng);
     let clients = part.client_datasets(&train).expect("partition");
@@ -44,11 +43,7 @@ fn config() -> SimulationConfig {
 fn clipping_dampens_loss_inflation_end_to_end() {
     let final_acc = |clip: bool| -> f32 {
         let (clients, test, factory) = setup(12);
-        let strategy = FedCav::new(FedCavConfig {
-            clip,
-            detection: None,
-            ..Default::default()
-        });
+        let strategy = FedCav::new(FedCavConfig { clip, detection: None, ..Default::default() });
         let mut sim = Simulation::new(&factory, clients, test, Box::new(strategy), config());
         // Slot 0: noisy params + a hugely inflated loss, every round.
         struct NoisyLiar {
@@ -89,12 +84,7 @@ fn detection_bounds_byzantine_damage() {
         let (clients, test, factory) = setup(6);
         let mut sim = Simulation::new(&factory, clients, test, strategy, config());
         // Byzantine client with violent noise from round 3 onward.
-        sim.set_interceptor(Box::new(ByzantineRandom::new(
-            1,
-            5.0,
-            (3..rounds).collect(),
-            13,
-        )));
+        sim.set_interceptor(Box::new(ByzantineRandom::new(1, 5.0, (3..rounds).collect(), 13)));
         sim.run(rounds).expect("rounds");
         let reversals = sim.history().rejected_rounds().len();
         (sim.history().accuracies(), reversals)
@@ -106,10 +96,7 @@ fn detection_bounds_byzantine_damage() {
     // FedAvg's accuracy after sustained noise should sag; FedCav's
     // detection fires at least once and final accuracy ends at least as
     // high.
-    assert!(
-        cav_rev > 0,
-        "FedCav should reverse at least one noisy round; acc {cav_acc:?}"
-    );
+    assert!(cav_rev > 0, "FedCav should reverse at least one noisy round; acc {cav_acc:?}");
     let avg_final = *avg_acc.last().unwrap();
     let cav_final = *cav_acc.last().unwrap();
     assert!(

@@ -3,16 +3,15 @@
 //! must hit their target rates.
 
 use fedcav::data::poison::{flip_fraction, label_disagreement};
-use fedcav::data::{partition, Dataset, FreshClassSplit, ImbalanceSpec, SyntheticConfig, SyntheticKind};
+use fedcav::data::{
+    partition, Dataset, FreshClassSplit, ImbalanceSpec, SyntheticConfig, SyntheticKind,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn dataset(per_class: usize) -> Dataset {
-    SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1)
-        .generate()
-        .expect("generation")
-        .0
+    SyntheticConfig::new(SyntheticKind::MnistLike, per_class, 1).generate().expect("generation").0
 }
 
 fn assert_exact_cover(part: &partition::ClientPartition, n: usize) {

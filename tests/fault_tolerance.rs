@@ -1,0 +1,296 @@
+//! Fault-tolerance integration suite: the round loop must survive every
+//! fault the injection layer can produce — crashes, NaN/Inf corruption,
+//! stragglers, quorum misses — while staying byte-identical to the
+//! fault-free baseline when no fault fires.
+
+use fedcav::core::{FedCav, FedCavConfig};
+use fedcav::data::{partition, Dataset, SyntheticConfig, SyntheticKind};
+use fedcav::fl::{
+    Corruption, FaultModel, FaultPolicy, FedAvg, InjectedFault, LocalConfig, NoFaults,
+    RandomFaults, Simulation, SimulationConfig, Strategy, UniformLatency,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn deployment(n_clients: usize) -> (Vec<Dataset>, Dataset, usize) {
+    let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 12, 2)
+        .generate()
+        .expect("synthetic generation");
+    let mut rng = StdRng::seed_from_u64(0);
+    let part = partition::iid_balanced(&train, n_clients, &mut rng);
+    let img_len = train.image_len();
+    (part.client_datasets(&train).expect("partition"), test, img_len)
+}
+
+fn config(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        // Full participation: every client is sampled every round, so the
+        // fault stream over (round, client) is exactly enumerable.
+        sample_ratio: 1.0,
+        local: LocalConfig { epochs: 2, batch_size: 8, lr: 0.1, prox_mu: 0.0 },
+        eval_batch: 32,
+        seed,
+    }
+}
+
+fn mlp_factory(img_len: usize) -> impl Fn() -> fedcav::nn::Sequential + Sync {
+    move || {
+        let mut rng = StdRng::seed_from_u64(7);
+        fedcav::nn::models::mlp(&mut rng, img_len, 10)
+    }
+}
+
+#[test]
+fn fault_injection_is_deterministic_given_the_seed() {
+    let model = RandomFaults {
+        crash_rate: 0.2,
+        corrupt_param_rate: 0.1,
+        corrupt_loss_rate: 0.1,
+        straggler_rate: 0.1,
+        ..Default::default()
+    };
+    let sweep = |seed: u64| -> Vec<Option<InjectedFault>> {
+        (0..10).flat_map(|r| (0..10).map(move |c| model.inject(seed, r, c))).collect()
+    };
+    assert_eq!(sweep(42), sweep(42), "same seed, same fault stream");
+    assert_ne!(sweep(42), sweep(43), "different seed, different stream");
+    assert!(
+        sweep(42).iter().any(|f| f.is_some()),
+        "30% total fault rate over 100 draws should fire"
+    );
+}
+
+#[test]
+fn zero_fault_model_is_byte_identical_to_no_model() {
+    let run = |install_no_faults: bool| {
+        let (clients, test, img_len) = deployment(5);
+        let factory = mlp_factory(img_len);
+        let mut sim = Simulation::new(
+            &factory,
+            clients,
+            test,
+            Box::new(FedCav::new(FedCavConfig::default())),
+            config(21),
+        );
+        if install_no_faults {
+            sim.set_fault_model(Box::new(NoFaults));
+        }
+        sim.run(4).expect("simulation");
+        (sim.global().to_vec(), sim.history().accuracies(), sim.history().records.clone())
+    };
+    let (g_a, acc_a, rec_a) = run(false);
+    let (g_b, acc_b, rec_b) = run(true);
+    assert_eq!(g_a, g_b, "global params must match bit-for-bit");
+    assert_eq!(acc_a, acc_b);
+    assert_eq!(rec_a, rec_b, "full round records must match");
+    assert!(rec_b.iter().all(|r| r.faults.is_clean()));
+}
+
+/// The acceptance-criteria scenario: 20% crash-faulty and 10%
+/// corruption-faulty clients. Every round must complete, every non-finite
+/// update must be quarantined (asserted exactly against the enumerated
+/// fault stream), and FedCav must still learn.
+#[test]
+fn converges_under_crashes_and_corruption_with_exact_telemetry() {
+    let n_clients = 6;
+    let rounds = 6;
+    // Seed 7's deterministic stream exercises crashes AND both corruption
+    // kinds while every round keeps a healthy majority of clients.
+    let seed = 7;
+    let faults = RandomFaults {
+        crash_rate: 0.2,
+        corrupt_param_rate: 0.05,
+        corrupt_loss_rate: 0.05,
+        ..Default::default()
+    };
+
+    for strategy in [
+        Box::new(FedAvg::new()) as Box<dyn Strategy>,
+        Box::new(FedCav::new(FedCavConfig::default())),
+    ] {
+        let name = strategy.name();
+        let (clients, test, img_len) = deployment(n_clients);
+        let factory = mlp_factory(img_len);
+        let mut sim = Simulation::new(&factory, clients, test, strategy, config(seed));
+        sim.set_fault_model(Box::new(faults));
+
+        for _ in 0..rounds {
+            sim.run_round().unwrap_or_else(|e| panic!("{name}: round must not Err: {e:?}"));
+        }
+
+        // Enumerate the injected fault stream (full participation makes
+        // the sampled set = everyone) and check telemetry matches exactly.
+        let mut total_injected_crashes = 0;
+        let mut total_param_corruptions = 0;
+        let mut total_loss_corruptions = 0;
+        for (round, record) in sim.history().records.iter().enumerate() {
+            let mut crashes = 0;
+            let mut param_corruptions = 0;
+            let mut loss_corruptions = 0;
+            for client in 0..n_clients {
+                match faults.inject(seed, round, client) {
+                    Some(InjectedFault::Crash) => crashes += 1,
+                    Some(InjectedFault::CorruptParams(_)) => param_corruptions += 1,
+                    Some(InjectedFault::CorruptLoss(_)) => loss_corruptions += 1,
+                    _ => {}
+                }
+            }
+            let corruptions = param_corruptions + loss_corruptions;
+            assert_eq!(record.participants, n_clients, "{name}: full participation");
+            assert_eq!(record.faults.dropped, crashes, "{name} round {round}");
+            assert_eq!(
+                record.faults.quarantined, corruptions,
+                "{name} round {round}: every non-finite update quarantined"
+            );
+            assert_eq!(record.faults.timed_out, 0, "{name}: no deadline configured");
+            assert!(record.test_accuracy.is_finite());
+            assert!(record.mean_inference_loss.is_finite());
+            assert!(record.max_inference_loss.is_finite());
+            total_injected_crashes += crashes;
+            total_param_corruptions += param_corruptions;
+            total_loss_corruptions += loss_corruptions;
+        }
+        assert!(total_injected_crashes > 0, "{name}: scenario should crash someone");
+        assert!(total_param_corruptions > 0, "{name}: scenario should corrupt params");
+        assert!(total_loss_corruptions > 0, "{name}: scenario should corrupt a loss");
+        assert_eq!(sim.history().total_dropped(), total_injected_crashes);
+        assert_eq!(
+            sim.history().total_quarantined(),
+            total_param_corruptions + total_loss_corruptions
+        );
+
+        // The global model never absorbed a non-finite parameter...
+        assert!(sim.global().iter().all(|p| p.is_finite()), "{name}");
+        // ...and training still made progress.
+        let first = sim.history().records.first().expect("rounds ran").test_accuracy;
+        let converged = sim.history().converged_accuracy(2).expect("rounds ran");
+        assert!(
+            converged > first,
+            "{name} should improve under faults: round0 {first} -> converged {converged}"
+        );
+    }
+}
+
+#[test]
+fn quorum_miss_rounds_hold_the_global_model() {
+    /// Crashes everyone in rounds 1 and 2, nobody otherwise.
+    struct Blackout;
+    impl FaultModel for Blackout {
+        fn inject(&self, _seed: u64, round: usize, _client: usize) -> Option<InjectedFault> {
+            (round == 1 || round == 2).then_some(InjectedFault::Crash)
+        }
+    }
+
+    let (clients, test, img_len) = deployment(4);
+    let factory = mlp_factory(img_len);
+    let mut sim = Simulation::new(
+        &factory,
+        clients,
+        test,
+        Box::new(FedCav::new(FedCavConfig::default())),
+        config(9),
+    );
+    sim.set_fault_model(Box::new(Blackout));
+
+    let r0 = sim.run_round().expect("round 0");
+    assert!(r0.faults.is_clean());
+    let after_round0 = sim.global().to_vec();
+
+    let r1 = sim.run_round().expect("round 1 (blackout)");
+    assert!(r1.faults.degraded);
+    assert_eq!(r1.faults.dropped, 4);
+    assert_eq!(sim.global(), &after_round0[..], "model held through blackout");
+    assert_eq!(r1.test_accuracy, r0.test_accuracy, "held model, same accuracy");
+
+    let r2 = sim.run_round().expect("round 2 (blackout)");
+    assert!(r2.faults.degraded);
+    assert_eq!(sim.global(), &after_round0[..]);
+
+    // Clients return; training resumes and the detector (whose baseline
+    // saw empty degraded rounds) does not spuriously reverse.
+    let r3 = sim.run_round().expect("round 3 (recovery)");
+    assert!(!r3.faults.degraded);
+    assert_ne!(sim.global(), &after_round0[..], "training resumed");
+    assert_eq!(sim.history().degraded_rounds(), vec![1, 2]);
+}
+
+#[test]
+fn deadline_drops_stragglers_but_training_continues() {
+    /// Client 0 is a permanent 20x straggler.
+    struct SlowZero;
+    impl FaultModel for SlowZero {
+        fn inject(&self, _seed: u64, _round: usize, client: usize) -> Option<InjectedFault> {
+            (client == 0).then_some(InjectedFault::Straggle(20.0))
+        }
+    }
+
+    let (clients, test, img_len) = deployment(4);
+    let factory = mlp_factory(img_len);
+    let mut sim = Simulation::new(&factory, clients, test, Box::new(FedAvg::new()), config(13));
+    sim.set_latency(Box::new(UniformLatency(1.0)));
+    sim.set_fault_model(Box::new(SlowZero));
+    sim.set_fault_policy(FaultPolicy { deadline: Some(4.0), ..Default::default() });
+
+    let r = sim.run_round().expect("round");
+    assert_eq!(r.faults.timed_out, 1, "the straggler misses the 4s deadline");
+    assert_eq!(r.aggregated(), 3);
+    assert_eq!(r.round_duration, 4.0, "duration capped at the deadline");
+    assert_eq!(r.sim_time, 4.0);
+
+    let r2 = sim.run_round().expect("round 2");
+    assert_eq!(r2.faults.timed_out, 1);
+    assert_eq!(r2.sim_time, 8.0);
+}
+
+#[test]
+fn norm_bound_quarantines_garbage_magnitude_updates() {
+    /// Client 2 uploads finite garbage of magnitude 1e6.
+    struct Garbage;
+    impl FaultModel for Garbage {
+        fn inject(&self, _seed: u64, _round: usize, client: usize) -> Option<InjectedFault> {
+            (client == 2).then_some(InjectedFault::CorruptParams(Corruption::Garbage(1e6)))
+        }
+    }
+
+    let (clients, test, img_len) = deployment(4);
+    let factory = mlp_factory(img_len);
+    let mut sim = Simulation::new(&factory, clients, test, Box::new(FedAvg::new()), config(17));
+    sim.set_fault_model(Box::new(Garbage));
+    sim.set_fault_policy(FaultPolicy { max_param_norm: Some(1e3), ..Default::default() });
+
+    let r = sim.run_round().expect("round");
+    assert_eq!(
+        r.faults.quarantined, 1,
+        "finite garbage passes the NaN check but not the norm bound"
+    );
+    assert!(sim.global().iter().all(|p| p.abs() < 1e3), "garbage kept out");
+}
+
+#[test]
+fn corrupted_losses_do_not_trip_detection() {
+    // Corrupted-loss reports must not blind FedCav's detection: quarantine
+    // removes them before the detector sees the round's losses.
+    struct NoisyLoss;
+    impl FaultModel for NoisyLoss {
+        fn inject(&self, _seed: u64, round: usize, client: usize) -> Option<InjectedFault> {
+            (client == 3 && round % 2 == 0).then_some(InjectedFault::CorruptLoss(Corruption::Nan))
+        }
+    }
+
+    let (clients, test, img_len) = deployment(5);
+    let factory = mlp_factory(img_len);
+    let mut sim = Simulation::new(
+        &factory,
+        clients,
+        test,
+        Box::new(FedCav::new(FedCavConfig::default())),
+        config(23),
+    );
+    sim.set_fault_model(Box::new(NoisyLoss));
+    for _ in 0..4 {
+        let r = sim.run_round().expect("round");
+        assert!(!r.rejected, "healthy training must not trip detection");
+    }
+    assert!(sim.history().total_quarantined() >= 1);
+    assert!(sim.global().iter().all(|p| p.is_finite()));
+}

@@ -83,22 +83,12 @@ fn fedcav_competitive_with_fedavg_under_imbalance() {
     // At this tiny scale we assert FedCav is at worst marginally behind
     // (the decisive comparisons run in the bench harnesses).
     let (train, test) = mnist_like(16);
-    let avg = run(Box::new(FedAvg::new()), &train, &test, 8, Some(900.0))
+    let avg =
+        run(Box::new(FedAvg::new()), &train, &test, 8, Some(900.0)).converged_accuracy(3).unwrap();
+    let cav = run(Box::new(FedCav::new(FedCavConfig::default())), &train, &test, 8, Some(900.0))
         .converged_accuracy(3)
         .unwrap();
-    let cav = run(
-        Box::new(FedCav::new(FedCavConfig::default())),
-        &train,
-        &test,
-        8,
-        Some(900.0),
-    )
-    .converged_accuracy(3)
-    .unwrap();
-    assert!(
-        cav > avg - 0.1,
-        "FedCav {cav} should be competitive with FedAvg {avg}"
-    );
+    assert!(cav > avg - 0.1, "FedCav {cav} should be competitive with FedAvg {avg}");
 }
 
 #[test]
@@ -115,13 +105,9 @@ fn centralized_baseline_is_upper_bound_ish() {
     );
     t.run(8).expect("centralized");
     let central = t.history().converged_accuracy(3).unwrap();
-    let fed = run(Box::new(FedAvg::new()), &train, &test, 8, Some(600.0))
-        .converged_accuracy(3)
-        .unwrap();
-    assert!(
-        central >= fed - 0.05,
-        "centralized {central} should match or beat federated {fed}"
-    );
+    let fed =
+        run(Box::new(FedAvg::new()), &train, &test, 8, Some(600.0)).converged_accuracy(3).unwrap();
+    assert!(central >= fed - 0.05, "centralized {central} should match or beat federated {fed}");
 }
 
 #[test]
@@ -154,10 +140,7 @@ fn model_replacement_destroys_undefended_accuracy() {
     let records = &sim.history().records;
     let pre = records[attack_round - 1].test_accuracy;
     let post = records[attack_round].test_accuracy;
-    assert!(
-        post < pre - 0.15,
-        "attack should dent accuracy: {pre} -> {post}"
-    );
+    assert!(post < pre - 0.15, "attack should dent accuracy: {pre} -> {post}");
 }
 
 #[test]
@@ -207,10 +190,7 @@ fn detection_reverses_the_attack_round() {
     // After the reverse the model must be back near the pre-attack level.
     let pre = records[attack_round - 1].test_accuracy;
     let last = records.last().unwrap().test_accuracy;
-    assert!(
-        last > pre - 0.1,
-        "reverse should restore accuracy: pre {pre}, final {last}"
-    );
+    assert!(last > pre - 0.1, "reverse should restore accuracy: pre {pre}, final {last}");
 }
 
 #[test]

@@ -15,9 +15,8 @@ use rand::SeedableRng;
 fn setup(
     n_clients: usize,
 ) -> (Vec<fedcav::data::Dataset>, fedcav::data::Dataset, impl Fn() -> Sequential + Sync) {
-    let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 6, 2)
-        .generate()
-        .expect("generation");
+    let (train, test) =
+        SyntheticConfig::new(SyntheticKind::MnistLike, 6, 2).generate().expect("generation");
     let mut rng = StdRng::seed_from_u64(0);
     let part = partition::noniid(&train, n_clients, 2, ImbalanceSpec::Balanced, &mut rng);
     let clients = part.client_datasets(&train).expect("partition");

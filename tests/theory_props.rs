@@ -6,7 +6,9 @@
 //!   distribution that is monotone in the loss,
 //! * Algorithm 1 line 7's clip: idempotent, order-preserving, mean-bounded.
 
-use fedcav::core::objective::{global_objective, is_convex_between, objective_bounds, objective_gradient};
+use fedcav::core::objective::{
+    global_objective, is_convex_between, objective_bounds, objective_gradient,
+};
 use fedcav::core::weights::{clip_losses, contribution_weights};
 use proptest::prelude::*;
 

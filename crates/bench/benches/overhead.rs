@@ -86,10 +86,26 @@ fn report_comm_overhead() {
     );
 }
 
+fn report_phase_profile() {
+    // Where a round's wall time actually goes: a short traced run with the
+    // kernel counters on, printed per phase (and exportable as JSONL/CSV).
+    use fedcav_bench::experiment::{run_standard_traced, Algo, Dist};
+    let spec = ExperimentSpec::fast(SyntheticKind::MnistLike, 2);
+    let (history, events) =
+        run_standard_traced(&spec, Dist::IidBalanced, Algo::FedCav).expect("traced run");
+    fedcav_bench::output::phase_profile("FedCav", &history);
+    for e in events.iter().filter(|e| e.name == "round.ops") {
+        let fields =
+            e.fields.iter().map(|(k, v)| format!("{k}={v:?}")).collect::<Vec<_>>().join("\t");
+        println!("# round.ops\t{fields}");
+    }
+}
+
 criterion_group!(benches, bench_client_side, bench_server_side);
 
 fn main() {
     report_comm_overhead();
+    report_phase_profile();
     benches();
     criterion::Criterion::default().configure_from_args().final_summary();
 }

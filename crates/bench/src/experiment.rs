@@ -7,13 +7,15 @@ use fedcav_data::{
     partition, Dataset, FreshClassSplit, ImbalanceSpec, SyntheticConfig, SyntheticKind,
 };
 use fedcav_fl::{
-    CentralizedTrainer, FedAvg, FedProx, History, LocalConfig, Simulation, SimulationConfig,
-    Strategy,
+    CentralizedTrainer, CollectingTracer, FedAvg, FedProx, History, LocalConfig, Simulation,
+    SimulationConfig, Strategy,
 };
 use fedcav_nn::{models, Sequential};
 use fedcav_tensor::Result;
+use fedcav_trace::Event;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Harness scale: CI-friendly vs paper-scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,6 +246,40 @@ pub fn run_standard(spec: &ExperimentSpec, dist: Dist, algo: Algo) -> Result<His
     Ok(sim.history().clone())
 }
 
+/// Like [`run_standard`], but with a [`CollectingTracer`] installed and the
+/// op-level kernel counters enabled for the duration of the run: returns
+/// the history together with the captured trace events, ready for
+/// `fedcav_trace::export::{to_jsonl, to_csv, write_jsonl}`. Results are
+/// bit-identical to [`run_standard`] — tracing only observes.
+/// [`Algo::Centralized`] has no tracer hook and yields an empty event list.
+pub fn run_standard_traced(
+    spec: &ExperimentSpec,
+    dist: Dist,
+    algo: Algo,
+) -> Result<(History, Vec<Event>)> {
+    let (train, test) = spec.data()?;
+    let factory = spec.model_factory();
+    if algo == Algo::Centralized {
+        let mut t = CentralizedTrainer::new(&*factory, train, test, spec.local, 64, spec.seed);
+        t.run(spec.rounds)?;
+        return Ok((t.history().clone(), Vec::new()));
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xD157);
+    let part = dist.partition(&train, spec.n_clients, &mut rng);
+    let clients = part.client_datasets(&train)?;
+    let mut sim = Simulation::new(&*factory, clients, test, algo.strategy(), spec.sim_config());
+    let tracer = Arc::new(CollectingTracer::new());
+    sim.set_tracer(tracer.clone());
+    let was_counting = fedcav_tensor::counters::is_enabled();
+    fedcav_tensor::counters::enable();
+    let outcome = sim.run(spec.rounds);
+    if !was_counting {
+        fedcav_tensor::counters::disable();
+    }
+    outcome?;
+    Ok((sim.history().clone(), tracer.take()))
+}
+
 /// Outcome of a fresh-class run: the history plus what's needed to read
 /// out fresh-class recall from the final model.
 pub struct FreshClassOutcome {
@@ -388,6 +424,19 @@ mod tests {
             let h = run_standard(&spec, Dist::NonIidBalanced, algo).unwrap();
             assert_eq!(h.len(), spec.rounds, "{}", algo.name());
         }
+    }
+
+    #[test]
+    fn run_standard_traced_captures_round_spans() {
+        let spec = tiny_spec();
+        let (h, events) = run_standard_traced(&spec, Dist::IidBalanced, Algo::FedAvg).unwrap();
+        assert_eq!(h.len(), spec.rounds);
+        assert_eq!(events.iter().filter(|e| e.name == "round").count(), spec.rounds);
+        assert!(events.iter().any(|e| e.name == "round.ops"), "kernel counters were enabled");
+        assert!(h.records.iter().all(|r| r.phases.total_ns > 0));
+        // The export path accepts what the round loop emits.
+        let jsonl = fedcav_trace::export::to_jsonl(&events);
+        assert_eq!(fedcav_trace::export::parse_jsonl(&jsonl).unwrap(), events);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //!
 //! * [`experiment`] — dataset/model/deployment specs with `fast` (CI
 //!   wall-clock) and `full` (paper-scale) presets, plus runners for the
-//!   standard σ-imbalance experiments and the fresh-class (α) dynamics,
-//! * [`output`] — TSV series printing shared by all harnesses.
+//!   standard σ-imbalance experiments and the fresh-class (α) dynamics
+//!   (including [`experiment::run_standard_traced`], which captures a
+//!   structured trace + kernel FLOP counters for profiling),
+//! * [`output`] — TSV series printing shared by all harnesses, plus the
+//!   human-readable per-round phase profile.
 //!
 //! Each bench target under `benches/` is a `harness = false` binary: run
 //! `cargo bench -p fedcav-bench --bench fig2_heterogeneity` (add

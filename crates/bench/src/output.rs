@@ -30,6 +30,21 @@ pub fn series(label: &str, history: &History) {
     }
 }
 
+/// Print the per-round phase profile (one line per round, ms-scale) and the
+/// accumulated totals — the human-readable view of the trace subsystem.
+pub fn phase_profile(label: &str, history: &History) {
+    for r in &history.records {
+        println!("## {label}\tround {}\t{}", r.round + 1, r.phases.summary());
+    }
+    let total = history.total_phase_timings();
+    println!(
+        "## {label}\ttotal\t{} (mean round {:.1} ms, dominant phase: {})",
+        total.summary(),
+        history.mean_round_wall_secs().unwrap_or(0.0) * 1e3,
+        total.dominant().0
+    );
+}
+
 /// Format a convergence summary for a history: converged accuracy (mean of
 /// the last `tail` rounds) and the 99%-of-plateau convergence round.
 pub fn summary(label: &str, history: &History, tail: usize) {
@@ -65,8 +80,10 @@ mod tests {
             round_duration: 1.5,
             sim_time: 1.5,
             faults: fedcav_fl::FaultTelemetry::default(),
+            phases: fedcav_fl::PhaseTimings::default(),
         });
         series("FedCav", &h);
         summary("FedCav", &h, 3);
+        phase_profile("FedCav", &h);
     }
 }

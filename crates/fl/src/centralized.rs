@@ -71,6 +71,8 @@ impl<'a> CentralizedTrainer<'a> {
 
     /// One "round": `E` epochs over the pooled data, then evaluate.
     pub fn run_round(&mut self) -> Result<RoundRecord> {
+        let total = std::time::Instant::now();
+        let training = std::time::Instant::now();
         let update = local_update(
             self.factory,
             &self.global,
@@ -79,11 +81,20 @@ impl<'a> CentralizedTrainer<'a> {
             &self.config,
             self.seed.wrapping_add(self.round as u64),
         )?;
+        let training_ns = training.elapsed().as_nanos() as u64;
         self.global = update.params;
 
+        let evaluation = std::time::Instant::now();
         let mut model = (self.factory)();
         model.set_flat_params(&self.global)?;
         let (test_loss, test_accuracy) = evaluate(&mut model, &self.test, self.eval_batch)?;
+        // Only two phases exist here — the other four stay zero.
+        let phases = fedcav_trace::PhaseTimings {
+            training_ns,
+            evaluation_ns: evaluation.elapsed().as_nanos() as u64,
+            total_ns: total.elapsed().as_nanos() as u64,
+            ..Default::default()
+        };
         let record = RoundRecord {
             round: self.round,
             test_accuracy,
@@ -98,6 +109,7 @@ impl<'a> CentralizedTrainer<'a> {
             round_duration: 0.0,
             sim_time: 0.0,
             faults: crate::metrics::FaultTelemetry::default(),
+            phases,
         };
         self.history.records.push(record.clone());
         self.round += 1;

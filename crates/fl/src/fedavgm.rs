@@ -60,6 +60,13 @@ impl Strategy for FedAvgM {
         Ok(Aggregation::Accept(next))
     }
 
+    fn on_reject(&mut self) {
+        // The server rolled the global model back past the round(s) this
+        // velocity was accumulated on; re-applying it would smuggle part of
+        // the rejected pseudo-gradient into the next accepted round.
+        self.velocity.clear();
+    }
+
     fn reset(&mut self) {
         self.velocity.clear();
     }
@@ -116,6 +123,23 @@ mod tests {
         s.aggregate(&ctx, &[upd(0, vec![1.0])]).unwrap();
         s.reset();
         // After reset, behaves like the first round again.
+        let out = match s.aggregate(&ctx, &[upd(0, vec![1.0])]).unwrap() {
+            Aggregation::Accept(p) => p,
+            _ => unreachable!(),
+        };
+        assert_eq!(out, vec![1.0]);
+    }
+
+    #[test]
+    fn on_reject_drops_velocity() {
+        let mut s = FedAvgM::new(0.9);
+        let global = vec![0.0f32];
+        let ctx = RoundContext { round: 0, global: &global };
+        s.aggregate(&ctx, &[upd(0, vec![1.0])]).unwrap();
+        assert!(!s.velocity.is_empty() && s.velocity[0] != 0.0);
+        s.on_reject();
+        // The poisoned pseudo-gradient is gone: next round behaves like a
+        // first round.
         let out = match s.aggregate(&ctx, &[upd(0, vec![1.0])]).unwrap() {
             Aggregation::Accept(p) => p,
             _ => unreachable!(),

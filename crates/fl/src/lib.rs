@@ -27,6 +27,11 @@
 //!   stragglers) for time-to-accuracy readouts,
 //! * [`comm`] — byte-level traffic accounting (§6's "one extra float"
 //!   overhead claim, made measurable).
+//!
+//! The round loop is instrumented with the `fedcav-trace` span API: every
+//! [`RoundRecord`] carries [`PhaseTimings`], and installing a
+//! [`fedcav_trace::CollectingTracer`] via [`Simulation::set_tracer`] turns
+//! on structured span/counter events without perturbing results.
 
 pub mod aggregate;
 pub mod availability;
@@ -66,3 +71,4 @@ pub use strategy::{Aggregation, RoundContext, Strategy};
 pub use update::{LocalUpdate, UpdateDefect};
 
 pub use fedcav_tensor::{Result, TensorError};
+pub use fedcav_trace::{CollectingTracer, NoopTracer, PhaseTimings, Tracer};

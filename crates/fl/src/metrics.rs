@@ -1,5 +1,7 @@
 //! Per-round records, fault telemetry and experiment history.
 
+use fedcav_trace::PhaseTimings;
+
 /// Where in the round pipeline a client's contribution was lost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultEventKind {
@@ -92,6 +94,9 @@ pub struct RoundRecord {
     /// Fault telemetry: dropped / quarantined / timed-out contributions and
     /// whether the round degraded (quorum miss).
     pub faults: FaultTelemetry,
+    /// Real (not simulated) wall-clock spent in each phase of this round.
+    /// Always measured — independent of any installed tracer.
+    pub phases: PhaseTimings,
 }
 
 impl RoundRecord {
@@ -190,6 +195,24 @@ impl History {
     pub fn degraded_rounds(&self) -> Vec<usize> {
         self.records.iter().filter(|r| r.faults.degraded).map(|r| r.round).collect()
     }
+
+    /// Sum of the per-round phase timings (real wall clock, for profiling
+    /// readouts; see [`PhaseTimings`] for the phase taxonomy).
+    pub fn total_phase_timings(&self) -> PhaseTimings {
+        let mut total = PhaseTimings::default();
+        for r in &self.records {
+            total.accumulate(&r.phases);
+        }
+        total
+    }
+
+    /// Mean real wall-clock seconds per recorded round.
+    pub fn mean_round_wall_secs(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        Some(self.total_phase_timings().total_secs() / self.records.len() as f64)
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +234,7 @@ mod tests {
             round_duration: 0.0,
             sim_time: 0.0,
             faults: FaultTelemetry::default(),
+            phases: PhaseTimings::default(),
         }
     }
 
@@ -290,6 +314,23 @@ mod tests {
             detail: "crash".into(),
         });
         assert_eq!(r.aggregated(), r.participants - 1);
+    }
+
+    #[test]
+    fn history_accumulates_phase_timings() {
+        let mut h = History::new();
+        assert_eq!(h.mean_round_wall_secs(), None);
+        for i in 0..2 {
+            let mut r = rec(i, 0.5);
+            r.phases.training_ns = 600_000_000;
+            r.phases.evaluation_ns = 300_000_000;
+            r.phases.total_ns = 1_000_000_000;
+            h.records.push(r);
+        }
+        let total = h.total_phase_timings();
+        assert_eq!(total.training_ns, 1_200_000_000);
+        assert_eq!(total.total_ns, 2_000_000_000);
+        assert!((h.mean_round_wall_secs().unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]

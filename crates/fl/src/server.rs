@@ -18,9 +18,11 @@ use crate::update::LocalUpdate;
 use fedcav_data::Dataset;
 use fedcav_nn::Sequential;
 use fedcav_tensor::{Result, TensorError};
+use fedcav_trace::{NoopTracer, PhaseTimings, Span, Tracer, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// A model constructor. Every worker thread builds its own model instance
 /// from this, so the architecture definition is shared but no tensor is.
@@ -111,6 +113,7 @@ pub struct Simulation<'a> {
     rng: StdRng,
     comm_model: CommModel,
     comm_stats: CommStats,
+    tracer: Arc<dyn Tracer>,
 }
 
 /// Seed salt separating the corruption-value stream from the training
@@ -160,12 +163,21 @@ impl<'a> Simulation<'a> {
             rng,
             comm_model,
             comm_stats: CommStats::default(),
+            tracer: Arc::new(NoopTracer),
         }
     }
 
     /// Install an adversarial interceptor.
     pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor + 'a>) {
         self.interceptor = Some(interceptor);
+    }
+
+    /// Install a tracer (default: [`NoopTracer`]). Tracing only *observes*
+    /// wall time — results are bit-identical for the same seed whatever
+    /// tracer is installed. Keep a clone of the [`Arc`] to read collected
+    /// events back out after the run.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.tracer = tracer;
     }
 
     /// Install a client-availability model (default: everyone online).
@@ -240,9 +252,19 @@ impl<'a> Simulation<'a> {
 
     /// Run one communication round; returns the recorded metrics.
     pub fn run_round(&mut self) -> Result<RoundRecord> {
+        // Phase wall times are always measured (six `Instant` reads per
+        // round); the tracer only decides whether span *events* are also
+        // emitted. Cloning the Arc keeps the spans free of `self` borrows.
+        let tracer = Arc::clone(&self.tracer);
+        let tracer: &dyn Tracer = &*tracer;
+        let mut phases = PhaseTimings::default();
+        let round_span = Span::begin(tracer, "round");
+        let ops_before = fedcav_tensor::counters::snapshot();
+
         // Sample `q` of the *online* clients; if the availability model
         // leaves nobody online this round, fall back to the full population
         // (a real server would retry / wait — the simulation keeps moving).
+        let sampling_span = Span::begin(tracer, "round.sampling");
         let online = self.availability.available(self.clients.len(), self.round);
         let participants: Vec<usize> = if online.is_empty() {
             sample_clients(self.clients.len(), self.config.sample_ratio, &mut self.rng)
@@ -252,6 +274,7 @@ impl<'a> Simulation<'a> {
                 .map(|i| online[i])
                 .collect()
         };
+        phases.sampling_ns = sampling_span.done();
 
         // FedProx injects its μ into local training; others leave the
         // configured value (normally 0).
@@ -282,6 +305,7 @@ impl<'a> Simulation<'a> {
         let fault_model = self.fault_model.as_deref();
 
         // Algorithm 1 line 4: "for each client i in P_t in parallel".
+        let training_span = Span::begin(tracer, "round.training");
         let outcomes: Vec<(usize, Option<InjectedFault>, Outcome)> = participants
             .par_iter()
             .map(|&cid| {
@@ -312,20 +336,32 @@ impl<'a> Simulation<'a> {
                 }
             })
             .collect();
+        phases.training_ns = training_span.finish(if tracer.enabled() {
+            vec![("clients".to_string(), Value::from(participants.len()))]
+        } else {
+            Vec::new()
+        });
 
         // Delivery: crashes and training errors are dropped contributions;
         // with a deadline + latency model, over-deadline clients time out.
         // Crashed clients keep their nominal latency in the duration math —
         // a synchronous server still waits on them until it gives up.
+        let delivery_span = Span::begin(tracer, "round.delivery");
         let mut telemetry = FaultTelemetry::default();
         let deadline = self.fault_policy.deadline;
         let mut slowdowns: Vec<(usize, f64)> = Vec::with_capacity(outcomes.len());
         let mut updates: Vec<LocalUpdate> = Vec::with_capacity(outcomes.len());
+        let mut delivered = 0usize;
         for (cid, fault, outcome) in outcomes {
             let slowdown = slowdown_of(fault);
             slowdowns.push((cid, slowdown));
             match outcome {
                 Outcome::Arrived(update) => {
+                    // The upload happened whether or not the server still
+                    // wants the payload: a timed-out (and later, a
+                    // quarantined) update consumed full uplink; only
+                    // crashed/failed clients sent nothing.
+                    delivered += 1;
                     let late = match (deadline, self.latency.as_ref()) {
                         (Some(d), Some(m)) => {
                             let eff = m.latency(cid, round) * slowdown;
@@ -355,14 +391,26 @@ impl<'a> Simulation<'a> {
             }
         }
 
+        // §6 communication accounting, measured at delivery time: the
+        // server pushed the global model to every sampled participant, and
+        // every update that actually reached the server consumed uplink.
+        // This runs *before* the interceptor so adversarially added or
+        // removed updates cannot distort the traffic ledger, and counts
+        // `delivered` (not the post-deadline survivor set) so a timed-out
+        // straggler's upload is still billed.
+        let bytes_down = self.comm_model.downlink(participants.len());
+        let bytes_up = self.comm_model.uplink(delivered, self.strategy.uses_inference_loss());
+        self.comm_stats.record(bytes_down, bytes_up);
+
         if let Some(interceptor) = &mut self.interceptor {
             interceptor.intercept(round, &self.global, &mut updates)?;
         }
-        let arrived = updates.len();
+        phases.delivery_ns = delivery_span.done();
 
         // Server-side validation: quarantine anything that would poison the
         // aggregation arithmetic (§4.4's detection defends against clients
         // that lie; this pass defends against clients that break).
+        let validation_span = Span::begin(tracer, "round.validation");
         let expected_len = self.global.len();
         let max_norm = self.fault_policy.max_param_norm;
         let mut valid: Vec<LocalUpdate> = Vec::with_capacity(updates.len());
@@ -387,7 +435,9 @@ impl<'a> Simulation<'a> {
         // 0.0 instead, matching mean_loss.
         let max_loss = valid.iter().map(|u| u.inference_loss).fold(f32::NEG_INFINITY, f32::max);
         let max_loss = if max_loss.is_finite() { max_loss } else { 0.0 };
+        phases.validation_ns = validation_span.done();
 
+        let aggregation_span = Span::begin(tracer, "round.aggregation");
         let quorum = self.fault_policy.min_quorum.max(1);
         let (rejected, reason) = if valid.len() < quorum {
             // Quorum miss: hold the global model and record a degraded
@@ -416,21 +466,22 @@ impl<'a> Simulation<'a> {
                         });
                     }
                     self.global = reverted;
+                    // Server-side optimizer state (e.g. FedAvgM's velocity)
+                    // was accumulated from the trajectory we just rolled
+                    // back; give the strategy the chance to discard it.
+                    self.strategy.on_reject();
                     (true, Some(reason))
                 }
             }
         };
+        phases.aggregation_ns = aggregation_span.done();
 
+        let evaluation_span = Span::begin(tracer, "round.evaluation");
         let mut eval_model = (self.factory)();
         eval_model.set_flat_params(&self.global)?;
         let (test_loss, test_accuracy) =
             evaluate(&mut eval_model, &self.test, self.config.eval_batch)?;
-
-        // The server pushed the global model to every sampled participant;
-        // only the updates that actually arrived consumed uplink.
-        let bytes_down = self.comm_model.downlink(participants.len());
-        let bytes_up = self.comm_model.uplink(arrived, self.strategy.uses_inference_loss());
-        self.comm_stats.record(bytes_down, bytes_up);
+        phases.evaluation_ns = evaluation_span.done();
 
         let round_duration = self
             .latency
@@ -438,6 +489,31 @@ impl<'a> Simulation<'a> {
             .map(|m| m.round_duration_capped(&slowdowns, round, deadline))
             .unwrap_or(0.0);
         self.sim_time += round_duration;
+
+        // Close the whole-round span last; `total_ns` is measured by its
+        // own Instant, so `phases.phase_sum_ns() <= phases.total_ns` holds.
+        phases.total_ns = round_span.finish(if tracer.enabled() {
+            vec![
+                ("round".to_string(), Value::from(round)),
+                ("participants".to_string(), Value::from(participants.len())),
+                ("aggregated".to_string(), Value::from(valid.len())),
+                ("accuracy".to_string(), Value::from(test_accuracy)),
+                ("rejected".to_string(), Value::from(rejected)),
+                ("bytes_down".to_string(), Value::from(bytes_down)),
+                ("bytes_up".to_string(), Value::from(bytes_up)),
+            ]
+        } else {
+            Vec::new()
+        });
+        if tracer.enabled() && fedcav_tensor::counters::is_enabled() {
+            let ops = fedcav_tensor::counters::snapshot().delta(&ops_before);
+            let mut ev =
+                fedcav_trace::Event::counter("round.ops", tracer.now_ns()).with("round", round);
+            for (k, v) in ops.fields() {
+                ev = ev.with(k, v);
+            }
+            tracer.record(ev);
+        }
 
         let record = RoundRecord {
             round,
@@ -453,6 +529,7 @@ impl<'a> Simulation<'a> {
             round_duration,
             sim_time: self.sim_time,
             faults: telemetry,
+            phases,
         };
         self.history.records.push(record.clone());
         self.round += 1;
@@ -917,6 +994,231 @@ mod tests {
         let (g_zero, a_zero) = run_with(true);
         assert_eq!(g_none, g_zero, "zero-fault model must be bit-identical");
         assert_eq!(a_none, a_zero);
+    }
+
+    #[test]
+    fn timed_out_upload_still_bills_uplink() {
+        use crate::latency::UniformLatency;
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        let model = CommModel::new(sim.global().len());
+        sim.set_latency(Box::new(UniformLatency(2.0)));
+        sim.set_fault_model(Box::new(TargetOne(1, InjectedFault::Straggle(10.0))));
+        sim.set_fault_policy(FaultPolicy { deadline: Some(5.0), ..Default::default() });
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.faults.timed_out, 1);
+        assert_eq!(r.aggregated(), 2);
+        // All three uploads physically happened — the straggler's update
+        // was discarded *after* it arrived, so it still consumed uplink.
+        assert_eq!(r.bytes_up, model.uplink(3, false));
+        assert_eq!(sim.comm_stats().total_up, r.bytes_up);
+    }
+
+    #[test]
+    fn crashed_clients_consume_no_uplink() {
+        let (clients, test, img_len) = deployment(4);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        let model = CommModel::new(sim.global().len());
+        sim.set_fault_model(Box::new(TargetOne(0, InjectedFault::Crash)));
+        let r = sim.run_round().unwrap();
+        // Downlink reached all four sampled clients; only the three
+        // survivors uploaded anything.
+        assert_eq!(r.bytes_down, model.downlink(4));
+        assert_eq!(r.bytes_up, model.uplink(3, false));
+    }
+
+    #[test]
+    fn interceptor_cannot_distort_comm_accounting() {
+        // An adversary that swallows every real update (and could just as
+        // well forge extra ones) must not alter the traffic ledger: the
+        // uplink bytes were spent by the real clients before interception.
+        struct SwallowAll;
+        impl Interceptor for SwallowAll {
+            fn intercept(
+                &mut self,
+                _round: usize,
+                _global: &[f32],
+                updates: &mut Vec<LocalUpdate>,
+            ) -> Result<()> {
+                updates.clear();
+                Ok(())
+            }
+        }
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        let model = CommModel::new(sim.global().len());
+        sim.set_interceptor(Box::new(SwallowAll));
+        let r = sim.run_round().unwrap();
+        assert!(r.faults.degraded, "nothing left to aggregate");
+        assert_eq!(r.bytes_up, model.uplink(3, false));
+        assert_eq!(sim.comm_stats().total_up, r.bytes_up);
+    }
+
+    /// Wraps an inner strategy and force-rejects one round, mimicking a
+    /// detector that fires *after* the inner aggregation already mutated
+    /// its server-side state (exactly FedAvgM + detection).
+    struct RejectOnce<S> {
+        inner: S,
+        reject_round: usize,
+        forward_on_reject: bool,
+    }
+    impl<S: Strategy> Strategy for RejectOnce<S> {
+        fn name(&self) -> &'static str {
+            "RejectOnce"
+        }
+        fn aggregate(
+            &mut self,
+            ctx: &RoundContext<'_>,
+            updates: &[LocalUpdate],
+        ) -> Result<Aggregation> {
+            let inner = self.inner.aggregate(ctx, updates)?;
+            if ctx.round == self.reject_round {
+                if !self.forward_on_reject {
+                    // Known-good baseline: discard the inner state by hand
+                    // instead of relying on the server's on_reject call.
+                    self.inner.reset();
+                }
+                return Ok(Aggregation::Reject {
+                    reverted: ctx.global.to_vec(),
+                    reason: "forced".to_string(),
+                });
+            }
+            Ok(inner)
+        }
+        fn on_reject(&mut self) {
+            if self.forward_on_reject {
+                self.inner.on_reject();
+            }
+        }
+    }
+
+    #[test]
+    fn reversal_discards_momentum_via_on_reject() {
+        use crate::fedavgm::FedAvgM;
+        let run = |forward_on_reject: bool| {
+            let (clients, test, img_len) = deployment(4);
+            let factory = move || {
+                let mut rng = StdRng::seed_from_u64(7);
+                models::mlp(&mut rng, img_len, 10)
+            };
+            let strategy =
+                RejectOnce { inner: FedAvgM::new(0.9), reject_round: 1, forward_on_reject };
+            let mut sim = Simulation::new(
+                &factory,
+                clients,
+                test,
+                Box::new(strategy),
+                SimulationConfig {
+                    sample_ratio: 1.0,
+                    local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                    eval_batch: 32,
+                    seed: 11,
+                },
+            );
+            sim.run(3).unwrap();
+            sim.global().to_vec()
+        };
+        // Relying on the server's reject-path hook must give exactly the
+        // trajectory of the hand-rolled rollback: no trace of the rejected
+        // round's pseudo-gradient may survive in the velocity.
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn noop_tracer_run_is_bit_identical_to_traced() {
+        use fedcav_trace::CollectingTracer;
+        let run = |traced: bool| {
+            let (clients, test, img_len) = deployment(4);
+            let factory = move || {
+                let mut rng = StdRng::seed_from_u64(7);
+                models::mlp(&mut rng, img_len, 10)
+            };
+            let mut sim = Simulation::new(
+                &factory,
+                clients,
+                test,
+                Box::new(FedAvg::new()),
+                SimulationConfig {
+                    sample_ratio: 0.5,
+                    local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                    eval_batch: 32,
+                    seed: 11,
+                },
+            );
+            let tracer = Arc::new(CollectingTracer::new());
+            if traced {
+                sim.set_tracer(tracer.clone());
+            }
+            sim.run(3).unwrap();
+            (sim.global().to_vec(), sim.history().accuracies(), tracer.len())
+        };
+        let (g_plain, a_plain, e_plain) = run(false);
+        let (g_traced, a_traced, e_traced) = run(true);
+        assert_eq!(g_plain, g_traced, "tracing must not perturb results");
+        assert_eq!(a_plain, a_traced);
+        assert_eq!(e_plain, 0);
+        // 3 rounds × (1 whole-round span + 6 phase spans).
+        assert_eq!(e_traced, 21);
+    }
+
+    #[test]
+    fn traced_round_emits_named_phase_spans() {
+        use fedcav_trace::CollectingTracer;
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        let tracer = Arc::new(CollectingTracer::new());
+        sim.set_tracer(tracer.clone());
+        sim.run_round().unwrap();
+        let events = tracer.events();
+        for name in [
+            "round.sampling",
+            "round.training",
+            "round.delivery",
+            "round.validation",
+            "round.aggregation",
+            "round.evaluation",
+            "round",
+        ] {
+            assert!(events.iter().any(|e| e.name == name), "missing span {name}");
+        }
+        let round = events.iter().find(|e| e.name == "round").unwrap();
+        assert!(round.field("participants").is_some());
+        assert!(round.field("accuracy").is_some());
+    }
+
+    #[test]
+    fn phase_timings_cover_the_round() {
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        let r = sim.run_round().unwrap();
+        assert!(r.phases.total_ns > 0);
+        assert!(r.phases.training_ns > 0, "local training takes real time");
+        assert!(r.phases.evaluation_ns > 0);
+        // The six phases are disjoint sub-intervals of the round and cover
+        // almost all of it (the gap is inter-phase bookkeeping).
+        assert!(r.phases.phase_sum_ns() <= r.phases.total_ns);
+        assert!(r.phases.phase_sum_ns() >= r.phases.total_ns / 2);
+        assert_eq!(r.phases, sim.history().records[0].phases);
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub trait Strategy: Send {
     fn aggregate(&mut self, ctx: &RoundContext<'_>, updates: &[LocalUpdate])
         -> Result<Aggregation>;
 
+    /// Called by the server right after it installs a rejected round's
+    /// `reverted` parameters. Strategies that keep server-side optimizer
+    /// state derived from accepted rounds (e.g. [`crate::FedAvgM`]'s
+    /// velocity) must discard whatever refers to the rolled-back
+    /// trajectory here — otherwise part of the rejected update is silently
+    /// re-applied on the next accepted round. Stateless strategies (and
+    /// detectors whose caches still describe the restored model) keep the
+    /// default no-op.
+    fn on_reject(&mut self) {}
+
     /// Reset any cached state (fresh deployment).
     fn reset(&mut self) {}
 }

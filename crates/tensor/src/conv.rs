@@ -87,6 +87,11 @@ pub fn conv2d_forward(
         expected: format!("spatial >= kernel {kh}x{kw} after padding"),
     })?;
 
+    let macs = (n * out_c * oh * ow) as u64 * (in_c * kh * kw) as u64;
+    crate::counters::record_conv(
+        2 * macs,
+        4 * (input.numel() + weight.numel() + bias.numel() + n * out_c * oh * ow) as u64,
+    );
     let mut out = vec![0.0f32; n * out_c * oh * ow];
     let x = input.as_slice();
     let wt = weight.as_slice();
@@ -161,6 +166,12 @@ pub fn conv2d_backward(
         });
     }
     let (stride, pad) = (params.stride, params.padding);
+    // The d_input and d_weight passes each walk the forward MAC lattice.
+    let macs = (n * out_c * oh * ow) as u64 * (in_c * kh * kw) as u64;
+    crate::counters::record_conv(
+        4 * macs,
+        4 * (2 * input.numel() + 2 * weight.numel() + d_out.numel() + out_c) as u64,
+    );
     let x = input.as_slice();
     let wt = weight.as_slice();
     let go = d_out.as_slice();
@@ -267,6 +278,26 @@ mod tests {
         assert_eq!(p.out_extent(32, 3), Some(16));
         let p = Conv2dParams { stride: 1, padding: 0 };
         assert_eq!(p.out_extent(2, 5), None);
+    }
+
+    #[test]
+    fn conv_kernels_record_op_counters() {
+        let _guard = crate::counters::TEST_LOCK.lock().unwrap();
+        let input = Tensor::ones(&[1, 1, 4, 4]);
+        let weight = Tensor::ones(&[2, 1, 3, 3]);
+        let bias = Tensor::zeros(&[2]);
+        let params = Conv2dParams::default();
+        let before = crate::counters::snapshot();
+        crate::counters::enable();
+        let out = conv2d_forward(&input, &weight, &bias, params).unwrap();
+        conv2d_backward(&input, &weight, &out, params).unwrap();
+        crate::counters::disable();
+        let d = crate::counters::snapshot().delta(&before);
+        assert!(d.conv_calls >= 2);
+        // Forward MACs = 1·2·2·2 outputs × 1·3·3 taps = 72 → 144 FLOPs;
+        // backward records twice the forward count.
+        assert!(d.conv_flops >= 144 + 288, "conv flops {}", d.conv_flops);
+        assert!(d.bytes_moved > 0);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Op-level performance counters: FLOPs and bytes moved by the hot kernels.
+//!
+//! Process-global atomics, **off by default**: the kernels pay one relaxed
+//! atomic load per call when disabled (no allocation, no contention), so
+//! the untraced path is effectively free and results are never affected —
+//! counters only observe.
+//!
+//! Semantics:
+//! * `matmul` — every [`crate::Tensor::matmul`] call: `2·m·k·n` FLOPs and
+//!   `4·(m·k + k·n + m·n)` bytes touched. The im2col-lowered convolution
+//!   ([`crate::im2col::conv2d_forward_im2col`]) is accounted here too,
+//!   since its work *is* a matmul.
+//! * `conv` — the direct convolution kernels: the forward pass counts
+//!   `2·n·out_c·oh·ow·in_c·kh·kw` FLOPs, the backward pass twice that
+//!   (the d_input and d_weight passes each walk the same MAC lattice).
+//! * `bytes_moved` — 4 bytes per `f32` element of every operand and result
+//!   a counted kernel reads or writes (a traffic lower bound: re-reads
+//!   from cache are not multiplied).
+//!
+//! Counters are cumulative; use [`snapshot`] before and after a region and
+//! [`OpCounters::delta`] to attribute work to it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Serializes tests that toggle the process-global enable flag.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static MATMUL_CALLS: AtomicU64 = AtomicU64::new(0);
+static MATMUL_FLOPS: AtomicU64 = AtomicU64::new(0);
+static CONV_CALLS: AtomicU64 = AtomicU64::new(0);
+static CONV_FLOPS: AtomicU64 = AtomicU64::new(0);
+static BYTES_MOVED: AtomicU64 = AtomicU64::new(0);
+
+/// Start counting kernel work (process-global).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stop counting kernel work. Totals are kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether counting is currently on.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zero every counter (does not change enablement).
+pub fn reset() {
+    MATMUL_CALLS.store(0, Ordering::Relaxed);
+    MATMUL_FLOPS.store(0, Ordering::Relaxed);
+    CONV_CALLS.store(0, Ordering::Relaxed);
+    CONV_FLOPS.store(0, Ordering::Relaxed);
+    BYTES_MOVED.store(0, Ordering::Relaxed);
+}
+
+/// Record one `[m,k] × [k,n]` matmul. No-op while disabled.
+#[inline]
+pub(crate) fn record_matmul(m: usize, k: usize, n: usize) {
+    if !is_enabled() {
+        return;
+    }
+    let (m, k, n) = (m as u64, k as u64, n as u64);
+    MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
+    MATMUL_FLOPS.fetch_add(2 * m * k * n, Ordering::Relaxed);
+    BYTES_MOVED.fetch_add(4 * (m * k + k * n + m * n), Ordering::Relaxed);
+}
+
+/// Record one direct-convolution kernel invocation. No-op while disabled.
+#[inline]
+pub(crate) fn record_conv(flops: u64, bytes: u64) {
+    if !is_enabled() {
+        return;
+    }
+    CONV_CALLS.fetch_add(1, Ordering::Relaxed);
+    CONV_FLOPS.fetch_add(flops, Ordering::Relaxed);
+    BYTES_MOVED.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// A point-in-time snapshot of the cumulative counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Number of matmul kernel calls.
+    pub matmul_calls: u64,
+    /// FLOPs executed by matmul kernels.
+    pub matmul_flops: u64,
+    /// Number of direct-convolution kernel calls (forward + backward).
+    pub conv_calls: u64,
+    /// FLOPs executed by direct-convolution kernels.
+    pub conv_flops: u64,
+    /// Bytes of operand/result traffic across counted kernels.
+    pub bytes_moved: u64,
+}
+
+impl OpCounters {
+    /// Total FLOPs across all counted kernels.
+    pub fn total_flops(&self) -> u64 {
+        self.matmul_flops + self.conv_flops
+    }
+
+    /// Work done since an earlier snapshot (saturating, so a [`reset`]
+    /// between snapshots yields zeros rather than wrapping).
+    pub fn delta(&self, earlier: &OpCounters) -> OpCounters {
+        OpCounters {
+            matmul_calls: self.matmul_calls.saturating_sub(earlier.matmul_calls),
+            matmul_flops: self.matmul_flops.saturating_sub(earlier.matmul_flops),
+            conv_calls: self.conv_calls.saturating_sub(earlier.conv_calls),
+            conv_flops: self.conv_flops.saturating_sub(earlier.conv_flops),
+            bytes_moved: self.bytes_moved.saturating_sub(earlier.bytes_moved),
+        }
+    }
+
+    /// Stable `(name, value)` pairs — handy for building trace counter
+    /// events or table rows without coupling this crate to the tracer.
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("matmul_calls", self.matmul_calls),
+            ("matmul_flops", self.matmul_flops),
+            ("conv_calls", self.conv_calls),
+            ("conv_flops", self.conv_flops),
+            ("bytes_moved", self.bytes_moved),
+        ]
+    }
+
+    /// One-line human-readable summary (GFLOP / MiB scale).
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.3} GFLOP ({} matmul + {} conv calls), {:.2} MiB moved",
+            self.total_flops() as f64 / 1e9,
+            self.matmul_calls,
+            self.conv_calls,
+            self.bytes_moved as f64 / (1024.0 * 1024.0)
+        )
+    }
+}
+
+/// Read the cumulative counters.
+pub fn snapshot() -> OpCounters {
+    OpCounters {
+        matmul_calls: MATMUL_CALLS.load(Ordering::Relaxed),
+        matmul_flops: MATMUL_FLOPS.load(Ordering::Relaxed),
+        conv_calls: CONV_CALLS.load(Ordering::Relaxed),
+        conv_flops: CONV_FLOPS.load(Ordering::Relaxed),
+        bytes_moved: BYTES_MOVED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: counters are process-global and the test harness is threaded.
+    // Tests that toggle enablement serialize on `TEST_LOCK`; assertions on
+    // enabled counts use `>=` because unrelated tests may run kernels
+    // concurrently.
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        disable();
+        let before = snapshot();
+        record_matmul(10, 10, 10);
+        record_conv(1000, 100);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.matmul_calls, 0);
+        assert_eq!(d.conv_calls, 0);
+    }
+
+    #[test]
+    fn enabled_counts_matmul_and_conv() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let before = snapshot();
+        enable();
+        record_matmul(2, 3, 4);
+        record_conv(500, 64);
+        disable();
+        let d = snapshot().delta(&before);
+        assert!(d.matmul_calls >= 1);
+        assert!(d.matmul_flops >= 2 * 2 * 3 * 4);
+        assert!(d.conv_calls >= 1);
+        assert!(d.conv_flops >= 500);
+        assert!(d.bytes_moved >= 4 * (6 + 12 + 8) + 64);
+        assert!(d.total_flops() >= 548);
+    }
+
+    #[test]
+    fn fields_and_summary_cover_all_counters() {
+        let c = OpCounters {
+            matmul_calls: 1,
+            matmul_flops: 2_000_000_000,
+            conv_calls: 3,
+            conv_flops: 4,
+            bytes_moved: 5 * 1024 * 1024,
+        };
+        assert_eq!(c.fields().len(), 5);
+        let s = c.summary();
+        assert!(s.contains("2.000 GFLOP"), "{s}");
+        assert!(s.contains("5.00 MiB"), "{s}");
+        assert_eq!(c.delta(&c), OpCounters::default());
+    }
+}

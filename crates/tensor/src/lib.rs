@@ -10,7 +10,9 @@
 //!   (forward and backward) in NCHW layout,
 //! * max/average pooling with backward passes,
 //! * numerically stable softmax / log-sum-exp / cross-entropy,
-//! * deterministic random initialisation (uniform, normal, Xavier/Kaiming).
+//! * deterministic random initialisation (uniform, normal, Xavier/Kaiming),
+//! * opt-in op-level profiling [`counters`] (FLOPs / bytes moved per kernel,
+//!   off by default behind one relaxed atomic load).
 //!
 //! The library is deliberately *not* an autograd engine: the companion
 //! `fedcav-nn` crate implements explicit layer-by-layer backward passes on
@@ -19,6 +21,7 @@
 //! aggregation weights.
 
 pub mod conv;
+pub mod counters;
 pub mod error;
 pub mod im2col;
 pub mod init;
@@ -28,6 +31,7 @@ pub mod reduce;
 pub mod shape;
 pub mod tensor;
 
+pub use counters::OpCounters;
 pub use error::TensorError;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -301,6 +301,7 @@ impl Tensor {
                 rhs: b_dims.to_vec(),
             });
         }
+        crate::counters::record_matmul(m, k, n);
         let mut out = vec![0.0f32; m * n];
         let a = &self.data;
         let b = &rhs.data;
@@ -533,6 +534,21 @@ mod tests {
         assert_eq!(g.dims(), &[2, 2]);
         assert_eq!(g.as_slice(), &[20.0, 21.0, 0.0, 1.0]);
         assert!(a.gather_rows(&[3]).is_err());
+    }
+
+    #[test]
+    fn matmul_records_op_counters() {
+        let _guard = crate::counters::TEST_LOCK.lock().unwrap();
+        let a = Tensor::ones(&[3, 4]);
+        let b = Tensor::ones(&[4, 5]);
+        let before = crate::counters::snapshot();
+        crate::counters::enable();
+        a.matmul(&b).unwrap();
+        crate::counters::disable();
+        let d = crate::counters::snapshot().delta(&before);
+        assert!(d.matmul_calls >= 1);
+        assert!(d.matmul_flops >= 2 * 3 * 4 * 5);
+        assert!(d.bytes_moved >= 4 * (12 + 20 + 15));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! The structured event record: name + kind + timestamps + key/value fields.
+
+/// A field value. Deliberately small: unsigned integers (counters, sizes,
+/// round indices), floats (losses, seconds), booleans and strings. Signed
+/// integers are not a variant so that the JSONL form round-trips without a
+/// type tag (negative numbers parse as floats).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, byte totals, round indices).
+    U64(u64),
+    /// Floating point (losses, accuracies, seconds).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form string (labels, reasons).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// What an [`Event`] represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed region: `at_ns` is the start, `dur_ns` the duration.
+    Span,
+    /// A point-in-time marker; `dur_ns` is zero.
+    Instant,
+    /// A counter sample (e.g. FLOP totals); `dur_ns` is zero.
+    Counter,
+}
+
+impl EventKind {
+    /// Stable lower-case name used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+            EventKind::Counter => "counter",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    pub fn from_str(s: &str) -> Option<EventKind> {
+        match s {
+            "span" => Some(EventKind::Span),
+            "instant" => Some(EventKind::Instant),
+            "counter" => Some(EventKind::Counter),
+            _ => None,
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event name (phase taxonomy: `round.training`, `round.eval`…).
+    pub name: String,
+    /// Span / instant / counter.
+    pub kind: EventKind,
+    /// Nanoseconds since the tracer's epoch (its creation time).
+    pub at_ns: u64,
+    /// Duration in nanoseconds (zero for instants and counters).
+    pub dur_ns: u64,
+    /// Key/value payload, in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// New instant event at `at_ns` with no fields.
+    pub fn instant(name: impl Into<String>, at_ns: u64) -> Self {
+        Event { name: name.into(), kind: EventKind::Instant, at_ns, dur_ns: 0, fields: Vec::new() }
+    }
+
+    /// New counter event at `at_ns` with no fields.
+    pub fn counter(name: impl Into<String>, at_ns: u64) -> Self {
+        Event { name: name.into(), kind: EventKind::Counter, at_ns, dur_ns: 0, fields: Vec::new() }
+    }
+
+    /// Builder-style field append.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let e = Event::instant("round.start", 10).with("round", 3usize).with("note", "hi");
+        assert_eq!(e.field("round"), Some(&Value::U64(3)));
+        assert_eq!(e.field("note"), Some(&Value::Str("hi".into())));
+        assert_eq!(e.field("missing"), None);
+        assert_eq!(e.dur_ns, 0);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in [EventKind::Span, EventKind::Instant, EventKind::Counter] {
+            assert_eq!(EventKind::from_str(k.as_str()), Some(k));
+        }
+        assert_eq!(EventKind::from_str("bogus"), None);
+    }
+}

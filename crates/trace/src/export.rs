@@ -1,0 +1,435 @@
+//! JSONL / CSV serialization of trace events, hand-rolled on std only.
+//!
+//! One JSON object per line:
+//!
+//! ```json
+//! {"name":"round.training","kind":"span","at_ns":120,"dur_ns":980,"fields":{"round":0}}
+//! ```
+//!
+//! [`parse_jsonl`] round-trips this exact format (a deliberately small JSON
+//! subset: one flat object per line, scalar field values). Non-finite floats
+//! are serialized as the strings `"NaN"` / `"inf"` / `"-inf"` — valid JSON,
+//! but they parse back as strings, so keep non-finite values out of fields
+//! that must round-trip.
+
+use crate::event::{Event, EventKind, Value};
+use std::fmt::Write as _;
+
+/// Serialize events to JSONL (one JSON object per line, trailing newline).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        write!(
+            out,
+            "{{\"name\":{},\"kind\":\"{}\",\"at_ns\":{},\"dur_ns\":{},\"fields\":{{",
+            json_string(&e.name),
+            e.kind.as_str(),
+            e.at_ns,
+            e.dur_ns
+        )
+        .expect("writing to String cannot fail");
+        for (i, (k, v)) in e.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(k));
+            out.push(':');
+            out.push_str(&json_value(v));
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Serialize events to CSV with header `name,kind,at_ns,dur_ns,fields`;
+/// fields are packed as `key=value` pairs joined by `;`.
+pub fn to_csv(events: &[Event]) -> String {
+    let mut out = String::from("name,kind,at_ns,dur_ns,fields\n");
+    for e in events {
+        let fields = e
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}={}", plain_value(v)))
+            .collect::<Vec<_>>()
+            .join(";");
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            csv_escape(&e.name),
+            e.kind.as_str(),
+            e.at_ns,
+            e.dur_ns,
+            csv_escape(&fields)
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Serialize to JSONL and write to `path`.
+pub fn write_jsonl(path: impl AsRef<std::path::Path>, events: &[Event]) -> std::io::Result<()> {
+    std::fs::write(path, to_jsonl(events))
+}
+
+/// A JSONL parse failure: line number (1-based) and description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace JSONL line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the JSONL form produced by [`to_jsonl`] back into events.
+pub fn parse_jsonl(input: &str) -> Result<Vec<Event>, ParseError> {
+    let mut events = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut p = Parser { bytes: line.as_bytes(), pos: 0, line: idx + 1 };
+        events.push(p.event()?);
+    }
+    Ok(events)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail")
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::F64(f) if f.is_finite() => {
+            // `{:?}` is Rust's shortest round-trip float form; force a
+            // fractional marker so the parser types it back as F64.
+            let s = format!("{f:?}");
+            if s.contains('.') || s.contains('e') || s.contains('E') || s.contains('-') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::F64(f) if f.is_nan() => json_string("NaN"),
+        Value::F64(f) if *f > 0.0 => json_string("inf"),
+        Value::F64(_) => json_string("-inf"),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => json_string(s),
+    }
+}
+
+fn plain_value(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::F64(f) => format!("{f:?}"),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => s.clone(),
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Minimal recursive-descent parser for the flat-object JSON subset the
+/// exporter emits.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}' at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-utf8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("missing value"))? {
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            _ => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ascii digits are utf8");
+                if s.is_empty() {
+                    return Err(self.err(format!("expected value at byte {start}")));
+                }
+                if s.bytes().any(|b| matches!(b, b'.' | b'e' | b'E' | b'-')) {
+                    s.parse::<f64>().map(Value::F64).map_err(|_| self.err(format!("bad float {s}")))
+                } else {
+                    s.parse::<u64>().map(Value::U64).map_err(|_| self.err(format!("bad int {s}")))
+                }
+            }
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected literal {lit}")))
+        }
+    }
+
+    fn event(&mut self) -> Result<Event, ParseError> {
+        self.expect(b'{')?;
+        let mut name = None;
+        let mut kind = None;
+        let mut at_ns = None;
+        let mut dur_ns = None;
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                break;
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "name" => name = Some(self.string()?),
+                "kind" => {
+                    let k = self.string()?;
+                    kind = Some(
+                        EventKind::from_str(&k)
+                            .ok_or_else(|| self.err(format!("unknown kind {k}")))?,
+                    );
+                }
+                "at_ns" => at_ns = Some(self.u64_value()?),
+                "dur_ns" => dur_ns = Some(self.u64_value()?),
+                "fields" => fields = self.fields_object()?,
+                other => return Err(self.err(format!("unknown key {other}"))),
+            }
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            }
+        }
+        Ok(Event {
+            name: name.ok_or_else(|| self.err("missing name"))?,
+            kind: kind.ok_or_else(|| self.err("missing kind"))?,
+            at_ns: at_ns.ok_or_else(|| self.err("missing at_ns"))?,
+            dur_ns: dur_ns.ok_or_else(|| self.err("missing dur_ns"))?,
+            fields,
+        })
+    }
+
+    fn u64_value(&mut self) -> Result<u64, ParseError> {
+        match self.scalar()? {
+            Value::U64(n) => Ok(n),
+            other => Err(self.err(format!("expected unsigned integer, got {other:?}"))),
+        }
+    }
+
+    fn fields_object(&mut self) -> Result<Vec<(String, Value)>, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(fields);
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.scalar()?));
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event {
+                name: "round.training".into(),
+                kind: EventKind::Span,
+                at_ns: 120,
+                dur_ns: 980,
+                fields: vec![
+                    ("round".into(), Value::U64(0)),
+                    ("clients".into(), Value::U64(4)),
+                    ("mean_loss".into(), Value::F64(0.5)),
+                    ("degraded".into(), Value::Bool(false)),
+                    ("note".into(), Value::Str("it\"s \\ fine\n".into())),
+                ],
+            },
+            Event::counter("tensor.ops", 2000).with("matmul_flops", 123456789usize),
+            Event::instant("round.complete", 3000).with("accuracy", 0.875f64),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let evs = events();
+        let jsonl = to_jsonl(&evs);
+        assert_eq!(jsonl.lines().count(), evs.len());
+        let back = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn float_forms_round_trip() {
+        for f in [0.0f64, 1.0, -2.5, 1e-12, 3.333333333333333e15] {
+            let e = Event::instant("f", 0).with("v", f);
+            let back = parse_jsonl(&to_jsonl(&[e.clone()])).unwrap();
+            assert_eq!(back[0], e, "float {f}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_strings() {
+        let e = Event::instant("f", 0).with("v", f64::NAN);
+        let jsonl = to_jsonl(&[e]);
+        assert!(jsonl.contains("\"NaN\""));
+        let back = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(back[0].field("v"), Some(&Value::Str("NaN".into())));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_event() {
+        let evs = vec![
+            Event::counter("tensor.ops", 10).with("matmul_flops", 99usize).with("ok", true),
+            Event::instant("round,complete", 20).with("accuracy", 0.875f64),
+        ];
+        let csv = to_csv(&evs);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "name,kind,at_ns,dur_ns,fields");
+        assert_eq!(lines.len(), 1 + evs.len());
+        assert_eq!(lines[1], "tensor.ops,counter,10,0,matmul_flops=99;ok=true");
+        // Names containing commas stay one CSV cell via quoting.
+        assert!(lines[2].starts_with("\"round,complete\",instant,20,0,"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = parse_jsonl("{\"name\":\"a\"}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 1, "first line is missing keys");
+        let err2 = parse_jsonl(&format!("{}not json\n", to_jsonl(&events()))).unwrap_err();
+        assert_eq!(err2.line, events().len() + 1);
+        assert!(err2.to_string().contains("line"));
+    }
+
+    #[test]
+    fn empty_and_blank_lines_are_skipped() {
+        assert_eq!(parse_jsonl("").unwrap(), vec![]);
+        let evs = events();
+        let padded = format!("\n{}\n\n", to_jsonl(&evs));
+        assert_eq!(parse_jsonl(&padded).unwrap(), evs);
+    }
+}

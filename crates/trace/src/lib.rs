@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # fedcav-trace
+//!
+//! A dependency-free (std-only) structured tracing and profiling layer for
+//! the FedCav stack. The simulated `latency` module in `fedcav-fl` models
+//! *pretend* time; this crate measures *real* time, so every future
+//! performance PR has a substrate to regress against.
+//!
+//! Three pieces:
+//!
+//! * [`Tracer`] — the sink interface. [`NoopTracer`] is the default and
+//!   costs one virtual call per span (no allocation, no clock read beyond
+//!   the phase timing the round loop keeps anyway); [`CollectingTracer`]
+//!   buffers [`Event`]s in memory with nanosecond timestamps for export.
+//! * [`PhaseTimings`] — the fixed per-round phase taxonomy (sampling →
+//!   training → delivery → validation → aggregation → evaluation) recorded
+//!   into every `RoundRecord` by the round loop.
+//! * [`export`] — JSONL / CSV serialization (hand-rolled, std-only) plus a
+//!   parser for round-tripping the JSONL form.
+//!
+//! Tracing never influences simulation results: spans only *observe* wall
+//! time, so a run under [`NoopTracer`] (or any tracer) is bit-identical to
+//! an untraced run for the same seed.
+
+pub mod event;
+pub mod export;
+pub mod phases;
+pub mod tracer;
+
+pub use event::{Event, EventKind, Value};
+pub use phases::PhaseTimings;
+pub use tracer::{CollectingTracer, NoopTracer, Span, Tracer};

@@ -1,0 +1,134 @@
+//! The per-round phase taxonomy and its timing record.
+
+/// Wall-clock nanoseconds spent in each phase of one communication round.
+///
+/// The round loop always fills this in (six `Instant` reads per round —
+/// negligible next to local training), independent of whether a tracer is
+/// installed, so every `RoundRecord` carries real profiling data.
+///
+/// Phase taxonomy (in execution order):
+/// 1. `sampling` — availability query + client sampling,
+/// 2. `training` — rayon-parallel local training incl. fault injection,
+/// 3. `delivery` — deadline arbitration, telemetry, uplink accounting,
+/// 4. `validation` — server-side update validation / quarantine,
+/// 5. `aggregation` — strategy aggregate (incl. detection / reversal),
+/// 6. `evaluation` — server-side test-set evaluation.
+///
+/// `total_ns` is measured independently around the whole round, so
+/// `phase_sum_ns() <= total_ns` up to clock granularity; the gap is the
+/// (tiny) untimed bookkeeping between phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Availability query + client sampling.
+    pub sampling_ns: u64,
+    /// Parallel local training (the dominant phase on healthy rounds).
+    pub training_ns: u64,
+    /// Delivery/deadline arbitration and comm accounting.
+    pub delivery_ns: u64,
+    /// Server-side validation / quarantine.
+    pub validation_ns: u64,
+    /// Strategy aggregation, detection and any reversal.
+    pub aggregation_ns: u64,
+    /// Server-side evaluation of the new global model.
+    pub evaluation_ns: u64,
+    /// Whole-round wall time, measured independently.
+    pub total_ns: u64,
+}
+
+impl PhaseTimings {
+    /// The phases with their stable names, in execution order.
+    pub fn named(&self) -> [(&'static str, u64); 6] {
+        [
+            ("sampling", self.sampling_ns),
+            ("training", self.training_ns),
+            ("delivery", self.delivery_ns),
+            ("validation", self.validation_ns),
+            ("aggregation", self.aggregation_ns),
+            ("evaluation", self.evaluation_ns),
+        ]
+    }
+
+    /// Sum of the six phase durations (excludes inter-phase bookkeeping).
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.named().iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// The slowest phase and its duration.
+    pub fn dominant(&self) -> (&'static str, u64) {
+        self.named().into_iter().max_by_key(|&(_, ns)| ns).expect("six phases")
+    }
+
+    /// Total wall time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// One-line human-readable summary in milliseconds, e.g.
+    /// `total 12.3ms (train 10.1, eval 1.9, agg 0.1, sample 0.0, deliver 0.0, validate 0.0)`.
+    pub fn summary(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        format!(
+            "total {:.1}ms (sample {:.2}, train {:.1}, deliver {:.2}, validate {:.2}, \
+             agg {:.2}, eval {:.1})",
+            ms(self.total_ns),
+            ms(self.sampling_ns),
+            ms(self.training_ns),
+            ms(self.delivery_ns),
+            ms(self.validation_ns),
+            ms(self.aggregation_ns),
+            ms(self.evaluation_ns),
+        )
+    }
+
+    /// Element-wise accumulation (for aggregating across rounds).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.sampling_ns += other.sampling_ns;
+        self.training_ns += other.training_ns;
+        self.delivery_ns += other.delivery_ns;
+        self.validation_ns += other.validation_ns;
+        self.aggregation_ns += other.aggregation_ns;
+        self.evaluation_ns += other.evaluation_ns;
+        self.total_ns += other.total_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhaseTimings {
+        PhaseTimings {
+            sampling_ns: 1,
+            training_ns: 600,
+            delivery_ns: 2,
+            validation_ns: 3,
+            aggregation_ns: 40,
+            evaluation_ns: 50,
+            total_ns: 700,
+        }
+    }
+
+    #[test]
+    fn sum_and_dominant() {
+        let p = sample();
+        assert_eq!(p.phase_sum_ns(), 696);
+        assert_eq!(p.dominant(), ("training", 600));
+        assert!(p.phase_sum_ns() <= p.total_ns);
+    }
+
+    #[test]
+    fn accumulate_adds_elementwise() {
+        let mut a = sample();
+        a.accumulate(&sample());
+        assert_eq!(a.training_ns, 1200);
+        assert_eq!(a.total_ns, 1400);
+    }
+
+    #[test]
+    fn summary_mentions_every_phase() {
+        let s = sample().summary();
+        for phase in ["sample", "train", "deliver", "validate", "agg", "eval", "total"] {
+            assert!(s.contains(phase), "missing {phase} in {s}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Tracer sinks: the [`Tracer`] trait, the free [`NoopTracer`] and the
+//! buffering [`CollectingTracer`], plus the [`Span`] timing helper.
+
+use crate::event::{Event, EventKind, Value};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A sink for trace events.
+///
+/// Implementations must be cheap when disabled: the round loop consults
+/// [`Tracer::enabled`] before building field vectors, so a disabled tracer
+/// costs one virtual call per span and allocates nothing.
+pub trait Tracer: Send + Sync {
+    /// Whether events are being recorded. Callers should skip constructing
+    /// expensive payloads when this is `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Nanoseconds since this tracer's epoch (0 for a disabled tracer).
+    fn now_ns(&self) -> u64 {
+        0
+    }
+
+    /// Record one event. Disabled tracers drop it.
+    fn record(&self, _event: Event) {}
+}
+
+/// The default tracer: records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}
+
+/// Buffers every event in memory, timestamped against the tracer's
+/// creation instant. Thread-safe: rayon workers and the round loop can
+/// record concurrently.
+#[derive(Debug)]
+pub struct CollectingTracer {
+    epoch: Instant,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Default for CollectingTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollectingTracer {
+    /// New empty tracer; its epoch (timestamp zero) is now.
+    pub fn new() -> Self {
+        CollectingTracer { epoch: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    /// Snapshot of the events recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("tracer lock poisoned").clone()
+    }
+
+    /// Drain the buffer, returning everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("tracer lock poisoned"))
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("tracer lock poisoned").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Tracer for CollectingTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn record(&self, event: Event) {
+        self.events.lock().expect("tracer lock poisoned").push(event);
+    }
+}
+
+/// A started timed region. Measures wall time with its own [`Instant`]
+/// regardless of the sink, so callers can reuse the measurement (the round
+/// loop feeds it into `PhaseTimings`) even when tracing is off.
+#[must_use = "call finish() to obtain the duration / emit the span"]
+pub struct Span<'a> {
+    tracer: &'a dyn Tracer,
+    name: &'static str,
+    start_ns: u64,
+    wall: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Start a span named `name` against `tracer`.
+    pub fn begin(tracer: &'a dyn Tracer, name: &'static str) -> Self {
+        Span { tracer, name, start_ns: tracer.now_ns(), wall: Instant::now() }
+    }
+
+    /// End the span: returns the measured duration in nanoseconds and, when
+    /// the tracer is enabled, records a span event carrying `fields`.
+    pub fn finish(self, fields: Vec<(String, Value)>) -> u64 {
+        let dur_ns = self.wall.elapsed().as_nanos() as u64;
+        if self.tracer.enabled() {
+            self.tracer.record(Event {
+                name: self.name.to_string(),
+                kind: EventKind::Span,
+                at_ns: self.start_ns,
+                dur_ns,
+                fields,
+            });
+        }
+        dur_ns
+    }
+
+    /// End the span with no fields.
+    pub fn done(self) -> u64 {
+        self.finish(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_records_nothing_and_reports_disabled() {
+        let t = NoopTracer;
+        assert!(!t.enabled());
+        assert_eq!(t.now_ns(), 0);
+        t.record(Event::instant("x", 0)); // must not panic
+        let dur = Span::begin(&t, "work").done();
+        // Duration is still measured even without a sink.
+        let _ = dur;
+    }
+
+    #[test]
+    fn collecting_tracer_buffers_in_order() {
+        let t = CollectingTracer::new();
+        assert!(t.is_empty());
+        t.record(Event::instant("a", 1));
+        t.record(Event::counter("b", 2).with("n", 7usize));
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "a");
+        assert_eq!(evs[1].field("n"), Some(&Value::U64(7)));
+        assert_eq!(t.take().len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn span_emits_with_fields_and_monotonic_timestamps() {
+        let t = CollectingTracer::new();
+        let span = Span::begin(&t, "phase.test");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let dur = span.finish(vec![("round".to_string(), Value::U64(0))]);
+        assert!(dur >= 1_000_000, "slept 2ms but measured {dur}ns");
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::Span);
+        assert_eq!(evs[0].dur_ns, dur);
+        assert!(t.now_ns() >= evs[0].at_ns + evs[0].dur_ns);
+    }
+
+    #[test]
+    fn tracer_is_object_and_thread_safe() {
+        let t: std::sync::Arc<dyn Tracer> = std::sync::Arc::new(CollectingTracer::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || t.record(Event::instant("t", i)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -13,8 +13,10 @@ use fedcav::fl::{
     SimulationConfig,
 };
 use fedcav::nn::{codec, models};
+use fedcav::trace::{export, CollectingTracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train, test) = SyntheticConfig::new(SyntheticKind::MnistLike, 40, 10).generate()?;
@@ -82,6 +84,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }));
     sim.set_fault_policy(FaultPolicy { deadline: Some(20.0), min_quorum: 2, max_param_norm: None });
 
+    // Profile the run: structured span events + op-level kernel counters.
+    // Tracing only observes — results are identical with or without it.
+    let tracer = Arc::new(CollectingTracer::new());
+    sim.set_tracer(tracer.clone());
+    fedcav::tensor::counters::enable();
+
     println!("\nround\tsampled\tdropped\tquarantined\ttimed-out\taccuracy");
     for round in 1..=12 {
         let r = sim.run_round()?;
@@ -111,5 +119,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         comm.total_down as f64 / (1024.0 * 1024.0),
         comm.total_up as f64 / (1024.0 * 1024.0)
     );
+
+    println!("\nphase profile (wall time per round):");
+    for r in &h.records {
+        println!("  round {}\t{}", r.round + 1, r.phases.summary());
+    }
+    let totals = h.total_phase_timings();
+    let (dominant, _) = totals.dominant();
+    println!("  totals\t{} — dominant phase: {dominant}", totals.summary());
+    println!("kernel work: {}", fedcav::tensor::counters::snapshot().summary());
+
+    let trace_path = std::env::var("FEDCAV_TRACE_OUT")
+        .unwrap_or_else(|_| "target/realistic_deployment.trace.jsonl".to_string());
+    let events = tracer.take();
+    export::write_jsonl(&trace_path, &events)?;
+    println!("wrote {} trace events to {trace_path}", events.len());
     Ok(())
 }

@@ -9,7 +9,9 @@
 //!   centralized baseline, round loop),
 //! * [`core`] — the paper's contribution: FedCav aggregation, loss clipping,
 //!   anomaly detection and model reverse,
-//! * [`attack`] — model replacement / label flipping adversaries.
+//! * [`attack`] — model replacement / label flipping adversaries,
+//! * [`trace`] — std-only structured tracing/profiling (spans, per-round
+//!   phase timings, op-level FLOP counters, JSONL/CSV export).
 //!
 //! See `examples/quickstart.rs` for a minimal end-to-end run.
 
@@ -19,3 +21,4 @@ pub use fedcav_data as data;
 pub use fedcav_fl as fl;
 pub use fedcav_nn as nn;
 pub use fedcav_tensor as tensor;
+pub use fedcav_trace as trace;

@@ -1,0 +1,138 @@
+//! Findings: what a rule reports, and how it is rendered.
+
+use std::fmt;
+
+/// How bad a finding is. Every FedCav invariant rule reports [`Severity::Error`]
+/// — they encode correctness properties of the aggregation path, not style —
+/// so `--deny` treats any finding as fatal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; never fails a `--deny` run on its own. Reserved for future
+    /// rules — the current set is all errors.
+    Warning,
+    /// An invariant violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes) of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Name of the rule that fired (kebab-case).
+    pub rule: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Human-oriented explanation, including the suggested fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `path:line:col: severity[rule]: message` — the compiler-ish one-liner.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}]: {}",
+            self.file, self.line, self.col, self.severity, self.rule, self.message
+        )
+    }
+
+    /// This finding as one flat JSON object.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"severity\":{},\"message\":{}}}",
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(self.rule),
+            json_str(&self.severity.to_string()),
+            json_str(&self.message)
+        )
+    }
+}
+
+/// Render findings as a JSON array (one object per line, machine-stable).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&d.json());
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            file: "crates/fl/src/server.rs".to_string(),
+            line: 7,
+            col: 13,
+            rule: "no-panic-in-round-loop",
+            severity: Severity::Error,
+            message: "say \"no\"\tto panics".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_format_is_compilerish() {
+        assert!(diag()
+            .human()
+            .starts_with("crates/fl/src/server.rs:7:13: error[no-panic-in-round-loop]:"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_tabs() {
+        let j = diag().json();
+        assert!(j.contains("\\\"no\\\""), "{j}");
+        assert!(j.contains("\\t"), "{j}");
+        assert!(j.contains("\"line\":7"), "{j}");
+    }
+
+    #[test]
+    fn json_array_shape() {
+        let j = render_json(&[diag(), diag()]);
+        assert!(j.starts_with("[\n"));
+        assert!(j.ends_with(']'));
+        assert_eq!(j.matches("\"rule\"").count(), 2);
+        assert_eq!(render_json(&[]), "[\n]");
+    }
+}

@@ -1,0 +1,122 @@
+//! Drives the rules over source files: path scoping, test-region and
+//! suppression filtering, deterministic ordering.
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::rules::{default_rules, Config, Rule, SourceFile};
+use crate::suppress::BAD_SUPPRESSION;
+use std::fs;
+use std::path::Path;
+
+/// A configured rule set ready to lint files.
+pub struct Engine {
+    rules: Vec<Box<dyn Rule>>,
+    config: Config,
+}
+
+impl Engine {
+    /// The standard engine: all rules, the given scoping config.
+    pub fn with_default_rules(config: Config) -> Engine {
+        Engine { rules: default_rules(), config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// `(name, description)` of every registered rule.
+    pub fn rule_list(&self) -> Vec<(&'static str, &'static str)> {
+        self.rules.iter().map(|r| (r.name(), r.description())).collect()
+    }
+
+    /// Lint one file's source text. `path` must be the workspace-relative,
+    /// forward-slash form — it is matched against the config and reported in
+    /// findings verbatim.
+    pub fn lint_source(&self, path: &str, src: &str) -> Vec<Diagnostic> {
+        if !self.config.lints_path(path) {
+            return Vec::new();
+        }
+        let (file, mut diags) = SourceFile::parse(path, src);
+        // An allow naming a rule that doesn't exist silences nothing — most
+        // likely a typo that leaves a real finding uncovered. Flag it.
+        for s in &file.suppressions {
+            if !self.rules.iter().any(|r| r.name() == s.rule) {
+                diags.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    rule: BAD_SUPPRESSION,
+                    severity: Severity::Error,
+                    message: format!("allow of unknown rule `{}` (typo?)", s.rule),
+                });
+            }
+        }
+        let code = file.code();
+        for rule in &self.rules {
+            let scope = self.config.rules_for(rule.name());
+            if let Some(scope) = scope {
+                if !scope.applies_to(path) {
+                    continue;
+                }
+            }
+            let skip_tests = scope.map(|s| s.skip_test_code).unwrap_or(false);
+            let mut found = Vec::new();
+            rule.check(&file, &code, &mut found);
+            found.retain(|d| !(skip_tests && file.in_test_code(d.line)));
+            found.retain(|d| !file.suppressed(d.rule, d.line));
+            diags.extend(found);
+        }
+        diags.sort_by_key(|d| (d.line, d.col));
+        diags
+    }
+
+    /// Lint a list of files under `root`. Paths are reported relative to
+    /// `root`. Returns `(findings, io_errors)` — an unreadable file is an
+    /// error string, never a crash or a silent skip.
+    pub fn lint_files(&self, root: &Path, files: &[std::path::PathBuf]) -> (Vec<Diagnostic>, Vec<String>) {
+        let mut diags = Vec::new();
+        let mut errors = Vec::new();
+        for f in files {
+            let rel = f.strip_prefix(root).unwrap_or(f);
+            let rel = rel.to_string_lossy().replace('\\', "/");
+            match fs::read_to_string(f) {
+                Ok(src) => diags.extend(self.lint_source(&rel, &src)),
+                Err(e) => errors.push(format!("{}: {e}", f.display())),
+            }
+        }
+        diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+        (diags, errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::with_default_rules(Config::fedcav_default())
+    }
+
+    #[test]
+    fn globally_excluded_paths_yield_nothing() {
+        let d = engine().lint_source("crates/fl/tests/x.rs", "fn f() { a.partial_cmp(b).unwrap(); }");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_by_position() {
+        let src = "fn f(x: f32, y: f32) {\n    let _ = x.partial_cmp(&y).unwrap();\n    let _ = x.exp();\n}\n";
+        let d = engine().lint_source("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 2);
+        assert!(d[0].line <= d[1].line);
+    }
+
+    #[test]
+    fn rule_list_names_all_rules() {
+        let names: Vec<&str> = engine().rule_list().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["no-panic-in-round-loop", "raw-exp-ln", "unchecked-float-cmp", "no-debug-output"]
+        );
+    }
+}

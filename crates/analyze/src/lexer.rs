@@ -1,0 +1,463 @@
+//! A small Rust lexer producing position-annotated tokens.
+//!
+//! The rules in this crate match *token* sequences, never raw text, so a
+//! `"call .unwrap() here"` string literal or a `// .exp() overflows` comment
+//! can never trip a lint. The lexer therefore has to get exactly the tricky
+//! parts of Rust's lexical grammar right: raw strings with arbitrary hash
+//! fences, nested block comments, `'a` lifetimes vs `'a'` char literals,
+//! string escapes, raw identifiers and shebang lines. It is deliberately
+//! *tolerant*: malformed input (an unterminated string, a stray byte) still
+//! produces a token stream rather than an error — a linter that dies on the
+//! file it is checking helps nobody.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1_000u64`, `0.5e-3`).
+    Number,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `// …` line comment (includes doc comments `///` and `//!`).
+    LineComment,
+    /// `/* … */` block comment, nesting respected (may span lines).
+    BlockComment,
+    /// A single punctuation character (`.`, `[`, `!`, …). Multi-character
+    /// operators are emitted as consecutive single-character tokens, which
+    /// is all the rule matchers need.
+    Punct,
+}
+
+/// One lexeme with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// The exact source text of the lexeme.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment (trivia for the rule matchers).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consume characters while `f` holds, appending to `buf`.
+    fn take_while(&mut self, buf: &mut String, f: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !f(c) {
+                break;
+            }
+            buf.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize Rust source. Never fails; see the module docs for the tolerance
+/// policy.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+
+    // A shebang (`#!/usr/bin/env …`) is only special on the very first
+    // line, and only when not an inner attribute (`#![…]`).
+    if lx.peek() == Some('#') && lx.peek_at(1) == Some('!') && lx.peek_at(2) != Some('[') {
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+        lx.take_while(&mut text, |c| c != '\n');
+        out.push(Token { kind: TokenKind::LineComment, text, line, col });
+    }
+
+    while let Some(c) = lx.peek() {
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && lx.peek_at(1) == Some('/') {
+            let mut text = String::new();
+            lx.take_while(&mut text, |c| c != '\n');
+            out.push(Token { kind: TokenKind::LineComment, text, line, col });
+            continue;
+        }
+        if c == '/' && lx.peek_at(1) == Some('*') {
+            let mut text = String::new();
+            text.push(lx.bump().unwrap_or('/'));
+            text.push(lx.bump().unwrap_or('*'));
+            let mut depth = 1usize;
+            while depth > 0 {
+                match lx.peek() {
+                    Some('/') if lx.peek_at(1) == Some('*') => {
+                        depth += 1;
+                        text.push(lx.bump().unwrap_or('/'));
+                        text.push(lx.bump().unwrap_or('*'));
+                    }
+                    Some('*') if lx.peek_at(1) == Some('/') => {
+                        depth -= 1;
+                        text.push(lx.bump().unwrap_or('*'));
+                        text.push(lx.bump().unwrap_or('/'));
+                    }
+                    Some(_) => {
+                        if let Some(ch) = lx.bump() {
+                            text.push(ch);
+                        }
+                    }
+                    None => break, // unterminated: tolerate
+                }
+            }
+            out.push(Token { kind: TokenKind::BlockComment, text, line, col });
+            continue;
+        }
+
+        // Raw strings and raw identifiers: r"…", r#"…"#, r#ident.
+        if c == 'r' {
+            let mut hashes = 0usize;
+            while lx.peek_at(1 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if lx.peek_at(1 + hashes) == Some('"') {
+                out.push(lex_raw_string(&mut lx, line, col));
+                continue;
+            }
+            if hashes == 1 && lx.peek_at(2).is_some_and(is_ident_start) {
+                // Raw identifier r#type: one token, prefix included.
+                let mut text = String::new();
+                text.push(lx.bump().unwrap_or('r'));
+                text.push(lx.bump().unwrap_or('#'));
+                lx.take_while(&mut text, is_ident_continue);
+                out.push(Token { kind: TokenKind::Ident, text, line, col });
+                continue;
+            }
+        }
+
+        // Byte strings / byte chars: b"…", br#"…"#, b'…'.
+        if c == 'b' {
+            match lx.peek_at(1) {
+                Some('"') => {
+                    let mut text = String::new();
+                    text.push(lx.bump().unwrap_or('b'));
+                    lex_quoted(&mut lx, &mut text, '"');
+                    out.push(Token { kind: TokenKind::Str, text, line, col });
+                    continue;
+                }
+                Some('\'') => {
+                    let mut text = String::new();
+                    text.push(lx.bump().unwrap_or('b'));
+                    lex_quoted(&mut lx, &mut text, '\'');
+                    out.push(Token { kind: TokenKind::Char, text, line, col });
+                    continue;
+                }
+                Some('r') => {
+                    let mut hashes = 0usize;
+                    while lx.peek_at(2 + hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if lx.peek_at(2 + hashes) == Some('"') {
+                        let mut text = String::new();
+                        text.push(lx.bump().unwrap_or('b'));
+                        let mut t = lex_raw_string(&mut lx, line, col);
+                        text.push_str(&t.text);
+                        t.text = text;
+                        out.push(t);
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if is_ident_start(c) {
+            let mut text = String::new();
+            lx.take_while(&mut text, is_ident_continue);
+            out.push(Token { kind: TokenKind::Ident, text, line, col });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut lx, line, col));
+            continue;
+        }
+
+        if c == '"' {
+            let mut text = String::new();
+            lex_quoted(&mut lx, &mut text, '"');
+            out.push(Token { kind: TokenKind::Str, text, line, col });
+            continue;
+        }
+
+        // `'` opens either a char literal or a lifetime. A char literal is
+        // `'` + (escape | single char) + `'`; a lifetime is `'` + ident with
+        // *no* closing quote (`'a`, `'static`, `'_`).
+        if c == '\'' {
+            match lx.peek_at(1) {
+                Some('\\') => {
+                    // Escaped char literal ('\n', '\'', '\u{…}').
+                    let mut text = String::new();
+                    lex_quoted(&mut lx, &mut text, '\'');
+                    out.push(Token { kind: TokenKind::Char, text, line, col });
+                }
+                Some(n) if is_ident_continue(n) && lx.peek_at(2) != Some('\'') => {
+                    // Lifetime: 'a not followed by a closing quote.
+                    let mut text = String::new();
+                    text.push(lx.bump().unwrap_or('\''));
+                    lx.take_while(&mut text, is_ident_continue);
+                    out.push(Token { kind: TokenKind::Lifetime, text, line, col });
+                }
+                Some(_) => {
+                    // Plain char literal ('a', '[', even '''). Consume the
+                    // quote, the payload char, and a closing quote if there.
+                    let mut text = String::new();
+                    text.push(lx.bump().unwrap_or('\''));
+                    if let Some(p) = lx.bump() {
+                        text.push(p);
+                    }
+                    if lx.peek() == Some('\'') {
+                        text.push(lx.bump().unwrap_or('\''));
+                    }
+                    out.push(Token { kind: TokenKind::Char, text, line, col });
+                }
+                None => {
+                    lx.bump();
+                    out.push(Token {
+                        kind: TokenKind::Punct,
+                        text: "'".to_string(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            continue;
+        }
+
+        // Everything else: one punctuation character per token.
+        if let Some(p) = lx.bump() {
+            out.push(Token { kind: TokenKind::Punct, text: p.to_string(), line, col });
+        }
+    }
+    out
+}
+
+/// Lex a `"…"`- or `'…'`-delimited literal with backslash escapes, starting
+/// at the opening delimiter. Appends the text (delimiters included) to `buf`.
+fn lex_quoted(lx: &mut Lexer, buf: &mut String, delim: char) {
+    if let Some(d) = lx.bump() {
+        buf.push(d); // opening delimiter
+    }
+    while let Some(c) = lx.peek() {
+        if c == '\\' {
+            if let Some(b) = lx.bump() {
+                buf.push(b);
+            }
+            if let Some(esc) = lx.bump() {
+                buf.push(esc);
+            }
+            continue;
+        }
+        if let Some(ch) = lx.bump() {
+            buf.push(ch);
+        }
+        if c == delim {
+            return;
+        }
+    }
+    // Unterminated: tolerate (consumed to EOF).
+}
+
+/// Lex `r"…"` / `r#"…"#` starting at the `r`. The fence is however many
+/// hashes followed the `r`; the body ends at `"` + that many hashes.
+fn lex_raw_string(lx: &mut Lexer, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    text.push(lx.bump().unwrap_or('r')); // 'r'
+    let mut hashes = 0usize;
+    while lx.peek() == Some('#') {
+        hashes += 1;
+        text.push(lx.bump().unwrap_or('#'));
+    }
+    if lx.peek() == Some('"') {
+        text.push(lx.bump().unwrap_or('"'));
+    }
+    loop {
+        match lx.peek() {
+            Some('"') => {
+                // Candidate close: need `hashes` hashes right after.
+                let mut all = true;
+                for k in 0..hashes {
+                    if lx.peek_at(1 + k) != Some('#') {
+                        all = false;
+                        break;
+                    }
+                }
+                text.push(lx.bump().unwrap_or('"'));
+                if all {
+                    for _ in 0..hashes {
+                        text.push(lx.bump().unwrap_or('#'));
+                    }
+                    break;
+                }
+            }
+            Some(_) => {
+                if let Some(c) = lx.bump() {
+                    text.push(c);
+                }
+            }
+            None => break, // unterminated: tolerate
+        }
+    }
+    Token { kind: TokenKind::Str, text, line, col }
+}
+
+/// Lex a numeric literal starting at a digit. Handles `0xFF`, `1_000u64`,
+/// `0.5`, `1e9`, `2.5e-3` — and stops before `..` so ranges stay punctuation
+/// and before `.method()` so method calls on literals stay idents.
+fn lex_number(lx: &mut Lexer, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    loop {
+        lx.take_while(&mut text, |c| c.is_alphanumeric() || c == '_');
+        // `1e-9` / `1E+9`: the sign belongs to the literal only right after
+        // an exponent marker (and not in hex, where `e` is a digit).
+        if !text.starts_with("0x")
+            && !text.starts_with("0X")
+            && (text.ends_with('e') || text.ends_with('E'))
+            && matches!(lx.peek(), Some('+') | Some('-'))
+        {
+            if let Some(s) = lx.bump() {
+                text.push(s);
+            }
+            continue;
+        }
+        // A `.` continues the literal only when followed by a digit
+        // (so `0..10` and `1.max(2)` terminate the number).
+        if lx.peek() == Some('.') && lx.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            if let Some(d) = lx.bump() {
+                text.push(d);
+            }
+            continue;
+        }
+        break;
+    }
+    Token { kind: TokenKind::Number, text, line, col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Ident, "unwrap".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let toks = kinds(r#"let s = "a.unwrap()";"#);
+        assert!(toks.iter().all(|(_, t)| t != "unwrap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn number_does_not_swallow_ranges_or_methods() {
+        let toks = kinds("for i in 0..10 { 1.max(2); 0.5e-3; }");
+        assert!(toks.contains(&(TokenKind::Number, "0".into())));
+        assert!(toks.contains(&(TokenKind::Number, "10".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+        assert!(toks.contains(&(TokenKind::Number, "0.5e-3".into())));
+    }
+
+    #[test]
+    fn hex_e_is_not_an_exponent() {
+        let toks = kinds("0xAE-1");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Number, "0xAE".into()),
+                (TokenKind::Punct, "-".into()),
+                (TokenKind::Number, "1".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Self-hosted static analysis for the FedCav workspace.
+//!
+//! A dependency-free lexical linter that enforces the invariants the rest
+//! of the workspace is built around:
+//!
+//! * [`rules::no_panic::NoPanicInRoundLoop`] — the fault-tolerant round
+//!   loop (PR 1) must degrade on client failure, never panic.
+//! * [`rules::raw_exp_ln::RawExpLn`] — `exp`/`ln` belong behind
+//!   `fedcav-tensor`'s guarded numerics (log-sum-exp, clipped softmax),
+//!   not scattered as raw calls that overflow for large losses.
+//! * [`rules::float_cmp::UncheckedFloatCmp`] — NaN must not panic a sort
+//!   or scramble a median; `total_cmp` only.
+//! * [`rules::debug_output::NoDebugOutput`] — library crates stay silent;
+//!   stdout belongs to the bench harness.
+//!
+//! The pipeline: [`lexer::lex`] turns source into tokens (strings and
+//! comments can never false-positive, because rules match token sequences,
+//! not text); [`rules::SourceFile::parse`] layers on suppression comments
+//! and `#[cfg(test)]` region detection; [`engine::Engine`] applies the
+//! per-path [`rules::Config`] and filters suppressed findings; the
+//! `fedcav-analyze` binary walks the workspace and exits nonzero under
+//! `--deny`.
+//!
+//! Findings are suppressed inline with a mandatory reason:
+//!
+//! ```text
+//! // fedcav-lint: allow(raw-exp-ln, reason = "Box-Muller; u1 clamped away from 0")
+//! ```
+//!
+//! Like `fedcav-trace`, this crate is std-only by design.
+
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+pub use diagnostics::{render_json, Diagnostic, Severity};
+pub use engine::Engine;
+pub use rules::{Config, PathRules, Rule, SourceFile};
+pub use walk::walk_rs_files;

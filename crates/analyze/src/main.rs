@@ -1,0 +1,133 @@
+//! `fedcav-analyze`: lint the workspace.
+//!
+//! ```text
+//! fedcav-analyze [ROOT] [--deny] [--json] [--json-out PATH] [--list-rules]
+//! ```
+//!
+//! * `ROOT` — directory to walk (default: the workspace root containing
+//!   this crate, else the current directory).
+//! * `--deny` — exit 1 if any finding is produced (CI mode).
+//! * `--json` — print findings as a JSON array instead of human lines.
+//! * `--json-out PATH` — additionally write the JSON report to `PATH`.
+//! * `--list-rules` — print the registered rules and exit.
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
+//! `--deny`, 2 usage or IO error.
+
+use fedcav_analyze::{render_json, walk_rs_files, Config, Engine};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    deny: bool,
+    json: bool,
+    json_out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn default_root() -> PathBuf {
+    // When run via `cargo run -p fedcav-analyze`, the workspace root is two
+    // levels above this crate's manifest; fall back to cwd otherwise.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: default_root(),
+        deny: false,
+        json: false,
+        json_out: None,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut root_set = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--json-out" => {
+                let p = args.next().ok_or("--json-out requires a path")?;
+                opts.json_out = Some(PathBuf::from(p));
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if root_set {
+                    return Err(format!("unexpected extra argument `{path}`"));
+                }
+                opts.root = PathBuf::from(path);
+                root_set = true;
+            }
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: fedcav-analyze [ROOT] [--deny] [--json] [--json-out PATH] [--list-rules]";
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) if e == "help" => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("fedcav-analyze: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let engine = Engine::with_default_rules(Config::fedcav_default());
+
+    if opts.list_rules {
+        for (name, desc) in engine.rule_list() {
+            println!("{name}\n    {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !opts.root.is_dir() {
+        eprintln!("fedcav-analyze: `{}` is not a directory", opts.root.display());
+        return ExitCode::from(2);
+    }
+
+    let (files, walk_errors) = walk_rs_files(&opts.root);
+    let (diags, read_errors) = engine.lint_files(&opts.root, &files);
+
+    let mut io_failed = false;
+    for e in walk_errors.iter().chain(&read_errors) {
+        eprintln!("fedcav-analyze: io error: {e}");
+        io_failed = true;
+    }
+
+    if opts.json {
+        println!("{}", render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.human());
+        }
+        eprintln!(
+            "fedcav-analyze: {} file(s) checked, {} finding(s)",
+            files.len(),
+            diags.len()
+        );
+    }
+    if let Some(path) = &opts.json_out {
+        if let Err(e) = std::fs::write(path, render_json(&diags) + "\n") {
+            eprintln!("fedcav-analyze: cannot write {}: {e}", path.display());
+            io_failed = true;
+        }
+    }
+
+    if io_failed {
+        ExitCode::from(2)
+    } else if opts.deny && !diags.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,49 @@
+//! `no-debug-output`: library crates stay silent.
+//!
+//! A `println!`/`dbg!` left in a library crate corrupts the bench
+//! harnesses' machine-readable TSV output (everything under `crates/bench`
+//! parses stdout) and leaks into every downstream binary. Reporting
+//! belongs to the bench/output layer and to binaries; libraries return
+//! data or record trace events.
+
+use super::{Rule, SourceFile};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::{Token, TokenKind};
+
+/// See the module docs.
+pub struct NoDebugOutput;
+
+const OUTPUT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
+
+impl Rule for NoDebugOutput {
+    fn name(&self) -> &'static str {
+        "no-debug-output"
+    }
+
+    fn description(&self) -> &'static str {
+        "no println!/eprintln!/dbg! in library crates: stdout belongs to the bench \
+         harness and binaries; libraries return data or emit trace events"
+    }
+
+    fn check(&self, file: &SourceFile, code: &[&Token], out: &mut Vec<Diagnostic>) {
+        for (i, t) in code.iter().enumerate() {
+            if t.kind == TokenKind::Ident
+                && OUTPUT_MACROS.contains(&t.text.as_str())
+                && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{}!` in a library crate; return the value, or record a \
+                         fedcav-trace event instead",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `unchecked-float-cmp`: NaN must not decide orderings by accident.
+//!
+//! `partial_cmp` on floats returns `None` for NaN. Every downstream
+//! `unwrap()` is a panic waiting for the first corrupted update, and every
+//! `unwrap_or(Equal)` silently makes NaN compare equal to everything —
+//! which in a `sort_by` leaves the vector in an arbitrary,
+//! platform-dependent order (medians, percentiles and argmaxes computed
+//! from it are then garbage). `f32::total_cmp`/`f64::total_cmp` is the
+//! fix: a total order, NaN sorted deterministically to the ends.
+
+use super::{Rule, SourceFile};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::Token;
+
+/// See the module docs.
+pub struct UncheckedFloatCmp;
+
+const SINKS: [&str; 4] = ["unwrap", "expect", "unwrap_or", "unwrap_or_else"];
+
+impl Rule for UncheckedFloatCmp {
+    fn name(&self) -> &'static str {
+        "unchecked-float-cmp"
+    }
+
+    fn description(&self) -> &'static str {
+        "no partial_cmp().unwrap()/unwrap_or(): NaN makes the former panic and the \
+         latter sort nondeterministically; use total_cmp"
+    }
+
+    fn check(&self, file: &SourceFile, code: &[&Token], out: &mut Vec<Diagnostic>) {
+        for (i, t) in code.iter().enumerate() {
+            if !(t.is_punct('.') && code.get(i + 1).is_some_and(|n| n.is_ident("partial_cmp"))) {
+                continue;
+            }
+            let at = code[i + 1];
+            if !code.get(i + 2).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            // Walk past the balanced argument list.
+            let mut depth = 0usize;
+            let mut k = i + 2;
+            while k < code.len() {
+                if code[k].is_punct('(') {
+                    depth += 1;
+                } else if code[k].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            let sink = code
+                .get(k + 1)
+                .filter(|n| n.is_punct('.'))
+                .and_then(|_| code.get(k + 2))
+                .filter(|n| SINKS.contains(&n.text.as_str()));
+            if let Some(sink) = sink {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: at.line,
+                    col: at.col,
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "`partial_cmp().{}()` mishandles NaN (panic or nondeterministic \
+                         order); use `total_cmp` instead",
+                        sink.text
+                    ),
+                });
+            }
+        }
+    }
+}

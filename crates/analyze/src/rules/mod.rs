@@ -1,0 +1,333 @@
+//! The rule framework: parsed source files, the [`Rule`] trait, and
+//! per-path rule configuration.
+
+mod debug_output;
+mod float_cmp;
+mod no_panic;
+mod raw_exp_ln;
+
+pub use debug_output::NoDebugOutput;
+pub use float_cmp::UncheckedFloatCmp;
+pub use no_panic::NoPanicInRoundLoop;
+pub use raw_exp_ln::RawExpLn;
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::suppress::{self, Suppression};
+
+/// A lexed source file plus the derived facts rules need: which lines are
+/// test code, and which suppressions are in force.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Every token, comments included.
+    pub tokens: Vec<Token>,
+    /// Suppressions found in comments.
+    pub suppressions: Vec<Suppression>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lex and pre-analyze a file. The returned diagnostics are malformed
+    /// suppression comments (`bad-suppression`).
+    pub fn parse(path: &str, src: &str) -> (SourceFile, Vec<Diagnostic>) {
+        let tokens = lex(src);
+        let (suppressions, diags) = suppress::scan(path, &tokens);
+        let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        let test_ranges = test_ranges(&code);
+        (SourceFile { path: path.to_string(), tokens, suppressions, test_ranges }, diags)
+    }
+
+    /// The non-comment tokens, in order (what rule matchers scan).
+    pub fn code(&self) -> Vec<&Token> {
+        self.tokens.iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` module or `#[test]` fn.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// Whether a finding of `rule` at `line` is silenced by a suppression.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions.iter().any(|s| s.covers(rule, line))
+    }
+}
+
+/// Find line ranges of test-only items: any item annotated `#[test]`,
+/// `#[cfg(test)]`, or any cfg attribute mentioning `test` (conservatively
+/// including e.g. `#[cfg(any(test, feature = "x"))]`, but *not*
+/// `#[cfg(not(test))]`). The range runs from the attribute to the end of
+/// the item (the matching `}` or the terminating `;`).
+fn test_ranges(code: &[&Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let start_line = code[i].line;
+        let (is_test, after_attr) = scan_attr(code, i + 1);
+        if !is_test {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = after_attr;
+        while j < code.len()
+            && code[j].is_punct('#')
+            && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let (_, next) = scan_attr(code, j + 1);
+            j = next;
+        }
+        // Consume the item: a brace-delimited body, or a `;`-terminated
+        // item if no brace appears first.
+        let mut depth = 0usize;
+        let mut end_line = code.get(j).map(|t| t.line).unwrap_or(start_line);
+        while j < code.len() {
+            let t = code[j];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    end_line = t.line;
+                    j += 1;
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                end_line = t.line;
+                j += 1;
+                break;
+            }
+            end_line = t.line;
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = j;
+    }
+    ranges
+}
+
+/// Scan an attribute whose `[` is at `open`. Returns (mentions-test, index
+/// just past the closing `]`). "Mentions test" means an ident token `test`
+/// appears and no ident `not` does.
+fn scan_attr(code: &[&Token], open: usize) -> (bool, usize) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut k = open;
+    while k < code.len() {
+        let t = code[k];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return (has_test && !has_not, k + 1);
+            }
+        } else if t.kind == TokenKind::Ident {
+            has_test |= t.text == "test";
+            has_not |= t.text == "not";
+        }
+        k += 1;
+    }
+    (false, code.len())
+}
+
+/// A lint rule: scans one file's tokens and reports findings.
+pub trait Rule {
+    /// Kebab-case rule name, used in output, configuration and suppressions.
+    fn name(&self) -> &'static str;
+    /// One-line description of the invariant the rule encodes.
+    fn description(&self) -> &'static str;
+    /// Scan `code` (the file's non-comment tokens) and push findings.
+    fn check(&self, file: &SourceFile, code: &[&Token], out: &mut Vec<Diagnostic>);
+}
+
+/// Where one rule applies, expressed as substring matches on the
+/// workspace-relative path (forward slashes). Empty `include` = everywhere.
+#[derive(Debug, Clone, Default)]
+pub struct PathRules {
+    /// If non-empty, the rule only runs on paths containing one of these.
+    pub include: Vec<String>,
+    /// Paths containing any of these are skipped.
+    pub exclude: Vec<String>,
+    /// Skip findings inside `#[cfg(test)]` / `#[test]` regions.
+    pub skip_test_code: bool,
+}
+
+impl PathRules {
+    /// Whether the rule runs on `path` at all.
+    pub fn applies_to(&self, path: &str) -> bool {
+        if self.exclude.iter().any(|p| path.contains(p.as_str())) {
+            return false;
+        }
+        self.include.is_empty() || self.include.iter().any(|p| path.contains(p.as_str()))
+    }
+}
+
+/// The engine's configuration: global path excludes plus per-rule scoping.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Paths containing any of these are never linted (test suites, bench
+    /// harnesses, examples, build output).
+    pub global_exclude: Vec<String>,
+    /// Per-rule path scoping, keyed by rule name. A rule with no entry runs
+    /// everywhere (minus global excludes), test code included.
+    pub per_rule: Vec<(&'static str, PathRules)>,
+}
+
+impl Config {
+    /// Whether `path` is linted at all.
+    pub fn lints_path(&self, path: &str) -> bool {
+        !self.global_exclude.iter().any(|p| path.contains(p.as_str()))
+    }
+
+    /// The scoping for `rule`, if configured.
+    pub fn rules_for(&self, rule: &str) -> Option<&PathRules> {
+        self.per_rule.iter().find(|(name, _)| *name == rule).map(|(_, p)| p)
+    }
+
+    /// The workspace policy: which invariant holds where.
+    ///
+    /// * `no-panic-in-round-loop` — only the server round loop and the
+    ///   aggregation/validation helpers it drives. The fault-tolerant loop
+    ///   must degrade, never die, so nothing on that path may panic.
+    /// * `raw-exp-ln` — everywhere except `fedcav-tensor::numerics`, the one
+    ///   sanctioned home of clipped/max-subtracted exp/ln (Eq. 7/9, §4.2.3).
+    /// * `unchecked-float-cmp` — everywhere, tests included: `total_cmp` is
+    ///   strictly better and NaN-safe.
+    /// * `no-debug-output` — library crates only: the bench harness and
+    ///   binaries exist to print.
+    pub fn fedcav_default() -> Config {
+        Config {
+            global_exclude: vec![
+                "/target/".to_string(),
+                "tests/".to_string(),
+                "benches/".to_string(),
+                "examples/".to_string(),
+            ],
+            per_rule: vec![
+                (
+                    "no-panic-in-round-loop",
+                    PathRules {
+                        include: vec![
+                            "crates/fl/src/server.rs".to_string(),
+                            "crates/fl/src/aggregate.rs".to_string(),
+                            "crates/fl/src/update.rs".to_string(),
+                        ],
+                        exclude: Vec::new(),
+                        skip_test_code: true,
+                    },
+                ),
+                (
+                    "raw-exp-ln",
+                    PathRules {
+                        include: Vec::new(),
+                        exclude: vec!["crates/tensor/src/numerics.rs".to_string()],
+                        skip_test_code: true,
+                    },
+                ),
+                (
+                    "unchecked-float-cmp",
+                    PathRules { include: Vec::new(), exclude: Vec::new(), skip_test_code: false },
+                ),
+                (
+                    "no-debug-output",
+                    PathRules {
+                        include: Vec::new(),
+                        exclude: vec![
+                            "crates/bench/".to_string(),
+                            "src/bin/".to_string(),
+                            "src/main.rs".to_string(),
+                        ],
+                        skip_test_code: true,
+                    },
+                ),
+            ],
+        }
+    }
+}
+
+/// The full rule set, in reporting order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanicInRoundLoop),
+        Box::new(RawExpLn),
+        Box::new(UncheckedFloatCmp),
+        Box::new(NoDebugOutput),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_lines_are_test_code() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let (f, _) = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(5));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs_is_test_code() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() {\n    x();\n}\n";
+        let (f, _) = SourceFile::parse("x.rs", src);
+        assert!(f.in_test_code(4));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn shipping_code() {\n    y();\n}\n";
+        let (f, _) = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let (f, _) = SourceFile::parse("x.rs", src);
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn path_rules_matching() {
+        let p = PathRules {
+            include: vec!["crates/fl/src/server.rs".to_string()],
+            exclude: vec!["crates/fl/src/server_old.rs".to_string()],
+            skip_test_code: true,
+        };
+        assert!(p.applies_to("crates/fl/src/server.rs"));
+        assert!(!p.applies_to("crates/fl/src/client.rs"));
+        let all = PathRules::default();
+        assert!(all.applies_to("anything.rs"));
+    }
+
+    #[test]
+    fn default_config_scopes_are_sane() {
+        let c = Config::fedcav_default();
+        assert!(!c.lints_path("crates/fl/tests/integration.rs"));
+        assert!(!c.lints_path("crates/bench/benches/kernels.rs"));
+        assert!(c.lints_path("crates/fl/src/server.rs"));
+        let np = c.rules_for("no-panic-in-round-loop").expect("configured");
+        assert!(np.applies_to("crates/fl/src/server.rs"));
+        assert!(!np.applies_to("crates/core/src/weights.rs"));
+        let exp = c.rules_for("raw-exp-ln").expect("configured");
+        assert!(!exp.applies_to("crates/tensor/src/numerics.rs"));
+        assert!(exp.applies_to("crates/fl/src/latency.rs"));
+        let dbg_rule = c.rules_for("no-debug-output").expect("configured");
+        assert!(!dbg_rule.applies_to("crates/bench/src/output.rs"));
+        assert!(!dbg_rule.applies_to("crates/analyze/src/main.rs"));
+        assert!(dbg_rule.applies_to("crates/nn/src/dense.rs"));
+    }
+}

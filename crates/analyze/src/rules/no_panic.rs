@@ -1,0 +1,104 @@
+//! `no-panic-in-round-loop`: the fault-tolerant round loop must degrade,
+//! never die.
+//!
+//! PR 1 made `Simulation::run_round` survive crashing clients, corrupted
+//! uploads and missed deadlines — a client failure costs the round one
+//! contribution, never the whole simulation. A stray `unwrap()` on that
+//! path undoes the entire design: one malformed update panics the server
+//! instead of quarantining the client. This rule bans `unwrap`/`expect`
+//! calls, panicking macros, and `[i]` slice indexing (an implicit panic
+//! point) on the configured aggregation/validation paths.
+
+use super::{Rule, SourceFile};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::{Token, TokenKind};
+
+/// See the module docs.
+pub struct NoPanicInRoundLoop;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords after which a `[` opens an array literal or slice type, not an
+/// index expression (`for x in [..]`, `return [..]`, `&mut [f32]`, …).
+const KEYWORDS: [&str; 22] = [
+    "as", "break", "const", "dyn", "else", "enum", "fn", "for", "if", "impl", "in", "let", "loop",
+    "match", "move", "mut", "ref", "return", "static", "unsafe", "where", "while",
+];
+
+impl Rule for NoPanicInRoundLoop {
+    fn name(&self) -> &'static str {
+        "no-panic-in-round-loop"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panicking macro/[i] indexing on the server aggregation path: \
+         a client failure must cost one contribution, never the round"
+    }
+
+    fn check(&self, file: &SourceFile, code: &[&Token], out: &mut Vec<Diagnostic>) {
+        for (i, t) in code.iter().enumerate() {
+            // `.unwrap(` / `.expect(`
+            if t.is_punct('.')
+                && code.get(i + 1).is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                && code.get(i + 2).is_some_and(|n| n.is_punct('('))
+            {
+                let name = &code[i + 1];
+                out.push(self.diag(
+                    file,
+                    name,
+                    format!(
+                        "`.{}()` can panic the round loop; return a graceful error \
+                         (quarantine/degrade via FaultPolicy) instead",
+                        name.text
+                    ),
+                ));
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+            if t.kind == TokenKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(self.diag(
+                    file,
+                    t,
+                    format!(
+                        "`{}!` aborts the round; a failed client must degrade the round, \
+                         not kill the simulation",
+                        t.text
+                    ),
+                ));
+            }
+            // `expr[i]`: an index expression is a `[` directly after an
+            // identifier, `)` or `]`. (Attributes are `#[`, macros `![`,
+            // array types `: [T; N]` — none of those match.)
+            if t.is_punct('[')
+                && i > 0
+                && ((code[i - 1].kind == TokenKind::Ident
+                    && !KEYWORDS.contains(&code[i - 1].text.as_str()))
+                    || code[i - 1].is_punct(')')
+                    || code[i - 1].is_punct(']'))
+            {
+                out.push(self.diag(
+                    file,
+                    t,
+                    "`[…]` indexing panics out of bounds; use `.get()` / iterators so a \
+                     malformed update degrades gracefully"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+impl NoPanicInRoundLoop {
+    fn diag(&self, file: &SourceFile, at: &Token, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.path.clone(),
+            line: at.line,
+            col: at.col,
+            rule: self.name(),
+            severity: Severity::Error,
+            message,
+        }
+    }
+}

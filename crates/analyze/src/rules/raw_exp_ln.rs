@@ -1,0 +1,56 @@
+//! `raw-exp-ln`: unclipped exponentials are exactly the Eq. 9 hijack.
+//!
+//! FedCav's aggregation weights are `softmax(clip(f))` (Eq. 9 + Alg. 1
+//! line 7): the paper clips losses at their mean and the softmax subtracts
+//! the max *because* a bare `exp()` of a large reported loss overflows to
+//! `inf` and hands one client the entire aggregation weight. All loss-space
+//! exp/ln therefore lives in `fedcav-tensor::numerics` (logsumexp, stable
+//! softmax, cross-entropy), and any bare `.exp()`/`.ln()` elsewhere must
+//! justify itself with an inline allow — either it is not loss-space math
+//! at all (samplers, entropy diagnostics) or it belongs in `numerics`.
+
+use super::{Rule, SourceFile};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::Token;
+
+/// See the module docs.
+pub struct RawExpLn;
+
+impl Rule for RawExpLn {
+    fn name(&self) -> &'static str {
+        "raw-exp-ln"
+    }
+
+    fn description(&self) -> &'static str {
+        "no bare .exp()/.ln() outside fedcav-tensor::numerics: unclipped exp of a \
+         reported loss is the aggregation-weight hijack the paper clips against"
+    }
+
+    fn check(&self, file: &SourceFile, code: &[&Token], out: &mut Vec<Diagnostic>) {
+        for (i, t) in code.iter().enumerate() {
+            if !t.is_punct('.') {
+                continue;
+            }
+            let Some(name) = code.get(i + 1) else { continue };
+            if !(name.is_ident("exp") || name.is_ident("ln")) {
+                continue;
+            }
+            if !code.get(i + 2).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: name.line,
+                col: name.col,
+                rule: self.name(),
+                severity: Severity::Error,
+                message: format!(
+                    "bare `.{}()` outside the sanctioned numerics module; route loss-space \
+                     math through fedcav_tensor::numerics (logsumexp/softmax) or allow with \
+                     a reason why this cannot overflow/poison weights",
+                    name.text
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Inline suppressions.
+//!
+//! A finding can be silenced at the offending site with a comment of the
+//! form `fedcav-lint: allow(raw-exp-ln, reason = "sampling math, not a softmax")`
+//! placed either at the end of the offending line or on the line directly
+//! above it. The reason string is *mandatory* — an allow without a reason is
+//! itself reported (`bad-suppression`), so the allowlist stays auditable.
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::Token;
+
+/// The marker that introduces a suppression inside a comment.
+pub const MARKER: &str = "fedcav-lint:";
+
+/// Rule name used for malformed-suppression findings.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// One parsed suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule being allowed.
+    pub rule: String,
+    /// Line the comment starts on. The suppression covers this line and the
+    /// next one (so it works both trailing and standing above the site).
+    pub line: u32,
+    /// Why the violation is acceptable here (mandatory, non-empty).
+    pub reason: String,
+}
+
+impl Suppression {
+    /// Whether this suppression silences a finding of `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Scan a file's tokens for suppression comments. Malformed ones become
+/// `bad-suppression` diagnostics against `path`.
+pub fn scan(path: &str, tokens: &[Token]) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        let Some(at) = t.text.find(MARKER) else { continue };
+        let rest = &t.text[at + MARKER.len()..];
+        match parse_allow(rest) {
+            Ok((rule, reason)) => sups.push(Suppression { rule, line: t.line, reason }),
+            Err(msg) => diags.push(Diagnostic {
+                file: path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: BAD_SUPPRESSION,
+                severity: Severity::Error,
+                message: msg,
+            }),
+        }
+    }
+    (sups, diags)
+}
+
+/// Parse `allow(<rule>, reason = "<text>")` (whitespace-tolerant) from the
+/// text following the marker. Returns `(rule, reason)`.
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let mut s = rest.trim_start();
+    s = s.strip_prefix("allow").ok_or_else(|| {
+        format!("expected `allow(<rule>, reason = \"…\")` after `{MARKER}`")
+    })?;
+    s = s.trim_start();
+    s = s.strip_prefix('(').ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    s = s.trim_start();
+    let rule_len = s.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-').count();
+    if rule_len == 0 {
+        return Err("expected a rule name inside `allow(…)`".to_string());
+    }
+    let rule = s[..rule_len].to_string();
+    s = s[rule_len..].trim_start();
+    s = s.strip_prefix(',').ok_or_else(|| {
+        format!("suppression of `{rule}` is missing the mandatory `reason = \"…\"`")
+    })?;
+    s = s.trim_start();
+    s = s
+        .strip_prefix("reason")
+        .ok_or_else(|| "expected `reason = \"…\"` after the rule name".to_string())?;
+    s = s.trim_start();
+    s = s.strip_prefix('=').ok_or_else(|| "expected `=` after `reason`".to_string())?;
+    s = s.trim_start();
+    s = s.strip_prefix('"').ok_or_else(|| "reason must be a quoted string".to_string())?;
+    let end = s.find('"').ok_or_else(|| "unterminated reason string".to_string())?;
+    let reason = s[..end].to_string();
+    if reason.trim().is_empty() {
+        return Err(format!("suppression of `{rule}` has an empty reason"));
+    }
+    let after = s[end + 1..].trim_start();
+    if !after.starts_with(')') {
+        return Err("expected `)` closing the allow".to_string());
+    }
+    Ok((rule, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan_src(src: &str) -> (Vec<Suppression>, Vec<Diagnostic>) {
+        scan("f.rs", &lex(src))
+    }
+
+    #[test]
+    fn parses_a_well_formed_allow() {
+        let (sups, diags) =
+            scan_src("let x = 1; // fedcav-lint: allow(raw-exp-ln, reason = \"entropy, not softmax\")");
+        assert!(diags.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].rule, "raw-exp-ln");
+        assert_eq!(sups[0].reason, "entropy, not softmax");
+        assert!(sups[0].covers("raw-exp-ln", 1));
+        assert!(sups[0].covers("raw-exp-ln", 2));
+        assert!(!sups[0].covers("raw-exp-ln", 3));
+        assert!(!sups[0].covers("no-debug-output", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_reported() {
+        let (sups, diags) = scan_src("// fedcav-lint: allow(raw-exp-ln)");
+        assert!(sups.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, BAD_SUPPRESSION);
+        assert!(diags[0].message.contains("reason"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn empty_reason_is_reported() {
+        let (_, diags) = scan_src("// fedcav-lint: allow(raw-exp-ln, reason = \"  \")");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("empty reason"));
+    }
+
+    #[test]
+    fn garbage_after_marker_is_reported() {
+        let (_, diags) = scan_src("// fedcav-lint: deny(everything)");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn marker_inside_string_literal_is_ignored() {
+        let (sups, diags) = scan_src("let s = \"fedcav-lint: allow(nonsense)\";");
+        assert!(sups.is_empty());
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn block_comment_suppression_works() {
+        let (sups, diags) =
+            scan_src("/* fedcav-lint: allow(unchecked-float-cmp, reason = \"fixture\") */");
+        assert!(diags.is_empty());
+        assert_eq!(sups.len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Workspace traversal: find every `.rs` file, deterministically.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// Recursively collect `.rs` files under `root`, sorted, skipping build
+/// output and VCS internals. IO problems are collected, not fatal.
+pub fn walk_rs_files(root: &Path) -> (Vec<PathBuf>, Vec<String>) {
+    let mut files = Vec::new();
+    let mut errors = Vec::new();
+    walk(root, &mut files, &mut errors);
+    files.sort();
+    (files, errors)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>, errors: &mut Vec<String>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("{}: {e}", dir.display()));
+            return;
+        }
+    };
+    for entry in entries {
+        let entry = match entry {
+            Ok(e) => e,
+            Err(e) => {
+                errors.push(format!("{}: {e}", dir.display()));
+                continue;
+            }
+        };
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                walk(&path, files, errors);
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_and_skips_target() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let (files, errors) = walk_rs_files(root);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert!(files.iter().any(|f| f.ends_with("src/walk.rs")));
+        assert!(files.iter().all(|f| !f.components().any(|c| c.as_os_str() == "target")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order is deterministic");
+    }
+}

@@ -1,0 +1,141 @@
+//! Edge cases the lexer must survive without misclassifying tokens — each
+//! one is a way a text-based linter would false-positive.
+
+use fedcav_analyze::lexer::{lex, TokenKind};
+
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+}
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn raw_string_contents_are_opaque() {
+    // `.unwrap()` inside a raw string must not produce ident tokens.
+    let src = r###"let s = r#"x.unwrap() and panic!"#;"###;
+    assert_eq!(idents(src), vec!["let", "s"]);
+    let strs: Vec<_> = lex(src).into_iter().filter(|t| t.kind == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.contains("unwrap"));
+}
+
+#[test]
+fn raw_string_with_more_hashes_than_needed() {
+    let src = "r##\"contains \"# inner\"##";
+    let toks = kinds(src);
+    assert_eq!(toks.len(), 1);
+    assert_eq!(toks[0].0, TokenKind::Str);
+    assert!(toks[0].1.contains("\"# inner"));
+}
+
+#[test]
+fn nested_block_comments_close_correctly() {
+    let src = "/* outer /* inner */ still comment */ after";
+    assert_eq!(idents(src), vec!["after"]);
+}
+
+#[test]
+fn unterminated_block_comment_is_tolerated() {
+    let src = "/* never closed\nunwrap()";
+    // Everything folds into the comment; no ident escapes, no panic.
+    assert!(idents(src).is_empty());
+}
+
+#[test]
+fn lifetime_is_not_a_char_literal() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+    let lifetimes: Vec<_> =
+        lex(src).into_iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+    assert_eq!(lifetimes.len(), 3);
+    assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    assert!(lex(src).iter().all(|t| t.kind != TokenKind::Char));
+}
+
+#[test]
+fn char_literal_is_not_a_lifetime() {
+    let src = "let c = 'a'; let n = '\\n'; let q = '\\'';";
+    let chars: Vec<_> = lex(src).into_iter().filter(|t| t.kind == TokenKind::Char).collect();
+    assert_eq!(chars.len(), 3);
+}
+
+#[test]
+fn static_lifetime_and_char_mix() {
+    let src = "const S: &'static str = \"x\"; let c = 's';";
+    let toks = lex(src);
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Char && t.text == "'s'"));
+}
+
+#[test]
+fn string_escapes_do_not_end_the_literal_early() {
+    let src = r#"let s = "quote \" then .unwrap()"; done"#;
+    assert_eq!(idents(src), vec!["let", "s", "done"]);
+}
+
+#[test]
+fn shebang_line_is_skipped() {
+    let src = "#!/usr/bin/env run-cargo-script\nfn main() {}";
+    assert_eq!(idents(src), vec!["fn", "main"]);
+}
+
+#[test]
+fn inner_attribute_is_not_a_shebang() {
+    // `#![allow(...)]` at file start must still tokenize as `#` `!` `[` ...
+    let src = "#![allow(dead_code)]\nfn main() {}";
+    assert_eq!(idents(src), vec!["allow", "dead_code", "fn", "main"]);
+}
+
+#[test]
+fn raw_identifiers_are_single_tokens() {
+    // `r#type` is one Ident token (prefix included) — crucially NOT a raw
+    // string, and the keyword never escapes as a bare token.
+    let src = "let r#type = 1; let r#match = r#type;";
+    let names = idents(src);
+    assert_eq!(names.iter().filter(|n| n.as_str() == "r#type").count(), 2);
+    assert!(names.iter().any(|n| n == "r#match"));
+    assert!(lex(src).iter().all(|t| t.kind != TokenKind::Str));
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    let src = "let a = b\"bytes.unwrap()\"; let b = b'x'; let c = br#\"raw\"#;";
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+    let strs = lex(src).into_iter().filter(|t| t.kind == TokenKind::Str).count();
+    assert_eq!(strs, 2);
+}
+
+#[test]
+fn numbers_do_not_swallow_method_calls_or_ranges() {
+    let src = "let x = 1.exp(); let r = 0..10; let f = 1.5e-3;";
+    let names = idents(src);
+    assert!(names.contains(&"exp".to_string()), "1.exp() keeps `exp` as an ident");
+    let nums: Vec<_> = lex(src)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Number)
+        .map(|t| t.text)
+        .collect();
+    assert!(nums.contains(&"1.5e-3".to_string()));
+    assert!(nums.contains(&"0".to_string()) && nums.contains(&"10".to_string()));
+}
+
+#[test]
+fn line_and_column_positions_survive_multibyte_text() {
+    let src = "// naïve comment — with dashes\nlet x = 1;\n";
+    let toks = lex(src);
+    let let_tok = toks.iter().find(|t| t.is_ident("let")).unwrap();
+    assert_eq!((let_tok.line, let_tok.col), (2, 1));
+}
+
+#[test]
+fn doc_comments_are_comments() {
+    let src = "/// calls .unwrap() — documented, not executed\nfn f() {}";
+    let toks = lex(src);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::LineComment).count(), 1);
+    assert_eq!(idents(src), vec!["fn", "f"]);
+}

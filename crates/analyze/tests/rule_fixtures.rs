@@ -1,0 +1,208 @@
+//! Seeded-violation fixtures: every rule must fire on its violation, stay
+//! quiet on the compliant variant, and honour its suppression comment.
+
+use fedcav_analyze::{Config, Engine};
+
+fn engine() -> Engine {
+    Engine::with_default_rules(Config::fedcav_default())
+}
+
+/// Lint `src` as if it lived at `path`, returning the rule names that fired.
+fn fired(path: &str, src: &str) -> Vec<String> {
+    engine().lint_source(path, src).into_iter().map(|d| d.rule.to_string()).collect()
+}
+
+const SERVER_PATH: &str = "crates/fl/src/server.rs";
+const LIB_PATH: &str = "crates/core/src/weights.rs";
+
+// ---- no-panic-in-round-loop ------------------------------------------------
+
+#[test]
+fn no_panic_fires_on_unwrap_expect_and_macros() {
+    let src = "fn agg(x: Option<u32>) -> u32 {\n\
+               \x20   let a = x.unwrap();\n\
+               \x20   let b = x.expect(\"msg\");\n\
+               \x20   if a == b { panic!(\"boom\"); }\n\
+               \x20   unreachable!()\n\
+               }\n";
+    let rules = fired(SERVER_PATH, src);
+    assert_eq!(rules.iter().filter(|r| r.as_str() == "no-panic-in-round-loop").count(), 4);
+}
+
+#[test]
+fn no_panic_fires_on_slice_indexing_but_not_array_literals() {
+    let src = "fn f(v: &[f32], i: usize) -> f32 {\n\
+               \x20   for x in [1.0, 2.0] {\n\
+               \x20       let _ = x;\n\
+               \x20   }\n\
+               \x20   let ok: &[usize] = &[1, 2];\n\
+               \x20   let _ = ok.len();\n\
+               \x20   v[i]\n\
+               }\n";
+    let diags = engine().lint_source(SERVER_PATH, src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "no-panic-in-round-loop");
+    assert_eq!(diags[0].line, 7, "only the `v[i]` index expression");
+}
+
+#[test]
+fn no_panic_is_scoped_to_the_round_loop_files() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    assert!(fired(SERVER_PATH, src).contains(&"no-panic-in-round-loop".to_string()));
+    assert!(
+        !fired(LIB_PATH, src).contains(&"no-panic-in-round-loop".to_string()),
+        "out-of-scope files may unwrap"
+    );
+}
+
+#[test]
+fn no_panic_skips_test_code() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               \x20   #[test]\n\
+               \x20   fn t() { Some(1).unwrap(); }\n\
+               }\n";
+    assert!(fired(SERVER_PATH, src).is_empty());
+}
+
+#[test]
+fn no_panic_respects_suppression() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               \x20   // fedcav-lint: allow(no-panic-in-round-loop, reason = \"infallible by construction\")\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    assert!(fired(SERVER_PATH, src).is_empty());
+}
+
+// ---- raw-exp-ln ------------------------------------------------------------
+
+#[test]
+fn raw_exp_ln_fires_outside_numerics() {
+    let src = "fn w(l: f32) -> f32 { l.exp() / (1.0 + l).ln() }";
+    let rules = fired(LIB_PATH, src);
+    assert_eq!(rules.iter().filter(|r| r.as_str() == "raw-exp-ln").count(), 2);
+}
+
+#[test]
+fn raw_exp_ln_is_silent_in_the_numerics_module() {
+    let src = "fn logsumexp(x: f32) -> f32 { x.exp().ln() }";
+    assert!(fired("crates/tensor/src/numerics.rs", src).is_empty());
+}
+
+#[test]
+fn raw_exp_ln_ignores_non_method_idents() {
+    let src = "struct Exp; fn exp() {} fn f() { exp(); let e = Exp; let _ = e; }";
+    assert!(fired(LIB_PATH, src).is_empty(), "only `.exp(`/`.ln(` method calls count");
+}
+
+#[test]
+fn raw_exp_ln_respects_suppression() {
+    let src = "fn f(x: f32) -> f32 {\n\
+               \x20   // fedcav-lint: allow(raw-exp-ln, reason = \"x is clamped to [0, 1]\")\n\
+               \x20   x.exp()\n\
+               }\n";
+    assert!(fired(LIB_PATH, src).is_empty());
+}
+
+// ---- unchecked-float-cmp ---------------------------------------------------
+
+#[test]
+fn float_cmp_fires_on_unwrap_and_unwrap_or() {
+    let src = "fn f(a: f32, b: f32) {\n\
+               \x20   let _ = a.partial_cmp(&b).unwrap();\n\
+               \x20   let _ = a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);\n\
+               }\n";
+    let rules = fired(LIB_PATH, src);
+    assert_eq!(rules.iter().filter(|r| r.as_str() == "unchecked-float-cmp").count(), 2);
+}
+
+#[test]
+fn float_cmp_allows_total_cmp_and_handled_partial_cmp() {
+    let src = "fn f(a: f32, b: f32) -> std::cmp::Ordering {\n\
+               \x20   match a.partial_cmp(&b) {\n\
+               \x20       Some(o) => o,\n\
+               \x20       None => a.total_cmp(&b),\n\
+               \x20   }\n\
+               }\n";
+    assert!(fired(LIB_PATH, src).is_empty());
+}
+
+#[test]
+fn float_cmp_fires_even_in_test_code() {
+    // Nondeterministic sorts in tests produce flaky tests; no test exemption.
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               \x20   #[test]\n\
+               \x20   fn t() { let _ = 1.0f32.partial_cmp(&2.0).unwrap(); }\n\
+               }\n";
+    assert!(fired(LIB_PATH, src).contains(&"unchecked-float-cmp".to_string()));
+}
+
+#[test]
+fn float_cmp_respects_suppression() {
+    let src = "fn f(a: f32, b: f32) {\n\
+               \x20   // fedcav-lint: allow(unchecked-float-cmp, reason = \"inputs proven finite above\")\n\
+               \x20   let _ = a.partial_cmp(&b).unwrap();\n\
+               }\n";
+    assert!(fired(LIB_PATH, src).is_empty());
+}
+
+// ---- no-debug-output -------------------------------------------------------
+
+#[test]
+fn debug_output_fires_in_library_code() {
+    let src = "fn f(x: u32) { println!(\"{x}\"); dbg!(x); eprintln!(\"{x}\"); }";
+    let rules = fired(LIB_PATH, src);
+    assert_eq!(rules.iter().filter(|r| r.as_str() == "no-debug-output").count(), 3);
+}
+
+#[test]
+fn debug_output_is_allowed_in_binaries_and_bench() {
+    let src = "fn main() { println!(\"report\"); }";
+    assert!(fired("crates/bench/src/output.rs", src).is_empty());
+    assert!(fired("src/main.rs", src).is_empty());
+}
+
+#[test]
+fn debug_output_skips_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}\n";
+    assert!(fired(LIB_PATH, src).is_empty());
+}
+
+// ---- suppression machinery -------------------------------------------------
+
+#[test]
+fn suppression_only_covers_its_own_rule() {
+    let src = "fn f(a: f32, b: f32) {\n\
+               \x20   // fedcav-lint: allow(raw-exp-ln, reason = \"wrong rule named\")\n\
+               \x20   let _ = a.partial_cmp(&b).unwrap();\n\
+               }\n";
+    assert!(fired(LIB_PATH, src).contains(&"unchecked-float-cmp".to_string()));
+}
+
+#[test]
+fn suppression_does_not_leak_past_the_next_line() {
+    let src = "fn f(a: f32, b: f32) {\n\
+               \x20   // fedcav-lint: allow(unchecked-float-cmp, reason = \"first only\")\n\
+               \x20   let _ = a.partial_cmp(&b).unwrap();\n\
+               \x20   let _ = b.partial_cmp(&a).unwrap();\n\
+               }\n";
+    let rules = fired(LIB_PATH, src);
+    assert_eq!(rules.iter().filter(|r| r.as_str() == "unchecked-float-cmp").count(), 1);
+}
+
+#[test]
+fn suppression_without_reason_is_itself_a_finding() {
+    let src = "fn f() {\n    // fedcav-lint: allow(raw-exp-ln)\n}\n";
+    let diags = engine().lint_source(LIB_PATH, src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "bad-suppression");
+}
+
+#[test]
+fn unknown_rule_name_in_suppression_is_a_finding() {
+    let src = "fn f() {\n    // fedcav-lint: allow(no-such-rule, reason = \"typo\")\n}\n";
+    let diags = engine().lint_source(LIB_PATH, src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "bad-suppression");
+}

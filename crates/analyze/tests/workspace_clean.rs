@@ -1,0 +1,51 @@
+//! The acceptance gate: the linter run over its own workspace — including
+//! this crate's sources — must produce zero findings. Any new violation
+//! anywhere in the repo fails `cargo test` before it ever reaches CI's
+//! `fedcav-analyze --deny` step.
+
+use fedcav_analyze::{walk_rs_files, Config, Engine};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/analyze -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels below the workspace root")
+}
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = workspace_root();
+    assert!(root.join("Cargo.toml").is_file(), "walked from the wrong root: {root:?}");
+
+    let (files, walk_errors) = walk_rs_files(root);
+    assert!(walk_errors.is_empty(), "walk errors: {walk_errors:?}");
+    assert!(files.len() > 50, "expected the whole workspace, found {} files", files.len());
+
+    let engine = Engine::with_default_rules(Config::fedcav_default());
+    let (diags, read_errors) = engine.lint_files(root, &files);
+    assert!(read_errors.is_empty(), "read errors: {read_errors:?}");
+
+    let report: Vec<String> = diags.iter().map(|d| d.human()).collect();
+    assert!(
+        diags.is_empty(),
+        "fedcav-analyze found {} violation(s) in the workspace:\n{}",
+        diags.len(),
+        report.join("\n")
+    );
+}
+
+#[test]
+fn the_linter_lints_its_own_sources() {
+    // Guard against the walk silently skipping this crate: the self-clean
+    // test above is only meaningful if analyze's own files are in the set.
+    let root = workspace_root();
+    let (files, _) = walk_rs_files(root);
+    for needle in ["analyze/src/lexer.rs", "analyze/src/suppress.rs", "analyze/src/engine.rs"] {
+        assert!(
+            files.iter().any(|f| f.to_string_lossy().replace('\\', "/").ends_with(needle)),
+            "{needle} missing from the walk"
+        );
+    }
+}

@@ -14,6 +14,7 @@ pub fn weight_entropy(weights: &[f32]) -> f32 {
     let mut h = 0.0f32;
     for &w in weights {
         if w > 0.0 {
+            // fedcav-lint: allow(raw-exp-ln, reason = "entropy of a softmax weight, 0 < w <= 1, so ln(w) is finite and non-positive")
             h -= w * w.ln();
         }
     }
@@ -66,6 +67,7 @@ impl WeightDiagnostics {
         if self.n <= 1 {
             return 1.0;
         }
+        // fedcav-lint: allow(raw-exp-ln, reason = "ln of a client count >= 2; always finite and positive")
         self.entropy / (self.n as f32).ln()
     }
 }

@@ -44,6 +44,7 @@ pub fn objective_bounds(losses: &[f32]) -> Option<(f32, f32)> {
         return None;
     }
     let m = losses.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    // fedcav-lint: allow(raw-exp-ln, reason = "ln of a nonzero client count; finite, and the Eq. 7 bound itself")
     Some((m, m + (losses.len() as f32).ln()))
 }
 

@@ -43,6 +43,7 @@ fn gamma_sample<R: Rng>(rng: &mut R, shape: f64) -> f64 {
             continue;
         }
         let u: f64 = rng.random::<f64>().max(1e-300);
+        // fedcav-lint: allow(raw-exp-ln, reason = "Marsaglia-Tsang acceptance test; u is clamped >= 1e-300 and v > 0 is checked above")
         if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
             return d * v;
         }

@@ -15,6 +15,7 @@ pub fn entropy(counts: &[usize]) -> f64 {
     for &c in counts {
         if c > 0 {
             let p = c as f64 / total as f64;
+            // fedcav-lint: allow(raw-exp-ln, reason = "Shannon entropy of a probability, 0 < p <= 1, so ln(p) is finite and non-positive")
             h -= p * p.ln();
         }
     }
@@ -33,7 +34,7 @@ pub fn gini(counts: &[usize]) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut cum = 0.0f64;
     let mut weighted = 0.0f64;
     for (i, &x) in sorted.iter().enumerate() {
@@ -115,6 +116,17 @@ mod tests {
     #[test]
     fn gini_monotone_in_inequality() {
         assert!(gini(&[1, 9]) > gini(&[4, 6]));
+    }
+
+    /// Regression companion to the `total_cmp` switch: the result is a pure
+    /// function of the multiset of counts, not of their order.
+    #[test]
+    fn gini_is_permutation_invariant() {
+        let g1 = gini(&[3, 0, 50, 7]);
+        let g2 = gini(&[50, 7, 3, 0]);
+        let g3 = gini(&[0, 7, 50, 3]);
+        assert_eq!(g1, g2);
+        assert_eq!(g2, g3);
     }
 
     #[test]

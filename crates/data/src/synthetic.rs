@@ -193,6 +193,7 @@ fn smooth_pattern<R: Rng>(rng: &mut R, c: usize, h: usize, w: usize) -> Vec<f32>
                 for x in 0..w {
                     let dy = y as f32 - cy;
                     let dx = x as f32 - cx;
+                    // fedcav-lint: allow(raw-exp-ln, reason = "Gaussian bump; the exponent is always <= 0 so exp() is in (0, 1]")
                     img[ci * h * w + y * w + x] += amp * (-(dy * dy + dx * dx) * inv2s2).exp();
                 }
             }

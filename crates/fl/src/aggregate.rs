@@ -18,7 +18,7 @@ pub fn weighted_sum(updates: &[LocalUpdate], weights: &[f32]) -> Result<Vec<f32>
             rhs: vec![weights.len()],
         });
     }
-    let len = updates[0].params.len();
+    let len = updates.first().map_or(0, |u| u.params.len());
     let mut out = vec![0.0f32; len];
     for (u, &w) in updates.iter().zip(weights) {
         if u.params.len() != len {

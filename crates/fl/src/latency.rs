@@ -77,6 +77,7 @@ impl LogNormalLatency {
         };
         let u1 = (mix(seed, a, b) as f64 / u64::MAX as f64).clamp(1e-12, 1.0);
         let u2 = mix(seed ^ 0xABCD, a, b) as f64 / u64::MAX as f64;
+        // fedcav-lint: allow(raw-exp-ln, reason = "Box-Muller; u1 is clamped to [1e-12, 1] so ln(u1) is finite")
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 }
@@ -87,6 +88,7 @@ impl LatencyModel for LogNormalLatency {
         // varies per round.
         let base = Self::gauss(self.seed, client as u64, 0);
         let jitter = Self::gauss(self.seed ^ 0x7172, client as u64, 1 + round as u64);
+        // fedcav-lint: allow(raw-exp-ln, reason = "log-normal sampler: sigma <= ~1 and base/jitter are standard normals, far from f64 overflow")
         self.median * (self.client_sigma * base + self.round_sigma * jitter).exp()
     }
 }
@@ -139,7 +141,7 @@ mod tests {
     fn lognormal_median_roughly_right() {
         let m = LogNormalLatency { median: 10.0, client_sigma: 0.5, round_sigma: 0.2, seed: 2 };
         let mut samples: Vec<f64> = (0..2000).map(|c| m.latency(c, 0)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(|a, b| a.total_cmp(b));
         let median = samples[samples.len() / 2];
         assert!((median - 10.0).abs() < 1.5, "median {median}");
     }

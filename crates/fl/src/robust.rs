@@ -57,7 +57,7 @@ impl Strategy for CoordinateMedian {
             for (j, u) in updates.iter().enumerate() {
                 column[j] = u.params[k];
             }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            column.sort_by(|a, b| a.total_cmp(b));
             *o = if n % 2 == 1 { column[n / 2] } else { 0.5 * (column[n / 2 - 1] + column[n / 2]) };
         }
         Ok(Aggregation::Accept(out))
@@ -105,7 +105,7 @@ impl Strategy for TrimmedMean {
             for (j, u) in updates.iter().enumerate() {
                 column[j] = u.params[k];
             }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            column.sort_by(|a, b| a.total_cmp(b));
             *o = column[self.beta..n - self.beta].iter().sum::<f32>() / keep as f32;
         }
         Ok(Aggregation::Accept(out))
@@ -154,6 +154,42 @@ mod tests {
         let ctx = RoundContext { round: 0, global: &[0.0; 3] };
         let out = accept(CoordinateMedian::new().aggregate(&ctx, &with_attacker).unwrap());
         assert_eq!(out, vec![1.0; 3]);
+    }
+
+    /// Regression: sorting with `partial_cmp().unwrap_or(Equal)` left the
+    /// column in an input-order-dependent arrangement when a NaN slipped in,
+    /// so the "median" depended on which client uploaded first. `total_cmp`
+    /// sorts NaN deterministically to the top end.
+    #[test]
+    fn median_with_nan_is_permutation_invariant() {
+        let params = [vec![1.0, 5.0], vec![f32::NAN, 6.0], vec![3.0, 7.0]];
+        let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
+        let mut results = Vec::new();
+        for order in [[0, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let updates: Vec<LocalUpdate> =
+                order.iter().map(|&i| upd(i, params[i].clone())).collect();
+            let out = accept(CoordinateMedian::new().aggregate(&ctx, &updates).unwrap());
+            // NaN sorts above both finite values, so the median of coordinate
+            // 0 is the larger finite value.
+            assert_eq!(out, vec![3.0, 6.0]);
+            results.push(out);
+        }
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Regression: same nondeterminism for the trimmed mean; with
+    /// `total_cmp`, one NaN lands in the trimmed top slot and the kept
+    /// values are always the same.
+    #[test]
+    fn trimmed_mean_with_nan_is_permutation_invariant() {
+        let params = [vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![f32::NAN]];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        for order in [[0, 1, 2, 3, 4], [4, 3, 2, 1, 0], [2, 4, 0, 3, 1]] {
+            let updates: Vec<LocalUpdate> =
+                order.iter().map(|&i| upd(i, params[i].clone())).collect();
+            let out = accept(TrimmedMean::new(1).aggregate(&ctx, &updates).unwrap());
+            assert_eq!(out, vec![3.0], "kept [2, 3, 4] regardless of upload order");
+        }
     }
 
     #[test]

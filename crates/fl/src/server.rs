@@ -271,7 +271,7 @@ impl<'a> Simulation<'a> {
         } else {
             sample_clients(online.len(), self.config.sample_ratio, &mut self.rng)
                 .into_iter()
-                .map(|i| online[i])
+                .filter_map(|i| online.get(i).copied())
                 .collect()
         };
         phases.sampling_ns = sampling_span.done();
@@ -313,11 +313,16 @@ impl<'a> Simulation<'a> {
                 if matches!(fault, Some(InjectedFault::Crash)) {
                     return (cid, fault, Outcome::Crashed);
                 }
+                let Some(dataset) = clients.get(cid) else {
+                    // An availability model returning an out-of-range id is a
+                    // model bug; treat it as a failed client, not a panic.
+                    return (cid, fault, Outcome::Failed(format!("unknown client id {cid}")));
+                };
                 let trained = local_update(
                     factory,
                     global,
                     cid,
-                    &clients[cid],
+                    dataset,
                     &local_cfg,
                     derive_seed(seed, round, cid),
                 );
@@ -536,14 +541,17 @@ impl<'a> Simulation<'a> {
         Ok(record)
     }
 
-    /// Run `n` rounds, returning the final record.
+    /// Run `n` rounds, returning the final record. `n == 0` is an error,
+    /// not a panic: there is no record to return.
     pub fn run(&mut self, n: usize) -> Result<RoundRecord> {
-        assert!(n > 0, "run at least one round");
-        let mut last = None;
-        for _ in 0..n {
-            last = Some(self.run_round()?);
+        if n == 0 {
+            return Err(TensorError::Empty { op: "Simulation::run" });
         }
-        Ok(last.expect("n > 0 rounds were run"))
+        let mut last = self.run_round()?;
+        for _ in 1..n {
+            last = self.run_round()?;
+        }
+        Ok(last)
     }
 }
 
@@ -1244,6 +1252,48 @@ mod tests {
         sim.set_interceptor(Box::new(PoisonFirst));
         let r = sim.run_round().unwrap();
         assert_eq!(r.faults.quarantined, 1);
+        assert!(sim.global().iter().all(|p| p.is_finite()));
+    }
+
+    /// Regression: `run(0)` used to `assert!`-panic; it is now a plain error.
+    #[test]
+    fn run_zero_rounds_is_an_error_not_a_panic() {
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        assert!(sim.run(0).is_err());
+        assert_eq!(sim.history().len(), 0, "no round may have run");
+        assert!(sim.run(2).is_ok(), "the simulation is still usable afterwards");
+    }
+
+    /// Regression: a buggy availability model returning out-of-range client
+    /// ids used to panic the training closure (`&clients[cid]`); it is now a
+    /// recorded per-client failure and the round degrades gracefully.
+    #[test]
+    fn out_of_range_availability_degrades_gracefully() {
+        struct Buggy;
+        impl AvailabilityModel for Buggy {
+            fn is_available(&self, _client: usize, _round: usize) -> bool {
+                true
+            }
+            fn available(&self, n: usize, _round: usize) -> Vec<usize> {
+                // Everyone online, plus a client id that does not exist.
+                (0..n).chain([n + 40]).collect()
+            }
+        }
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_availability(Box::new(Buggy));
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.participants, 4, "the bogus id was sampled");
+        assert_eq!(r.faults.dropped, 1, "…and recorded as a drop, not a panic");
         assert!(sim.global().iter().all(|p| p.is_finite()));
     }
 }

@@ -131,6 +131,7 @@ pub fn conv2d_forward(
             }
         }
     });
+    crate::sanitize::check_output("conv2d_forward", &[n, out_c, oh, ow], &out);
     Tensor::from_vec(&[n, out_c, oh, ow], out)
 }
 
@@ -251,6 +252,9 @@ pub fn conv2d_backward(
         },
     );
 
+    crate::sanitize::check_output("conv2d_backward(d_input)", &[n, in_c, h, w], &d_input);
+    crate::sanitize::check_output("conv2d_backward(d_weight)", &[out_c, in_c, kh, kw], &d_weight);
+    crate::sanitize::check_output("conv2d_backward(d_bias)", &[out_c], &d_bias);
     Ok(Conv2dGrads {
         d_input: Tensor::from_vec(&[n, in_c, h, w], d_input)?,
         d_weight: Tensor::from_vec(&[out_c, in_c, kh, kw], d_weight)?,

@@ -35,6 +35,7 @@ pub fn box_muller<R: Rng>(rng: &mut R) -> (f32, f32) {
     // u1 in (0, 1] so ln(u1) is finite.
     let u1: f32 = 1.0 - rng.random::<f32>();
     let u2: f32 = rng.random::<f32>();
+    // fedcav-lint: allow(raw-exp-ln, reason = "Box-Muller; u1 = 1 - random() is in (0, 1] so ln(u1) is finite")
     let r = (-2.0 * u1.ln()).sqrt();
     let theta = 2.0 * std::f32::consts::PI * u2;
     (r * theta.cos(), r * theta.sin())

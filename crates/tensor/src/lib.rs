@@ -12,7 +12,10 @@
 //! * numerically stable softmax / log-sum-exp / cross-entropy,
 //! * deterministic random initialisation (uniform, normal, Xavier/Kaiming),
 //! * opt-in op-level profiling [`counters`] (FLOPs / bytes moved per kernel,
-//!   off by default behind one relaxed atomic load).
+//!   off by default behind one relaxed atomic load),
+//! * an opt-in post-kernel NaN/Inf [`sanitize`]r (compiled behind
+//!   `feature = "sanitize"`) that names the op and shape that first went
+//!   non-finite.
 //!
 //! The library is deliberately *not* an autograd engine: the companion
 //! `fedcav-nn` crate implements explicit layer-by-layer backward passes on
@@ -28,6 +31,7 @@ pub mod init;
 pub mod numerics;
 pub mod pool;
 pub mod reduce;
+pub mod sanitize;
 pub mod shape;
 pub mod tensor;
 

@@ -183,7 +183,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
         let argmax = row
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(j, _)| j)
             .unwrap_or(0);
         if argmax == label {
@@ -361,5 +361,19 @@ mod tests {
         assert!(close(accuracy(&t, &[0, 1]).unwrap(), 1.0));
         assert!(close(accuracy(&t, &[1, 0]).unwrap(), 0.0));
         assert!(close(accuracy(&t, &[0, 0]).unwrap(), 0.5));
+    }
+
+    /// Regression: the argmax used `partial_cmp().unwrap_or(Equal)`, which
+    /// made a NaN logit compare equal to everything — the winning index then
+    /// depended on scan order. With `total_cmp`, NaN is simply the largest
+    /// value and the argmax is deterministic.
+    #[test]
+    fn accuracy_with_nan_logit_is_deterministic() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.5, f32::NAN, 0.1, 0.1, 0.2, 0.9]).unwrap();
+        // Row 0's argmax is the NaN slot (index 1), every time.
+        for _ in 0..3 {
+            assert!(close(accuracy(&t, &[1, 2]).unwrap(), 1.0));
+            assert!(close(accuracy(&t, &[0, 2]).unwrap(), 0.5));
+        }
     }
 }

@@ -28,6 +28,7 @@ pub fn channel_mean(input: &Tensor) -> Result<Tensor> {
     for o in &mut out {
         *o /= count;
     }
+    crate::sanitize::check_output("channel_mean", &[c], &out);
     Tensor::from_vec(&[c], out)
 }
 
@@ -66,6 +67,7 @@ pub fn channel_var(input: &Tensor, means: &Tensor) -> Result<Tensor> {
     for o in &mut out {
         *o /= count;
     }
+    crate::sanitize::check_output("channel_var", &[c], &out);
     Tensor::from_vec(&[c], out)
 }
 

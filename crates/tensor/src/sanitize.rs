@@ -1,0 +1,224 @@
+//! Opt-in post-kernel numeric sanitizer (`feature = "sanitize"`).
+//!
+//! A NaN produced deep inside a training step surfaces rounds later as a
+//! quarantined update or a garbage aggregation weight, with the original
+//! op long gone. With the `sanitize` feature compiled in *and* the checks
+//! [`enable`]d at runtime, every hot kernel (matmul, conv forward/backward,
+//! channel reductions) scans its freshly written output for NaN/Inf and
+//! records a [`Violation`] naming the op and the output shape — turning
+//! "the model diverged somewhere" into "`conv2d_backward(d_weight)` of
+//! shape `[8, 1, 3, 3]` produced 4 NaNs, first at flat index 11".
+//!
+//! The design mirrors [`crate::counters`]: process-global state, off by
+//! default, observational only. Without the feature the hook compiles to an
+//! empty inline function; with the feature but not [`enable`]d, each kernel
+//! pays one relaxed atomic load. Violations are recorded, never acted on —
+//! except in [`set_panic_on_violation`] mode, which turns the recording
+//! site into an immediate panic for pinpoint debugging under a test runner.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Serializes tests that toggle the process-global sanitizer state.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PANIC_ON_VIOLATION: AtomicBool = AtomicBool::new(false);
+static VIOLATIONS: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+
+/// One kernel output that contained non-finite values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which kernel produced the output (e.g. `"matmul"`,
+    /// `"conv2d_backward(d_weight)"`).
+    pub op: &'static str,
+    /// Shape of the offending output tensor.
+    pub dims: Vec<usize>,
+    /// Number of NaN elements found.
+    pub nan: usize,
+    /// Number of ±Inf elements found.
+    pub inf: usize,
+    /// Flat index of the first non-finite element.
+    pub first_index: usize,
+}
+
+impl Violation {
+    /// One-line human-readable report.
+    pub fn describe(&self) -> String {
+        format!(
+            "sanitize: `{}` output of shape {:?} has {} NaN + {} Inf element(s), first at flat index {}",
+            self.op, self.dims, self.nan, self.inf, self.first_index
+        )
+    }
+}
+
+/// Start scanning kernel outputs (process-global). No-op unless the crate
+/// was built with `feature = "sanitize"`.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stop scanning. Already-recorded violations are kept until taken.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether scanning is currently on.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// If set, a violating kernel panics with [`Violation::describe`] instead
+/// of recording — the backtrace then points at the exact call site.
+pub fn set_panic_on_violation(on: bool) {
+    PANIC_ON_VIOLATION.store(on, Ordering::Relaxed);
+}
+
+/// Drain and return every violation recorded so far.
+pub fn take_violations() -> Vec<Violation> {
+    let mut guard = VIOLATIONS.lock().unwrap_or_else(|e| e.into_inner());
+    std::mem::take(&mut *guard)
+}
+
+/// Scan one kernel output. Called by the kernels right after they fill
+/// their output buffer; compiled to nothing without the feature.
+#[cfg(feature = "sanitize")]
+pub(crate) fn check_output(op: &'static str, dims: &[usize], data: &[f32]) {
+    if !is_enabled() {
+        return;
+    }
+    let mut nan = 0usize;
+    let mut inf = 0usize;
+    let mut first = None;
+    for (i, &v) in data.iter().enumerate() {
+        if v.is_nan() {
+            nan += 1;
+            first.get_or_insert(i);
+        } else if v.is_infinite() {
+            inf += 1;
+            first.get_or_insert(i);
+        }
+    }
+    let Some(first_index) = first else { return };
+    let violation = Violation { op, dims: dims.to_vec(), nan, inf, first_index };
+    if PANIC_ON_VIOLATION.load(Ordering::Relaxed) {
+        panic!("{}", violation.describe());
+    }
+    VIOLATIONS.lock().unwrap_or_else(|e| e.into_inner()).push(violation);
+}
+
+/// Feature-off stub: the kernels always call the hook; without
+/// `feature = "sanitize"` it inlines away entirely.
+#[cfg(not(feature = "sanitize"))]
+#[inline(always)]
+pub(crate) fn check_output(_op: &'static str, _dims: &[usize], _data: &[f32]) {}
+
+#[cfg(all(test, feature = "sanitize"))]
+mod tests {
+    use super::*;
+    use crate::conv::{conv2d_backward, conv2d_forward, Conv2dParams};
+    use crate::Tensor;
+
+    /// Run `f` with the sanitizer enabled, returning what it recorded.
+    fn with_sanitizer<T>(f: impl FnOnce() -> T) -> (T, Vec<Violation>) {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = take_violations();
+        enable();
+        let out = f();
+        disable();
+        (out, take_violations())
+    }
+
+    #[test]
+    fn clean_matmul_records_nothing() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[3, 4]);
+        let (_, violations) = with_sanitizer(|| a.matmul(&b).unwrap());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn poisoned_matmul_input_is_reported_with_op_and_shape() {
+        let mut bad = vec![1.0f32; 6];
+        bad[4] = f32::NAN;
+        let a = Tensor::from_vec(&[2, 3], bad).unwrap();
+        let b = Tensor::ones(&[3, 4]);
+        let (_, violations) = with_sanitizer(|| a.matmul(&b).unwrap());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        let v = &violations[0];
+        assert_eq!(v.op, "matmul");
+        assert_eq!(v.dims, vec![2, 4]);
+        assert!(v.nan > 0);
+        assert!(v.describe().contains("matmul"), "{}", v.describe());
+    }
+
+    #[test]
+    fn infinity_is_reported_separately_from_nan() {
+        let a = Tensor::from_vec(&[1, 2], vec![f32::MAX, f32::MAX]).unwrap();
+        let b = Tensor::from_vec(&[2, 1], vec![f32::MAX, f32::MAX]).unwrap();
+        let (_, violations) = with_sanitizer(|| a.matmul(&b).unwrap());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].inf, 1);
+        assert_eq!(violations[0].nan, 0);
+    }
+
+    #[test]
+    fn poisoned_conv_forward_names_the_op() {
+        let mut bad = vec![0.5f32; 16];
+        bad[7] = f32::NAN;
+        let input = Tensor::from_vec(&[1, 1, 4, 4], bad).unwrap();
+        let weight = Tensor::ones(&[2, 1, 3, 3]);
+        let bias = Tensor::zeros(&[2]);
+        let (_, violations) = with_sanitizer(|| {
+            conv2d_forward(&input, &weight, &bias, Conv2dParams::default()).unwrap()
+        });
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].op, "conv2d_forward");
+        assert_eq!(violations[0].dims, vec![1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn poisoned_gradient_pinpoints_the_backward_output() {
+        let input = Tensor::ones(&[1, 1, 4, 4]);
+        let weight = Tensor::ones(&[2, 1, 3, 3]);
+        let mut bad_grad = vec![0.0f32; 8];
+        bad_grad[3] = f32::NAN;
+        let d_out = Tensor::from_vec(&[1, 2, 2, 2], bad_grad).unwrap();
+        let (_, violations) = with_sanitizer(|| {
+            conv2d_backward(&input, &weight, &d_out, Conv2dParams::default()).unwrap()
+        });
+        let ops: Vec<&str> = violations.iter().map(|v| v.op).collect();
+        assert!(ops.contains(&"conv2d_backward(d_input)"), "{ops:?}");
+        assert!(ops.contains(&"conv2d_backward(d_weight)"), "{ops:?}");
+        assert!(ops.contains(&"conv2d_backward(d_bias)"), "{ops:?}");
+    }
+
+    #[test]
+    fn disabled_sanitizer_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = take_violations();
+        disable();
+        let a = Tensor::from_vec(&[1, 1], vec![f32::NAN]).unwrap();
+        let b = Tensor::ones(&[1, 1]);
+        let _ = a.matmul(&b).unwrap();
+        assert!(take_violations().is_empty());
+    }
+
+    #[test]
+    fn panic_mode_panics_at_the_kernel() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = take_violations();
+        enable();
+        set_panic_on_violation(true);
+        let result = std::panic::catch_unwind(|| {
+            let a = Tensor::from_vec(&[1, 1], vec![f32::NAN]).unwrap();
+            let b = Tensor::ones(&[1, 1]);
+            let _ = a.matmul(&b);
+        });
+        set_panic_on_violation(false);
+        disable();
+        assert!(result.is_err(), "sanitizer should have panicked");
+    }
+}

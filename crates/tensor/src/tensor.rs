@@ -324,6 +324,7 @@ impl Tensor {
         } else {
             out.chunks_mut(n).enumerate().for_each(row_job);
         }
+        crate::sanitize::check_output("matmul", &[m, n], &out);
         Tensor::from_vec(&[m, n], out)
     }
 

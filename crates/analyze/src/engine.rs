@@ -73,7 +73,11 @@ impl Engine {
     /// Lint a list of files under `root`. Paths are reported relative to
     /// `root`. Returns `(findings, io_errors)` — an unreadable file is an
     /// error string, never a crash or a silent skip.
-    pub fn lint_files(&self, root: &Path, files: &[std::path::PathBuf]) -> (Vec<Diagnostic>, Vec<String>) {
+    pub fn lint_files(
+        &self,
+        root: &Path,
+        files: &[std::path::PathBuf],
+    ) -> (Vec<Diagnostic>, Vec<String>) {
         let mut diags = Vec::new();
         let mut errors = Vec::new();
         for f in files {
@@ -99,7 +103,8 @@ mod tests {
 
     #[test]
     fn globally_excluded_paths_yield_nothing() {
-        let d = engine().lint_source("crates/fl/tests/x.rs", "fn f() { a.partial_cmp(b).unwrap(); }");
+        let d =
+            engine().lint_source("crates/fl/tests/x.rs", "fn f() { a.partial_cmp(b).unwrap(); }");
         assert!(d.is_empty());
     }
 

@@ -278,12 +278,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 }
                 None => {
                     lx.bump();
-                    out.push(Token {
-                        kind: TokenKind::Punct,
-                        text: "'".to_string(),
-                        line,
-                        col,
-                    });
+                    out.push(Token { kind: TokenKind::Punct, text: "'".to_string(), line, col });
                 }
             }
             continue;

@@ -30,17 +30,16 @@ fn default_root() -> PathBuf {
     // When run via `cargo run -p fedcav-analyze`, the workspace root is two
     // levels above this crate's manifest; fall back to cwd otherwise.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."))
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
 }
 
 fn parse_args() -> Result<Opts, String> {
-    let mut opts = Opts {
-        root: default_root(),
-        deny: false,
-        json: false,
-        json_out: None,
-        list_rules: false,
-    };
+    let mut opts =
+        Opts { root: default_root(), deny: false, json: false, json_out: None, list_rules: false };
     let mut args = std::env::args().skip(1);
     let mut root_set = false;
     while let Some(a) = args.next() {
@@ -66,7 +65,8 @@ fn parse_args() -> Result<Opts, String> {
     Ok(opts)
 }
 
-const USAGE: &str = "usage: fedcav-analyze [ROOT] [--deny] [--json] [--json-out PATH] [--list-rules]";
+const USAGE: &str =
+    "usage: fedcav-analyze [ROOT] [--deny] [--json] [--json-out PATH] [--list-rules]";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -110,11 +110,7 @@ fn main() -> ExitCode {
         for d in &diags {
             println!("{}", d.human());
         }
-        eprintln!(
-            "fedcav-analyze: {} file(s) checked, {} finding(s)",
-            files.len(),
-            diags.len()
-        );
+        eprintln!("fedcav-analyze: {} file(s) checked, {} finding(s)", files.len(), diags.len());
     }
     if let Some(path) = &opts.json_out {
         if let Err(e) = std::fs::write(path, render_json(&diags) + "\n") {

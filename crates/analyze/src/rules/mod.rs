@@ -194,9 +194,11 @@ impl Config {
 
     /// The workspace policy: which invariant holds where.
     ///
-    /// * `no-panic-in-round-loop` — only the server round loop and the
-    ///   aggregation/validation helpers it drives. The fault-tolerant loop
-    ///   must degrade, never die, so nothing on that path may panic.
+    /// * `no-panic-in-round-loop` — the server round-loop driver, the six
+    ///   pipeline stages under `crates/fl/src/stages/`, the client executor
+    ///   they train on, and the aggregation/validation helpers they drive.
+    ///   The fault-tolerant loop must degrade, never die, so nothing on
+    ///   that path may panic.
     /// * `raw-exp-ln` — everywhere except `fedcav-tensor::numerics`, the one
     ///   sanctioned home of clipped/max-subtracted exp/ln (Eq. 7/9, §4.2.3).
     /// * `unchecked-float-cmp` — everywhere, tests included: `total_cmp` is
@@ -217,6 +219,8 @@ impl Config {
                     PathRules {
                         include: vec![
                             "crates/fl/src/server.rs".to_string(),
+                            "crates/fl/src/stages/".to_string(),
+                            "crates/fl/src/executor.rs".to_string(),
                             "crates/fl/src/aggregate.rs".to_string(),
                             "crates/fl/src/update.rs".to_string(),
                         ],
@@ -321,6 +325,8 @@ mod tests {
         assert!(c.lints_path("crates/fl/src/server.rs"));
         let np = c.rules_for("no-panic-in-round-loop").expect("configured");
         assert!(np.applies_to("crates/fl/src/server.rs"));
+        assert!(np.applies_to("crates/fl/src/stages/training.rs"));
+        assert!(np.applies_to("crates/fl/src/executor.rs"));
         assert!(!np.applies_to("crates/core/src/weights.rs"));
         let exp = c.rules_for("raw-exp-ln").expect("configured");
         assert!(!exp.applies_to("crates/tensor/src/numerics.rs"));

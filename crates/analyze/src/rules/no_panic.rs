@@ -78,13 +78,15 @@ impl Rule for NoPanicInRoundLoop {
                     || code[i - 1].is_punct(')')
                     || code[i - 1].is_punct(']'))
             {
-                out.push(self.diag(
-                    file,
-                    t,
-                    "`[…]` indexing panics out of bounds; use `.get()` / iterators so a \
+                out.push(
+                    self.diag(
+                        file,
+                        t,
+                        "`[…]` indexing panics out of bounds; use `.get()` / iterators so a \
                      malformed update degrades gracefully"
-                        .to_string(),
-                ));
+                            .to_string(),
+                    ),
+                );
             }
         }
     }

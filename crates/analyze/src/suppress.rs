@@ -61,9 +61,9 @@ pub fn scan(path: &str, tokens: &[Token]) -> (Vec<Suppression>, Vec<Diagnostic>)
 /// text following the marker. Returns `(rule, reason)`.
 fn parse_allow(rest: &str) -> Result<(String, String), String> {
     let mut s = rest.trim_start();
-    s = s.strip_prefix("allow").ok_or_else(|| {
-        format!("expected `allow(<rule>, reason = \"…\")` after `{MARKER}`")
-    })?;
+    s = s
+        .strip_prefix("allow")
+        .ok_or_else(|| format!("expected `allow(<rule>, reason = \"…\")` after `{MARKER}`"))?;
     s = s.trim_start();
     s = s.strip_prefix('(').ok_or_else(|| "expected `(` after `allow`".to_string())?;
     s = s.trim_start();
@@ -107,8 +107,9 @@ mod tests {
 
     #[test]
     fn parses_a_well_formed_allow() {
-        let (sups, diags) =
-            scan_src("let x = 1; // fedcav-lint: allow(raw-exp-ln, reason = \"entropy, not softmax\")");
+        let (sups, diags) = scan_src(
+            "let x = 1; // fedcav-lint: allow(raw-exp-ln, reason = \"entropy, not softmax\")",
+        );
         assert!(diags.is_empty());
         assert_eq!(sups.len(), 1);
         assert_eq!(sups[0].rule, "raw-exp-ln");

@@ -8,11 +8,7 @@ fn kinds(src: &str) -> Vec<(TokenKind, String)> {
 }
 
 fn idents(src: &str) -> Vec<String> {
-    lex(src)
-        .into_iter()
-        .filter(|t| t.kind == TokenKind::Ident)
-        .map(|t| t.text)
-        .collect()
+    lex(src).into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
 }
 
 #[test]
@@ -115,11 +111,8 @@ fn numbers_do_not_swallow_method_calls_or_ranges() {
     let src = "let x = 1.exp(); let r = 0..10; let f = 1.5e-3;";
     let names = idents(src);
     assert!(names.contains(&"exp".to_string()), "1.exp() keeps `exp` as an ident");
-    let nums: Vec<_> = lex(src)
-        .into_iter()
-        .filter(|t| t.kind == TokenKind::Number)
-        .map(|t| t.text)
-        .collect();
+    let nums: Vec<_> =
+        lex(src).into_iter().filter(|t| t.kind == TokenKind::Number).map(|t| t.text).collect();
     assert!(nums.contains(&"1.5e-3".to_string()));
     assert!(nums.contains(&"0".to_string()) && nums.contains(&"10".to_string()));
 }

@@ -1,0 +1,60 @@
+//! **EXT — client-executor scaling:** wall-clock of the same federated run
+//! under the sequential executor vs scoped-thread pools of 2 and 4 workers,
+//! asserting along the way that the histories are bit-identical (the
+//! executor may only change *when* clients train, never *what* they
+//! produce — see DESIGN.md §11).
+//!
+//! Run: `cargo bench -p fedcav-bench --bench executor_scaling`
+//! (add `-- --full` for paper-scale parameters).
+
+use fedcav_bench::experiment::{run_standard, Algo, Dist, ExperimentSpec, Scale};
+use fedcav_data::SyntheticKind;
+use fedcav_fl::{ClientExecutor, History, RoundRecord};
+use std::time::Instant;
+
+/// Records with the real wall-clock phase timings zeroed: everything that
+/// is required to be identical across executors.
+fn deterministic_view(history: &History) -> Vec<RoundRecord> {
+    history
+        .records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.phases = Default::default();
+            r
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut spec = ExperimentSpec::at(scale, SyntheticKind::MnistLike, 5, 30);
+    let executors = [
+        ClientExecutor::Sequential,
+        ClientExecutor::ScopedThreads(2),
+        ClientExecutor::ScopedThreads(4),
+    ];
+
+    println!("# executor_scaling: {} clients, {} rounds, FedCav", spec.n_clients, spec.rounds);
+    println!("executor\twall_s\tspeedup\tfinal_acc");
+    let mut baseline: Option<(f64, Vec<RoundRecord>)> = None;
+    for executor in executors {
+        spec.executor = executor;
+        let start = Instant::now();
+        let history = run_standard(&spec, Dist::NonIidBalanced, Algo::FedCav).expect("run");
+        let wall = start.elapsed().as_secs_f64();
+        let view = deterministic_view(&history);
+        let acc = view.last().map(|r| r.test_accuracy).unwrap_or(0.0);
+        let speedup = match &baseline {
+            None => 1.0,
+            Some((seq_wall, seq_view)) => {
+                assert_eq!(*seq_view, view, "{executor} diverged from the sequential history");
+                seq_wall / wall.max(f64::EPSILON)
+            }
+        };
+        println!("{executor}\t{wall:.3}\t{speedup:.2}\t{acc:.4}");
+        if baseline.is_none() {
+            baseline = Some((wall, view));
+        }
+    }
+}

@@ -7,8 +7,8 @@ use fedcav_data::{
     partition, Dataset, FreshClassSplit, ImbalanceSpec, SyntheticConfig, SyntheticKind,
 };
 use fedcav_fl::{
-    CentralizedTrainer, CollectingTracer, FedAvg, FedProx, History, LocalConfig, Simulation,
-    SimulationConfig, Strategy,
+    CentralizedTrainer, ClientExecutor, CollectingTracer, FedAvg, FedProx, History, LocalConfig,
+    Simulation, SimulationConfig, Strategy,
 };
 use fedcav_nn::{models, Sequential};
 use fedcav_tensor::Result;
@@ -146,6 +146,10 @@ pub struct ExperimentSpec {
     /// Fast scale raises it so the reduced-size task does not saturate in a
     /// couple of rounds; `None` keeps the tier default.
     pub noise_override: Option<f32>,
+    /// Client executor for the training stage. Results are bit-identical
+    /// across executors; only wall-clock changes. The presets read
+    /// `FEDCAV_EXECUTOR` (e.g. `threads:4`) so CI can sweep it.
+    pub executor: ClientExecutor,
 }
 
 impl ExperimentSpec {
@@ -165,6 +169,7 @@ impl ExperimentSpec {
                 SyntheticKind::FmnistLike => 0.55,
                 SyntheticKind::Cifar10Like => 0.6,
             }),
+            executor: ClientExecutor::from_env(),
         }
     }
 
@@ -180,6 +185,7 @@ impl ExperimentSpec {
             local: LocalConfig { epochs: 5, batch_size: 10, lr: 0.01, prox_mu: 0.0 },
             seed: 42,
             noise_override: None,
+            executor: ClientExecutor::from_env(),
         }
     }
 
@@ -227,10 +233,17 @@ impl ExperimentSpec {
     }
 }
 
-/// Run one federated experiment: partition per `dist`, aggregate per
-/// `algo`, `spec.rounds` rounds. For [`Algo::Centralized`] the pooled
-/// trainer is used instead.
-pub fn run_standard(spec: &ExperimentSpec, dist: Dist, algo: Algo) -> Result<History> {
+/// The shared standard-experiment runner: partition per `dist`, aggregate
+/// per `algo`, `spec.rounds` rounds on `spec.executor`. For
+/// [`Algo::Centralized`] the pooled trainer is used instead (it has no
+/// tracer hook, so a supplied `tracer` stays empty). [`run_standard`] and
+/// [`run_standard_traced`] are thin wrappers over this.
+pub fn run_standard_with(
+    spec: &ExperimentSpec,
+    dist: Dist,
+    algo: Algo,
+    tracer: Option<Arc<CollectingTracer>>,
+) -> Result<History> {
     let (train, test) = spec.data()?;
     let factory = spec.model_factory();
     if algo == Algo::Centralized {
@@ -242,8 +255,19 @@ pub fn run_standard(spec: &ExperimentSpec, dist: Dist, algo: Algo) -> Result<His
     let part = dist.partition(&train, spec.n_clients, &mut rng);
     let clients = part.client_datasets(&train)?;
     let mut sim = Simulation::new(&*factory, clients, test, algo.strategy(), spec.sim_config());
+    sim.set_executor(spec.executor);
+    if let Some(tracer) = tracer {
+        sim.set_tracer(tracer);
+    }
     sim.run(spec.rounds)?;
     Ok(sim.history().clone())
+}
+
+/// Run one federated experiment: partition per `dist`, aggregate per
+/// `algo`, `spec.rounds` rounds. For [`Algo::Centralized`] the pooled
+/// trainer is used instead.
+pub fn run_standard(spec: &ExperimentSpec, dist: Dist, algo: Algo) -> Result<History> {
+    run_standard_with(spec, dist, algo, None)
 }
 
 /// Like [`run_standard`], but with a [`CollectingTracer`] installed and the
@@ -257,27 +281,14 @@ pub fn run_standard_traced(
     dist: Dist,
     algo: Algo,
 ) -> Result<(History, Vec<Event>)> {
-    let (train, test) = spec.data()?;
-    let factory = spec.model_factory();
-    if algo == Algo::Centralized {
-        let mut t = CentralizedTrainer::new(&*factory, train, test, spec.local, 64, spec.seed);
-        t.run(spec.rounds)?;
-        return Ok((t.history().clone(), Vec::new()));
-    }
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xD157);
-    let part = dist.partition(&train, spec.n_clients, &mut rng);
-    let clients = part.client_datasets(&train)?;
-    let mut sim = Simulation::new(&*factory, clients, test, algo.strategy(), spec.sim_config());
     let tracer = Arc::new(CollectingTracer::new());
-    sim.set_tracer(tracer.clone());
     let was_counting = fedcav_tensor::counters::is_enabled();
     fedcav_tensor::counters::enable();
-    let outcome = sim.run(spec.rounds);
+    let outcome = run_standard_with(spec, dist, algo, Some(tracer.clone()));
     if !was_counting {
         fedcav_tensor::counters::disable();
     }
-    outcome?;
-    Ok((sim.history().clone(), tracer.take()))
+    Ok((outcome?, tracer.take()))
 }
 
 /// Outcome of a fresh-class run: the history plus what's needed to read
@@ -346,6 +357,7 @@ pub fn run_fresh_class(
     let part = dist.partition(&full, spec.n_clients, &mut rng);
     let clients = part.client_datasets(&full)?;
     let mut sim = Simulation::new(&*factory, clients, test, algo.strategy(), spec.sim_config());
+    sim.set_executor(spec.executor);
     sim.set_global(pretrained)?;
     sim.run(spec.rounds)?;
     Ok(FreshClassOutcome {
@@ -392,7 +404,7 @@ pub fn run_under_attack(
     );
 
     let mut sim = Simulation::new(&*factory, clients, test, algo.strategy(), spec.sim_config());
-    sim.set_interceptor(Box::new(adversary));
+    sim.set_executor(spec.executor).set_interceptor(Box::new(adversary));
     sim.run(spec.rounds)?;
     Ok(sim.history().clone())
 }
@@ -414,6 +426,7 @@ mod tests {
             local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
             seed: 7,
             noise_override: None,
+            executor: ClientExecutor::Sequential,
         }
     }
 
@@ -437,6 +450,27 @@ mod tests {
         // The export path accepts what the round loop emits.
         let jsonl = fedcav_trace::export::to_jsonl(&events);
         assert_eq!(fedcav_trace::export::parse_jsonl(&jsonl).unwrap(), events);
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        // Both public entry points are wrappers over run_standard_with;
+        // tracing must only observe. Phase timings are real wall-clock and
+        // legitimately differ, so compare with them zeroed.
+        let spec = tiny_spec();
+        let strip = |h: &History| {
+            h.records
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.phases = Default::default();
+                    r
+                })
+                .collect::<Vec<_>>()
+        };
+        let plain = run_standard(&spec, Dist::IidBalanced, Algo::FedAvg).unwrap();
+        let (traced, _) = run_standard_traced(&spec, Dist::IidBalanced, Algo::FedAvg).unwrap();
+        assert_eq!(strip(&plain), strip(&traced));
     }
 
     #[test]

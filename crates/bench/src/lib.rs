@@ -6,9 +6,12 @@
 //!
 //! * [`experiment`] — dataset/model/deployment specs with `fast` (CI
 //!   wall-clock) and `full` (paper-scale) presets, plus runners for the
-//!   standard σ-imbalance experiments and the fresh-class (α) dynamics
-//!   (including [`experiment::run_standard_traced`], which captures a
-//!   structured trace + kernel FLOP counters for profiling),
+//!   standard σ-imbalance experiments and the fresh-class (α) dynamics.
+//!   All standard runners are wrappers over
+//!   [`experiment::run_standard_with`] ([`experiment::run_standard_traced`]
+//!   adds a structured trace + kernel FLOP counters for profiling), and
+//!   every spec carries a `ClientExecutor` so the same experiment can run
+//!   sequentially or on scoped threads with bit-identical results,
 //! * [`output`] — TSV series printing shared by all harnesses, plus the
 //!   human-readable per-round phase profile.
 //!

@@ -1,0 +1,227 @@
+//! Deterministic client-level parallelism for the training stage.
+//!
+//! Algorithm 1 line 4 reads "for each client i in P_t *in parallel*"; this
+//! module decides what "in parallel" means on the server's hardware. The
+//! contract is strict: **every executor produces bit-identical results**.
+//! That falls out of two properties the round pipeline already has:
+//!
+//! 1. each client's work is a pure function of `(seed, round, client)` —
+//!    per-client RNG streams are derived with SplitMix64, never shared, so
+//!    no client observes another's execution, and
+//! 2. results are placed into a slot per cohort index and consumed in
+//!    cohort order, so thread scheduling cannot reorder what the delivery
+//!    and aggregation stages see.
+//!
+//! Swapping [`ClientExecutor::Sequential`] for
+//! [`ClientExecutor::ScopedThreads`] therefore changes wall-clock time and
+//! nothing else (asserted by `tests/executor_determinism.rs`).
+//!
+//! This file is on the `no-panic-in-round-loop` lint path: scheduling a
+//! cohort must never be able to kill a round.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default executor, honored by
+/// [`ClientExecutor::from_env`] (and therefore by every
+/// [`crate::Simulation`] that is not given an explicit executor):
+/// `sequential` or `threads:<n>`.
+pub const EXECUTOR_ENV: &str = "FEDCAV_EXECUTOR";
+
+/// How the training stage runs the sampled cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientExecutor {
+    /// Train clients one after another on the calling thread. The baseline
+    /// every parallel executor must reproduce bit-for-bit.
+    #[default]
+    Sequential,
+    /// Train clients on this many `std::thread::scope` workers pulling
+    /// cohort indices from a shared queue (dynamic balancing: a straggling
+    /// client never idles the other workers). `ScopedThreads(0|1)` degrades
+    /// to sequential execution.
+    ScopedThreads(usize),
+}
+
+impl ClientExecutor {
+    /// Parse an executor spec: `sequential`, `threads:<n>` or `threads=<n>`.
+    /// Returns `None` on anything else (callers fall back to the default
+    /// rather than failing a run over a typo).
+    pub fn parse(spec: &str) -> Option<ClientExecutor> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("sequential") {
+            return Some(ClientExecutor::Sequential);
+        }
+        let n = spec.strip_prefix("threads:").or_else(|| spec.strip_prefix("threads="))?;
+        let n: usize = n.trim().parse().ok()?;
+        Some(if n <= 1 { ClientExecutor::Sequential } else { ClientExecutor::ScopedThreads(n) })
+    }
+
+    /// The executor selected by [`EXECUTOR_ENV`], or [`Sequential`] when the
+    /// variable is unset or unparseable.
+    ///
+    /// [`Sequential`]: ClientExecutor::Sequential
+    pub fn from_env() -> ClientExecutor {
+        std::env::var(EXECUTOR_ENV).ok().and_then(|s| Self::parse(&s)).unwrap_or_default()
+    }
+
+    /// Worker-thread count this executor schedules onto (1 for sequential).
+    pub fn threads(&self) -> usize {
+        match *self {
+            ClientExecutor::Sequential => 1,
+            ClientExecutor::ScopedThreads(n) => n.max(1),
+        }
+    }
+
+    /// Apply `task` to every item, returning results **in item order**
+    /// regardless of which worker computed what. `task` must be a pure
+    /// function of its item for the cross-executor bit-identity contract to
+    /// hold (the training stage guarantees this by seeding per client).
+    pub fn map<I, T, F>(&self, items: &[I], task: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        match *self {
+            ClientExecutor::Sequential => items.iter().map(task).collect(),
+            ClientExecutor::ScopedThreads(n) if n <= 1 || items.len() <= 1 => {
+                items.iter().map(task).collect()
+            }
+            ClientExecutor::ScopedThreads(n) => map_scoped(items, n, &task),
+        }
+    }
+}
+
+impl fmt::Display for ClientExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ClientExecutor::Sequential => write!(f, "sequential"),
+            ClientExecutor::ScopedThreads(n) => write!(f, "threads:{n}"),
+        }
+    }
+}
+
+/// The parallel path: `threads` scoped workers share an atomic cursor over
+/// `items`; each tags its results with the item index, and the merged
+/// output is sorted back into item order. Dynamic work-stealing for
+/// balance, index-keyed placement for determinism.
+fn map_scoped<I, T, F>(items: &[I], threads: usize, task: &F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(items.len());
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, task(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => tagged.extend(part),
+                // A worker panicked inside `task` (client code, not the
+                // executor); re-raise the original payload rather than
+                // masking it with a secondary scope panic.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_preserves_item_order() {
+        let items: Vec<usize> = (0..17).collect();
+        let out = ClientExecutor::Sequential.map(&items, |&i| i * 2);
+        assert_eq!(out, (0..17).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scoped_threads_match_sequential_exactly() {
+        let items: Vec<usize> = (0..101).collect();
+        let slow_square = |&i: &usize| {
+            // Uneven per-item cost exercises the dynamic queue.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i * i
+        };
+        let seq = ClientExecutor::Sequential.map(&items, slow_square);
+        for n in [2, 3, 4, 8] {
+            let par = ClientExecutor::ScopedThreads(n).map(&items, slow_square);
+            assert_eq!(par, seq, "ScopedThreads({n}) reordered results");
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts_run_sequentially() {
+        let items = [10usize, 20, 30];
+        for exec in [ClientExecutor::ScopedThreads(0), ClientExecutor::ScopedThreads(1)] {
+            assert_eq!(exec.map(&items, |&i| i + 1), vec![11, 21, 31]);
+            assert_eq!(exec.threads(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<usize> = Vec::new();
+        assert_eq!(ClientExecutor::ScopedThreads(4).map(&none, |&i| i), Vec::<usize>::new());
+        assert_eq!(ClientExecutor::ScopedThreads(4).map(&[9usize], |&i| i), vec![9]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items: Vec<usize> = (0..3).collect();
+        assert_eq!(ClientExecutor::ScopedThreads(64).map(&items, |&i| i), items);
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!(ClientExecutor::parse("sequential"), Some(ClientExecutor::Sequential));
+        assert_eq!(ClientExecutor::parse("Sequential"), Some(ClientExecutor::Sequential));
+        assert_eq!(ClientExecutor::parse("threads:4"), Some(ClientExecutor::ScopedThreads(4)));
+        assert_eq!(ClientExecutor::parse("threads=2"), Some(ClientExecutor::ScopedThreads(2)));
+        assert_eq!(ClientExecutor::parse(" threads: 8 "), Some(ClientExecutor::ScopedThreads(8)));
+        assert_eq!(ClientExecutor::parse("threads:1"), Some(ClientExecutor::Sequential));
+        assert_eq!(ClientExecutor::parse("threads:0"), Some(ClientExecutor::Sequential));
+        assert_eq!(ClientExecutor::parse("threads:lots"), None);
+        assert_eq!(ClientExecutor::parse("rayon"), None);
+        assert_eq!(ClientExecutor::parse(""), None);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for exec in [ClientExecutor::Sequential, ClientExecutor::ScopedThreads(4)] {
+            assert_eq!(ClientExecutor::parse(&exec.to_string()), Some(exec));
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_not_deadlocks() {
+        let items: Vec<usize> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            ClientExecutor::ScopedThreads(2).map(&items, |&i| {
+                assert!(i != 5, "boom on item 5");
+                i
+            })
+        });
+        assert!(result.is_err(), "the task panic must surface to the caller");
+    }
+}

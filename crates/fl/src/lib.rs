@@ -13,9 +13,14 @@
 //!   can *reverse* a round,
 //! * [`fedavg`] / [`fedprox`] — the paper's baselines (§5.1.2),
 //! * [`centralized`] — the centralized gradient-descent upper-bound baseline,
-//! * [`server`] — the round loop (client sampling, rayon-parallel local
-//!   training, aggregation, evaluation, history), with an [`Interceptor`]
-//!   hook where adversaries splice in malicious updates,
+//! * [`server`] — the round-loop driver over a staged pipeline, with an
+//!   [`Interceptor`] hook where adversaries splice in malicious updates,
+//! * [`stages`] — the six round stages (sampling → training → delivery →
+//!   validation → aggregation → evaluation), each an isolated function over
+//!   a [`stages::RoundContext`],
+//! * [`executor`] — deterministic client-level parallelism for the training
+//!   stage ([`ClientExecutor`]: sequential or scoped threads, bit-identical
+//!   results either way; `FEDCAV_EXECUTOR` env override),
 //! * [`eval`] / [`metrics`] — test-set evaluation and per-round records,
 //! * [`availability`] — who is online each round (always / Bernoulli /
 //!   diurnal cohorts),
@@ -40,6 +45,7 @@ pub mod client;
 pub mod comm;
 pub mod confusion;
 pub mod eval;
+pub mod executor;
 pub mod faults;
 pub mod fedavg;
 pub mod fedavgm;
@@ -49,6 +55,7 @@ pub mod metrics;
 pub mod robust;
 pub mod sampling;
 pub mod server;
+pub mod stages;
 pub mod strategy;
 pub mod update;
 
@@ -59,6 +66,7 @@ pub use centralized::CentralizedTrainer;
 pub use client::{local_update, LocalConfig};
 pub use comm::{CommModel, CommStats};
 pub use confusion::{evaluate_confusion, ConfusionMatrix};
+pub use executor::ClientExecutor;
 pub use faults::{apply_fault, Corruption, FaultModel, InjectedFault, NoFaults, RandomFaults};
 pub use fedavg::FedAvg;
 pub use fedavgm::FedAvgM;

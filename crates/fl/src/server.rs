@@ -1,19 +1,24 @@
-//! The server round loop: sampling, parallel local training, aggregation,
-//! evaluation (Algorithm 1's outer loop).
+//! The server round loop: a thin driver over the staged round pipeline
+//! ([`crate::stages`]) — sampling, parallel local training, delivery,
+//! validation, aggregation, evaluation (Algorithm 1's outer loop).
 //!
 //! The loop is *fault-tolerant*: a client that crashes, errors, uploads
 //! garbage or misses the deadline costs the round one contribution, never
 //! the whole simulation. See [`FaultPolicy`] and [`crate::faults`].
+//!
+//! Each stage lives in its own module under `stages/`; `run_round` only
+//! sequences them, times them ([`PhaseTimings`]), and folds the resulting
+//! [`crate::stages::RoundContext`] into the permanent [`RoundRecord`].
 
 use crate::availability::{AlwaysAvailable, AvailabilityModel};
-use crate::client::{local_update, LocalConfig};
+use crate::client::LocalConfig;
 use crate::comm::{CommModel, CommStats};
-use crate::eval::evaluate;
-use crate::faults::{apply_fault, slowdown_of, FaultModel, InjectedFault};
+use crate::executor::ClientExecutor;
+use crate::faults::FaultModel;
 use crate::latency::LatencyModel;
-use crate::metrics::{FaultEvent, FaultEventKind, FaultTelemetry, History, RoundRecord};
-use crate::sampling::sample_clients;
-use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::metrics::{History, RoundRecord};
+use crate::stages;
+use crate::strategy::Strategy;
 use crate::update::LocalUpdate;
 use fedcav_data::Dataset;
 use fedcav_nn::Sequential;
@@ -21,7 +26,6 @@ use fedcav_tensor::{Result, TensorError};
 use fedcav_trace::{NoopTracer, PhaseTimings, Span, Tracer, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use std::sync::Arc;
 
 /// A model constructor. Every worker thread builds its own model instance
@@ -105,6 +109,7 @@ pub struct Simulation<'a> {
     latency: Option<Box<dyn LatencyModel + 'a>>,
     fault_model: Option<Box<dyn FaultModel + 'a>>,
     fault_policy: FaultPolicy,
+    executor: ClientExecutor,
     sim_time: f64,
     global: Vec<f32>,
     history: History,
@@ -116,24 +121,12 @@ pub struct Simulation<'a> {
     tracer: Arc<dyn Tracer>,
 }
 
-/// Seed salt separating the corruption-value stream from the training
-/// stream (both hash the same master seed per (round, client)).
-const CORRUPTION_STREAM: u64 = 0xC044_BADD_0B5E_55ED;
-
-/// SplitMix64 — derives independent per-(round, client) seeds from the
-/// master seed so parallel execution order never affects results.
-fn derive_seed(master: u64, round: usize, client: usize) -> u64 {
-    let mut z = master
-        .wrapping_add((round as u64).wrapping_mul(0x9E3779B97F4A7C15))
-        .wrapping_add((client as u64).wrapping_mul(0xBF58476D1CE4E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
 impl<'a> Simulation<'a> {
     /// Build a deployment. The initial global model is one fresh `factory()`
-    /// instance (the paper's "initialize weights" step).
+    /// instance (the paper's "initialize weights" step). The client executor
+    /// defaults to [`ClientExecutor::from_env`], so setting
+    /// `FEDCAV_EXECUTOR=threads:4` parallelises every simulation in the
+    /// process without code changes (results are bit-identical either way).
     pub fn new(
         factory: &'a ModelFactory,
         clients: Vec<Dataset>,
@@ -155,6 +148,7 @@ impl<'a> Simulation<'a> {
             latency: None,
             fault_model: None,
             fault_policy: FaultPolicy::default(),
+            executor: ClientExecutor::from_env(),
             sim_time: 0.0,
             global,
             history: History::new(),
@@ -167,40 +161,63 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    /// Install an adversarial interceptor.
-    pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor + 'a>) {
+    /// Install an adversarial interceptor. Returns `&mut self` for chaining.
+    pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor + 'a>) -> &mut Self {
         self.interceptor = Some(interceptor);
+        self
     }
 
     /// Install a tracer (default: [`NoopTracer`]). Tracing only *observes*
     /// wall time — results are bit-identical for the same seed whatever
     /// tracer is installed. Keep a clone of the [`Arc`] to read collected
-    /// events back out after the run.
-    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+    /// events back out after the run. Returns `&mut self` for chaining.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) -> &mut Self {
         self.tracer = tracer;
+        self
     }
 
     /// Install a client-availability model (default: everyone online).
-    pub fn set_availability(&mut self, model: Box<dyn AvailabilityModel + 'a>) {
+    /// Returns `&mut self` for chaining.
+    pub fn set_availability(&mut self, model: Box<dyn AvailabilityModel + 'a>) -> &mut Self {
         self.availability = model;
+        self
     }
 
     /// Install a latency model; rounds then advance simulated wall-clock by
-    /// the slowest participant's latency (synchronous FL).
-    pub fn set_latency(&mut self, model: Box<dyn LatencyModel + 'a>) {
+    /// the slowest participant's latency (synchronous FL). Returns
+    /// `&mut self` for chaining.
+    pub fn set_latency(&mut self, model: Box<dyn LatencyModel + 'a>) -> &mut Self {
         self.latency = Some(model);
+        self
     }
 
     /// Install a fault model (default: none — every client behaves).
     /// Installing [`crate::faults::NoFaults`] is byte-identical to
-    /// installing nothing.
-    pub fn set_fault_model(&mut self, model: Box<dyn FaultModel + 'a>) {
+    /// installing nothing. Returns `&mut self` for chaining.
+    pub fn set_fault_model(&mut self, model: Box<dyn FaultModel + 'a>) -> &mut Self {
         self.fault_model = Some(model);
+        self
     }
 
     /// Configure graceful degradation (deadline, quorum, norm bound).
-    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+    /// Returns `&mut self` for chaining.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) -> &mut Self {
         self.fault_policy = policy;
+        self
+    }
+
+    /// Choose how the training stage schedules clients (default: the
+    /// [`crate::executor::EXECUTOR_ENV`] override, else sequential). Every
+    /// executor produces bit-identical results — only wall-clock changes.
+    /// Returns `&mut self` for chaining.
+    pub fn set_executor(&mut self, executor: ClientExecutor) -> &mut Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The client executor in force.
+    pub fn executor(&self) -> ClientExecutor {
+        self.executor
     }
 
     /// The fault-tolerance policy in force.
@@ -250,7 +267,47 @@ impl<'a> Simulation<'a> {
         self.comm_stats
     }
 
+    /// The training stage's view of the deployment. FedProx injects its μ
+    /// into local training; other strategies leave the configured value
+    /// (normally 0).
+    fn training_env(&self) -> stages::training::TrainingEnv<'_> {
+        let strategy_mu = self.strategy.prox_mu();
+        let local = LocalConfig {
+            prox_mu: if strategy_mu > 0.0 { strategy_mu } else { self.config.local.prox_mu },
+            ..self.config.local
+        };
+        stages::training::TrainingEnv {
+            factory: self.factory,
+            global: &self.global,
+            clients: &self.clients,
+            local,
+            seed: self.config.seed,
+            fault_model: self.fault_model.as_deref(),
+        }
+    }
+
+    /// The delivery stage's inputs, borrow-split so the stage can read the
+    /// deployment (env) while mutating the traffic ledger and running the
+    /// interceptor.
+    fn delivery_io(
+        &mut self,
+    ) -> (stages::delivery::DeliveryEnv<'_>, &mut CommStats, Option<&mut (dyn Interceptor + 'a)>)
+    {
+        let env = stages::delivery::DeliveryEnv {
+            latency: self.latency.as_deref(),
+            deadline: self.fault_policy.deadline,
+            comm: self.comm_model,
+            counts_loss: self.strategy.uses_inference_loss(),
+            global: &self.global,
+        };
+        (env, &mut self.comm_stats, self.interceptor.as_deref_mut())
+    }
+
     /// Run one communication round; returns the recorded metrics.
+    ///
+    /// This is a pure driver: it sequences the six pipeline stages, times
+    /// each one, and records the result — all round semantics live in
+    /// [`crate::stages`].
     pub fn run_round(&mut self) -> Result<RoundRecord> {
         // Phase wall times are always measured (six `Instant` reads per
         // round); the tracer only decides whether span *events* are also
@@ -260,282 +317,48 @@ impl<'a> Simulation<'a> {
         let mut phases = PhaseTimings::default();
         let round_span = Span::begin(tracer, "round");
         let ops_before = fedcav_tensor::counters::snapshot();
+        let mut ctx = stages::RoundContext::new(self.round);
 
-        // Sample `q` of the *online* clients; if the availability model
-        // leaves nobody online this round, fall back to the full population
-        // (a real server would retry / wait — the simulation keeps moving).
-        let sampling_span = Span::begin(tracer, "round.sampling");
-        let online = self.availability.available(self.clients.len(), self.round);
-        let participants: Vec<usize> = if online.is_empty() {
-            sample_clients(self.clients.len(), self.config.sample_ratio, &mut self.rng)
-        } else {
-            sample_clients(online.len(), self.config.sample_ratio, &mut self.rng)
-                .into_iter()
-                .filter_map(|i| online.get(i).copied())
-                .collect()
-        };
-        phases.sampling_ns = sampling_span.done();
+        let span = Span::begin(tracer, "round.sampling");
+        let (n, q) = (self.clients.len(), self.config.sample_ratio);
+        stages::sampling::run(&mut ctx, &*self.availability, n, q, &mut self.rng);
+        phases.sampling_ns = span.done();
 
-        // FedProx injects its μ into local training; others leave the
-        // configured value (normally 0).
-        let strategy_mu = self.strategy.prox_mu();
-        let local_cfg = LocalConfig {
-            prox_mu: if strategy_mu > 0.0 { strategy_mu } else { self.config.local.prox_mu },
-            ..self.config.local
-        };
+        let span = Span::begin(tracer, "round.training");
+        stages::training::run(&mut ctx, &self.training_env(), self.executor);
+        phases.training_ns = span.finish(training_fields(tracer, &ctx));
 
-        let factory = self.factory;
-        let global = &self.global;
-        let clients = &self.clients;
-        let seed = self.config.seed;
-        let round = self.round;
+        let span = Span::begin(tracer, "round.delivery");
+        let (env, comm_stats, interceptor) = self.delivery_io();
+        stages::delivery::run(&mut ctx, env, comm_stats, interceptor)?;
+        phases.delivery_ns = span.done();
 
-        // Per-client result of the training phase. A crash, a training
-        // error or an injected corruption is a recorded outcome, never a
-        // `?`-abort of the whole round.
-        enum Outcome {
-            /// The update reached the server (possibly corrupted).
-            Arrived(LocalUpdate),
-            /// The client went silent; nothing arrived.
-            Crashed,
-            /// Local training errored out.
-            Failed(String),
-        }
+        let span = Span::begin(tracer, "round.validation");
+        stages::validation::run(&mut ctx, self.global.len(), self.fault_policy.max_param_norm);
+        phases.validation_ns = span.done();
 
-        let fault_model = self.fault_model.as_deref();
+        let span = Span::begin(tracer, "round.aggregation");
+        let quorum = self.fault_policy.min_quorum;
+        stages::aggregation::run(&mut ctx, &mut *self.strategy, &mut self.global, quorum)?;
+        phases.aggregation_ns = span.done();
 
-        // Algorithm 1 line 4: "for each client i in P_t in parallel".
-        let training_span = Span::begin(tracer, "round.training");
-        let outcomes: Vec<(usize, Option<InjectedFault>, Outcome)> = participants
-            .par_iter()
-            .map(|&cid| {
-                let fault = fault_model.and_then(|m| m.inject(seed, round, cid));
-                if matches!(fault, Some(InjectedFault::Crash)) {
-                    return (cid, fault, Outcome::Crashed);
-                }
-                let Some(dataset) = clients.get(cid) else {
-                    // An availability model returning an out-of-range id is a
-                    // model bug; treat it as a failed client, not a panic.
-                    return (cid, fault, Outcome::Failed(format!("unknown client id {cid}")));
-                };
-                let trained = local_update(
-                    factory,
-                    global,
-                    cid,
-                    dataset,
-                    &local_cfg,
-                    derive_seed(seed, round, cid),
-                );
-                match trained {
-                    Ok(mut update) => {
-                        if let Some(f) = fault {
-                            apply_fault(
-                                f,
-                                &mut update,
-                                derive_seed(seed ^ CORRUPTION_STREAM, round, cid),
-                            );
-                        }
-                        (cid, fault, Outcome::Arrived(update))
-                    }
-                    Err(e) => (cid, fault, Outcome::Failed(e.to_string())),
-                }
-            })
-            .collect();
-        phases.training_ns = training_span.finish(if tracer.enabled() {
-            vec![("clients".to_string(), Value::from(participants.len()))]
-        } else {
-            Vec::new()
-        });
-
-        // Delivery: crashes and training errors are dropped contributions;
-        // with a deadline + latency model, over-deadline clients time out.
-        // Crashed clients keep their nominal latency in the duration math —
-        // a synchronous server still waits on them until it gives up.
-        let delivery_span = Span::begin(tracer, "round.delivery");
-        let mut telemetry = FaultTelemetry::default();
-        let deadline = self.fault_policy.deadline;
-        let mut slowdowns: Vec<(usize, f64)> = Vec::with_capacity(outcomes.len());
-        let mut updates: Vec<LocalUpdate> = Vec::with_capacity(outcomes.len());
-        let mut delivered = 0usize;
-        for (cid, fault, outcome) in outcomes {
-            let slowdown = slowdown_of(fault);
-            slowdowns.push((cid, slowdown));
-            match outcome {
-                Outcome::Arrived(update) => {
-                    // The upload happened whether or not the server still
-                    // wants the payload: a timed-out (and later, a
-                    // quarantined) update consumed full uplink; only
-                    // crashed/failed clients sent nothing.
-                    delivered += 1;
-                    let late = match (deadline, self.latency.as_ref()) {
-                        (Some(d), Some(m)) => {
-                            let eff = m.latency(cid, round) * slowdown;
-                            (eff > d).then_some((eff, d))
-                        }
-                        _ => None,
-                    };
-                    match late {
-                        Some((eff, d)) => telemetry.record(FaultEvent {
-                            client: cid,
-                            kind: FaultEventKind::TimedOut,
-                            detail: format!("latency {eff:.3}s exceeds round deadline {d:.3}s"),
-                        }),
-                        None => updates.push(update),
-                    }
-                }
-                Outcome::Crashed => telemetry.record(FaultEvent {
-                    client: cid,
-                    kind: FaultEventKind::Dropped,
-                    detail: "client crashed mid-round".to_string(),
-                }),
-                Outcome::Failed(err) => telemetry.record(FaultEvent {
-                    client: cid,
-                    kind: FaultEventKind::Dropped,
-                    detail: format!("local training failed: {err}"),
-                }),
-            }
-        }
-
-        // §6 communication accounting, measured at delivery time: the
-        // server pushed the global model to every sampled participant, and
-        // every update that actually reached the server consumed uplink.
-        // This runs *before* the interceptor so adversarially added or
-        // removed updates cannot distort the traffic ledger, and counts
-        // `delivered` (not the post-deadline survivor set) so a timed-out
-        // straggler's upload is still billed.
-        let bytes_down = self.comm_model.downlink(participants.len());
-        let bytes_up = self.comm_model.uplink(delivered, self.strategy.uses_inference_loss());
-        self.comm_stats.record(bytes_down, bytes_up);
-
-        if let Some(interceptor) = &mut self.interceptor {
-            interceptor.intercept(round, &self.global, &mut updates)?;
-        }
-        phases.delivery_ns = delivery_span.done();
-
-        // Server-side validation: quarantine anything that would poison the
-        // aggregation arithmetic (§4.4's detection defends against clients
-        // that lie; this pass defends against clients that break).
-        let validation_span = Span::begin(tracer, "round.validation");
-        let expected_len = self.global.len();
-        let max_norm = self.fault_policy.max_param_norm;
-        let mut valid: Vec<LocalUpdate> = Vec::with_capacity(updates.len());
-        for update in updates {
-            match update.validate(expected_len, max_norm) {
-                Ok(()) => valid.push(update),
-                Err(defect) => telemetry.record(FaultEvent {
-                    client: update.client_id,
-                    kind: FaultEventKind::Quarantined,
-                    detail: defect.to_string(),
-                }),
-            }
-        }
-
-        let mean_loss = if valid.is_empty() {
-            0.0
-        } else {
-            valid.iter().map(|u| u.inference_loss).sum::<f32>() / valid.len() as f32
-        };
-        // `fold(NEG_INFINITY, max)` over an empty round would leak -inf
-        // into the record (and from there into detector baselines); report
-        // 0.0 instead, matching mean_loss.
-        let max_loss = valid.iter().map(|u| u.inference_loss).fold(f32::NEG_INFINITY, f32::max);
-        let max_loss = if max_loss.is_finite() { max_loss } else { 0.0 };
-        phases.validation_ns = validation_span.done();
-
-        let aggregation_span = Span::begin(tracer, "round.aggregation");
-        let quorum = self.fault_policy.min_quorum.max(1);
-        let (rejected, reason) = if valid.len() < quorum {
-            // Quorum miss: hold the global model and record a degraded
-            // round rather than aggregating a handful of survivors (or
-            // nothing at all).
-            telemetry.degraded = true;
-            (false, None)
-        } else {
-            let ctx = RoundContext { round, global: &self.global };
-            match self.strategy.aggregate(&ctx, &valid)? {
-                Aggregation::Accept(params) => {
-                    if params.len() != self.global.len() {
-                        return Err(TensorError::ElementCountMismatch {
-                            from: params.len(),
-                            to: self.global.len(),
-                        });
-                    }
-                    self.global = params;
-                    (false, None)
-                }
-                Aggregation::Reject { reverted, reason } => {
-                    if reverted.len() != self.global.len() {
-                        return Err(TensorError::ElementCountMismatch {
-                            from: reverted.len(),
-                            to: self.global.len(),
-                        });
-                    }
-                    self.global = reverted;
-                    // Server-side optimizer state (e.g. FedAvgM's velocity)
-                    // was accumulated from the trajectory we just rolled
-                    // back; give the strategy the chance to discard it.
-                    self.strategy.on_reject();
-                    (true, Some(reason))
-                }
-            }
-        };
-        phases.aggregation_ns = aggregation_span.done();
-
-        let evaluation_span = Span::begin(tracer, "round.evaluation");
-        let mut eval_model = (self.factory)();
-        eval_model.set_flat_params(&self.global)?;
-        let (test_loss, test_accuracy) =
-            evaluate(&mut eval_model, &self.test, self.config.eval_batch)?;
-        phases.evaluation_ns = evaluation_span.done();
+        let span = Span::begin(tracer, "round.evaluation");
+        let (test, batch) = (&self.test, self.config.eval_batch);
+        stages::evaluation::run(&mut ctx, self.factory, &self.global, test, batch)?;
+        phases.evaluation_ns = span.done();
 
         let round_duration = self
             .latency
-            .as_ref()
-            .map(|m| m.round_duration_capped(&slowdowns, round, deadline))
+            .as_deref()
+            .map(|m| m.round_duration_capped(&ctx.slowdowns, ctx.round, self.fault_policy.deadline))
             .unwrap_or(0.0);
         self.sim_time += round_duration;
-
         // Close the whole-round span last; `total_ns` is measured by its
         // own Instant, so `phases.phase_sum_ns() <= phases.total_ns` holds.
-        phases.total_ns = round_span.finish(if tracer.enabled() {
-            vec![
-                ("round".to_string(), Value::from(round)),
-                ("participants".to_string(), Value::from(participants.len())),
-                ("aggregated".to_string(), Value::from(valid.len())),
-                ("accuracy".to_string(), Value::from(test_accuracy)),
-                ("rejected".to_string(), Value::from(rejected)),
-                ("bytes_down".to_string(), Value::from(bytes_down)),
-                ("bytes_up".to_string(), Value::from(bytes_up)),
-            ]
-        } else {
-            Vec::new()
-        });
-        if tracer.enabled() && fedcav_tensor::counters::is_enabled() {
-            let ops = fedcav_tensor::counters::snapshot().delta(&ops_before);
-            let mut ev =
-                fedcav_trace::Event::counter("round.ops", tracer.now_ns()).with("round", round);
-            for (k, v) in ops.fields() {
-                ev = ev.with(k, v);
-            }
-            tracer.record(ev);
-        }
+        phases.total_ns = round_span.finish(round_fields(tracer, &ctx));
+        emit_ops_counter(tracer, ctx.round, &ops_before);
 
-        let record = RoundRecord {
-            round,
-            test_accuracy,
-            test_loss,
-            mean_inference_loss: mean_loss,
-            max_inference_loss: max_loss,
-            participants: participants.len(),
-            rejected,
-            reject_reason: reason,
-            bytes_down,
-            bytes_up,
-            round_duration,
-            sim_time: self.sim_time,
-            faults: telemetry,
-            phases,
-        };
+        let record = ctx.into_record(phases, round_duration, self.sim_time);
         self.history.records.push(record.clone());
         self.round += 1;
         Ok(record)
@@ -555,10 +378,56 @@ impl<'a> Simulation<'a> {
     }
 }
 
+/// Span fields for the training phase (only built when the tracer listens).
+fn training_fields(tracer: &dyn Tracer, ctx: &stages::RoundContext) -> Vec<(String, Value)> {
+    if tracer.enabled() {
+        vec![("clients".to_string(), Value::from(ctx.participants.len()))]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Span fields for the whole-round span (only built when the tracer
+/// listens).
+fn round_fields(tracer: &dyn Tracer, ctx: &stages::RoundContext) -> Vec<(String, Value)> {
+    if !tracer.enabled() {
+        return Vec::new();
+    }
+    vec![
+        ("round".to_string(), Value::from(ctx.round)),
+        ("participants".to_string(), Value::from(ctx.participants.len())),
+        ("aggregated".to_string(), Value::from(ctx.surviving())),
+        ("accuracy".to_string(), Value::from(ctx.test_accuracy)),
+        ("rejected".to_string(), Value::from(ctx.rejected)),
+        ("bytes_down".to_string(), Value::from(ctx.bytes_down)),
+        ("bytes_up".to_string(), Value::from(ctx.bytes_up)),
+    ]
+}
+
+/// Emit the per-round op-counter delta as a counter event (only when both a
+/// tracer listens and the tensor counters are enabled).
+fn emit_ops_counter(
+    tracer: &dyn Tracer,
+    round: usize,
+    before: &fedcav_tensor::counters::OpCounters,
+) {
+    if tracer.enabled() && fedcav_tensor::counters::is_enabled() {
+        let ops = fedcav_tensor::counters::snapshot().delta(before);
+        let mut ev =
+            fedcav_trace::Event::counter("round.ops", tracer.now_ns()).with("round", round);
+        for (k, v) in ops.fields() {
+            ev = ev.with(k, v);
+        }
+        tracer.record(ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{Corruption, InjectedFault, NoFaults};
     use crate::fedavg::FedAvg;
+    use crate::strategy::{Aggregation, RoundContext};
     use fedcav_data::{partition, SyntheticConfig, SyntheticKind};
     use fedcav_nn::models;
 
@@ -807,18 +676,38 @@ mod tests {
     }
 
     #[test]
-    fn derive_seed_is_stable_and_spreads() {
-        assert_eq!(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
-        assert_ne!(derive_seed(1, 2, 3), derive_seed(1, 2, 4));
-        assert_ne!(derive_seed(1, 2, 3), derive_seed(1, 3, 3));
-        assert_ne!(derive_seed(1, 2, 3), derive_seed(2, 2, 3));
+    fn builder_setters_chain() {
+        use crate::latency::UniformLatency;
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = Simulation::new(
+            &factory,
+            clients,
+            test,
+            Box::new(FedAvg::new()),
+            SimulationConfig {
+                sample_ratio: 1.0,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                eval_batch: 32,
+                seed: 3,
+            },
+        );
+        sim.set_latency(Box::new(UniformLatency(2.0)))
+            .set_fault_model(Box::new(NoFaults))
+            .set_fault_policy(FaultPolicy { deadline: Some(5.0), ..Default::default() })
+            .set_executor(ClientExecutor::Sequential);
+        assert_eq!(sim.fault_policy().deadline, Some(5.0));
+        assert_eq!(sim.executor(), ClientExecutor::Sequential);
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.round_duration, 2.0);
     }
-
-    use crate::faults::{Corruption, FaultModel, NoFaults};
 
     /// A fault model that applies one fixed fault to one fixed client.
     struct TargetOne(usize, InjectedFault);
-    impl FaultModel for TargetOne {
+    impl crate::faults::FaultModel for TargetOne {
         fn inject(&self, _seed: u64, _round: usize, client: usize) -> Option<InjectedFault> {
             (client == self.0).then_some(self.1)
         }
@@ -897,7 +786,7 @@ mod tests {
     #[test]
     fn quorum_miss_holds_the_global_model() {
         struct CrashAll;
-        impl FaultModel for CrashAll {
+        impl crate::faults::FaultModel for CrashAll {
             fn inject(&self, _s: u64, _r: usize, _c: usize) -> Option<InjectedFault> {
                 Some(InjectedFault::Crash)
             }

@@ -1,0 +1,159 @@
+//! Stage 5 — aggregation.
+//!
+//! Hand the validated updates to the [`Strategy`] (Algorithm 1 lines 6–9).
+//! Three outcomes:
+//!
+//! * **quorum miss** — too few valid updates survived; hold the global
+//!   model and record a degraded round rather than aggregating a handful of
+//!   survivors (or nothing at all),
+//! * **accept** — install the aggregated parameters,
+//! * **reject** — the strategy's detection fired (Eq. 13): install the
+//!   reverted parameters and call [`Strategy::on_reject`] so server-side
+//!   optimizer state accumulated from the rolled-back trajectory (e.g.
+//!   FedAvgM's velocity) is discarded too.
+
+use super::RoundContext;
+use crate::strategy::{Aggregation, RoundContext as StrategyContext, Strategy};
+use fedcav_tensor::{Result, TensorError};
+
+/// Aggregate `ctx.updates` into `global` (or hold/revert it), updating
+/// `ctx.rejected` / `ctx.reject_reason` / `ctx.telemetry.degraded`.
+/// `min_quorum` values below 1 are treated as 1: aggregating nothing is
+/// never meaningful.
+pub fn run(
+    ctx: &mut RoundContext,
+    strategy: &mut (dyn Strategy + '_),
+    global: &mut Vec<f32>,
+    min_quorum: usize,
+) -> Result<()> {
+    let quorum = min_quorum.max(1);
+    if ctx.updates.len() < quorum {
+        ctx.telemetry.degraded = true;
+        return Ok(());
+    }
+    let decision = {
+        let sctx = StrategyContext { round: ctx.round, global };
+        strategy.aggregate(&sctx, &ctx.updates)?
+    };
+    match decision {
+        Aggregation::Accept(params) => {
+            if params.len() != global.len() {
+                return Err(TensorError::ElementCountMismatch {
+                    from: params.len(),
+                    to: global.len(),
+                });
+            }
+            *global = params;
+        }
+        Aggregation::Reject { reverted, reason } => {
+            if reverted.len() != global.len() {
+                return Err(TensorError::ElementCountMismatch {
+                    from: reverted.len(),
+                    to: global.len(),
+                });
+            }
+            *global = reverted;
+            // Server-side optimizer state (e.g. FedAvgM's velocity) was
+            // accumulated from the trajectory we just rolled back; give the
+            // strategy the chance to discard it.
+            strategy.on_reject();
+            ctx.rejected = true;
+            ctx.reject_reason = Some(reason);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fedavg::FedAvg;
+    use crate::update::LocalUpdate;
+
+    fn update(cid: usize, params: Vec<f32>) -> LocalUpdate {
+        LocalUpdate::new(cid, params, 0.5, 10)
+    }
+
+    #[test]
+    fn quorum_miss_degrades_and_holds_the_model() {
+        let mut ctx = RoundContext::new(0);
+        ctx.updates = vec![update(0, vec![1.0; 4])];
+        let mut global = vec![0.5; 4];
+        let before = global.clone();
+        run(&mut ctx, &mut FedAvg::new(), &mut global, 2).unwrap();
+        assert!(ctx.telemetry.degraded);
+        assert!(!ctx.rejected);
+        assert_eq!(global, before, "global model held on a quorum miss");
+    }
+
+    #[test]
+    fn accept_installs_the_aggregate() {
+        let mut ctx = RoundContext::new(0);
+        ctx.updates = vec![update(0, vec![1.0; 4]), update(1, vec![3.0; 4])];
+        let mut global = vec![0.0; 4];
+        run(&mut ctx, &mut FedAvg::new(), &mut global, 1).unwrap();
+        assert!(!ctx.rejected);
+        assert!(!ctx.telemetry.degraded);
+        assert!(global.iter().all(|&p| (p - 2.0).abs() < 1e-6), "equal-sized clients average");
+    }
+
+    /// A strategy that always rejects, tracking whether on_reject ran.
+    struct AlwaysReject {
+        on_reject_calls: usize,
+    }
+    impl Strategy for AlwaysReject {
+        fn name(&self) -> &'static str {
+            "AlwaysReject"
+        }
+        fn aggregate(
+            &mut self,
+            ctx: &StrategyContext<'_>,
+            _updates: &[LocalUpdate],
+        ) -> Result<Aggregation> {
+            Ok(Aggregation::Reject {
+                reverted: ctx.global.to_vec(),
+                reason: "vote failed".to_string(),
+            })
+        }
+        fn on_reject(&mut self) {
+            self.on_reject_calls += 1;
+        }
+    }
+
+    #[test]
+    fn reject_reverts_and_fires_on_reject() {
+        let mut ctx = RoundContext::new(0);
+        ctx.updates = vec![update(0, vec![9.0; 4])];
+        let mut global = vec![0.5; 4];
+        let before = global.clone();
+        let mut strategy = AlwaysReject { on_reject_calls: 0 };
+        run(&mut ctx, &mut strategy, &mut global, 1).unwrap();
+        assert!(ctx.rejected);
+        assert_eq!(ctx.reject_reason.as_deref(), Some("vote failed"));
+        assert_eq!(global, before);
+        assert_eq!(strategy.on_reject_calls, 1);
+    }
+
+    /// A strategy that returns a wrong-length aggregate.
+    struct WrongLen;
+    impl Strategy for WrongLen {
+        fn name(&self) -> &'static str {
+            "WrongLen"
+        }
+        fn aggregate(
+            &mut self,
+            _ctx: &StrategyContext<'_>,
+            _updates: &[LocalUpdate],
+        ) -> Result<Aggregation> {
+            Ok(Aggregation::Accept(vec![0.0; 2]))
+        }
+    }
+
+    #[test]
+    fn wrong_length_aggregate_is_an_error() {
+        let mut ctx = RoundContext::new(0);
+        ctx.updates = vec![update(0, vec![1.0; 4])];
+        let mut global = vec![0.5; 4];
+        assert!(run(&mut ctx, &mut WrongLen, &mut global, 1).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Stage 3 — delivery.
+//!
+//! Decide which training outcomes actually reach the aggregation: crashes
+//! and training errors are dropped contributions; with a deadline and a
+//! latency model installed, over-deadline clients time out. Crashed clients
+//! keep their nominal latency in the round-duration math — a synchronous
+//! server still waits on them until it gives up.
+//!
+//! This stage also owns the §6 communication ledger and the adversarial
+//! interception seam, in that order: traffic is billed *before* the
+//! interceptor runs so adversarially added or removed updates cannot
+//! distort the ledger.
+
+use super::{ClientOutcome, RoundContext};
+use crate::comm::{CommModel, CommStats};
+use crate::faults::slowdown_of;
+use crate::latency::LatencyModel;
+use crate::metrics::{FaultEvent, FaultEventKind};
+use crate::server::Interceptor;
+use fedcav_tensor::Result;
+
+/// The deployment state the delivery stage reads.
+pub struct DeliveryEnv<'a> {
+    /// Latency model, if any; required for the deadline to have an effect.
+    pub latency: Option<&'a dyn LatencyModel>,
+    /// Round deadline in simulated seconds ([`crate::FaultPolicy`]).
+    pub deadline: Option<f64>,
+    /// Byte-accounting model for downlink/uplink traffic.
+    pub comm: CommModel,
+    /// Whether uplink includes the per-client inference loss (FedCav's "one
+    /// extra float").
+    pub counts_loss: bool,
+    /// The current global model (shown to the interceptor, read-only).
+    pub global: &'a [f32],
+}
+
+/// Drain `ctx.outcomes` into `ctx.updates`/`ctx.telemetry`, record straggler
+/// slowdowns, bill the round's traffic into `comm_stats`, then hand the
+/// surviving updates to the interceptor (the attack seam).
+///
+/// The §6 accounting counts `ctx.delivered` — every upload that physically
+/// reached the server, including ones immediately timed out (and ones later
+/// quarantined): the bytes were spent. Only crashed/failed clients sent
+/// nothing.
+pub fn run<'a>(
+    ctx: &mut RoundContext,
+    env: DeliveryEnv<'_>,
+    comm_stats: &mut CommStats,
+    interceptor: Option<&mut (dyn Interceptor + 'a)>,
+) -> Result<()> {
+    let outcomes = std::mem::take(&mut ctx.outcomes);
+    ctx.slowdowns.reserve(outcomes.len());
+    ctx.updates.reserve(outcomes.len());
+    for (cid, fault, outcome) in outcomes {
+        let slowdown = slowdown_of(fault);
+        ctx.slowdowns.push((cid, slowdown));
+        match outcome {
+            ClientOutcome::Arrived(update) => {
+                ctx.delivered += 1;
+                let late = match (env.deadline, env.latency) {
+                    (Some(d), Some(m)) => {
+                        let eff = m.latency(cid, ctx.round) * slowdown;
+                        (eff > d).then_some((eff, d))
+                    }
+                    _ => None,
+                };
+                match late {
+                    Some((eff, d)) => ctx.telemetry.record(FaultEvent {
+                        client: cid,
+                        kind: FaultEventKind::TimedOut,
+                        detail: format!("latency {eff:.3}s exceeds round deadline {d:.3}s"),
+                    }),
+                    None => ctx.updates.push(update),
+                }
+            }
+            ClientOutcome::Crashed => ctx.telemetry.record(FaultEvent {
+                client: cid,
+                kind: FaultEventKind::Dropped,
+                detail: "client crashed mid-round".to_string(),
+            }),
+            ClientOutcome::Failed(err) => ctx.telemetry.record(FaultEvent {
+                client: cid,
+                kind: FaultEventKind::Dropped,
+                detail: format!("local training failed: {err}"),
+            }),
+        }
+    }
+
+    ctx.bytes_down = env.comm.downlink(ctx.participants.len());
+    ctx.bytes_up = env.comm.uplink(ctx.delivered, env.counts_loss);
+    comm_stats.record(ctx.bytes_down, ctx.bytes_up);
+
+    if let Some(interceptor) = interceptor {
+        interceptor.intercept(ctx.round, env.global, &mut ctx.updates)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::UniformLatency;
+    use crate::update::LocalUpdate;
+
+    fn arrived(
+        cid: usize,
+        loss: f32,
+    ) -> (usize, Option<crate::faults::InjectedFault>, ClientOutcome) {
+        (cid, None, ClientOutcome::Arrived(LocalUpdate::new(cid, vec![0.0; 4], loss, 10)))
+    }
+
+    fn env_no_latency(global: &[f32]) -> DeliveryEnv<'_> {
+        DeliveryEnv {
+            latency: None,
+            deadline: None,
+            comm: CommModel::new(4),
+            counts_loss: false,
+            global,
+        }
+    }
+
+    #[test]
+    fn crashes_and_failures_become_drops() {
+        let global = vec![0.0; 4];
+        let mut ctx = RoundContext::new(0);
+        ctx.participants = vec![0, 1, 2];
+        ctx.outcomes = vec![
+            arrived(0, 0.5),
+            (1, None, ClientOutcome::Crashed),
+            (2, None, ClientOutcome::Failed("oom".to_string())),
+        ];
+        let mut stats = CommStats::default();
+        run(&mut ctx, env_no_latency(&global), &mut stats, None).unwrap();
+        assert_eq!(ctx.updates.len(), 1);
+        assert_eq!(ctx.delivered, 1);
+        assert_eq!(ctx.telemetry.dropped, 2);
+        assert_eq!(ctx.slowdowns.len(), 3, "every participant keeps a slowdown entry");
+    }
+
+    #[test]
+    fn deadline_times_out_the_straggler() {
+        use crate::faults::InjectedFault;
+        let global = vec![0.0; 4];
+        let mut ctx = RoundContext::new(0);
+        ctx.participants = vec![0, 1];
+        ctx.outcomes = vec![arrived(0, 0.5), arrived(1, 0.5)];
+        ctx.outcomes[1].1 = Some(InjectedFault::Straggle(10.0));
+        let latency = UniformLatency(2.0);
+        let env = DeliveryEnv {
+            latency: Some(&latency),
+            deadline: Some(5.0),
+            comm: CommModel::new(4),
+            counts_loss: false,
+            global: &global,
+        };
+        let mut stats = CommStats::default();
+        run(&mut ctx, env, &mut stats, None).unwrap();
+        assert_eq!(ctx.telemetry.timed_out, 1);
+        assert_eq!(ctx.updates.len(), 1);
+        // The straggler's upload still physically happened.
+        assert_eq!(ctx.delivered, 2);
+        assert_eq!(ctx.bytes_up, CommModel::new(4).uplink(2, false));
+    }
+
+    #[test]
+    fn traffic_is_billed_before_interception() {
+        struct SwallowAll;
+        impl Interceptor for SwallowAll {
+            fn intercept(
+                &mut self,
+                _round: usize,
+                _global: &[f32],
+                updates: &mut Vec<LocalUpdate>,
+            ) -> Result<()> {
+                updates.clear();
+                Ok(())
+            }
+        }
+        let global = vec![0.0; 4];
+        let mut ctx = RoundContext::new(0);
+        ctx.participants = vec![0, 1];
+        ctx.outcomes = vec![arrived(0, 0.5), arrived(1, 0.5)];
+        let mut stats = CommStats::default();
+        let mut interceptor = SwallowAll;
+        run(&mut ctx, env_no_latency(&global), &mut stats, Some(&mut interceptor)).unwrap();
+        assert!(ctx.updates.is_empty(), "the interceptor swallowed everything");
+        assert_eq!(ctx.bytes_up, CommModel::new(4).uplink(2, false), "…but the bytes were spent");
+        assert_eq!(stats.total_up, ctx.bytes_up);
+    }
+}

@@ -1,0 +1,61 @@
+//! Stage 6 — evaluation.
+//!
+//! Measure the (possibly reverted) global model on the server's held-out
+//! test set. A fresh model instance is built from the factory and loaded
+//! with the flat parameter vector, so evaluation can never mutate training
+//! state.
+
+use super::RoundContext;
+use crate::eval::evaluate;
+use crate::server::ModelFactory;
+use fedcav_data::Dataset;
+use fedcav_tensor::Result;
+
+/// Fill `ctx.test_loss` / `ctx.test_accuracy` by evaluating `global` on
+/// `test` in batches of `eval_batch`.
+pub fn run(
+    ctx: &mut RoundContext,
+    factory: &ModelFactory,
+    global: &[f32],
+    test: &Dataset,
+    eval_batch: usize,
+) -> Result<()> {
+    let mut model = factory();
+    model.set_flat_params(global)?;
+    let (test_loss, test_accuracy) = evaluate(&mut model, test, eval_batch)?;
+    ctx.test_loss = test_loss;
+    ctx.test_accuracy = test_accuracy;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_data::{SyntheticConfig, SyntheticKind};
+    use fedcav_nn::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_test_metrics_from_a_flat_vector() {
+        let (_train, test) =
+            SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2).generate().unwrap();
+        let img_len = test.image_len();
+        let factory = move || models::mlp(&mut StdRng::seed_from_u64(7), img_len, 10);
+        let global = factory().flat_params();
+        let mut ctx = RoundContext::new(0);
+        run(&mut ctx, &factory, &global, &test, 32).unwrap();
+        assert!(ctx.test_loss > 0.0, "untrained model has positive loss");
+        assert!((0.0..=1.0).contains(&ctx.test_accuracy));
+    }
+
+    #[test]
+    fn wrong_length_global_is_an_error() {
+        let (_train, test) =
+            SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2).generate().unwrap();
+        let img_len = test.image_len();
+        let factory = move || models::mlp(&mut StdRng::seed_from_u64(7), img_len, 10);
+        let mut ctx = RoundContext::new(0);
+        assert!(run(&mut ctx, &factory, &[0.0; 3], &test, 32).is_err());
+    }
+}

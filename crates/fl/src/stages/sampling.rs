@@ -1,0 +1,91 @@
+//! Stage 1 — cohort sampling.
+//!
+//! Sample the fraction `q` of the *online* clients (Algorithm 1 line 3).
+//! If the availability model leaves nobody online this round, fall back to
+//! sampling the full population: a real server would retry or wait, the
+//! simulation keeps moving.
+
+use super::RoundContext;
+use crate::availability::AvailabilityModel;
+use crate::sampling::sample_clients;
+use rand::Rng;
+
+/// Fill `ctx.participants` with this round's cohort, in ascending client
+/// order (`sample_clients` sorts, and availability lists are ascending, so
+/// the index-to-id mapping preserves the order).
+pub fn run<R: Rng>(
+    ctx: &mut RoundContext,
+    availability: &dyn AvailabilityModel,
+    n_clients: usize,
+    sample_ratio: f64,
+    rng: &mut R,
+) {
+    let online = availability.available(n_clients, ctx.round);
+    ctx.participants = if online.is_empty() {
+        sample_clients(n_clients, sample_ratio, rng)
+    } else {
+        sample_clients(online.len(), sample_ratio, rng)
+            .into_iter()
+            .filter_map(|i| online.get(i).copied())
+            .collect()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::AlwaysAvailable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct NobodyOnline;
+    impl AvailabilityModel for NobodyOnline {
+        fn is_available(&self, _client: usize, _round: usize) -> bool {
+            false
+        }
+    }
+
+    struct EvensOnline;
+    impl AvailabilityModel for EvensOnline {
+        fn is_available(&self, client: usize, _round: usize) -> bool {
+            client % 2 == 0
+        }
+    }
+
+    #[test]
+    fn samples_the_requested_fraction_sorted() {
+        let mut ctx = RoundContext::new(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        run(&mut ctx, &AlwaysAvailable, 10, 0.5, &mut rng);
+        assert_eq!(ctx.participants.len(), 5);
+        assert!(ctx.participants.windows(2).all(|w| w[0] < w[1]), "ascending, distinct");
+        assert!(ctx.participants.iter().all(|&c| c < 10));
+    }
+
+    #[test]
+    fn restricted_availability_limits_the_cohort() {
+        let mut ctx = RoundContext::new(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        run(&mut ctx, &EvensOnline, 10, 1.0, &mut rng);
+        assert_eq!(ctx.participants, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn empty_availability_falls_back_to_full_population() {
+        let mut ctx = RoundContext::new(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        run(&mut ctx, &NobodyOnline, 6, 0.5, &mut rng);
+        assert_eq!(ctx.participants.len(), 3, "fell back to sampling all 6");
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        let sample = || {
+            let mut ctx = RoundContext::new(4);
+            let mut rng = StdRng::seed_from_u64(9);
+            run(&mut ctx, &AlwaysAvailable, 20, 0.3, &mut rng);
+            ctx.participants
+        };
+        assert_eq!(sample(), sample());
+    }
+}

@@ -8,7 +8,8 @@
 ///
 /// Phase taxonomy (in execution order):
 /// 1. `sampling` — availability query + client sampling,
-/// 2. `training` — rayon-parallel local training incl. fault injection,
+/// 2. `training` — local training on the configured client executor
+///    (sequential or scoped threads) incl. fault injection,
 /// 3. `delivery` — deadline arbitration, telemetry, uplink accounting,
 /// 4. `validation` — server-side update validation / quarantine,
 /// 5. `aggregation` — strategy aggregate (incl. detection / reversal),
@@ -21,7 +22,7 @@
 pub struct PhaseTimings {
     /// Availability query + client sampling.
     pub sampling_ns: u64,
-    /// Parallel local training (the dominant phase on healthy rounds).
+    /// Local training (the dominant phase on healthy rounds).
     pub training_ns: u64,
     /// Delivery/deadline arbitration and comm accounting.
     pub delivery_ns: u64,

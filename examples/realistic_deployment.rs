@@ -57,32 +57,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 42,
         },
     );
+    // Faults: 10% of client-rounds crash, 5% upload NaN/Inf-corrupted
+    // parameters, 10% straggle at 8x their modelled latency. The server
+    // quarantines corrupted updates, drops anyone past the 20 s deadline,
+    // and holds the global model if fewer than 2 valid updates survive.
     sim.set_availability(Box::new(DiurnalAvailability {
         base: 0.6,
         amplitude: 0.35,
         period: 8,
         cohorts: 3,
         seed: 5,
-    }));
-
-    // Faults: 10% of client-rounds crash, 5% upload NaN/Inf-corrupted
-    // parameters, 10% straggle at 8x their modelled latency. The server
-    // quarantines corrupted updates, drops anyone past the 20 s deadline,
-    // and holds the global model if fewer than 2 valid updates survive.
-    sim.set_latency(Box::new(LogNormalLatency {
+    }))
+    .set_latency(Box::new(LogNormalLatency {
         median: 5.0,
         client_sigma: 0.4,
         round_sigma: 0.2,
         seed: 9,
-    }));
-    sim.set_fault_model(Box::new(RandomFaults {
+    }))
+    .set_fault_model(Box::new(RandomFaults {
         crash_rate: 0.10,
         corrupt_param_rate: 0.05,
         straggler_rate: 0.10,
         straggler_factor: 8.0,
         ..Default::default()
-    }));
-    sim.set_fault_policy(FaultPolicy { deadline: Some(20.0), min_quorum: 2, max_param_norm: None });
+    }))
+    .set_fault_policy(FaultPolicy {
+        deadline: Some(20.0),
+        min_quorum: 2,
+        max_param_norm: None,
+    });
+    println!("client executor: {} (override with FEDCAV_EXECUTOR)", sim.executor());
 
     // Profile the run: structured span events + op-level kernel counters.
     // Tracing only observes — results are identical with or without it.

@@ -1,0 +1,136 @@
+//! Executor-determinism regression suite: the client executor may change
+//! *when* clients train, never *what* they produce. A `ScopedThreads(4)`
+//! run must be bit-identical to the `Sequential` run — global parameters,
+//! round records and traffic accounting — for every aggregation strategy,
+//! with fault injection and latency modelling active (DESIGN.md §11).
+
+use fedcav::core::{FedCav, FedCavConfig};
+use fedcav::data::{partition, Dataset, SyntheticConfig, SyntheticKind};
+use fedcav::fl::{
+    ClientExecutor, FaultPolicy, FedAvg, FedAvgM, FedProx, History, LocalConfig, LogNormalLatency,
+    RandomFaults, RoundRecord, Simulation, SimulationConfig, Strategy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn deployment(n_clients: usize) -> (Vec<Dataset>, Dataset, usize) {
+    let (train, test) =
+        SyntheticConfig::new(SyntheticKind::MnistLike, 12, 2).generate().expect("synthetic data");
+    let mut rng = StdRng::seed_from_u64(0);
+    let part = partition::iid_balanced(&train, n_clients, &mut rng);
+    let img_len = train.image_len();
+    (part.client_datasets(&train).expect("partition"), test, img_len)
+}
+
+const STRATEGY_NAMES: [&str; 4] = ["FedAvg", "FedAvgM", "FedProx", "FedCav"];
+
+fn strategy(name: &str) -> Box<dyn Strategy> {
+    match name {
+        "FedAvg" => Box::new(FedAvg::new()),
+        "FedAvgM" => Box::new(FedAvgM::new(0.9)),
+        "FedProx" => Box::new(FedProx::new(0.01)),
+        "FedCav" => Box::new(FedCav::new(FedCavConfig::default())),
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+/// One full-featured run: faults, latency, deadline + quorum policy.
+fn run(strategy: Box<dyn Strategy>, executor: ClientExecutor) -> (Vec<f32>, History) {
+    let (clients, test, img_len) = deployment(6);
+    let factory = move || {
+        let mut rng = StdRng::seed_from_u64(7);
+        fedcav::nn::models::mlp(&mut rng, img_len, 10)
+    };
+    let mut sim = Simulation::new(
+        &factory,
+        clients,
+        test,
+        strategy,
+        SimulationConfig {
+            sample_ratio: 1.0,
+            local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.1, prox_mu: 0.0 },
+            eval_batch: 32,
+            seed: 91,
+        },
+    );
+    sim.set_executor(executor)
+        .set_fault_model(Box::new(RandomFaults {
+            crash_rate: 0.15,
+            corrupt_param_rate: 0.10,
+            corrupt_loss_rate: 0.05,
+            straggler_rate: 0.15,
+            ..Default::default()
+        }))
+        .set_latency(Box::new(LogNormalLatency {
+            median: 5.0,
+            client_sigma: 0.4,
+            round_sigma: 0.1,
+            seed: 3,
+        }))
+        .set_fault_policy(FaultPolicy {
+            deadline: Some(40.0),
+            min_quorum: 1,
+            max_param_norm: Some(1e4),
+        });
+    sim.run(3).expect("run");
+    let stats = sim.comm_stats();
+    let history = sim.history().clone();
+    // Traffic accounting is part of the deterministic surface; fold it into
+    // the comparison by asserting here against the history it must match.
+    assert_eq!(stats.rounds as usize, history.len());
+    (sim.global().to_vec(), history)
+}
+
+/// Records with the real wall-clock phase timings zeroed: phase timings
+/// are measurement, not simulation, and legitimately differ per executor.
+fn deterministic_view(history: &History) -> Vec<RoundRecord> {
+    history
+        .records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.phases = Default::default();
+            r
+        })
+        .collect()
+}
+
+#[test]
+fn scoped_threads_are_bit_identical_to_sequential_for_every_strategy() {
+    for name in STRATEGY_NAMES {
+        let (seq_global, seq_history) = run(strategy(name), ClientExecutor::Sequential);
+        let (par_global, par_history) = run(strategy(name), ClientExecutor::ScopedThreads(4));
+        assert_eq!(seq_global, par_global, "{name}: global parameters diverged");
+        assert_eq!(
+            deterministic_view(&seq_history),
+            deterministic_view(&par_history),
+            "{name}: round records diverged"
+        );
+        // Faults must actually have been exercised for the comparison to
+        // mean anything (the fault stream is executor-independent).
+        let telemetry = &seq_history.records;
+        assert!(
+            telemetry.iter().any(|r| r.faults.total_lost() > 0),
+            "{name}: fault injection never fired — comparison is vacuous"
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_pool_matches_sequential() {
+    // More workers than clients: the pool degrades gracefully and still
+    // produces the sequential history.
+    let (seq_global, _) = run(Box::new(FedAvg::new()), ClientExecutor::Sequential);
+    let (par_global, _) = run(Box::new(FedAvg::new()), ClientExecutor::ScopedThreads(32));
+    assert_eq!(seq_global, par_global);
+}
+
+#[test]
+fn executor_env_override_parses() {
+    // Spec-level parsing only (process env is shared across test threads,
+    // so we do not mutate it here).
+    assert_eq!(ClientExecutor::parse("threads:4"), Some(ClientExecutor::ScopedThreads(4)));
+    assert_eq!(ClientExecutor::parse("sequential"), Some(ClientExecutor::Sequential));
+    assert_eq!(ClientExecutor::parse("threads:1"), Some(ClientExecutor::Sequential));
+    assert_eq!(ClientExecutor::parse("bogus"), None);
+}

@@ -101,13 +101,9 @@ fn comm_totals_equal_sum_of_round_records() {
 fn availability_and_latency_compose_in_one_run() {
     let (clients, test, factory) = setup(8);
     let mut sim = Simulation::new(&factory, clients, test, Box::new(FedAvg::new()), config());
-    sim.set_availability(Box::new(BernoulliAvailability::new(0.6, 9)));
-    sim.set_latency(Box::new(LogNormalLatency {
-        median: 10.0,
-        client_sigma: 0.5,
-        round_sigma: 0.1,
-        seed: 2,
-    }));
+    sim.set_availability(Box::new(BernoulliAvailability::new(0.6, 9))).set_latency(Box::new(
+        LogNormalLatency { median: 10.0, client_sigma: 0.5, round_sigma: 0.1, seed: 2 },
+    ));
     sim.run(4).expect("rounds");
     let records = &sim.history().records;
     // Sim time strictly increases and equals the cumulative durations.
@@ -133,13 +129,9 @@ fn simulation_deterministic_with_all_features_installed() {
             Box::new(FedCav::new(FedCavConfig::default())),
             config(),
         );
-        sim.set_availability(Box::new(BernoulliAvailability::new(0.7, 5)));
-        sim.set_latency(Box::new(LogNormalLatency {
-            median: 5.0,
-            client_sigma: 0.3,
-            round_sigma: 0.1,
-            seed: 6,
-        }));
+        sim.set_availability(Box::new(BernoulliAvailability::new(0.7, 5))).set_latency(Box::new(
+            LogNormalLatency { median: 5.0, client_sigma: 0.3, round_sigma: 0.1, seed: 6 },
+        ));
         sim.run(3).expect("rounds");
         sim.global().to_vec()
     };

@@ -196,15 +196,19 @@ impl Config {
     ///
     /// * `no-panic-in-round-loop` — the server round-loop driver, the six
     ///   pipeline stages under `crates/fl/src/stages/`, the client executor
-    ///   they train on, and the aggregation/validation helpers they drive.
-    ///   The fault-tolerant loop must degrade, never die, so nothing on
-    ///   that path may panic.
+    ///   they train on, the aggregation/validation helpers they drive, and
+    ///   the tensor kernel hot paths (`matmul.rs`, `im2col.rs`) client
+    ///   training runs on. The fault-tolerant loop must degrade, never
+    ///   die, so nothing on that path may panic.
     /// * `raw-exp-ln` — everywhere except `fedcav-tensor::numerics`, the one
     ///   sanctioned home of clipped/max-subtracted exp/ln (Eq. 7/9, §4.2.3).
     /// * `unchecked-float-cmp` — everywhere, tests included: `total_cmp` is
     ///   strictly better and NaN-safe.
-    /// * `no-debug-output` — library crates only: the bench harness and
-    ///   binaries exist to print.
+    /// * `no-debug-output` — library crates and the machine-readable bench
+    ///   surfaces (`kernelbench`, the `kernel_bench` binary): those must go
+    ///   through locked/explicit writers. Only the TSV printer
+    ///   (`output.rs`), the interactive `tune_fig4` binary, and crate
+    ///   `main.rs` entry points are licensed to print.
     pub fn fedcav_default() -> Config {
         Config {
             global_exclude: vec![
@@ -223,6 +227,8 @@ impl Config {
                             "crates/fl/src/executor.rs".to_string(),
                             "crates/fl/src/aggregate.rs".to_string(),
                             "crates/fl/src/update.rs".to_string(),
+                            "crates/tensor/src/matmul.rs".to_string(),
+                            "crates/tensor/src/im2col.rs".to_string(),
                         ],
                         exclude: Vec::new(),
                         skip_test_code: true,
@@ -245,8 +251,8 @@ impl Config {
                     PathRules {
                         include: Vec::new(),
                         exclude: vec![
-                            "crates/bench/".to_string(),
-                            "src/bin/".to_string(),
+                            "crates/bench/src/output.rs".to_string(),
+                            "crates/bench/src/bin/tune_fig4.rs".to_string(),
                             "src/main.rs".to_string(),
                         ],
                         skip_test_code: true,
@@ -327,13 +333,20 @@ mod tests {
         assert!(np.applies_to("crates/fl/src/server.rs"));
         assert!(np.applies_to("crates/fl/src/stages/training.rs"));
         assert!(np.applies_to("crates/fl/src/executor.rs"));
+        assert!(np.applies_to("crates/tensor/src/matmul.rs"));
+        assert!(np.applies_to("crates/tensor/src/im2col.rs"));
         assert!(!np.applies_to("crates/core/src/weights.rs"));
         let exp = c.rules_for("raw-exp-ln").expect("configured");
         assert!(!exp.applies_to("crates/tensor/src/numerics.rs"));
         assert!(exp.applies_to("crates/fl/src/latency.rs"));
         let dbg_rule = c.rules_for("no-debug-output").expect("configured");
         assert!(!dbg_rule.applies_to("crates/bench/src/output.rs"));
+        assert!(!dbg_rule.applies_to("crates/bench/src/bin/tune_fig4.rs"));
         assert!(!dbg_rule.applies_to("crates/analyze/src/main.rs"));
         assert!(dbg_rule.applies_to("crates/nn/src/dense.rs"));
+        // The kernel-bench surfaces are deliberately IN scope: they write
+        // the machine-readable artifact and must use explicit writers.
+        assert!(dbg_rule.applies_to("crates/bench/src/kernelbench.rs"));
+        assert!(dbg_rule.applies_to("crates/bench/src/bin/kernel_bench.rs"));
     }
 }

@@ -1,0 +1,405 @@
+//! Kernel benchmark machinery: measured GFLOP/s and ns/op for the tensor
+//! hot paths (matmul, conv forward/backward) under both kernel
+//! implementations (`blocked` vs `reference`), plus end-to-end mean round
+//! wall-clock, serialised to the `BENCH_kernels.json` trajectory file.
+//!
+//! The JSON is hand-rolled (no serde in the workspace): flat records, no
+//! escaping needed because every string is a kernel/mode/shape token.
+//! Schema: `{"schema": "...", "kernels": [...], "e2e": [...]}` — see
+//! [`KernelReport::to_json`].
+//!
+//! Measurement style: best-of-`reps` after one warm-up run. Best (not
+//! mean) because the quantity of interest is the kernel's cost, and every
+//! source of noise on a quiet machine is additive.
+
+use crate::experiment::{run_standard, Algo, Dist, ExperimentSpec};
+use fedcav_data::SyntheticKind;
+use fedcav_fl::{ClientExecutor, LocalConfig};
+use fedcav_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dParams};
+use fedcav_tensor::im2col::{
+    conv2d_backward_im2col_with, conv2d_forward_im2col_with, Im2colScratch,
+};
+use fedcav_tensor::matmul::{matmul_into, matmul_reference_into, Epilogue};
+use fedcav_tensor::{force_kernel_mode, init, kernel_mode, KernelMode, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One timed kernel measurement.
+#[derive(Debug, Clone)]
+pub struct KernelMeasurement {
+    /// Which kernel: `matmul`, `conv_fwd` or `conv_bwd`.
+    pub kernel: &'static str,
+    /// Shape token, e.g. `256x256x256` or `n2c4h14w14_oc8k5`.
+    pub shape: String,
+    /// `blocked` or `reference`.
+    pub mode: &'static str,
+    /// Best observed wall-clock nanoseconds for one invocation.
+    pub ns_per_op: f64,
+    /// Throughput implied by `ns_per_op` (FLOPs / ns ≡ GFLOP/s).
+    pub gflops: f64,
+}
+
+/// End-to-end figure: mean wall-clock seconds per federated round under
+/// one kernel mode (from [`fedcav_fl::History::mean_round_wall_secs`],
+/// i.e. the `PhaseTimings` the round loop records).
+#[derive(Debug, Clone)]
+pub struct E2eMeasurement {
+    /// `blocked` or `reference`.
+    pub mode: &'static str,
+    /// Mean wall-clock seconds per round.
+    pub mean_round_wall_secs: f64,
+    /// Rounds the mean is over.
+    pub rounds: usize,
+}
+
+/// Everything `BENCH_kernels.json` carries.
+#[derive(Debug, Clone, Default)]
+pub struct KernelReport {
+    /// Per-shape kernel timings, blocked and reference interleaved.
+    pub kernels: Vec<KernelMeasurement>,
+    /// End-to-end round timings per kernel mode.
+    pub e2e: Vec<E2eMeasurement>,
+}
+
+impl KernelReport {
+    /// Serialise to the `BENCH_kernels.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"fedcav-kernel-bench-v1\",\n");
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let sep = if i + 1 == self.kernels.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"mode\": \"{}\", \
+                 \"ns_per_op\": {:.1}, \"gflops\": {:.4}}}{sep}\n",
+                k.kernel, k.shape, k.mode, k.ns_per_op, k.gflops
+            ));
+        }
+        out.push_str("  ],\n  \"e2e\": [\n");
+        for (i, e) in self.e2e.iter().enumerate() {
+            let sep = if i + 1 == self.e2e.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"mean_round_wall_secs\": {:.6}, \"rounds\": {}}}{sep}\n",
+                e.mode, e.mean_round_wall_secs, e.rounds
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Blocked-over-reference speedup for a `(kernel, shape)` pair, if
+    /// both modes were measured.
+    pub fn speedup(&self, kernel: &str, shape: &str) -> Option<f64> {
+        let find = |mode: &str| {
+            self.kernels
+                .iter()
+                .find(|k| k.kernel == kernel && k.shape == shape && k.mode == mode)
+                .map(|k| k.ns_per_op)
+        };
+        let blocked = find("blocked")?;
+        let reference = find("reference")?;
+        Some(reference / blocked.max(f64::MIN_POSITIVE))
+    }
+}
+
+/// Best-of-`reps` wall-clock nanoseconds for `f` (one warm-up call first).
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos() as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// A matmul problem size `[m,k] × [k,n]`.
+#[derive(Debug, Clone, Copy)]
+pub struct MatmulShape {
+    /// Rows of the left operand.
+    pub m: usize,
+    /// Shared (inner) dimension.
+    pub k: usize,
+    /// Columns of the right operand.
+    pub n: usize,
+}
+
+impl MatmulShape {
+    /// Cubic shape `s×s×s`.
+    pub fn cube(s: usize) -> MatmulShape {
+        MatmulShape { m: s, k: s, n: s }
+    }
+
+    fn token(&self) -> String {
+        format!("{}x{}x{}", self.m, self.k, self.n)
+    }
+
+    fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.k as f64 * self.n as f64
+    }
+}
+
+/// Time blocked and reference matmul on one shape (`Epilogue::None`, so
+/// both modes run the identical per-element op sequence).
+pub fn bench_matmul(shape: MatmulShape, reps: usize) -> Vec<KernelMeasurement> {
+    let mut rng = StdRng::seed_from_u64(0x3A7);
+    let a = init::uniform(&mut rng, &[shape.m, shape.k], -1.0, 1.0);
+    let b = init::uniform(&mut rng, &[shape.k, shape.n], -1.0, 1.0);
+    let mut out = Vec::new();
+    let mut run = |mode: &'static str| {
+        let ns = match mode {
+            "blocked" => time_best(reps, || {
+                matmul_into(
+                    KernelMode::Blocked,
+                    a.as_slice(),
+                    b.as_slice(),
+                    shape.m,
+                    shape.k,
+                    shape.n,
+                    Epilogue::None,
+                    &mut out,
+                );
+            }),
+            _ => time_best(reps, || {
+                matmul_reference_into(
+                    a.as_slice(),
+                    b.as_slice(),
+                    shape.m,
+                    shape.k,
+                    shape.n,
+                    Epilogue::None,
+                    &mut out,
+                );
+            }),
+        };
+        KernelMeasurement {
+            kernel: "matmul",
+            shape: shape.token(),
+            mode,
+            ns_per_op: ns,
+            gflops: shape.flops() / ns,
+        }
+    };
+    vec![run("blocked"), run("reference")]
+}
+
+/// A convolution problem size (square spatial extent, square kernel).
+#[derive(Debug, Clone, Copy)]
+pub struct ConvShape {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Input spatial extent (height = width).
+    pub hw: usize,
+    /// Output channels.
+    pub oc: usize,
+    /// Kernel extent (height = width).
+    pub k: usize,
+}
+
+impl ConvShape {
+    fn token(&self) -> String {
+        format!("n{}c{}h{}w{}_oc{}k{}", self.n, self.c, self.hw, self.hw, self.oc, self.k)
+    }
+
+    /// Forward MAC-lattice FLOPs (stride 1, no padding).
+    fn fwd_flops(&self) -> f64 {
+        let o = (self.hw - self.k + 1) as f64;
+        2.0 * self.n as f64 * self.oc as f64 * o * o * self.c as f64 * (self.k * self.k) as f64
+    }
+}
+
+/// Time conv forward + backward on one shape: `blocked` is the
+/// scratch-arena im2col lowering (its matmuls pinned to the blocked
+/// kernel), `reference` the direct convolution — exactly the two paths
+/// `fedcav_nn::Conv2d` dispatches between. The ambient kernel mode is
+/// restored before returning.
+pub fn bench_conv(shape: ConvShape, reps: usize) -> Vec<KernelMeasurement> {
+    let mut rng = StdRng::seed_from_u64(0xC0CA ^ 0x5A5A);
+    let input = init::uniform(&mut rng, &[shape.n, shape.c, shape.hw, shape.hw], -1.0, 1.0);
+    let weight = init::uniform(&mut rng, &[shape.oc, shape.c, shape.k, shape.k], -0.5, 0.5);
+    let bias = Tensor::zeros(&[shape.oc]);
+    let params = Conv2dParams::default();
+    let d_out = conv2d_forward(&input, &weight, &bias, params).expect("conv shape");
+    let mut scratch = Im2colScratch::new();
+
+    let ambient = kernel_mode();
+    force_kernel_mode(KernelMode::Blocked);
+    let fwd_blocked = time_best(reps, || {
+        conv2d_forward_im2col_with(&input, &weight, &bias, params, false, &mut scratch)
+            .expect("conv fwd");
+    });
+    let bwd_blocked = time_best(reps, || {
+        conv2d_backward_im2col_with(&input, &weight, &d_out, params, &mut scratch)
+            .expect("conv bwd");
+    });
+    force_kernel_mode(ambient);
+
+    let fwd_reference = time_best(reps, || {
+        conv2d_forward(&input, &weight, &bias, params).expect("conv fwd");
+    });
+    let bwd_reference = time_best(reps, || {
+        conv2d_backward(&input, &weight, &d_out, params).expect("conv bwd");
+    });
+
+    let fwd_flops = shape.fwd_flops();
+    // The backward pass walks the MAC lattice twice (d_input + d_weight),
+    // same accounting as `fedcav_tensor::counters`.
+    let bwd_flops = 2.0 * fwd_flops;
+    let meas = |kernel: &'static str, mode: &'static str, ns: f64, flops: f64| KernelMeasurement {
+        kernel,
+        shape: shape.token(),
+        mode,
+        ns_per_op: ns,
+        gflops: flops / ns,
+    };
+    vec![
+        meas("conv_fwd", "blocked", fwd_blocked, fwd_flops),
+        meas("conv_fwd", "reference", fwd_reference, fwd_flops),
+        meas("conv_bwd", "blocked", bwd_blocked, bwd_flops),
+        meas("conv_bwd", "reference", bwd_reference, bwd_flops),
+    ]
+}
+
+/// The spec the end-to-end figure runs: LeNet-5 on MNIST-like data, small
+/// enough for a bench smoke job when `tiny`.
+pub fn e2e_spec(tiny: bool) -> ExperimentSpec {
+    if tiny {
+        ExperimentSpec {
+            kind: SyntheticKind::MnistLike,
+            n_clients: 4,
+            train_per_class: 6,
+            test_per_class: 2,
+            rounds: 2,
+            sample_ratio: 0.5,
+            local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+            seed: 7,
+            noise_override: None,
+            executor: ClientExecutor::Sequential,
+        }
+    } else {
+        ExperimentSpec::fast(SyntheticKind::MnistLike, 3)
+    }
+}
+
+/// Mean round wall-seconds of one standard FedCav run under `mode`. The
+/// ambient kernel mode is restored before returning.
+pub fn bench_e2e(spec: &ExperimentSpec, mode: KernelMode) -> E2eMeasurement {
+    let ambient = kernel_mode();
+    force_kernel_mode(mode);
+    let history = run_standard(spec, Dist::NonIidBalanced, Algo::FedCav).expect("e2e run");
+    force_kernel_mode(ambient);
+    E2eMeasurement {
+        mode: match mode {
+            KernelMode::Blocked => "blocked",
+            KernelMode::Reference => "reference",
+        },
+        mean_round_wall_secs: history.mean_round_wall_secs().unwrap_or(0.0),
+        rounds: history.len(),
+    }
+}
+
+/// The standard shape sets. `tiny` keeps a CI smoke job in milliseconds;
+/// the default set includes the 256×256×256 acceptance shape.
+pub fn standard_shapes(tiny: bool) -> (Vec<MatmulShape>, Vec<ConvShape>) {
+    if tiny {
+        (
+            vec![MatmulShape::cube(32), MatmulShape { m: 24, k: 48, n: 16 }],
+            vec![ConvShape { n: 1, c: 2, hw: 8, oc: 4, k: 3 }],
+        )
+    } else {
+        (
+            vec![
+                MatmulShape::cube(64),
+                MatmulShape::cube(128),
+                MatmulShape::cube(256),
+                MatmulShape { m: 512, k: 128, n: 64 },
+            ],
+            vec![
+                ConvShape { n: 4, c: 1, hw: 28, oc: 6, k: 5 },
+                ConvShape { n: 4, c: 6, hw: 12, oc: 16, k: 5 },
+            ],
+        )
+    }
+}
+
+/// Run the full suite and assemble the report.
+pub fn run_suite(tiny: bool, reps: usize) -> KernelReport {
+    let (mat_shapes, conv_shapes) = standard_shapes(tiny);
+    let mut report = KernelReport::default();
+    for s in mat_shapes {
+        report.kernels.extend(bench_matmul(s, reps));
+    }
+    for s in conv_shapes {
+        report.kernels.extend(bench_conv(s, reps));
+    }
+    let spec = e2e_spec(tiny);
+    report.e2e.push(bench_e2e(&spec, KernelMode::Blocked));
+    report.e2e.push(bench_e2e(&spec, KernelMode::Reference));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let report = KernelReport {
+            kernels: vec![
+                KernelMeasurement {
+                    kernel: "matmul",
+                    shape: "8x8x8".into(),
+                    mode: "blocked",
+                    ns_per_op: 100.0,
+                    gflops: 10.24,
+                },
+                KernelMeasurement {
+                    kernel: "matmul",
+                    shape: "8x8x8".into(),
+                    mode: "reference",
+                    ns_per_op: 400.0,
+                    gflops: 2.56,
+                },
+            ],
+            e2e: vec![E2eMeasurement { mode: "blocked", mean_round_wall_secs: 0.25, rounds: 3 }],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"schema\": \"fedcav-kernel-bench-v1\""));
+        assert!(json.contains("\"shape\": \"8x8x8\""));
+        assert!(json.contains("\"mean_round_wall_secs\": 0.250000"));
+        // No trailing commas (the classic hand-rolled-JSON bug).
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n  ]}"));
+        assert_eq!(report.speedup("matmul", "8x8x8"), Some(4.0));
+        assert_eq!(report.speedup("matmul", "9x9x9"), None);
+    }
+
+    #[test]
+    fn tiny_suite_measures_both_modes_per_shape() {
+        let report = run_suite(true, 1);
+        assert!(!report.kernels.is_empty());
+        for k in &report.kernels {
+            assert!(k.ns_per_op > 0.0, "{k:?}");
+            assert!(k.gflops > 0.0, "{k:?}");
+            let twin = report
+                .kernels
+                .iter()
+                .find(|o| o.kernel == k.kernel && o.shape == k.shape && o.mode != k.mode);
+            assert!(twin.is_some(), "missing twin measurement for {k:?}");
+        }
+        assert_eq!(report.e2e.len(), 2);
+        assert!(report.e2e.iter().any(|e| e.mode == "blocked"));
+        assert!(report.e2e.iter().any(|e| e.mode == "reference"));
+        for e in &report.e2e {
+            assert!(e.mean_round_wall_secs > 0.0);
+            assert_eq!(e.rounds, 2);
+        }
+    }
+}

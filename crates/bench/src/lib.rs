@@ -12,6 +12,10 @@
 //!   adds a structured trace + kernel FLOP counters for profiling), and
 //!   every spec carries a `ClientExecutor` so the same experiment can run
 //!   sequentially or on scoped threads with bit-identical results,
+//! * [`kernelbench`] — timed GFLOP/s / ns-per-op measurements of the
+//!   tensor kernels (blocked vs reference) and the end-to-end round
+//!   wall-clock, plus the hand-rolled `BENCH_kernels.json` serialisation
+//!   used by the `kernel_bench` binary and the `kernel_scaling` bench,
 //! * [`output`] — TSV series printing shared by all harnesses, plus the
 //!   human-readable per-round phase profile.
 //!
@@ -20,6 +24,7 @@
 //! `-- --full` for paper-scale parameters).
 
 pub mod experiment;
+pub mod kernelbench;
 pub mod output;
 
 pub use experiment::{Algo, Dist, ExperimentSpec, Scale};

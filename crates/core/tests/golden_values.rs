@@ -1,0 +1,93 @@
+//! Golden-value tests for the paper's aggregation math: Eq. 9 softmax
+//! weights and Algorithm 1 line-7 mean-clipping, asserted against
+//! hand-computed expected values (not just invariants).
+//!
+//! Rationale: the kernel layer underneath these numbers is now swappable
+//! (`FEDCAV_KERNELS=blocked|reference`) and will keep being optimised. A
+//! refactor that shifts aggregation weights even slightly changes every
+//! simulated trajectory; these fixtures pin the two Fig. 5 scenarios —
+//! all-equal losses and one dominating loss — to exact expectations so
+//! such a shift cannot land silently.
+//!
+//! Expected values are computed by hand in f64 (shown in comments) and
+//! agree with the f32 implementation to < 1e-7; the asserts use 1e-6.
+
+use fedcav_core::{clip_losses, contribution_weights};
+
+fn assert_close(got: &[f32], want: &[f32], tol: f32) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert!((g - w).abs() <= tol, "got {g}, want {w} (tol {tol})");
+    }
+}
+
+/// Fig. 5 "all-equal" case: identical losses must reduce FedCav to exact
+/// FedAvg — softmax of a constant vector is exactly uniform (the
+/// max-subtraction maps every input to 0, `exp(0) = 1`, `1/n` is exact in
+/// f32 for n = 4).
+#[test]
+fn eq9_all_equal_losses_are_exactly_uniform() {
+    let w = contribution_weights(&[0.8; 4], true, 1.0);
+    assert_eq!(w, vec![0.25, 0.25, 0.25, 0.25]);
+    // Temperature cannot move a constant vector either.
+    let w = contribution_weights(&[0.8; 4], true, 0.1);
+    assert_eq!(w, vec![0.25, 0.25, 0.25, 0.25]);
+}
+
+/// Alg. 1 line 7 on the one-dominating-loss case: mean(0.5, 0.6, 10.0)
+/// = 11.1/3 = 3.7; only the dominating entry is clipped, and it is
+/// clipped to exactly the f32 fold the implementation performs
+/// (((0.5 + 0.6) + 10.0) / 3).
+#[test]
+fn alg1_line7_clips_dominating_loss_to_mean() {
+    let clipped = clip_losses(&[0.5, 0.6, 10.0]);
+    let mean = ((0.5f32 + 0.6) + 10.0) / 3.0;
+    assert_eq!(clipped, vec![0.5, 0.6, mean]);
+    assert!((mean - 3.7).abs() < 1e-6);
+}
+
+/// Alg. 1 line 7 on the all-equal case: clipping at the mean of a
+/// constant vector is the identity.
+#[test]
+fn alg1_line7_identity_on_equal_losses() {
+    assert_eq!(clip_losses(&[0.8; 4]), vec![0.8; 4]);
+}
+
+/// Eq. 9 with clipping on the one-dominating-loss case.
+///
+/// clip(0.5, 0.6, 10.0) = (0.5, 0.6, 3.7); softmax (max-subtracted):
+///   e = (exp(-3.2), exp(-3.1), exp(0)) = (0.0407622, 0.0450492, 1)
+///   Σe = 1.0858114
+///   w = (0.03754077, 0.04148897, 0.92097026)
+/// The dominating client gets the most say but *not* all of it — the
+/// honest clients keep ~8% between them, which is the entire point of the
+/// clip (Fig. 5's "without Clip" run oscillates).
+#[test]
+fn eq9_clipped_weights_for_dominating_loss() {
+    let w = contribution_weights(&[0.5, 0.6, 10.0], true, 1.0);
+    assert_close(&w, &[0.037_540_77, 0.041_488_97, 0.920_970_26], 1e-6);
+    assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+}
+
+/// Eq. 9 *without* clipping (the Fig. 5 ablation): the dominating loss
+/// takes essentially the whole weight.
+///
+///   e = (exp(-9.5), exp(-9.4), 1) = (7.4852e-5, 8.2724e-5, 1)
+///   Σe = 1.00015758
+///   w = (7.48402e-5, 8.27112e-5, 0.99984245)
+#[test]
+fn eq9_unclipped_weights_for_dominating_loss() {
+    let w = contribution_weights(&[0.5, 0.6, 10.0], false, 1.0);
+    assert_close(&w, &[7.484_0e-5, 8.271_1e-5, 0.999_842_4], 1e-6);
+}
+
+/// Eq. 9 temperature sharpening on the clipped fixture: T = 0.5 doubles
+/// the logits, squaring the odds ratios.
+///
+///   inputs/T = (1.0, 1.2, 7.4); e = (exp(-6.4), exp(-6.2), 1)
+///   w = (0.00165545, 0.00202197, 0.99632258)
+#[test]
+fn eq9_temperature_sharpens_clipped_weights() {
+    let w = contribution_weights(&[0.5, 0.6, 10.0], true, 0.5);
+    assert_close(&w, &[0.001_655_45, 0.002_021_97, 0.996_322_6], 1e-6);
+}

@@ -1,8 +1,18 @@
 //! Convolution layer wrapping the `fedcav-tensor` conv kernels.
+//!
+//! Under the default `FEDCAV_KERNELS=blocked` mode the layer runs the
+//! arena-backed im2col lowering — each `Conv2d` owns one
+//! [`Im2colScratch`], so steady-state training performs no per-call
+//! allocations for the lowered operands. Under `reference` it runs the
+//! original direct kernels, which remain the oracle the property suite
+//! compares against.
 
 use crate::layer::{read_tensor, write_tensor, Layer};
 use fedcav_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dParams};
-use fedcav_tensor::{init, Result, Tensor, TensorError};
+use fedcav_tensor::im2col::{
+    conv2d_backward_im2col_with, conv2d_forward_im2col_with, Im2colScratch,
+};
+use fedcav_tensor::{init, kernel_mode, KernelMode, Result, Tensor, TensorError};
 use rand::Rng;
 
 /// 2-D convolution layer (NCHW), Kaiming-normal init, zero bias.
@@ -15,6 +25,9 @@ pub struct Conv2d {
     cached_input: Option<Tensor>,
     in_channels: usize,
     out_channels: usize,
+    scratch: Im2colScratch,
+    fused_relu: bool,
+    relu_mask: Option<Vec<bool>>,
 }
 
 impl Conv2d {
@@ -38,7 +51,28 @@ impl Conv2d {
             cached_input: None,
             in_channels,
             out_channels,
+            scratch: Im2colScratch::new(),
+            fused_relu: false,
+            relu_mask: None,
         }
+    }
+
+    /// New conv layer with a fused ReLU epilogue: behaves exactly like
+    /// `Conv2d::new(..)` followed by a `ReLU` layer, in one kernel pass
+    /// (the clamp rides the im2col matmul's output store under the blocked
+    /// mode). Draws the same RNG stream as [`Conv2d::new`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_fused_relu<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let mut layer = Conv2d::new(rng, in_channels, out_channels, kernel, stride, padding);
+        layer.fused_relu = true;
+        layer
     }
 
     /// Number of input channels.
@@ -54,13 +88,40 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn name(&self) -> &'static str {
-        "Conv2d"
+        if self.fused_relu {
+            "Conv2dReLU"
+        } else {
+            "Conv2d"
+        }
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
-        let out = conv2d_forward(input, &self.weight, &self.bias, self.params)?;
+        let out = match kernel_mode() {
+            KernelMode::Blocked => conv2d_forward_im2col_with(
+                input,
+                &self.weight,
+                &self.bias,
+                self.params,
+                self.fused_relu,
+                &mut self.scratch,
+            )?,
+            KernelMode::Reference => {
+                let mut out = conv2d_forward(input, &self.weight, &self.bias, self.params)?;
+                if self.fused_relu {
+                    out.map_in_place(|v| v.max(0.0));
+                }
+                out
+            }
+        };
         if train {
             self.cached_input = Some(input.clone());
+            // Same mask a standalone ReLU layer would compute: the
+            // pre-activation is positive iff the clamped output is.
+            self.relu_mask = if self.fused_relu {
+                Some(out.as_slice().iter().map(|&v| v > 0.0).collect())
+            } else {
+                None
+            };
         }
         Ok(out)
     }
@@ -70,7 +131,40 @@ impl Layer for Conv2d {
             .cached_input
             .as_ref()
             .ok_or(TensorError::Empty { op: "Conv2d::backward (no cached forward)" })?;
-        let grads = conv2d_backward(input, &self.weight, d_out, self.params)?;
+        let masked;
+        let d_out = if self.fused_relu {
+            let mask = self
+                .relu_mask
+                .as_ref()
+                .ok_or(TensorError::Empty { op: "Conv2d::backward (no cached relu mask)" })?;
+            if mask.len() != d_out.numel() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "Conv2d::backward (relu mask)",
+                    lhs: vec![d_out.numel()],
+                    rhs: vec![mask.len()],
+                });
+            }
+            let mut g = d_out.clone();
+            for (v, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+                if !keep {
+                    *v = 0.0;
+                }
+            }
+            masked = g;
+            &masked
+        } else {
+            d_out
+        };
+        let grads = match kernel_mode() {
+            KernelMode::Blocked => conv2d_backward_im2col_with(
+                input,
+                &self.weight,
+                d_out,
+                self.params,
+                &mut self.scratch,
+            )?,
+            KernelMode::Reference => conv2d_backward(input, &self.weight, d_out, self.params)?,
+        };
         self.d_weight.add_assign(&grads.d_weight)?;
         self.d_bias.add_assign(&grads.d_bias)?;
         Ok(grads.d_input)
@@ -169,6 +263,58 @@ mod tests {
             let fd = (lu - ld) / (2.0 * eps);
             let an = c.d_weight.as_slice()[k];
             assert!((fd - an).abs() < 1e-2, "dW[{k}] fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn fused_relu_matches_conv_then_relu_bitwise() {
+        use crate::activations::ReLU;
+        let _guard = crate::KERNEL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut plain = Conv2d::new(&mut StdRng::seed_from_u64(4), 2, 3, 3, 1, 1);
+        let mut fused = Conv2d::new_fused_relu(&mut StdRng::seed_from_u64(4), 2, 3, 3, 1, 1);
+        let mut relu = ReLU::new();
+        assert_eq!(fused.name(), "Conv2dReLU");
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = init::uniform(&mut rng, &[2, 2, 6, 6], -1.0, 1.0);
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        let y_ref = relu.forward(&plain.forward(&x, true).unwrap(), true).unwrap();
+        let y_fused = fused.forward(&x, true).unwrap();
+        assert_eq!(bits(&y_ref), bits(&y_fused));
+        let g = init::uniform(&mut rng, y_ref.dims(), -1.0, 1.0);
+        plain.zero_grad();
+        fused.zero_grad();
+        let dx_ref = plain.backward(&relu.backward(&g).unwrap()).unwrap();
+        let dx_fused = fused.backward(&g).unwrap();
+        assert_eq!(bits(&dx_ref), bits(&dx_fused));
+        assert_eq!(bits(&plain.d_weight), bits(&fused.d_weight));
+        assert_eq!(bits(&plain.d_bias), bits(&fused.d_bias));
+    }
+
+    #[test]
+    fn both_kernel_modes_agree_within_tolerance() {
+        // The layer dispatches on the process-global mode; pin the two
+        // paths against each other here, restoring the ambient mode after.
+        let _guard = crate::KERNEL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let ambient = fedcav_tensor::kernel_mode();
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = init::uniform(&mut rng, &[1, 2, 8, 8], -1.0, 1.0);
+        let run = |mode: KernelMode, x: &Tensor| {
+            fedcav_tensor::force_kernel_mode(mode);
+            let mut c = Conv2d::new(&mut StdRng::seed_from_u64(6), 2, 4, 3, 1, 1);
+            let y = c.forward(x, true).unwrap();
+            let g = y.map(|v| v * 0.5);
+            c.zero_grad();
+            let dx = c.backward(&g).unwrap();
+            (y, dx)
+        };
+        let (y_b, dx_b) = run(KernelMode::Blocked, &x);
+        let (y_r, dx_r) = run(KernelMode::Reference, &x);
+        fedcav_tensor::force_kernel_mode(ambient);
+        for (a, b) in y_b.as_slice().iter().zip(y_r.as_slice()) {
+            assert!((a - b).abs() <= 1e-4, "{a} vs {b}");
+        }
+        for (a, b) in dx_b.as_slice().iter().zip(dx_r.as_slice()) {
+            assert!((a - b).abs() <= 1e-4, "{a} vs {b}");
         }
     }
 

@@ -8,6 +8,13 @@ use rand::Rng;
 ///
 /// * weights `W`: `[in_features, out_features]` (Xavier-uniform init)
 /// * bias `b`: `[out_features]` (zero init)
+///
+/// The bias add is fused into the matmul's output store
+/// ([`Tensor::matmul_fused`]); [`Dense::new_fused_relu`] additionally
+/// fuses the ReLU activation, replacing a separate `ReLU` layer. Both
+/// fusions are bitwise-invisible — the per-element operation sequence is
+/// identical to the unfused stack — so swapping a `Dense → ReLU` pair for
+/// one fused layer cannot move training trajectories.
 pub struct Dense {
     weight: Tensor,
     bias: Tensor,
@@ -16,6 +23,8 @@ pub struct Dense {
     cached_input: Option<Tensor>,
     in_features: usize,
     out_features: usize,
+    fused_relu: bool,
+    relu_mask: Option<Vec<bool>>,
 }
 
 impl Dense {
@@ -29,7 +38,19 @@ impl Dense {
             cached_input: None,
             in_features,
             out_features,
+            fused_relu: false,
+            relu_mask: None,
         }
+    }
+
+    /// New dense layer with a fused ReLU epilogue: behaves exactly like
+    /// `Dense::new(..)` followed by a `ReLU` layer (bit-for-bit, including
+    /// the backward masking), in one kernel pass. Draws the same RNG
+    /// stream as [`Dense::new`].
+    pub fn new_fused_relu<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        let mut layer = Dense::new(rng, in_features, out_features);
+        layer.fused_relu = true;
+        layer
     }
 
     /// Input feature count.
@@ -50,7 +71,11 @@ impl Dense {
 
 impl Layer for Dense {
     fn name(&self) -> &'static str {
-        "Dense"
+        if self.fused_relu {
+            "DenseReLU"
+        } else {
+            "Dense"
+        }
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
@@ -62,16 +87,18 @@ impl Layer for Dense {
                 expected: format!("[batch, {}]", self.in_features),
             });
         }
-        let mut out = input.matmul(&self.weight)?;
-        // Broadcast-add bias across rows.
-        let b = self.bias.as_slice();
-        for row in out.as_mut_slice().chunks_mut(self.out_features) {
-            for (v, &bi) in row.iter_mut().zip(b) {
-                *v += bi;
-            }
-        }
+        // Bias (and ReLU, when fused) ride along as the matmul epilogue.
+        let out = input.matmul_fused(&self.weight, Some(&self.bias), self.fused_relu)?;
         if train {
             self.cached_input = Some(input.clone());
+            // `out > 0` is the same mask a standalone ReLU layer would
+            // compute from its input: the pre-activation is positive iff
+            // the clamped output is.
+            self.relu_mask = if self.fused_relu {
+                Some(out.as_slice().iter().map(|&v| v > 0.0).collect())
+            } else {
+                None
+            };
         }
         Ok(out)
     }
@@ -81,6 +108,30 @@ impl Layer for Dense {
             .cached_input
             .as_ref()
             .ok_or(TensorError::Empty { op: "Dense::backward (no cached forward)" })?;
+        let masked;
+        let d_out = if self.fused_relu {
+            let mask = self
+                .relu_mask
+                .as_ref()
+                .ok_or(TensorError::Empty { op: "Dense::backward (no cached relu mask)" })?;
+            if mask.len() != d_out.numel() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "Dense::backward (relu mask)",
+                    lhs: vec![d_out.numel()],
+                    rhs: vec![mask.len()],
+                });
+            }
+            let mut g = d_out.clone();
+            for (v, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+                if !keep {
+                    *v = 0.0;
+                }
+            }
+            masked = g;
+            &masked
+        } else {
+            d_out
+        };
         // dW += x^T d_out ; db += column-sum(d_out) ; dx = d_out W^T
         let dw = input.transpose()?.matmul(d_out)?;
         self.d_weight.add_assign(&dw)?;
@@ -206,6 +257,38 @@ mod tests {
             let an = dx.as_slice()[k];
             assert!((fd - an).abs() < 1e-2, "dx[{k}] fd {fd} vs {an}");
         }
+    }
+
+    #[test]
+    fn fused_relu_matches_dense_then_relu_bitwise() {
+        use crate::activations::ReLU;
+        let mut plain = layer(5, 4, 3);
+        let mut relu = ReLU::new();
+        let mut fused = {
+            let mut rng = StdRng::seed_from_u64(5);
+            Dense::new_fused_relu(&mut rng, 4, 3)
+        };
+        assert_eq!(fused.name(), "DenseReLU");
+        assert_eq!(plain.weight.as_slice(), fused.weight.as_slice());
+        let x = {
+            let mut rng = StdRng::seed_from_u64(2);
+            init::uniform(&mut rng, &[6, 4], -1.0, 1.0)
+        };
+        let y_ref = relu.forward(&plain.forward(&x, true).unwrap(), true).unwrap();
+        let y_fused = fused.forward(&x, true).unwrap();
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&y_ref), bits(&y_fused));
+        let g = {
+            let mut rng = StdRng::seed_from_u64(3);
+            init::uniform(&mut rng, &[6, 3], -1.0, 1.0)
+        };
+        plain.zero_grad();
+        fused.zero_grad();
+        let dx_ref = plain.backward(&relu.backward(&g).unwrap()).unwrap();
+        let dx_fused = fused.backward(&g).unwrap();
+        assert_eq!(bits(&dx_ref), bits(&dx_fused));
+        assert_eq!(bits(&plain.d_weight), bits(&fused.d_weight));
+        assert_eq!(bits(&plain.d_bias), bits(&fused.d_bias));
     }
 
     #[test]

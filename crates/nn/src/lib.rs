@@ -58,3 +58,8 @@ pub use residual::BasicBlock;
 pub use sequential::Sequential;
 
 pub use fedcav_tensor::{Result, Tensor, TensorError};
+
+/// Serializes tests that force the process-global kernel mode against
+/// tests that compare two mode-dependent layer calls bit-for-bit.
+#[cfg(test)]
+pub(crate) static KERNEL_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());

@@ -153,6 +153,37 @@ mod tests {
     }
 
     #[test]
+    fn fused_stack_is_bit_identical_to_unfused() {
+        // The fused DenseReLU layer must be a drop-in for Dense → ReLU:
+        // same RNG stream, same forward bits, same gradient bits.
+        let mut unfused = tiny_model(42);
+        let mut fused = {
+            let mut rng = StdRng::seed_from_u64(42);
+            Sequential::new()
+                .push(Flatten::new())
+                .push(Dense::new_fused_relu(&mut rng, 4, 8))
+                .push(Dense::new(&mut rng, 8, 3))
+        };
+        assert_eq!(fused.layer_names(), vec!["Flatten", "DenseReLU", "Dense"]);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&unfused.flat_params()), bits(&fused.flat_params()));
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = fedcav_tensor::init::uniform(&mut rng, &[5, 4], -1.0, 1.0);
+        let y_u = unfused.forward(&x, true).unwrap();
+        let y_f = fused.forward(&x, true).unwrap();
+        assert_eq!(bits(y_u.as_slice()), bits(y_f.as_slice()));
+
+        let g = numerics::cross_entropy_grad(&y_u, &[0, 1, 2, 0, 1]).unwrap();
+        unfused.zero_grad();
+        fused.zero_grad();
+        let dx_u = unfused.backward(&g).unwrap();
+        let dx_f = fused.backward(&g).unwrap();
+        assert_eq!(bits(dx_u.as_slice()), bits(dx_f.as_slice()));
+        assert_eq!(bits(&unfused.flat_grads()), bits(&fused.flat_grads()));
+    }
+
+    #[test]
     fn forward_shape() {
         let mut m = tiny_model(0);
         let x = Tensor::zeros(&[5, 2, 2]);

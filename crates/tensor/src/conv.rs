@@ -4,6 +4,11 @@
 //! axis — the FL simulation trains many small models concurrently, so
 //! per-sample parallelism composes with per-client parallelism via rayon's
 //! work stealing without oversubscription.
+//!
+//! Since the blocked-kernel rewrite these are the **reference** conv path:
+//! `fedcav-nn`'s `Conv2d` uses them under `FEDCAV_KERNELS=reference` and
+//! the arena-backed im2col lowering ([`crate::im2col`]) otherwise, and the
+//! differential property suite pins the two against each other.
 
 use crate::{Result, Tensor, TensorError};
 use rayon::prelude::*;

@@ -6,10 +6,12 @@
 //! counters only observe.
 //!
 //! Semantics:
-//! * `matmul` — every [`crate::Tensor::matmul`] call: `2·m·k·n` FLOPs and
-//!   `4·(m·k + k·n + m·n)` bytes touched. The im2col-lowered convolution
-//!   ([`crate::im2col::conv2d_forward_im2col`]) is accounted here too,
-//!   since its work *is* a matmul.
+//! * `matmul` — every [`crate::Tensor::matmul`] / `matmul_fused` call:
+//!   `2·m·k·n` FLOPs and `4·(m·k + k·n + m·n)` bytes touched, regardless
+//!   of which kernel (`blocked` or `reference`) ran — the counters model
+//!   algorithmic work, not micro-architectural traffic. The im2col-lowered
+//!   convolution ([`crate::im2col`] forward *and* backward) is accounted
+//!   here too, one record per lowered matmul, since its work *is* matmuls.
 //! * `conv` — the direct convolution kernels: the forward pass counts
 //!   `2·n·out_c·oh·ow·in_c·kh·kw` FLOPs, the backward pass twice that
 //!   (the d_input and d_weight passes each walk the same MAC lattice).

@@ -1,29 +1,125 @@
-//! im2col-based convolution: an alternative forward kernel that lowers the
-//! convolution to one large matrix multiplication.
+//! im2col-based convolution: lowers the convolution (forward *and*
+//! backward) to large matrix multiplications, fed by a reusable scratch
+//! arena so steady-state training performs **zero** per-call allocations
+//! for the lowered operands.
 //!
-//! The direct kernel in [`crate::conv`] wins on the small feature maps the
-//! paper's models use (LeNet-5's 24×24, CNN-9's 28×28); im2col wins once
-//! `in_c·kh·kw` gets large because the matmul amortises better over cache
-//! lines. Both are exposed so the kernel micro-benches (`fedcav-bench
-//! --bench kernels`) can compare, and the equivalence tests here pin them
-//! to each other bit-for-bit-ish (f32 rounding aside).
+//! The direct kernel in [`crate::conv`] wins on the very small feature
+//! maps; im2col wins once `in_c·kh·kw` gets large because the blocked
+//! matmul (see [`crate::matmul`]) amortises better over cache lines. Both
+//! are exposed: `fedcav-nn`'s `Conv2d` uses the arena path under
+//! `FEDCAV_KERNELS=blocked` and the direct kernels under `reference`, the
+//! kernel micro-benches compare them, and the equivalence tests here pin
+//! them to each other within f32 rounding.
+//!
+//! ## Scratch-arena ownership (DESIGN.md §12)
+//!
+//! [`Im2colScratch`] owns every intermediate buffer the lowering needs.
+//! Each buffer is reset with `clear()` + `resize(len, 0.0)` before use —
+//! *bit-for-bit identical* to a freshly zero-allocated vector, which is
+//! what `tests/kernel_properties.rs` asserts by running a dirty shared
+//! arena against the per-call wrappers. The arena grows to the largest
+//! shape it has seen and is owned by the layer (one per `Conv2d`), never
+//! shared across threads — the parallel executor runs whole clients, each
+//! with its own model, so no synchronisation is needed.
 
-use crate::conv::Conv2dParams;
+use crate::conv::{Conv2dGrads, Conv2dParams};
+use crate::matmul::{kernel_mode, matmul_into, Epilogue};
 use crate::{Result, Tensor, TensorError};
+
+/// Reusable buffers for the im2col lowering. See the module docs for the
+/// ownership story and the freshness guarantee.
+#[derive(Debug, Default)]
+pub struct Im2colScratch {
+    /// `[n·oh·ow, in_c·kh·kw]` unfolded input patches.
+    cols: Vec<f32>,
+    /// `[in_c·kh·kw, out_c]` transposed weight (forward).
+    w_mat: Vec<f32>,
+    /// `[n·oh·ow, out_c]` matmul output rows (forward).
+    out_rows: Vec<f32>,
+    /// `[n·oh·ow, out_c]` upstream gradient re-laid per output pixel.
+    d_rows: Vec<f32>,
+    /// `[out_c, n·oh·ow]` transpose of `d_rows` (for `d_weight`).
+    dr_t: Vec<f32>,
+    /// `[n·oh·ow, in_c·kh·kw]` patch gradients before col2im scatter.
+    d_cols: Vec<f32>,
+}
+
+impl Im2colScratch {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Im2colScratch {
+        Im2colScratch::default()
+    }
+
+    /// Total capacity currently held across all buffers, in f32 elements.
+    /// Diagnostic only (lets tests assert the arena actually persists).
+    pub fn capacity_elems(&self) -> usize {
+        self.cols.capacity()
+            + self.w_mat.capacity()
+            + self.out_rows.capacity()
+            + self.d_rows.capacity()
+            + self.dr_t.capacity()
+            + self.d_cols.capacity()
+    }
+}
+
+/// Validated geometry shared by the forward and backward lowerings.
+struct ConvDims {
+    n: usize,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+}
+
+fn check_conv_dims(
+    op: &'static str,
+    input: &Tensor,
+    weight: &Tensor,
+    params: Conv2dParams,
+) -> Result<ConvDims> {
+    let wd = weight.dims();
+    let &[out_c, in_c, kh, kw] = wd else {
+        return Err(TensorError::InvalidShape {
+            op,
+            shape: wd.to_vec(),
+            expected: "rank 4 (OIHW)".to_string(),
+        });
+    };
+    let d = input.dims();
+    let &[n, ic, h, w] = d else {
+        return Err(TensorError::ShapeMismatch { op, lhs: d.to_vec(), rhs: wd.to_vec() });
+    };
+    if ic != in_c {
+        return Err(TensorError::ShapeMismatch { op, lhs: d.to_vec(), rhs: wd.to_vec() });
+    }
+    let extent = |len, klen| {
+        params.out_extent(len, klen).ok_or_else(|| TensorError::InvalidShape {
+            op,
+            shape: d.to_vec(),
+            expected: "spatial >= kernel after padding".to_string(),
+        })
+    };
+    let oh = extent(h, kh)?;
+    let ow = extent(w, kw)?;
+    Ok(ConvDims { n, in_c, h, w, out_c, kh, kw, oh, ow })
+}
 
 /// Unfold an NCHW input into the im2col matrix
 /// `[n·oh·ow, in_c·kh·kw]`: row `r` holds the receptive field of output
 /// pixel `r` (zero-padded out-of-range taps).
 pub fn im2col(input: &Tensor, kh: usize, kw: usize, params: Conv2dParams) -> Result<Tensor> {
     let d = input.dims();
-    if d.len() != 4 {
+    let &[n, c, h, w] = d else {
         return Err(TensorError::InvalidShape {
             op: "im2col",
             shape: d.to_vec(),
             expected: "rank 4 (NCHW)".to_string(),
         });
-    }
-    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    };
     let oh = params.out_extent(h, kh).ok_or_else(|| TensorError::InvalidShape {
         op: "im2col",
         shape: d.to_vec(),
@@ -34,24 +130,67 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, params: Conv2dParams) -> Res
         shape: d.to_vec(),
         expected: format!("spatial >= kernel {kh}x{kw} after padding"),
     })?;
+    let mut cols = Vec::new();
+    im2col_into(input, kh, kw, params, oh, ow, &mut cols);
+    Tensor::from_vec(&[n * oh * ow, c * kh * kw], cols)
+}
+
+/// The arena form of [`im2col`]: unfold into `cols`, clearing and
+/// re-zeroing it first (bit-identical to a fresh allocation). Geometry is
+/// assumed pre-validated.
+fn im2col_into(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    params: Conv2dParams,
+    oh: usize,
+    ow: usize,
+    cols: &mut Vec<f32>,
+) {
+    let d = input.dims();
+    let &[n, c, h, w] = d else {
+        return;
+    };
     let x = input.as_slice();
     let row_len = c * kh * kw;
-    let mut cols = vec![0.0f32; n * oh * ow * row_len];
+    cols.clear();
+    cols.resize(n * oh * ow * row_len, 0.0);
+    if row_len == 0 || h * w == 0 {
+        return;
+    }
     let (stride, pad) = (params.stride, params.padding);
 
-    for ni in 0..n {
+    // One `cols` row per output pixel; within a row the taps are laid out
+    // `[c, kh, kw]`, so a `kw`-wide chunk is one (channel, ky) tap run.
+    // Out-of-range taps keep the zero the resize wrote.
+    let mut dst_rows = cols.chunks_exact_mut(row_len);
+    for x_img in x.chunks_exact(c * h * w) {
         for oy in 0..oh {
             for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * row_len;
-                for ci in 0..c {
-                    let x_plane = &x[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                let Some(dst_row) = dst_rows.next() else {
+                    return;
+                };
+                let mut taps = dst_row.chunks_exact_mut(kw);
+                for x_plane in x_img.chunks_exact(h * w) {
                     for ky in 0..kh {
+                        let Some(tap_row) = taps.next() else {
+                            break;
+                        };
                         let iy = oy * stride + ky;
-                        for kx in 0..kw {
+                        if iy < pad {
+                            continue;
+                        }
+                        let base = (iy - pad) * w;
+                        let Some(src_row) = x_plane.get(base..base + w) else {
+                            continue;
+                        };
+                        for (kx, t) in tap_row.iter_mut().enumerate() {
                             let ix = ox * stride + kx;
-                            let dst = row + (ci * kh + ky) * kw + kx;
-                            if iy >= pad && iy - pad < h && ix >= pad && ix - pad < w {
-                                cols[dst] = x_plane[(iy - pad) * w + (ix - pad)];
+                            if ix < pad {
+                                continue;
+                            }
+                            if let Some(&v) = src_row.get(ix - pad) {
+                                *t = v;
                             }
                         }
                     }
@@ -59,78 +198,256 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, params: Conv2dParams) -> Res
             }
         }
     }
-    Tensor::from_vec(&[n * oh * ow, row_len], cols)
+}
+
+/// `dst = src^T` for a row-major `[rows, cols]` matrix, arena-reset first.
+fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.resize(rows * cols, 0.0);
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    for (c, dst_col) in dst.chunks_exact_mut(rows).enumerate() {
+        for (slot, src_row) in dst_col.iter_mut().zip(src.chunks_exact(cols)) {
+            if let Some(&v) = src_row.get(c) {
+                *slot = v;
+            }
+        }
+    }
 }
 
 /// Forward convolution via im2col + matmul. Same contract as
-/// [`crate::conv::conv2d_forward`].
+/// [`crate::conv::conv2d_forward`]. Allocates fresh scratch per call; the
+/// arena form is [`conv2d_forward_im2col_with`].
 pub fn conv2d_forward_im2col(
     input: &Tensor,
     weight: &Tensor,
     bias: &Tensor,
     params: Conv2dParams,
 ) -> Result<Tensor> {
-    let wd = weight.dims();
-    if wd.len() != 4 {
-        return Err(TensorError::InvalidShape {
-            op: "conv2d_forward_im2col(weight)",
-            shape: wd.to_vec(),
-            expected: "rank 4 (OIHW)".to_string(),
-        });
-    }
-    let (out_c, in_c, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
-    let d = input.dims();
-    if d.len() != 4 || d[1] != in_c {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d_forward_im2col",
-            lhs: d.to_vec(),
-            rhs: wd.to_vec(),
-        });
-    }
-    if bias.dims() != [out_c] {
+    conv2d_forward_im2col_with(input, weight, bias, params, false, &mut Im2colScratch::new())
+}
+
+/// Forward convolution via im2col + matmul, with a caller-owned scratch
+/// arena and an optional fused ReLU epilogue.
+///
+/// The bias add (and ReLU, when `relu`) is fused into the lowered
+/// matmul's output store — per-element this is the exact operation
+/// sequence of the unfused path (`sum`, `+ bias[oc]`, `max(0)`), so the
+/// fusion is bitwise-invisible.
+pub fn conv2d_forward_im2col_with(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: Conv2dParams,
+    relu: bool,
+    scratch: &mut Im2colScratch,
+) -> Result<Tensor> {
+    let g = check_conv_dims("conv2d_forward_im2col", input, weight, params)?;
+    if bias.dims() != [g.out_c] {
         return Err(TensorError::ShapeMismatch {
             op: "conv2d_forward_im2col(bias)",
             lhs: bias.dims().to_vec(),
-            rhs: vec![out_c],
+            rhs: vec![g.out_c],
         });
     }
-    let (n, h, w) = (d[0], d[2], d[3]);
-    let oh = params.out_extent(h, kh).ok_or_else(|| TensorError::InvalidShape {
-        op: "conv2d_forward_im2col",
-        shape: d.to_vec(),
-        expected: "spatial >= kernel after padding".to_string(),
-    })?;
-    let ow = params.out_extent(w, kw).ok_or_else(|| TensorError::InvalidShape {
-        op: "conv2d_forward_im2col",
-        shape: d.to_vec(),
-        expected: "spatial >= kernel after padding".to_string(),
-    })?;
+    let k = g.in_c * g.kh * g.kw;
+    let rows = g.n * g.oh * g.ow;
 
-    // cols: [n·oh·ow, K] ; weight as [K, out_c] -> out_rows [n·oh·ow, out_c].
-    let cols = im2col(input, kh, kw, params)?;
-    let k = in_c * kh * kw;
-    let w_mat = weight.reshape(&[out_c, k])?.transpose()?;
-    let out_rows = cols.matmul(&w_mat)?;
+    // cols: [rows, K] ; weight as [K, out_c] -> out_rows [rows, out_c].
+    im2col_into(input, g.kh, g.kw, params, g.oh, g.ow, &mut scratch.cols);
+    transpose_into(weight.as_slice(), g.out_c, k, &mut scratch.w_mat);
+    crate::counters::record_matmul(rows, k, g.out_c);
+    let ep =
+        if relu { Epilogue::BiasRelu(bias.as_slice()) } else { Epilogue::Bias(bias.as_slice()) };
+    matmul_into(
+        kernel_mode(),
+        &scratch.cols,
+        &scratch.w_mat,
+        rows,
+        k,
+        g.out_c,
+        ep,
+        &mut scratch.out_rows,
+    );
 
-    // Transpose the [n·oh·ow, out_c] rows into NCHW and add bias.
-    let rows = out_rows.as_slice();
-    let b = bias.as_slice();
-    let mut out = vec![0.0f32; n * out_c * oh * ow];
-    for ni in 0..n {
-        for p in 0..oh * ow {
-            let row = &rows[(ni * oh * ow + p) * out_c..(ni * oh * ow + p + 1) * out_c];
-            for (oc, &v) in row.iter().enumerate() {
-                out[(ni * out_c + oc) * oh * ow + p] = v + b[oc];
+    // Transpose the [rows, out_c] matmul output into NCHW.
+    let plane = g.oh * g.ow;
+    let mut out = vec![0.0f32; g.n * g.out_c * plane];
+    if g.out_c > 0 {
+        for (rows_img, out_img) in scratch
+            .out_rows
+            .chunks_exact(plane * g.out_c)
+            .zip(out.chunks_exact_mut(g.out_c * plane))
+        {
+            for (oc, out_plane) in out_img.chunks_exact_mut(plane).enumerate() {
+                for (o, row) in out_plane.iter_mut().zip(rows_img.chunks_exact(g.out_c)) {
+                    if let Some(&v) = row.get(oc) {
+                        *o = v;
+                    }
+                }
             }
         }
     }
-    Tensor::from_vec(&[n, out_c, oh, ow], out)
+    crate::sanitize::check_output("conv2d_forward_im2col", &[g.n, g.out_c, g.oh, g.ow], &out);
+    Tensor::from_vec(&[g.n, g.out_c, g.oh, g.ow], out)
+}
+
+/// Backward convolution via the im2col lowering. Same contract (and
+/// gradient definitions) as [`crate::conv::conv2d_backward`]; results
+/// agree with the direct kernel within f32 rounding. Allocates fresh
+/// scratch per call; the arena form is [`conv2d_backward_im2col_with`].
+pub fn conv2d_backward_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    params: Conv2dParams,
+) -> Result<Conv2dGrads> {
+    conv2d_backward_im2col_with(input, weight, d_out, params, &mut Im2colScratch::new())
+}
+
+/// Backward convolution via im2col, with a caller-owned scratch arena.
+///
+/// With `cols = im2col(input)` (`[rows, K]`) and the upstream gradient
+/// re-laid as `d_rows` (`[rows, out_c]`), the three gradients are:
+///
+/// * `d_bias[oc]   = Σ_rows d_rows`            (per-channel plane sums),
+/// * `d_weight     = d_rows^T × cols`          (`[out_c, K]`, which *is*
+///   OIHW flattened),
+/// * `d_input      = col2im(d_rows × weight)`  (scatter-add of the patch
+///   gradient back through the unfolding).
+pub fn conv2d_backward_im2col_with(
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    params: Conv2dParams,
+    scratch: &mut Im2colScratch,
+) -> Result<Conv2dGrads> {
+    let g = check_conv_dims("conv2d_backward_im2col", input, weight, params)?;
+    let od = d_out.dims();
+    if od != [g.n, g.out_c, g.oh, g.ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward_im2col(d_out)",
+            lhs: od.to_vec(),
+            rhs: vec![g.n, g.out_c, g.oh, g.ow],
+        });
+    }
+    let k = g.in_c * g.kh * g.kw;
+    let rows = g.n * g.oh * g.ow;
+    let plane = g.oh * g.ow;
+    let go = d_out.as_slice();
+
+    im2col_into(input, g.kh, g.kw, params, g.oh, g.ow, &mut scratch.cols);
+
+    // d_rows [rows, out_c]: NCHW upstream gradient re-laid per output
+    // pixel, plus the bias gradient (plane sums) in the same sweep.
+    scratch.d_rows.clear();
+    scratch.d_rows.resize(rows * g.out_c, 0.0);
+    let mut d_bias = vec![0.0f32; g.out_c];
+    if g.out_c > 0 {
+        for (go_img, dr_img) in
+            go.chunks_exact(g.out_c * plane).zip(scratch.d_rows.chunks_exact_mut(plane * g.out_c))
+        {
+            for ((src, db), oc) in go_img.chunks_exact(plane).zip(d_bias.iter_mut()).zip(0..) {
+                for (&v, dst_row) in src.iter().zip(dr_img.chunks_exact_mut(g.out_c)) {
+                    if let Some(slot) = dst_row.get_mut(oc) {
+                        *slot = v;
+                    }
+                    *db += v;
+                }
+            }
+        }
+    }
+
+    // d_weight [out_c, K] = d_rows^T × cols.
+    transpose_into(&scratch.d_rows, rows, g.out_c, &mut scratch.dr_t);
+    crate::counters::record_matmul(g.out_c, rows, k);
+    let mut d_weight = Vec::new();
+    matmul_into(
+        kernel_mode(),
+        &scratch.dr_t,
+        &scratch.cols,
+        g.out_c,
+        rows,
+        k,
+        Epilogue::None,
+        &mut d_weight,
+    );
+
+    // d_cols [rows, K] = d_rows × weight-as-[out_c, K].
+    crate::counters::record_matmul(rows, g.out_c, k);
+    matmul_into(
+        kernel_mode(),
+        &scratch.d_rows,
+        weight.as_slice(),
+        rows,
+        g.out_c,
+        k,
+        Epilogue::None,
+        &mut scratch.d_cols,
+    );
+
+    // col2im: scatter-add each patch gradient back onto the input plane,
+    // in the same fixed row/tap order im2col read it (deterministic).
+    let mut d_input = vec![0.0f32; g.n * g.in_c * g.h * g.w];
+    let (stride, pad) = (params.stride, params.padding);
+    if k > 0 && g.h * g.w > 0 {
+        for (col_img, d_img) in
+            scratch.d_cols.chunks_exact(plane * k).zip(d_input.chunks_exact_mut(g.in_c * g.h * g.w))
+        {
+            for (r, row) in col_img.chunks_exact(k).enumerate() {
+                let (oy, ox) = (r / g.ow, r % g.ow);
+                let mut taps = row.chunks_exact(g.kw);
+                for d_plane in d_img.chunks_exact_mut(g.h * g.w) {
+                    for ky in 0..g.kh {
+                        let Some(tap_row) = taps.next() else {
+                            break;
+                        };
+                        let iy = oy * stride + ky;
+                        if iy < pad {
+                            continue;
+                        }
+                        let base = (iy - pad) * g.w;
+                        let Some(dst_row) = d_plane.get_mut(base..base + g.w) else {
+                            continue;
+                        };
+                        for (kx, &v) in tap_row.iter().enumerate() {
+                            let ix = ox * stride + kx;
+                            if ix < pad {
+                                continue;
+                            }
+                            if let Some(slot) = dst_row.get_mut(ix - pad) {
+                                *slot += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    crate::sanitize::check_output(
+        "conv2d_backward_im2col(d_input)",
+        &[g.n, g.in_c, g.h, g.w],
+        &d_input,
+    );
+    crate::sanitize::check_output(
+        "conv2d_backward_im2col(d_weight)",
+        &[g.out_c, g.in_c, g.kh, g.kw],
+        &d_weight,
+    );
+    crate::sanitize::check_output("conv2d_backward_im2col(d_bias)", &[g.out_c], &d_bias);
+    Ok(Conv2dGrads {
+        d_input: Tensor::from_vec(&[g.n, g.in_c, g.h, g.w], d_input)?,
+        d_weight: Tensor::from_vec(&[g.out_c, g.in_c, g.kh, g.kw], d_weight)?,
+        d_bias: Tensor::from_vec(&[g.out_c], d_bias)?,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::conv::conv2d_forward;
+    use crate::conv::{conv2d_backward, conv2d_forward};
     use crate::init;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -141,6 +458,20 @@ mod tests {
             assert!((x - y).abs() <= tol, "{x} vs {y}");
         }
     }
+
+    fn assert_bits(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.dims(), b.dims());
+        let same = a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "tensors differ bitwise");
+    }
+
+    const CASES: [(usize, usize, usize, usize, usize, usize, usize, usize); 5] = [
+        (2, 1, 8, 8, 4, 3, 1, 0),
+        (1, 3, 9, 7, 2, 3, 2, 1),
+        (3, 2, 6, 6, 5, 1, 1, 0),
+        (1, 4, 10, 10, 3, 5, 1, 2),
+        (2, 2, 8, 8, 3, 2, 2, 0),
+    ];
 
     #[test]
     fn im2col_identity_kernel_rows() {
@@ -164,14 +495,7 @@ mod tests {
     #[test]
     fn matches_direct_conv_various_shapes() {
         let mut rng = StdRng::seed_from_u64(0);
-        let cases = [
-            (2usize, 1usize, 8usize, 8usize, 4usize, 3usize, 1usize, 0usize),
-            (1, 3, 9, 7, 2, 3, 2, 1),
-            (3, 2, 6, 6, 5, 1, 1, 0),
-            (1, 4, 10, 10, 3, 5, 1, 2),
-            (2, 2, 8, 8, 3, 2, 2, 0),
-        ];
-        for &(n, c, h, w, oc, k, stride, padding) in &cases {
+        for &(n, c, h, w, oc, k, stride, padding) in &CASES {
             let input = init::uniform(&mut rng, &[n, c, h, w], -1.0, 1.0);
             let weight = init::uniform(&mut rng, &[oc, c, k, k], -0.5, 0.5);
             let bias = init::uniform(&mut rng, &[oc], -0.1, 0.1);
@@ -180,6 +504,84 @@ mod tests {
             let lowered = conv2d_forward_im2col(&input, &weight, &bias, params).unwrap();
             assert_close(&direct, &lowered, 1e-4);
         }
+    }
+
+    #[test]
+    fn backward_matches_direct_conv_various_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(n, c, h, w, oc, k, stride, padding) in &CASES {
+            let input = init::uniform(&mut rng, &[n, c, h, w], -1.0, 1.0);
+            let weight = init::uniform(&mut rng, &[oc, c, k, k], -0.5, 0.5);
+            let params = Conv2dParams { stride, padding };
+            let oh = params.out_extent(h, k).unwrap();
+            let ow = params.out_extent(w, k).unwrap();
+            let d_out = init::uniform(&mut rng, &[n, oc, oh, ow], -1.0, 1.0);
+            let direct = conv2d_backward(&input, &weight, &d_out, params).unwrap();
+            let lowered = conv2d_backward_im2col(&input, &weight, &d_out, params).unwrap();
+            assert_close(&direct.d_input, &lowered.d_input, 1e-4);
+            assert_close(&direct.d_weight, &lowered.d_weight, 1e-3);
+            assert_close(&direct.d_bias, &lowered.d_bias, 1e-4);
+        }
+    }
+
+    #[test]
+    fn dirty_arena_reuse_is_bit_identical_to_fresh() {
+        // One arena across every case — including shrinking shapes, so
+        // stale data from larger runs would surface immediately.
+        let _guard = crate::matmul::MODE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut arena = Im2colScratch::new();
+        for &(n, c, h, w, oc, k, stride, padding) in &CASES {
+            let input = init::uniform(&mut rng, &[n, c, h, w], -1.0, 1.0);
+            let weight = init::uniform(&mut rng, &[oc, c, k, k], -0.5, 0.5);
+            let bias = init::uniform(&mut rng, &[oc], -0.1, 0.1);
+            let params = Conv2dParams { stride, padding };
+            let fresh = conv2d_forward_im2col(&input, &weight, &bias, params).unwrap();
+            let reused =
+                conv2d_forward_im2col_with(&input, &weight, &bias, params, false, &mut arena)
+                    .unwrap();
+            assert_bits(&fresh, &reused);
+            let oh = params.out_extent(h, k).unwrap();
+            let ow = params.out_extent(w, k).unwrap();
+            let d_out = init::uniform(&mut rng, &[n, oc, oh, ow], -1.0, 1.0);
+            let fresh_b = conv2d_backward_im2col(&input, &weight, &d_out, params).unwrap();
+            let reused_b =
+                conv2d_backward_im2col_with(&input, &weight, &d_out, params, &mut arena).unwrap();
+            assert_bits(&fresh_b.d_input, &reused_b.d_input);
+            assert_bits(&fresh_b.d_weight, &reused_b.d_weight);
+            assert_bits(&fresh_b.d_bias, &reused_b.d_bias);
+        }
+        assert!(arena.capacity_elems() > 0);
+    }
+
+    #[test]
+    fn fused_relu_matches_forward_then_relu_bitwise() {
+        let _guard = crate::matmul::MODE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(37);
+        let input = init::uniform(&mut rng, &[2, 3, 7, 7], -1.0, 1.0);
+        let weight = init::uniform(&mut rng, &[4, 3, 3, 3], -0.5, 0.5);
+        let bias = init::uniform(&mut rng, &[4], -0.5, 0.5);
+        let params = Conv2dParams { stride: 1, padding: 1 };
+        let mut unfused = conv2d_forward_im2col(&input, &weight, &bias, params).unwrap();
+        unfused.map_in_place(|v| v.max(0.0));
+        let fused = conv2d_forward_im2col_with(
+            &input,
+            &weight,
+            &bias,
+            params,
+            true,
+            &mut Im2colScratch::new(),
+        )
+        .unwrap();
+        assert_bits(&unfused, &fused);
+    }
+
+    #[test]
+    fn backward_d_out_shape_checked() {
+        let input = Tensor::zeros(&[1, 2, 4, 4]);
+        let weight = Tensor::zeros(&[3, 2, 3, 3]);
+        let bad = Tensor::zeros(&[1, 3, 4, 4]); // wrong spatial extent
+        assert!(conv2d_backward_im2col(&input, &weight, &bad, Conv2dParams::default()).is_err());
     }
 
     #[test]

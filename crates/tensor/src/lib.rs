@@ -6,8 +6,13 @@
 //! stack needs:
 //!
 //! * an owned, contiguous, row-major [`Tensor`] of `f32`,
-//! * rayon-parallel [`matmul`](Tensor::matmul) and direct 2-D convolution
-//!   (forward and backward) in NCHW layout,
+//! * rayon-parallel [`matmul`](Tensor::matmul) — a cache-blocked,
+//!   register-tiled kernel with fused bias/ReLU epilogues by default, plus
+//!   the original naive kernel behind `FEDCAV_KERNELS=reference` as the
+//!   differential-test oracle (see [`matmul`](crate::matmul)) — and direct
+//!   2-D convolution (forward and backward) in NCHW layout,
+//! * an im2col convolution lowering with a reusable scratch arena
+//!   ([`im2col::Im2colScratch`]) so conv layers stop allocating per call,
 //! * max/average pooling with backward passes,
 //! * numerically stable softmax / log-sum-exp / cross-entropy,
 //! * deterministic random initialisation (uniform, normal, Xavier/Kaiming),
@@ -28,6 +33,7 @@ pub mod counters;
 pub mod error;
 pub mod im2col;
 pub mod init;
+pub mod matmul;
 pub mod numerics;
 pub mod pool;
 pub mod reduce;
@@ -37,6 +43,7 @@ pub mod tensor;
 
 pub use counters::OpCounters;
 pub use error::TensorError;
+pub use matmul::{force_kernel_mode, kernel_mode, KernelMode};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -68,6 +68,7 @@ pub fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<MaxPoolOut> {
         },
     );
 
+    crate::sanitize::check_output("maxpool2d_forward", &[n, c, oh, ow], &output);
     Ok(MaxPoolOut { output: Tensor::from_vec(&[n, c, oh, ow], output)?, argmax })
 }
 
@@ -92,6 +93,7 @@ pub fn maxpool2d_backward(
         }
         dx[src] += g;
     }
+    crate::sanitize::check_output("maxpool2d_backward", input_dims, d_input.as_slice());
     Ok(d_input)
 }
 
@@ -105,6 +107,7 @@ pub fn global_avgpool_forward(input: &Tensor) -> Result<Tensor> {
         let base = plane_idx * h * w;
         *o = x[base..base + h * w].iter().sum::<f32>() / hw;
     }
+    crate::sanitize::check_output("global_avgpool_forward", &[n, c], &out);
     Tensor::from_vec(&[n, c], out)
 }
 
@@ -134,6 +137,7 @@ pub fn global_avgpool_backward(input_dims: &[usize], d_out: &Tensor) -> Result<T
             *v = g;
         }
     }
+    crate::sanitize::check_output("global_avgpool_backward", input_dims, &dx);
     Tensor::from_vec(input_dims, dx)
 }
 

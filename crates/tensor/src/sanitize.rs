@@ -3,8 +3,10 @@
 //! A NaN produced deep inside a training step surfaces rounds later as a
 //! quarantined update or a garbage aggregation weight, with the original
 //! op long gone. With the `sanitize` feature compiled in *and* the checks
-//! [`enable`]d at runtime, every hot kernel (matmul, conv forward/backward,
-//! channel reductions) scans its freshly written output for NaN/Inf and
+//! [`enable`]d at runtime, every hot kernel (matmul — blocked or reference,
+//! conv forward/backward — direct or im2col-lowered, pooling
+//! forward/backward, channel reductions) scans its freshly written output
+//! for NaN/Inf and
 //! records a [`Violation`] naming the op and the output shape — turning
 //! "the model diverged somewhere" into "`conv2d_backward(d_weight)` of
 //! shape `[8, 1, 3, 3]` produced 4 NaNs, first at flat index 11".

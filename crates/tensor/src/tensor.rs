@@ -280,10 +280,27 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Rayon-parallel over output rows once the output is large enough; the
-    /// inner loop is `k`-major so the `rhs` row is walked contiguously
-    /// (cache-friendly, auto-vectorises).
+    /// Dispatches to the kernel selected by [`crate::matmul::kernel_mode`]
+    /// (`FEDCAV_KERNELS=blocked|reference`, default the cache-blocked
+    /// register-tiled kernel; `reference` is the original naive kernel kept
+    /// as the differential-test oracle). Both kernels are rayon-parallel
+    /// over output rows once the output is large enough and accumulate each
+    /// element in strictly ascending `k` order, so results are run-to-run
+    /// and thread-count bit-identical per kernel.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.matmul_fused(rhs, None, false)
+    }
+
+    /// Matrix product with a fused epilogue: optional per-output-column
+    /// `bias` add (shape `[n]`) and optional ReLU, applied to each output
+    /// element right after its `k`-accumulation finishes.
+    ///
+    /// The fusion is bitwise-invisible: the per-element operation sequence
+    /// is exactly `sum`, then `+ bias[j]`, then `max(0)` — identical to a
+    /// plain [`matmul`](Tensor::matmul) followed by separate bias/ReLU
+    /// passes. `fedcav-nn`'s fused Dense/Conv2d layers rely on this to
+    /// stay bit-identical to their unfused stacks.
+    pub fn matmul_fused(&self, rhs: &Tensor, bias: Option<&Tensor>, relu: bool) -> Result<Tensor> {
         let (a_dims, b_dims) = (self.dims(), rhs.dims());
         if a_dims.len() != 2 || b_dims.len() != 2 {
             return Err(TensorError::InvalidShape {
@@ -301,29 +318,33 @@ impl Tensor {
                 rhs: b_dims.to_vec(),
             });
         }
-        crate::counters::record_matmul(m, k, n);
-        let mut out = vec![0.0f32; m * n];
-        let a = &self.data;
-        let b = &rhs.data;
-
-        let row_job = |(i, out_row): (usize, &mut [f32])| {
-            let a_row = &a[i * k..(i + 1) * k];
-            for (kk, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &b_kn) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b_kn;
-                }
+        if let Some(b) = bias {
+            if b.dims() != [n] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "matmul_fused(bias)",
+                    lhs: b.dims().to_vec(),
+                    rhs: vec![n],
+                });
             }
-        };
-
-        if m * n >= PAR_THRESHOLD {
-            out.par_chunks_mut(n).enumerate().for_each(row_job);
-        } else {
-            out.chunks_mut(n).enumerate().for_each(row_job);
         }
+        crate::counters::record_matmul(m, k, n);
+        let ep = match (bias, relu) {
+            (None, false) => crate::matmul::Epilogue::None,
+            (None, true) => crate::matmul::Epilogue::Relu,
+            (Some(b), false) => crate::matmul::Epilogue::Bias(b.as_slice()),
+            (Some(b), true) => crate::matmul::Epilogue::BiasRelu(b.as_slice()),
+        };
+        let mut out = Vec::new();
+        crate::matmul::matmul_into(
+            crate::matmul::kernel_mode(),
+            &self.data,
+            &rhs.data,
+            m,
+            k,
+            n,
+            ep,
+            &mut out,
+        );
         crate::sanitize::check_output("matmul", &[m, n], &out);
         Tensor::from_vec(&[m, n], out)
     }
@@ -491,6 +512,24 @@ mod tests {
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.dims(), &[1, 2]);
         assert_eq!(c.as_slice(), &[11.0, 14.0]);
+    }
+
+    #[test]
+    fn matmul_fused_bias_relu_matches_separate_passes() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 0.5, 0.0, 3.0, -1.0]).unwrap();
+        let b = Tensor::from_vec(&[3, 2], vec![1.0, 2.0, -3.0, 4.0, 5.0, -6.0]).unwrap();
+        let bias = Tensor::from_vec(&[2], vec![0.25, -10.0]).unwrap();
+        let plain = a.matmul(&b).unwrap();
+        let manual: Vec<f32> = plain
+            .as_slice()
+            .chunks(2)
+            .flat_map(|row| row.iter().zip(bias.as_slice()).map(|(v, bv)| (v + bv).max(0.0)))
+            .collect();
+        let fused = a.matmul_fused(&b, Some(&bias), true).unwrap();
+        assert_eq!(fused.as_slice(), manual.as_slice());
+        // Wrong bias shape is rejected.
+        let bad = Tensor::zeros(&[3]);
+        assert!(a.matmul_fused(&b, Some(&bad), false).is_err());
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! Reference-differential property suite for the blocked kernels
+//! (DESIGN.md §12). A small std-only property harness — seeded SplitMix64
+//! generator plus greedy shrinking, no external crates — checks the three
+//! contracts the kernel rewrite must keep:
+//!
+//! (a) blocked matmul ≍ reference matmul within 1e-5 relative tolerance
+//!     (they may differ in the last ulp: the reference kernel skips
+//!     `a_ik == 0.0` terms, the blocked kernel does not),
+//! (b) the im2col scratch-arena conv forward/backward is **bit-for-bit**
+//!     identical to the per-call-allocation path, even when the arena is
+//!     dirty from previous, differently-shaped calls,
+//! (c) blocked kernels are run-to-run bit-identical under
+//!     `ScopedThreads(4)` — the full simulation, faults and latency
+//!     active, reusing the vacuity-guard pattern from
+//!     `tests/executor_determinism.rs`.
+//!
+//! The suite must stay green under both `FEDCAV_KERNELS` settings: (a)
+//! pins the kernels explicitly, (b) holds whichever mode is ambient, and
+//! (c) forces `blocked` and restores the ambient mode afterwards.
+
+use fedcav::data::{partition, Dataset, SyntheticConfig, SyntheticKind};
+use fedcav::fl::{
+    ClientExecutor, FaultPolicy, FedAvg, History, LocalConfig, LogNormalLatency, RandomFaults,
+    RoundRecord, Simulation, SimulationConfig,
+};
+use fedcav::tensor::conv::Conv2dParams;
+use fedcav::tensor::im2col::{
+    conv2d_backward_im2col, conv2d_backward_im2col_with, conv2d_forward_im2col,
+    conv2d_forward_im2col_with, Im2colScratch,
+};
+use fedcav::tensor::matmul::{matmul_into, matmul_reference_into, Epilogue, KernelMode, MR, NR};
+use fedcav::tensor::{counters, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes the tests that read or force the process-global kernel mode
+/// (cargo runs the tests in this binary on multiple threads).
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+// ---------------------------------------------------------------- harness
+
+/// SplitMix64: tiny, seedable, good enough to fuzz shapes and fills.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    fn int_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+
+    /// Uniform f32 in roughly [-1, 1], with an exact-0.0 spike (~12%) so
+    /// the reference kernel's zero-skip path is genuinely exercised.
+    fn value(&mut self) -> f32 {
+        if self.next_u64() % 8 == 0 {
+            return 0.0;
+        }
+        (self.next_u64() % 2_000_001) as f32 / 1_000_000.0 - 1.0
+    }
+
+    fn fill(&mut self, len: usize) -> Vec<f32> {
+        (0..len).map(|_| self.value()).collect()
+    }
+}
+
+/// Greedy shrinking check: run `prop` over `cases`; on the first failure,
+/// repeatedly try `shrink` candidates, descending to any candidate that
+/// still fails, and report the minimal failing case.
+fn check<C: Clone + std::fmt::Debug>(
+    name: &str,
+    cases: &[C],
+    shrink: impl Fn(&C) -> Vec<C>,
+    prop: impl Fn(&C) -> Result<(), String>,
+) {
+    for case in cases {
+        let Err(first) = prop(case) else { continue };
+        let mut minimal = case.clone();
+        let mut message = first;
+        'descend: loop {
+            for candidate in shrink(&minimal) {
+                if let Err(msg) = prop(&candidate) {
+                    minimal = candidate;
+                    message = msg;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        panic!("property `{name}` failed; minimal case {minimal:?}: {message}");
+    }
+}
+
+// ------------------------------------------- (a) blocked vs reference
+
+#[derive(Clone, Debug)]
+struct MatCase {
+    m: usize,
+    k: usize,
+    n: usize,
+    epilogue: u8,
+    seed: u64,
+}
+
+fn mat_cases() -> Vec<MatCase> {
+    let mut g = Gen::new(0xFEDCA);
+    let mut cases = Vec::new();
+    for i in 0..60 {
+        cases.push(MatCase {
+            m: g.int_in(1, 33),
+            k: g.int_in(1, 40),
+            n: g.int_in(1, 37),
+            epilogue: (g.next_u64() % 4) as u8,
+            seed: i,
+        });
+    }
+    // A few shapes straddling the parallel threshold and the MR/NR grid.
+    cases.push(MatCase { m: 4 * MR + 1, k: 64, n: 16 * NR + 3, epilogue: 3, seed: 1001 });
+    cases.push(MatCase { m: 128, k: 17, n: 130, epilogue: 0, seed: 1002 });
+    cases
+}
+
+fn shrink_mat(c: &MatCase) -> Vec<MatCase> {
+    let mut out = Vec::new();
+    for (m, k, n) in [(c.m / 2, c.k, c.n), (c.m, c.k / 2, c.n), (c.m, c.k, c.n / 2)] {
+        if m >= 1 && k >= 1 && n >= 1 {
+            out.push(MatCase { m, k, n, ..c.clone() });
+        }
+    }
+    if c.epilogue != 0 {
+        out.push(MatCase { epilogue: 0, ..c.clone() });
+    }
+    out
+}
+
+#[test]
+fn prop_blocked_matmul_matches_reference_within_tolerance() {
+    let mut zero_inputs = 0usize;
+    let cases = mat_cases();
+    for c in &cases {
+        let mut g = Gen::new(c.seed);
+        zero_inputs += g.fill(c.m * c.k).iter().filter(|v| **v == 0.0).count();
+    }
+    // Vacuity guard: the zero-skip divergence between the kernels must
+    // actually be exercised somewhere in the corpus.
+    assert!(zero_inputs > 0, "corpus never produced an exact-zero input");
+
+    check("blocked ≍ reference", &cases, shrink_mat, |c| {
+        let mut g = Gen::new(c.seed);
+        let a = g.fill(c.m * c.k);
+        let b = g.fill(c.k * c.n);
+        let bias = g.fill(c.n);
+        let ep = |_: ()| match c.epilogue {
+            0 => Epilogue::None,
+            1 => Epilogue::Relu,
+            2 => Epilogue::Bias(&bias),
+            _ => Epilogue::BiasRelu(&bias),
+        };
+        let mut reference = Vec::new();
+        matmul_reference_into(&a, &b, c.m, c.k, c.n, ep(()), &mut reference);
+        let mut blocked = Vec::new();
+        matmul_into(KernelMode::Blocked, &a, &b, c.m, c.k, c.n, ep(()), &mut blocked);
+        if blocked.len() != reference.len() {
+            return Err(format!("length {} vs {}", blocked.len(), reference.len()));
+        }
+        for (i, (x, y)) in reference.iter().zip(&blocked).enumerate() {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            if (x - y).abs() > 1e-5 * scale {
+                return Err(format!("element {i}: reference {x} vs blocked {y}"));
+            }
+        }
+        Ok(())
+    });
+}
+
+// ------------------------------- (b) arena conv ≍ per-call, bit-for-bit
+
+#[derive(Clone, Debug)]
+struct ConvCase {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    oc: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    relu: bool,
+    seed: u64,
+}
+
+impl ConvCase {
+    fn params(&self) -> Conv2dParams {
+        Conv2dParams { stride: self.stride, padding: self.padding }
+    }
+
+    fn valid(&self) -> bool {
+        let p = self.params();
+        p.out_extent(self.h, self.k).is_some() && p.out_extent(self.w, self.k).is_some()
+    }
+}
+
+fn conv_cases() -> Vec<ConvCase> {
+    let mut g = Gen::new(0xC0F_FEE);
+    let mut cases = Vec::new();
+    while cases.len() < 25 {
+        let case = ConvCase {
+            n: g.int_in(1, 3),
+            c: g.int_in(1, 4),
+            h: g.int_in(2, 12),
+            w: g.int_in(2, 12),
+            oc: g.int_in(1, 5),
+            k: g.int_in(1, 5),
+            stride: g.int_in(1, 2),
+            padding: g.int_in(0, 2),
+            relu: g.next_u64() % 2 == 0,
+            seed: 7000 + cases.len() as u64,
+        };
+        if case.valid() {
+            cases.push(case);
+        }
+    }
+    cases
+}
+
+fn shrink_conv(c: &ConvCase) -> Vec<ConvCase> {
+    let mut out = Vec::new();
+    let halved = [
+        ConvCase { n: c.n / 2, ..c.clone() },
+        ConvCase { c: c.c / 2, ..c.clone() },
+        ConvCase { oc: c.oc / 2, ..c.clone() },
+        ConvCase { h: c.h / 2, ..c.clone() },
+        ConvCase { w: c.w / 2, ..c.clone() },
+        ConvCase { padding: 0, relu: false, ..c.clone() },
+    ];
+    for cand in halved {
+        let dims_ok = cand.n >= 1 && cand.c >= 1 && cand.oc >= 1 && cand.h >= 1 && cand.w >= 1;
+        let differs = format!("{cand:?}") != format!("{c:?}");
+        if dims_ok && differs && cand.valid() {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+fn bits_differ(a: &Tensor, b: &Tensor) -> Option<String> {
+    if a.dims() != b.dims() {
+        return Some(format!("dims {:?} vs {:?}", a.dims(), b.dims()));
+    }
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Some(format!(
+                "element {i}: {x} ({:#x}) vs {y} ({:#x})",
+                x.to_bits(),
+                y.to_bits()
+            ));
+        }
+    }
+    None
+}
+
+#[test]
+fn prop_arena_conv_is_bit_identical_to_per_call_allocation() {
+    // The whole point: ONE arena, dirtied by every previous case (larger
+    // and smaller shapes alike), must keep matching fresh allocations.
+    // Hold the mode lock so test (c) cannot flip the kernel between the
+    // fresh call and the arena call of one pair.
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let arena = Mutex::new(Im2colScratch::new());
+    let cases = conv_cases();
+    check("arena conv ≍ fresh conv", &cases, shrink_conv, |c| {
+        let mut g = Gen::new(c.seed);
+        let input = Tensor::from_vec(&[c.n, c.c, c.h, c.w], g.fill(c.n * c.c * c.h * c.w))
+            .map_err(|e| e.to_string())?;
+        let weight = Tensor::from_vec(&[c.oc, c.c, c.k, c.k], g.fill(c.oc * c.c * c.k * c.k))
+            .map_err(|e| e.to_string())?;
+        let bias = Tensor::from_vec(&[c.oc], g.fill(c.oc)).map_err(|e| e.to_string())?;
+        let params = c.params();
+        let mut scratch = arena.lock().unwrap_or_else(|e| e.into_inner());
+
+        let mut fresh =
+            conv2d_forward_im2col(&input, &weight, &bias, params).map_err(|e| e.to_string())?;
+        if c.relu {
+            fresh.map_in_place(|v| v.max(0.0));
+        }
+        let arena_out =
+            conv2d_forward_im2col_with(&input, &weight, &bias, params, c.relu, &mut scratch)
+                .map_err(|e| e.to_string())?;
+        if let Some(diff) = bits_differ(&fresh, &arena_out) {
+            return Err(format!("forward: {diff}"));
+        }
+
+        let d_out =
+            Tensor::from_vec(fresh.dims(), g.fill(fresh.numel())).map_err(|e| e.to_string())?;
+        let fresh_b =
+            conv2d_backward_im2col(&input, &weight, &d_out, params).map_err(|e| e.to_string())?;
+        let arena_b = conv2d_backward_im2col_with(&input, &weight, &d_out, params, &mut scratch)
+            .map_err(|e| e.to_string())?;
+        for (label, x, y) in [
+            ("d_input", &fresh_b.d_input, &arena_b.d_input),
+            ("d_weight", &fresh_b.d_weight, &arena_b.d_weight),
+            ("d_bias", &fresh_b.d_bias, &arena_b.d_bias),
+        ] {
+            if let Some(diff) = bits_differ(x, y) {
+                return Err(format!("backward {label}: {diff}"));
+            }
+        }
+        Ok(())
+    });
+    // Vacuity guard: the arena really was carried (and grown) across cases.
+    let scratch = arena.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(scratch.capacity_elems() > 0, "arena never grew — cases never ran through it");
+}
+
+// ---------------- (c) blocked kernels deterministic under ScopedThreads(4)
+
+fn deployment(n_clients: usize) -> (Vec<Dataset>, Dataset, usize) {
+    let (train, test) =
+        SyntheticConfig::new(SyntheticKind::MnistLike, 12, 2).generate().expect("synthetic data");
+    let mut rng = StdRng::seed_from_u64(0);
+    let part = partition::iid_balanced(&train, n_clients, &mut rng);
+    let img_len = train.image_len();
+    (part.client_datasets(&train).expect("partition"), test, img_len)
+}
+
+/// One full-featured run (faults, latency, deadline + quorum), in whatever
+/// kernel mode is currently forced.
+fn run(executor: ClientExecutor) -> (Vec<f32>, History) {
+    let (clients, test, img_len) = deployment(6);
+    let factory = move || {
+        let mut rng = StdRng::seed_from_u64(7);
+        fedcav::nn::models::mlp(&mut rng, img_len, 10)
+    };
+    let mut sim = Simulation::new(
+        &factory,
+        clients,
+        test,
+        Box::new(FedAvg::new()),
+        SimulationConfig {
+            sample_ratio: 1.0,
+            local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.1, prox_mu: 0.0 },
+            eval_batch: 32,
+            seed: 91,
+        },
+    );
+    sim.set_executor(executor)
+        .set_fault_model(Box::new(RandomFaults {
+            crash_rate: 0.15,
+            corrupt_param_rate: 0.10,
+            corrupt_loss_rate: 0.05,
+            straggler_rate: 0.15,
+            ..Default::default()
+        }))
+        .set_latency(Box::new(LogNormalLatency {
+            median: 5.0,
+            client_sigma: 0.4,
+            round_sigma: 0.1,
+            seed: 3,
+        }))
+        .set_fault_policy(FaultPolicy {
+            deadline: Some(40.0),
+            min_quorum: 1,
+            max_param_norm: Some(1e4),
+        });
+    sim.run(3).expect("run");
+    (sim.global().to_vec(), sim.history().clone())
+}
+
+/// Phase timings are wall-clock measurement, not simulation — zero them
+/// before comparing (same as `tests/executor_determinism.rs`).
+fn deterministic_view(history: &History) -> Vec<RoundRecord> {
+    history
+        .records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.phases = Default::default();
+            r
+        })
+        .collect()
+}
+
+#[test]
+fn prop_blocked_kernels_bit_identical_under_scoped_threads() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ambient = fedcav::tensor::kernel_mode();
+    fedcav::tensor::force_kernel_mode(KernelMode::Blocked);
+
+    // Count kernel work so the "blocked kernels ran" claim is not vacuous.
+    let before = counters::snapshot();
+    counters::enable();
+    let (global_a, history_a) = run(ClientExecutor::ScopedThreads(4));
+    counters::disable();
+    let work = counters::snapshot().delta(&before);
+
+    let (global_b, history_b) = run(ClientExecutor::ScopedThreads(4));
+    let (global_seq, history_seq) = run(ClientExecutor::Sequential);
+    fedcav::tensor::force_kernel_mode(ambient);
+
+    assert_eq!(global_a, global_b, "blocked kernels varied run-to-run");
+    assert_eq!(
+        deterministic_view(&history_a),
+        deterministic_view(&history_b),
+        "round records varied run-to-run"
+    );
+    assert_eq!(global_a, global_seq, "ScopedThreads(4) diverged from Sequential");
+    assert_eq!(
+        deterministic_view(&history_a),
+        deterministic_view(&history_seq),
+        "round records diverged from Sequential"
+    );
+
+    // Vacuity guards, executor_determinism-style: the fault machinery and
+    // the kernels themselves must both actually have fired.
+    assert!(
+        history_a.records.iter().any(|r| r.faults.total_lost() > 0),
+        "fault injection never fired — comparison is vacuous"
+    );
+    assert!(work.matmul_calls > 0, "no matmul ran — kernel determinism untested");
+}

@@ -196,10 +196,12 @@ impl Config {
     ///
     /// * `no-panic-in-round-loop` — the server round-loop driver, the six
     ///   pipeline stages under `crates/fl/src/stages/`, the client executor
-    ///   they train on, the aggregation/validation helpers they drive, and
-    ///   the tensor kernel hot paths (`matmul.rs`, `im2col.rs`) client
-    ///   training runs on. The fault-tolerant loop must degrade, never
-    ///   die, so nothing on that path may panic.
+    ///   they train on, the aggregation/validation helpers they drive, the
+    ///   tensor kernel hot paths (`matmul.rs`, `im2col.rs`) client
+    ///   training runs on, every aggregation strategy the round loop can
+    ///   call (the Byzantine-robust zoo included: a defense pushed past its
+    ///   tolerance bound must degrade and report a breach, never die), and
+    ///   the delivery-stage attack interceptors that run inside the loop.
     /// * `raw-exp-ln` — everywhere except `fedcav-tensor::numerics`, the one
     ///   sanctioned home of clipped/max-subtracted exp/ln (Eq. 7/9, §4.2.3).
     /// * `unchecked-float-cmp` — everywhere, tests included: `total_cmp` is
@@ -207,8 +209,10 @@ impl Config {
     /// * `no-debug-output` — library crates and the machine-readable bench
     ///   surfaces (`kernelbench`, the `kernel_bench` binary): those must go
     ///   through locked/explicit writers. Only the TSV printer
-    ///   (`output.rs`), the interactive `tune_fig4` binary, and crate
-    ///   `main.rs` entry points are licensed to print.
+    ///   (`output.rs`), the interactive `tune_fig4` and `robustness_matrix`
+    ///   harness binaries (their artifacts are written with `fs::write`;
+    ///   stderr is progress narration), and crate `main.rs` entry points
+    ///   are licensed to print.
     pub fn fedcav_default() -> Config {
         Config {
             global_exclude: vec![
@@ -227,6 +231,12 @@ impl Config {
                             "crates/fl/src/executor.rs".to_string(),
                             "crates/fl/src/aggregate.rs".to_string(),
                             "crates/fl/src/update.rs".to_string(),
+                            "crates/fl/src/robust.rs".to_string(),
+                            "crates/fl/src/krum.rs".to_string(),
+                            "crates/fl/src/normclip.rs".to_string(),
+                            "crates/fl/src/learned.rs".to_string(),
+                            "crates/fl/src/sizeguard.rs".to_string(),
+                            "crates/attack/src/dishonest.rs".to_string(),
                             "crates/tensor/src/matmul.rs".to_string(),
                             "crates/tensor/src/im2col.rs".to_string(),
                         ],
@@ -253,6 +263,7 @@ impl Config {
                         exclude: vec![
                             "crates/bench/src/output.rs".to_string(),
                             "crates/bench/src/bin/tune_fig4.rs".to_string(),
+                            "crates/bench/src/bin/robustness_matrix.rs".to_string(),
                             "src/main.rs".to_string(),
                         ],
                         skip_test_code: true,
@@ -335,6 +346,14 @@ mod tests {
         assert!(np.applies_to("crates/fl/src/executor.rs"));
         assert!(np.applies_to("crates/tensor/src/matmul.rs"));
         assert!(np.applies_to("crates/tensor/src/im2col.rs"));
+        // The robust-aggregation zoo and the delivery-stage adversaries run
+        // inside the round loop: the no-panic contract covers them.
+        assert!(np.applies_to("crates/fl/src/robust.rs"));
+        assert!(np.applies_to("crates/fl/src/krum.rs"));
+        assert!(np.applies_to("crates/fl/src/normclip.rs"));
+        assert!(np.applies_to("crates/fl/src/learned.rs"));
+        assert!(np.applies_to("crates/fl/src/sizeguard.rs"));
+        assert!(np.applies_to("crates/attack/src/dishonest.rs"));
         assert!(!np.applies_to("crates/core/src/weights.rs"));
         let exp = c.rules_for("raw-exp-ln").expect("configured");
         assert!(!exp.applies_to("crates/tensor/src/numerics.rs"));
@@ -342,6 +361,7 @@ mod tests {
         let dbg_rule = c.rules_for("no-debug-output").expect("configured");
         assert!(!dbg_rule.applies_to("crates/bench/src/output.rs"));
         assert!(!dbg_rule.applies_to("crates/bench/src/bin/tune_fig4.rs"));
+        assert!(!dbg_rule.applies_to("crates/bench/src/bin/robustness_matrix.rs"));
         assert!(!dbg_rule.applies_to("crates/analyze/src/main.rs"));
         assert!(dbg_rule.applies_to("crates/nn/src/dense.rs"));
         // The kernel-bench surfaces are deliberately IN scope: they write

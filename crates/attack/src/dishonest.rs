@@ -1,0 +1,124 @@
+//! Dishonest size-reporting adversary: honest parameters, honest loss,
+//! fabricated sample count.
+//!
+//! Size-proportional aggregation (FedAvg's `|d_i|/|D|`, the size-hybrid
+//! FedCav modes) trusts whatever `num_samples` the client reports. A
+//! free-rider that multiplies its count grabs aggregation weight it never
+//! earned — without touching a parameter or a loss, so neither clipping
+//! nor loss-based detection sees anything. This is the threat the
+//! `SizeGuard` strategy and FedCav's capped-size weight mode defend
+//! against.
+
+use fedcav_fl::server::Interceptor;
+use fedcav_fl::update::LocalUpdate;
+use fedcav_tensor::{Result, TensorError};
+
+/// Multiplies (or overrides) the reported sample count of one participant
+/// slot each round.
+pub struct DishonestSize {
+    /// Which collected-update slot to corrupt.
+    pub slot: usize,
+    /// `reported = factor × true_count` (saturating).
+    pub factor: usize,
+    /// When `Some`, the reported count is set to this value outright and
+    /// `factor` is ignored.
+    pub fixed: Option<usize>,
+    /// Rounds at which to lie; empty = every round.
+    pub attack_rounds: Vec<usize>,
+}
+
+impl DishonestSize {
+    /// Adversary that multiplies its sample count by `factor` every round.
+    pub fn scaling(slot: usize, factor: usize) -> Self {
+        DishonestSize { slot, factor, fixed: None, attack_rounds: Vec::new() }
+    }
+
+    /// Adversary that always claims a fixed sample count.
+    pub fn fixed(slot: usize, reported: usize) -> Self {
+        DishonestSize { slot, factor: 1, fixed: Some(reported), attack_rounds: Vec::new() }
+    }
+}
+
+impl Interceptor for DishonestSize {
+    fn intercept(
+        &mut self,
+        round: usize,
+        _global: &[f32],
+        updates: &mut Vec<LocalUpdate>,
+    ) -> Result<()> {
+        if !self.attack_rounds.is_empty() && !self.attack_rounds.contains(&round) {
+            return Ok(());
+        }
+        let slot = self.slot;
+        let update =
+            updates.get_mut(slot).ok_or(TensorError::IndexOutOfBounds { index: slot, bound: 0 })?;
+        update.num_samples = match self.fixed {
+            Some(n) => n,
+            None => update.num_samples.saturating_mul(self.factor),
+        };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn updates() -> Vec<LocalUpdate> {
+        vec![LocalUpdate::new(0, vec![0.0], 0.5, 10), LocalUpdate::new(1, vec![0.0], 0.7, 20)]
+    }
+
+    #[test]
+    fn scaling_multiplies_the_count() {
+        let mut adv = DishonestSize::scaling(1, 1000);
+        let mut u = updates();
+        adv.intercept(0, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].num_samples, 10);
+        assert_eq!(u[1].num_samples, 20_000);
+    }
+
+    #[test]
+    fn fixed_overrides_the_count() {
+        let mut adv = DishonestSize::fixed(0, 1_000_000);
+        let mut u = updates();
+        adv.intercept(0, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].num_samples, 1_000_000);
+    }
+
+    #[test]
+    fn attack_rounds_respected() {
+        let mut adv =
+            DishonestSize { slot: 0, factor: 1, fixed: Some(999), attack_rounds: vec![5] };
+        let mut u = updates();
+        adv.intercept(4, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].num_samples, 10);
+        adv.intercept(5, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].num_samples, 999);
+    }
+
+    #[test]
+    fn out_of_range_slot_errors() {
+        let mut adv = DishonestSize::fixed(7, 1);
+        let mut u = updates();
+        assert!(adv.intercept(0, &[0.0], &mut u).is_err());
+    }
+
+    #[test]
+    fn params_and_loss_never_touched() {
+        let mut adv = DishonestSize::scaling(0, 100);
+        let mut u = updates();
+        let params = u[0].params.clone();
+        let loss = u[0].inference_loss;
+        adv.intercept(0, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].params, params);
+        assert_eq!(u[0].inference_loss, loss);
+    }
+
+    #[test]
+    fn huge_factor_saturates_instead_of_overflowing() {
+        let mut adv = DishonestSize::scaling(0, usize::MAX);
+        let mut u = updates();
+        adv.intercept(0, &[0.0], &mut u).unwrap();
+        assert_eq!(u[0].num_samples, usize::MAX);
+    }
+}

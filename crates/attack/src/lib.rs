@@ -10,17 +10,22 @@
 //! * [`byzantine`] — random-update Byzantine clients (Blanchard et al.,
 //!   the "untargeted / model downgrade" threat of §2),
 //! * [`inflation`] — clients that submit *honest* parameters but lie about
-//!   their inference loss (the threat FedCav's clipping addresses).
+//!   their inference loss (the threat FedCav's clipping addresses),
+//! * [`dishonest`] — clients that lie about their *sample count* to hijack
+//!   size-proportional weighting (the threat the size-capped weight modes
+//!   defend against).
 //!
 //! All adversaries implement [`fedcav_fl::Interceptor`] and splice into the
 //! round loop between update collection and aggregation.
 
 pub mod adaptive;
 pub mod byzantine;
+pub mod dishonest;
 pub mod inflation;
 pub mod replacement;
 
 pub use adaptive::{AdaptiveReplacement, AdaptiveReplacementConfig};
 pub use byzantine::ByzantineRandom;
+pub use dishonest::DishonestSize;
 pub use inflation::LossInflation;
 pub use replacement::{ModelReplacement, ModelReplacementConfig};

@@ -105,7 +105,8 @@ impl Dist {
         }
     }
 
-    fn partition(
+    /// Partition `data` across `n_clients` according to this distribution.
+    pub fn partition(
         self,
         data: &Dataset,
         n_clients: usize,
@@ -209,7 +210,7 @@ impl ExperimentSpec {
 
     /// The paper's model for this dataset tier (§5.1.1), seeded for
     /// reproducibility: every `factory()` call yields identical weights.
-    pub fn model_factory(&self) -> Box<dyn Fn() -> Sequential + Sync> {
+    pub fn model_factory(&self) -> Box<dyn Fn() -> Sequential + Send + Sync> {
         let kind = self.kind;
         let seed = self.seed ^ 0xF00D;
         Box::new(move || {

@@ -16,6 +16,9 @@
 //!   tensor kernels (blocked vs reference) and the end-to-end round
 //!   wall-clock, plus the hand-rolled `BENCH_kernels.json` serialisation
 //!   used by the `kernel_bench` binary and the `kernel_scaling` bench,
+//! * [`robustness`] — the adversarial benchmark matrix (every aggregation
+//!   strategy × every attack × distribution × fault profile) behind the
+//!   `robustness_matrix` binary and `BENCH_robustness.json`,
 //! * [`output`] — TSV series printing shared by all harnesses, plus the
 //!   human-readable per-round phase profile.
 //!
@@ -26,5 +29,7 @@
 pub mod experiment;
 pub mod kernelbench;
 pub mod output;
+pub mod robustness;
 
 pub use experiment::{Algo, Dist, ExperimentSpec, Scale};
+pub use robustness::{Attack, FaultProfile, MatrixReport, RobustAlgo};

@@ -1,0 +1,474 @@
+//! The adversarial benchmark matrix: every aggregation strategy in the
+//! repo × every attack in `fedcav-attack` × data distribution × fault
+//! profile, with machine-readable output (`BENCH_robustness.json`).
+//!
+//! Each cell runs a full federated simulation and records final accuracy,
+//! converged accuracy, rounds-to-target, reversal/degradation counts and
+//! the number of rounds whose defense reported a tolerance breach
+//! ([`fedcav_fl::ToleranceBreach`]). The *robustness delta* of a cell is
+//! its converged accuracy minus the converged accuracy of the same
+//! strategy/distribution/fault cell under no attack — the accuracy the
+//! attack actually cost, separated from what the strategy loses on clean
+//! data.
+//!
+//! The graceful-degradation contract is enforced here, not just tested:
+//! every cell must complete without an error. A defense pushed past its
+//! tolerance bound (e.g. Krum with `n < 2f+3`, a cohort that is majority
+//! non-finite) must degrade — fall back, clamp, hold the model — and
+//! report the breach through telemetry rather than fail the run.
+
+use crate::experiment::{Dist, ExperimentSpec};
+use fedcav_attack::{ByzantineRandom, DishonestSize, LossInflation, ModelReplacement,
+    ModelReplacementConfig};
+use fedcav_core::{FedCav, FedCavConfig, WeightMode};
+use fedcav_data::poison::flip_all_labels;
+use fedcav_data::Dataset;
+use fedcav_fl::{
+    CoordinateMedian, FedAvg, FedAvgM, FedProx, History, Krum, LearnedWeights,
+    NormClippedMomentum, RandomFaults, Simulation, SizeGuard, Strategy, TrimmedMean,
+};
+use fedcav_tensor::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every aggregation strategy in the zoo, by matrix row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustAlgo {
+    /// Size-weighted mean (no defense; the vulnerability baseline).
+    FedAvg,
+    /// FedAvg with server momentum.
+    FedAvgM,
+    /// FedProx (μ = 0.01).
+    FedProx,
+    /// FedCav, paper configuration (clip + detection).
+    FedCav,
+    /// FedCav with the dishonest-size-robust capped hybrid weights.
+    FedCavCappedSize,
+    /// Coordinate-wise median.
+    CoordMedian,
+    /// β-trimmed mean (saturating: clamps β rather than erroring).
+    TrimmedMean,
+    /// Krum (single selection).
+    Krum,
+    /// Multi-Krum (average of the m best-scored updates).
+    MultiKrum,
+    /// Norm clipping + server momentum.
+    NormClip,
+    /// Server-side learnable aggregation weights.
+    Learned,
+    /// Clipped, cross-checked size-proportional weighting.
+    SizeGuard,
+}
+
+/// All matrix rows, vulnerability baselines first.
+pub const ALL_ALGOS: [RobustAlgo; 12] = [
+    RobustAlgo::FedAvg,
+    RobustAlgo::FedAvgM,
+    RobustAlgo::FedProx,
+    RobustAlgo::FedCav,
+    RobustAlgo::FedCavCappedSize,
+    RobustAlgo::CoordMedian,
+    RobustAlgo::TrimmedMean,
+    RobustAlgo::Krum,
+    RobustAlgo::MultiKrum,
+    RobustAlgo::NormClip,
+    RobustAlgo::Learned,
+    RobustAlgo::SizeGuard,
+];
+
+impl RobustAlgo {
+    /// Display name (matrix row label).
+    pub fn name(self) -> &'static str {
+        match self {
+            RobustAlgo::FedAvg => "FedAvg",
+            RobustAlgo::FedAvgM => "FedAvgM",
+            RobustAlgo::FedProx => "FedProx",
+            RobustAlgo::FedCav => "FedCav",
+            RobustAlgo::FedCavCappedSize => "FedCav-cappedSize",
+            RobustAlgo::CoordMedian => "CoordMedian",
+            RobustAlgo::TrimmedMean => "TrimmedMean",
+            RobustAlgo::Krum => "Krum",
+            RobustAlgo::MultiKrum => "MultiKrum",
+            RobustAlgo::NormClip => "NormClip",
+            RobustAlgo::Learned => "LearnedWeights",
+            RobustAlgo::SizeGuard => "SizeGuard",
+        }
+    }
+
+    /// Build the strategy. `spec` supplies the model factory and `val` the
+    /// server-side validation split for [`RobustAlgo::Learned`]. Parameters
+    /// are sized for the matrix cohorts (per-round participants ≈
+    /// `n_clients × sample_ratio`): the f = 1 assumed by Krum and the β = 1
+    /// trim tolerate the single-adversary attacks used here.
+    pub fn strategy(self, spec: &ExperimentSpec, val: &Dataset) -> Box<dyn Strategy> {
+        match self {
+            RobustAlgo::FedAvg => Box::new(FedAvg::new()),
+            RobustAlgo::FedAvgM => Box::new(FedAvgM::new(0.9)),
+            RobustAlgo::FedProx => Box::new(FedProx::new(0.01)),
+            RobustAlgo::FedCav => Box::new(FedCav::new(FedCavConfig::default())),
+            RobustAlgo::FedCavCappedSize => Box::new(FedCav::new(FedCavConfig {
+                weight_mode: WeightMode::SoftmaxLossCappedSize,
+                ..Default::default()
+            })),
+            RobustAlgo::CoordMedian => Box::new(CoordinateMedian::new()),
+            RobustAlgo::TrimmedMean => Box::new(TrimmedMean::saturating(1)),
+            RobustAlgo::Krum => Box::new(Krum::new(1)),
+            RobustAlgo::MultiKrum => Box::new(Krum::multi(1, 3)),
+            RobustAlgo::NormClip => Box::new(NormClippedMomentum::new(1.0, 0.9)),
+            RobustAlgo::Learned => {
+                Box::new(LearnedWeights::new(val.clone(), spec.model_factory(), 0.5, 64))
+            }
+            RobustAlgo::SizeGuard => Box::new(SizeGuard::new(3.0)),
+        }
+    }
+}
+
+/// The attack columns of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// Clean run — the baseline every robustness delta is computed against.
+    None,
+    /// Model replacement (Eq. 10–11): boosted label-flipped model with an
+    /// inflated reported loss, fired at round 1.
+    Replacement,
+    /// Honest parameters, 20×-inflated reported inference loss.
+    Inflation,
+    /// Random-update Byzantine client (noise std 3).
+    Byzantine,
+    /// Honest parameters and loss, 1000×-inflated reported sample count.
+    DishonestSize,
+}
+
+/// All attack columns, clean first (the delta baseline must run first).
+pub const ALL_ATTACKS: [Attack; 5] = [
+    Attack::None,
+    Attack::Replacement,
+    Attack::Inflation,
+    Attack::Byzantine,
+    Attack::DishonestSize,
+];
+
+impl Attack {
+    /// Display name (matrix column label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Attack::None => "none",
+            Attack::Replacement => "model-replacement",
+            Attack::Inflation => "loss-inflation",
+            Attack::Byzantine => "byzantine-random",
+            Attack::DishonestSize => "dishonest-size",
+        }
+    }
+}
+
+/// Client fault environment of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// No injected faults.
+    Clean,
+    /// 10% crash + 5% NaN/Inf parameter corruption per client-round.
+    Faulty,
+}
+
+impl FaultProfile {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::Clean => "clean",
+            FaultProfile::Faulty => "faulty",
+        }
+    }
+}
+
+/// One completed matrix cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Strategy under test.
+    pub algo: &'static str,
+    /// Attack applied.
+    pub attack: &'static str,
+    /// Data distribution.
+    pub dist: String,
+    /// Fault profile.
+    pub faults: &'static str,
+    /// Accuracy after the final round.
+    pub final_accuracy: f32,
+    /// Mean accuracy of the last 3 rounds.
+    pub converged_accuracy: f32,
+    /// First round reaching the target accuracy (1-based; `None` = never).
+    pub rounds_to_target: Option<usize>,
+    /// Rounds the strategy rejected/reversed (§4.4 detection).
+    pub rejected_rounds: usize,
+    /// Rounds the fault policy marked degraded.
+    pub degraded_rounds: usize,
+    /// Rounds whose defense reported a tolerance breach.
+    pub breached_rounds: usize,
+    /// `converged_accuracy − (same cell under Attack::None)`; 0 for the
+    /// clean column itself.
+    pub robustness_delta: f32,
+}
+
+/// The full matrix report.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Accuracy threshold used for `rounds_to_target`.
+    pub target_accuracy: f32,
+    /// Rounds per cell.
+    pub rounds: usize,
+    /// Clients per cell.
+    pub n_clients: usize,
+    /// All completed cells.
+    pub cells: Vec<Cell>,
+}
+
+impl MatrixReport {
+    /// Hand-rolled JSON (the repo has no serde): one object per cell.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"target_accuracy\": {:.2},\n  \"rounds\": {},\n  \"n_clients\": {},\n",
+            self.target_accuracy, self.rounds, self.n_clients
+        ));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let rtt = match c.rounds_to_target {
+                Some(r) => r.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"algo\": \"{}\", \"attack\": \"{}\", \"dist\": \"{}\", \
+                 \"faults\": \"{}\", \"final_accuracy\": {:.4}, \
+                 \"converged_accuracy\": {:.4}, \"rounds_to_target\": {}, \
+                 \"rejected_rounds\": {}, \"degraded_rounds\": {}, \
+                 \"breached_rounds\": {}, \"robustness_delta\": {:.4}}}{}\n",
+                c.algo,
+                c.attack,
+                c.dist,
+                c.faults,
+                c.final_accuracy,
+                c.converged_accuracy,
+                rtt,
+                c.rejected_rounds,
+                c.degraded_rounds,
+                c.breached_rounds,
+                c.robustness_delta,
+                if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Cells whose defense reported at least one tolerance breach.
+    pub fn breached_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.breached_rounds > 0).count()
+    }
+}
+
+/// Run one matrix cell: `algo` under `attack` on `dist`-partitioned data
+/// with `faults` injected. Never errors by contract — an `Err` here is a
+/// graceful-degradation violation, and the matrix harness treats it as
+/// fatal.
+pub fn run_cell(
+    spec: &ExperimentSpec,
+    algo: RobustAlgo,
+    attack: Attack,
+    dist: Dist,
+    faults: FaultProfile,
+) -> Result<History> {
+    let (train, test) = spec.data()?;
+    let factory = spec.model_factory();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0b5e55);
+    let part = dist.partition(&train, spec.n_clients, &mut rng);
+    let clients = part.client_datasets(&train)?;
+
+    // The Learned strategy validates on the server's test split — in this
+    // simulation the server-side holdout it would hold in deployment.
+    let strategy = algo.strategy(spec, &test);
+    let mut sim = Simulation::new(&*factory, clients.clone(), test, strategy, spec.sim_config());
+    sim.set_executor(spec.executor);
+
+    match attack {
+        Attack::None => {}
+        Attack::Replacement => {
+            let poisoned = flip_all_labels(&clients[0]);
+            sim.set_interceptor(Box::new(ModelReplacement::new(
+                &*factory,
+                poisoned,
+                ModelReplacementConfig {
+                    attack_rounds: vec![1],
+                    boost: None,
+                    reported_loss: 5.0,
+                    local: spec.local,
+                    seed: spec.seed ^ 0xE011,
+                },
+            )));
+        }
+        Attack::Inflation => {
+            sim.set_interceptor(Box::new(LossInflation::scaling(0, 20.0)));
+        }
+        Attack::Byzantine => {
+            sim.set_interceptor(Box::new(ByzantineRandom::new(
+                1,
+                3.0,
+                Vec::new(),
+                spec.seed ^ 0xB12A,
+            )));
+        }
+        Attack::DishonestSize => {
+            sim.set_interceptor(Box::new(DishonestSize::scaling(0, 1000)));
+        }
+    }
+
+    if faults == FaultProfile::Faulty {
+        sim.set_fault_model(Box::new(RandomFaults {
+            crash_rate: 0.10,
+            corrupt_param_rate: 0.05,
+            ..Default::default()
+        }));
+    }
+
+    sim.run(spec.rounds)?;
+    Ok(sim.history().clone())
+}
+
+/// Run the matrix over the given axes and compute per-cell robustness
+/// deltas against each `(algo, dist, faults)` clean baseline. `progress`
+/// is called once per completed cell (label, converged accuracy).
+pub fn run_matrix(
+    spec: &ExperimentSpec,
+    algos: &[RobustAlgo],
+    attacks: &[Attack],
+    dists: &[Dist],
+    faults: &[FaultProfile],
+    target_accuracy: f32,
+    mut progress: impl FnMut(&str, f32),
+) -> Result<MatrixReport> {
+    let mut cells = Vec::new();
+    for &dist in dists {
+        for &fp in faults {
+            for &algo in algos {
+                let mut clean_acc = None;
+                for &attack in attacks {
+                    let h = run_cell(spec, algo, attack, dist, fp)?;
+                    let conv = h.converged_accuracy(3).unwrap_or(0.0);
+                    if attack == Attack::None {
+                        clean_acc = Some(conv);
+                    }
+                    let label = format!(
+                        "{}/{}/{}/{}",
+                        algo.name(),
+                        attack.name(),
+                        dist.name(),
+                        fp.name()
+                    );
+                    progress(&label, conv);
+                    cells.push(Cell {
+                        algo: algo.name(),
+                        attack: attack.name(),
+                        dist: dist.name(),
+                        faults: fp.name(),
+                        final_accuracy: h.final_accuracy().unwrap_or(0.0),
+                        converged_accuracy: conv,
+                        rounds_to_target: h.rounds_to_accuracy(target_accuracy).map(|r| r + 1),
+                        rejected_rounds: h.rejected_rounds().len(),
+                        degraded_rounds: h.degraded_rounds().len(),
+                        breached_rounds: h.breached_rounds().len(),
+                        robustness_delta: clean_acc.map(|c| conv - c).unwrap_or(0.0),
+                    });
+                }
+            }
+        }
+    }
+    Ok(MatrixReport {
+        target_accuracy,
+        rounds: spec.rounds,
+        n_clients: spec.n_clients,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_data::SyntheticKind;
+    use fedcav_fl::{ClientExecutor, LocalConfig};
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            kind: SyntheticKind::MnistLike,
+            n_clients: 5,
+            train_per_class: 4,
+            test_per_class: 2,
+            rounds: 2,
+            sample_ratio: 0.8,
+            local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+            seed: 11,
+            noise_override: None,
+            executor: ClientExecutor::Sequential,
+        }
+    }
+
+    #[test]
+    fn every_defense_completes_every_attack_cell() {
+        // The graceful-degradation contract, exhaustively: tiny cohorts
+        // push Krum (n < 2f+3) and the trimmed mean past their envelopes,
+        // and every attack fires — nothing may error.
+        let spec = tiny_spec();
+        for algo in ALL_ALGOS {
+            for attack in ALL_ATTACKS {
+                let h = run_cell(&spec, algo, attack, Dist::IidBalanced, FaultProfile::Clean)
+                    .unwrap_or_else(|e| {
+                        panic!("{} under {} must degrade, not fail: {e}", algo.name(),
+                            attack.name())
+                    });
+                assert_eq!(h.len(), spec.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_deltas_are_zero_on_the_clean_column() {
+        let spec = tiny_spec();
+        let report = run_matrix(
+            &spec,
+            &[RobustAlgo::FedAvg, RobustAlgo::CoordMedian],
+            &[Attack::None, Attack::Byzantine],
+            &[Dist::IidBalanced],
+            &[FaultProfile::Clean],
+            0.99,
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(report.cells.len(), 4);
+        for c in report.cells.iter().filter(|c| c.attack == "none") {
+            assert_eq!(c.robustness_delta, 0.0, "{}", c.algo);
+        }
+    }
+
+    #[test]
+    fn json_shape_is_parseable_by_line() {
+        let report = MatrixReport {
+            target_accuracy: 0.5,
+            rounds: 2,
+            n_clients: 5,
+            cells: vec![Cell {
+                algo: "FedAvg",
+                attack: "none",
+                dist: "IID&balanced".into(),
+                faults: "clean",
+                final_accuracy: 0.5,
+                converged_accuracy: 0.5,
+                rounds_to_target: None,
+                rejected_rounds: 0,
+                degraded_rounds: 0,
+                breached_rounds: 0,
+                robustness_delta: 0.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"rounds_to_target\": null"));
+        assert!(json.contains("\"algo\": \"FedAvg\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -26,4 +26,4 @@ pub use detect::{Detector, DetectorConfig};
 pub use diagnostics::WeightDiagnostics;
 pub use monitor::ObjectiveMonitor;
 pub use strategy::{FedCav, FedCavConfig, WeightMode};
-pub use weights::{clip_losses, contribution_weights};
+pub use weights::{capped_sizes, clip_losses, contribution_weights};

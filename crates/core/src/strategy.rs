@@ -1,8 +1,9 @@
 //! [`FedCav`]: the contribution-aware aggregation strategy (Algorithm 1).
 
 use crate::detect::{Detector, DetectorConfig};
-use crate::weights::contribution_weights;
+use crate::weights::{capped_sizes, contribution_weights};
 use fedcav_fl::aggregate::weighted_sum;
+use fedcav_fl::metrics::ToleranceBreach;
 use fedcav_fl::strategy::{Aggregation, RoundContext, Strategy};
 use fedcav_fl::update::LocalUpdate;
 use fedcav_tensor::Result;
@@ -21,6 +22,14 @@ pub enum WeightMode {
     /// linear average weakens the influence of each client", motivating the
     /// exponential; this mode lets the benches test that claim.
     LinearLoss,
+    /// [`SoftmaxLossSizeHybrid`](WeightMode::SoftmaxLossSizeHybrid) with
+    /// the reported sample counts treated as adversarial input: each count
+    /// is capped at 3× the round's median report
+    /// ([`crate::weights::capped_sizes`]) before it multiplies the softmax
+    /// weight, so a dishonest-size report cannot hijack the hybrid
+    /// weighting. Rounds where the cap removes most of the reported mass
+    /// surface through [`Strategy::take_breach`].
+    SoftmaxLossCappedSize,
 }
 
 /// FedCav configuration.
@@ -75,13 +84,14 @@ pub struct FedCav {
     detector: Option<Detector>,
     /// Weights used in the most recent accepted aggregation (diagnostics).
     last_weights: Vec<f32>,
+    breach: Option<ToleranceBreach>,
 }
 
 impl FedCav {
     /// New FedCav strategy.
     pub fn new(config: FedCavConfig) -> Self {
         let detector = config.detection.map(Detector::new);
-        FedCav { config, detector, last_weights: Vec::new() }
+        FedCav { config, detector, last_weights: Vec::new(), breach: None }
     }
 
     /// Paper-default FedCav (clip on, detection on, T = 1).
@@ -99,7 +109,7 @@ impl FedCav {
         &self.last_weights
     }
 
-    fn compute_weights(&self, updates: &[LocalUpdate]) -> Vec<f32> {
+    fn compute_weights(&mut self, updates: &[LocalUpdate]) -> Vec<f32> {
         let losses: Vec<f32> = updates.iter().map(|u| u.inference_loss).collect();
         match self.config.weight_mode {
             WeightMode::SoftmaxLoss => {
@@ -123,9 +133,33 @@ impl FedCav {
                     updates.len(),
                 )
             }
+            WeightMode::SoftmaxLossCappedSize => {
+                let mut w =
+                    contribution_weights(&losses, self.config.clip, self.config.temperature);
+                let sizes: Vec<usize> = updates.iter().map(|u| u.num_samples).collect();
+                let (capped, removed) = capped_sizes(&sizes, SIZE_CAP_FACTOR);
+                if removed > 0.5 {
+                    self.breach = Some(ToleranceBreach {
+                        strategy: "FedCav",
+                        detail: format!(
+                            "size cap removed {:.0}% of reported sample mass: \
+                             size signal untrustworthy",
+                            100.0 * removed
+                        ),
+                    });
+                }
+                for (wi, c) in w.iter_mut().zip(&capped) {
+                    *wi *= c;
+                }
+                normalise(w, updates.len())
+            }
         }
     }
 }
+
+/// Cap multiplier for [`WeightMode::SoftmaxLossCappedSize`]: a reported
+/// count is worth at most 3× the round's median report.
+const SIZE_CAP_FACTOR: f32 = 3.0;
 
 /// Normalise weights to sum 1, falling back to uniform when degenerate
 /// (all-zero losses).
@@ -180,11 +214,16 @@ impl Strategy for FedCav {
         Ok(Aggregation::Accept(next))
     }
 
+    fn take_breach(&mut self) -> Option<ToleranceBreach> {
+        self.breach.take()
+    }
+
     fn reset(&mut self) {
         if let Some(d) = &mut self.detector {
             d.reset();
         }
         self.last_weights.clear();
+        self.breach = None;
     }
 }
 
@@ -238,6 +277,57 @@ mod tests {
         let out = accept(s.aggregate(&ctx, &updates).unwrap());
         assert!((out[0] - 1.5).abs() < 1e-5);
         assert!((out[1] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn capped_size_mode_matches_hybrid_on_honest_counts() {
+        let honest = vec![upd(0, vec![2.0, 0.0], 0.7, 30), upd(1, vec![0.0, 2.0], 0.7, 10)];
+        let ctx = RoundContext { round: 0, global: &[0.0, 0.0] };
+        let mut hybrid = FedCav::new(FedCavConfig {
+            weight_mode: WeightMode::SoftmaxLossSizeHybrid,
+            detection: None,
+            ..Default::default()
+        });
+        let mut capped = FedCav::new(FedCavConfig {
+            weight_mode: WeightMode::SoftmaxLossCappedSize,
+            detection: None,
+            ..Default::default()
+        });
+        let a = accept(hybrid.aggregate(&ctx, &honest).unwrap());
+        let b = accept(capped.aggregate(&ctx, &honest).unwrap());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "honest counts: {a:?} vs {b:?}");
+        }
+        assert!(capped.take_breach().is_none());
+    }
+
+    #[test]
+    fn capped_size_mode_defuses_an_inflated_count() {
+        // Same losses everywhere, so the hybrid weight is driven purely by
+        // the reported sizes: the liar claims a million samples.
+        let updates = vec![
+            upd(0, vec![0.0], 0.7, 100),
+            upd(1, vec![0.0], 0.7, 100),
+            upd(2, vec![1.0], 0.7, 1_000_000),
+        ];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let mut hybrid = FedCav::new(FedCavConfig {
+            weight_mode: WeightMode::SoftmaxLossSizeHybrid,
+            detection: None,
+            ..Default::default()
+        });
+        let mut capped = FedCav::new(FedCavConfig {
+            weight_mode: WeightMode::SoftmaxLossCappedSize,
+            detection: None,
+            ..Default::default()
+        });
+        let h = accept(hybrid.aggregate(&ctx, &updates).unwrap());
+        let c = accept(capped.aggregate(&ctx, &updates).unwrap());
+        assert!(h[0] > 0.99, "hybrid is hijacked by the lie: {h:?}");
+        // Capped: weights 100/500, 100/500, 300/500 → 0.6.
+        assert!((c[0] - 0.6).abs() < 1e-5, "cap holds the liar to 3× median: {c:?}");
+        let breach = capped.take_breach().expect("most reported mass was removed");
+        assert!(breach.detail.contains("untrustworthy"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Contribution-aware aggregation weights (Eq. 9 + Algorithm 1 line 7).
 
-use fedcav_tensor::numerics::softmax_with_temperature;
+use fedcav_tensor::numerics::{median_in_place, softmax_with_temperature};
 
 /// Clip each loss at the mean of all losses:
 /// `f_j ← min(f_j, mean(f))` (Algorithm 1 line 7).
@@ -74,12 +74,62 @@ pub fn contribution_weights(losses: &[f32], clip: bool, temperature: f32) -> Vec
     out
 }
 
+/// Reported sample counts with each entry capped at `cap_factor ×` their
+/// median — the dishonest-size guard used by
+/// [`WeightMode::SoftmaxLossCappedSize`](crate::WeightMode).
+///
+/// The size-hybrid weight mode multiplies FedCav's softmax weights by the
+/// *reported* `|d_i|`, which hands a free-rider that inflates its count a
+/// weight it never earned. Anchoring the cap to the round's median keeps
+/// any coalition smaller than half the cohort from moving the cap itself.
+/// Counts are clamped to ≥ 1 so a zero-report cannot null a weight.
+///
+/// Returns the capped counts and the fraction of reported mass the cap
+/// removed (0 when everyone is honest; approaching 1 when one liar claims
+/// nearly all the data) — the caller's tolerance-breach signal.
+pub fn capped_sizes(sizes: &[usize], cap_factor: f32) -> (Vec<f32>, f32) {
+    if sizes.is_empty() {
+        return (Vec::new(), 0.0);
+    }
+    let factor = if cap_factor.is_finite() && cap_factor >= 1.0 { cap_factor } else { 1.0 };
+    let reported: Vec<f32> = sizes.iter().map(|&s| s.max(1) as f32).collect();
+    let mut scratch = reported.clone();
+    let cap = (factor * median_in_place(&mut scratch)).max(1.0);
+    let capped: Vec<f32> = reported.iter().map(|&s| s.min(cap)).collect();
+    let reported_mass: f32 = reported.iter().sum();
+    let capped_mass: f32 = capped.iter().sum();
+    let removed = if reported_mass > 0.0 { 1.0 - capped_mass / reported_mass } else { 0.0 };
+    (capped, removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn close(a: f32, b: f32) -> bool {
         (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn capped_sizes_honest_counts_pass_through() {
+        let (capped, removed) = capped_sizes(&[100, 120, 90], 3.0);
+        assert_eq!(capped, vec![100.0, 120.0, 90.0]);
+        assert!(close(removed, 0.0));
+    }
+
+    #[test]
+    fn capped_sizes_clip_an_inflated_report() {
+        let (capped, removed) = capped_sizes(&[100, 100, 1_000_000], 3.0);
+        assert_eq!(capped, vec![100.0, 100.0, 300.0]);
+        assert!(removed > 0.99, "nearly all the liar's mass removed: {removed}");
+    }
+
+    #[test]
+    fn capped_sizes_empty_and_zero() {
+        assert_eq!(capped_sizes(&[], 3.0).0, Vec::<f32>::new());
+        // Zero reports clamp to 1, never to 0.
+        let (capped, _) = capped_sizes(&[0, 0], 3.0);
+        assert_eq!(capped, vec![1.0, 1.0]);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Krum and Multi-Krum aggregation (Blanchard et al., NeurIPS 2017) — the
+//! distance-based member of the Byzantine-robust zoo. Where the trimmed
+//! statistics in [`crate::robust`] defend per coordinate, Krum scores whole
+//! updates: each update's score is the summed squared distance to its
+//! `n − f − 2` nearest neighbours, and only the lowest-scoring update(s)
+//! survive. An attacker must therefore sit inside the honest cluster in
+//! *parameter space* to be selected at all.
+
+use crate::metrics::ToleranceBreach;
+use crate::robust::check_updates;
+use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::update::LocalUpdate;
+use fedcav_tensor::Result;
+
+/// Krum / Multi-Krum aggregation.
+///
+/// Configured for `f` suspected Byzantine clients. Selection needs
+/// `n ≥ f + 3` (otherwise no update has a full neighbourhood) and the
+/// Byzantine-tolerance guarantee additionally needs `n ≥ 2f + 3`.
+///
+/// Graceful degradation: a round whose cohort violates those bounds still
+/// aggregates — `f` is clamped to `n − 3`, and below `n = 3` the rule falls
+/// back to a plain mean — with the breach reported through
+/// [`Strategy::take_breach`] so the weakened round is visible in telemetry.
+#[derive(Debug, Clone)]
+pub struct Krum {
+    /// Number of Byzantine clients the deployment is provisioned against.
+    pub f: usize,
+    /// Updates averaged after scoring (1 = classic Krum, >1 = Multi-Krum).
+    pub m: usize,
+    breach: Option<ToleranceBreach>,
+}
+
+impl Krum {
+    /// Classic Krum: select the single best-scored update.
+    pub fn new(f: usize) -> Self {
+        Krum { f, m: 1, breach: None }
+    }
+
+    /// Multi-Krum: average the `m` best-scored updates.
+    pub fn multi(f: usize, m: usize) -> Self {
+        Krum { f, m: m.max(1), breach: None }
+    }
+
+    /// Krum scores: for each update, the sum of its `n − f − 2` smallest
+    /// squared distances to the other updates. Lower is more central.
+    /// Requires `f ≤ n − 3` (the caller clamps). Distances accumulate in
+    /// f64; a NaN parameter makes the affected scores NaN, which
+    /// `total_cmp` orders *last* — a poisoned update can never win.
+    fn scores(updates: &[LocalUpdate], f: usize) -> Vec<f64> {
+        let n = updates.len();
+        let neighbours = n - f - 2;
+        updates
+            .iter()
+            .enumerate()
+            .map(|(i, ui)| {
+                let mut row: Vec<f64> = updates
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, uj)| {
+                        ui.params
+                            .iter()
+                            .zip(&uj.params)
+                            .map(|(a, b)| {
+                                let d = (*a - *b) as f64;
+                                d * d
+                            })
+                            .sum()
+                    })
+                    .collect();
+                row.sort_by(|a, b| a.total_cmp(b));
+                row.iter().take(neighbours).sum()
+            })
+            .collect()
+    }
+}
+
+impl Strategy for Krum {
+    fn name(&self) -> &'static str {
+        if self.m > 1 {
+            "MultiKrum"
+        } else {
+            "Krum"
+        }
+    }
+
+    fn aggregate(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        let len = check_updates(updates, "Krum::aggregate")?;
+        let n = updates.len();
+
+        if n < 3 {
+            // No update has a scoreable neighbourhood: degrade to the plain
+            // mean of what arrived rather than failing the round.
+            self.breach = Some(ToleranceBreach {
+                strategy: self.name(),
+                detail: format!("n = {n} < 3: no Krum neighbourhood, fell back to plain mean"),
+            });
+            let mut out = vec![0.0f32; len];
+            for u in updates {
+                for (o, &p) in out.iter_mut().zip(&u.params) {
+                    *o += p / n as f32;
+                }
+            }
+            return Ok(Aggregation::Accept(out));
+        }
+
+        let f_eff = self.f.min(n - 3);
+        if n < 2 * self.f + 3 {
+            let fallback = if f_eff < self.f {
+                format!("; f clamped to {f_eff} for selection")
+            } else {
+                String::new()
+            };
+            self.breach = Some(ToleranceBreach {
+                strategy: self.name(),
+                detail: format!(
+                    "n = {n} < 2f + 3 = {}: Byzantine guarantee void{fallback}",
+                    2 * self.f + 3
+                ),
+            });
+        }
+
+        let scores = Krum::scores(updates, f_eff);
+        let mut order: Vec<(f64, usize)> =
+            scores.into_iter().enumerate().map(|(i, s)| (s, i)).collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let m = self.m.min(n);
+        let mut out = vec![0.0f32; len];
+        for u in order.iter().take(m).filter_map(|&(_, i)| updates.get(i)) {
+            for (o, &p) in out.iter_mut().zip(&u.params) {
+                *o += p / m as f32;
+            }
+        }
+        Ok(Aggregation::Accept(out))
+    }
+
+    fn take_breach(&mut self) -> Option<ToleranceBreach> {
+        self.breach.take()
+    }
+
+    fn reset(&mut self) {
+        self.breach = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, params: Vec<f32>) -> LocalUpdate {
+        LocalUpdate::new(id, params, 0.1, 10)
+    }
+
+    fn accept(a: Aggregation) -> Vec<f32> {
+        match a {
+            Aggregation::Accept(p) => p,
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    fn ctx<'a>(global: &'a [f32]) -> RoundContext<'a> {
+        RoundContext { round: 0, global }
+    }
+
+    #[test]
+    fn krum_selects_a_cluster_member_over_an_outlier() {
+        // 5 honest updates near 1.0, one Byzantine at 1e6 with f = 1:
+        // the outlier's score is astronomically worse, so the selected
+        // update is one of the honest cluster.
+        let mut updates: Vec<LocalUpdate> =
+            (0..5).map(|i| upd(i, vec![1.0 + 0.01 * i as f32; 4])).collect();
+        updates.push(upd(9, vec![1e6; 4]));
+        let g = [0.0f32; 4];
+        let mut krum = Krum::new(1);
+        let out = accept(krum.aggregate(&ctx(&g), &updates).unwrap());
+        assert!(out.iter().all(|&p| (p - 1.0).abs() < 0.1), "selected honest update: {out:?}");
+        assert!(krum.take_breach().is_none(), "n = 6 ≥ 2f + 3 = 5: inside the envelope");
+    }
+
+    #[test]
+    fn multi_krum_averages_the_selected_updates() {
+        let updates =
+            vec![upd(0, vec![1.0]), upd(1, vec![2.0]), upd(2, vec![3.0]), upd(3, vec![1000.0])];
+        let g = [0.0f32];
+        // f = 1, m = 3: the three clustered updates are selected, the
+        // outlier is not; their mean is 2.0.
+        let out = accept(Krum::multi(1, 3).aggregate(&ctx(&g), &updates).unwrap());
+        assert_eq!(out, vec![2.0]);
+    }
+
+    #[test]
+    fn krum_never_selects_a_nan_poisoned_update() {
+        let mut updates: Vec<LocalUpdate> = (0..4).map(|i| upd(i, vec![1.0; 3])).collect();
+        updates.push(upd(9, vec![f32::NAN; 3]));
+        let g = [0.0f32; 3];
+        let out = accept(Krum::new(1).aggregate(&ctx(&g), &updates).unwrap());
+        assert!(out.iter().all(|p| p.is_finite()), "NaN update must lose: {out:?}");
+    }
+
+    #[test]
+    fn small_cohort_degrades_to_mean_with_breach() {
+        let updates = vec![upd(0, vec![1.0]), upd(1, vec![3.0])];
+        let g = [0.0f32];
+        let mut krum = Krum::new(1);
+        let out = accept(krum.aggregate(&ctx(&g), &updates).unwrap());
+        assert_eq!(out, vec![2.0]);
+        let breach = krum.take_breach().expect("breach recorded");
+        assert!(breach.detail.contains("plain mean"), "{}", breach.detail);
+    }
+
+    #[test]
+    fn guarantee_void_cohort_still_aggregates_with_breach() {
+        // n = 4 < 2f + 3 = 5 but ≥ f + 3: selection works, guarantee void.
+        let updates =
+            vec![upd(0, vec![1.0]), upd(1, vec![1.1]), upd(2, vec![0.9]), upd(3, vec![50.0])];
+        let g = [0.0f32];
+        let mut krum = Krum::new(1);
+        let out = accept(krum.aggregate(&ctx(&g), &updates).unwrap());
+        assert!(out[0] < 2.0, "outlier not selected: {out:?}");
+        assert!(krum.take_breach().expect("breach").detail.contains("guarantee void"));
+    }
+
+    #[test]
+    fn empty_round_errors() {
+        let g: [f32; 0] = [];
+        assert!(Krum::new(1).aggregate(&ctx(&g), &[]).is_err());
+    }
+}

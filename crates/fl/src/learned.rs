@@ -1,0 +1,318 @@
+//! Learnable aggregation weights — the server *learns* per-client softmax
+//! weight logits from a held-out validation set instead of trusting
+//! anything the clients report. Each round every delivered model is scored
+//! on the server's validation data; clients whose models validate well
+//! gain logit mass, clients whose models validate badly (Byzantine, stale,
+//! or overfit) lose it. Because the signal is computed server-side, there
+//! is nothing for a client to lie about: neither a forged inference loss
+//! nor a forged sample count moves these weights.
+
+use crate::eval::evaluate;
+use crate::metrics::ToleranceBreach;
+use crate::robust::check_updates;
+use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::update::LocalUpdate;
+use fedcav_data::Dataset;
+use fedcav_nn::Sequential;
+use fedcav_tensor::numerics::softmax;
+use fedcav_tensor::Result;
+use std::collections::HashMap;
+
+/// Bound on the per-client weight logits. Keeps one persistently bad (or
+/// persistently perfect) client from saturating the softmax forever — a
+/// client that reforms recovers weight within a few rounds.
+const LOGIT_BOUND: f32 = 8.0;
+
+/// Validation-loss-driven learnable aggregation weights.
+///
+/// Per round, for participants `S_t`:
+///
+/// 1. score every delivered model on the server's validation set:
+///    `ℓ_i = val_loss(w_i)`,
+/// 2. gradient-step the persistent per-client logits toward better
+///    validators: `θ_i ← clamp(θ_i − η·(ℓ_i − ℓ̄), ±8)` with `ℓ̄` the mean
+///    over the round's finite scores,
+/// 3. aggregate with `softmax(θ_{S_t})`.
+///
+/// A model whose validation loss is non-finite is quarantined to the
+/// logit floor for the round (weight ≈ 0). If *most* scores are
+/// non-finite the defense has lost its signal; the round still aggregates
+/// (over whatever softmax mass remains) and the breach is reported
+/// through [`Strategy::take_breach`].
+pub struct LearnedWeights {
+    val: Dataset,
+    factory: Box<dyn Fn() -> Sequential + Send + Sync>,
+    eta: f32,
+    eval_batch: usize,
+    logits: HashMap<usize, f32>,
+    scratch: Option<Sequential>,
+    last_weights: Vec<f32>,
+    breach: Option<ToleranceBreach>,
+}
+
+impl LearnedWeights {
+    /// New strategy scoring updates on `val` with models built by
+    /// `factory`. `eta` is the logit learning rate (clamped positive;
+    /// 0.5 is a reasonable default at cross-entropy scale).
+    pub fn new(
+        val: Dataset,
+        factory: Box<dyn Fn() -> Sequential + Send + Sync>,
+        eta: f32,
+        eval_batch: usize,
+    ) -> Self {
+        LearnedWeights {
+            val,
+            factory,
+            eta: if eta.is_finite() && eta > 0.0 { eta } else { 0.5 },
+            eval_batch: eval_batch.max(1),
+            logits: HashMap::new(),
+            scratch: None,
+            last_weights: Vec::new(),
+            breach: None,
+        }
+    }
+
+    /// The aggregation weights of the last round (diagnostics).
+    pub fn last_weights(&self) -> &[f32] {
+        &self.last_weights
+    }
+
+    fn val_loss(&mut self, params: &[f32]) -> Option<f32> {
+        let model = self.scratch.get_or_insert_with(|| (self.factory)());
+        if model.set_flat_params(params).is_err() {
+            return None;
+        }
+        match evaluate(model, &self.val, self.eval_batch) {
+            Ok((loss, _acc)) if loss.is_finite() => Some(loss),
+            _ => None,
+        }
+    }
+}
+
+impl Strategy for LearnedWeights {
+    fn name(&self) -> &'static str {
+        "LearnedWeights"
+    }
+
+    fn aggregate(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        check_updates(updates, "LearnedWeights::aggregate")?;
+        let n = updates.len();
+
+        let scores: Vec<Option<f32>> =
+            updates.iter().map(|u| self.val_loss(&u.params)).collect();
+        let finite: Vec<f32> = scores.iter().filter_map(|s| *s).collect();
+        let mean = if finite.is_empty() {
+            0.0
+        } else {
+            finite.iter().sum::<f32>() / finite.len() as f32
+        };
+
+        let mut theta = Vec::with_capacity(n);
+        for (u, score) in updates.iter().zip(&scores) {
+            let slot = self.logits.entry(u.client_id).or_insert(0.0);
+            match score {
+                Some(l) => *slot = (*slot - self.eta * (l - mean)).clamp(-LOGIT_BOUND, LOGIT_BOUND),
+                // Unscorable model: floor it for this round but leave the
+                // persistent logit alone — one corrupt upload should not
+                // erase a client's earned standing.
+                None => {}
+            }
+            theta.push(if score.is_some() { *slot } else { -LOGIT_BOUND });
+        }
+
+        if 2 * finite.len() < n {
+            self.breach = Some(ToleranceBreach {
+                strategy: "LearnedWeights",
+                detail: format!(
+                    "{}/{n} updates had no finite validation loss: weight signal degraded",
+                    n - finite.len()
+                ),
+            });
+        }
+
+        // Softmax, then zero the unscorable slots *exactly*: a softmax tail
+        // of 3e-4 times a NaN parameter vector is still NaN, so floored
+        // weight is not enough — corrupt updates must contribute nothing.
+        let mut weights = softmax(&theta);
+        for (w, score) in weights.iter_mut().zip(&scores) {
+            if score.is_none() {
+                *w = 0.0;
+            }
+        }
+        let mass: f32 = weights.iter().sum();
+        if mass <= 0.0 {
+            // Nothing scorable at all: hold the model rather than fail.
+            self.breach = Some(ToleranceBreach {
+                strategy: "LearnedWeights",
+                detail: format!("no update of {n} had a finite validation loss: model held"),
+            });
+            self.last_weights = weights;
+            return Ok(Aggregation::Accept(ctx.global.to_vec()));
+        }
+        for w in &mut weights {
+            *w /= mass;
+        }
+        // Weighted sum that *skips* zero-weight updates: `0 × NaN` is NaN,
+        // so a quarantined update must not enter the arithmetic at all.
+        let len = updates.first().map_or(0, |u| u.params.len());
+        let mut next = vec![0.0f32; len];
+        for (u, &w) in updates.iter().zip(&weights) {
+            if w > 0.0 {
+                for (o, &p) in next.iter_mut().zip(&u.params) {
+                    *o += w * p;
+                }
+            }
+        }
+        self.last_weights = weights;
+        Ok(Aggregation::Accept(next))
+    }
+
+    fn take_breach(&mut self) -> Option<ToleranceBreach> {
+        self.breach.take()
+    }
+
+    fn reset(&mut self) {
+        self.logits.clear();
+        self.last_weights.clear();
+        self.breach = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcav_data::{SyntheticConfig, SyntheticKind};
+    use fedcav_nn::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn val_set() -> Dataset {
+        let (train, _) = SyntheticConfig::new(SyntheticKind::MnistLike, 4, 7).generate().unwrap();
+        train
+    }
+
+    fn strategy(val: &Dataset) -> LearnedWeights {
+        let dim = val.image_len();
+        LearnedWeights::new(
+            val.clone(),
+            Box::new(move || {
+                let mut rng = StdRng::seed_from_u64(3);
+                models::mlp(&mut rng, dim, 10)
+            }),
+            0.5,
+            16,
+        )
+    }
+
+    fn accept(a: Aggregation) -> Vec<f32> {
+        match a {
+            Aggregation::Accept(p) => p,
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    /// The factory model with its class-0 output bias boosted: confidently
+    /// predicts class 0 for everything, so its validation loss is huge but
+    /// finite (the bias slots are the last `classes` flat parameters).
+    fn confidently_wrong(s: &LearnedWeights) -> Vec<f32> {
+        let mut params = (s.factory)().flat_params();
+        let len = params.len();
+        params[len - 10] += 40.0;
+        params
+    }
+
+    #[test]
+    fn bad_validator_loses_weight_to_plausible_one() {
+        let val = val_set();
+        let mut s = strategy(&val);
+        let good = (s.factory)().flat_params();
+        let bad = confidently_wrong(&s);
+        let updates = vec![
+            LocalUpdate::new(0, good.clone(), 0.1, 10),
+            LocalUpdate::new(1, bad, 0.1, 10),
+        ];
+        let g = vec![0.0f32; good.len()];
+        let ctx = RoundContext { round: 0, global: &g };
+        accept(s.aggregate(&ctx, &updates).unwrap());
+        let w = s.last_weights();
+        assert!(
+            w[0] > w[1],
+            "sane model outvalidates the one-class predictor: {w:?}"
+        );
+    }
+
+    #[test]
+    fn logits_persist_across_rounds_and_sharpen() {
+        let val = val_set();
+        // Small η so one round does not already saturate the softmax (the
+        // assertion needs round two to move the weights further).
+        let dim = val.image_len();
+        let mut s = LearnedWeights::new(
+            val.clone(),
+            Box::new(move || {
+                let mut rng = StdRng::seed_from_u64(3);
+                models::mlp(&mut rng, dim, 10)
+            }),
+            0.01,
+            16,
+        );
+        let good = (s.factory)().flat_params();
+        let bad = confidently_wrong(&s);
+        let updates = vec![
+            LocalUpdate::new(0, good.clone(), 0.1, 10),
+            LocalUpdate::new(1, bad, 0.1, 10),
+        ];
+        let g = vec![0.0f32; good.len()];
+        let ctx = RoundContext { round: 0, global: &g };
+        accept(s.aggregate(&ctx, &updates).unwrap());
+        let first_gap = s.last_weights()[0] - s.last_weights()[1];
+        accept(s.aggregate(&ctx, &updates).unwrap());
+        let second_gap = s.last_weights()[0] - s.last_weights()[1];
+        assert!(
+            second_gap > first_gap,
+            "repeat offender keeps losing weight: {first_gap} -> {second_gap}"
+        );
+    }
+
+    #[test]
+    fn non_finite_majority_degrades_with_breach() {
+        let val = val_set();
+        let mut s = strategy(&val);
+        let good = (s.factory)().flat_params();
+        let nan = vec![f32::NAN; good.len()];
+        let updates = vec![
+            LocalUpdate::new(0, nan.clone(), 0.1, 10),
+            LocalUpdate::new(1, nan, 0.1, 10),
+            LocalUpdate::new(2, good.clone(), 0.1, 10),
+        ];
+        let g = vec![0.0f32; good.len()];
+        let ctx = RoundContext { round: 0, global: &g };
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert!(s.take_breach().expect("breach").detail.contains("2/3"));
+        // The scorable model takes essentially all the weight, so the
+        // aggregate stays finite despite two NaN uploads.
+        assert!(out.iter().all(|p| p.is_finite()), "NaN mass floored out");
+    }
+
+    #[test]
+    fn forged_metadata_does_not_move_weights() {
+        // Same parameters, wildly different reported loss and size: the
+        // server-side signal ignores both.
+        let val = val_set();
+        let mut s = strategy(&val);
+        let params = (s.factory)().flat_params();
+        let updates = vec![
+            LocalUpdate::new(0, params.clone(), 1e9, 1),
+            LocalUpdate::new(1, params.clone(), 1e-9, 1_000_000),
+        ];
+        let g = vec![0.0f32; params.len()];
+        let ctx = RoundContext { round: 0, global: &g };
+        accept(s.aggregate(&ctx, &updates).unwrap());
+        let w = s.last_weights();
+        assert!((w[0] - w[1]).abs() < 1e-6, "identical models weigh the same: {w:?}");
+    }
+}

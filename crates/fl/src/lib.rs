@@ -12,6 +12,11 @@
 //!   implements, with an accept-or-reject decision so FedCav's detection
 //!   can *reverse* a round,
 //! * [`fedavg`] / [`fedprox`] — the paper's baselines (§5.1.2),
+//! * [`robust`] / [`krum`] / [`normclip`] / [`learned`] / [`sizeguard`] —
+//!   the Byzantine-robust aggregation zoo (trimmed statistics, distance
+//!   scoring, norm clipping with server momentum, server-side learnable
+//!   weights, dishonest-size-robust weighting), all honouring the
+//!   graceful-degradation contract of [`Strategy::take_breach`],
 //! * [`centralized`] — the centralized gradient-descent upper-bound baseline,
 //! * [`server`] — the round-loop driver over a staged pipeline, with an
 //!   [`Interceptor`] hook where adversaries splice in malicious updates,
@@ -50,9 +55,13 @@ pub mod faults;
 pub mod fedavg;
 pub mod fedavgm;
 pub mod fedprox;
+pub mod krum;
 pub mod latency;
+pub mod learned;
 pub mod metrics;
+pub mod normclip;
 pub mod robust;
+pub mod sizeguard;
 pub mod sampling;
 pub mod server;
 pub mod stages;
@@ -71,9 +80,13 @@ pub use faults::{apply_fault, Corruption, FaultModel, InjectedFault, NoFaults, R
 pub use fedavg::FedAvg;
 pub use fedavgm::FedAvgM;
 pub use fedprox::FedProx;
+pub use krum::Krum;
 pub use latency::{LatencyModel, LogNormalLatency, UniformLatency};
-pub use metrics::{FaultEvent, FaultEventKind, FaultTelemetry, History, RoundRecord};
+pub use learned::LearnedWeights;
+pub use metrics::{FaultEvent, FaultEventKind, FaultTelemetry, History, RoundRecord, ToleranceBreach};
+pub use normclip::NormClippedMomentum;
 pub use robust::{CoordinateMedian, TrimmedMean};
+pub use sizeguard::SizeGuard;
 pub use server::{FaultPolicy, Interceptor, ModelFactory, Simulation, SimulationConfig};
 pub use strategy::{Aggregation, RoundContext, Strategy};
 pub use update::{LocalUpdate, UpdateDefect};

@@ -24,6 +24,23 @@ pub struct FaultEvent {
     pub detail: String,
 }
 
+/// A defense aggregated outside its design envelope and degraded
+/// gracefully instead of erroring.
+///
+/// Every robust strategy documents a tolerance bound (e.g. Krum needs
+/// `n ≥ f + 3`, trimmed mean needs `2β < n`). When a round's cohort
+/// violates that bound the strategy still returns a usable model — it
+/// clamps its parameters to the feasible range or falls back to a weaker
+/// rule — and reports the breach here so the run's telemetry shows exactly
+/// which rounds carry weakened guarantees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToleranceBreach {
+    /// Name of the defense whose bound was breached.
+    pub strategy: &'static str,
+    /// Human-readable description of the bound and the fallback applied.
+    pub detail: String,
+}
+
 /// Per-round fault telemetry: how many sampled clients never made it into
 /// the aggregation, and why.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -39,6 +56,10 @@ pub struct FaultTelemetry {
     pub degraded: bool,
     /// One event per lost contribution, in participant order.
     pub events: Vec<FaultEvent>,
+    /// Set when the aggregation strategy operated beyond its documented
+    /// Byzantine-tolerance bound this round and fell back to a degraded
+    /// (but still usable) rule. `None` on rounds within the envelope.
+    pub tolerance_breach: Option<ToleranceBreach>,
 }
 
 impl FaultTelemetry {
@@ -59,7 +80,7 @@ impl FaultTelemetry {
 
     /// Whether the round saw no faults at all.
     pub fn is_clean(&self) -> bool {
-        self.events.is_empty() && !self.degraded
+        self.events.is_empty() && !self.degraded && self.tolerance_breach.is_none()
     }
 }
 
@@ -194,6 +215,16 @@ impl History {
     /// Rounds that degraded (held the global model on a quorum miss).
     pub fn degraded_rounds(&self) -> Vec<usize> {
         self.records.iter().filter(|r| r.faults.degraded).map(|r| r.round).collect()
+    }
+
+    /// Rounds on which the strategy aggregated beyond its tolerance bound
+    /// (see [`ToleranceBreach`]).
+    pub fn breached_rounds(&self) -> Vec<usize> {
+        self.records
+            .iter()
+            .filter(|r| r.faults.tolerance_breach.is_some())
+            .map(|r| r.round)
+            .collect()
     }
 
     /// Sum of the per-round phase timings (real wall clock, for profiling
@@ -356,5 +387,19 @@ mod tests {
         assert_eq!(h.total_quarantined(), 1);
         assert_eq!(h.total_timed_out(), 1);
         assert_eq!(h.degraded_rounds(), vec![2]);
+    }
+
+    #[test]
+    fn breach_marks_round_unclean_and_history_finds_it() {
+        let mut h = History::new();
+        h.records.push(rec(0, 0.5));
+        let mut r1 = rec(1, 0.5);
+        r1.faults.tolerance_breach = Some(ToleranceBreach {
+            strategy: "Krum",
+            detail: "n = 3 < f + 3; clamped f to 0".into(),
+        });
+        assert!(!r1.faults.is_clean());
+        h.records.push(r1);
+        assert_eq!(h.breached_rounds(), vec![1]);
     }
 }

@@ -1,0 +1,251 @@
+//! Norm-clipped averaging with server momentum — the magnitude-bounding
+//! member of the Byzantine-robust zoo (after Sun et al., "Can You Really
+//! Backdoor Federated Learning?"). Each client's *displacement*
+//! `Δ_i = w_i − w_t` is clipped to an L2 budget `τ` before averaging, so a
+//! boosted model-replacement update (Eq. 10–11's `γ`-scaled submission)
+//! loses exactly the amplification it relied on; the clipped mean then
+//! feeds a FedAvgM-style server velocity.
+
+use crate::aggregate::sample_weights;
+use crate::metrics::ToleranceBreach;
+use crate::robust::check_updates;
+use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::update::LocalUpdate;
+use fedcav_tensor::Result;
+
+/// Norm-clipped aggregation with server momentum.
+///
+/// Per round: `Δ_i = w_i − w_t`, each `Δ_i` scaled down to `‖Δ_i‖ ≤ τ`,
+/// sample-weighted mean `Δ̄`, then `v ← β·v + Δ̄` and `w_{t+1} = w_t + v`.
+/// `β = 0` disables momentum (plain norm-clipped FedAvg).
+///
+/// The clip bounds how far *any* single round can move the model
+/// (`‖w_{t+1} − w_t‖ ≤ τ/(1−β)` in the limit), but it cannot distinguish
+/// attackers from honest mass: once the *majority* of a round's updates hit
+/// the clip, honest geometry is being truncated too and the defense is
+/// outside its envelope — that round is reported through
+/// [`Strategy::take_breach`]. An update with non-finite parameters has no
+/// finite norm to clip; it is excluded from the mean (weight 0).
+#[derive(Debug, Clone)]
+pub struct NormClippedMomentum {
+    tau: f32,
+    beta: f32,
+    velocity: Vec<f32>,
+    breach: Option<ToleranceBreach>,
+}
+
+impl NormClippedMomentum {
+    /// New strategy clipping displacements to `tau` with momentum `beta`.
+    /// `tau` is clamped to a positive minimum and `beta` into `[0, 0.99]`
+    /// (the round loop must never panic on a bad config).
+    pub fn new(tau: f32, beta: f32) -> Self {
+        NormClippedMomentum {
+            tau: if tau.is_finite() && tau > 0.0 { tau } else { 1.0 },
+            beta: if beta.is_finite() { beta.clamp(0.0, 0.99) } else { 0.0 },
+            velocity: Vec::new(),
+            breach: None,
+        }
+    }
+
+    /// The clip budget `τ` in force.
+    pub fn tau(&self) -> f32 {
+        self.tau
+    }
+}
+
+impl Strategy for NormClippedMomentum {
+    fn name(&self) -> &'static str {
+        "NormClip"
+    }
+
+    fn aggregate(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        let len = check_updates(updates, "NormClippedMomentum::aggregate")?;
+        let n = updates.len();
+        let global = ctx.global;
+
+        let weights = sample_weights(updates)?;
+        let mut mean_delta = vec![0.0f32; len];
+        let mut clipped = 0usize;
+        let mut excluded = 0usize;
+        let mut used_weight = 0.0f64;
+        for (u, &w) in updates.iter().zip(&weights) {
+            let norm2: f64 = u
+                .params
+                .iter()
+                .zip(global)
+                .map(|(&p, &g)| {
+                    let d = (p - g) as f64;
+                    d * d
+                })
+                .sum();
+            if !norm2.is_finite() {
+                excluded += 1;
+                continue;
+            }
+            let norm = norm2.sqrt();
+            let scale = if norm > self.tau as f64 {
+                clipped += 1;
+                self.tau as f64 / norm
+            } else {
+                1.0
+            };
+            let sw = w as f64 * scale;
+            for ((m, &p), &g) in mean_delta.iter_mut().zip(&u.params).zip(global) {
+                *m += (sw * (p - g) as f64) as f32;
+            }
+            used_weight += w as f64;
+        }
+
+        if used_weight <= 0.0 {
+            // Every update was non-finite: hold the model, report the
+            // breach — a usable (unchanged) model beats a failed round.
+            self.breach = Some(ToleranceBreach {
+                strategy: "NormClip",
+                detail: format!("all {n} updates non-finite: global model held"),
+            });
+            return Ok(Aggregation::Accept(global.to_vec()));
+        }
+        // Renormalise over the surviving weight mass so exclusions do not
+        // shrink the step.
+        let renorm = (1.0 / used_weight) as f32;
+
+        if self.velocity.len() != len {
+            self.velocity = vec![0.0f32; len];
+        }
+        let mut next = vec![0.0f32; len];
+        for ((v, m), (&g, o)) in self
+            .velocity
+            .iter_mut()
+            .zip(&mean_delta)
+            .zip(global.iter().zip(&mut next))
+        {
+            *v = self.beta * *v + *m * renorm;
+            *o = g + *v;
+        }
+
+        if 2 * clipped > n {
+            self.breach = Some(ToleranceBreach {
+                strategy: "NormClip",
+                detail: format!(
+                    "{clipped}/{n} updates hit the τ = {} clip (honest geometry truncated)",
+                    self.tau
+                ),
+            });
+        } else if excluded > 0 {
+            self.breach = Some(ToleranceBreach {
+                strategy: "NormClip",
+                detail: format!("{excluded}/{n} updates excluded as non-finite"),
+            });
+        }
+        Ok(Aggregation::Accept(next))
+    }
+
+    fn on_reject(&mut self) {
+        // The velocity describes the trajectory that was just rolled back.
+        self.velocity.clear();
+    }
+
+    fn take_breach(&mut self) -> Option<ToleranceBreach> {
+        self.breach.take()
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+        self.breach = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, params: Vec<f32>, n: usize) -> LocalUpdate {
+        LocalUpdate::new(id, params, 0.1, n)
+    }
+
+    fn accept(a: Aggregation) -> Vec<f32> {
+        match a {
+            Aggregation::Accept(p) => p,
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn within_budget_no_momentum_is_weighted_fedavg() {
+        let updates = vec![upd(0, vec![1.0, 0.0], 10), upd(1, vec![0.0, 1.0], 10)];
+        let g = [0.0f32, 0.0];
+        let ctx = RoundContext { round: 0, global: &g };
+        let mut s = NormClippedMomentum::new(100.0, 0.0);
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert!(out.iter().all(|&p| (p - 0.5).abs() < 1e-6), "{out:?}");
+        assert!(s.take_breach().is_none());
+    }
+
+    #[test]
+    fn boosted_update_is_scaled_back_to_the_budget() {
+        // One honest client at the global, one boosted 1000× beyond τ = 1:
+        // the attacker's displacement contributes at most τ/2 per round.
+        let updates = vec![upd(0, vec![0.0, 0.0], 10), upd(1, vec![1000.0, 0.0], 10)];
+        let g = [0.0f32, 0.0];
+        let ctx = RoundContext { round: 0, global: &g };
+        let mut s = NormClippedMomentum::new(1.0, 0.0);
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert!((out[0] - 0.5).abs() < 1e-5, "clipped to τ·w = 0.5, got {}", out[0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_and_clears_on_reject() {
+        let updates = vec![upd(0, vec![1.0], 10)];
+        let g = [0.0f32];
+        let ctx = RoundContext { round: 0, global: &g };
+        let mut s = NormClippedMomentum::new(100.0, 0.5);
+        let first = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert!((first[0] - 1.0).abs() < 1e-6);
+        // Same displacement again: v = 0.5·1 + 1 = 1.5.
+        let second = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert!((second[0] - 1.5).abs() < 1e-6, "{second:?}");
+        s.on_reject();
+        let third = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert!((third[0] - 1.0).abs() < 1e-6, "velocity cleared: {third:?}");
+    }
+
+    #[test]
+    fn majority_clipped_round_reports_breach() {
+        let updates = vec![
+            upd(0, vec![50.0], 10),
+            upd(1, vec![-40.0], 10),
+            upd(2, vec![0.1], 10),
+        ];
+        let g = [0.0f32];
+        let ctx = RoundContext { round: 0, global: &g };
+        let mut s = NormClippedMomentum::new(1.0, 0.0);
+        accept(s.aggregate(&ctx, &updates).unwrap());
+        let breach = s.take_breach().expect("2/3 clipped is a breach");
+        assert!(breach.detail.contains("2/3"), "{}", breach.detail);
+    }
+
+    #[test]
+    fn all_non_finite_holds_the_model() {
+        let updates = vec![upd(0, vec![f32::NAN], 10)];
+        let g = [7.0f32];
+        let ctx = RoundContext { round: 0, global: &g };
+        let mut s = NormClippedMomentum::new(1.0, 0.9);
+        let out = accept(s.aggregate(&ctx, &updates).unwrap());
+        assert_eq!(out, vec![7.0], "model held");
+        assert!(s.take_breach().is_some());
+    }
+
+    #[test]
+    fn degenerate_config_is_sanitised_not_fatal() {
+        let s = NormClippedMomentum::new(f32::NAN, 7.0);
+        assert!(s.tau() > 0.0);
+        let updates = vec![upd(0, vec![1.0], 10)];
+        let g = [0.0f32];
+        let ctx = RoundContext { round: 0, global: &g };
+        assert!(NormClippedMomentum::new(-3.0, 0.5).aggregate(&ctx, &updates).is_ok());
+    }
+}

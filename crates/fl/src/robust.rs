@@ -4,15 +4,17 @@
 //! the extension benches can compare FedCav's detect-and-reverse against
 //! the classical robust-statistics defenses.
 
+use crate::metrics::ToleranceBreach;
 use crate::strategy::{Aggregation, RoundContext, Strategy};
 use crate::update::LocalUpdate;
+use fedcav_tensor::numerics::median_in_place;
 use fedcav_tensor::{Result, TensorError};
 
-fn check_updates(updates: &[LocalUpdate], op: &'static str) -> Result<usize> {
+pub(crate) fn check_updates(updates: &[LocalUpdate], op: &'static str) -> Result<usize> {
     if updates.is_empty() {
         return Err(TensorError::Empty { op });
     }
-    let len = updates[0].params.len();
+    let len = updates.first().map_or(0, |u| u.params.len());
     for u in updates {
         if u.params.len() != len {
             return Err(TensorError::ShapeMismatch {
@@ -54,11 +56,10 @@ impl Strategy for CoordinateMedian {
         let mut out = vec![0.0f32; len];
         let mut column = vec![0.0f32; n];
         for (k, o) in out.iter_mut().enumerate() {
-            for (j, u) in updates.iter().enumerate() {
-                column[j] = u.params[k];
+            for (c, u) in column.iter_mut().zip(updates) {
+                *c = u.params.get(k).copied().unwrap_or(0.0);
             }
-            column.sort_by(|a, b| a.total_cmp(b));
-            *o = if n % 2 == 1 { column[n / 2] } else { 0.5 * (column[n / 2 - 1] + column[n / 2]) };
+            *o = median_in_place(&mut column);
         }
         Ok(Aggregation::Accept(out))
     }
@@ -66,16 +67,35 @@ impl Strategy for CoordinateMedian {
 
 /// Coordinate-wise `β`-trimmed mean: drop the `β` largest and `β` smallest
 /// values per coordinate, average the rest.
-#[derive(Debug, Clone, Copy)]
+///
+/// Tolerates up to `β` Byzantine updates. Two operating modes:
+///
+/// * [`TrimmedMean::new`] — *strict*: a cohort with `2β ≥ n` is a
+///   configuration error and aggregation returns
+///   [`TensorError::InvalidParameter`] (there is nothing left to average
+///   after trimming).
+/// * [`TrimmedMean::saturating`] — *graceful*: the trim width is clamped to
+///   `⌊(n−1)/2⌋` for the round and the breach is reported through
+///   [`Strategy::take_breach`], so a fault-shrunk cohort still yields a
+///   usable model (with the weakened guarantee on record).
+#[derive(Debug, Clone)]
 pub struct TrimmedMean {
     /// Values trimmed from *each* end per coordinate.
     pub beta: usize,
+    saturating: bool,
+    breach: Option<ToleranceBreach>,
 }
 
 impl TrimmedMean {
-    /// New trimmed mean trimming `beta` from each end.
+    /// New strict trimmed mean trimming `beta` from each end.
     pub fn new(beta: usize) -> Self {
-        TrimmedMean { beta }
+        TrimmedMean { beta, saturating: false, breach: None }
+    }
+
+    /// New saturating trimmed mean: clamps `beta` to the feasible range
+    /// per round instead of erroring (see the type docs).
+    pub fn saturating(beta: usize) -> Self {
+        TrimmedMean { beta, saturating: true, breach: None }
     }
 }
 
@@ -91,24 +111,48 @@ impl Strategy for TrimmedMean {
     ) -> Result<Aggregation> {
         let len = check_updates(updates, "TrimmedMean::aggregate")?;
         let n = updates.len();
-        if 2 * self.beta >= n {
-            return Err(TensorError::InvalidShape {
-                op: "TrimmedMean::aggregate",
-                shape: vec![n],
-                expected: format!("more than 2·β = {} updates", 2 * self.beta),
+        let beta = if 2 * self.beta >= n {
+            if !self.saturating {
+                return Err(TensorError::InvalidParameter {
+                    op: "TrimmedMean::aggregate",
+                    name: "beta",
+                    value: self.beta,
+                    constraint: format!("2·β < n = {n} (nothing left after trimming)"),
+                });
+            }
+            let clamped = (n - 1) / 2;
+            self.breach = Some(ToleranceBreach {
+                strategy: "TrimmedMean",
+                detail: format!(
+                    "2·β = {} ≥ n = {n}: trim width clamped to {clamped} for this round",
+                    2 * self.beta
+                ),
             });
-        }
-        let keep = n - 2 * self.beta;
+            clamped
+        } else {
+            self.beta
+        };
+        let keep = n - 2 * beta;
         let mut out = vec![0.0f32; len];
         let mut column = vec![0.0f32; n];
         for (k, o) in out.iter_mut().enumerate() {
-            for (j, u) in updates.iter().enumerate() {
-                column[j] = u.params[k];
+            for (c, u) in column.iter_mut().zip(updates) {
+                *c = u.params.get(k).copied().unwrap_or(0.0);
             }
             column.sort_by(|a, b| a.total_cmp(b));
-            *o = column[self.beta..n - self.beta].iter().sum::<f32>() / keep as f32;
+            *o = column
+                .get(beta..n - beta)
+                .map_or(0.0, |kept| kept.iter().sum::<f32>() / keep as f32);
         }
         Ok(Aggregation::Accept(out))
+    }
+
+    fn take_breach(&mut self) -> Option<ToleranceBreach> {
+        self.breach.take()
+    }
+
+    fn reset(&mut self) {
+        self.breach = None;
     }
 }
 
@@ -215,10 +259,36 @@ mod tests {
     }
 
     #[test]
-    fn trimmed_mean_rejects_overtrimming() {
+    fn trimmed_mean_rejects_overtrimming_with_typed_error() {
         let updates = vec![upd(0, vec![1.0]), upd(1, vec![2.0])];
         let ctx = RoundContext { round: 0, global: &[0.0] };
-        assert!(TrimmedMean::new(1).aggregate(&ctx, &updates).is_err());
+        match TrimmedMean::new(1).aggregate(&ctx, &updates) {
+            Err(TensorError::InvalidParameter { name: "beta", value: 1, .. }) => {}
+            other => panic!("expected InvalidParameter for beta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturating_trimmed_mean_degrades_and_reports_breach() {
+        // 2·β = 6 ≥ n = 3: strict mode errors, saturating mode clamps the
+        // trim to ⌊(n−1)/2⌋ = 1 (the median here) and records the breach.
+        let updates = vec![upd(0, vec![1.0]), upd(1, vec![2.0]), upd(2, vec![100.0])];
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let mut tm = TrimmedMean::saturating(3);
+        let out = accept(tm.aggregate(&ctx, &updates).unwrap());
+        assert_eq!(out, vec![2.0]);
+        let breach = tm.take_breach().expect("breach recorded");
+        assert_eq!(breach.strategy, "TrimmedMean");
+        assert!(tm.take_breach().is_none(), "take_breach clears the flag");
+    }
+
+    #[test]
+    fn saturating_trimmed_mean_in_envelope_reports_nothing() {
+        let updates: Vec<LocalUpdate> = (0..5).map(|i| upd(i, vec![i as f32])).collect();
+        let ctx = RoundContext { round: 0, global: &[0.0] };
+        let mut tm = TrimmedMean::saturating(1);
+        accept(tm.aggregate(&ctx, &updates).unwrap());
+        assert!(tm.take_breach().is_none());
     }
 
     #[test]

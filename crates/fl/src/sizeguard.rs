@@ -1,0 +1,203 @@
+//! Dishonest-size-robust weighting. FedAvg's `|d_i|/|D|` weights trust the
+//! *reported* sample counts, so a free-rider that claims a huge dataset
+//! hijacks the average without touching a single parameter. This strategy
+//! keeps size-proportional weighting but treats the counts as adversarial
+//! input: each report is cross-checked against the client's own reporting
+//! history (a count may shrink, never grow past its floor) and then capped
+//! at a multiple of the round's median report, so no coalition smaller
+//! than half the cohort can move the cap itself.
+
+use crate::aggregate::weighted_sum;
+use crate::metrics::ToleranceBreach;
+use crate::robust::check_updates;
+use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::update::LocalUpdate;
+use fedcav_tensor::numerics::median_in_place;
+use fedcav_tensor::Result;
+use std::collections::HashMap;
+
+/// Size-proportional aggregation with clipped, cross-checked counts.
+///
+/// Per round:
+///
+/// 1. **cross-check** — `n_i ← min(reported_i, floor_i)` where `floor_i`
+///    is the smallest count client `i` has ever reported (a dataset that
+///    only ever grows between rounds is the free-rider signature this
+///    defense targets; genuine data collection is rare enough in one
+///    deployment that the floor is the safe side),
+/// 2. **cap** — `n_i ← min(n_i, c · median(n))`: the round's median
+///    report anchors the scale, so the cap holds as long as honest
+///    reporters form a majority,
+/// 3. weight by `n_i / Σ n_j` and average.
+///
+/// When capping removes more than half the reported mass the majority
+/// assumption is in doubt; the round still aggregates with the capped
+/// weights and the breach is reported through [`Strategy::take_breach`].
+#[derive(Debug, Clone)]
+pub struct SizeGuard {
+    cap_factor: f32,
+    floors: HashMap<usize, usize>,
+    last_weights: Vec<f32>,
+    breach: Option<ToleranceBreach>,
+}
+
+impl SizeGuard {
+    /// New guard capping effective counts at `cap_factor ×` the round's
+    /// median report (clamped to ≥ 1; 3 is a reasonable default for the
+    /// imbalance tiers in this repo's experiments).
+    pub fn new(cap_factor: f32) -> Self {
+        SizeGuard {
+            cap_factor: if cap_factor.is_finite() && cap_factor >= 1.0 { cap_factor } else { 1.0 },
+            floors: HashMap::new(),
+            last_weights: Vec::new(),
+            breach: None,
+        }
+    }
+
+    /// The aggregation weights of the last round (diagnostics).
+    pub fn last_weights(&self) -> &[f32] {
+        &self.last_weights
+    }
+}
+
+impl Strategy for SizeGuard {
+    fn name(&self) -> &'static str {
+        "SizeGuard"
+    }
+
+    fn aggregate(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        updates: &[LocalUpdate],
+    ) -> Result<Aggregation> {
+        check_updates(updates, "SizeGuard::aggregate")?;
+        let n = updates.len();
+
+        // Cross-check against each client's historical floor.
+        let mut checked = Vec::with_capacity(n);
+        for u in updates {
+            let reported = u.num_samples.max(1);
+            let floor = self.floors.entry(u.client_id).or_insert(reported);
+            *floor = (*floor).min(reported);
+            checked.push(reported.min(*floor) as f32);
+        }
+
+        // Cap at a multiple of the round's median cross-checked count.
+        let mut scratch = checked.clone();
+        let cap = (self.cap_factor * median_in_place(&mut scratch)).max(1.0);
+        let reported_mass: f32 = checked.iter().sum();
+        let capped: Vec<f32> = checked.iter().map(|&c| c.min(cap)).collect();
+        let capped_mass: f32 = capped.iter().sum();
+
+        if 2.0 * capped_mass < reported_mass {
+            self.breach = Some(ToleranceBreach {
+                strategy: "SizeGuard",
+                detail: format!(
+                    "size cap removed {:.0}% of reported sample mass: size signal untrustworthy",
+                    100.0 * (1.0 - capped_mass / reported_mass)
+                ),
+            });
+        }
+
+        let weights: Vec<f32> = capped.iter().map(|&c| c / capped_mass).collect();
+        let next = weighted_sum(updates, &weights)?;
+        self.last_weights = weights;
+        Ok(Aggregation::Accept(next))
+    }
+
+    fn take_breach(&mut self) -> Option<ToleranceBreach> {
+        self.breach.take()
+    }
+
+    fn reset(&mut self) {
+        self.floors.clear();
+        self.last_weights.clear();
+        self.breach = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, params: Vec<f32>, n: usize) -> LocalUpdate {
+        LocalUpdate::new(id, params, 0.1, n)
+    }
+
+    fn accept(a: Aggregation) -> Vec<f32> {
+        match a {
+            Aggregation::Accept(p) => p,
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    fn ctx<'a>(g: &'a [f32]) -> RoundContext<'a> {
+        RoundContext { round: 0, global: g }
+    }
+
+    #[test]
+    fn honest_counts_reduce_to_fedavg_weights() {
+        let updates = vec![upd(0, vec![0.0], 100), upd(1, vec![1.0], 300)];
+        let g = [0.0f32];
+        let mut s = SizeGuard::new(100.0);
+        let out = accept(s.aggregate(&ctx(&g), &updates).unwrap());
+        assert!((out[0] - 0.75).abs() < 1e-6, "{out:?}");
+        assert!(s.take_breach().is_none());
+    }
+
+    #[test]
+    fn inflated_count_is_capped_at_the_median_multiple() {
+        // Liar claims 1e6 samples against a median of 100 with cap 3×:
+        // its effective count is 300, not a million.
+        let updates = vec![
+            upd(0, vec![0.0], 100),
+            upd(1, vec![0.0], 100),
+            upd(2, vec![1.0], 1_000_000),
+        ];
+        let g = [0.0f32];
+        let mut s = SizeGuard::new(3.0);
+        let out = accept(s.aggregate(&ctx(&g), &updates).unwrap());
+        // weights: 100/500, 100/500, 300/500.
+        assert!((out[0] - 0.6).abs() < 1e-6, "{out:?}");
+    }
+
+    #[test]
+    fn growing_report_is_cross_checked_against_the_floor() {
+        let g = [0.0f32];
+        let mut s = SizeGuard::new(1000.0);
+        // Round 1: client 1 honestly reports 50.
+        let r1 = vec![upd(0, vec![0.0], 50), upd(1, vec![0.0], 50)];
+        accept(s.aggregate(&ctx(&g), &r1).unwrap());
+        // Round 2: same client claims 5000 — the floor pins it to 50.
+        let r2 = vec![upd(0, vec![0.0], 50), upd(1, vec![1.0], 5000)];
+        accept(s.aggregate(&ctx(&g), &r2).unwrap());
+        let w = s.last_weights();
+        assert!((w[1] - 0.5).abs() < 1e-6, "floor beats the inflated claim: {w:?}");
+    }
+
+    #[test]
+    fn mass_dominating_liar_triggers_breach_but_round_completes() {
+        // One client claims more samples than everyone else combined by
+        // orders of magnitude: the cap discards most of the reported mass,
+        // the round still aggregates, and the breach is logged.
+        let updates = vec![
+            upd(0, vec![0.0], 10),
+            upd(1, vec![0.0], 10),
+            upd(2, vec![1.0], 1_000_000),
+        ];
+        let g = [0.0f32];
+        let mut s = SizeGuard::new(2.0);
+        let out = accept(s.aggregate(&ctx(&g), &updates).unwrap());
+        assert!(out[0].is_finite() && out[0] <= 0.51, "liar capped: {out:?}");
+        assert!(s.take_breach().expect("breach").detail.contains("untrustworthy"));
+    }
+
+    #[test]
+    fn zero_reported_counts_never_divide_by_zero() {
+        let updates = vec![upd(0, vec![1.0], 0), upd(1, vec![3.0], 0)];
+        let g = [0.0f32];
+        let mut s = SizeGuard::new(3.0);
+        let out = accept(s.aggregate(&ctx(&g), &updates).unwrap());
+        assert_eq!(out, vec![2.0], "zero counts degrade to uniform: {out:?}");
+    }
+}

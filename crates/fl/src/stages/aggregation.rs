@@ -35,6 +35,10 @@ pub fn run(
         let sctx = StrategyContext { round: ctx.round, global };
         strategy.aggregate(&sctx, &ctx.updates)?
     };
+    // Graceful-degradation contract: if the strategy had to aggregate
+    // beyond its tolerance bound, fold the breach into the round telemetry
+    // so the history shows which rounds carry weakened guarantees.
+    ctx.telemetry.tolerance_breach = strategy.take_breach();
     match decision {
         Aggregation::Accept(params) => {
             if params.len() != global.len() {
@@ -132,6 +136,48 @@ mod tests {
         assert_eq!(ctx.reject_reason.as_deref(), Some("vote failed"));
         assert_eq!(global, before);
         assert_eq!(strategy.on_reject_calls, 1);
+    }
+
+    /// A strategy that always aggregates beyond its tolerance bound.
+    struct AlwaysBreached;
+    impl Strategy for AlwaysBreached {
+        fn name(&self) -> &'static str {
+            "AlwaysBreached"
+        }
+        fn aggregate(
+            &mut self,
+            _ctx: &StrategyContext<'_>,
+            updates: &[LocalUpdate],
+        ) -> Result<Aggregation> {
+            Ok(Aggregation::Accept(updates[0].params.clone()))
+        }
+        fn take_breach(&mut self) -> Option<crate::metrics::ToleranceBreach> {
+            Some(crate::metrics::ToleranceBreach {
+                strategy: "AlwaysBreached",
+                detail: "cohort below tolerance bound".to_string(),
+            })
+        }
+    }
+
+    #[test]
+    fn breach_lands_in_round_telemetry() {
+        let mut ctx = RoundContext::new(0);
+        ctx.updates = vec![update(0, vec![1.0; 4])];
+        let mut global = vec![0.5; 4];
+        run(&mut ctx, &mut AlwaysBreached, &mut global, 1).unwrap();
+        let breach = ctx.telemetry.tolerance_breach.as_ref().expect("breach recorded");
+        assert_eq!(breach.strategy, "AlwaysBreached");
+        assert!(!ctx.telemetry.is_clean(), "a breached round is not clean");
+        assert_eq!(global, vec![1.0; 4], "model still installed");
+    }
+
+    #[test]
+    fn clean_aggregation_records_no_breach() {
+        let mut ctx = RoundContext::new(0);
+        ctx.updates = vec![update(0, vec![1.0; 4]), update(1, vec![3.0; 4])];
+        let mut global = vec![0.0; 4];
+        run(&mut ctx, &mut FedAvg::new(), &mut global, 1).unwrap();
+        assert!(ctx.telemetry.tolerance_breach.is_none());
     }
 
     /// A strategy that returns a wrong-length aggregate.

@@ -1,5 +1,6 @@
 //! The aggregation strategy interface.
 
+use crate::metrics::ToleranceBreach;
 use crate::update::LocalUpdate;
 use fedcav_tensor::Result;
 
@@ -62,6 +63,21 @@ pub trait Strategy: Send {
     /// detectors whose caches still describe the restored model) keep the
     /// default no-op.
     fn on_reject(&mut self) {}
+
+    /// Take (and clear) the tolerance breach recorded by the most recent
+    /// [`Strategy::aggregate`] call, if any.
+    ///
+    /// This is the graceful-degradation contract: a robust strategy asked
+    /// to aggregate a cohort outside its documented Byzantine-tolerance
+    /// envelope (say Krum with `n < f + 3` survivors after faults) must
+    /// still return a usable model — clamping its parameters or falling
+    /// back to a weaker rule — and report what happened here instead of
+    /// erroring. The aggregation stage polls this after every call and
+    /// folds the breach into the round's [`crate::metrics::FaultTelemetry`].
+    /// Strategies with no tolerance claim keep the default `None`.
+    fn take_breach(&mut self) -> Option<ToleranceBreach> {
+        None
+    }
 
     /// Reset any cached state (fresh deployment).
     fn reset(&mut self) {}

@@ -1,0 +1,141 @@
+//! Property-based tests of the robust-statistics aggregators: the
+//! invariances and tolerance bounds that define "Byzantine-robust".
+//!
+//! * permutation invariance — neither the median nor the trimmed mean may
+//!   care about update order,
+//! * the tolerance bound — up to ⌊(n−1)/2⌋ arbitrary updates (median) /
+//!   up to β (trimmed mean) cannot push the aggregate outside the honest
+//!   values' range,
+//! * NaN containment — corrupted updates inside the bound never leak a
+//!   non-finite coordinate into the aggregate (`total_cmp` sorts NaN to
+//!   the extremes, where the estimators never look),
+//! * the strict trimmed mean's `2β ≥ n` typed error.
+
+use fedcav_fl::{Aggregation, CoordinateMedian, LocalUpdate, RoundContext, Strategy, TrimmedMean};
+use fedcav_tensor::TensorError;
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+
+fn honest(values: &[f32]) -> Vec<LocalUpdate> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| LocalUpdate::new(i, vec![v; DIM], 0.5, 10))
+        .collect()
+}
+
+fn aggregate(s: &mut dyn Strategy, updates: &[LocalUpdate]) -> Vec<f32> {
+    let ctx = RoundContext { round: 0, global: &[0.0; DIM] };
+    match s.aggregate(&ctx, updates).expect("aggregate") {
+        Aggregation::Accept(p) => p,
+        other => panic!("expected accept, got {other:?}"),
+    }
+}
+
+fn rotate(updates: &[LocalUpdate], k: usize) -> Vec<LocalUpdate> {
+    let n = updates.len();
+    (0..n).map(|i| updates[(i + k) % n].clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn median_is_permutation_invariant(
+        values in proptest::collection::vec(-50.0f32..50.0, 1..12),
+        k in 0usize..12,
+    ) {
+        let us = honest(&values);
+        let base = aggregate(&mut CoordinateMedian::new(), &us);
+        let rotated = aggregate(&mut CoordinateMedian::new(), &rotate(&us, k % us.len()));
+        prop_assert_eq!(base, rotated);
+    }
+
+    #[test]
+    fn trimmed_mean_is_permutation_invariant(
+        values in proptest::collection::vec(-50.0f32..50.0, 3..12),
+        k in 0usize..12,
+    ) {
+        let beta = (values.len() - 1) / 2;
+        let us = honest(&values);
+        let base = aggregate(&mut TrimmedMean::new(beta), &us);
+        let rotated = aggregate(&mut TrimmedMean::new(beta), &rotate(&us, k % us.len()));
+        prop_assert_eq!(base, rotated);
+    }
+
+    #[test]
+    fn median_tolerates_a_byzantine_minority(
+        good in proptest::collection::vec(-10.0f32..10.0, 2..10),
+        bad in proptest::collection::vec(-1e8f32..1e8, 1..5),
+    ) {
+        // Up to ⌊(n−1)/2⌋ arbitrary updates: the coordinate median must
+        // stay inside the honest values' range.
+        let n = good.len() + bad.len();
+        prop_assume!(bad.len() <= (n - 1) / 2);
+        let lo = good.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = good.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut all = good.clone();
+        all.extend_from_slice(&bad);
+        let out = aggregate(&mut CoordinateMedian::new(), &honest(&all));
+        for &o in &out {
+            prop_assert!((lo..=hi).contains(&o), "median {o} outside honest [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_tolerates_beta_byzantine(
+        good in proptest::collection::vec(-10.0f32..10.0, 3..10),
+        bad in proptest::collection::vec(-1e8f32..1e8, 1..4),
+    ) {
+        // β = number of adversaries (with 2β < n): the β-trimmed mean must
+        // stay inside the honest values' range.
+        let beta = bad.len();
+        let n = good.len() + bad.len();
+        prop_assume!(2 * beta < n);
+        let lo = good.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = good.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut all = good.clone();
+        all.extend_from_slice(&bad);
+        let out = aggregate(&mut TrimmedMean::new(beta), &honest(&all));
+        for &o in &out {
+            prop_assert!((lo..=hi).contains(&o), "trimmed mean {o} outside honest [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn nan_within_the_bound_never_leaks(
+        good in proptest::collection::vec(-10.0f32..10.0, 2..10),
+        n_nan in 1usize..5,
+    ) {
+        let n = good.len() + n_nan;
+        prop_assume!(n_nan <= (n - 1) / 2);
+        let mut all = good.clone();
+        all.extend(std::iter::repeat(f32::NAN).take(n_nan));
+        let us = honest(&all);
+
+        let med = aggregate(&mut CoordinateMedian::new(), &us);
+        prop_assert!(med.iter().all(|o| o.is_finite()), "median leaked NaN: {med:?}");
+
+        let tm = aggregate(&mut TrimmedMean::new(n_nan), &us);
+        prop_assert!(tm.iter().all(|o| o.is_finite()), "trimmed mean leaked NaN: {tm:?}");
+    }
+
+    #[test]
+    fn strict_trim_rejects_infeasible_beta(
+        n in 1usize..8,
+        extra in 0usize..4,
+    ) {
+        // Any β with 2β ≥ n is a typed configuration error, never a panic
+        // and never a silent wrong answer.
+        let beta = n.div_ceil(2) + extra;
+        let values: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let us = honest(&values);
+        let ctx = RoundContext { round: 0, global: &[0.0; DIM] };
+        let err = TrimmedMean::new(beta).aggregate(&ctx, &us).unwrap_err();
+        prop_assert!(
+            matches!(err, TensorError::InvalidParameter { name: "beta", value, .. } if value == beta),
+            "expected InvalidParameter for beta={beta}, n={n}: got {err:?}"
+        );
+    }
+}

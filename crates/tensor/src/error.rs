@@ -45,6 +45,18 @@ pub enum TensorError {
         /// What the caller was doing.
         op: &'static str,
     },
+    /// A scalar configuration parameter violated its documented constraint
+    /// (e.g. a trim width `β` that would trim away every value).
+    InvalidParameter {
+        /// What the caller was doing.
+        op: &'static str,
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was passed.
+        value: usize,
+        /// Human-readable constraint that was violated.
+        constraint: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -63,6 +75,9 @@ impl fmt::Display for TensorError {
                 write!(f, "index {index} out of bounds (< {bound} required)")
             }
             TensorError::Empty { op } => write!(f, "{op}: tensor is empty"),
+            TensorError::InvalidParameter { op, name, value, constraint } => {
+                write!(f, "{op}: invalid parameter {name} = {value} (requires {constraint})")
+            }
         }
     }
 }
@@ -94,6 +109,18 @@ mod tests {
     fn display_element_count() {
         let e = TensorError::ElementCountMismatch { from: 6, to: 8 };
         assert!(e.to_string().contains("6 -> 8"));
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = TensorError::InvalidParameter {
+            op: "TrimmedMean::aggregate",
+            name: "beta",
+            value: 3,
+            constraint: "2·β < n = 6".to_string(),
+        };
+        assert!(e.to_string().contains("beta = 3"));
+        assert!(e.to_string().contains("2·β < n = 6"));
     }
 
     #[test]

@@ -57,6 +57,26 @@ pub fn softmax_with_temperature(xs: &[f32], temperature: f32) -> Vec<f32> {
     softmax(&scaled)
 }
 
+/// Median of a scratch buffer, sorting it in place with `total_cmp` so
+/// NaNs order deterministically at the top end (the same convention as the
+/// robust aggregation rules — one poisoned value must not make the result
+/// depend on input order). Even lengths average the two middle values.
+///
+/// Returns `0.0` for an empty slice (the caller decides whether empty is an
+/// error; every robust-statistics use site has already rejected it).
+pub fn median_in_place(xs: &mut [f32]) -> f32 {
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
 /// Row-wise stable softmax of a `[batch, classes]` tensor.
 pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
     let dims = logits.dims();
@@ -374,6 +394,22 @@ mod tests {
         for _ in 0..3 {
             assert!(close(accuracy(&t, &[1, 2]).unwrap(), 1.0));
             assert!(close(accuracy(&t, &[0, 2]).unwrap(), 0.5));
+        }
+    }
+    #[test]
+    fn median_odd_even_and_empty() {
+        assert_eq!(median_in_place(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median_in_place(&mut []), 0.0);
+    }
+
+    /// NaN sorts to the top end, so with one poisoned value the median is
+    /// still finite and independent of input order.
+    #[test]
+    fn median_with_nan_is_order_independent() {
+        for perm in [[1.0, f32::NAN, 3.0], [f32::NAN, 3.0, 1.0], [3.0, 1.0, f32::NAN]] {
+            let mut xs = perm;
+            assert_eq!(median_in_place(&mut xs), 3.0);
         }
     }
 }

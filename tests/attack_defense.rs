@@ -38,41 +38,55 @@ fn config() -> SimulationConfig {
 /// consensus when clipping is off — the §4.2.3 rationale, end to end. The
 /// liar both inflates its loss *and* (via Byzantine noise on the same slot)
 /// submits damaging parameters, so the weight it grabs translates into
-/// model damage we can measure as test accuracy.
+/// model damage. Measured in parameter space (distance of the final global
+/// model from an attack-free run's) rather than as test accuracy: the
+/// 20-sample test set quantises accuracy at 0.05, so an accuracy margin
+/// reflects the sampling draw, while the parameter drift is driven by the
+/// weight mass the liar captures — the quantity clipping actually bounds.
 #[test]
 fn clipping_dampens_loss_inflation_end_to_end() {
-    let final_acc = |clip: bool| -> f32 {
+    struct NoisyLiar {
+        noise: ByzantineRandom,
+        lie: LossInflation,
+    }
+    impl fedcav::fl::Interceptor for NoisyLiar {
+        fn intercept(
+            &mut self,
+            round: usize,
+            global: &[f32],
+            updates: &mut Vec<fedcav::fl::LocalUpdate>,
+        ) -> fedcav::fl::Result<()> {
+            self.noise.intercept(round, global, updates)?;
+            self.lie.intercept(round, global, updates)
+        }
+    }
+    let final_global = |clip: bool, attacked: bool| -> Vec<f32> {
         let (clients, test, factory) = setup(12);
         let strategy = FedCav::new(FedCavConfig { clip, detection: None, ..Default::default() });
         let mut sim = Simulation::new(&factory, clients, test, Box::new(strategy), config());
-        // Slot 0: noisy params + a hugely inflated loss, every round.
-        struct NoisyLiar {
-            noise: ByzantineRandom,
-            lie: LossInflation,
+        if attacked {
+            // Slot 0: noisy params + a hugely inflated loss, every round.
+            sim.set_interceptor(Box::new(NoisyLiar {
+                noise: ByzantineRandom::new(1, 0.8, vec![], 3),
+                lie: LossInflation::fixed(0, 25.0),
+            }));
         }
-        impl fedcav::fl::Interceptor for NoisyLiar {
-            fn intercept(
-                &mut self,
-                round: usize,
-                global: &[f32],
-                updates: &mut Vec<fedcav::fl::LocalUpdate>,
-            ) -> fedcav::fl::Result<()> {
-                self.noise.intercept(round, global, updates)?;
-                self.lie.intercept(round, global, updates)
-            }
-        }
-        sim.set_interceptor(Box::new(NoisyLiar {
-            noise: ByzantineRandom::new(1, 0.15, vec![], 3),
-            lie: LossInflation::fixed(0, 25.0),
-        }));
         sim.run(6).expect("rounds");
-        *sim.history().accuracies().last().unwrap()
+        sim.global().to_vec()
     };
-    let clipped = final_acc(true);
-    let unclipped = final_acc(false);
+    let dist = |a: &[f32], b: &[f32]| -> f64 {
+        a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt()
+    };
+    let clean = final_global(true, false);
+    // Unclipped, the e^25 softmax weight hands the liar the whole round:
+    // the global model absorbs its full noise vector every round. Clipped,
+    // the liar is held near uniform weight and absorbs ~1/12 of it.
+    let drift_clipped = dist(&final_global(true, true), &clean);
+    let drift_unclipped = dist(&final_global(false, true), &clean);
     assert!(
-        clipped > unclipped + 0.03,
-        "clipping should blunt the liar: clipped {clipped} vs unclipped {unclipped}"
+        drift_unclipped > 2.0 * drift_clipped,
+        "clipping should blunt the liar: clipped drift {drift_clipped} vs \
+         unclipped {drift_unclipped}"
     );
 }
 

@@ -178,13 +178,17 @@ fn detection_reverses_the_attack_round() {
 
     let records = &sim.history().records;
     let reversed: Vec<usize> = sim.history().rejected_rounds();
-    // Detection must fire at the attack round (the lie itself tips the
-    // vote) or the round after (honest losses on the destroyed model).
+    // Detection must fire promptly: at the attack round (the lie itself
+    // tips the vote), the round after (honest losses on the destroyed
+    // model), or — when the sampled cohort happens to exclude enough
+    // affected clients for one round — the one after that. Which of the
+    // three depends on the participant draw, so the window is the
+    // contract, not a specific round.
     assert!(
-        reversed.contains(&attack_round) || reversed.contains(&(attack_round + 1)),
-        "expected reverse at round {} or {}, got {reversed:?}; history: {:?}",
+        (attack_round..=attack_round + 2).any(|r| reversed.contains(&r)),
+        "expected reverse in rounds {}..={}, got {reversed:?}; history: {:?}",
         attack_round,
-        attack_round + 1,
+        attack_round + 2,
         records.iter().map(|r| r.test_accuracy).collect::<Vec<_>>()
     );
     // After the reverse the model must be back near the pre-attack level.

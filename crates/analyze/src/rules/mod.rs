@@ -195,7 +195,11 @@ impl Config {
     /// The workspace policy: which invariant holds where.
     ///
     /// * `no-panic-in-round-loop` — the server round-loop driver, the six
-    ///   pipeline stages under `crates/fl/src/stages/`, the client executor
+    ///   pipeline stages under `crates/fl/src/stages/`, the streaming
+    ///   sharded driver and its procedural population
+    ///   (`crates/fl/src/sharded.rs`, `crates/fl/src/population.rs`) plus
+    ///   the scalar accumulator it finalizes weights with
+    ///   (`crates/core/src/streaming.rs`), the client executor
     ///   they train on, the aggregation/validation helpers they drive, the
     ///   tensor kernel hot paths (`matmul.rs`, `im2col.rs`) client
     ///   training runs on, every aggregation strategy the round loop can
@@ -228,8 +232,11 @@ impl Config {
                         include: vec![
                             "crates/fl/src/server.rs".to_string(),
                             "crates/fl/src/stages/".to_string(),
+                            "crates/fl/src/sharded.rs".to_string(),
+                            "crates/fl/src/population.rs".to_string(),
                             "crates/fl/src/executor.rs".to_string(),
                             "crates/fl/src/aggregate.rs".to_string(),
+                            "crates/core/src/streaming.rs".to_string(),
                             "crates/fl/src/update.rs".to_string(),
                             "crates/fl/src/robust.rs".to_string(),
                             "crates/fl/src/krum.rs".to_string(),
@@ -343,6 +350,9 @@ mod tests {
         let np = c.rules_for("no-panic-in-round-loop").expect("configured");
         assert!(np.applies_to("crates/fl/src/server.rs"));
         assert!(np.applies_to("crates/fl/src/stages/training.rs"));
+        assert!(np.applies_to("crates/fl/src/sharded.rs"));
+        assert!(np.applies_to("crates/fl/src/population.rs"));
+        assert!(np.applies_to("crates/core/src/streaming.rs"));
         assert!(np.applies_to("crates/fl/src/executor.rs"));
         assert!(np.applies_to("crates/tensor/src/matmul.rs"));
         assert!(np.applies_to("crates/tensor/src/im2col.rs"));

@@ -1,0 +1,60 @@
+//! `scale_bench` — run one streaming sharded round at increasing
+//! deployment sizes and write the `BENCH_scale.json` trajectory file.
+//!
+//! Usage: `cargo run -p fedcav-bench --release --bin scale_bench --
+//! [--tiny] [--smoke] [--out PATH]`
+//!
+//! * `--tiny` — unit-test-sized deployments (milliseconds); without it the
+//!   suite runs the smoke set, topping out at the acceptance deployment of
+//!   `n = 1_000_000` clients at `q = 0.3%`. `--smoke` is accepted as an
+//!   explicit alias for that default (the CI job spells it out).
+//! * `--out PATH` — where to write the JSON (default `BENCH_scale.json`
+//!   in the current directory).
+//!
+//! Stdout gets a human-readable TSV summary of the same numbers; the JSON
+//! file is the machine-readable artifact EXPERIMENTS.md reads from. The
+//! interesting column is `peak_rss_kb`: it must stay flat as `clients`
+//! grows 100× (see `fedcav_bench::scalebench` module docs).
+
+use fedcav_bench::scalebench;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+
+    let report = match scalebench::run_suite(tiny) {
+        Ok(r) => r,
+        Err(err) => {
+            let _ = writeln!(std::io::stderr(), "scale_bench failed: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    let _ = writeln!(w, "# scale_bench: tiny={tiny}");
+    let _ = writeln!(w, "clients\tsample_ratio\tcohort\tshard_size\tround_wall_secs\tpeak_rss_kb");
+    for r in &report.rows {
+        let _ = writeln!(
+            w,
+            "{}\t{:.4}\t{}\t{}\t{:.3}\t{}",
+            r.clients, r.sample_ratio, r.cohort, r.shard_size, r.round_wall_secs, r.peak_rss_kb
+        );
+    }
+    if let Some(growth) = report.rss_growth() {
+        let _ = writeln!(w, "# peak-RSS growth smallest->largest deployment: {growth:.3}x");
+    }
+
+    if let Err(err) = std::fs::write(&out_path, report.to_json()) {
+        let _ = writeln!(std::io::stderr(), "failed to write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    let _ = writeln!(w, "# wrote {out_path}");
+}

@@ -19,6 +19,10 @@
 //! * [`robustness`] — the adversarial benchmark matrix (every aggregation
 //!   strategy × every attack × distribution × fault profile) behind the
 //!   `robustness_matrix` binary and `BENCH_robustness.json`,
+//! * [`scalebench`] — the streaming sharded driver at increasing
+//!   deployment sizes (up to `n = 1_000_000` at `q = 0.3%`), recording
+//!   round wall-clock and peak RSS behind the `scale_bench` binary and
+//!   `BENCH_scale.json`,
 //! * [`output`] — TSV series printing shared by all harnesses, plus the
 //!   human-readable per-round phase profile.
 //!
@@ -30,6 +34,8 @@ pub mod experiment;
 pub mod kernelbench;
 pub mod output;
 pub mod robustness;
+pub mod scalebench;
 
 pub use experiment::{Algo, Dist, ExperimentSpec, Scale};
 pub use robustness::{Attack, FaultProfile, MatrixReport, RobustAlgo};
+pub use scalebench::{ScaleMeasurement, ScaleReport};

@@ -18,14 +18,15 @@
 //! report the breach through telemetry rather than fail the run.
 
 use crate::experiment::{Dist, ExperimentSpec};
-use fedcav_attack::{ByzantineRandom, DishonestSize, LossInflation, ModelReplacement,
-    ModelReplacementConfig};
+use fedcav_attack::{
+    ByzantineRandom, DishonestSize, LossInflation, ModelReplacement, ModelReplacementConfig,
+};
 use fedcav_core::{FedCav, FedCavConfig, WeightMode};
 use fedcav_data::poison::flip_all_labels;
 use fedcav_data::Dataset;
 use fedcav_fl::{
-    CoordinateMedian, FedAvg, FedAvgM, FedProx, History, Krum, LearnedWeights,
-    NormClippedMomentum, RandomFaults, Simulation, SizeGuard, Strategy, TrimmedMean,
+    CoordinateMedian, FedAvg, FedAvgM, FedProx, History, Krum, LearnedWeights, NormClippedMomentum,
+    RandomFaults, Simulation, SizeGuard, Strategy, TrimmedMean,
 };
 use fedcav_tensor::Result;
 use rand::rngs::StdRng;
@@ -355,13 +356,8 @@ pub fn run_matrix(
                     if attack == Attack::None {
                         clean_acc = Some(conv);
                     }
-                    let label = format!(
-                        "{}/{}/{}/{}",
-                        algo.name(),
-                        attack.name(),
-                        dist.name(),
-                        fp.name()
-                    );
+                    let label =
+                        format!("{}/{}/{}/{}", algo.name(), attack.name(), dist.name(), fp.name());
                     progress(&label, conv);
                     cells.push(Cell {
                         algo: algo.name(),
@@ -380,12 +376,7 @@ pub fn run_matrix(
             }
         }
     }
-    Ok(MatrixReport {
-        target_accuracy,
-        rounds: spec.rounds,
-        n_clients: spec.n_clients,
-        cells,
-    })
+    Ok(MatrixReport { target_accuracy, rounds: spec.rounds, n_clients: spec.n_clients, cells })
 }
 
 #[cfg(test)]
@@ -419,8 +410,11 @@ mod tests {
             for attack in ALL_ATTACKS {
                 let h = run_cell(&spec, algo, attack, Dist::IidBalanced, FaultProfile::Clean)
                     .unwrap_or_else(|e| {
-                        panic!("{} under {} must degrade, not fail: {e}", algo.name(),
-                            attack.name())
+                        panic!(
+                            "{} under {} must degrade, not fail: {e}",
+                            algo.name(),
+                            attack.name()
+                        )
                     });
                 assert_eq!(h.len(), spec.rounds);
             }

@@ -1,0 +1,235 @@
+//! Scale benchmark machinery: one streaming sharded round
+//! ([`ShardedSimulation`]) at increasing deployment sizes, recording round
+//! wall-clock seconds and peak resident set size, serialised to the
+//! `BENCH_scale.json` trajectory file.
+//!
+//! The point of the readout is the *shape* of the RSS column: the sharded
+//! driver's peak memory is O(shard_size · dim + cohort), so as `n` climbs
+//! from 10⁴ to 10⁶ at a fixed sample ratio the peak RSS must stay flat
+//! (modulo the cohort's scalar metadata). Peak RSS comes from
+//! `/proc/self/status` `VmHWM` — a process-lifetime high-water mark, which
+//! is why [`run_suite`] runs the deployment sizes in ascending order: any
+//! growth at a larger `n` is visible, and a flat column is meaningful.
+//!
+//! The JSON is hand-rolled (no serde in the workspace), same style as
+//! [`crate::kernelbench`]: flat records, no escaping needed.
+
+use fedcav_core::{FedCav, FedCavConfig};
+use fedcav_data::{SyntheticConfig, SyntheticKind};
+use fedcav_fl::{
+    ClientExecutor, LocalConfig, Population, Result, ShardedConfig, ShardedSimulation,
+};
+use fedcav_nn::models;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One deployment-size measurement.
+#[derive(Debug, Clone)]
+pub struct ScaleMeasurement {
+    /// Deployment size `n`.
+    pub clients: usize,
+    /// Sample ratio `q` the round drew with.
+    pub sample_ratio: f64,
+    /// Cohort size the round actually sampled (`ceil(q · n)`).
+    pub cohort: usize,
+    /// Clients per shard in the two-pass protocol.
+    pub shard_size: usize,
+    /// Wall-clock seconds for the round (sampling through aggregation).
+    pub round_wall_secs: f64,
+    /// Process peak RSS (`VmHWM`) in KiB after the round; 0 where the
+    /// platform has no `/proc/self/status`.
+    pub peak_rss_kb: u64,
+}
+
+/// Everything `BENCH_scale.json` carries.
+#[derive(Debug, Clone, Default)]
+pub struct ScaleReport {
+    /// Ascending-`n` measurements.
+    pub rows: Vec<ScaleMeasurement>,
+}
+
+impl ScaleReport {
+    /// Serialise to the `BENCH_scale.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"fedcav-scale-bench-v1\",\n");
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"clients\": {}, \"sample_ratio\": {:.4}, \"cohort\": {}, \
+                 \"shard_size\": {}, \"round_wall_secs\": {:.6}, \"peak_rss_kb\": {}}}{sep}\n",
+                r.clients, r.sample_ratio, r.cohort, r.shard_size, r.round_wall_secs, r.peak_rss_kb
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Peak-RSS growth factor from the smallest to the largest deployment,
+    /// if both were measured with nonzero RSS. The acceptance readout:
+    /// close to 1.0 means peak memory is independent of `n`.
+    pub fn rss_growth(&self) -> Option<f64> {
+        let first = self.rows.first()?.peak_rss_kb;
+        let last = self.rows.last()?.peak_rss_kb;
+        if first == 0 || last == 0 {
+            return None;
+        }
+        Some(last as f64 / first as f64)
+    }
+}
+
+/// Process peak resident set size in KiB, from `/proc/self/status`'s
+/// `VmHWM` line. Returns 0 on platforms without procfs or on any parse
+/// surprise — the bench degrades to wall-clock-only, never panics.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
+                return digits.parse().unwrap_or(0);
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// The per-client data profile: deliberately tiny (2 train samples per
+/// class) so the bench measures the *driver's* memory behaviour, not the
+/// synthetic data generator's throughput.
+fn scale_profile() -> SyntheticConfig {
+    SyntheticConfig::new(SyntheticKind::MnistLike, 2, 1)
+}
+
+/// Time one streaming sharded FedCav round over a deployment of `clients`
+/// clients at sample ratio `q`.
+pub fn run_point(clients: usize, q: f64, shard_size: usize) -> Result<ScaleMeasurement> {
+    let img_len = 28 * 28;
+    let factory = move || models::tiny_mlp(&mut StdRng::seed_from_u64(7), img_len, 10);
+    let population = Population::new(clients, 42, scale_profile());
+    let config = ShardedConfig {
+        sample_ratio: q,
+        local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+        seed: 42,
+        shard_size,
+        min_quorum: 1,
+        max_param_norm: None,
+    };
+    let mut sim = ShardedSimulation::new(
+        &factory,
+        population,
+        Box::new(FedCav::new(FedCavConfig::default())),
+        config,
+    );
+    sim.set_executor(ClientExecutor::from_env());
+    let start = Instant::now();
+    let record = sim.run_round()?;
+    let round_wall_secs = start.elapsed().as_secs_f64();
+    Ok(ScaleMeasurement {
+        clients,
+        sample_ratio: q,
+        cohort: record.cohort,
+        shard_size,
+        round_wall_secs,
+        peak_rss_kb: peak_rss_kb(),
+    })
+}
+
+/// The standard deployment sizes, ascending (so the monotone `VmHWM`
+/// high-water mark is a per-point readout). `tiny` keeps unit tests in
+/// milliseconds; the smoke set tops out at the acceptance deployment,
+/// `n = 1_000_000` at `q = 0.3%`.
+pub fn scale_points(tiny: bool) -> Vec<usize> {
+    if tiny {
+        vec![200, 2_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    }
+}
+
+/// Run the full ascending suite and assemble the report.
+pub fn run_suite(tiny: bool) -> Result<ScaleReport> {
+    let q = 0.003;
+    let shard_size = 256;
+    let mut report = ScaleReport::default();
+    for clients in scale_points(tiny) {
+        report.rows.push(run_point(clients, q, shard_size)?);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let report = ScaleReport {
+            rows: vec![
+                ScaleMeasurement {
+                    clients: 10_000,
+                    sample_ratio: 0.003,
+                    cohort: 30,
+                    shard_size: 256,
+                    round_wall_secs: 0.5,
+                    peak_rss_kb: 40_000,
+                },
+                ScaleMeasurement {
+                    clients: 1_000_000,
+                    sample_ratio: 0.003,
+                    cohort: 3000,
+                    shard_size: 256,
+                    round_wall_secs: 30.0,
+                    peak_rss_kb: 44_000,
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"schema\": \"fedcav-scale-bench-v1\""));
+        assert!(json.contains("\"clients\": 1000000"));
+        assert!(json.contains("\"peak_rss_kb\": 44000"));
+        // No trailing commas (the classic hand-rolled-JSON bug).
+        assert!(!json.contains(",\n  ]"));
+        assert!((report.rss_growth().unwrap() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rss_growth_absent_without_rss() {
+        let report = ScaleReport {
+            rows: vec![ScaleMeasurement {
+                clients: 1,
+                sample_ratio: 1.0,
+                cohort: 1,
+                shard_size: 1,
+                round_wall_secs: 0.1,
+                peak_rss_kb: 0,
+            }],
+        };
+        assert_eq!(report.rss_growth(), None);
+    }
+
+    #[test]
+    fn peak_rss_reads_without_panicking() {
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0, "VmHWM should be nonzero on Linux");
+        }
+    }
+
+    #[test]
+    fn tiny_point_runs_a_real_round() {
+        let m = run_point(200, 0.01, 64).unwrap();
+        assert_eq!(m.clients, 200);
+        assert_eq!(m.cohort, 2);
+        assert!(m.round_wall_secs > 0.0);
+    }
+}

@@ -13,17 +13,23 @@
 //!   majority voting on "my inference loss exceeds every loss of last
 //!   round", triggering a **reverse** to the cached pre-attack model,
 //! * [`strategy`] — [`FedCav`], the [`fedcav_fl::Strategy`] implementation
-//!   tying the three together.
+//!   tying the three together,
+//! * [`streaming`] — [`OnlineSoftmax`], the streaming weight accumulator
+//!   behind the sharded aggregation path (DESIGN.md §14): running max +
+//!   mass rescale online, bit-identical [`contribution_weights`] replay at
+//!   finalization.
 
 pub mod detect;
 pub mod diagnostics;
 pub mod monitor;
 pub mod objective;
 pub mod strategy;
+pub mod streaming;
 pub mod weights;
 
 pub use detect::{Detector, DetectorConfig};
 pub use diagnostics::WeightDiagnostics;
 pub use monitor::ObjectiveMonitor;
 pub use strategy::{FedCav, FedCavConfig, WeightMode};
+pub use streaming::OnlineSoftmax;
 pub use weights::{capped_sizes, clip_losses, contribution_weights};

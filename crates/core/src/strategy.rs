@@ -1,12 +1,13 @@
 //! [`FedCav`]: the contribution-aware aggregation strategy (Algorithm 1).
 
 use crate::detect::{Detector, DetectorConfig};
-use crate::weights::{capped_sizes, contribution_weights};
+use crate::streaming::OnlineSoftmax;
+use crate::weights::capped_sizes;
 use fedcav_fl::aggregate::weighted_sum;
 use fedcav_fl::metrics::ToleranceBreach;
-use fedcav_fl::strategy::{Aggregation, RoundContext, Strategy};
+use fedcav_fl::strategy::{Aggregation, RoundContext, Strategy, UpdateMeta, WeightDecision};
 use fedcav_fl::update::LocalUpdate;
-use fedcav_tensor::Result;
+use fedcav_tensor::{Result, TensorError};
 
 /// How inference losses map to aggregation weights.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,35 +110,49 @@ impl FedCav {
         &self.last_weights
     }
 
-    fn compute_weights(&mut self, updates: &[LocalUpdate]) -> Vec<f32> {
-        let losses: Vec<f32> = updates.iter().map(|u| u.inference_loss).collect();
+    /// The softmax factor shared by every softmax-based weight mode,
+    /// routed through the streaming accumulator so the materialized and
+    /// streaming paths run literally the same code (the bit-identity
+    /// contract of [`Strategy::streaming_weights`]).
+    fn softmax_weights(&self, losses: &[f32]) -> Vec<f32> {
+        let mut acc = OnlineSoftmax::new(self.config.clip, self.config.temperature);
+        for &l in losses {
+            acc.push(l);
+        }
+        acc.finalize()
+    }
+
+    /// Weights from the scalar reports alone — losses and sample counts,
+    /// aligned. Both [`Strategy::aggregate`] and
+    /// [`Strategy::streaming_weights`] delegate here, which is what makes
+    /// the two paths bit-identical by construction.
+    fn compute_weights(&mut self, losses: &[f32], sizes: &[usize]) -> Vec<f32> {
+        let n = losses.len();
         match self.config.weight_mode {
-            WeightMode::SoftmaxLoss => {
-                contribution_weights(&losses, self.config.clip, self.config.temperature)
-            }
+            WeightMode::SoftmaxLoss => self.softmax_weights(losses),
             WeightMode::SoftmaxLossSizeHybrid => {
-                let mut w =
-                    contribution_weights(&losses, self.config.clip, self.config.temperature);
-                for (wi, u) in w.iter_mut().zip(updates) {
-                    *wi *= u.num_samples as f32;
+                let mut w = self.softmax_weights(losses);
+                for (wi, &s) in w.iter_mut().zip(sizes) {
+                    *wi *= s as f32;
                 }
-                normalise(w, updates.len())
+                normalise(w, n)
             }
             WeightMode::LinearLoss => {
-                let clipped =
-                    if self.config.clip { crate::weights::clip_losses(&losses) } else { losses };
+                let clipped = if self.config.clip {
+                    crate::weights::clip_losses(losses)
+                } else {
+                    losses.to_vec()
+                };
                 // Non-finite reported losses get zero weight — one NaN/Inf
                 // must not survive into the normalisation sum.
                 normalise(
                     clipped.iter().map(|&f| if f.is_finite() { f.max(0.0) } else { 0.0 }).collect(),
-                    updates.len(),
+                    n,
                 )
             }
             WeightMode::SoftmaxLossCappedSize => {
-                let mut w =
-                    contribution_weights(&losses, self.config.clip, self.config.temperature);
-                let sizes: Vec<usize> = updates.iter().map(|u| u.num_samples).collect();
-                let (capped, removed) = capped_sizes(&sizes, SIZE_CAP_FACTOR);
+                let mut w = self.softmax_weights(losses);
+                let (capped, removed) = capped_sizes(sizes, SIZE_CAP_FACTOR);
                 if removed > 0.5 {
                     self.breach = Some(ToleranceBreach {
                         strategy: "FedCav",
@@ -151,9 +166,34 @@ impl FedCav {
                 for (wi, c) in w.iter_mut().zip(&capped) {
                     *wi *= c;
                 }
-                normalise(w, updates.len())
+                normalise(w, n)
             }
         }
+    }
+
+    /// Detection + weighting from the scalar reports, shared verbatim by
+    /// the materialized and streaming entry points.
+    fn decide(&mut self, round: usize, global: &[f32], metas: &[UpdateMeta]) -> WeightDecision {
+        let losses: Vec<f32> = metas.iter().map(|m| m.inference_loss).collect();
+        if let Some(detector) = &mut self.detector {
+            if let Some(reverted) = detector.check(&losses) {
+                // Abandon the round (Fig. 3 "reverse to the cached model").
+                // Caches are left untouched: the baseline still describes
+                // the healthy model we just restored.
+                return WeightDecision::Reject {
+                    reverted: reverted.to_vec(),
+                    reason: format!(
+                        "majority vote: inference losses exceed last round's max \
+                         (round {round})"
+                    ),
+                };
+            }
+            detector.commit(global, &losses);
+        }
+        let sizes: Vec<usize> = metas.iter().map(|m| m.num_samples).collect();
+        let weights = self.compute_weights(&losses, &sizes);
+        self.last_weights = weights.clone();
+        WeightDecision::Weights(weights)
     }
 }
 
@@ -189,29 +229,29 @@ impl Strategy for FedCav {
         ctx: &RoundContext<'_>,
         updates: &[LocalUpdate],
     ) -> Result<Aggregation> {
-        let losses: Vec<f32> = updates.iter().map(|u| u.inference_loss).collect();
-
-        if let Some(detector) = &mut self.detector {
-            if let Some(reverted) = detector.check(&losses) {
-                // Abandon the round (Fig. 3 "reverse to the cached model").
-                // Caches are left untouched: the baseline still describes
-                // the healthy model we just restored.
-                return Ok(Aggregation::Reject {
-                    reverted: reverted.to_vec(),
-                    reason: format!(
-                        "majority vote: inference losses exceed last round's max \
-                         (round {})",
-                        ctx.round
-                    ),
-                });
-            }
-            detector.commit(ctx.global, &losses);
+        if updates.is_empty() {
+            return Err(TensorError::Empty { op: "FedCav::aggregate" });
         }
+        let metas: Vec<UpdateMeta> = updates.iter().map(UpdateMeta::of).collect();
+        match self.decide(ctx.round, ctx.global, &metas) {
+            WeightDecision::Reject { reverted, reason } => {
+                Ok(Aggregation::Reject { reverted, reason })
+            }
+            WeightDecision::Weights(weights) => {
+                Ok(Aggregation::Accept(weighted_sum(updates, &weights)?))
+            }
+        }
+    }
 
-        let weights = self.compute_weights(updates);
-        let next = weighted_sum(updates, &weights)?;
-        self.last_weights = weights;
-        Ok(Aggregation::Accept(next))
+    fn streaming_weights(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        metas: &[UpdateMeta],
+    ) -> Result<Option<WeightDecision>> {
+        if metas.is_empty() {
+            return Err(TensorError::Empty { op: "FedCav::streaming_weights" });
+        }
+        Ok(Some(self.decide(ctx.round, ctx.global, metas)))
     }
 
     fn take_breach(&mut self) -> Option<ToleranceBreach> {

@@ -1,0 +1,239 @@
+//! Streaming accumulation of FedCav's contribution weights (DESIGN.md §14).
+//!
+//! The sharded aggregation path folds updates in as they arrive, one shard
+//! at a time, and must still produce weights **bit-identical** to the
+//! materialized [`contribution_weights`] call over the whole cohort. Two
+//! facts shape the design:
+//!
+//! * the f32 max over finite values is exact and associative, so the
+//!   softmax's max-subtraction anchor can be maintained truly online
+//!   (running max + mass rescale, [`StreamingLogSumExp`]) and is invariant
+//!   under any shard partitioning;
+//! * f32 *addition* is not associative, and the clip-at-mean pre-pass
+//!   (Algorithm 1 line 7) folds a mean in a fixed left-to-right order — so
+//!   summing per-shard partial masses and combining them would drift from
+//!   the materialized result by final ulps. Bit-identity therefore requires
+//!   replaying the finalization over the losses *in the merged shard
+//!   order*, not combining shard partials.
+//!
+//! [`OnlineSoftmax`] does both: it keeps a [`StreamingLogSumExp`] as the
+//! cheap O(1) online signal (running max, log-normalizer — useful for
+//! mid-round monitoring before any weight exists), and it retains the
+//! pushed losses — O(cohort) *scalars*, constant in the model dimension and
+//! in the total client population — so [`OnlineSoftmax::finalize`] can
+//! replay the exact [`contribution_weights`] arithmetic, clip pre-pass
+//! included. That replay is the whole bit-identity argument: finalization
+//! *is* the materialized computation, applied to the identically-ordered
+//! loss sequence the two-pass shard protocol reconstructs.
+
+use crate::weights::contribution_weights;
+use fedcav_tensor::numerics::StreamingLogSumExp;
+
+/// Streaming softmax-weight accumulator over reported inference losses.
+///
+/// Push losses shard by shard (or [`merge`](OnlineSoftmax::merge) whole
+/// shard accumulators in the fixed shard order); finalize once the cohort
+/// is complete. The finalized weights are bit-for-bit those of
+/// [`contribution_weights`] over the same loss sequence.
+#[derive(Debug, Clone)]
+pub struct OnlineSoftmax {
+    clip: bool,
+    temperature: f32,
+    /// Losses in push/merge order — the merged shard order of the cohort.
+    losses: Vec<f32>,
+    /// O(1) online summary: running max + rescaled mass over the same
+    /// stream (non-finite entries skipped).
+    online: StreamingLogSumExp,
+}
+
+impl OnlineSoftmax {
+    /// Empty accumulator with FedCav's weighting knobs: `clip` applies the
+    /// mean-clip pre-pass at finalization (Algorithm 1 line 7),
+    /// `temperature` scales the softmax (1.0 = the paper).
+    pub fn new(clip: bool, temperature: f32) -> Self {
+        OnlineSoftmax { clip, temperature, losses: Vec::new(), online: StreamingLogSumExp::new() }
+    }
+
+    /// Whether finalization applies the clip-at-mean pre-pass.
+    pub fn clip(&self) -> bool {
+        self.clip
+    }
+
+    /// Softmax temperature applied at finalization.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Fold one reported loss in. Non-finite reports are retained for the
+    /// finalization (which neutralises them exactly as the materialized
+    /// path does) but skipped by the online summary.
+    pub fn push(&mut self, loss: f32) {
+        self.losses.push(loss);
+        self.online.push(loss);
+    }
+
+    /// Append another accumulator's stream to this one, as if its losses
+    /// had been pushed here in order. Merging shard accumulators in
+    /// ascending shard index reconstructs the cohort order. The weighting
+    /// knobs (`clip`, `temperature`) stay `self`'s; shards of one round
+    /// share a single configuration by construction.
+    pub fn merge(&mut self, other: &OnlineSoftmax) {
+        self.losses.extend_from_slice(&other.losses);
+        self.online.merge(&other.online);
+    }
+
+    /// Number of losses folded so far (non-finite reports included).
+    pub fn len(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// Whether nothing has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.losses.is_empty()
+    }
+
+    /// The losses folded so far, in stream order.
+    pub fn losses(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// Running maximum over the finite losses (`-inf` when none). Exact
+    /// and partition-invariant: the f32 max does not depend on arrival
+    /// order or shard boundaries.
+    pub fn running_max(&self) -> f32 {
+        self.online.max()
+    }
+
+    /// `ln Σ exp(loss_i)` over the finite losses so far (`-inf` when
+    /// none): the O(1) online summary maintained by running max + mass
+    /// rescale. A monitoring signal, not the weight normalizer — see the
+    /// module docs for why the weights replay the full sequence instead.
+    pub fn log_normalizer(&self) -> f32 {
+        self.online.value()
+    }
+
+    /// The cohort's contribution weights: bit-for-bit
+    /// `contribution_weights(losses, clip, temperature)` over the folded
+    /// loss sequence, clip-at-mean pre-pass included.
+    pub fn finalize(&self) -> Vec<f32> {
+        contribution_weights(&self.losses, self.clip, self.temperature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — the std-only generator the property suites use.
+    struct Gen(u64);
+    impl Gen {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        /// Loss in roughly [0, 8), with NaN/Inf spikes (~6% each side).
+        fn loss(&mut self) -> f32 {
+            match self.next_u64() % 16 {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                _ => (self.next_u64() % 8_000_000) as f32 / 1_000_000.0,
+            }
+        }
+    }
+
+    fn bits(w: &[f32]) -> Vec<u32> {
+        w.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn finalize_is_contribution_weights_bit_for_bit() {
+        let losses = [0.25f32, 1.5, 0.9, 3.75];
+        for (clip, t) in [(true, 1.0f32), (false, 1.0), (true, 0.5), (false, 2.0)] {
+            let mut acc = OnlineSoftmax::new(clip, t);
+            for &l in &losses {
+                acc.push(l);
+            }
+            assert_eq!(bits(&acc.finalize()), bits(&contribution_weights(&losses, clip, t)));
+        }
+    }
+
+    #[test]
+    fn shard_merge_is_partition_invariant_bit_for_bit() {
+        let mut g = Gen(0x5EED);
+        let losses: Vec<f32> = (0..257).map(|_| g.loss()).collect();
+        let reference = contribution_weights(&losses, true, 1.0);
+        // Vacuity: the corpus must exercise the non-finite paths.
+        assert!(losses.iter().any(|l| l.is_nan()), "no NaN in corpus");
+        assert!(losses.iter().any(|l| l.is_infinite()), "no Inf in corpus");
+        for shard in [1usize, 2, 7, 64, 257, 1024] {
+            let mut merged = OnlineSoftmax::new(true, 1.0);
+            for chunk in losses.chunks(shard) {
+                let mut acc = OnlineSoftmax::new(true, 1.0);
+                for &l in chunk {
+                    acc.push(l);
+                }
+                merged.merge(&acc);
+            }
+            assert_eq!(merged.len(), losses.len());
+            assert_eq!(
+                bits(&merged.finalize()),
+                bits(&reference),
+                "shard size {shard} diverged from the materialized weights"
+            );
+        }
+    }
+
+    #[test]
+    fn running_max_matches_exact_max_under_any_partition() {
+        let mut g = Gen(0xACE);
+        let losses: Vec<f32> = (0..100).map(|_| g.loss()).collect();
+        let exact =
+            losses.iter().copied().filter(|l| l.is_finite()).fold(f32::NEG_INFINITY, f32::max);
+        for shard in [1usize, 3, 10, 100] {
+            let mut merged = OnlineSoftmax::new(true, 1.0);
+            for chunk in losses.chunks(shard) {
+                let mut acc = OnlineSoftmax::new(true, 1.0);
+                for &l in chunk {
+                    acc.push(l);
+                }
+                merged.merge(&acc);
+            }
+            assert_eq!(merged.running_max().to_bits(), exact.to_bits());
+        }
+    }
+
+    #[test]
+    fn log_normalizer_tracks_streaming_lse() {
+        let losses = [0.5f32, 2.0, f32::NAN, 1.0];
+        let mut acc = OnlineSoftmax::new(false, 1.0);
+        let mut lse = StreamingLogSumExp::new();
+        for &l in &losses {
+            acc.push(l);
+            lse.push(l);
+        }
+        assert_eq!(acc.log_normalizer().to_bits(), lse.value().to_bits());
+    }
+
+    #[test]
+    fn empty_accumulator_finalizes_to_empty() {
+        let acc = OnlineSoftmax::new(true, 1.0);
+        assert!(acc.is_empty());
+        assert!(acc.finalize().is_empty());
+        assert_eq!(acc.running_max(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_the_other_stream() {
+        let mut a = OnlineSoftmax::new(true, 1.0);
+        let mut b = OnlineSoftmax::new(true, 1.0);
+        for l in [0.3f32, 1.2, 0.8] {
+            b.push(l);
+        }
+        a.merge(&b);
+        assert_eq!(bits(&a.finalize()), bits(&b.finalize()));
+        assert_eq!(a.running_max().to_bits(), b.running_max().to_bits());
+    }
+}

@@ -96,9 +96,14 @@ pub fn capped_sizes(sizes: &[usize], cap_factor: f32) -> (Vec<f32>, f32) {
     let mut scratch = reported.clone();
     let cap = (factor * median_in_place(&mut scratch)).max(1.0);
     let capped: Vec<f32> = reported.iter().map(|&s| s.min(cap)).collect();
-    let reported_mass: f32 = reported.iter().sum();
-    let capped_mass: f32 = capped.iter().sum();
-    let removed = if reported_mass > 0.0 { 1.0 - capped_mass / reported_mass } else { 0.0 };
+    // Mass sums in f64: an f32 accumulator loses integer precision past
+    // 2^24, so over a million-entry cohort (or one inflated report near
+    // 2^26) the small honest counts are absorbed entirely and the removed
+    // fraction drifts — exactly the regime the cap exists for.
+    let reported_mass: f64 = reported.iter().map(|&s| f64::from(s)).sum();
+    let capped_mass: f64 = capped.iter().map(|&s| f64::from(s)).sum();
+    let removed =
+        if reported_mass > 0.0 { (1.0 - capped_mass / reported_mass) as f32 } else { 0.0 };
     (capped, removed)
 }
 
@@ -130,6 +135,32 @@ mod tests {
         // Zero reports clamp to 1, never to 0.
         let (capped, _) = capped_sizes(&[0, 0], 3.0);
         assert_eq!(capped, vec![1.0, 1.0]);
+    }
+
+    /// Regression: the mass sums were f32 folds. With one reported count
+    /// near 2^26 folded first, every subsequent honest `+4.0` fell below
+    /// the f32 spacing (8 at that magnitude) and was rounded away — the
+    /// reported mass stayed at the liar's count alone and the removed
+    /// fraction was computed against the wrong denominator.
+    #[test]
+    fn capped_sizes_large_cohort_mass_is_exact() {
+        let liar = 1usize << 26; // 67,108,864
+        let honest = 999_999usize;
+        let mut sizes = Vec::with_capacity(honest + 1);
+        sizes.push(liar);
+        sizes.resize(honest + 1, 4);
+        let (capped, removed) = capped_sizes(&sizes, 3.0);
+        // Median 4, cap 12: the liar is clamped, honest counts pass.
+        assert_eq!(capped[0], 12.0);
+        assert!(capped[1..].iter().all(|&c| c == 4.0));
+        let reported = liar as f64 + 4.0 * honest as f64;
+        let kept = 12.0 + 4.0 * honest as f64;
+        let expected = (1.0 - kept / reported) as f32;
+        assert!(
+            (removed - expected).abs() < 1e-6,
+            "removed {removed} vs exact {expected} (f32 fold gave ~{})",
+            1.0 - kept as f32 / liar as f32
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! FedAvg (McMahan et al., baseline §5.1.2): sample-count weighted averaging.
 
 use crate::aggregate::{sample_weights, weighted_sum};
-use crate::strategy::{Aggregation, RoundContext, Strategy};
+use crate::strategy::{Aggregation, RoundContext, Strategy, UpdateMeta, WeightDecision};
 use crate::update::LocalUpdate;
-use fedcav_tensor::Result;
+use fedcav_tensor::{Result, TensorError};
 
 /// The vanilla FedAvg aggregation rule:
 /// `w_{t+1} = Σ_i (|d_i| / |D_St|) · w^i_{t+1}`.
@@ -29,6 +29,23 @@ impl Strategy for FedAvg {
     ) -> Result<Aggregation> {
         let weights = sample_weights(updates)?;
         Ok(Aggregation::Accept(weighted_sum(updates, &weights)?))
+    }
+
+    fn streaming_weights(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        metas: &[UpdateMeta],
+    ) -> Result<Option<WeightDecision>> {
+        // Same arithmetic as `sample_weights`, term for term, so the
+        // streaming path's weights are bit-identical to the materialized
+        // path's.
+        let total: usize = metas.iter().map(|m| m.num_samples).sum();
+        if total == 0 {
+            return Err(TensorError::Empty { op: "sample_weights (no samples)" });
+        }
+        Ok(Some(WeightDecision::Weights(
+            metas.iter().map(|m| m.num_samples as f32 / total as f32).collect(),
+        )))
     }
 }
 

@@ -102,14 +102,10 @@ impl Strategy for LearnedWeights {
         check_updates(updates, "LearnedWeights::aggregate")?;
         let n = updates.len();
 
-        let scores: Vec<Option<f32>> =
-            updates.iter().map(|u| self.val_loss(&u.params)).collect();
+        let scores: Vec<Option<f32>> = updates.iter().map(|u| self.val_loss(&u.params)).collect();
         let finite: Vec<f32> = scores.iter().filter_map(|s| *s).collect();
-        let mean = if finite.is_empty() {
-            0.0
-        } else {
-            finite.iter().sum::<f32>() / finite.len() as f32
-        };
+        let mean =
+            if finite.is_empty() { 0.0 } else { finite.iter().sum::<f32>() / finite.len() as f32 };
 
         let mut theta = Vec::with_capacity(n);
         for (u, score) in updates.iter().zip(&scores) {
@@ -231,18 +227,13 @@ mod tests {
         let mut s = strategy(&val);
         let good = (s.factory)().flat_params();
         let bad = confidently_wrong(&s);
-        let updates = vec![
-            LocalUpdate::new(0, good.clone(), 0.1, 10),
-            LocalUpdate::new(1, bad, 0.1, 10),
-        ];
+        let updates =
+            vec![LocalUpdate::new(0, good.clone(), 0.1, 10), LocalUpdate::new(1, bad, 0.1, 10)];
         let g = vec![0.0f32; good.len()];
         let ctx = RoundContext { round: 0, global: &g };
         accept(s.aggregate(&ctx, &updates).unwrap());
         let w = s.last_weights();
-        assert!(
-            w[0] > w[1],
-            "sane model outvalidates the one-class predictor: {w:?}"
-        );
+        assert!(w[0] > w[1], "sane model outvalidates the one-class predictor: {w:?}");
     }
 
     #[test]
@@ -262,10 +253,8 @@ mod tests {
         );
         let good = (s.factory)().flat_params();
         let bad = confidently_wrong(&s);
-        let updates = vec![
-            LocalUpdate::new(0, good.clone(), 0.1, 10),
-            LocalUpdate::new(1, bad, 0.1, 10),
-        ];
+        let updates =
+            vec![LocalUpdate::new(0, good.clone(), 0.1, 10), LocalUpdate::new(1, bad, 0.1, 10)];
         let g = vec![0.0f32; good.len()];
         let ctx = RoundContext { round: 0, global: &g };
         accept(s.aggregate(&ctx, &updates).unwrap());

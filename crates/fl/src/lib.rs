@@ -26,6 +26,11 @@
 //! * [`executor`] — deterministic client-level parallelism for the training
 //!   stage ([`ClientExecutor`]: sequential or scoped threads, bit-identical
 //!   results either way; `FEDCAV_EXECUTOR` env override),
+//! * [`population`] / [`sharded`] — the million-client scale substrate:
+//!   procedural [`ClientDescriptor`]s replacing live datasets for clients
+//!   not sampled this round, and the two-pass streaming shard protocol
+//!   whose aggregation is bit-identical to the materialized path in
+//!   constant memory (DESIGN.md §14),
 //! * [`eval`] / [`metrics`] — test-set evaluation and per-round records,
 //! * [`availability`] — who is online each round (always / Bernoulli /
 //!   diurnal cohorts),
@@ -60,10 +65,12 @@ pub mod latency;
 pub mod learned;
 pub mod metrics;
 pub mod normclip;
+pub mod population;
 pub mod robust;
-pub mod sizeguard;
 pub mod sampling;
 pub mod server;
+pub mod sharded;
+pub mod sizeguard;
 pub mod stages;
 pub mod strategy;
 pub mod update;
@@ -83,12 +90,16 @@ pub use fedprox::FedProx;
 pub use krum::Krum;
 pub use latency::{LatencyModel, LogNormalLatency, UniformLatency};
 pub use learned::LearnedWeights;
-pub use metrics::{FaultEvent, FaultEventKind, FaultTelemetry, History, RoundRecord, ToleranceBreach};
+pub use metrics::{
+    FaultEvent, FaultEventKind, FaultTelemetry, History, RoundRecord, ToleranceBreach,
+};
 pub use normclip::NormClippedMomentum;
+pub use population::{ClientDescriptor, Population};
 pub use robust::{CoordinateMedian, TrimmedMean};
-pub use sizeguard::SizeGuard;
 pub use server::{FaultPolicy, Interceptor, ModelFactory, Simulation, SimulationConfig};
-pub use strategy::{Aggregation, RoundContext, Strategy};
+pub use sharded::{sample_cohort, ShardedConfig, ShardedRoundRecord, ShardedSimulation};
+pub use sizeguard::SizeGuard;
+pub use strategy::{Aggregation, RoundContext, Strategy, UpdateMeta, WeightDecision};
 pub use update::{LocalUpdate, UpdateDefect};
 
 pub use fedcav_tensor::{Result, TensorError};

@@ -117,11 +117,8 @@ impl Strategy for NormClippedMomentum {
             self.velocity = vec![0.0f32; len];
         }
         let mut next = vec![0.0f32; len];
-        for ((v, m), (&g, o)) in self
-            .velocity
-            .iter_mut()
-            .zip(&mean_delta)
-            .zip(global.iter().zip(&mut next))
+        for ((v, m), (&g, o)) in
+            self.velocity.iter_mut().zip(&mean_delta).zip(global.iter().zip(&mut next))
         {
             *v = self.beta * *v + *m * renorm;
             *o = g + *v;
@@ -215,11 +212,7 @@ mod tests {
 
     #[test]
     fn majority_clipped_round_reports_breach() {
-        let updates = vec![
-            upd(0, vec![50.0], 10),
-            upd(1, vec![-40.0], 10),
-            upd(2, vec![0.1], 10),
-        ];
+        let updates = vec![upd(0, vec![50.0], 10), upd(1, vec![-40.0], 10), upd(2, vec![0.1], 10)];
         let g = [0.0f32];
         let ctx = RoundContext { round: 0, global: &g };
         let mut s = NormClippedMomentum::new(1.0, 0.0);

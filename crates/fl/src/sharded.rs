@@ -1,0 +1,655 @@
+//! The streaming sharded round driver (DESIGN.md §14).
+//!
+//! [`crate::Simulation`] materializes every sampled client's [`LocalUpdate`]
+//! in `RoundContext` before aggregating — O(cohort · dim) memory, the
+//! ROADMAP's blocker to million-client rounds. [`ShardedSimulation`] runs
+//! the same round in two passes over the cohort's shards so no more than
+//! one shard's updates exist at a time:
+//!
+//! * **Pass 1 (scalar harvest).** Each shard trains its clients (scheduled
+//!   by the [`ClientExecutor`]), validates the results, and folds the
+//!   survivors into a [`ShardAccumulator`] — scalar metadata only, the
+//!   parameter vectors are dropped on the spot. [`merge_shards`] then
+//!   concatenates the accumulators in ascending shard index, which is
+//!   exactly cohort order: the merged metadata sequence is the one the
+//!   materialized path would have seen.
+//! * **Weights.** The strategy answers the scalar-only
+//!   [`Strategy::streaming_weights`] query on the merged sequence. FedCav's
+//!   clip-at-mean pre-pass needs every loss before any weight exists —
+//!   which is why weights happen *between* the passes, not inside pass 1 —
+//!   and its detection can reject the round here, skipping pass 2 entirely.
+//! * **Pass 2 (parameter fold).** Every client is a pure function of
+//!   `(seed, round, client)` and its dataset a pure function of the
+//!   [`Population`], so the surviving updates are *regenerated* shard by
+//!   shard and folded through one [`ParamFold`] accumulator — the running
+//!   `Σ w_i · p_i`, replicating `weighted_sum`'s operation order so the
+//!   result is bit-identical to the materialized aggregation.
+//!
+//! A strategy that cannot weight from scalars alone (`Ok(None)`) falls back
+//! to a materialized aggregate over regenerated updates — correct, but
+//! O(cohort · dim) again; the fallback exists so every [`Strategy`] works,
+//! not so it scales.
+//!
+//! This driver deliberately omits the latency/deadline machinery and
+//! per-round test evaluation of [`crate::Simulation`] — it is the scale
+//! substrate, not the experiment harness. Faults, validation quarantine,
+//! quorum degradation and detection-reject all behave identically.
+//!
+//! Everything here is on the `no-panic-in-round-loop` lint path.
+
+use crate::client::{local_update, LocalConfig};
+use crate::executor::ClientExecutor;
+use crate::faults::{apply_fault, FaultModel, InjectedFault};
+use crate::metrics::{FaultEvent, FaultEventKind, FaultTelemetry};
+use crate::population::Population;
+use crate::server::ModelFactory;
+use crate::stages::aggregation::{install, merge_shards, ParamFold, ShardAccumulator};
+use crate::stages::training::{derive_seed, CORRUPTION_STREAM};
+use crate::stages::{ClientOutcome, RoundContext as PipelineContext};
+use crate::strategy::{
+    Aggregation, RoundContext as StrategyContext, Strategy, UpdateMeta, WeightDecision,
+};
+use crate::update::LocalUpdate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration of a sharded deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Fraction `q` of clients sampled each round (scale default: 0.3%).
+    pub sample_ratio: f64,
+    /// Local-training hyper-parameters (Algorithm 2).
+    pub local: LocalConfig,
+    /// Master seed; drives sampling, training and fault streams.
+    pub seed: u64,
+    /// Clients per shard: the unit of pass-1/pass-2 batching, and the bound
+    /// on how many updates exist at once. Values below 1 are treated as 1.
+    pub shard_size: usize,
+    /// Minimum validated updates required to aggregate; below it the round
+    /// degrades (global model held). Values below 1 are treated as 1.
+    pub min_quorum: usize,
+    /// Optional L2-norm quarantine bound on incoming parameter vectors.
+    pub max_param_norm: Option<f32>,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            sample_ratio: 0.003,
+            local: LocalConfig::default(),
+            seed: 42,
+            shard_size: 256,
+            min_quorum: 1,
+            max_param_norm: None,
+        }
+    }
+}
+
+/// What the sharded driver records after each round.
+#[derive(Debug, Clone)]
+pub struct ShardedRoundRecord {
+    /// Communication round index (0-based).
+    pub round: usize,
+    /// Total deployment size `n`.
+    pub clients: usize,
+    /// Sampled cohort size.
+    pub cohort: usize,
+    /// Updates that survived validation into the weight query.
+    pub aggregated: usize,
+    /// Mean inference loss over the surviving updates.
+    pub mean_inference_loss: f32,
+    /// Max inference loss over the surviving updates.
+    pub max_inference_loss: f32,
+    /// Whether the strategy rejected and reverted the round.
+    pub rejected: bool,
+    /// Rejection reason, when `rejected`.
+    pub reject_reason: Option<String>,
+    /// Dropped / quarantined contributions and quorum state.
+    pub faults: FaultTelemetry,
+}
+
+/// Sample `ceil(q · n)` distinct client indices in O(k) time and memory
+/// (Floyd's algorithm) — the O(n) shuffle of [`crate::sampling`] would
+/// allocate a million-entry scratch vector per round. Returns them sorted
+/// ascending (cohort order). Degenerate inputs are clamped, never panicked
+/// over: `n == 0` yields an empty cohort, any `q` outside `(0, 1]` is
+/// clamped to it.
+pub fn sample_cohort<R: Rng>(n: usize, q: f64, rng: &mut R) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 1.0 };
+    let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+    if k == n {
+        // Full participation: identical output (and no rng consumption
+        // beyond what the result needs) for every sampler.
+        return (0..n).collect();
+    }
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+    let mut cohort = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        if chosen.insert(t) {
+            cohort.push(t);
+        } else {
+            chosen.insert(j);
+            cohort.push(j);
+        }
+    }
+    cohort.sort_unstable();
+    cohort
+}
+
+/// The deployment state one shard's worker threads read (the sharded
+/// counterpart of [`crate::stages::training::TrainingEnv`], with the
+/// dataset vector replaced by the population recipe).
+struct ShardEnv<'b> {
+    factory: &'b ModelFactory,
+    global: &'b [f32],
+    population: &'b Population,
+    local: LocalConfig,
+    seed: u64,
+    fault_model: Option<&'b dyn FaultModel>,
+}
+
+/// One client's round, mirroring `stages::training::train_one` exactly —
+/// same fault injection, same seed derivations, same outcome taxonomy —
+/// with the dataset materialized from the population instead of indexed
+/// from a vector. Purity in `(seed, round, cid)` is what lets pass 2 replay
+/// pass 1 bit-for-bit.
+fn train_one(
+    env: &ShardEnv<'_>,
+    round: usize,
+    cid: usize,
+) -> (usize, Option<InjectedFault>, ClientOutcome) {
+    let fault = env.fault_model.and_then(|m| m.inject(env.seed, round, cid));
+    if matches!(fault, Some(InjectedFault::Crash)) {
+        return (cid, fault, ClientOutcome::Crashed);
+    }
+    let dataset = match env.population.materialize(cid) {
+        Ok(d) => d,
+        Err(_) => {
+            return (cid, fault, ClientOutcome::Failed(format!("unknown client id {cid}")));
+        }
+    };
+    let trained = local_update(
+        env.factory,
+        env.global,
+        cid,
+        &dataset,
+        &env.local,
+        derive_seed(env.seed, round, cid),
+    );
+    match trained {
+        Ok(mut update) => {
+            if let Some(f) = fault {
+                apply_fault(f, &mut update, derive_seed(env.seed ^ CORRUPTION_STREAM, round, cid));
+            }
+            (cid, fault, ClientOutcome::Arrived(update))
+        }
+        Err(e) => (cid, fault, ClientOutcome::Failed(e.to_string())),
+    }
+}
+
+/// A federated deployment over a procedural [`Population`], aggregated via
+/// the two-pass streaming shard protocol. Peak memory per round is
+/// O(shard_size · dim + cohort) — independent of the deployment size `n`.
+pub struct ShardedSimulation<'a> {
+    factory: &'a ModelFactory,
+    population: Population,
+    strategy: Box<dyn Strategy + 'a>,
+    fault_model: Option<Box<dyn FaultModel + 'a>>,
+    executor: ClientExecutor,
+    config: ShardedConfig,
+    global: Vec<f32>,
+    round: usize,
+    rng: StdRng,
+    records: Vec<ShardedRoundRecord>,
+}
+
+impl<'a> ShardedSimulation<'a> {
+    /// Build a sharded deployment. The initial global model is one fresh
+    /// `factory()` instance; the executor defaults to
+    /// [`ClientExecutor::from_env`] (results are bit-identical either way).
+    pub fn new(
+        factory: &'a ModelFactory,
+        population: Population,
+        strategy: Box<dyn Strategy + 'a>,
+        config: ShardedConfig,
+    ) -> Self {
+        let global = factory().flat_params();
+        let rng = StdRng::seed_from_u64(config.seed);
+        ShardedSimulation {
+            factory,
+            population,
+            strategy,
+            fault_model: None,
+            executor: ClientExecutor::from_env(),
+            config,
+            global,
+            round: 0,
+            rng,
+            records: Vec::new(),
+        }
+    }
+
+    /// Install a fault model (default: none). Returns `&mut self`.
+    pub fn set_fault_model(&mut self, model: Box<dyn FaultModel + 'a>) -> &mut Self {
+        self.fault_model = Some(model);
+        self
+    }
+
+    /// Choose the client executor. Returns `&mut self`.
+    pub fn set_executor(&mut self, executor: ClientExecutor) -> &mut Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Current global model parameters.
+    pub fn global(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Number of clients in the deployment.
+    pub fn n_clients(&self) -> usize {
+        self.population.n()
+    }
+
+    /// Strategy name (for experiment output).
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Records of the rounds run so far, in order.
+    pub fn records(&self) -> &[ShardedRoundRecord] {
+        &self.records
+    }
+
+    /// Run one round through the two-pass shard protocol.
+    pub fn run_round(&mut self) -> crate::Result<ShardedRoundRecord> {
+        let n = self.population.n();
+        let round = self.round;
+        let cohort = sample_cohort(n, self.config.sample_ratio, &mut self.rng);
+        let shard_size = self.config.shard_size.max(1);
+        let expected_len = self.global.len();
+        let max_norm = self.config.max_param_norm;
+
+        let mut ctx = PipelineContext::new(round);
+        ctx.participants = cohort;
+
+        // FedProx-style strategies inject their μ into local training, same
+        // as the materialized driver.
+        let strategy_mu = self.strategy.prox_mu();
+        let local = LocalConfig {
+            prox_mu: if strategy_mu > 0.0 { strategy_mu } else { self.config.local.prox_mu },
+            ..self.config.local
+        };
+        let env = ShardEnv {
+            factory: self.factory,
+            global: &self.global,
+            population: &self.population,
+            local,
+            seed: self.config.seed,
+            fault_model: self.fault_model.as_deref(),
+        };
+
+        // Pass 1: train shard by shard, keep scalar metadata, drop params.
+        let mut shards = Vec::new();
+        for (shard_idx, chunk) in ctx.participants.chunks(shard_size).enumerate() {
+            let outcomes = self.executor.map(chunk, |&cid| train_one(&env, round, cid));
+            let mut acc = ShardAccumulator::new(shard_idx);
+            for (cid, _fault, outcome) in outcomes {
+                match outcome {
+                    ClientOutcome::Arrived(update) => {
+                        match update.validate(expected_len, max_norm) {
+                            Ok(()) => acc.fold(&update),
+                            Err(defect) => ctx.telemetry.record(FaultEvent {
+                                client: cid,
+                                kind: FaultEventKind::Quarantined,
+                                detail: defect.to_string(),
+                            }),
+                        }
+                        // `update` drops here: the shard never accumulates
+                        // more than one in-flight parameter vector beyond
+                        // what the executor's workers hold.
+                    }
+                    ClientOutcome::Crashed => ctx.telemetry.record(FaultEvent {
+                        client: cid,
+                        kind: FaultEventKind::Dropped,
+                        detail: "client crashed".to_string(),
+                    }),
+                    ClientOutcome::Failed(msg) => ctx.telemetry.record(FaultEvent {
+                        client: cid,
+                        kind: FaultEventKind::Dropped,
+                        detail: msg,
+                    }),
+                }
+            }
+            shards.push(acc);
+        }
+        let metas = merge_shards(shards);
+
+        // Loss statistics over the survivors, mirroring the validation
+        // stage (0.0, not -inf, on an empty round).
+        ctx.mean_inference_loss = if metas.is_empty() {
+            0.0
+        } else {
+            metas.iter().map(|m| m.inference_loss).sum::<f32>() / metas.len() as f32
+        };
+        let max_loss = metas.iter().map(|m| m.inference_loss).fold(f32::NEG_INFINITY, f32::max);
+        ctx.max_inference_loss = if max_loss.is_finite() { max_loss } else { 0.0 };
+
+        let quorum = self.config.min_quorum.max(1);
+        if metas.len() < quorum {
+            ctx.telemetry.degraded = true;
+            return Ok(self.close_round(ctx, metas.len()));
+        }
+
+        let decision = {
+            let sctx = StrategyContext { round, global: &self.global };
+            self.strategy.streaming_weights(&sctx, &metas)?
+        };
+        ctx.telemetry.tolerance_breach = self.strategy.take_breach();
+
+        match decision {
+            Some(WeightDecision::Reject { reverted, reason }) => {
+                // Scalar-side detection fired: pass 2 never runs.
+                install(
+                    &mut ctx,
+                    &mut *self.strategy,
+                    &mut self.global,
+                    Aggregation::Reject { reverted, reason },
+                )?;
+            }
+            Some(WeightDecision::Weights(weights)) => {
+                // Pass 2: regenerate the survivors in merge order and fold
+                // Σ w_i · p_i through one accumulator.
+                let survivors: Vec<usize> = metas.iter().map(|m| m.client_id).collect();
+                let mut fold = ParamFold::new(expected_len, weights, metas)?;
+                for chunk in survivors.chunks(shard_size) {
+                    let outcomes = self.executor.map(chunk, |&cid| train_one(&env, round, cid));
+                    for (_cid, _fault, outcome) in outcomes {
+                        // Clients are pure functions of (seed, round, id):
+                        // anything but an identical re-arrival means the
+                        // replay diverged, which ParamFold reports as an
+                        // alignment error below.
+                        if let ClientOutcome::Arrived(update) = outcome {
+                            fold.fold(&update)?;
+                        }
+                    }
+                }
+                let next = fold.finish()?;
+                install(
+                    &mut ctx,
+                    &mut *self.strategy,
+                    &mut self.global,
+                    Aggregation::Accept(next),
+                )?;
+            }
+            None => {
+                // Scalar weighting unsupported: materialized fallback over
+                // regenerated updates (O(cohort · dim) — correct, not
+                // scalable; see module docs).
+                let survivors: Vec<usize> = metas.iter().map(|m| m.client_id).collect();
+                let outcomes = self.executor.map(&survivors, |&cid| train_one(&env, round, cid));
+                let mut updates: Vec<LocalUpdate> = Vec::with_capacity(survivors.len());
+                for (_cid, _fault, outcome) in outcomes {
+                    if let ClientOutcome::Arrived(update) = outcome {
+                        if update.validate(expected_len, max_norm).is_ok() {
+                            updates.push(update);
+                        }
+                    }
+                }
+                let fallback = {
+                    let sctx = StrategyContext { round, global: &self.global };
+                    self.strategy.aggregate(&sctx, &updates)?
+                };
+                ctx.telemetry.tolerance_breach = self.strategy.take_breach();
+                install(&mut ctx, &mut *self.strategy, &mut self.global, fallback)?;
+            }
+        }
+        let aggregated = ctx.participants.len().saturating_sub(ctx.telemetry.total_lost());
+        Ok(self.close_round(ctx, aggregated))
+    }
+
+    /// Run `rounds` rounds, returning the final record. `rounds == 0` is an
+    /// error, not a panic.
+    pub fn run(&mut self, rounds: usize) -> crate::Result<ShardedRoundRecord> {
+        if rounds == 0 {
+            return Err(crate::TensorError::Empty { op: "ShardedSimulation::run" });
+        }
+        let mut last = self.run_round()?;
+        for _ in 1..rounds {
+            last = self.run_round()?;
+        }
+        Ok(last)
+    }
+
+    /// Fold the round context into the permanent record and advance.
+    fn close_round(&mut self, ctx: PipelineContext, aggregated: usize) -> ShardedRoundRecord {
+        let record = ShardedRoundRecord {
+            round: ctx.round,
+            clients: self.population.n(),
+            cohort: ctx.participants.len(),
+            aggregated,
+            mean_inference_loss: ctx.mean_inference_loss,
+            max_inference_loss: ctx.max_inference_loss,
+            rejected: ctx.rejected,
+            reject_reason: ctx.reject_reason,
+            faults: ctx.telemetry,
+        };
+        self.records.push(record.clone());
+        self.round += 1;
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fedavg::FedAvg;
+    use fedcav_data::{SyntheticConfig, SyntheticKind};
+    use fedcav_nn::{models, Sequential};
+
+    fn tiny_population(n: usize) -> Population {
+        Population::new(n, 5, SyntheticConfig::new(SyntheticKind::MnistLike, 2, 1))
+    }
+
+    fn factory() -> impl Fn() -> Sequential + Sync {
+        let img_len = 28 * 28;
+        move || models::mlp(&mut StdRng::seed_from_u64(7), img_len, 10)
+    }
+
+    #[test]
+    fn cohort_size_matches_ratio() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_cohort(1_000_000, 0.003, &mut rng).len(), 3000);
+        assert_eq!(sample_cohort(100, 1.0, &mut rng), (0..100).collect::<Vec<_>>());
+        assert_eq!(sample_cohort(10, 0.05, &mut rng).len(), 1);
+        assert!(sample_cohort(0, 0.5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn cohort_is_sorted_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = sample_cohort(10_000, 0.01, &mut rng);
+        assert_eq!(c.len(), 100);
+        assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        assert!(c.iter().all(|&i| i < 10_000));
+    }
+
+    #[test]
+    fn degenerate_ratio_is_clamped_not_panicked() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample_cohort(10, 0.0, &mut rng).len(), 1);
+        assert_eq!(sample_cohort(10, 7.0, &mut rng).len(), 10);
+        assert_eq!(sample_cohort(10, f64::NAN, &mut rng).len(), 10);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let draw = |seed| sample_cohort(5000, 0.01, &mut StdRng::seed_from_u64(seed));
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn sharded_round_runs_and_learns_state() {
+        let f = factory();
+        let mut sim = ShardedSimulation::new(
+            &f,
+            tiny_population(6),
+            Box::new(FedAvg::new()),
+            ShardedConfig {
+                sample_ratio: 0.5,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                shard_size: 2,
+                ..Default::default()
+            },
+        );
+        let before = sim.global().to_vec();
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.cohort, 3);
+        assert_eq!(r.aggregated, 3);
+        assert!(!r.rejected);
+        assert_ne!(sim.global(), &before[..], "aggregation moved the model");
+        assert_eq!(sim.records().len(), 1);
+    }
+
+    #[test]
+    fn shard_size_does_not_change_the_model() {
+        let run_with = |shard_size: usize| {
+            let f = factory();
+            let mut sim = ShardedSimulation::new(
+                &f,
+                tiny_population(5),
+                Box::new(FedAvg::new()),
+                ShardedConfig {
+                    sample_ratio: 1.0,
+                    local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                    shard_size,
+                    ..Default::default()
+                },
+            );
+            sim.set_executor(ClientExecutor::Sequential);
+            sim.run(2).unwrap();
+            sim.global().to_vec()
+        };
+        let one = run_with(1);
+        assert_eq!(one, run_with(2), "shard size 2 diverged");
+        assert_eq!(one, run_with(64), "shard size 64 diverged");
+    }
+
+    #[test]
+    fn quorum_miss_degrades_and_holds_the_model() {
+        struct CrashAll;
+        impl FaultModel for CrashAll {
+            fn inject(&self, _s: u64, _r: usize, _c: usize) -> Option<InjectedFault> {
+                Some(InjectedFault::Crash)
+            }
+        }
+        let f = factory();
+        let mut sim = ShardedSimulation::new(
+            &f,
+            tiny_population(4),
+            Box::new(FedAvg::new()),
+            ShardedConfig {
+                sample_ratio: 1.0,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                ..Default::default()
+            },
+        );
+        sim.set_fault_model(Box::new(CrashAll));
+        let before = sim.global().to_vec();
+        let r = sim.run_round().unwrap();
+        assert!(r.faults.degraded);
+        assert_eq!(r.faults.dropped, 4);
+        assert_eq!(r.aggregated, 0);
+        assert_eq!(sim.global(), &before[..], "global model held");
+    }
+
+    #[test]
+    fn corrupted_update_is_quarantined() {
+        use crate::faults::Corruption;
+        struct PoisonOne;
+        impl FaultModel for PoisonOne {
+            fn inject(&self, _s: u64, _r: usize, c: usize) -> Option<InjectedFault> {
+                (c == 1).then_some(InjectedFault::CorruptParams(Corruption::Nan))
+            }
+        }
+        let f = factory();
+        let mut sim = ShardedSimulation::new(
+            &f,
+            tiny_population(3),
+            Box::new(FedAvg::new()),
+            ShardedConfig {
+                sample_ratio: 1.0,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                ..Default::default()
+            },
+        );
+        sim.set_fault_model(Box::new(PoisonOne));
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.faults.quarantined, 1);
+        assert_eq!(r.aggregated, 2);
+        assert!(sim.global().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn run_zero_rounds_is_an_error() {
+        let f = factory();
+        let mut sim = ShardedSimulation::new(
+            &f,
+            tiny_population(2),
+            Box::new(FedAvg::new()),
+            ShardedConfig::default(),
+        );
+        assert!(sim.run(0).is_err());
+        assert!(sim.records().is_empty());
+    }
+
+    /// A strategy with no scalar weighting: exercises the materialized
+    /// fallback path.
+    struct NeedsParams;
+    impl Strategy for NeedsParams {
+        fn name(&self) -> &'static str {
+            "NeedsParams"
+        }
+        fn aggregate(
+            &mut self,
+            _ctx: &StrategyContext<'_>,
+            updates: &[LocalUpdate],
+        ) -> crate::Result<Aggregation> {
+            crate::aggregate::sample_weights(updates)
+                .and_then(|w| crate::aggregate::weighted_sum(updates, &w))
+                .map(Aggregation::Accept)
+        }
+    }
+
+    #[test]
+    fn fallback_path_matches_streaming_for_equivalent_rules() {
+        // NeedsParams aggregates exactly like FedAvg but only via the
+        // materialized fallback; the two drivers must agree bit-for-bit.
+        let run_with = |streaming: bool| {
+            let f = factory();
+            let strategy: Box<dyn Strategy> =
+                if streaming { Box::new(FedAvg::new()) } else { Box::new(NeedsParams) };
+            let mut sim = ShardedSimulation::new(
+                &f,
+                tiny_population(4),
+                strategy,
+                ShardedConfig {
+                    sample_ratio: 1.0,
+                    local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                    shard_size: 2,
+                    ..Default::default()
+                },
+            );
+            sim.set_executor(ClientExecutor::Sequential);
+            sim.run(2).unwrap();
+            sim.global().to_vec()
+        };
+        assert_eq!(run_with(true), run_with(false));
+    }
+}

@@ -149,11 +149,8 @@ mod tests {
     fn inflated_count_is_capped_at_the_median_multiple() {
         // Liar claims 1e6 samples against a median of 100 with cap 3×:
         // its effective count is 300, not a million.
-        let updates = vec![
-            upd(0, vec![0.0], 100),
-            upd(1, vec![0.0], 100),
-            upd(2, vec![1.0], 1_000_000),
-        ];
+        let updates =
+            vec![upd(0, vec![0.0], 100), upd(1, vec![0.0], 100), upd(2, vec![1.0], 1_000_000)];
         let g = [0.0f32];
         let mut s = SizeGuard::new(3.0);
         let out = accept(s.aggregate(&ctx(&g), &updates).unwrap());
@@ -180,11 +177,8 @@ mod tests {
         // One client claims more samples than everyone else combined by
         // orders of magnitude: the cap discards most of the reported mass,
         // the round still aggregates, and the breach is logged.
-        let updates = vec![
-            upd(0, vec![0.0], 10),
-            upd(1, vec![0.0], 10),
-            upd(2, vec![1.0], 1_000_000),
-        ];
+        let updates =
+            vec![upd(0, vec![0.0], 10), upd(1, vec![0.0], 10), upd(2, vec![1.0], 1_000_000)];
         let g = [0.0f32];
         let mut s = SizeGuard::new(2.0);
         let out = accept(s.aggregate(&ctx(&g), &updates).unwrap());

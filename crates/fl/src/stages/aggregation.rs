@@ -13,7 +13,8 @@
 //!   FedAvgM's velocity) is discarded too.
 
 use super::RoundContext;
-use crate::strategy::{Aggregation, RoundContext as StrategyContext, Strategy};
+use crate::strategy::{Aggregation, RoundContext as StrategyContext, Strategy, UpdateMeta};
+use crate::update::LocalUpdate;
 use fedcav_tensor::{Result, TensorError};
 
 /// Aggregate `ctx.updates` into `global` (or hold/revert it), updating
@@ -39,6 +40,18 @@ pub fn run(
     // beyond its tolerance bound, fold the breach into the round telemetry
     // so the history shows which rounds carry weakened guarantees.
     ctx.telemetry.tolerance_breach = strategy.take_breach();
+    install(ctx, strategy, global, decision)
+}
+
+/// Install an aggregation decision: accept (replace the global model) or
+/// reject (install the reverted parameters and notify the strategy).
+/// Shared by the materialized [`run`] and the server's streaming driver.
+pub(crate) fn install(
+    ctx: &mut RoundContext,
+    strategy: &mut (dyn Strategy + '_),
+    global: &mut Vec<f32>,
+    decision: Aggregation,
+) -> Result<()> {
     match decision {
         Aggregation::Accept(params) => {
             if params.len() != global.len() {
@@ -66,6 +79,154 @@ pub fn run(
         }
     }
     Ok(())
+}
+
+// ------------------------------------------------------------------------
+// Streaming sharded aggregation (DESIGN.md §14).
+//
+// The constant-memory path never materializes the cohort's parameter
+// vectors in `RoundContext`. Pass 1 folds each shard's delivered updates
+// into a `ShardAccumulator` (scalar metadata only — the parameters are
+// dropped on the spot); the accumulators merge in a fixed shard order into
+// one metadata sequence, the strategy answers the scalar-only weight query
+// on it, and pass 2 regenerates the updates (every client is a pure
+// function of `(seed, round, client)`) folding `Σ w_i · p_i` through a
+// single `ParamFold` accumulator.
+
+/// Pass-1 accumulator for one shard: scalar metadata of the shard's
+/// surviving updates, in arrival (cohort) order. Parameter vectors are
+/// dropped as updates fold in — this is the memory contract of the
+/// streaming path.
+#[derive(Debug, Clone)]
+pub struct ShardAccumulator {
+    shard: usize,
+    metas: Vec<UpdateMeta>,
+}
+
+impl ShardAccumulator {
+    /// Empty accumulator for shard index `shard` (its position in the
+    /// fixed merge order).
+    pub fn new(shard: usize) -> Self {
+        ShardAccumulator { shard, metas: Vec::new() }
+    }
+
+    /// Fold one delivered update in, retaining only its scalar metadata.
+    pub fn fold(&mut self, update: &LocalUpdate) {
+        self.metas.push(UpdateMeta::of(update));
+    }
+
+    /// The shard's position in the fixed merge order.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Updates folded so far.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Whether nothing survived in this shard.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+}
+
+/// Merge shard accumulators into one metadata sequence in the **fixed
+/// deterministic shard order** (ascending shard index), regardless of the
+/// order the shards finished in. Within a shard, arrival order is cohort
+/// order, so the merged sequence is exactly the order the materialized
+/// path would have seen — which is what makes the streaming weights (and
+/// the pass-2 parameter fold) bit-identical to it under any shard size or
+/// completion schedule.
+pub fn merge_shards(mut shards: Vec<ShardAccumulator>) -> Vec<UpdateMeta> {
+    shards.sort_by_key(|s| s.shard);
+    let mut merged = Vec::with_capacity(shards.iter().map(|s| s.metas.len()).sum());
+    for shard in shards {
+        merged.extend(shard.metas);
+    }
+    merged
+}
+
+/// Pass-2 accumulator: the running weighted sum `Σ w_i · p_i` over one
+/// in-flight parameter vector at a time.
+///
+/// The fold replicates [`crate::aggregate::weighted_sum`]'s operation
+/// order exactly — updates outer, coordinates inner, one f32 accumulator
+/// per coordinate — so feeding it the cohort's updates in merge order is
+/// bit-identical to the materialized call. Peak memory is the accumulator
+/// plus one update, independent of cohort size.
+#[derive(Debug, Clone)]
+pub struct ParamFold {
+    out: Vec<f32>,
+    weights: Vec<f32>,
+    metas: Vec<UpdateMeta>,
+    next: usize,
+}
+
+impl ParamFold {
+    /// New fold over `dim`-length parameter vectors with per-update
+    /// `weights` aligned to `metas` (the merged pass-1 order). Errors when
+    /// the two disagree in length.
+    pub fn new(dim: usize, weights: Vec<f32>, metas: Vec<UpdateMeta>) -> Result<Self> {
+        if weights.len() != metas.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "ParamFold::new",
+                lhs: vec![weights.len()],
+                rhs: vec![metas.len()],
+            });
+        }
+        Ok(ParamFold { out: vec![0.0f32; dim], weights, metas, next: 0 })
+    }
+
+    /// Fold the next update in. The update must be the one pass 1 recorded
+    /// at this position (checked by client id) — a mismatch means the
+    /// pass-2 regeneration diverged from pass 1, which breaks the weight
+    /// alignment and is reported as an error, never a panic.
+    pub fn fold(&mut self, update: &LocalUpdate) -> Result<()> {
+        let (Some(&w), Some(meta)) = (self.weights.get(self.next), self.metas.get(self.next))
+        else {
+            return Err(TensorError::IndexOutOfBounds {
+                index: self.next,
+                bound: self.weights.len(),
+            });
+        };
+        if meta.client_id != update.client_id {
+            return Err(TensorError::ShapeMismatch {
+                op: "ParamFold::fold (pass-2 replay diverged from pass 1)",
+                lhs: vec![meta.client_id],
+                rhs: vec![update.client_id],
+            });
+        }
+        if update.params.len() != self.out.len() {
+            return Err(TensorError::ElementCountMismatch {
+                from: update.params.len(),
+                to: self.out.len(),
+            });
+        }
+        for (o, &p) in self.out.iter_mut().zip(&update.params) {
+            *o += w * p;
+        }
+        self.next += 1;
+        Ok(())
+    }
+
+    /// Number of updates still expected.
+    pub fn remaining(&self) -> usize {
+        self.weights.len().saturating_sub(self.next)
+    }
+
+    /// Finish the fold. Errors when fewer updates arrived than pass 1
+    /// recorded (a non-deterministic replay would silently mis-weight).
+    pub fn finish(self) -> Result<Vec<f32>> {
+        if self.next != self.weights.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "ParamFold::finish (pass 2 incomplete)",
+                lhs: vec![self.next],
+                rhs: vec![self.weights.len()],
+            });
+        }
+        Ok(self.out)
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +362,81 @@ mod tests {
         ctx.updates = vec![update(0, vec![1.0; 4])];
         let mut global = vec![0.5; 4];
         assert!(run(&mut ctx, &mut WrongLen, &mut global, 1).is_err());
+    }
+
+    #[test]
+    fn shard_accumulator_keeps_metadata_only() {
+        let mut acc = ShardAccumulator::new(3);
+        assert!(acc.is_empty());
+        acc.fold(&LocalUpdate::new(7, vec![1.0; 4], 0.25, 12));
+        acc.fold(&LocalUpdate::new(9, vec![2.0; 4], 0.5, 3));
+        assert_eq!(acc.shard(), 3);
+        assert_eq!(acc.len(), 2);
+        assert!(!acc.is_empty());
+    }
+
+    #[test]
+    fn merge_shards_restores_cohort_order_from_any_completion_order() {
+        // Shards finish out of order (2, 0, 1); the merge must still read
+        // as shard 0's clients, then 1's, then 2's.
+        let mut s0 = ShardAccumulator::new(0);
+        s0.fold(&LocalUpdate::new(10, vec![], 0.1, 1));
+        s0.fold(&LocalUpdate::new(11, vec![], 0.2, 1));
+        let s1 = ShardAccumulator::new(1); // everyone in shard 1 crashed
+        let mut s2 = ShardAccumulator::new(2);
+        s2.fold(&LocalUpdate::new(30, vec![], 0.3, 1));
+        let merged = merge_shards(vec![s2, s0, s1]);
+        let ids: Vec<usize> = merged.iter().map(|m| m.client_id).collect();
+        assert_eq!(ids, vec![10, 11, 30]);
+    }
+
+    #[test]
+    fn param_fold_matches_weighted_sum_bit_for_bit() {
+        let updates = vec![
+            update(0, vec![0.1, -0.2, 0.3]),
+            update(1, vec![1.5, 2.5, -3.5]),
+            update(2, vec![0.7, 0.07, 0.007]),
+        ];
+        let weights = vec![0.2f32, 0.5, 0.3];
+        let reference = crate::aggregate::weighted_sum(&updates, &weights).unwrap();
+        let metas: Vec<UpdateMeta> = updates.iter().map(UpdateMeta::of).collect();
+        let mut fold = ParamFold::new(3, weights, metas).unwrap();
+        for u in &updates {
+            assert_eq!(fold.remaining(), 3 - u.client_id);
+            fold.fold(u).unwrap();
+        }
+        let out = fold.finish().unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out), bits(&reference));
+    }
+
+    #[test]
+    fn param_fold_rejects_misaligned_replay() {
+        let metas = vec![UpdateMeta { client_id: 4, inference_loss: 0.1, num_samples: 1 }];
+        let mut fold = ParamFold::new(2, vec![1.0], metas).unwrap();
+        // Wrong client arrives: the pass-2 replay diverged from pass 1.
+        assert!(fold.fold(&update(5, vec![1.0, 2.0])).is_err());
+        // Right client, wrong dimension.
+        assert!(fold.fold(&update(4, vec![1.0])).is_err());
+        // Right client, right dimension.
+        fold.fold(&update(4, vec![1.0, 2.0])).unwrap();
+        // One more than pass 1 recorded.
+        assert!(fold.fold(&update(4, vec![1.0, 2.0])).is_err());
+    }
+
+    #[test]
+    fn param_fold_incomplete_finish_is_an_error() {
+        let metas = vec![
+            UpdateMeta { client_id: 0, inference_loss: 0.1, num_samples: 1 },
+            UpdateMeta { client_id: 1, inference_loss: 0.2, num_samples: 1 },
+        ];
+        let mut fold = ParamFold::new(1, vec![0.5, 0.5], metas).unwrap();
+        fold.fold(&update(0, vec![2.0])).unwrap();
+        assert!(fold.finish().is_err(), "a silent short-count would mis-weight the round");
+    }
+
+    #[test]
+    fn param_fold_weight_meta_mismatch_is_an_error() {
+        assert!(ParamFold::new(2, vec![1.0, 2.0], Vec::new()).is_err());
     }
 }

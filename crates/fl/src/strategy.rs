@@ -13,6 +13,48 @@ pub struct RoundContext<'a> {
     pub global: &'a [f32],
 }
 
+/// The scalar metadata one delivered update contributes to pass 1 of the
+/// two-pass streaming shard protocol (DESIGN.md §14): everything a
+/// scalar-only weighting rule needs, with the parameter vector dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateMeta {
+    /// Reporting client's id.
+    pub client_id: usize,
+    /// Inference loss `f_i(w_t)` reported with the update.
+    pub inference_loss: f32,
+    /// Reported local sample count `|d_i|`.
+    pub num_samples: usize,
+}
+
+impl UpdateMeta {
+    /// The metadata of one update.
+    pub fn of(update: &LocalUpdate) -> UpdateMeta {
+        UpdateMeta {
+            client_id: update.client_id,
+            inference_loss: update.inference_loss,
+            num_samples: update.num_samples,
+        }
+    }
+}
+
+/// A strategy's answer to the scalar-only weight query of the streaming
+/// aggregation path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightDecision {
+    /// Per-update aggregation weights, aligned with the queried metadata
+    /// order (the fixed shard-merge order).
+    Weights(Vec<f32>),
+    /// Detection fired on the scalar reports alone: abandon the round and
+    /// install `reverted` — the second (parameter) pass is skipped
+    /// entirely.
+    Reject {
+        /// Parameters to roll back to.
+        reverted: Vec<f32>,
+        /// Human-readable reason, recorded in the round history.
+        reason: String,
+    },
+}
+
 /// Outcome of an aggregation step.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Aggregation {
@@ -53,6 +95,29 @@ pub trait Strategy: Send {
     /// Combine the round's local updates into the next global model.
     fn aggregate(&mut self, ctx: &RoundContext<'_>, updates: &[LocalUpdate])
         -> Result<Aggregation>;
+
+    /// Scalar-only weighting hook for the streaming sharded aggregation
+    /// path (DESIGN.md §14). Given the metadata of every delivered update
+    /// in the fixed shard-merge order — and *no* parameter vectors — return
+    /// the aggregation weights (or a scalar-side rejection). The server
+    /// then folds `Σ w_i · p_i` in a second pass without ever holding the
+    /// cohort's parameters at once.
+    ///
+    /// `Ok(None)` (the default) means the rule needs the full parameter
+    /// vectors (distance scoring, coordinate statistics, …); the server
+    /// falls back to the materialized [`Strategy::aggregate`] path.
+    ///
+    /// Contract for implementors: for any updates `U`, the weights returned
+    /// here for `U`'s metadata must be **bit-identical** to the weights the
+    /// materialized `aggregate` would use on `U`, so the two paths produce
+    /// the same global model bit for bit.
+    fn streaming_weights(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        _metas: &[UpdateMeta],
+    ) -> Result<Option<WeightDecision>> {
+        Ok(None)
+    }
 
     /// Called by the server right after it installs a rejected round's
     /// `reverted` parameters. Strategies that keep server-side optimizer

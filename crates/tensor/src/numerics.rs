@@ -10,18 +10,122 @@ use crate::{Result, Tensor, TensorError};
 
 /// Stable `ln(Σ exp(x_i))`.
 ///
-/// Returns `-inf` for an empty slice (the sum over nothing is 0).
+/// Returns `-inf` for an empty slice (the sum over nothing is 0). Any NaN
+/// input dominates and the result is NaN — the same "NaN is the largest
+/// value" convention as `total_cmp` everywhere else in the workspace — and
+/// a `+inf` input (with no NaN) dominates with `+inf`.
 pub fn logsumexp(xs: &[f32]) -> f32 {
     if xs.is_empty() {
         return f32::NEG_INFINITY;
     }
+    // `f32::max` ignores NaN, so without this scan a NaN input would leak
+    // through `(x - m).exp()` for some value positions and be silently
+    // swallowed for others (e.g. when a +inf fixed `m` first) — an
+    // order-dependent result. Make NaN dominate unconditionally instead.
+    if xs.iter().any(|x| x.is_nan()) {
+        return f32::NAN;
+    }
     let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     if !m.is_finite() {
-        // All -inf, or contains +inf/NaN: fall back to the dominant value.
+        // All -inf, or contains +inf: fall back to the dominant value.
         return m;
     }
     let s: f32 = xs.iter().map(|&x| (x - m).exp()).sum();
     m + s.ln()
+}
+
+/// Streaming log-sum-exp: constant-memory companion of [`logsumexp`].
+///
+/// Keeps a running maximum and the rescaled mass `Σ exp(x_i - max)` (in
+/// f64, so million-element streams do not lose low-order mass the way an
+/// f32 accumulator would), updating both as values arrive. When a new
+/// maximum appears the accumulated mass is rescaled by
+/// `exp(old_max - new_max)` — the classic online-softmax recurrence. Two
+/// accumulators over disjoint streams [`merge`](StreamingLogSumExp::merge)
+/// into the accumulator of the concatenated stream.
+///
+/// Non-finite values are skipped (callers quarantine or clamp them before
+/// the streaming aggregation path sees a loss); the running maximum over
+/// finite f32 values is exact and associative, so it is bit-identical
+/// under any partition of the stream into shards. The f64 mass is *not*
+/// partition-invariant to the last ulp (float addition is not
+/// associative), which is exactly why the bit-for-bit weight contract in
+/// `fedcav-core` replays the finalization instead of summing shard
+/// partials — see DESIGN.md §14.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingLogSumExp {
+    max: f32,
+    mass: f64,
+    count: usize,
+}
+
+impl Default for StreamingLogSumExp {
+    fn default() -> Self {
+        StreamingLogSumExp::new()
+    }
+}
+
+impl StreamingLogSumExp {
+    /// Empty accumulator (`value()` is `-inf`, the sum over nothing).
+    pub fn new() -> Self {
+        StreamingLogSumExp { max: f32::NEG_INFINITY, mass: 0.0, count: 0 }
+    }
+
+    /// Fold one value in. Non-finite values are ignored.
+    pub fn push(&mut self, x: f32) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.max = x;
+            self.mass = 1.0;
+            self.count = 1;
+            return;
+        }
+        if x > self.max {
+            self.mass = self.mass * f64::from(self.max - x).exp() + 1.0;
+            self.max = x;
+        } else {
+            self.mass += f64::from(x - self.max).exp();
+        }
+        self.count += 1;
+    }
+
+    /// Fold another accumulator in, as if its stream had been appended to
+    /// this one.
+    pub fn merge(&mut self, other: &StreamingLogSumExp) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let new_max = self.max.max(other.max);
+        self.mass = self.mass * f64::from(self.max - new_max).exp()
+            + other.mass * f64::from(other.max - new_max).exp();
+        self.max = new_max;
+        self.count += other.count;
+    }
+
+    /// Number of finite values folded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Running maximum (`-inf` when empty). Exact: the f32 max of finite
+    /// values does not depend on arrival order or shard partitioning.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+
+    /// `ln(Σ exp(x_i))` over everything folded so far (`-inf` when empty).
+    pub fn value(&self) -> f32 {
+        if self.count == 0 {
+            return f32::NEG_INFINITY;
+        }
+        (f64::from(self.max) + self.mass.ln()) as f32
+    }
 }
 
 /// Stable softmax of a slice, written into a fresh `Vec`.
@@ -89,6 +193,9 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
     }
     let (b, c) = (dims[0], dims[1]);
     let mut out = logits.clone();
+    if c == 0 {
+        return Ok(out);
+    }
     for row in out.as_mut_slice().chunks_mut(c) {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut s = 0.0f32;
@@ -96,9 +203,18 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
             *v = (*v - m).exp();
             s += *v;
         }
-        let inv = 1.0 / s;
-        for v in row.iter_mut() {
-            *v *= inv;
+        if s > 0.0 && s.is_finite() {
+            // Divide (not multiply-by-reciprocal): keeps each row
+            // bit-identical to the slice `softmax` above, which the
+            // healthy-row regression tests pin down.
+            for v in row.iter_mut() {
+                *v /= s;
+            }
+        } else {
+            // Degenerate row (all -inf, or a NaN logit): fall back to
+            // uniform, matching the slice `softmax` above. Dividing by
+            // the zero/non-finite sum would return all-NaN probabilities.
+            row.fill(1.0 / c as f32);
         }
     }
     debug_assert_eq!(out.dims(), &[b, c]);
@@ -200,12 +316,8 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
     let mut correct = 0usize;
     for (i, &label) in labels.iter().enumerate() {
         let row = &data[i * c..(i + 1) * c];
-        let argmax = row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(j, _)| j)
-            .unwrap_or(0);
+        let argmax =
+            row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(j, _)| j).unwrap_or(0);
         if argmax == label {
             correct += 1;
         }
@@ -244,6 +356,107 @@ mod tests {
     #[test]
     fn logsumexp_single() {
         assert!(close(logsumexp(&[3.5]), 3.5));
+    }
+
+    /// Regression: `f32::max` ignores NaN, so `m` stayed finite and the NaN
+    /// flowed through `(x - m).exp()` — `logsumexp(&[1.0, NAN])` happened to
+    /// return NaN, but `logsumexp(&[NAN])` returned -inf and
+    /// `logsumexp(&[1.0, INF, NAN])` returned +inf: the outcome depended on
+    /// which neighbours the NaN had. NaN now dominates unconditionally.
+    #[test]
+    fn logsumexp_nan_dominates_in_any_position() {
+        assert!(logsumexp(&[f32::NAN]).is_nan(), "lone NaN used to give -inf");
+        assert!(logsumexp(&[1.0, f32::NAN]).is_nan());
+        assert!(logsumexp(&[f32::NAN, 1.0]).is_nan());
+        assert!(
+            logsumexp(&[1.0, f32::INFINITY, f32::NAN]).is_nan(),
+            "+inf used to swallow the NaN"
+        );
+        assert!(logsumexp(&[f32::NEG_INFINITY, f32::NAN]).is_nan());
+    }
+
+    #[test]
+    fn logsumexp_inf_still_dominates_without_nan() {
+        assert_eq!(logsumexp(&[1.0, f32::INFINITY]), f32::INFINITY);
+        assert_eq!(logsumexp(&[f32::NEG_INFINITY; 3]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn streaming_logsumexp_matches_batch() {
+        let xs = [0.1f32, 0.7, -0.3, 2.5, -8.0, 0.0];
+        let mut acc = StreamingLogSumExp::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), xs.len());
+        assert_eq!(acc.max(), 2.5);
+        assert!(close(acc.value(), logsumexp(&xs)));
+    }
+
+    #[test]
+    fn streaming_logsumexp_empty_and_non_finite() {
+        let mut acc = StreamingLogSumExp::new();
+        assert_eq!(acc.value(), f32::NEG_INFINITY);
+        acc.push(f32::NAN);
+        acc.push(f32::INFINITY);
+        assert_eq!(acc.count(), 0, "non-finite values are skipped");
+        acc.push(3.5);
+        assert!(close(acc.value(), 3.5));
+    }
+
+    #[test]
+    fn streaming_logsumexp_merge_is_concatenation() {
+        let xs = [1000.0f32, -4.0, 999.5, 0.25, 1000.5, 7.0];
+        let (left, right) = xs.split_at(2);
+        let mut a = StreamingLogSumExp::new();
+        for &x in left {
+            a.push(x);
+        }
+        let mut b = StreamingLogSumExp::new();
+        for &x in right {
+            b.push(x);
+        }
+        let mut whole = StreamingLogSumExp::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max(), "the running max is partition-exact");
+        assert!(close(a.value(), whole.value()));
+        assert!(close(a.value(), logsumexp(&xs)));
+        // Merging an empty accumulator in either direction is the identity.
+        let empty = StreamingLogSumExp::new();
+        let before = a;
+        a.merge(&empty);
+        assert_eq!(a, before);
+        let mut e = StreamingLogSumExp::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn streaming_logsumexp_max_partition_invariant_over_large_stream() {
+        // 10k values, three different shard sizes: the max must be
+        // bit-identical, the mass within f64 round-off of the batch value.
+        let values: Vec<f32> = (0..10_000).map(|i| ((i * 37) % 1000) as f32 / 100.0).collect();
+        let batch = logsumexp(&values);
+        for shard in [1usize, 7, 1024] {
+            let mut whole = StreamingLogSumExp::new();
+            for chunk in values.chunks(shard) {
+                let mut acc = StreamingLogSumExp::new();
+                for &v in chunk {
+                    acc.push(v);
+                }
+                whole.merge(&acc);
+            }
+            assert_eq!(whole.max(), 9.99);
+            assert!(
+                (whole.value() - batch).abs() < 1e-4,
+                "shard={shard}: {} vs {batch}",
+                whole.value()
+            );
+        }
     }
 
     #[test]
@@ -313,6 +526,36 @@ mod tests {
         let d = p.as_slice();
         assert!(close(d[0] + d[1] + d[2], 1.0));
         assert!(close(d[3] + d[4] + d[5], 1.0));
+    }
+
+    /// Regression: `softmax_rows` divided by the row sum unconditionally,
+    /// so an all-`-inf` row (sum 0) or a NaN logit (sum NaN) produced a row
+    /// of NaN probabilities; the slice `softmax` already guarded this.
+    #[test]
+    fn softmax_rows_degenerate_rows_fall_back_to_uniform() {
+        let t = Tensor::from_vec(
+            &[3, 2],
+            vec![f32::NEG_INFINITY, f32::NEG_INFINITY, 1.0, f32::NAN, 1.0, 3.0],
+        )
+        .unwrap();
+        let p = softmax_rows(&t).unwrap();
+        let d = p.as_slice();
+        assert!(close(d[0], 0.5) && close(d[1], 0.5), "all -inf row: uniform, got {d:?}");
+        assert!(close(d[2], 0.5) && close(d[3], 0.5), "NaN row: uniform, got {d:?}");
+        // The healthy row is untouched by the guard.
+        let healthy = softmax(&[1.0, 3.0]);
+        assert_eq!(&d[4..6], &healthy[..]);
+    }
+
+    #[test]
+    fn softmax_rows_matches_slice_softmax_on_healthy_input() {
+        let rows = [[0.5f32, -1.0, 2.0], [1e4, 1e4 + 1.0, 0.0]];
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let t = Tensor::from_vec(&[2, 3], flat).unwrap();
+        let p = softmax_rows(&t).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&p.as_slice()[i * 3..(i + 1) * 3], &softmax(row)[..]);
+        }
     }
 
     #[test]

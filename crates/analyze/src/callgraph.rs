@@ -1,0 +1,356 @@
+//! The workspace call graph: a symbol table over every file's item tree,
+//! call-site extraction from function bodies, and reachability from the
+//! round-loop roots.
+//!
+//! Resolution is *conservative by construction* — the graph may contain
+//! edges the compiler would never take, but must never miss one the
+//! runtime can take, because the panic-reachability and determinism rules
+//! treat "unreachable" as "exempt". Concretely:
+//!
+//! * a method call `x.foo(…)` resolves to **every** workspace method named
+//!   `foo` that takes a receiver (trait dispatch cannot be resolved
+//!   lexically, so all impls are assumed callable);
+//! * a qualified call `a::b::foo(…)` resolves to the candidates named
+//!   `foo` whose module/impl/file context matches the qualifier segments —
+//!   and falls back to *all* candidates named `foo` when the qualifier
+//!   matches nothing we know (an aliased import, a re-export);
+//! * a bare call `foo(…)` resolves to every workspace function named
+//!   `foo` without a receiver;
+//! * `Self::foo(…)` resolves within the caller's `impl` type.
+//!
+//! Functions inside `#[cfg(test)]` regions are excluded from the graph
+//! entirely (not nodes, not candidates): test harness code is not shipped
+//! and must not drag library functions into the round-loop contract.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::FnItem;
+use crate::rules::SourceFile;
+use std::collections::HashMap;
+
+/// One parsed file plus its item tree — the unit the workspace passes
+/// operate over.
+pub struct WorkspaceFile {
+    /// The lexed, suppression- and test-range-annotated source.
+    pub source: SourceFile,
+    /// Every `fn` item in the file.
+    pub fns: Vec<FnItem>,
+    /// Whether this file participates in the call graph (globally excluded
+    /// paths — tests, benches, examples — are parsed but not graphed).
+    pub graphed: bool,
+}
+
+/// A workspace of parsed files. Indexes into `files` are stable and used
+/// as the `file` half of a [`FnKey`].
+pub struct Workspace {
+    /// All parsed files, in walk (sorted-path) order.
+    pub files: Vec<WorkspaceFile>,
+}
+
+/// Identifies one function: (file index, index into that file's `fns`).
+pub type FnKey = (usize, usize);
+
+impl Workspace {
+    /// The function item behind a key.
+    pub fn item(&self, key: FnKey) -> &FnItem {
+        &self.files[key.0].fns[key.1]
+    }
+
+    /// Human name of a function: `Type::name` for methods, `name` for free
+    /// functions.
+    pub fn qualified_name(&self, key: FnKey) -> String {
+        let f = self.item(key);
+        match &f.self_type {
+            Some(ty) => format!("{ty}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+}
+
+/// One call site extracted from a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path segments as written: `["stages", "sampling", "run"]` for
+    /// `stages::sampling::run(…)`, `["run"]` for a bare or method call.
+    pub segments: Vec<String>,
+    /// Whether this was a `.name(…)` method call.
+    pub is_method: bool,
+}
+
+/// The resolved call graph plus the root set and what is reachable from it.
+pub struct CallGraph {
+    /// Global node order: every non-test function of every graphed file.
+    pub nodes: Vec<FnKey>,
+    /// `edges[i]` = indices (into `nodes`) this node may call.
+    pub edges: Vec<Vec<usize>>,
+    node_of: HashMap<FnKey, usize>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph over every non-test function of the workspace's
+    /// graphed files.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut node_of = HashMap::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (fi, wf) in ws.files.iter().enumerate() {
+            if !wf.graphed {
+                continue;
+            }
+            for (gi, f) in wf.fns.iter().enumerate() {
+                if wf.source.in_test_code(f.line) {
+                    continue;
+                }
+                let id = nodes.len();
+                nodes.push((fi, gi));
+                node_of.insert((fi, gi), id);
+                by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+        let mut graph = CallGraph { nodes, edges: Vec::new(), node_of, by_name };
+        let mut edges = Vec::with_capacity(graph.nodes.len());
+        for &key in &graph.nodes {
+            let wf = &ws.files[key.0];
+            let item = &wf.fns[key.1];
+            let mut out = Vec::new();
+            if let Some((lo, hi)) = item.body {
+                let code = wf.source.code();
+                for call in extract_calls(&code[lo..hi]) {
+                    out.extend(graph.resolve(ws, key, &call));
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges.push(out);
+        }
+        graph.edges = edges;
+        graph
+    }
+
+    /// The node id of a function, if it is in the graph.
+    pub fn node(&self, key: FnKey) -> Option<usize> {
+        self.node_of.get(&key).copied()
+    }
+
+    /// Resolve one call site from `caller` to candidate node ids. See the
+    /// module docs for the conservatism contract.
+    pub fn resolve(&self, ws: &Workspace, caller: FnKey, call: &CallSite) -> Vec<usize> {
+        let Some(name) = call.segments.last() else { return Vec::new() };
+        let Some(cands) = self.by_name.get(name) else { return Vec::new() };
+        if call.is_method {
+            // Trait dispatch cannot be resolved lexically: any same-named
+            // method with a receiver may be the target.
+            return cands
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let f = ws.item(self.nodes[id]);
+                    f.has_receiver && f.self_type.is_some()
+                })
+                .collect();
+        }
+        let quals = &call.segments[..call.segments.len() - 1];
+        if quals.is_empty() {
+            // Bare call: free functions and associated functions brought in
+            // by `use` look identical; keep both kinds of receiver-less fn.
+            return cands
+                .iter()
+                .copied()
+                .filter(|&id| !ws.item(self.nodes[id]).has_receiver)
+                .collect();
+        }
+        let caller_ty = ws.item(caller).self_type.clone();
+        let matched: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let key = self.nodes[id];
+                quals.iter().all(|q| qualifier_matches(ws, key, q, caller_ty.as_deref()))
+            })
+            .collect();
+        if matched.is_empty() {
+            // Unknown qualifier (re-export, alias, std shadow): keep every
+            // candidate rather than silently dropping an edge.
+            cands.clone()
+        } else {
+            matched
+        }
+    }
+
+    /// BFS from `roots` (node ids). Returns, for each node, `Some(root)` —
+    /// the id of the root it was first reached from — or `None` when
+    /// unreachable. Roots map to themselves.
+    pub fn reachable_from(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut origin: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if r < self.nodes.len() && origin[r].is_none() {
+                origin[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            let root = origin[n];
+            for &m in &self.edges[n] {
+                if origin[m].is_none() {
+                    origin[m] = root;
+                    queue.push_back(m);
+                }
+            }
+        }
+        origin
+    }
+}
+
+/// Segments that name scopes, not modules we can match (`crate::foo::bar`
+/// should match on `foo`/`bar` only).
+const SCOPE_SEGMENTS: [&str; 5] = ["crate", "self", "super", "std", "core"];
+
+/// Whether qualifier segment `q` is consistent with function `key`: it
+/// names the fn's impl type, one of its inline modules, a path component
+/// of its file, or — for `Self` — the caller's own impl type.
+fn qualifier_matches(ws: &Workspace, key: FnKey, q: &str, caller_ty: Option<&str>) -> bool {
+    if SCOPE_SEGMENTS.contains(&q) {
+        return true; // scope markers constrain nothing we can check
+    }
+    let f = ws.item(key);
+    if q == "Self" {
+        return match (caller_ty, &f.self_type) {
+            (Some(c), Some(t)) => c == t,
+            _ => false,
+        };
+    }
+    if f.self_type.as_deref() == Some(q) || f.modules.iter().any(|m| m == q) {
+        return true;
+    }
+    // File path components: `stages::sampling::run` matches
+    // `crates/fl/src/stages/sampling.rs`; crate idents `fedcav_fl` match
+    // the `crates/fl/` component.
+    let path = &ws.files[key.0].source.path;
+    let stem = q.strip_prefix("fedcav_").unwrap_or(q);
+    path.split('/').any(|c| c == q || c == stem || c.strip_suffix(".rs") == Some(q))
+}
+
+/// Keywords that look like a call head when followed by `(` but are not.
+const NON_CALL_KEYWORDS: [&str; 10] =
+    ["if", "while", "match", "for", "loop", "return", "in", "as", "fn", "move"];
+
+/// Extract every call site from a body token slice.
+pub fn extract_calls(body: &[&Token]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = body[i];
+        if t.kind != TokenKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        // A `fn` keyword right before means this ident is a definition.
+        if i > 0 && body[i - 1].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let is_method = i > 0 && body[i - 1].is_punct('.');
+        // Collect the `a::b::c` path (methods have a single segment).
+        let mut segments = vec![t.text.clone()];
+        let mut j = i + 1;
+        if !is_method {
+            while j + 2 < body.len() + 1
+                && body.get(j).is_some_and(|p| p.is_punct(':'))
+                && body.get(j + 1).is_some_and(|p| p.is_punct(':'))
+            {
+                match body.get(j + 2) {
+                    Some(n) if n.kind == TokenKind::Ident => {
+                        segments.push(n.text.clone());
+                        j += 3;
+                    }
+                    // Turbofish `::<…>`: skip the generic args.
+                    Some(n) if n.is_punct('<') => {
+                        j = skip_angles(body, j + 2);
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        } else if body.get(j).is_some_and(|p| p.is_punct(':'))
+            && body.get(j + 1).is_some_and(|p| p.is_punct(':'))
+            && body.get(j + 2).is_some_and(|p| p.is_punct('<'))
+        {
+            // `.collect::<Vec<_>>(…)`
+            j = skip_angles(body, j + 2);
+        }
+        // A macro (`name!(…)`) is not a function call.
+        if body.get(j).is_some_and(|p| p.is_punct('!')) {
+            i = j + 1;
+            continue;
+        }
+        if body.get(j).is_some_and(|p| p.is_punct('(')) {
+            out.push(CallSite { segments, is_method });
+        }
+        // Resume after the head (not after the args: arguments may contain
+        // further calls).
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Skip a balanced `<…>` starting at the `<` at `open`; `->`/`=>` arrows do
+/// not close angles. Returns the index just past the matching `>`.
+fn skip_angles(body: &[&Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < body.len() {
+        let t = body[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>')
+            && !(j > 0 && (body[j - 1].is_punct('-') || body[j - 1].is_punct('=')))
+        {
+            depth -= 1;
+            if depth <= 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    body.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn calls(src: &str) -> Vec<CallSite> {
+        let toks = lex(src);
+        let code: Vec<&Token> = toks.iter().filter(|t| !t.is_comment()).collect();
+        extract_calls(&code)
+    }
+
+    #[test]
+    fn bare_path_and_method_calls_are_extracted() {
+        let cs = calls("{ helper(); stages::sampling::run(ctx); x.validate(n); }");
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].segments, vec!["helper"]);
+        assert!(!cs[0].is_method);
+        assert_eq!(cs[1].segments, vec!["stages", "sampling", "run"]);
+        assert_eq!(cs[2].segments, vec!["validate"]);
+        assert!(cs[2].is_method);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let cs = calls("{ if x(y) { println!(\"{}\", z) } match w(v) { _ => {} } }");
+        let names: Vec<&str> = cs.iter().map(|c| c.segments.last().unwrap().as_str()).collect();
+        assert_eq!(names, vec!["x", "w"]);
+    }
+
+    #[test]
+    fn turbofish_is_a_call() {
+        let cs = calls("{ let v = it.collect::<Vec<Vec<f32>>>(); parse::<u32>(s); }");
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].segments, vec!["collect"]);
+        assert!(cs[0].is_method);
+        assert_eq!(cs[1].segments, vec!["parse"]);
+    }
+}

@@ -1,8 +1,15 @@
-//! Drives the rules over source files: path scoping, test-region and
-//! suppression filtering, deterministic ordering.
+//! Drives the rules over source files: the per-file pass (path scoping,
+//! test-region and suppression filtering) and the semantic workspace pass
+//! (item parsing, call-graph construction, reachability, workspace rules),
+//! with deterministic output ordering.
 
+use crate::callgraph::{CallGraph, Workspace, WorkspaceFile};
 use crate::diagnostics::{Diagnostic, Severity};
-use crate::rules::{default_rules, Config, Rule, SourceFile};
+use crate::parser::parse_items;
+use crate::rules::{
+    default_rules, default_workspace_rules, Config, Rule, SourceFile, WorkspaceContext,
+    WorkspaceRule,
+};
 use crate::suppress::BAD_SUPPRESSION;
 use std::fs;
 use std::path::Path;
@@ -10,13 +17,15 @@ use std::path::Path;
 /// A configured rule set ready to lint files.
 pub struct Engine {
     rules: Vec<Box<dyn Rule>>,
+    ws_rules: Vec<Box<dyn WorkspaceRule>>,
     config: Config,
 }
 
 impl Engine {
-    /// The standard engine: all rules, the given scoping config.
+    /// The standard engine: all per-file and workspace rules, the given
+    /// scoping config.
     pub fn with_default_rules(config: Config) -> Engine {
-        Engine { rules: default_rules(), config }
+        Engine { rules: default_rules(), ws_rules: default_workspace_rules(), config }
     }
 
     /// The configuration in force.
@@ -24,23 +33,44 @@ impl Engine {
         &self.config
     }
 
-    /// `(name, description)` of every registered rule.
+    /// `(name, description)` of every registered rule — workspace (semantic)
+    /// rules first, then the per-file rules.
     pub fn rule_list(&self) -> Vec<(&'static str, &'static str)> {
-        self.rules.iter().map(|r| (r.name(), r.description())).collect()
+        self.ws_rules
+            .iter()
+            .map(|r| (r.name(), r.description()))
+            .chain(self.rules.iter().map(|r| (r.name(), r.description())))
+            .collect()
     }
 
-    /// Lint one file's source text. `path` must be the workspace-relative,
-    /// forward-slash form — it is matched against the config and reported in
-    /// findings verbatim.
+    /// Whether `name` is a registered rule (either kind).
+    fn known_rule(&self, name: &str) -> bool {
+        self.rules.iter().any(|r| r.name() == name)
+            || self.ws_rules.iter().any(|r| r.name() == name)
+    }
+
+    /// Lint one file's source text with the **per-file rules only**. The
+    /// semantic rules need the whole workspace; use [`Engine::analyze_sources`]
+    /// or [`Engine::lint_files`] for those. `path` must be the
+    /// workspace-relative, forward-slash form — it is matched against the
+    /// config and reported in findings verbatim.
     pub fn lint_source(&self, path: &str, src: &str) -> Vec<Diagnostic> {
         if !self.config.lints_path(path) {
             return Vec::new();
         }
-        let (file, mut diags) = SourceFile::parse(path, src);
+        let (file, parse_diags) = SourceFile::parse(path, src);
+        let mut diags = self.check_file(&file, parse_diags);
+        diags.sort_by_key(|d| (d.line, d.col));
+        diags
+    }
+
+    /// The per-file pass over one parsed file: bad-suppression findings plus
+    /// every per-file rule, scope/test/suppression filtered.
+    fn check_file(&self, file: &SourceFile, mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
         // An allow naming a rule that doesn't exist silences nothing — most
         // likely a typo that leaves a real finding uncovered. Flag it.
         for s in &file.suppressions {
-            if !self.rules.iter().any(|r| r.name() == s.rule) {
+            if !self.known_rule(&s.rule) {
                 diags.push(Diagnostic {
                     file: file.path.clone(),
                     line: s.line,
@@ -55,41 +85,107 @@ impl Engine {
         for rule in &self.rules {
             let scope = self.config.rules_for(rule.name());
             if let Some(scope) = scope {
-                if !scope.applies_to(path) {
+                if !scope.applies_to(&file.path) {
                     continue;
                 }
             }
             let skip_tests = scope.map(|s| s.skip_test_code).unwrap_or(false);
             let mut found = Vec::new();
-            rule.check(&file, &code, &mut found);
+            rule.check(file, &code, &mut found);
             found.retain(|d| !(skip_tests && file.in_test_code(d.line)));
             found.retain(|d| !file.suppressed(d.rule, d.line));
             diags.extend(found);
         }
-        diags.sort_by_key(|d| (d.line, d.col));
         diags
     }
 
-    /// Lint a list of files under `root`. Paths are reported relative to
-    /// `root`. Returns `(findings, io_errors)` — an unreadable file is an
-    /// error string, never a crash or a silent skip.
+    /// Run the **full pipeline** — per-file rules and the semantic workspace
+    /// pass — over in-memory sources. Each entry is `(path, source)` with
+    /// workspace-relative forward-slash paths. This is both the engine of
+    /// [`Engine::lint_files`] and the fixture entry point: tests hand it a
+    /// synthetic workspace and assert on reachability-scoped findings.
+    pub fn analyze_sources(&self, sources: &[(String, String)]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let mut files = Vec::new();
+        for (path, src) in sources {
+            let (file, parse_diags) = SourceFile::parse(path, src);
+            let linted = self.config.lints_path(path);
+            let graphed = linted && self.config.graphs_path(path);
+            if linted {
+                diags.extend(self.check_file(&file, parse_diags));
+            }
+            let fns = parse_items(&file.code());
+            files.push(WorkspaceFile { source: file, fns, graphed });
+        }
+        let ws = Workspace { files };
+        diags.extend(self.workspace_pass(&ws));
+        diags.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        diags.dedup_by(|a, b| {
+            a.file == b.file && a.line == b.line && a.col == b.col && a.rule == b.rule
+        });
+        diags
+    }
+
+    /// The semantic pass: build the call graph, mark what is reachable from
+    /// the configured roots, run the workspace rules, and filter each
+    /// finding through the rule's exemption paths, test regions, and inline
+    /// suppressions — the same discipline as the per-file pass.
+    fn workspace_pass(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let graph = CallGraph::build(ws);
+        let mut roots = Vec::new();
+        for (id, &key) in graph.nodes.iter().enumerate() {
+            let f = ws.item(key);
+            if self.config.roots.is_root(f, &ws.files[key.0].source.path) {
+                roots.push(id);
+            }
+        }
+        let origin = graph.reachable_from(&roots);
+        let ctx =
+            WorkspaceContext { ws, graph: &graph, origin: &origin, config: &self.config };
+        let mut out = Vec::new();
+        for rule in &self.ws_rules {
+            let scope = self.config.rules_for(rule.name());
+            let skip_tests = scope.map(|s| s.skip_test_code).unwrap_or(false);
+            let mut found = Vec::new();
+            rule.check(&ctx, &mut found);
+            found.retain(|d| {
+                if scope.is_some_and(|s| !s.applies_to(&d.file)) {
+                    return false;
+                }
+                let Some(wf) = ws.files.iter().find(|wf| wf.source.path == d.file) else {
+                    return true;
+                };
+                if skip_tests && wf.source.in_test_code(d.line) {
+                    return false;
+                }
+                !wf.source.suppressed(d.rule, d.line)
+            });
+            out.extend(found);
+        }
+        out
+    }
+
+    /// Lint a list of files under `root` with the full pipeline. Paths are
+    /// reported relative to `root`. Returns `(findings, io_errors)` — an
+    /// unreadable file is an error string, never a crash or a silent skip.
     pub fn lint_files(
         &self,
         root: &Path,
         files: &[std::path::PathBuf],
     ) -> (Vec<Diagnostic>, Vec<String>) {
-        let mut diags = Vec::new();
+        let mut sources = Vec::new();
         let mut errors = Vec::new();
         for f in files {
             let rel = f.strip_prefix(root).unwrap_or(f);
             let rel = rel.to_string_lossy().replace('\\', "/");
             match fs::read_to_string(f) {
-                Ok(src) => diags.extend(self.lint_source(&rel, &src)),
+                Ok(src) => sources.push((rel, src)),
                 Err(e) => errors.push(format!("{}: {e}", f.display())),
             }
         }
-        diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
-        (diags, errors)
+        (self.analyze_sources(&sources), errors)
     }
 }
 
@@ -99,6 +195,10 @@ mod tests {
 
     fn engine() -> Engine {
         Engine::with_default_rules(Config::fedcav_default())
+    }
+
+    fn srcs(files: &[(&str, &str)]) -> Vec<(String, String)> {
+        files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect()
     }
 
     #[test]
@@ -121,7 +221,49 @@ mod tests {
         let names: Vec<&str> = engine().rule_list().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["no-panic-in-round-loop", "raw-exp-ln", "unchecked-float-cmp", "no-debug-output"]
+            vec![
+                "no-panic-in-round-loop",
+                "hash-iteration-order",
+                "wallclock-in-round-loop",
+                "spawn-outside-executor",
+                "env-read-outside-override",
+                "raw-exp-ln",
+                "unchecked-float-cmp",
+                "no-debug-output",
+            ]
+        );
+    }
+
+    #[test]
+    fn panic_reachability_follows_the_call_chain() {
+        // root (Simulation method) → helper → deep: the unwrap in `deep` is
+        // flagged; the unwrap in the uncalled `orphan` is not.
+        let d = engine().analyze_sources(&srcs(&[
+            (
+                "crates/fl/src/server.rs",
+                "pub struct Simulation;\nimpl Simulation {\n    pub fn run_round(&mut self) { helper(); }\n}\nfn helper() { deep(); }\n",
+            ),
+            (
+                "crates/core/src/util.rs",
+                "pub fn deep() { let v: Vec<u32> = Vec::new(); let _ = v.first().unwrap(); }\npub fn orphan() { let v: Vec<u32> = Vec::new(); let _ = v.first().unwrap(); }\n",
+            ),
+        ]));
+        let np: Vec<&Diagnostic> =
+            d.iter().filter(|d| d.rule == "no-panic-in-round-loop").collect();
+        assert_eq!(np.len(), 1, "only the reachable unwrap is flagged: {d:?}");
+        assert_eq!(np[0].file, "crates/core/src/util.rs");
+        assert!(np[0].message.contains("reachable from `Simulation::run_round`"));
+    }
+
+    #[test]
+    fn workspace_findings_respect_suppressions_and_test_code() {
+        let d = engine().analyze_sources(&srcs(&[(
+            "crates/fl/src/server.rs",
+            "pub struct Simulation;\nimpl Simulation {\n    pub fn run_round(&mut self) {\n        // fedcav-lint: allow(no-panic-in-round-loop, reason = \"len checked above\")\n        let _ = [1][0];\n    }\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = [1][0]; }\n}\n",
+        )]));
+        assert!(
+            d.iter().all(|d| d.rule != "no-panic-in-round-loop"),
+            "suppressed + test-code findings filtered: {d:?}"
         );
     }
 }

@@ -2,19 +2,27 @@
 //!
 //! ```text
 //! fedcav-analyze [ROOT] [--deny] [--json] [--json-out PATH] [--list-rules]
+//!                [--baseline PATH] [--write-baseline PATH]
 //! ```
 //!
 //! * `ROOT` — directory to walk (default: the workspace root containing
 //!   this crate, else the current directory).
-//! * `--deny` — exit 1 if any finding is produced (CI mode).
+//! * `--deny` — exit 1 if any non-baselined finding is produced (CI mode).
 //! * `--json` — print findings as a JSON array instead of human lines.
 //! * `--json-out PATH` — additionally write the JSON report to `PATH`.
 //! * `--list-rules` — print the registered rules and exit.
+//! * `--baseline PATH` — tolerate the legacy findings listed in `PATH`
+//!   (see [`fedcav_analyze::baseline`]). When the flag is absent,
+//!   `ROOT/analyze-baseline.json` is loaded if it exists.
+//! * `--write-baseline PATH` — write the current findings as a baseline
+//!   file (reasons stamped `TODO` — justify each before committing).
 //!
-//! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
-//! `--deny`, 2 usage or IO error.
+//! Exit codes: 0 clean (or findings without `--deny`), 1 new findings
+//! under `--deny`, 2 usage or IO error (including an unparseable
+//! baseline: a ratchet that cannot be read must not silently admit
+//! findings).
 
-use fedcav_analyze::{render_json, walk_rs_files, Config, Engine};
+use fedcav_analyze::{render_json, walk_rs_files, Baseline, Config, Engine};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,6 +32,8 @@ struct Opts {
     json: bool,
     json_out: Option<PathBuf>,
     list_rules: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn default_root() -> PathBuf {
@@ -38,8 +48,15 @@ fn default_root() -> PathBuf {
 }
 
 fn parse_args() -> Result<Opts, String> {
-    let mut opts =
-        Opts { root: default_root(), deny: false, json: false, json_out: None, list_rules: false };
+    let mut opts = Opts {
+        root: default_root(),
+        deny: false,
+        json: false,
+        json_out: None,
+        list_rules: false,
+        baseline: None,
+        write_baseline: None,
+    };
     let mut args = std::env::args().skip(1);
     let mut root_set = false;
     while let Some(a) = args.next() {
@@ -51,6 +68,14 @@ fn parse_args() -> Result<Opts, String> {
                 opts.json_out = Some(PathBuf::from(p));
             }
             "--list-rules" => opts.list_rules = true,
+            "--baseline" => {
+                let p = args.next().ok_or("--baseline requires a path")?;
+                opts.baseline = Some(PathBuf::from(p));
+            }
+            "--write-baseline" => {
+                let p = args.next().ok_or("--write-baseline requires a path")?;
+                opts.write_baseline = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => return Err("help".to_string()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => {
@@ -65,8 +90,11 @@ fn parse_args() -> Result<Opts, String> {
     Ok(opts)
 }
 
-const USAGE: &str =
-    "usage: fedcav-analyze [ROOT] [--deny] [--json] [--json-out PATH] [--list-rules]";
+const USAGE: &str = "usage: fedcav-analyze [ROOT] [--deny] [--json] [--json-out PATH] \
+                     [--list-rules] [--baseline PATH] [--write-baseline PATH]";
+
+/// The baseline file CI commits at the workspace root.
+const DEFAULT_BASELINE: &str = "analyze-baseline.json";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -95,6 +123,25 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    // Load the ratchet: explicit --baseline must exist and parse; the
+    // implicit root baseline is used only when present.
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .or_else(|| Some(opts.root.join(DEFAULT_BASELINE)).filter(|p| p.is_file()));
+    let baseline = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p).map_err(|e| e.to_string()).and_then(|s| {
+            Baseline::parse(&s)
+        }) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("fedcav-analyze: baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Baseline::empty(),
+    };
+
     let (files, walk_errors) = walk_rs_files(&opts.root);
     let (diags, read_errors) = engine.lint_files(&opts.root, &files);
 
@@ -104,14 +151,53 @@ fn main() -> ExitCode {
         io_failed = true;
     }
 
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, Baseline::render(&diags)) {
+            eprintln!("fedcav-analyze: cannot write {}: {e}", path.display());
+            io_failed = true;
+        } else {
+            eprintln!(
+                "fedcav-analyze: wrote {} entr{} to {} — replace each TODO reason before \
+                 committing",
+                diags.len(),
+                if diags.len() == 1 { "y" } else { "ies" },
+                path.display()
+            );
+        }
+    }
+
+    let outcome = baseline.apply(diags.clone());
+
     if opts.json {
-        println!("{}", render_json(&diags));
+        println!("{}", render_json(&outcome.new));
     } else {
-        for d in &diags {
+        for d in &outcome.new {
             println!("{}", d.human());
         }
-        eprintln!("fedcav-analyze: {} file(s) checked, {} finding(s)", files.len(), diags.len());
+        for (i, d) in &outcome.legacy {
+            eprintln!(
+                "fedcav-analyze: tolerated (baseline: {}): {}",
+                baseline.entries[*i].reason,
+                d.human()
+            );
+        }
+        eprintln!(
+            "fedcav-analyze: {} file(s) checked, {} finding(s) ({} new, {} baselined)",
+            files.len(),
+            diags.len(),
+            outcome.new.len(),
+            outcome.legacy.len()
+        );
     }
+    for i in &outcome.stale {
+        let e = &baseline.entries[*i];
+        eprintln!(
+            "fedcav-analyze: stale baseline entry ({} in {}): matched nothing — delete it",
+            e.rule, e.file
+        );
+    }
+    // The full (pre-baseline) report is the CI artifact: it must show
+    // everything, tolerated or not.
     if let Some(path) = &opts.json_out {
         if let Err(e) = std::fs::write(path, render_json(&diags) + "\n") {
             eprintln!("fedcav-analyze: cannot write {}: {e}", path.display());
@@ -121,7 +207,7 @@ fn main() -> ExitCode {
 
     if io_failed {
         ExitCode::from(2)
-    } else if opts.deny && !diags.is_empty() {
+    } else if opts.deny && !outcome.new.is_empty() {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

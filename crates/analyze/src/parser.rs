@@ -1,0 +1,456 @@
+//! A brace-aware item parser on top of the tolerant lexer.
+//!
+//! [`parse_items`] turns a file's token stream into a flat list of
+//! [`FnItem`]s — every `fn` in the file, each annotated with the inline
+//! module chain it sits in, the `impl`/`trait` block enclosing it (type
+//! and trait names), its source line span, and the token range of its
+//! body. That is exactly the shape the workspace [`crate::callgraph`]
+//! needs to build a symbol table and extract call sites, and the shape
+//! the semantic rules need to scan "only the body of this function".
+//!
+//! Like the lexer, the parser is *tolerant*: it never errors. Input it
+//! cannot make sense of (macro soup, half-edited code) degrades to
+//! fewer/looser items, not a crash — a linter that dies on the file it is
+//! checking helps nobody. It is not a full Rust parser; it understands
+//! precisely enough structure to be right about item boundaries:
+//!
+//! * nested items (`mod` in `mod`, `impl` inside a test `fn`),
+//! * generics with nested angle brackets, where the closing `>>` of
+//!   `Vec<Vec<f32>>` arrives as two separate `>` tokens,
+//! * `->` and `=>` arrows, whose `>` must not close an angle bracket,
+//! * const-generic braces inside `<…>`,
+//! * `fn` pointer types (`let f: fn(usize) -> u32`), which are not items,
+//! * `macro_rules!` definitions, whose bodies are skipped wholesale
+//!   (their `fn` fragments are not items),
+//! * where-clauses containing `Fn() -> T` bounds.
+
+use crate::lexer::Token;
+
+/// One `fn` item (free function, inherent/trait-impl method, or trait
+/// default method) found in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Inline `mod` chain enclosing the item within this file (the file
+    /// itself contributes its path, not an entry here).
+    pub modules: Vec<String>,
+    /// `Self` type name of the enclosing `impl`/`trait` block, if any
+    /// (`impl Foo { fn m() }` → `Some("Foo")`; for a trait definition's
+    /// default method this is the trait name).
+    pub self_type: Option<String>,
+    /// Trait name when the enclosing block is `impl Trait for Type` or a
+    /// `trait Trait { … }` definition.
+    pub trait_name: Option<String>,
+    /// Whether the first parameter is a `self` receiver (method).
+    pub has_receiver: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing `}` (or of the terminating `;`
+    /// for a bodiless signature).
+    pub end_line: u32,
+    /// Half-open range of *code-token* indices (the same indexing as
+    /// [`crate::rules::SourceFile::code`]) spanning the body, braces
+    /// included. `None` for bodiless signatures.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// Whether the code-token index `i` falls inside this item's body.
+    pub fn contains(&self, i: usize) -> bool {
+        self.body.is_some_and(|(lo, hi)| i >= lo && i < hi)
+    }
+}
+
+/// What kind of brace-delimited region the parser is inside.
+#[derive(Debug)]
+enum Scope {
+    /// `mod name { … }`
+    Module(String),
+    /// `impl Type { … }` / `impl Trait for Type { … }`
+    Impl { self_type: String, trait_name: Option<String> },
+    /// `trait Name { … }` definition.
+    TraitDef(String),
+    /// A `fn` body; the index into the output `fns` vec to close out.
+    Fn(usize),
+    /// Any other `{ … }` (struct/enum/match/block/struct literal…).
+    Block,
+}
+
+/// Parse every `fn` item out of `code` — the file's non-comment tokens,
+/// exactly as returned by [`crate::rules::SourceFile::code`].
+pub fn parse_items(code: &[&Token]) -> Vec<FnItem> {
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+
+        // `macro_rules! name { … }`: skip the whole definition; its `fn`
+        // fragments are templates, not items.
+        if t.is_ident("macro_rules") && code.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            let mut j = i + 2;
+            while j < code.len() && !code[j].is_punct('{') {
+                j += 1;
+            }
+            i = skip_balanced(code, j, '{', '}');
+            continue;
+        }
+
+        if t.is_ident("mod") {
+            // `mod name {` opens a module scope; `mod name;` is external.
+            if let Some(name) = code.get(i + 1).filter(|n| is_name(n)) {
+                if code.get(i + 2).is_some_and(|n| n.is_punct('{')) {
+                    stack.push(Scope::Module(name.text.clone()));
+                    i += 3;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_ident("impl") {
+            if let Some((scope, after)) = parse_impl_header(code, i) {
+                stack.push(scope);
+                i = after;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_ident("trait") {
+            if let Some(name) = code.get(i + 1).filter(|n| is_name(n)) {
+                let name = name.text.clone();
+                // Skip generics/supertraits/where-clause up to `{` or `;`.
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                while j < code.len() {
+                    let c = code[j];
+                    if is_angle_open(code, j) {
+                        angle += 1;
+                    } else if is_angle_close(code, j) {
+                        angle -= 1;
+                    } else if c.is_punct('{') && angle <= 0 {
+                        stack.push(Scope::TraitDef(name));
+                        j += 1;
+                        break;
+                    } else if c.is_punct(';') && angle <= 0 {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_ident("fn") {
+            // `fn` is an item only when followed by a name (`fn(` is a
+            // function-pointer type).
+            if let Some(name_tok) = code.get(i + 1).filter(|n| is_name(n)) {
+                let (item, after, has_body) = parse_fn(code, i, name_tok, &stack);
+                fns.push(item);
+                if has_body {
+                    stack.push(Scope::Fn(fns.len() - 1));
+                }
+                i = after;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_punct('{') {
+            stack.push(Scope::Block);
+            i += 1;
+            continue;
+        }
+
+        if t.is_punct('}') {
+            match stack.pop() {
+                Some(Scope::Fn(idx)) => {
+                    if let Some(f) = fns.get_mut(idx) {
+                        f.end_line = t.line;
+                        if let Some((lo, _)) = f.body {
+                            f.body = Some((lo, i + 1));
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => {} // tolerate: stray close brace
+            }
+            i += 1;
+            continue;
+        }
+
+        i += 1;
+    }
+    // Tolerate unterminated bodies: close them at EOF.
+    for s in stack {
+        if let Scope::Fn(idx) = s {
+            if let Some(f) = fns.get_mut(idx) {
+                f.end_line = code.last().map(|t| t.line).unwrap_or(f.line);
+                if let Some((lo, _)) = f.body {
+                    f.body = Some((lo, code.len()));
+                }
+            }
+        }
+    }
+    fns
+}
+
+/// Whether `t` can be an item name (identifier, keywords excluded enough
+/// for our purposes — the lexer does not distinguish).
+fn is_name(t: &Token) -> bool {
+    t.kind == crate::lexer::TokenKind::Ident
+        && !matches!(t.text.as_str(), "for" | "where" | "impl" | "fn" | "mod" | "trait")
+}
+
+/// Whether the `<` at `i` opens a generic-argument list (as opposed to a
+/// less-than comparison, which cannot appear in the header positions where
+/// this is consulted).
+fn is_angle_open(code: &[&Token], i: usize) -> bool {
+    code[i].is_punct('<')
+}
+
+/// Whether the `>` at `i` closes an angle bracket — i.e. is not the tail
+/// of a `->` or `=>` arrow.
+fn is_angle_close(code: &[&Token], i: usize) -> bool {
+    code[i].is_punct('>')
+        && !(i > 0 && (code[i - 1].is_punct('-') || code[i - 1].is_punct('=')))
+}
+
+/// Skip from the opening delimiter at `open_idx` (or the first `open` at or
+/// after it) to just past its matching close. Tolerant: EOF ends the scan.
+fn skip_balanced(code: &[&Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = open_idx;
+    while j < code.len() {
+        if code[j].is_punct(open) {
+            depth += 1;
+        } else if code[j].is_punct(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// Parse an `impl` header starting at the `impl` token. Returns the scope
+/// and the index just past the opening `{`, or `None` when no body brace
+/// is found (e.g. `impl Trait` used as a type — not an item header).
+fn parse_impl_header(code: &[&Token], impl_idx: usize) -> Option<(Scope, usize)> {
+    let mut j = impl_idx + 1;
+    let mut angle = 0i32;
+    // Collected type-path segments at angle depth 0, split on `for`.
+    let mut before_for: Vec<String> = Vec::new();
+    let mut after_for: Vec<String> = Vec::new();
+    let mut seen_for = false;
+    let mut in_where = false;
+    while j < code.len() {
+        let t = code[j];
+        if is_angle_open(code, j) {
+            angle += 1;
+        } else if is_angle_close(code, j) {
+            angle -= 1;
+        } else if t.is_punct('{') {
+            if angle <= 0 {
+                let names = if seen_for { &after_for } else { &before_for };
+                let self_type = names.last().cloned()?;
+                let trait_name =
+                    if seen_for { before_for.last().cloned() } else { None };
+                return Some((Scope::Impl { self_type, trait_name }, j + 1));
+            }
+            // Const-generic expression braces inside `<…>`: skip.
+            j = skip_balanced(code, j, '{', '}');
+            continue;
+        } else if t.is_punct(';') && angle <= 0 {
+            return None; // `impl Foo;`? tolerate as non-item
+        } else if angle <= 0 && t.kind == crate::lexer::TokenKind::Ident {
+            match t.text.as_str() {
+                "for" => seen_for = true,
+                "where" => in_where = true,
+                "dyn" | "mut" | "const" | "unsafe" => {}
+                name if !in_where => {
+                    if seen_for {
+                        after_for.push(name.to_string());
+                    } else {
+                        before_for.push(name.to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse a `fn` item starting at the `fn` keyword, `name_tok` being the
+/// following name token. Returns the item, the index to resume scanning at
+/// (just past the opening `{`, or past the `;`), and whether a body opened.
+fn parse_fn(
+    code: &[&Token],
+    fn_idx: usize,
+    name_tok: &Token,
+    stack: &[Scope],
+) -> (FnItem, usize, bool) {
+    let mut modules = Vec::new();
+    let mut self_type = None;
+    let mut trait_name = None;
+    for s in stack {
+        match s {
+            Scope::Module(m) => modules.push(m.clone()),
+            Scope::Impl { self_type: ty, trait_name: tr } => {
+                self_type = Some(ty.clone());
+                trait_name = tr.clone();
+            }
+            Scope::TraitDef(name) => {
+                self_type = Some(name.clone());
+                trait_name = Some(name.clone());
+            }
+            _ => {}
+        }
+    }
+
+    // Scan the signature: optional generics, the parameter list (checking
+    // for a `self` receiver), return type and where-clause, up to `{`/`;`.
+    let mut j = fn_idx + 2;
+    let mut angle = 0i32;
+    let mut has_receiver = false;
+    let mut seen_params = false;
+    while j < code.len() {
+        let t = code[j];
+        if is_angle_open(code, j) {
+            angle += 1;
+        } else if is_angle_close(code, j) {
+            angle -= 1;
+        } else if t.is_punct('(') && !seen_params && angle <= 0 {
+            let end = skip_balanced(code, j, '(', ')');
+            // A receiver is an ident `self` before the first depth-1 comma.
+            let mut depth = 0usize;
+            for k in j..end {
+                if code[k].is_punct('(') || code[k].is_punct('[') {
+                    depth += 1;
+                } else if code[k].is_punct(')') || code[k].is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                } else if code[k].is_punct(',') && depth == 1 {
+                    break;
+                } else if code[k].is_ident("self") && depth == 1 {
+                    has_receiver = true;
+                    break;
+                }
+            }
+            seen_params = true;
+            j = end;
+            continue;
+        } else if t.is_punct('{') && angle <= 0 && seen_params {
+            let item = FnItem {
+                name: name_tok.text.clone(),
+                modules,
+                self_type,
+                trait_name,
+                has_receiver,
+                line: code[fn_idx].line,
+                end_line: t.line, // provisional; fixed when the body closes
+                body: Some((j, j + 1)), // end fixed when the body closes
+            };
+            return (item, j + 1, true);
+        } else if t.is_punct(';') && angle <= 0 {
+            let item = FnItem {
+                name: name_tok.text.clone(),
+                modules,
+                self_type,
+                trait_name,
+                has_receiver,
+                line: code[fn_idx].line,
+                end_line: t.line,
+                body: None,
+            };
+            return (item, j + 1, false);
+        }
+        j += 1;
+    }
+    // EOF mid-signature: tolerate as a bodiless item.
+    let item = FnItem {
+        name: name_tok.text.clone(),
+        modules,
+        self_type,
+        trait_name,
+        has_receiver,
+        line: code[fn_idx].line,
+        end_line: code.last().map(|t| t.line).unwrap_or(code[fn_idx].line),
+        body: None,
+    };
+    (item, code.len(), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        let toks = lex(src);
+        let code: Vec<&Token> = toks.iter().filter(|t| !t.is_comment()).collect();
+        parse_items(&code)
+    }
+
+    #[test]
+    fn free_fn_and_method_are_distinguished() {
+        let fns = items("fn free() {}\nimpl Foo { fn m(&self) {} fn assoc() {} }\n");
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[0].name, "free");
+        assert!(fns[0].self_type.is_none());
+        assert_eq!(fns[1].self_type.as_deref(), Some("Foo"));
+        assert!(fns[1].has_receiver);
+        assert!(!fns[2].has_receiver);
+    }
+
+    #[test]
+    fn trait_impl_records_trait_and_type() {
+        let fns = items("impl Strategy for FedAvg { fn aggregate(&mut self) {} }");
+        assert_eq!(fns[0].trait_name.as_deref(), Some("Strategy"));
+        assert_eq!(fns[0].self_type.as_deref(), Some("FedAvg"));
+    }
+
+    #[test]
+    fn generic_impl_with_nested_angles_and_where_clause() {
+        let fns = items(
+            "impl<'a, T: Into<Vec<Vec<f32>>>> Runner<T> for Sim<'a, T>\n\
+             where T: Fn() -> Vec<f32> {\n    fn run(&mut self, x: T) -> Vec<f32> { x() }\n}\n",
+        );
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].trait_name.as_deref(), Some("Runner"));
+        assert_eq!(fns[0].self_type.as_deref(), Some("Sim"));
+        assert!(fns[0].has_receiver);
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_item() {
+        let fns = items("fn f() { let g: fn(usize) -> u32 = h; g(1); }");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "f");
+    }
+
+    #[test]
+    fn body_token_range_covers_the_braces() {
+        let src = "fn a() { x(); }\nfn b() {}";
+        let toks = lex(src);
+        let code: Vec<&Token> = toks.iter().filter(|t| !t.is_comment()).collect();
+        let fns = parse_items(&code);
+        let (lo, hi) = fns[0].body.expect("has body");
+        assert!(code[lo].is_punct('{'));
+        assert!(code[hi - 1].is_punct('}'));
+        assert!((lo..hi).any(|i| code[i].is_ident("x")));
+        assert!(!(lo..hi).any(|i| code[i].is_ident("b")));
+    }
+}

@@ -1,16 +1,21 @@
-//! The rule framework: parsed source files, the [`Rule`] trait, and
-//! per-path rule configuration.
+//! The rule framework: parsed source files, the per-file [`Rule`] trait,
+//! the semantic [`WorkspaceRule`] trait, and configuration.
 
 mod debug_output;
+mod determinism;
 mod float_cmp;
 mod no_panic;
 mod raw_exp_ln;
 
 pub use debug_output::NoDebugOutput;
+pub use determinism::{
+    EnvReadOutsideOverride, HashIterationOrder, SpawnOutsideExecutor, WallclockInRoundLoop,
+};
 pub use float_cmp::UncheckedFloatCmp;
-pub use no_panic::NoPanicInRoundLoop;
+pub use no_panic::{scan_panic_sites, NoPanicInRoundLoop};
 pub use raw_exp_ln::RawExpLn;
 
+use crate::callgraph::{CallGraph, FnKey, Workspace};
 use crate::diagnostics::Diagnostic;
 use crate::lexer::{lex, Token, TokenKind};
 use crate::suppress::{self, Suppression};
@@ -138,7 +143,7 @@ fn scan_attr(code: &[&Token], open: usize) -> (bool, usize) {
     (false, code.len())
 }
 
-/// A lint rule: scans one file's tokens and reports findings.
+/// A per-file lint rule: scans one file's tokens and reports findings.
 pub trait Rule {
     /// Kebab-case rule name, used in output, configuration and suppressions.
     fn name(&self) -> &'static str;
@@ -146,6 +151,91 @@ pub trait Rule {
     fn description(&self) -> &'static str;
     /// Scan `code` (the file's non-comment tokens) and push findings.
     fn check(&self, file: &SourceFile, code: &[&Token], out: &mut Vec<Diagnostic>);
+}
+
+/// Everything a semantic pass sees: the parsed workspace, its call graph,
+/// and the reachability map from the configured round-loop roots.
+pub struct WorkspaceContext<'a> {
+    /// Every parsed file with its item tree.
+    pub ws: &'a Workspace,
+    /// The resolved call graph.
+    pub graph: &'a CallGraph,
+    /// For each graph node: `Some(root node id)` it was first reached from,
+    /// or `None` when unreachable from every root.
+    pub origin: &'a [Option<usize>],
+    /// The configuration in force.
+    pub config: &'a Config,
+}
+
+impl WorkspaceContext<'_> {
+    /// Every reachable function, as `(function, witness root)` keys.
+    pub fn reachable(&self) -> impl Iterator<Item = (FnKey, FnKey)> + '_ {
+        self.origin
+            .iter()
+            .enumerate()
+            .filter_map(|(id, o)| o.map(|r| (self.graph.nodes[id], self.graph.nodes[r])))
+    }
+
+    /// The provenance tail appended to semantic findings, so a reader knows
+    /// *why* a function is in scope without consulting the graph.
+    pub fn provenance(&self, key: FnKey, root: FnKey) -> String {
+        let here = self.ws.qualified_name(key);
+        if key == root {
+            format!("in round-loop root `{here}`")
+        } else {
+            format!("in `{here}`, reachable from `{}`", self.ws.qualified_name(root))
+        }
+    }
+}
+
+/// A semantic rule: runs once over the whole workspace with call-graph
+/// context, instead of file by file.
+pub trait WorkspaceRule {
+    /// Kebab-case rule name, used in output, configuration and suppressions.
+    fn name(&self) -> &'static str;
+    /// One-line description of the invariant the rule encodes.
+    fn description(&self) -> &'static str;
+    /// Inspect the workspace and push findings.
+    fn check(&self, ctx: &WorkspaceContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// Where reachability starts: the round-loop entry points. Everything the
+/// call graph can reach from here inherits the no-panic and determinism
+/// contracts — there is no per-file include list to maintain.
+#[derive(Debug, Clone, Default)]
+pub struct RootSpec {
+    /// Methods of named impl types: `("Simulation", None)` = every method,
+    /// `("Simulation", Some("run_round"))` = that one.
+    pub type_methods: Vec<(String, Option<String>)>,
+    /// Every function in an `impl <trait> for …` block (or trait default
+    /// method) for these trait names. Conservative dispatch means these are
+    /// reachable from any `dyn` call site; naming them as roots also covers
+    /// impls that are only constructed by user code.
+    pub trait_impls: Vec<String>,
+    /// Free functions in files whose path contains one of these substrings
+    /// (the `fl::stages` pipeline functions).
+    pub free_fn_paths: Vec<String>,
+}
+
+impl RootSpec {
+    /// Whether `f` (an item of the file at `path`) is a root.
+    pub fn is_root(&self, f: &crate::parser::FnItem, path: &str) -> bool {
+        if let Some(ty) = f.self_type.as_deref() {
+            if self
+                .type_methods
+                .iter()
+                .any(|(t, m)| t == ty && m.as_deref().is_none_or(|m| m == f.name))
+            {
+                return true;
+            }
+        }
+        if let Some(tr) = f.trait_name.as_deref() {
+            if self.trait_impls.iter().any(|t| t == tr) {
+                return true;
+            }
+        }
+        f.self_type.is_none() && self.free_fn_paths.iter().any(|p| path.contains(p.as_str()))
+    }
 }
 
 /// Where one rule applies, expressed as substring matches on the
@@ -170,21 +260,40 @@ impl PathRules {
     }
 }
 
-/// The engine's configuration: global path excludes plus per-rule scoping.
+/// The engine's configuration: global path excludes, per-rule scoping, and
+/// the reachability roots for the semantic passes.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
     /// Paths containing any of these are never linted (test suites, bench
     /// harnesses, examples, build output).
     pub global_exclude: Vec<String>,
+    /// Path *prefixes* of crates excluded from the call graph: code that
+    /// sits above the simulation in the dependency graph (the bench
+    /// harness, the analyzer itself, the top-level binary). Nothing the
+    /// round loop links against can call into these, so conservative
+    /// name-based dispatch must not manufacture edges to them. Their
+    /// `Strategy`-like impls (bench-local fault injectors) likewise run
+    /// only under the harness, never inside the shipped loop.
+    pub graph_exclude: Vec<String>,
     /// Per-rule path scoping, keyed by rule name. A rule with no entry runs
-    /// everywhere (minus global excludes), test code included.
+    /// everywhere (minus global excludes), test code included. For semantic
+    /// rules the entry holds *exemptions* (sanctioned sites), not scope —
+    /// scope is call-graph reachability.
     pub per_rule: Vec<(&'static str, PathRules)>,
+    /// Round-loop reachability roots for the semantic passes.
+    pub roots: RootSpec,
 }
 
 impl Config {
     /// Whether `path` is linted at all.
     pub fn lints_path(&self, path: &str) -> bool {
         !self.global_exclude.iter().any(|p| path.contains(p.as_str()))
+    }
+
+    /// Whether `path` participates in the call graph (and therefore in the
+    /// semantic rules' scope).
+    pub fn graphs_path(&self, path: &str) -> bool {
+        !self.graph_exclude.iter().any(|p| path.starts_with(p.as_str()))
     }
 
     /// The scoping for `rule`, if configured.
@@ -194,18 +303,17 @@ impl Config {
 
     /// The workspace policy: which invariant holds where.
     ///
-    /// * `no-panic-in-round-loop` — the server round-loop driver, the six
-    ///   pipeline stages under `crates/fl/src/stages/`, the streaming
-    ///   sharded driver and its procedural population
-    ///   (`crates/fl/src/sharded.rs`, `crates/fl/src/population.rs`) plus
-    ///   the scalar accumulator it finalizes weights with
-    ///   (`crates/core/src/streaming.rs`), the client executor
-    ///   they train on, the aggregation/validation helpers they drive, the
-    ///   tensor kernel hot paths (`matmul.rs`, `im2col.rs`) client
-    ///   training runs on, every aggregation strategy the round loop can
-    ///   call (the Byzantine-robust zoo included: a defense pushed past its
-    ///   tolerance bound must degrade and report a breach, never die), and
-    ///   the delivery-stage attack interceptors that run inside the loop.
+    /// * `no-panic-in-round-loop` and the determinism family
+    ///   (`hash-iteration-order`, `wallclock-in-round-loop`,
+    ///   `spawn-outside-executor`, `env-read-outside-override`) are
+    ///   *semantic*: they apply to every function the call graph marks
+    ///   reachable from the [`RootSpec`] roots — `Simulation`,
+    ///   `ShardedSimulation`, `CentralizedTrainer`, the `fl::stages`
+    ///   pipeline functions, and every `Strategy`/`FaultModel`/
+    ///   `Interceptor` impl. Their `PathRules` entries list only the
+    ///   sanctioned exemption sites (`fedcav-trace` may read the clock;
+    ///   `fl::executor` may spawn and read `FEDCAV_EXECUTOR`;
+    ///   `tensor::matmul` may read `FEDCAV_KERNELS`).
     /// * `raw-exp-ln` — everywhere except `fedcav-tensor::numerics`, the one
     ///   sanctioned home of clipped/max-subtracted exp/ln (Eq. 7/9, §4.2.3).
     /// * `unchecked-float-cmp` — everywhere, tests included: `total_cmp` is
@@ -225,29 +333,44 @@ impl Config {
                 "benches/".to_string(),
                 "examples/".to_string(),
             ],
+            graph_exclude: vec![
+                "crates/analyze/".to_string(),
+                "crates/bench/".to_string(),
+                "src/".to_string(),
+            ],
             per_rule: vec![
                 (
                     "no-panic-in-round-loop",
+                    PathRules { include: Vec::new(), exclude: Vec::new(), skip_test_code: true },
+                ),
+                (
+                    "hash-iteration-order",
+                    PathRules { include: Vec::new(), exclude: Vec::new(), skip_test_code: true },
+                ),
+                (
+                    "wallclock-in-round-loop",
                     PathRules {
-                        include: vec![
-                            "crates/fl/src/server.rs".to_string(),
-                            "crates/fl/src/stages/".to_string(),
-                            "crates/fl/src/sharded.rs".to_string(),
-                            "crates/fl/src/population.rs".to_string(),
+                        include: Vec::new(),
+                        exclude: vec!["crates/trace/".to_string()],
+                        skip_test_code: true,
+                    },
+                ),
+                (
+                    "spawn-outside-executor",
+                    PathRules {
+                        include: Vec::new(),
+                        exclude: vec!["crates/fl/src/executor.rs".to_string()],
+                        skip_test_code: true,
+                    },
+                ),
+                (
+                    "env-read-outside-override",
+                    PathRules {
+                        include: Vec::new(),
+                        exclude: vec![
                             "crates/fl/src/executor.rs".to_string(),
-                            "crates/fl/src/aggregate.rs".to_string(),
-                            "crates/core/src/streaming.rs".to_string(),
-                            "crates/fl/src/update.rs".to_string(),
-                            "crates/fl/src/robust.rs".to_string(),
-                            "crates/fl/src/krum.rs".to_string(),
-                            "crates/fl/src/normclip.rs".to_string(),
-                            "crates/fl/src/learned.rs".to_string(),
-                            "crates/fl/src/sizeguard.rs".to_string(),
-                            "crates/attack/src/dishonest.rs".to_string(),
                             "crates/tensor/src/matmul.rs".to_string(),
-                            "crates/tensor/src/im2col.rs".to_string(),
                         ],
-                        exclude: Vec::new(),
                         skip_test_code: true,
                     },
                 ),
@@ -277,17 +400,36 @@ impl Config {
                     },
                 ),
             ],
+            roots: RootSpec {
+                type_methods: vec![
+                    ("Simulation".to_string(), None),
+                    ("ShardedSimulation".to_string(), None),
+                    ("CentralizedTrainer".to_string(), None),
+                ],
+                trait_impls: vec![
+                    "Strategy".to_string(),
+                    "FaultModel".to_string(),
+                    "Interceptor".to_string(),
+                ],
+                free_fn_paths: vec!["crates/fl/src/stages/".to_string()],
+            },
         }
     }
 }
 
-/// The full rule set, in reporting order.
+/// The per-file rule set, in reporting order.
 pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![Box::new(RawExpLn), Box::new(UncheckedFloatCmp), Box::new(NoDebugOutput)]
+}
+
+/// The semantic (workspace) rule set, in reporting order.
+pub fn default_workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
     vec![
         Box::new(NoPanicInRoundLoop),
-        Box::new(RawExpLn),
-        Box::new(UncheckedFloatCmp),
-        Box::new(NoDebugOutput),
+        Box::new(HashIterationOrder),
+        Box::new(WallclockInRoundLoop),
+        Box::new(SpawnOutsideExecutor),
+        Box::new(EnvReadOutsideOverride),
     ]
 }
 
@@ -347,24 +489,22 @@ mod tests {
         assert!(!c.lints_path("crates/fl/tests/integration.rs"));
         assert!(!c.lints_path("crates/bench/benches/kernels.rs"));
         assert!(c.lints_path("crates/fl/src/server.rs"));
+        // The semantic rules carry no include lists: scope is reachability.
         let np = c.rules_for("no-panic-in-round-loop").expect("configured");
+        assert!(np.include.is_empty(), "no hand-maintained include list");
         assert!(np.applies_to("crates/fl/src/server.rs"));
-        assert!(np.applies_to("crates/fl/src/stages/training.rs"));
-        assert!(np.applies_to("crates/fl/src/sharded.rs"));
-        assert!(np.applies_to("crates/fl/src/population.rs"));
-        assert!(np.applies_to("crates/core/src/streaming.rs"));
-        assert!(np.applies_to("crates/fl/src/executor.rs"));
-        assert!(np.applies_to("crates/tensor/src/matmul.rs"));
-        assert!(np.applies_to("crates/tensor/src/im2col.rs"));
-        // The robust-aggregation zoo and the delivery-stage adversaries run
-        // inside the round loop: the no-panic contract covers them.
-        assert!(np.applies_to("crates/fl/src/robust.rs"));
-        assert!(np.applies_to("crates/fl/src/krum.rs"));
-        assert!(np.applies_to("crates/fl/src/normclip.rs"));
-        assert!(np.applies_to("crates/fl/src/learned.rs"));
-        assert!(np.applies_to("crates/fl/src/sizeguard.rs"));
-        assert!(np.applies_to("crates/attack/src/dishonest.rs"));
-        assert!(!np.applies_to("crates/core/src/weights.rs"));
+        assert!(np.applies_to("crates/nn/src/dense.rs"));
+        // Determinism exemptions: only the sanctioned sites are excluded.
+        let wc = c.rules_for("wallclock-in-round-loop").expect("configured");
+        assert!(!wc.applies_to("crates/trace/src/tracer.rs"));
+        assert!(wc.applies_to("crates/fl/src/centralized.rs"));
+        let sp = c.rules_for("spawn-outside-executor").expect("configured");
+        assert!(!sp.applies_to("crates/fl/src/executor.rs"));
+        assert!(sp.applies_to("crates/fl/src/server.rs"));
+        let ev = c.rules_for("env-read-outside-override").expect("configured");
+        assert!(!ev.applies_to("crates/fl/src/executor.rs"));
+        assert!(!ev.applies_to("crates/tensor/src/matmul.rs"));
+        assert!(ev.applies_to("crates/fl/src/server.rs"));
         let exp = c.rules_for("raw-exp-ln").expect("configured");
         assert!(!exp.applies_to("crates/tensor/src/numerics.rs"));
         assert!(exp.applies_to("crates/fl/src/latency.rs"));
@@ -378,5 +518,31 @@ mod tests {
         // the machine-readable artifact and must use explicit writers.
         assert!(dbg_rule.applies_to("crates/bench/src/kernelbench.rs"));
         assert!(dbg_rule.applies_to("crates/bench/src/bin/kernel_bench.rs"));
+    }
+
+    #[test]
+    fn root_spec_matches_types_traits_and_stage_paths() {
+        let roots = Config::fedcav_default().roots;
+        let mk = |name: &str, self_type: Option<&str>, trait_name: Option<&str>| {
+            crate::parser::FnItem {
+                name: name.to_string(),
+                modules: Vec::new(),
+                self_type: self_type.map(String::from),
+                trait_name: trait_name.map(String::from),
+                has_receiver: true,
+                line: 1,
+                end_line: 1,
+                body: None,
+            }
+        };
+        assert!(roots.is_root(&mk("run_round", Some("Simulation"), None), "crates/fl/src/server.rs"));
+        assert!(roots.is_root(&mk("new", Some("ShardedSimulation"), None), "crates/fl/src/sharded.rs"));
+        assert!(roots
+            .is_root(&mk("aggregate", Some("FedAvg"), Some("Strategy")), "crates/fl/src/fedavg.rs"));
+        let mut free = mk("run", None, None);
+        free.has_receiver = false;
+        assert!(roots.is_root(&free, "crates/fl/src/stages/sampling.rs"));
+        assert!(!roots.is_root(&free, "crates/fl/src/aggregate.rs"));
+        assert!(!roots.is_root(&mk("helper", Some("Dataset"), None), "crates/data/src/lib.rs"));
     }
 }

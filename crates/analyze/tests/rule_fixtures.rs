@@ -1,5 +1,11 @@
 //! Seeded-violation fixtures: every rule must fire on its violation, stay
 //! quiet on the compliant variant, and honour its suppression comment.
+//!
+//! Per-file rules lint one source in isolation; the semantic rules
+//! (`no-panic-in-round-loop` and the determinism family) get a synthetic
+//! *workspace* — a root method on `Simulation` plus whatever helpers the
+//! fixture needs — because their scope is call-graph reachability, not
+//! path lists.
 
 use fedcav_analyze::{Config, Engine};
 
@@ -12,6 +18,24 @@ fn fired(path: &str, src: &str) -> Vec<String> {
     engine().lint_source(path, src).into_iter().map(|d| d.rule.to_string()).collect()
 }
 
+/// Run the full pipeline over a synthetic workspace, returning
+/// `(rule, file, line)` triples.
+fn ws_fired(files: &[(&str, &str)]) -> Vec<(String, String, u32)> {
+    let sources: Vec<(String, String)> =
+        files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+    engine()
+        .analyze_sources(&sources)
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.file, d.line))
+        .collect()
+}
+
+/// Wrap `body` in a `Simulation::run_round` — the canonical reachability
+/// root — at the canonical server path.
+fn root_file(body: &str) -> String {
+    format!("pub struct Simulation;\nimpl Simulation {{\n    pub fn run_round(&mut self) {{\n{body}\n    }}\n}}\n")
+}
+
 const SERVER_PATH: &str = "crates/fl/src/server.rs";
 const LIB_PATH: &str = "crates/core/src/weights.rs";
 
@@ -19,59 +43,176 @@ const LIB_PATH: &str = "crates/core/src/weights.rs";
 
 #[test]
 fn no_panic_fires_on_unwrap_expect_and_macros() {
-    let src = "fn agg(x: Option<u32>) -> u32 {\n\
-               \x20   let a = x.unwrap();\n\
-               \x20   let b = x.expect(\"msg\");\n\
-               \x20   if a == b { panic!(\"boom\"); }\n\
-               \x20   unreachable!()\n\
-               }\n";
-    let rules = fired(SERVER_PATH, src);
-    assert_eq!(rules.iter().filter(|r| r.as_str() == "no-panic-in-round-loop").count(), 4);
-}
-
-#[test]
-fn no_panic_fires_on_slice_indexing_but_not_array_literals() {
-    let src = "fn f(v: &[f32], i: usize) -> f32 {\n\
-               \x20   for x in [1.0, 2.0] {\n\
-               \x20       let _ = x;\n\
-               \x20   }\n\
-               \x20   let ok: &[usize] = &[1, 2];\n\
-               \x20   let _ = ok.len();\n\
-               \x20   v[i]\n\
-               }\n";
-    let diags = engine().lint_source(SERVER_PATH, src);
-    assert_eq!(diags.len(), 1, "{diags:?}");
-    assert_eq!(diags[0].rule, "no-panic-in-round-loop");
-    assert_eq!(diags[0].line, 7, "only the `v[i]` index expression");
-}
-
-#[test]
-fn no_panic_is_scoped_to_the_round_loop_files() {
-    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
-    assert!(fired(SERVER_PATH, src).contains(&"no-panic-in-round-loop".to_string()));
-    assert!(
-        !fired(LIB_PATH, src).contains(&"no-panic-in-round-loop".to_string()),
-        "out-of-scope files may unwrap"
+    let src = root_file(
+        "        let x: Option<u32> = None;\n\
+         \x20       let a = x.unwrap();\n\
+         \x20       let b = x.expect(\"msg\");\n\
+         \x20       if a == b { panic!(\"boom\"); }\n\
+         \x20       unreachable!()",
+    );
+    let hits = ws_fired(&[(SERVER_PATH, &src)]);
+    assert_eq!(
+        hits.iter().filter(|(r, _, _)| r == "no-panic-in-round-loop").count(),
+        4,
+        "{hits:?}"
     );
 }
 
 #[test]
+fn no_panic_fires_on_slice_indexing_but_not_array_literals() {
+    let src = root_file(
+        "        let v: Vec<f32> = Vec::new();\n\
+         \x20       let i = 0usize;\n\
+         \x20       for x in [1.0, 2.0] {\n\
+         \x20           let _ = x;\n\
+         \x20       }\n\
+         \x20       let ok: &[usize] = &[1, 2];\n\
+         \x20       let _ = ok.len();\n\
+         \x20       let _ = v[i];",
+    );
+    let hits = ws_fired(&[(SERVER_PATH, &src)]);
+    assert_eq!(hits.len(), 1, "only the `v[i]` index expression: {hits:?}");
+    assert_eq!(hits[0].0, "no-panic-in-round-loop");
+}
+
+#[test]
+fn no_panic_follows_reachability_not_paths() {
+    // The helper lives in a crate with no path-based no-panic scope at all;
+    // it is flagged anyway because `Simulation::run_round` calls it. Its
+    // uncalled sibling in the same file is not.
+    let hits = ws_fired(&[
+        (SERVER_PATH, "pub struct Simulation;\nimpl Simulation {\n    pub fn run_round(&mut self) { reached(); }\n}\n"),
+        (
+            LIB_PATH,
+            "pub fn reached() { let v: Vec<u32> = Vec::new(); let _ = v.first().unwrap(); }\n\
+             pub fn orphan() { let v: Vec<u32> = Vec::new(); let _ = v.first().unwrap(); }\n",
+        ),
+    ]);
+    let np: Vec<_> = hits.iter().filter(|(r, _, _)| r == "no-panic-in-round-loop").collect();
+    assert_eq!(np.len(), 1, "{hits:?}");
+    assert_eq!(np[0].1, LIB_PATH);
+}
+
+#[test]
+fn no_panic_roots_include_strategy_impls_and_stage_fns() {
+    // A Strategy impl and an fl::stages free function are roots even though
+    // nothing calls them inside the fixture workspace.
+    let hits = ws_fired(&[
+        (
+            "crates/fl/src/custom.rs",
+            "pub struct MyStrategy;\nimpl Strategy for MyStrategy {\n    fn aggregate(&self) { let v: Vec<u32> = Vec::new(); let _ = v[0]; }\n}\n",
+        ),
+        (
+            "crates/fl/src/stages/train.rs",
+            "pub fn local_training() { let x: Option<u32> = None; let _ = x.unwrap(); }\n",
+        ),
+    ]);
+    let files: Vec<&str> = hits
+        .iter()
+        .filter(|(r, _, _)| r == "no-panic-in-round-loop")
+        .map(|(_, f, _)| f.as_str())
+        .collect();
+    assert!(files.contains(&"crates/fl/src/custom.rs"), "{hits:?}");
+    assert!(files.contains(&"crates/fl/src/stages/train.rs"), "{hits:?}");
+}
+
+#[test]
 fn no_panic_skips_test_code() {
-    let src = "#[cfg(test)]\n\
+    let src = "pub struct Simulation;\n\
+               impl Simulation {\n\
+               \x20   pub fn run_round(&mut self) { helper(); }\n\
+               }\n\
+               fn helper() {}\n\
+               #[cfg(test)]\n\
                mod tests {\n\
                \x20   #[test]\n\
                \x20   fn t() { Some(1).unwrap(); }\n\
                }\n";
-    assert!(fired(SERVER_PATH, src).is_empty());
+    assert!(ws_fired(&[(SERVER_PATH, src)]).is_empty());
 }
 
 #[test]
 fn no_panic_respects_suppression() {
-    let src = "fn f(x: Option<u32>) -> u32 {\n\
-               \x20   // fedcav-lint: allow(no-panic-in-round-loop, reason = \"infallible by construction\")\n\
-               \x20   x.unwrap()\n\
+    let src = root_file(
+        "        let x: Option<u32> = Some(1);\n\
+         \x20       // fedcav-lint: allow(no-panic-in-round-loop, reason = \"infallible by construction\")\n\
+         \x20       let _ = x.unwrap();",
+    );
+    assert!(ws_fired(&[(SERVER_PATH, &src)]).is_empty());
+}
+
+// ---- determinism auditor ---------------------------------------------------
+
+#[test]
+fn hash_iteration_fires_on_iter_and_for_but_not_keyed_access() {
+    let src = root_file(
+        "        let mut m = std::collections::HashMap::new();\n\
+         \x20       m.insert(1u32, 2u32);\n\
+         \x20       let _ = m.get(&1);\n\
+         \x20       for v in m.values() { let _ = v; }\n\
+         \x20       for kv in &m { let _ = kv; }",
+    );
+    let hits = ws_fired(&[(SERVER_PATH, &src)]);
+    let hi: Vec<_> = hits.iter().filter(|(r, _, _)| r == "hash-iteration-order").collect();
+    assert_eq!(hi.len(), 2, "values() and the for-loop, not insert/get: {hits:?}");
+}
+
+#[test]
+fn wallclock_fires_in_reachable_code_but_not_in_trace() {
+    // `stamp` is *reachable* (the root calls it) but lives in fedcav-trace,
+    // the sanctioned exemption path — only the in-loop read is flagged.
+    let hits = ws_fired(&[
+        (
+            SERVER_PATH,
+            &root_file("        let _ = std::time::Instant::now();\n        stamp();"),
+        ),
+        (
+            "crates/trace/src/span.rs",
+            "pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n",
+        ),
+    ]);
+    let wc: Vec<_> = hits.iter().filter(|(r, _, _)| r == "wallclock-in-round-loop").collect();
+    assert_eq!(wc.len(), 1, "{hits:?}");
+    assert_eq!(wc[0].1, SERVER_PATH, "fedcav-trace is the sanctioned site");
+}
+
+#[test]
+fn spawn_fires_outside_the_executor_only() {
+    // `execute_clients` is reachable and spawns, but lives in fl::executor,
+    // the one sanctioned parallelism site — only the in-loop spawn is flagged.
+    let hits = ws_fired(&[
+        (
+            SERVER_PATH,
+            &root_file("        let h = thread::spawn(|| 1); drop(h);\n        execute_clients();"),
+        ),
+        (
+            "crates/fl/src/executor.rs",
+            "pub fn execute_clients() { let h = thread::spawn(|| 1); drop(h); }\n",
+        ),
+    ]);
+    let sp: Vec<_> = hits.iter().filter(|(r, _, _)| r == "spawn-outside-executor").collect();
+    assert_eq!(sp.len(), 1, "{hits:?}");
+    assert_eq!(sp[0].1, SERVER_PATH, "fl::executor is the sanctioned site");
+}
+
+#[test]
+fn env_read_fires_outside_the_override_points() {
+    let src = root_file("        let _ = std::env::var(\"FEDCAV_SEED\");");
+    let hits = ws_fired(&[(SERVER_PATH, &src)]);
+    assert!(
+        hits.iter().any(|(r, _, _)| r == "env-read-outside-override"),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn determinism_rules_stay_quiet_on_unreachable_code() {
+    // Same nondeterminism, but in a function nothing round-loop-rooted calls.
+    let src = "pub fn offline_report() {\n\
+               \x20   let _ = std::time::Instant::now();\n\
+               \x20   let h = thread::spawn(|| 1); drop(h);\n\
                }\n";
-    assert!(fired(SERVER_PATH, src).is_empty());
+    assert!(ws_fired(&[(LIB_PATH, src)]).is_empty());
 }
 
 // ---- raw-exp-ln ------------------------------------------------------------

@@ -71,7 +71,9 @@ impl<'a> CentralizedTrainer<'a> {
 
     /// One "round": `E` epochs over the pooled data, then evaluate.
     pub fn run_round(&mut self) -> Result<RoundRecord> {
+        // fedcav-lint: allow(wallclock-in-round-loop, reason = "phase telemetry: feeds RoundRecord.phases only, never the model")
         let total = std::time::Instant::now();
+        // fedcav-lint: allow(wallclock-in-round-loop, reason = "phase telemetry: feeds RoundRecord.phases only, never the model")
         let training = std::time::Instant::now();
         let update = local_update(
             self.factory,
@@ -84,6 +86,7 @@ impl<'a> CentralizedTrainer<'a> {
         let training_ns = training.elapsed().as_nanos() as u64;
         self.global = update.params;
 
+        // fedcav-lint: allow(wallclock-in-round-loop, reason = "phase telemetry: feeds RoundRecord.phases only, never the model")
         let evaluation = std::time::Instant::now();
         let mut model = (self.factory)();
         model.set_flat_params(&self.global)?;
@@ -116,14 +119,17 @@ impl<'a> CentralizedTrainer<'a> {
         Ok(record)
     }
 
-    /// Run `n` rounds, returning the final record.
+    /// Run `n` rounds, returning the final record. `n == 0` is an error,
+    /// matching `Simulation::run`: the baseline must degrade, not panic.
     pub fn run(&mut self, n: usize) -> Result<RoundRecord> {
-        assert!(n > 0, "run at least one round");
-        let mut last = None;
-        for _ in 0..n {
-            last = Some(self.run_round()?);
+        if n == 0 {
+            return Err(fedcav_tensor::TensorError::Empty { op: "CentralizedTrainer::run" });
         }
-        Ok(last.expect("n > 0 rounds were run"))
+        let mut last = self.run_round()?;
+        for _ in 1..n {
+            last = self.run_round()?;
+        }
+        Ok(last)
     }
 }
 
@@ -157,6 +163,20 @@ mod tests {
         assert!(last.test_accuracy >= first.test_accuracy);
         assert!(last.test_accuracy > 0.5, "centralized should learn: {}", last.test_accuracy);
         assert_eq!(t.history().len(), 5);
+    }
+
+    #[test]
+    fn run_zero_rounds_is_an_error_not_a_panic() {
+        let (train, test) =
+            SyntheticConfig::new(SyntheticKind::MnistLike, 2, 1).generate().unwrap();
+        let img_len = train.image_len();
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(0);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut t = CentralizedTrainer::new(&factory, train, test, LocalConfig::default(), 32, 1);
+        assert!(t.run(0).is_err());
+        assert_eq!(t.history().len(), 0);
     }
 
     #[test]

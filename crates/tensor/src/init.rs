@@ -11,6 +11,7 @@ use rand::{Rng, RngExt};
 pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
     let n: usize = dims.iter().product();
     let data: Vec<f32> = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+    // fedcav-lint: allow(no-panic-in-round-loop, reason = "infallible by construction: data.len() == dims.product() on the line above")
     Tensor::from_vec(dims, data).expect("uniform: dims product matches buffer length")
 }
 
@@ -27,6 +28,7 @@ pub fn normal<R: Rng>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tenso
             data.push(mean + std * z1);
         }
     }
+    // fedcav-lint: allow(no-panic-in-round-loop, reason = "infallible by construction: the fill loop stops at exactly n = dims.product() samples")
     Tensor::from_vec(dims, data).expect("normal: dims product matches buffer length")
 }
 

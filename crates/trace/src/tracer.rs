@@ -55,17 +55,17 @@ impl CollectingTracer {
 
     /// Snapshot of the events recorded so far, in arrival order.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("tracer lock poisoned").clone()
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Drain the buffer, returning everything recorded so far.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.events.lock().expect("tracer lock poisoned"))
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("tracer lock poisoned").len()
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether the buffer is empty.
@@ -84,7 +84,7 @@ impl Tracer for CollectingTracer {
     }
 
     fn record(&self, event: Event) {
-        self.events.lock().expect("tracer lock poisoned").push(event);
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(event);
     }
 }
 

@@ -24,8 +24,9 @@
 //!   bit-identical to sequential execution.
 //! * [`EnvReadOutsideOverride`] — `env::var` outside the sanctioned
 //!   override points (`FEDCAV_EXECUTOR` in `fl::executor`,
-//!   `FEDCAV_KERNELS` in `tensor::matmul`): configuration must flow
-//!   through constructors, not ambient process state.
+//!   `FEDCAV_BACKEND` and its deprecated `FEDCAV_KERNELS` alias in
+//!   `tensor::backend`): configuration must flow through constructors,
+//!   not ambient process state.
 
 use super::{WorkspaceContext, WorkspaceRule};
 use crate::diagnostics::{Diagnostic, Severity};
@@ -273,7 +274,7 @@ impl WorkspaceRule for EnvReadOutsideOverride {
 
     fn description(&self) -> &'static str {
         "no env::var in round-loop-reachable code outside the sanctioned FEDCAV_* \
-         override points (fl::executor, tensor::matmul): configuration flows through \
+         override points (fl::executor, tensor::backend): configuration flows through \
          constructors, not ambient process state"
     }
 

@@ -313,7 +313,8 @@ impl Config {
     ///   `Interceptor` impl. Their `PathRules` entries list only the
     ///   sanctioned exemption sites (`fedcav-trace` may read the clock;
     ///   `fl::executor` may spawn and read `FEDCAV_EXECUTOR`;
-    ///   `tensor::matmul` may read `FEDCAV_KERNELS`).
+    ///   `tensor::backend` may read `FEDCAV_BACKEND` and its deprecated
+    ///   `FEDCAV_KERNELS` alias).
     /// * `raw-exp-ln` — everywhere except `fedcav-tensor::numerics`, the one
     ///   sanctioned home of clipped/max-subtracted exp/ln (Eq. 7/9, §4.2.3).
     /// * `unchecked-float-cmp` — everywhere, tests included: `total_cmp` is
@@ -369,7 +370,7 @@ impl Config {
                         include: Vec::new(),
                         exclude: vec![
                             "crates/fl/src/executor.rs".to_string(),
-                            "crates/tensor/src/matmul.rs".to_string(),
+                            "crates/tensor/src/backend.rs".to_string(),
                         ],
                         skip_test_code: true,
                     },
@@ -503,7 +504,8 @@ mod tests {
         assert!(sp.applies_to("crates/fl/src/server.rs"));
         let ev = c.rules_for("env-read-outside-override").expect("configured");
         assert!(!ev.applies_to("crates/fl/src/executor.rs"));
-        assert!(!ev.applies_to("crates/tensor/src/matmul.rs"));
+        assert!(!ev.applies_to("crates/tensor/src/backend.rs"));
+        assert!(ev.applies_to("crates/tensor/src/matmul.rs"), "matmul no longer reads env");
         assert!(ev.applies_to("crates/fl/src/server.rs"));
         let exp = c.rules_for("raw-exp-ln").expect("configured");
         assert!(!exp.applies_to("crates/tensor/src/numerics.rs"));

@@ -1,7 +1,7 @@
-//! **EXT — kernel scaling trajectory:** GFLOP/s of the blocked vs
-//! reference matmul kernel as the problem grows, plus the conv
+//! **EXT — kernel scaling trajectory:** GFLOP/s of every tensor backend
+//! (blocked, reference, f16) as the matmul problem grows, plus the conv
 //! forward/backward pair at LeNet-5 shapes and the end-to-end mean round
-//! wall-clock under both kernel modes. The table answers "where does the
+//! wall-clock per backend. The table answers "where does the
 //! cache-blocked kernel start paying off, and how much of it survives to
 //! the round loop" (DESIGN.md §12; `BENCH_kernels.json` is the archived
 //! form of the same numbers, written by the `kernel_bench` binary).
@@ -12,9 +12,10 @@
 
 use fedcav_bench::experiment::Scale;
 use fedcav_bench::kernelbench::{
-    bench_conv, bench_e2e, bench_matmul, e2e_spec, ConvShape, KernelReport, MatmulShape,
+    backend_token, bench_conv, bench_e2e, bench_matmul, e2e_spec, ConvShape, KernelReport,
+    MatmulShape,
 };
-use fedcav_tensor::KernelMode;
+use fedcav_tensor::BackendKind;
 
 fn main() {
     let scale = Scale::from_args();
@@ -35,32 +36,34 @@ fn main() {
     }
 
     println!("# kernel_scaling: reps={reps}");
-    println!("kernel\tshape\tblocked_gflops\treference_gflops\tspeedup");
+    println!("kernel\tshape\tblocked_gflops\treference_gflops\tf16_gflops\tspeedup");
     let mut seen: Vec<(&str, String)> = Vec::new();
     for k in &report.kernels {
         let key = (k.kernel, k.shape.clone());
         if seen.contains(&key) {
             continue;
         }
-        let blocked = report
-            .kernels
-            .iter()
-            .find(|o| o.kernel == k.kernel && o.shape == k.shape && o.mode == "blocked");
-        let reference = report
-            .kernels
-            .iter()
-            .find(|o| o.kernel == k.kernel && o.shape == k.shape && o.mode == "reference");
-        if let (Some(b), Some(r)) = (blocked, reference) {
+        let row = |backend: &str| {
+            report
+                .kernels
+                .iter()
+                .find(|o| o.kernel == k.kernel && o.shape == k.shape && o.backend == backend)
+        };
+        if let (Some(b), Some(r), Some(h)) = (row("blocked"), row("reference"), row("f16")) {
             let speedup = report.speedup(k.kernel, &k.shape).unwrap_or(0.0);
-            println!("{}\t{}\t{:.3}\t{:.3}\t{:.2}", k.kernel, k.shape, b.gflops, r.gflops, speedup);
+            println!(
+                "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.2}",
+                k.kernel, k.shape, b.gflops, r.gflops, h.gflops, speedup
+            );
         }
         seen.push(key);
     }
 
     let spec = e2e_spec(tiny_e2e);
-    println!("mode\tmean_round_wall_s\trounds");
-    for mode in [KernelMode::Blocked, KernelMode::Reference] {
-        let e = bench_e2e(&spec, mode);
-        println!("{}\t{:.4}\t{}", e.mode, e.mean_round_wall_secs, e.rounds);
+    println!("backend\tmean_round_wall_s\trounds");
+    for kind in BackendKind::ALL {
+        let e = bench_e2e(&spec, kind);
+        assert_eq!(e.backend, backend_token(kind));
+        println!("{}\t{:.4}\t{}", e.backend, e.mean_round_wall_secs, e.rounds);
     }
 }

@@ -1,5 +1,6 @@
-//! `kernel_bench` — measure the tensor kernels (blocked vs reference) and
-//! write the `BENCH_kernels.json` trajectory file.
+//! `kernel_bench` — measure the tensor kernels under every backend
+//! (blocked, reference, f16) and write the `BENCH_kernels.json`
+//! trajectory file.
 //!
 //! Usage: `cargo run -p fedcav-bench --release --bin kernel_bench --
 //! [--tiny] [--out PATH]`
@@ -31,9 +32,9 @@ fn main() {
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
     let _ = writeln!(w, "# kernel_bench: tiny={tiny} reps={reps}");
-    let _ = writeln!(w, "kernel\tshape\tmode\tns_per_op\tgflops\tspeedup");
+    let _ = writeln!(w, "kernel\tshape\tbackend\tns_per_op\tgflops\tspeedup");
     for k in &report.kernels {
-        let speedup = if k.mode == "blocked" {
+        let speedup = if k.backend == "blocked" {
             report
                 .speedup(k.kernel, &k.shape)
                 .map(|s| format!("{s:.2}"))
@@ -44,7 +45,7 @@ fn main() {
         let _ = writeln!(
             w,
             "{}\t{}\t{}\t{:.0}\t{:.3}\t{}",
-            k.kernel, k.shape, k.mode, k.ns_per_op, k.gflops, speedup
+            k.kernel, k.shape, k.backend, k.ns_per_op, k.gflops, speedup
         );
     }
     for e in &report.e2e {
@@ -52,7 +53,7 @@ fn main() {
             w,
             "e2e_round\t{}_rounds\t{}\t{:.0}\t-\t-",
             e.rounds,
-            e.mode,
+            e.backend,
             e.mean_round_wall_secs * 1e9
         );
     }

@@ -40,6 +40,7 @@ fn main() {
         seed: 42,
         noise_override: Some(0.45),
         executor: ClientExecutor::from_env(),
+        backend: fedcav_tensor::backend_kind(),
     };
 
     let algos: Vec<RobustAlgo> = if smoke {

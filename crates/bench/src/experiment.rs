@@ -11,7 +11,7 @@ use fedcav_fl::{
     Simulation, SimulationConfig, Strategy,
 };
 use fedcav_nn::{models, Sequential};
-use fedcav_tensor::Result;
+use fedcav_tensor::{backend_kind, force_backend_kind, BackendKind, Result};
 use fedcav_trace::Event;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -151,6 +151,10 @@ pub struct ExperimentSpec {
     /// across executors; only wall-clock changes. The presets read
     /// `FEDCAV_EXECUTOR` (e.g. `threads:4`) so CI can sweep it.
     pub executor: ClientExecutor,
+    /// Tensor backend forced for the run. The presets default to the
+    /// ambient [`backend_kind`], so `FEDCAV_BACKEND` still selects it from
+    /// the environment; set explicitly to pin a spec to one backend.
+    pub backend: BackendKind,
 }
 
 impl ExperimentSpec {
@@ -171,6 +175,7 @@ impl ExperimentSpec {
                 SyntheticKind::Cifar10Like => 0.6,
             }),
             executor: ClientExecutor::from_env(),
+            backend: backend_kind(),
         }
     }
 
@@ -187,6 +192,7 @@ impl ExperimentSpec {
             seed: 42,
             noise_override: None,
             executor: ClientExecutor::from_env(),
+            backend: backend_kind(),
         }
     }
 
@@ -245,6 +251,7 @@ pub fn run_standard_with(
     algo: Algo,
     tracer: Option<Arc<CollectingTracer>>,
 ) -> Result<History> {
+    force_backend_kind(spec.backend);
     let (train, test) = spec.data()?;
     let factory = spec.model_factory();
     if algo == Algo::Centralized {
@@ -325,6 +332,7 @@ pub fn run_fresh_class(
     algo: Algo,
     pretrain_rounds: usize,
 ) -> Result<FreshClassOutcome> {
+    force_backend_kind(spec.backend);
     let (train, test) = spec.data()?;
     let factory = spec.model_factory();
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xA1FA);
@@ -379,6 +387,7 @@ pub fn run_under_attack(
     attack_round: usize,
     poison_fraction: f64,
 ) -> Result<History> {
+    force_backend_kind(spec.backend);
     let (train, test) = spec.data()?;
     let factory = spec.model_factory();
     let mut rng = StdRng::seed_from_u64(spec.seed ^ X_ATTACK_SEED);
@@ -428,6 +437,7 @@ mod tests {
             seed: 7,
             noise_override: None,
             executor: ClientExecutor::Sequential,
+            backend: BackendKind::CpuBlocked,
         }
     }
 

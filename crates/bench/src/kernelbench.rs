@@ -1,29 +1,45 @@
 //! Kernel benchmark machinery: measured GFLOP/s and ns/op for the tensor
-//! hot paths (matmul, conv forward/backward) under both kernel
-//! implementations (`blocked` vs `reference`), plus end-to-end mean round
-//! wall-clock, serialised to the `BENCH_kernels.json` trajectory file.
+//! hot paths (matmul, conv forward/backward) under every registered
+//! backend (`blocked`, `reference`, `f16`), plus end-to-end mean round
+//! wall-clock per backend, serialised to the `BENCH_kernels.json`
+//! trajectory file.
 //!
 //! The JSON is hand-rolled (no serde in the workspace): flat records, no
-//! escaping needed because every string is a kernel/mode/shape token.
+//! escaping needed because every string is a kernel/backend/shape token.
 //! Schema: `{"schema": "...", "kernels": [...], "e2e": [...]}` — see
 //! [`KernelReport::to_json`].
 //!
 //! Measurement style: best-of-`reps` after one warm-up run. Best (not
 //! mean) because the quantity of interest is the kernel's cost, and every
 //! source of noise on a quiet machine is additive.
+//!
+//! Per-backend kernels are timed through the static [`TensorOps`] methods
+//! of each backend type — no process-global state is touched, so the
+//! rows measure exactly what a model generic over that backend would run.
+//! Only the end-to-end figure goes through the process-global dispatch
+//! (via [`ExperimentSpec::backend`]), because the round loop does.
 
 use crate::experiment::{run_standard, Algo, Dist, ExperimentSpec};
 use fedcav_data::SyntheticKind;
 use fedcav_fl::{ClientExecutor, LocalConfig};
-use fedcav_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dParams};
-use fedcav_tensor::im2col::{
-    conv2d_backward_im2col_with, conv2d_forward_im2col_with, Im2colScratch,
-};
-use fedcav_tensor::matmul::{matmul_into, matmul_reference_into, Epilogue};
-use fedcav_tensor::{force_kernel_mode, init, kernel_mode, KernelMode, Tensor};
+use fedcav_tensor::backend::{Backend, CpuBlocked, F16Storage, Reference};
+use fedcav_tensor::conv::{conv2d_forward, Conv2dParams};
+use fedcav_tensor::im2col::Im2colScratch;
+use fedcav_tensor::matmul::Epilogue;
+use fedcav_tensor::{backend_kind, force_backend_kind, init, BackendKind, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// The stable JSON token for a backend (matches `FEDCAV_BACKEND`
+/// spellings and each backend's `NAME`).
+pub fn backend_token(kind: BackendKind) -> &'static str {
+    match kind {
+        BackendKind::CpuBlocked => CpuBlocked::NAME,
+        BackendKind::Reference => Reference::NAME,
+        BackendKind::F16Storage => F16Storage::NAME,
+    }
+}
 
 /// One timed kernel measurement.
 #[derive(Debug, Clone)]
@@ -32,21 +48,23 @@ pub struct KernelMeasurement {
     pub kernel: &'static str,
     /// Shape token, e.g. `256x256x256` or `n2c4h14w14_oc8k5`.
     pub shape: String,
-    /// `blocked` or `reference`.
-    pub mode: &'static str,
+    /// Backend token: `blocked`, `reference` or `f16`.
+    pub backend: &'static str,
     /// Best observed wall-clock nanoseconds for one invocation.
     pub ns_per_op: f64,
-    /// Throughput implied by `ns_per_op` (FLOPs / ns ≡ GFLOP/s).
+    /// Throughput implied by `ns_per_op` (FLOPs / ns ≡ GFLOP/s). For the
+    /// f16 backend this counts the same MAC lattice — quantization
+    /// overhead shows up as lost throughput, which is the point.
     pub gflops: f64,
 }
 
 /// End-to-end figure: mean wall-clock seconds per federated round under
-/// one kernel mode (from [`fedcav_fl::History::mean_round_wall_secs`],
+/// one backend (from [`fedcav_fl::History::mean_round_wall_secs`],
 /// i.e. the `PhaseTimings` the round loop records).
 #[derive(Debug, Clone)]
 pub struct E2eMeasurement {
-    /// `blocked` or `reference`.
-    pub mode: &'static str,
+    /// Backend token: `blocked`, `reference` or `f16`.
+    pub backend: &'static str,
     /// Mean wall-clock seconds per round.
     pub mean_round_wall_secs: f64,
     /// Rounds the mean is over.
@@ -56,49 +74,63 @@ pub struct E2eMeasurement {
 /// Everything `BENCH_kernels.json` carries.
 #[derive(Debug, Clone, Default)]
 pub struct KernelReport {
-    /// Per-shape kernel timings, blocked and reference interleaved.
+    /// Per-shape kernel timings, one row per (kernel, shape, backend).
     pub kernels: Vec<KernelMeasurement>,
-    /// End-to-end round timings per kernel mode.
+    /// End-to-end round timings per backend.
     pub e2e: Vec<E2eMeasurement>,
 }
 
 impl KernelReport {
-    /// Serialise to the `BENCH_kernels.json` schema.
+    /// Serialise to the `BENCH_kernels.json` schema (v2: a `backend`
+    /// column replaces v1's two-valued `mode`, and every shape carries a
+    /// row per registered backend).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"fedcav-kernel-bench-v1\",\n");
+        let mut out = String::from("{\n  \"schema\": \"fedcav-kernel-bench-v2\",\n");
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             let sep = if i + 1 == self.kernels.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"mode\": \"{}\", \
+                "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"backend\": \"{}\", \
                  \"ns_per_op\": {:.1}, \"gflops\": {:.4}}}{sep}\n",
-                k.kernel, k.shape, k.mode, k.ns_per_op, k.gflops
+                k.kernel, k.shape, k.backend, k.ns_per_op, k.gflops
             ));
         }
         out.push_str("  ],\n  \"e2e\": [\n");
         for (i, e) in self.e2e.iter().enumerate() {
             let sep = if i + 1 == self.e2e.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"mode\": \"{}\", \"mean_round_wall_secs\": {:.6}, \"rounds\": {}}}{sep}\n",
-                e.mode, e.mean_round_wall_secs, e.rounds
+                "    {{\"backend\": \"{}\", \"mean_round_wall_secs\": {:.6}, \"rounds\": {}}}{sep}\n",
+                e.backend, e.mean_round_wall_secs, e.rounds
             ));
         }
         out.push_str("  ]\n}\n");
         out
     }
 
-    /// Blocked-over-reference speedup for a `(kernel, shape)` pair, if
-    /// both modes were measured.
-    pub fn speedup(&self, kernel: &str, shape: &str) -> Option<f64> {
-        let find = |mode: &str| {
+    /// Speedup of `fast` over `slow` for a `(kernel, shape)` pair, if
+    /// both backends were measured.
+    pub fn speedup_of(
+        &self,
+        kernel: &str,
+        shape: &str,
+        fast: BackendKind,
+        slow: BackendKind,
+    ) -> Option<f64> {
+        let find = |backend: &str| {
             self.kernels
                 .iter()
-                .find(|k| k.kernel == kernel && k.shape == shape && k.mode == mode)
+                .find(|k| k.kernel == kernel && k.shape == shape && k.backend == backend)
                 .map(|k| k.ns_per_op)
         };
-        let blocked = find("blocked")?;
-        let reference = find("reference")?;
-        Some(reference / blocked.max(f64::MIN_POSITIVE))
+        let fast_ns = find(backend_token(fast))?;
+        let slow_ns = find(backend_token(slow))?;
+        Some(slow_ns / fast_ns.max(f64::MIN_POSITIVE))
+    }
+
+    /// Blocked-over-reference speedup for a `(kernel, shape)` pair — the
+    /// headline acceptance number.
+    pub fn speedup(&self, kernel: &str, shape: &str) -> Option<f64> {
+        self.speedup_of(kernel, shape, BackendKind::CpuBlocked, BackendKind::Reference)
     }
 }
 
@@ -143,48 +175,33 @@ impl MatmulShape {
     }
 }
 
-/// Time blocked and reference matmul on one shape (`Epilogue::None`, so
-/// both modes run the identical per-element op sequence).
+/// Time one backend's matmul on one shape through its static
+/// [`TensorOps`] entry point (`Epilogue::None`, so every backend runs the
+/// identical per-element op sequence modulo its storage grid).
+fn time_matmul<B: Backend>(shape: MatmulShape, reps: usize, a: &Tensor, b: &Tensor) -> KernelMeasurement {
+    let mut out = Vec::new();
+    let ns = time_best(reps, || {
+        B::matmul(a.as_slice(), b.as_slice(), shape.m, shape.k, shape.n, Epilogue::None, &mut out);
+    });
+    KernelMeasurement {
+        kernel: "matmul",
+        shape: shape.token(),
+        backend: B::NAME,
+        ns_per_op: ns,
+        gflops: shape.flops() / ns,
+    }
+}
+
+/// Time every backend's matmul on one shape.
 pub fn bench_matmul(shape: MatmulShape, reps: usize) -> Vec<KernelMeasurement> {
     let mut rng = StdRng::seed_from_u64(0x3A7);
     let a = init::uniform(&mut rng, &[shape.m, shape.k], -1.0, 1.0);
     let b = init::uniform(&mut rng, &[shape.k, shape.n], -1.0, 1.0);
-    let mut out = Vec::new();
-    let mut run = |mode: &'static str| {
-        let ns = match mode {
-            "blocked" => time_best(reps, || {
-                matmul_into(
-                    KernelMode::Blocked,
-                    a.as_slice(),
-                    b.as_slice(),
-                    shape.m,
-                    shape.k,
-                    shape.n,
-                    Epilogue::None,
-                    &mut out,
-                );
-            }),
-            _ => time_best(reps, || {
-                matmul_reference_into(
-                    a.as_slice(),
-                    b.as_slice(),
-                    shape.m,
-                    shape.k,
-                    shape.n,
-                    Epilogue::None,
-                    &mut out,
-                );
-            }),
-        };
-        KernelMeasurement {
-            kernel: "matmul",
-            shape: shape.token(),
-            mode,
-            ns_per_op: ns,
-            gflops: shape.flops() / ns,
-        }
-    };
-    vec![run("blocked"), run("reference")]
+    vec![
+        time_matmul::<CpuBlocked>(shape, reps, &a, &b),
+        time_matmul::<Reference>(shape, reps, &a, &b),
+        time_matmul::<F16Storage>(shape, reps, &a, &b),
+    ]
 }
 
 /// A convolution problem size (square spatial extent, square kernel).
@@ -214,56 +231,54 @@ impl ConvShape {
     }
 }
 
-/// Time conv forward + backward on one shape: `blocked` is the
-/// scratch-arena im2col lowering (its matmuls pinned to the blocked
-/// kernel), `reference` the direct convolution — exactly the two paths
-/// `fedcav_nn::Conv2d` dispatches between. The ambient kernel mode is
-/// restored before returning.
+/// Time one backend's conv forward + backward on one shape through its
+/// static [`TensorOps`] entry points — the exact code path a
+/// `fedcav_nn::Conv2d<B>` layer runs.
+fn time_conv<B: Backend>(
+    shape: ConvShape,
+    reps: usize,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    d_out: &Tensor,
+) -> Vec<KernelMeasurement> {
+    let params = Conv2dParams::default();
+    let mut scratch = Im2colScratch::new();
+    let fwd = time_best(reps, || {
+        B::conv2d_forward(input, weight, bias, params, false, &mut scratch).expect("conv fwd");
+    });
+    let bwd = time_best(reps, || {
+        B::conv2d_backward(input, weight, d_out, params, &mut scratch).expect("conv bwd");
+    });
+    let fwd_flops = shape.fwd_flops();
+    // The backward pass walks the MAC lattice twice (d_input + d_weight),
+    // same accounting as `fedcav_tensor::counters`.
+    let bwd_flops = 2.0 * fwd_flops;
+    let meas = |kernel: &'static str, ns: f64, flops: f64| KernelMeasurement {
+        kernel,
+        shape: shape.token(),
+        backend: B::NAME,
+        ns_per_op: ns,
+        gflops: flops / ns,
+    };
+    vec![meas("conv_fwd", fwd, fwd_flops), meas("conv_bwd", bwd, bwd_flops)]
+}
+
+/// Time every backend's conv forward + backward on one shape: `blocked`
+/// and `f16` run the scratch-arena im2col lowering, `reference` the
+/// direct convolution — exactly the paths `fedcav_nn::Conv2d<B>`
+/// dispatches to. No process-global state is touched.
 pub fn bench_conv(shape: ConvShape, reps: usize) -> Vec<KernelMeasurement> {
     let mut rng = StdRng::seed_from_u64(0xC0CA ^ 0x5A5A);
     let input = init::uniform(&mut rng, &[shape.n, shape.c, shape.hw, shape.hw], -1.0, 1.0);
     let weight = init::uniform(&mut rng, &[shape.oc, shape.c, shape.k, shape.k], -0.5, 0.5);
     let bias = Tensor::zeros(&[shape.oc]);
-    let params = Conv2dParams::default();
-    let d_out = conv2d_forward(&input, &weight, &bias, params).expect("conv shape");
-    let mut scratch = Im2colScratch::new();
+    let d_out = conv2d_forward(&input, &weight, &bias, Conv2dParams::default()).expect("conv shape");
 
-    let ambient = kernel_mode();
-    force_kernel_mode(KernelMode::Blocked);
-    let fwd_blocked = time_best(reps, || {
-        conv2d_forward_im2col_with(&input, &weight, &bias, params, false, &mut scratch)
-            .expect("conv fwd");
-    });
-    let bwd_blocked = time_best(reps, || {
-        conv2d_backward_im2col_with(&input, &weight, &d_out, params, &mut scratch)
-            .expect("conv bwd");
-    });
-    force_kernel_mode(ambient);
-
-    let fwd_reference = time_best(reps, || {
-        conv2d_forward(&input, &weight, &bias, params).expect("conv fwd");
-    });
-    let bwd_reference = time_best(reps, || {
-        conv2d_backward(&input, &weight, &d_out, params).expect("conv bwd");
-    });
-
-    let fwd_flops = shape.fwd_flops();
-    // The backward pass walks the MAC lattice twice (d_input + d_weight),
-    // same accounting as `fedcav_tensor::counters`.
-    let bwd_flops = 2.0 * fwd_flops;
-    let meas = |kernel: &'static str, mode: &'static str, ns: f64, flops: f64| KernelMeasurement {
-        kernel,
-        shape: shape.token(),
-        mode,
-        ns_per_op: ns,
-        gflops: flops / ns,
-    };
-    vec![
-        meas("conv_fwd", "blocked", fwd_blocked, fwd_flops),
-        meas("conv_fwd", "reference", fwd_reference, fwd_flops),
-        meas("conv_bwd", "blocked", bwd_blocked, bwd_flops),
-        meas("conv_bwd", "reference", bwd_reference, bwd_flops),
-    ]
+    let mut out = time_conv::<CpuBlocked>(shape, reps, &input, &weight, &bias, &d_out);
+    out.extend(time_conv::<Reference>(shape, reps, &input, &weight, &bias, &d_out));
+    out.extend(time_conv::<F16Storage>(shape, reps, &input, &weight, &bias, &d_out));
+    out
 }
 
 /// The spec the end-to-end figure runs: LeNet-5 on MNIST-like data, small
@@ -281,24 +296,22 @@ pub fn e2e_spec(tiny: bool) -> ExperimentSpec {
             seed: 7,
             noise_override: None,
             executor: ClientExecutor::Sequential,
+            backend: BackendKind::CpuBlocked,
         }
     } else {
         ExperimentSpec::fast(SyntheticKind::MnistLike, 3)
     }
 }
 
-/// Mean round wall-seconds of one standard FedCav run under `mode`. The
-/// ambient kernel mode is restored before returning.
-pub fn bench_e2e(spec: &ExperimentSpec, mode: KernelMode) -> E2eMeasurement {
-    let ambient = kernel_mode();
-    force_kernel_mode(mode);
-    let history = run_standard(spec, Dist::NonIidBalanced, Algo::FedCav).expect("e2e run");
-    force_kernel_mode(ambient);
+/// Mean round wall-seconds of one standard FedCav run on `backend`. The
+/// ambient process-global backend is restored before returning.
+pub fn bench_e2e(spec: &ExperimentSpec, backend: BackendKind) -> E2eMeasurement {
+    let ambient = backend_kind();
+    let spec = ExperimentSpec { backend, ..*spec };
+    let history = run_standard(&spec, Dist::NonIidBalanced, Algo::FedCav).expect("e2e run");
+    force_backend_kind(ambient);
     E2eMeasurement {
-        mode: match mode {
-            KernelMode::Blocked => "blocked",
-            KernelMode::Reference => "reference",
-        },
+        backend: backend_token(backend),
         mean_round_wall_secs: history.mean_round_wall_secs().unwrap_or(0.0),
         rounds: history.len(),
     }
@@ -328,7 +341,8 @@ pub fn standard_shapes(tiny: bool) -> (Vec<MatmulShape>, Vec<ConvShape>) {
     }
 }
 
-/// Run the full suite and assemble the report.
+/// Run the full suite and assemble the report: every shape × every
+/// backend, then one end-to-end run per backend.
 pub fn run_suite(tiny: bool, reps: usize) -> KernelReport {
     let (mat_shapes, conv_shapes) = standard_shapes(tiny);
     let mut report = KernelReport::default();
@@ -339,8 +353,9 @@ pub fn run_suite(tiny: bool, reps: usize) -> KernelReport {
         report.kernels.extend(bench_conv(s, reps));
     }
     let spec = e2e_spec(tiny);
-    report.e2e.push(bench_e2e(&spec, KernelMode::Blocked));
-    report.e2e.push(bench_e2e(&spec, KernelMode::Reference));
+    for kind in BackendKind::ALL {
+        report.e2e.push(bench_e2e(&spec, kind));
+    }
     report
 }
 
@@ -355,51 +370,79 @@ mod tests {
                 KernelMeasurement {
                     kernel: "matmul",
                     shape: "8x8x8".into(),
-                    mode: "blocked",
+                    backend: "blocked",
                     ns_per_op: 100.0,
                     gflops: 10.24,
                 },
                 KernelMeasurement {
                     kernel: "matmul",
                     shape: "8x8x8".into(),
-                    mode: "reference",
+                    backend: "reference",
                     ns_per_op: 400.0,
                     gflops: 2.56,
                 },
             ],
-            e2e: vec![E2eMeasurement { mode: "blocked", mean_round_wall_secs: 0.25, rounds: 3 }],
+            e2e: vec![E2eMeasurement {
+                backend: "blocked",
+                mean_round_wall_secs: 0.25,
+                rounds: 3,
+            }],
         };
         let json = report.to_json();
         assert!(json.starts_with("{\n"));
-        assert!(json.contains("\"schema\": \"fedcav-kernel-bench-v1\""));
+        assert!(json.contains("\"schema\": \"fedcav-kernel-bench-v2\""));
         assert!(json.contains("\"shape\": \"8x8x8\""));
+        assert!(json.contains("\"backend\": \"blocked\""));
         assert!(json.contains("\"mean_round_wall_secs\": 0.250000"));
         // No trailing commas (the classic hand-rolled-JSON bug).
         assert!(!json.contains(",\n  ]"));
         assert!(!json.contains(",\n  ]}"));
         assert_eq!(report.speedup("matmul", "8x8x8"), Some(4.0));
         assert_eq!(report.speedup("matmul", "9x9x9"), None);
+        assert_eq!(
+            report.speedup_of("matmul", "8x8x8", BackendKind::Reference, BackendKind::CpuBlocked),
+            Some(0.25)
+        );
     }
 
     #[test]
-    fn tiny_suite_measures_both_modes_per_shape() {
+    fn tiny_suite_measures_every_backend_per_shape() {
         let report = run_suite(true, 1);
         assert!(!report.kernels.is_empty());
         for k in &report.kernels {
             assert!(k.ns_per_op > 0.0, "{k:?}");
             assert!(k.gflops > 0.0, "{k:?}");
-            let twin = report
-                .kernels
-                .iter()
-                .find(|o| o.kernel == k.kernel && o.shape == k.shape && o.mode != k.mode);
-            assert!(twin.is_some(), "missing twin measurement for {k:?}");
+            for kind in BackendKind::ALL {
+                let token = backend_token(kind);
+                assert!(
+                    report
+                        .kernels
+                        .iter()
+                        .any(|o| o.kernel == k.kernel && o.shape == k.shape && o.backend == token),
+                    "missing {token} row for {k:?}"
+                );
+            }
         }
-        assert_eq!(report.e2e.len(), 2);
-        assert!(report.e2e.iter().any(|e| e.mode == "blocked"));
-        assert!(report.e2e.iter().any(|e| e.mode == "reference"));
-        for e in &report.e2e {
+        assert_eq!(report.e2e.len(), BackendKind::ALL.len());
+        for kind in BackendKind::ALL {
+            let token = backend_token(kind);
+            let e = report.e2e.iter().find(|e| e.backend == token);
+            let e = e.unwrap_or_else(|| panic!("missing e2e row for {token}"));
             assert!(e.mean_round_wall_secs > 0.0);
             assert_eq!(e.rounds, 2);
         }
+    }
+
+    #[test]
+    fn e2e_restores_the_ambient_backend() {
+        // The offline harness runs tests with --test-threads=1, so forcing
+        // the process-global backend here cannot race another test.
+        let ambient = backend_kind();
+        force_backend_kind(BackendKind::CpuBlocked);
+        let spec = e2e_spec(true);
+        let e = bench_e2e(&spec, BackendKind::Reference);
+        assert_eq!(e.backend, "reference");
+        assert_eq!(backend_kind(), BackendKind::CpuBlocked, "ambient backend restored");
+        force_backend_kind(ambient);
     }
 }

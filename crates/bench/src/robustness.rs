@@ -397,6 +397,7 @@ mod tests {
             seed: 11,
             noise_override: None,
             executor: ClientExecutor::Sequential,
+            backend: fedcav_tensor::BackendKind::CpuBlocked,
         }
     }
 

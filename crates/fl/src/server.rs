@@ -111,7 +111,11 @@ pub struct Simulation<'a> {
     fault_policy: FaultPolicy,
     executor: ClientExecutor,
     sim_time: f64,
-    global: Vec<f32>,
+    /// The global model, Arc'd so the broadcast to clients is zero-copy
+    /// and [`Simulation::global_arc`] snapshots are free. Aggregation
+    /// mutates it through `Arc::make_mut` (copy-on-write only while a
+    /// snapshot is alive).
+    global: Arc<Vec<f32>>,
     history: History,
     config: SimulationConfig,
     round: usize,
@@ -135,7 +139,7 @@ impl<'a> Simulation<'a> {
         config: SimulationConfig,
     ) -> Self {
         assert!(!clients.is_empty(), "need at least one client");
-        let global = factory().flat_params();
+        let global = Arc::new(factory().flat_params());
         let comm_model = CommModel::new(global.len());
         let rng = StdRng::seed_from_u64(config.seed);
         Simulation {
@@ -238,13 +242,20 @@ impl<'a> Simulation<'a> {
                 to: self.global.len(),
             });
         }
-        self.global = params;
+        self.global = Arc::new(params);
         Ok(())
     }
 
     /// Current global model parameters.
     pub fn global(&self) -> &[f32] {
         &self.global
+    }
+
+    /// Zero-copy snapshot of the current global model. The snapshot stays
+    /// valid (and unchanged) across later rounds: aggregation replaces the
+    /// server's buffer copy-on-write rather than mutating it in place.
+    pub fn global_arc(&self) -> Arc<Vec<f32>> {
+        Arc::clone(&self.global)
     }
 
     /// Number of clients in the deployment.
@@ -339,7 +350,10 @@ impl<'a> Simulation<'a> {
 
         let span = Span::begin(tracer, "round.aggregation");
         let quorum = self.fault_policy.min_quorum;
-        stages::aggregation::run(&mut ctx, &mut *self.strategy, &mut self.global, quorum)?;
+        // Copy-on-write: by now every client's Arc'd download is dropped,
+        // so make_mut mutates in place unless a user snapshot is alive.
+        let global = Arc::make_mut(&mut self.global);
+        stages::aggregation::run(&mut ctx, &mut *self.strategy, global, quorum)?;
         phases.aggregation_ns = span.done();
 
         let span = Span::begin(tracer, "round.evaluation");
@@ -535,6 +549,36 @@ mod tests {
         assert!(sim.set_global(vec![0.0; 3]).is_err());
         let p = sim.global().to_vec();
         assert!(sim.set_global(p).is_ok());
+    }
+
+    #[test]
+    fn global_snapshot_is_zero_copy_and_copy_on_write() {
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = Simulation::new(
+            &factory,
+            clients,
+            test,
+            Box::new(FedAvg::new()),
+            SimulationConfig {
+                sample_ratio: 1.0,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.1, prox_mu: 0.0 },
+                eval_batch: 32,
+                seed: 5,
+            },
+        );
+        let snap = sim.global_arc();
+        assert!(Arc::ptr_eq(&snap, &sim.global_arc()), "snapshots share one allocation");
+        let before = snap.to_vec();
+        sim.run_round().unwrap();
+        // Aggregation went copy-on-write because the snapshot was alive:
+        // the server moved to a fresh buffer, the snapshot kept the old one.
+        assert!(!Arc::ptr_eq(&snap, &sim.global_arc()), "round must not mutate live snapshots");
+        assert_eq!(&before[..], &snap[..]);
+        assert_ne!(sim.global(), &before[..], "the round moved the server's model");
     }
 
     #[test]

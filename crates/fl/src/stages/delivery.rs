@@ -18,6 +18,7 @@ use crate::latency::LatencyModel;
 use crate::metrics::{FaultEvent, FaultEventKind};
 use crate::server::Interceptor;
 use fedcav_tensor::Result;
+use std::sync::Arc;
 
 /// The deployment state the delivery stage reads.
 pub struct DeliveryEnv<'a> {
@@ -30,8 +31,10 @@ pub struct DeliveryEnv<'a> {
     /// Whether uplink includes the per-client inference loss (FedCav's "one
     /// extra float").
     pub counts_loss: bool,
-    /// The current global model (shown to the interceptor, read-only).
-    pub global: &'a [f32],
+    /// The current global model — the same shared broadcast buffer the
+    /// training stage handed each client (shown to the interceptor,
+    /// read-only).
+    pub global: &'a Arc<Vec<f32>>,
 }
 
 /// Drain `ctx.outcomes` into `ctx.updates`/`ctx.telemetry`, record straggler
@@ -109,7 +112,7 @@ mod tests {
         (cid, None, ClientOutcome::Arrived(LocalUpdate::new(cid, vec![0.0; 4], loss, 10)))
     }
 
-    fn env_no_latency(global: &[f32]) -> DeliveryEnv<'_> {
+    fn env_no_latency(global: &Arc<Vec<f32>>) -> DeliveryEnv<'_> {
         DeliveryEnv {
             latency: None,
             deadline: None,
@@ -121,7 +124,7 @@ mod tests {
 
     #[test]
     fn crashes_and_failures_become_drops() {
-        let global = vec![0.0; 4];
+        let global = Arc::new(vec![0.0; 4]);
         let mut ctx = RoundContext::new(0);
         ctx.participants = vec![0, 1, 2];
         ctx.outcomes = vec![
@@ -140,7 +143,7 @@ mod tests {
     #[test]
     fn deadline_times_out_the_straggler() {
         use crate::faults::InjectedFault;
-        let global = vec![0.0; 4];
+        let global = Arc::new(vec![0.0; 4]);
         let mut ctx = RoundContext::new(0);
         ctx.participants = vec![0, 1];
         ctx.outcomes = vec![arrived(0, 0.5), arrived(1, 0.5)];
@@ -176,7 +179,7 @@ mod tests {
                 Ok(())
             }
         }
-        let global = vec![0.0; 4];
+        let global = Arc::new(vec![0.0; 4]);
         let mut ctx = RoundContext::new(0);
         ctx.participants = vec![0, 1];
         ctx.outcomes = vec![arrived(0, 0.5), arrived(1, 0.5)];
@@ -186,5 +189,22 @@ mod tests {
         assert!(ctx.updates.is_empty(), "the interceptor swallowed everything");
         assert_eq!(ctx.bytes_up, CommModel::new(4).uplink(2, false), "…but the bytes were spent");
         assert_eq!(stats.total_up, ctx.bytes_up);
+    }
+
+    #[test]
+    fn shared_broadcast_still_bills_downlink_per_client() {
+        // Regression for the zero-copy broadcast: the simulator holds ONE
+        // Arc'd buffer, but the §6 ledger must keep billing one downlink
+        // per sampled client — sharing memory is a simulator optimisation,
+        // not a change to the modelled network.
+        let global = Arc::new(vec![0.0; 4]);
+        let mut ctx = RoundContext::new(0);
+        ctx.participants = vec![0, 1, 2];
+        ctx.outcomes = vec![arrived(0, 0.5), arrived(1, 0.5), arrived(2, 0.5)];
+        let mut stats = CommStats::default();
+        run(&mut ctx, env_no_latency(&global), &mut stats, None).unwrap();
+        assert_eq!(ctx.bytes_down, CommModel::new(4).downlink(3));
+        assert_eq!(stats.total_down, ctx.bytes_down);
+        assert_eq!(Arc::strong_count(&global), 1, "delivery takes no ownership of the broadcast");
     }
 }

@@ -18,6 +18,7 @@ use crate::executor::ClientExecutor;
 use crate::faults::{apply_fault, FaultModel, InjectedFault};
 use crate::server::ModelFactory;
 use fedcav_data::Dataset;
+use std::sync::Arc;
 
 /// Seed salt separating the corruption-value stream from the training
 /// stream (both hash the same master seed per (round, client)).
@@ -40,8 +41,12 @@ pub fn derive_seed(master: u64, round: usize, client: usize) -> u64 {
 pub struct TrainingEnv<'a> {
     /// Model constructor; every client builds its own instance.
     pub factory: &'a ModelFactory,
-    /// The current global model parameters (downlink payload).
-    pub global: &'a [f32],
+    /// The current global model parameters (downlink payload). The
+    /// broadcast is **zero-copy**: every client's "download" is an
+    /// [`Arc`] clone of this one buffer, never a per-client `Vec` copy.
+    /// The §6 ledger still bills the downlink per client — the simulated
+    /// network sent `n` copies even though the simulator holds one.
+    pub global: &'a Arc<Vec<f32>>,
     /// All client datasets, indexed by client id.
     pub clients: &'a [Dataset],
     /// Local-training hyper-parameters, with any strategy μ already merged.
@@ -77,9 +82,12 @@ fn train_one(
         // bug; treat it as a failed client, not a panic.
         return (cid, fault, ClientOutcome::Failed(format!("unknown client id {cid}")));
     };
+    // The client's download: an Arc clone of the broadcast buffer, shared
+    // with every other participant in the cohort.
+    let download = Arc::clone(env.global);
     let trained = local_update(
         env.factory,
-        env.global,
+        &download,
         cid,
         dataset,
         &env.local,
@@ -112,14 +120,15 @@ mod tests {
         assert_ne!(derive_seed(1, 2, 3), derive_seed(2, 2, 3));
     }
 
-    fn tiny_deployment() -> (Vec<Dataset>, Vec<f32>, usize) {
+    fn tiny_deployment() -> (Vec<Dataset>, Arc<Vec<f32>>, usize) {
         let (train, _test) =
             SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2).generate().unwrap();
         let img_len = train.image_len();
         let mut rng = StdRng::seed_from_u64(0);
         let part = fedcav_data::partition::iid_balanced(&train, 2, &mut rng);
         let clients = part.client_datasets(&train).unwrap();
-        let global = models::mlp(&mut StdRng::seed_from_u64(7), img_len, 10).flat_params();
+        let global =
+            Arc::new(models::mlp(&mut StdRng::seed_from_u64(7), img_len, 10).flat_params());
         (clients, global, img_len)
     }
 
@@ -151,6 +160,29 @@ mod tests {
                 other => panic!("expected two arrivals, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn broadcast_leaves_no_stray_arc_clones() {
+        // Each participant's download is an Arc clone of the one broadcast
+        // buffer; all clones must be dropped by the time the stage returns,
+        // so the server's later `Arc::make_mut` never pays a copy for them.
+        let (clients, global, img_len) = tiny_deployment();
+        let factory = move || models::mlp(&mut StdRng::seed_from_u64(7), img_len, 10);
+        let env = TrainingEnv {
+            factory: &factory,
+            global: &global,
+            clients: &clients,
+            local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+            seed: 3,
+            fault_model: None,
+        };
+        assert_eq!(Arc::strong_count(&global), 1);
+        let mut ctx = RoundContext::new(0);
+        ctx.participants = vec![0, 1];
+        run(&mut ctx, &env, ClientExecutor::Sequential);
+        assert_eq!(Arc::strong_count(&global), 1, "downloads must not outlive the stage");
+        assert!(ctx.outcomes.iter().all(|(_, _, o)| matches!(o, ClientOutcome::Arrived(_))));
     }
 
     #[test]

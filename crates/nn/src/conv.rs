@@ -1,22 +1,23 @@
 //! Convolution layer wrapping the `fedcav-tensor` conv kernels.
 //!
-//! Under the default `FEDCAV_KERNELS=blocked` mode the layer runs the
-//! arena-backed im2col lowering — each `Conv2d` owns one
-//! [`Im2colScratch`], so steady-state training performs no per-call
-//! allocations for the lowered operands. Under `reference` it runs the
-//! original direct kernels, which remain the oracle the property suite
-//! compares against.
+//! The layer is generic over a [`Backend`]; on the default process-global
+//! [`Dispatch`] backend the `blocked` selection runs the arena-backed
+//! im2col lowering — each `Conv2d` owns one [`Im2colScratch`], so
+//! steady-state training performs no per-call allocations for the lowered
+//! operands — while `reference` runs the original direct kernels, which
+//! remain the oracle the property suite compares against, and `f16` runs
+//! the im2col lowering on binary16-quantized operands.
 
 use crate::layer::{read_tensor, write_tensor, Layer};
-use fedcav_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dParams};
-use fedcav_tensor::im2col::{
-    conv2d_backward_im2col_with, conv2d_forward_im2col_with, Im2colScratch,
-};
-use fedcav_tensor::{init, kernel_mode, KernelMode, Result, Tensor, TensorError};
+use fedcav_tensor::backend::{Backend, Dispatch};
+use fedcav_tensor::conv::Conv2dParams;
+use fedcav_tensor::im2col::Im2colScratch;
+use fedcav_tensor::{init, Result, Tensor, TensorError};
 use rand::Rng;
+use std::marker::PhantomData;
 
 /// 2-D convolution layer (NCHW), Kaiming-normal init, zero bias.
-pub struct Conv2d {
+pub struct Conv2d<B: Backend = Dispatch> {
     weight: Tensor,
     bias: Tensor,
     d_weight: Tensor,
@@ -28,11 +29,12 @@ pub struct Conv2d {
     scratch: Im2colScratch,
     fused_relu: bool,
     relu_mask: Option<Vec<bool>>,
+    _backend: PhantomData<B>,
 }
 
 impl Conv2d {
-    /// New conv layer: `out_c` filters of `in_c × k × k`, given stride and
-    /// symmetric padding.
+    /// New conv layer on the process-global [`Dispatch`] backend: `out_c`
+    /// filters of `in_c × k × k`, given stride and symmetric padding.
     pub fn new<R: Rng>(
         rng: &mut R,
         in_channels: usize,
@@ -41,20 +43,7 @@ impl Conv2d {
         stride: usize,
         padding: usize,
     ) -> Self {
-        let dims = [out_channels, in_channels, kernel, kernel];
-        Conv2d {
-            weight: init::kaiming_normal(rng, &dims),
-            bias: Tensor::zeros(&[out_channels]),
-            d_weight: Tensor::zeros(&dims),
-            d_bias: Tensor::zeros(&[out_channels]),
-            params: Conv2dParams { stride, padding },
-            cached_input: None,
-            in_channels,
-            out_channels,
-            scratch: Im2colScratch::new(),
-            fused_relu: false,
-            relu_mask: None,
-        }
+        Conv2d::new_on(rng, in_channels, out_channels, kernel, stride, padding)
     }
 
     /// New conv layer with a fused ReLU epilogue: behaves exactly like
@@ -70,7 +59,51 @@ impl Conv2d {
         stride: usize,
         padding: usize,
     ) -> Self {
-        let mut layer = Conv2d::new(rng, in_channels, out_channels, kernel, stride, padding);
+        Conv2d::new_fused_relu_on(rng, in_channels, out_channels, kernel, stride, padding)
+    }
+}
+
+impl<B: Backend> Conv2d<B> {
+    /// [`Conv2d::new`] on backend `B`. The fresh parameters are projected
+    /// onto `B`'s storage grid.
+    pub fn new_on<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let dims = [out_channels, in_channels, kernel, kernel];
+        let mut weight = init::kaiming_normal(rng, &dims);
+        B::init_store(weight.as_mut_slice());
+        Conv2d {
+            weight,
+            bias: Tensor::zeros(&[out_channels]),
+            d_weight: Tensor::zeros(&dims),
+            d_bias: Tensor::zeros(&[out_channels]),
+            params: Conv2dParams { stride, padding },
+            cached_input: None,
+            in_channels,
+            out_channels,
+            scratch: Im2colScratch::new(),
+            fused_relu: false,
+            relu_mask: None,
+            _backend: PhantomData,
+        }
+    }
+
+    /// [`Conv2d::new_fused_relu`] on backend `B`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_fused_relu_on<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let mut layer = Conv2d::<B>::new_on(rng, in_channels, out_channels, kernel, stride, padding);
         layer.fused_relu = true;
         layer
     }
@@ -86,7 +119,7 @@ impl Conv2d {
     }
 }
 
-impl Layer for Conv2d {
+impl<B: Backend> Layer for Conv2d<B> {
     fn name(&self) -> &'static str {
         if self.fused_relu {
             "Conv2dReLU"
@@ -96,23 +129,14 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
-        let out = match kernel_mode() {
-            KernelMode::Blocked => conv2d_forward_im2col_with(
-                input,
-                &self.weight,
-                &self.bias,
-                self.params,
-                self.fused_relu,
-                &mut self.scratch,
-            )?,
-            KernelMode::Reference => {
-                let mut out = conv2d_forward(input, &self.weight, &self.bias, self.params)?;
-                if self.fused_relu {
-                    out.map_in_place(|v| v.max(0.0));
-                }
-                out
-            }
-        };
+        let out = B::conv2d_forward(
+            input,
+            &self.weight,
+            &self.bias,
+            self.params,
+            self.fused_relu,
+            &mut self.scratch,
+        )?;
         if train {
             self.cached_input = Some(input.clone());
             // Same mask a standalone ReLU layer would compute: the
@@ -155,16 +179,7 @@ impl Layer for Conv2d {
         } else {
             d_out
         };
-        let grads = match kernel_mode() {
-            KernelMode::Blocked => conv2d_backward_im2col_with(
-                input,
-                &self.weight,
-                d_out,
-                self.params,
-                &mut self.scratch,
-            )?,
-            KernelMode::Reference => conv2d_backward(input, &self.weight, d_out, self.params)?,
-        };
+        let grads = B::conv2d_backward(input, &self.weight, d_out, self.params, &mut self.scratch)?;
         self.d_weight.add_assign(&grads.d_weight)?;
         self.d_bias.add_assign(&grads.d_bias)?;
         Ok(grads.d_input)
@@ -197,6 +212,11 @@ impl Layer for Conv2d {
         let a = read_tensor(&mut self.weight, src)?;
         let b = read_tensor(&mut self.bias, &src[a..])?;
         Ok(a + b)
+    }
+
+    fn project_params(&mut self) {
+        B::project_store(self.weight.as_mut_slice());
+        B::project_store(self.bias.as_mut_slice());
     }
 }
 
@@ -291,25 +311,22 @@ mod tests {
     }
 
     #[test]
-    fn both_kernel_modes_agree_within_tolerance() {
-        // The layer dispatches on the process-global mode; pin the two
-        // paths against each other here, restoring the ambient mode after.
-        let _guard = crate::KERNEL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        let ambient = fedcav_tensor::kernel_mode();
+    fn blocked_and_reference_backends_agree_within_tolerance() {
+        // Pin the two statically chosen f32 backends against each other —
+        // no process-global state involved.
+        use fedcav_tensor::backend::{CpuBlocked, Reference};
         let mut rng = StdRng::seed_from_u64(12);
         let x = init::uniform(&mut rng, &[1, 2, 8, 8], -1.0, 1.0);
-        let run = |mode: KernelMode, x: &Tensor| {
-            fedcav_tensor::force_kernel_mode(mode);
-            let mut c = Conv2d::new(&mut StdRng::seed_from_u64(6), 2, 4, 3, 1, 1);
+        fn run<B: Backend>(x: &Tensor) -> (Tensor, Tensor) {
+            let mut c = Conv2d::<B>::new_on(&mut StdRng::seed_from_u64(6), 2, 4, 3, 1, 1);
             let y = c.forward(x, true).unwrap();
             let g = y.map(|v| v * 0.5);
             c.zero_grad();
             let dx = c.backward(&g).unwrap();
             (y, dx)
-        };
-        let (y_b, dx_b) = run(KernelMode::Blocked, &x);
-        let (y_r, dx_r) = run(KernelMode::Reference, &x);
-        fedcav_tensor::force_kernel_mode(ambient);
+        }
+        let (y_b, dx_b) = run::<CpuBlocked>(&x);
+        let (y_r, dx_r) = run::<Reference>(&x);
         for (a, b) in y_b.as_slice().iter().zip(y_r.as_slice()) {
             assert!((a - b).abs() <= 1e-4, "{a} vs {b}");
         }

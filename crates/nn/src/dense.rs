@@ -1,21 +1,29 @@
 //! Fully-connected layer.
 
 use crate::layer::{read_tensor, write_tensor, Layer};
+use fedcav_tensor::backend::{Backend, Dispatch};
 use fedcav_tensor::{init, Result, Tensor, TensorError};
 use rand::Rng;
+use std::marker::PhantomData;
 
 /// A dense (fully-connected) layer: `y = x · W + b`.
 ///
 /// * weights `W`: `[in_features, out_features]` (Xavier-uniform init)
 /// * bias `b`: `[out_features]` (zero init)
 ///
+/// Generic over a [`Backend`] `B` (default: the process-global
+/// [`Dispatch`]): all matmuls run through `B`, and parameters are kept on
+/// `B`'s storage grid via [`Layer::project_params`].
+///
 /// The bias add is fused into the matmul's output store
 /// ([`Tensor::matmul_fused`]); [`Dense::new_fused_relu`] additionally
 /// fuses the ReLU activation, replacing a separate `ReLU` layer. Both
 /// fusions are bitwise-invisible — the per-element operation sequence is
 /// identical to the unfused stack — so swapping a `Dense → ReLU` pair for
-/// one fused layer cannot move training trajectories.
-pub struct Dense {
+/// one fused layer cannot move training trajectories. (This holds on the
+/// f16 backend too: quantization preserves sign and zero, so it commutes
+/// with the ReLU clamp.)
+pub struct Dense<B: Backend = Dispatch> {
     weight: Tensor,
     bias: Tensor,
     d_weight: Tensor,
@@ -25,13 +33,33 @@ pub struct Dense {
     out_features: usize,
     fused_relu: bool,
     relu_mask: Option<Vec<bool>>,
+    _backend: PhantomData<B>,
 }
 
 impl Dense {
-    /// New dense layer with Xavier-uniform weights.
+    /// New dense layer with Xavier-uniform weights on the process-global
+    /// [`Dispatch`] backend.
     pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Dense::new_on(rng, in_features, out_features)
+    }
+
+    /// New dense layer with a fused ReLU epilogue: behaves exactly like
+    /// `Dense::new(..)` followed by a `ReLU` layer (bit-for-bit, including
+    /// the backward masking), in one kernel pass. Draws the same RNG
+    /// stream as [`Dense::new`].
+    pub fn new_fused_relu<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Dense::new_fused_relu_on(rng, in_features, out_features)
+    }
+}
+
+impl<B: Backend> Dense<B> {
+    /// New dense layer with Xavier-uniform weights on backend `B`. The
+    /// fresh parameters are projected onto `B`'s storage grid.
+    pub fn new_on<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        let mut weight = init::xavier_uniform(rng, in_features, out_features);
+        B::init_store(weight.as_mut_slice());
         Dense {
-            weight: init::xavier_uniform(rng, in_features, out_features),
+            weight,
             bias: Tensor::zeros(&[out_features]),
             d_weight: Tensor::zeros(&[in_features, out_features]),
             d_bias: Tensor::zeros(&[out_features]),
@@ -40,15 +68,17 @@ impl Dense {
             out_features,
             fused_relu: false,
             relu_mask: None,
+            _backend: PhantomData,
         }
     }
 
-    /// New dense layer with a fused ReLU epilogue: behaves exactly like
-    /// `Dense::new(..)` followed by a `ReLU` layer (bit-for-bit, including
-    /// the backward masking), in one kernel pass. Draws the same RNG
-    /// stream as [`Dense::new`].
-    pub fn new_fused_relu<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
-        let mut layer = Dense::new(rng, in_features, out_features);
+    /// [`Dense::new_fused_relu`] on backend `B`.
+    pub fn new_fused_relu_on<R: Rng>(
+        rng: &mut R,
+        in_features: usize,
+        out_features: usize,
+    ) -> Self {
+        let mut layer = Dense::<B>::new_on(rng, in_features, out_features);
         layer.fused_relu = true;
         layer
     }
@@ -69,7 +99,7 @@ impl Dense {
     }
 }
 
-impl Layer for Dense {
+impl<B: Backend> Layer for Dense<B> {
     fn name(&self) -> &'static str {
         if self.fused_relu {
             "DenseReLU"
@@ -88,7 +118,7 @@ impl Layer for Dense {
             });
         }
         // Bias (and ReLU, when fused) ride along as the matmul epilogue.
-        let out = input.matmul_fused(&self.weight, Some(&self.bias), self.fused_relu)?;
+        let out = input.matmul_fused_on::<B>(&self.weight, Some(&self.bias), self.fused_relu)?;
         if train {
             self.cached_input = Some(input.clone());
             // `out > 0` is the same mask a standalone ReLU layer would
@@ -133,7 +163,7 @@ impl Layer for Dense {
             d_out
         };
         // dW += x^T d_out ; db += column-sum(d_out) ; dx = d_out W^T
-        let dw = input.transpose()?.matmul(d_out)?;
+        let dw = input.transpose()?.matmul_on::<B>(d_out)?;
         self.d_weight.add_assign(&dw)?;
         let go = d_out.as_slice();
         let db = self.d_bias.as_mut_slice();
@@ -142,7 +172,7 @@ impl Layer for Dense {
                 *acc += g;
             }
         }
-        d_out.matmul(&self.weight.transpose()?)
+        d_out.matmul_on::<B>(&self.weight.transpose()?)
     }
 
     fn visit_trainable(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
@@ -172,6 +202,11 @@ impl Layer for Dense {
         let a = read_tensor(&mut self.weight, src)?;
         let b = read_tensor(&mut self.bias, &src[a..])?;
         Ok(a + b)
+    }
+
+    fn project_params(&mut self) {
+        B::project_store(self.weight.as_mut_slice());
+        B::project_store(self.bias.as_mut_slice());
     }
 }
 

@@ -5,6 +5,7 @@
 use crate::{
     BasicBlock, BatchNorm2d, Conv2d, Dense, Flatten, GlobalAvgPool, MaxPool2d, ReLU, Sequential,
 };
+use fedcav_tensor::backend::{Backend, Dispatch};
 use rand::Rng;
 
 /// A small two-hidden-layer MLP: `input -> 64 -> 32 -> classes`.
@@ -12,41 +13,60 @@ use rand::Rng;
 /// Not in the paper; used for fast unit tests and examples where a CNN's
 /// wall-clock cost would be noise.
 pub fn mlp<R: Rng>(rng: &mut R, input_len: usize, classes: usize) -> Sequential {
+    mlp_on::<Dispatch, R>(rng, input_len, classes)
+}
+
+/// [`mlp`] with every layer pinned to backend `B`.
+pub fn mlp_on<B: Backend, R: Rng>(rng: &mut R, input_len: usize, classes: usize) -> Sequential {
     Sequential::new()
         .push(Flatten::new())
-        .push(Dense::new(rng, input_len, 64))
+        .push(Dense::<B>::new_on(rng, input_len, 64))
         .push(ReLU::new())
-        .push(Dense::new(rng, 64, 32))
+        .push(Dense::<B>::new_on(rng, 64, 32))
         .push(ReLU::new())
-        .push(Dense::new(rng, 32, classes))
+        .push(Dense::<B>::new_on(rng, 32, classes))
 }
 
 /// An even smaller MLP for property tests: `input -> 16 -> classes`.
 pub fn tiny_mlp<R: Rng>(rng: &mut R, input_len: usize, classes: usize) -> Sequential {
+    tiny_mlp_on::<Dispatch, R>(rng, input_len, classes)
+}
+
+/// [`tiny_mlp`] with every layer pinned to backend `B`.
+pub fn tiny_mlp_on<B: Backend, R: Rng>(
+    rng: &mut R,
+    input_len: usize,
+    classes: usize,
+) -> Sequential {
     Sequential::new()
         .push(Flatten::new())
-        .push(Dense::new(rng, input_len, 16))
+        .push(Dense::<B>::new_on(rng, input_len, 16))
         .push(ReLU::new())
-        .push(Dense::new(rng, 16, classes))
+        .push(Dense::<B>::new_on(rng, 16, classes))
 }
 
 /// LeNet-5 for 1×28×28 inputs (the paper's MNIST model, [10] in the paper).
 ///
 /// conv(6@5×5) → pool2 → conv(16@5×5) → pool2 → fc120 → fc84 → fc`classes`.
 pub fn lenet5<R: Rng>(rng: &mut R, classes: usize) -> Sequential {
+    lenet5_on::<Dispatch, R>(rng, classes)
+}
+
+/// [`lenet5`] with every layer pinned to backend `B`.
+pub fn lenet5_on<B: Backend, R: Rng>(rng: &mut R, classes: usize) -> Sequential {
     Sequential::new()
-        .push(Conv2d::new(rng, 1, 6, 5, 1, 0)) // 28 -> 24
+        .push(Conv2d::<B>::new_on(rng, 1, 6, 5, 1, 0)) // 28 -> 24
         .push(ReLU::new())
-        .push(MaxPool2d::new(2)) // 24 -> 12
-        .push(Conv2d::new(rng, 6, 16, 5, 1, 0)) // 12 -> 8
+        .push(MaxPool2d::<B>::new_on(2)) // 24 -> 12
+        .push(Conv2d::<B>::new_on(rng, 6, 16, 5, 1, 0)) // 12 -> 8
         .push(ReLU::new())
-        .push(MaxPool2d::new(2)) // 8 -> 4
+        .push(MaxPool2d::<B>::new_on(2)) // 8 -> 4
         .push(Flatten::new()) // 16*4*4 = 256
-        .push(Dense::new(rng, 256, 120))
+        .push(Dense::<B>::new_on(rng, 256, 120))
         .push(ReLU::new())
-        .push(Dense::new(rng, 120, 84))
+        .push(Dense::<B>::new_on(rng, 120, 84))
         .push(ReLU::new())
-        .push(Dense::new(rng, 84, classes))
+        .push(Dense::<B>::new_on(rng, 84, classes))
 }
 
 /// The paper's "9-layers CNN" for FMNIST-like 1×28×28 inputs.
@@ -54,36 +74,41 @@ pub fn lenet5<R: Rng>(rng: &mut R, classes: usize) -> Sequential {
 /// Nine weight layers: six 3×3 convolutions (two per stage, BN after each)
 /// with 2× max-pool between stages, then three fully-connected layers.
 pub fn cnn9<R: Rng>(rng: &mut R, classes: usize) -> Sequential {
+    cnn9_on::<Dispatch, R>(rng, classes)
+}
+
+/// [`cnn9`] with every layer pinned to backend `B`.
+pub fn cnn9_on<B: Backend, R: Rng>(rng: &mut R, classes: usize) -> Sequential {
     Sequential::new()
         // Stage 1: 28x28
-        .push(Conv2d::new(rng, 1, 16, 3, 1, 1))
-        .push(BatchNorm2d::new(16))
+        .push(Conv2d::<B>::new_on(rng, 1, 16, 3, 1, 1))
+        .push(BatchNorm2d::<B>::new_on(16))
         .push(ReLU::new())
-        .push(Conv2d::new(rng, 16, 16, 3, 1, 1))
-        .push(BatchNorm2d::new(16))
+        .push(Conv2d::<B>::new_on(rng, 16, 16, 3, 1, 1))
+        .push(BatchNorm2d::<B>::new_on(16))
         .push(ReLU::new())
-        .push(MaxPool2d::new(2)) // 28 -> 14
+        .push(MaxPool2d::<B>::new_on(2)) // 28 -> 14
         // Stage 2: 14x14
-        .push(Conv2d::new(rng, 16, 32, 3, 1, 1))
-        .push(BatchNorm2d::new(32))
+        .push(Conv2d::<B>::new_on(rng, 16, 32, 3, 1, 1))
+        .push(BatchNorm2d::<B>::new_on(32))
         .push(ReLU::new())
-        .push(Conv2d::new(rng, 32, 32, 3, 1, 1))
-        .push(BatchNorm2d::new(32))
+        .push(Conv2d::<B>::new_on(rng, 32, 32, 3, 1, 1))
+        .push(BatchNorm2d::<B>::new_on(32))
         .push(ReLU::new())
-        .push(MaxPool2d::new(2)) // 14 -> 7
+        .push(MaxPool2d::<B>::new_on(2)) // 14 -> 7
         // Stage 3: 7x7
-        .push(Conv2d::new(rng, 32, 64, 3, 1, 1))
-        .push(BatchNorm2d::new(64))
+        .push(Conv2d::<B>::new_on(rng, 32, 64, 3, 1, 1))
+        .push(BatchNorm2d::<B>::new_on(64))
         .push(ReLU::new())
-        .push(Conv2d::new(rng, 64, 64, 3, 1, 1))
-        .push(BatchNorm2d::new(64))
+        .push(Conv2d::<B>::new_on(rng, 64, 64, 3, 1, 1))
+        .push(BatchNorm2d::<B>::new_on(64))
         .push(ReLU::new())
         .push(Flatten::new()) // 64*7*7 = 3136
-        .push(Dense::new(rng, 3136, 256))
+        .push(Dense::<B>::new_on(rng, 3136, 256))
         .push(ReLU::new())
-        .push(Dense::new(rng, 256, 84))
+        .push(Dense::<B>::new_on(rng, 256, 84))
         .push(ReLU::new())
-        .push(Dense::new(rng, 84, classes))
+        .push(Dense::<B>::new_on(rng, 84, classes))
 }
 
 /// ResNet-18 topology for 3×32×32 inputs (the paper's CIFAR-10 model),
@@ -94,22 +119,31 @@ pub fn cnn9<R: Rng>(rng: &mut R, classes: usize) -> Sequential {
 /// affordable on CPU inside bench loops — the topology (2-2-2-2 basic
 /// blocks, projection shortcuts, BN, global average pool) is faithful.
 pub fn resnet18<R: Rng>(rng: &mut R, classes: usize, base_width: usize) -> Sequential {
+    resnet18_on::<Dispatch, R>(rng, classes, base_width)
+}
+
+/// [`resnet18`] with every layer pinned to backend `B`.
+pub fn resnet18_on<B: Backend, R: Rng>(
+    rng: &mut R,
+    classes: usize,
+    base_width: usize,
+) -> Sequential {
     let w = base_width.max(1);
     let mut m = Sequential::new()
-        .push(Conv2d::new(rng, 3, w, 3, 1, 1))
-        .push(BatchNorm2d::new(w))
+        .push(Conv2d::<B>::new_on(rng, 3, w, 3, 1, 1))
+        .push(BatchNorm2d::<B>::new_on(w))
         .push(ReLU::new());
     // Four stages of two basic blocks each: widths w, 2w, 4w, 8w.
     let widths = [w, 2 * w, 4 * w, 8 * w];
     let mut in_c = w;
     for (stage, &out_c) in widths.iter().enumerate() {
         let stride = if stage == 0 { 1 } else { 2 };
-        m.push_boxed(Box::new(BasicBlock::new(rng, in_c, out_c, stride)));
-        m.push_boxed(Box::new(BasicBlock::new(rng, out_c, out_c, 1)));
+        m.push_boxed(Box::new(BasicBlock::<B>::new_on(rng, in_c, out_c, stride)));
+        m.push_boxed(Box::new(BasicBlock::<B>::new_on(rng, out_c, out_c, 1)));
         in_c = out_c;
     }
-    m.push_boxed(Box::new(GlobalAvgPool::new()));
-    m.push_boxed(Box::new(Dense::new(rng, in_c, classes)));
+    m.push_boxed(Box::new(GlobalAvgPool::<B>::new_on()));
+    m.push_boxed(Box::new(Dense::<B>::new_on(rng, in_c, classes)));
     m
 }
 

@@ -1,19 +1,23 @@
 //! Batch normalisation over NCHW channels.
 
 use crate::layer::{read_tensor, write_tensor, Layer};
-use fedcav_tensor::reduce::{channel_mean, channel_var};
+use fedcav_tensor::backend::{Backend, Dispatch};
 use fedcav_tensor::{Result, Tensor, TensorError};
+use std::marker::PhantomData;
 
 /// 2-D batch normalisation.
 ///
 /// Trainable scale `γ` and shift `β` per channel; running mean/variance
 /// buffers are updated with momentum during training and used at inference.
+/// Channel statistics come from the backend's `channel_mean`/`channel_var`
+/// — f32 on every backend, since the rsqrt normalisation is where half
+/// precision costs real accuracy.
 ///
 /// The running statistics **are part of the FL wire format** (`state_len`
 /// includes them): federated averaging of batch-norm state follows the
 /// common FedAvg-BN practice and is required for the global model to be
 /// evaluable on the server.
-pub struct BatchNorm2d {
+pub struct BatchNorm2d<B: Backend = Dispatch> {
     gamma: Tensor,
     beta: Tensor,
     d_gamma: Tensor,
@@ -25,11 +29,20 @@ pub struct BatchNorm2d {
     channels: usize,
     /// (x_hat, inv_std, input dims) cached by the training forward.
     cache: Option<(Tensor, Tensor, Vec<usize>)>,
+    _backend: PhantomData<B>,
 }
 
 impl BatchNorm2d {
-    /// New batch-norm layer for `channels` channels.
+    /// New batch-norm layer for `channels` channels on the process-global
+    /// [`Dispatch`] backend.
     pub fn new(channels: usize) -> Self {
+        BatchNorm2d::new_on(channels)
+    }
+}
+
+impl<B: Backend> BatchNorm2d<B> {
+    /// [`BatchNorm2d::new`] on backend `B`.
+    pub fn new_on(channels: usize) -> Self {
         BatchNorm2d {
             gamma: Tensor::ones(&[channels]),
             beta: Tensor::zeros(&[channels]),
@@ -41,6 +54,7 @@ impl BatchNorm2d {
             eps: 1e-5,
             channels,
             cache: None,
+            _backend: PhantomData,
         }
     }
 
@@ -67,7 +81,7 @@ impl BatchNorm2d {
     }
 }
 
-impl Layer for BatchNorm2d {
+impl<B: Backend> Layer for BatchNorm2d<B> {
     fn name(&self) -> &'static str {
         "BatchNorm2d"
     }
@@ -78,8 +92,8 @@ impl Layer for BatchNorm2d {
         let mut out = vec![0.0f32; x.len()];
 
         if train {
-            let mean = channel_mean(input)?;
-            let var = channel_var(input, &mean)?;
+            let mean = B::channel_mean(input)?;
+            let var = B::channel_var(input, &mean)?;
             let inv_std: Vec<f32> =
                 var.as_slice().iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
 
@@ -205,12 +219,20 @@ impl Layer for BatchNorm2d {
         off += read_tensor(&mut self.running_var, &src[off..])?;
         Ok(off)
     }
+
+    fn project_params(&mut self) {
+        B::project_store(self.gamma.as_mut_slice());
+        B::project_store(self.beta.as_mut_slice());
+        B::project_store(self.running_mean.as_mut_slice());
+        B::project_store(self.running_var.as_mut_slice());
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fedcav_tensor::init;
+    use fedcav_tensor::reduce::{channel_mean, channel_var};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -117,6 +117,9 @@ impl Sgd {
             cursor += p.len();
         });
         debug_assert_eq!(cursor, self.velocity.len());
+        // Keep held parameters representable in each layer's backend storage
+        // (no-op on f32 backends).
+        model.project_params();
         Ok(())
     }
 

@@ -1,29 +1,43 @@
 //! Pooling layers.
 
 use crate::layer::Layer;
-use fedcav_tensor::pool;
+use fedcav_tensor::backend::{Backend, Dispatch};
 use fedcav_tensor::{Result, Tensor, TensorError};
+use std::marker::PhantomData;
 
 /// Non-overlapping max pooling with a square window.
-pub struct MaxPool2d {
+///
+/// Generic over a [`Backend`] for uniformity with the other layers; no
+/// backend currently overrides max pooling (the max of grid-stored values
+/// is itself on the grid, so even the f16 backend needs no projection).
+pub struct MaxPool2d<B: Backend = Dispatch> {
     window: usize,
     cached: Option<(Vec<usize>, Vec<usize>)>, // (input dims, argmax)
+    _backend: PhantomData<B>,
 }
 
 impl MaxPool2d {
-    /// New max-pool layer with window (and stride) `window`.
+    /// New max-pool layer with window (and stride) `window` on the
+    /// process-global [`Dispatch`] backend.
     pub fn new(window: usize) -> Self {
-        MaxPool2d { window, cached: None }
+        MaxPool2d::new_on(window)
     }
 }
 
-impl Layer for MaxPool2d {
+impl<B: Backend> MaxPool2d<B> {
+    /// [`MaxPool2d::new`] on backend `B`.
+    pub fn new_on(window: usize) -> Self {
+        MaxPool2d { window, cached: None, _backend: PhantomData }
+    }
+}
+
+impl<B: Backend> Layer for MaxPool2d<B> {
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
-        let out = pool::maxpool2d_forward(input, self.window)?;
+        let out = B::maxpool2d_forward(input, self.window)?;
         if train {
             self.cached = Some((input.dims().to_vec(), out.argmax));
         }
@@ -35,35 +49,44 @@ impl Layer for MaxPool2d {
             .cached
             .as_ref()
             .ok_or(TensorError::Empty { op: "MaxPool2d::backward (no cached forward)" })?;
-        pool::maxpool2d_backward(dims, argmax, d_out)
+        B::maxpool2d_backward(dims, argmax, d_out)
     }
 }
 
 /// Global average pooling `[n,c,h,w] -> [n,c]` (ResNet head).
-pub struct GlobalAvgPool {
+pub struct GlobalAvgPool<B: Backend = Dispatch> {
     cached_dims: Option<Vec<usize>>,
+    _backend: PhantomData<B>,
 }
 
 impl GlobalAvgPool {
-    /// New global-average-pool layer.
+    /// New global-average-pool layer on the process-global [`Dispatch`]
+    /// backend.
     pub fn new() -> Self {
-        GlobalAvgPool { cached_dims: None }
+        GlobalAvgPool::new_on()
     }
 }
 
-impl Default for GlobalAvgPool {
+impl<B: Backend> GlobalAvgPool<B> {
+    /// [`GlobalAvgPool::new`] on backend `B`.
+    pub fn new_on() -> Self {
+        GlobalAvgPool { cached_dims: None, _backend: PhantomData }
+    }
+}
+
+impl<B: Backend> Default for GlobalAvgPool<B> {
     fn default() -> Self {
-        Self::new()
+        Self::new_on()
     }
 }
 
-impl Layer for GlobalAvgPool {
+impl<B: Backend> Layer for GlobalAvgPool<B> {
     fn name(&self) -> &'static str {
         "GlobalAvgPool"
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
-        let out = pool::global_avgpool_forward(input)?;
+        let out = B::global_avgpool_forward(input)?;
         if train {
             self.cached_dims = Some(input.dims().to_vec());
         }
@@ -75,7 +98,7 @@ impl Layer for GlobalAvgPool {
             .cached_dims
             .as_ref()
             .ok_or(TensorError::Empty { op: "GlobalAvgPool::backward (no cached forward)" })?;
-        pool::global_avgpool_backward(dims, d_out)
+        B::global_avgpool_backward(dims, d_out)
     }
 }
 
@@ -114,5 +137,17 @@ mod tests {
     fn gap_backward_requires_forward() {
         let mut p = GlobalAvgPool::new();
         assert!(p.backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn f16_gap_output_is_on_grid() {
+        use fedcav_tensor::backend::F16Storage;
+        use fedcav_tensor::F16;
+        let mut p = GlobalAvgPool::<F16Storage>::new_on();
+        let x = Tensor::from_vec(&[1, 1, 1, 3], vec![0.1, 0.2, 0.4]).unwrap();
+        let y = p.forward(&x, true).unwrap();
+        for &v in y.as_slice() {
+            assert_eq!(v.to_bits(), F16::quantize(v).to_bits());
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::layer::Layer;
 use crate::{BatchNorm2d, Conv2d, ReLU};
+use fedcav_tensor::backend::{Backend, Dispatch};
 use fedcav_tensor::{Result, Tensor, TensorError};
 use rand::Rng;
 
@@ -14,32 +15,43 @@ use rand::Rng;
 ///
 /// The projection shortcut (1×1 conv + BN) is used when the stride is not 1
 /// or the channel count changes, exactly as in He et al. and torchvision's
-/// ResNet-18.
-pub struct BasicBlock {
-    conv1: Conv2d,
-    bn1: BatchNorm2d,
+/// ResNet-18. All sub-layers share the block's [`Backend`].
+pub struct BasicBlock<B: Backend = Dispatch> {
+    conv1: Conv2d<B>,
+    bn1: BatchNorm2d<B>,
     relu1: ReLU,
-    conv2: Conv2d,
-    bn2: BatchNorm2d,
-    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    conv2: Conv2d<B>,
+    bn2: BatchNorm2d<B>,
+    shortcut: Option<(Conv2d<B>, BatchNorm2d<B>)>,
     /// Pre-activation sum cached for the final ReLU backward.
     sum_mask: Option<Vec<bool>>,
 }
 
 impl BasicBlock {
-    /// New basic block `in_c -> out_c` with the given first-conv stride.
+    /// New basic block `in_c -> out_c` with the given first-conv stride on
+    /// the process-global [`Dispatch`] backend.
     pub fn new<R: Rng>(rng: &mut R, in_c: usize, out_c: usize, stride: usize) -> Self {
+        BasicBlock::new_on(rng, in_c, out_c, stride)
+    }
+}
+
+impl<B: Backend> BasicBlock<B> {
+    /// [`BasicBlock::new`] on backend `B`.
+    ///
+    /// RNG draw order (shortcut conv first, then conv1, then conv2) is part
+    /// of the model wire format and must not change.
+    pub fn new_on<R: Rng>(rng: &mut R, in_c: usize, out_c: usize, stride: usize) -> Self {
         let shortcut = if stride != 1 || in_c != out_c {
-            Some((Conv2d::new(rng, in_c, out_c, 1, stride, 0), BatchNorm2d::new(out_c)))
+            Some((Conv2d::new_on(rng, in_c, out_c, 1, stride, 0), BatchNorm2d::new_on(out_c)))
         } else {
             None
         };
         BasicBlock {
-            conv1: Conv2d::new(rng, in_c, out_c, 3, stride, 1),
-            bn1: BatchNorm2d::new(out_c),
+            conv1: Conv2d::new_on(rng, in_c, out_c, 3, stride, 1),
+            bn1: BatchNorm2d::new_on(out_c),
             relu1: ReLU::new(),
-            conv2: Conv2d::new(rng, out_c, out_c, 3, 1, 1),
-            bn2: BatchNorm2d::new(out_c),
+            conv2: Conv2d::new_on(rng, out_c, out_c, 3, 1, 1),
+            bn2: BatchNorm2d::new_on(out_c),
             shortcut,
             sum_mask: None,
         }
@@ -51,7 +63,7 @@ impl BasicBlock {
     }
 }
 
-impl Layer for BasicBlock {
+impl<B: Backend> Layer for BasicBlock<B> {
     fn name(&self) -> &'static str {
         "BasicBlock"
     }
@@ -179,6 +191,17 @@ impl Layer for BasicBlock {
             off += bn.read_state(&src[off..])?;
         }
         Ok(off)
+    }
+
+    fn project_params(&mut self) {
+        self.conv1.project_params();
+        self.bn1.project_params();
+        self.conv2.project_params();
+        self.bn2.project_params();
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.project_params();
+            bn.project_params();
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 //! SGD must be a contraction toward lower loss on average.
 
 use fedcav_nn::{models, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy};
-use fedcav_tensor::{init, Tensor};
+use fedcav_tensor::{backend_kind, init, BackendKind, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,7 +109,16 @@ proptest! {
             v
         };
         for ((b, a), g) in before.iter().zip(&after).zip(&grads) {
-            prop_assert!((a - (b - lr * g)).abs() < 1e-4);
+            // On the f16 backend the optimizer re-projects the stepped
+            // parameter onto the binary16 grid, so the exact-arithmetic
+            // identity only holds to a grid half-ulp (`|a|·2⁻¹¹`, floored
+            // in the subnormal range).
+            let tol = if backend_kind() == BackendKind::F16Storage {
+                1e-4f32.max(a.abs() * 2f32.powi(-10)).max(2f32.powi(-24))
+            } else {
+                1e-4
+            };
+            prop_assert!((a - (b - lr * g)).abs() < tol, "{b} stepped to {a} (grad {g})");
         }
     }
 

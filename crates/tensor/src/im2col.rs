@@ -23,7 +23,7 @@
 //! with its own model, so no synchronisation is needed.
 
 use crate::conv::{Conv2dGrads, Conv2dParams};
-use crate::matmul::{kernel_mode, matmul_into, Epilogue};
+use crate::matmul::{kernel_mode, matmul_into, Epilogue, KernelMode};
 use crate::{Result, Tensor, TensorError};
 
 /// Reusable buffers for the im2col lowering. See the module docs for the
@@ -243,6 +243,22 @@ pub fn conv2d_forward_im2col_with(
     relu: bool,
     scratch: &mut Im2colScratch,
 ) -> Result<Tensor> {
+    conv2d_forward_im2col_mode(kernel_mode(), input, weight, bias, params, relu, scratch)
+}
+
+/// The fully explicit forward lowering: like
+/// [`conv2d_forward_im2col_with`] but with the matmul kernel named by the
+/// caller instead of read from the process-global mode — the form the
+/// backend implementations in [`crate::backend`] build on.
+pub fn conv2d_forward_im2col_mode(
+    mode: KernelMode,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: Conv2dParams,
+    relu: bool,
+    scratch: &mut Im2colScratch,
+) -> Result<Tensor> {
     let g = check_conv_dims("conv2d_forward_im2col", input, weight, params)?;
     if bias.dims() != [g.out_c] {
         return Err(TensorError::ShapeMismatch {
@@ -261,7 +277,7 @@ pub fn conv2d_forward_im2col_with(
     let ep =
         if relu { Epilogue::BiasRelu(bias.as_slice()) } else { Epilogue::Bias(bias.as_slice()) };
     matmul_into(
-        kernel_mode(),
+        mode,
         &scratch.cols,
         &scratch.w_mat,
         rows,
@@ -323,6 +339,20 @@ pub fn conv2d_backward_im2col_with(
     params: Conv2dParams,
     scratch: &mut Im2colScratch,
 ) -> Result<Conv2dGrads> {
+    conv2d_backward_im2col_mode(kernel_mode(), input, weight, d_out, params, scratch)
+}
+
+/// The fully explicit backward lowering: like
+/// [`conv2d_backward_im2col_with`] but with the matmul kernel named by the
+/// caller — the form the backend implementations build on.
+pub fn conv2d_backward_im2col_mode(
+    mode: KernelMode,
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    params: Conv2dParams,
+    scratch: &mut Im2colScratch,
+) -> Result<Conv2dGrads> {
     let g = check_conv_dims("conv2d_backward_im2col", input, weight, params)?;
     let od = d_out.dims();
     if od != [g.n, g.out_c, g.oh, g.ow] {
@@ -364,7 +394,7 @@ pub fn conv2d_backward_im2col_with(
     crate::counters::record_matmul(g.out_c, rows, k);
     let mut d_weight = Vec::new();
     matmul_into(
-        kernel_mode(),
+        mode,
         &scratch.dr_t,
         &scratch.cols,
         g.out_c,
@@ -377,7 +407,7 @@ pub fn conv2d_backward_im2col_with(
     // d_cols [rows, K] = d_rows × weight-as-[out_c, K].
     crate::counters::record_matmul(rows, g.out_c, k);
     matmul_into(
-        kernel_mode(),
+        mode,
         &scratch.d_rows,
         weight.as_slice(),
         rows,

@@ -6,9 +6,14 @@
 //! stack needs:
 //!
 //! * an owned, contiguous, row-major [`Tensor`] of `f32`,
+//! * a [`backend`] trait boundary ([`Backend`] + [`TensorOps`] +
+//!   [`TensorElement`]) with three backends behind `FEDCAV_BACKEND`:
+//!   the cache-blocked default, the naive reference oracle, and an
+//!   f16-storage/f32-accumulate backend built on the hand-written
+//!   [`f16`] scalar,
 //! * rayon-parallel [`matmul`](Tensor::matmul) — a cache-blocked,
 //!   register-tiled kernel with fused bias/ReLU epilogues by default, plus
-//!   the original naive kernel behind `FEDCAV_KERNELS=reference` as the
+//!   the original naive kernel behind `FEDCAV_BACKEND=reference` as the
 //!   differential-test oracle (see [`matmul`](crate::matmul)) — and direct
 //!   2-D convolution (forward and backward) in NCHW layout,
 //! * an im2col convolution lowering with a reusable scratch arena
@@ -28,9 +33,11 @@
 //! the experiment being reproduced is about *loss values* driving
 //! aggregation weights.
 
+pub mod backend;
 pub mod conv;
 pub mod counters;
 pub mod error;
+pub mod f16;
 pub mod im2col;
 pub mod init;
 pub mod matmul;
@@ -41,8 +48,13 @@ pub mod sanitize;
 pub mod shape;
 pub mod tensor;
 
+pub use backend::{
+    backend_kind, force_backend_kind, Backend, BackendKind, CpuBlocked, Dispatch, F16Storage,
+    Reference, TensorElement, TensorOps,
+};
 pub use counters::OpCounters;
 pub use error::TensorError;
+pub use f16::F16;
 pub use matmul::{force_kernel_mode, kernel_mode, KernelMode};
 pub use shape::Shape;
 pub use tensor::Tensor;

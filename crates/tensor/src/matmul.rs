@@ -61,18 +61,20 @@
 //!
 //! ## Selection
 //!
-//! The kernel is chosen once per process from the `FEDCAV_KERNELS` env var
-//! (`blocked` | `reference`, default `blocked`; unparseable values fall
-//! back to the default rather than failing a run) and cached; benches and
-//! tests may override it at runtime with [`force_kernel_mode`].
+//! Kernel selection lives in [`crate::backend`]: the process-global
+//! backend is chosen once from `FEDCAV_BACKEND` (`blocked` | `reference`
+//! | `f16`, default `blocked`; `FEDCAV_KERNELS` remains a deprecated
+//! alias) and cached. [`kernel_mode`] and [`force_kernel_mode`] are thin
+//! views of that state kept for the call sites that only care about the
+//! blocked-vs-reference matmul distinction.
 //!
 //! This module is on the `no-panic-in-round-loop` lint path: client
 //! training runs inside the fault-tolerant round loop, and a panicking
 //! kernel would kill the simulation instead of costing one contribution.
 //! Everything here is written with iterators and checked slicing.
 
+use crate::backend::{backend_kind, force_backend_kind, BackendKind};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Rows per register tile (and per parallel band).
 pub const MR: usize = 4;
@@ -96,7 +98,8 @@ pub enum KernelMode {
 }
 
 impl KernelMode {
-    /// Parse the `FEDCAV_KERNELS` spelling. `None` for anything else.
+    /// Parse the legacy `FEDCAV_KERNELS` spelling. `None` for anything
+    /// else (including `f16`, which is a backend, not a matmul kernel).
     pub fn parse(s: &str) -> Option<KernelMode> {
         match s.trim() {
             "blocked" => Some(KernelMode::Blocked),
@@ -115,41 +118,36 @@ impl std::fmt::Display for KernelMode {
     }
 }
 
-/// 0 = unresolved, 1 = blocked, 2 = reference. An atomic (rather than a
-/// `OnceLock`) so [`force_kernel_mode`] can retarget benches and tests
-/// in-process after the first read.
-static MODE: AtomicU8 = AtomicU8::new(0);
-
-/// Serializes tests that force the process-global kernel mode against
-/// tests that compare two mode-dependent calls bit-for-bit.
+/// Serializes tests that force the process-global backend against tests
+/// that compare two mode-dependent calls bit-for-bit. Alias of the
+/// backend module's lock — the underlying state is one and the same.
 #[cfg(test)]
-pub(crate) static MODE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+pub(crate) use crate::backend::KIND_TEST_LOCK as MODE_TEST_LOCK;
 
-/// The kernel mode in force: the last [`force_kernel_mode`] value, else
-/// `FEDCAV_KERNELS` read once and cached, else [`KernelMode::Blocked`].
+/// The matmul kernel the process-global backend uses: [`Reference`]
+/// exactly when the backend is the reference oracle, [`Blocked`] for the
+/// blocked *and* f16-storage backends (the latter quantizes operands but
+/// accumulates on the blocked kernel).
+///
+/// [`Reference`]: KernelMode::Reference
+/// [`Blocked`]: KernelMode::Blocked
 pub fn kernel_mode() -> KernelMode {
-    match MODE.load(Ordering::Relaxed) {
-        1 => KernelMode::Blocked,
-        2 => KernelMode::Reference,
-        _ => {
-            let mode = std::env::var("FEDCAV_KERNELS")
-                .ok()
-                .and_then(|v| KernelMode::parse(&v))
-                .unwrap_or(KernelMode::Blocked);
-            force_kernel_mode(mode);
-            mode
-        }
+    match backend_kind() {
+        BackendKind::Reference => KernelMode::Reference,
+        BackendKind::CpuBlocked | BackendKind::F16Storage => KernelMode::Blocked,
     }
 }
 
-/// Override the process-global kernel mode (benches and tests; callers
-/// that need the previous mode back should capture [`kernel_mode`] first).
+/// Override the process-global backend through the legacy kernel-mode
+/// lens (benches and tests; callers that need the previous state back
+/// should capture [`crate::backend::backend_kind`] first). Forcing a
+/// kernel mode selects the matching *f32* backend — it never selects
+/// `F16Storage`, which has no `KernelMode` spelling.
 pub fn force_kernel_mode(mode: KernelMode) {
-    let tag = match mode {
-        KernelMode::Blocked => 1,
-        KernelMode::Reference => 2,
-    };
-    MODE.store(tag, Ordering::Relaxed);
+    force_backend_kind(match mode {
+        KernelMode::Blocked => BackendKind::CpuBlocked,
+        KernelMode::Reference => BackendKind::Reference,
+    });
 }
 
 /// A per-element finishing step fused into the kernel's output store,
@@ -687,14 +685,14 @@ mod tests {
     #[test]
     fn force_overrides_and_restores_mode() {
         let _guard = MODE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        // Resolve whatever the env says first, then restore it at the end
-        // so this test cannot leak a mode into the rest of the suite.
-        let ambient = kernel_mode();
+        // Capture the full *backend* kind (not just the kernel-mode view)
+        // so restoring cannot clobber an ambient f16 backend to blocked.
+        let ambient = crate::backend::backend_kind();
         force_kernel_mode(KernelMode::Reference);
         assert_eq!(kernel_mode(), KernelMode::Reference);
         force_kernel_mode(KernelMode::Blocked);
         assert_eq!(kernel_mode(), KernelMode::Blocked);
-        force_kernel_mode(ambient);
-        assert_eq!(kernel_mode(), ambient);
+        crate::backend::force_backend_kind(ambient);
+        assert_eq!(crate::backend::backend_kind(), ambient);
     }
 }

@@ -280,15 +280,21 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Dispatches to the kernel selected by [`crate::matmul::kernel_mode`]
-    /// (`FEDCAV_KERNELS=blocked|reference`, default the cache-blocked
-    /// register-tiled kernel; `reference` is the original naive kernel kept
-    /// as the differential-test oracle). Both kernels are rayon-parallel
-    /// over output rows once the output is large enough and accumulate each
+    /// Dispatches to the process-global backend selected by
+    /// [`crate::backend::backend_kind`] (`FEDCAV_BACKEND=blocked|
+    /// reference|f16`, default the cache-blocked register-tiled kernel;
+    /// `reference` is the original naive kernel kept as the
+    /// differential-test oracle). Both f32 kernels are rayon-parallel over
+    /// output rows once the output is large enough and accumulate each
     /// element in strictly ascending `k` order, so results are run-to-run
     /// and thread-count bit-identical per kernel.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         self.matmul_fused(rhs, None, false)
+    }
+
+    /// [`matmul`](Tensor::matmul) on a statically chosen backend.
+    pub fn matmul_on<B: crate::backend::Backend>(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.matmul_fused_on::<B>(rhs, None, false)
     }
 
     /// Matrix product with a fused epilogue: optional per-output-column
@@ -301,6 +307,19 @@ impl Tensor {
     /// passes. `fedcav-nn`'s fused Dense/Conv2d layers rely on this to
     /// stay bit-identical to their unfused stacks.
     pub fn matmul_fused(&self, rhs: &Tensor, bias: Option<&Tensor>, relu: bool) -> Result<Tensor> {
+        self.matmul_fused_on::<crate::backend::Dispatch>(rhs, bias, relu)
+    }
+
+    /// [`matmul_fused`](Tensor::matmul_fused) on a statically chosen
+    /// backend `B` instead of the process-global [`Dispatch`] one.
+    ///
+    /// [`Dispatch`]: crate::backend::Dispatch
+    pub fn matmul_fused_on<B: crate::backend::Backend>(
+        &self,
+        rhs: &Tensor,
+        bias: Option<&Tensor>,
+        relu: bool,
+    ) -> Result<Tensor> {
         let (a_dims, b_dims) = (self.dims(), rhs.dims());
         if a_dims.len() != 2 || b_dims.len() != 2 {
             return Err(TensorError::InvalidShape {
@@ -335,17 +354,8 @@ impl Tensor {
             (Some(b), true) => crate::matmul::Epilogue::BiasRelu(b.as_slice()),
         };
         let mut out = Vec::new();
-        crate::matmul::matmul_into(
-            crate::matmul::kernel_mode(),
-            &self.data,
-            &rhs.data,
-            m,
-            k,
-            n,
-            ep,
-            &mut out,
-        );
-        crate::sanitize::check_output("matmul", &[m, n], &out);
+        B::matmul(&self.data, &rhs.data, m, k, n, ep, &mut out);
+        B::sanitize("matmul", &[m, n], &out);
         Tensor::from_vec(&[m, n], out)
     }
 

@@ -12,6 +12,7 @@ use fedcav::fl::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn deployment(n_clients: usize) -> (Vec<Dataset>, Dataset, usize) {
     let (train, test) =
@@ -30,8 +31,8 @@ fn a_round_loop_composes_by_hand_from_the_public_stages() {
         fedcav::nn::models::mlp(&mut rng, img_len, 10)
     };
     let factory: &ModelFactory = &factory;
-    let mut global = factory().flat_params();
-    let before = global.clone();
+    let mut global = Arc::new(factory().flat_params());
+    let before = global.to_vec();
     let local = LocalConfig { epochs: 1, batch_size: 8, lr: 0.1, prox_mu: 0.0 };
     let mut comm_stats = CommStats::default();
     let mut strategy = FedAvg::new();
@@ -70,9 +71,10 @@ fn a_round_loop_composes_by_hand_from_the_public_stages() {
     assert_eq!(ctx.surviving(), 3);
     assert!(ctx.mean_inference_loss > 0.0);
 
-    stages::aggregation::run(&mut ctx, &mut strategy, &mut global, 1).expect("aggregation");
+    stages::aggregation::run(&mut ctx, &mut strategy, Arc::make_mut(&mut global), 1)
+        .expect("aggregation");
     assert!(!ctx.rejected);
-    assert_ne!(global, before, "one round of training moved the model");
+    assert_ne!(global.as_slice(), &before[..], "one round of training moved the model");
 
     stages::evaluation::run(&mut ctx, factory, &global, &test, 32).expect("evaluation");
     assert!((0.0..=1.0).contains(&ctx.test_accuracy));

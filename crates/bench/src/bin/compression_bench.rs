@@ -1,0 +1,71 @@
+//! `compression_bench` — run the wire-codec grid over the standard FedCav
+//! experiment and write the `BENCH_compression.json` Pareto file.
+//!
+//! Usage: `cargo run -p fedcav-bench --release --bin compression_bench --
+//! [--tiny] [--smoke] [--rounds N] [--out PATH]`
+//!
+//! * `--tiny` — unit-test-sized deployment (milliseconds); without it the
+//!   sweep runs the standard fast preset (LeNet-5 on MNIST-like data, 30
+//!   clients at q=0.3). `--smoke` is accepted as an explicit alias for
+//!   that default (the CI job spells it out).
+//! * `--rounds N` — communication rounds per grid point (default 10 —
+//!   enough for the sparsified trajectory to converge back onto the
+//!   baseline's accuracy; the deterministic byte columns don't care).
+//! * `--out PATH` — where to write the JSON (default
+//!   `BENCH_compression.json` in the current directory).
+//!
+//! Stdout gets a human-readable TSV of the same numbers; the JSON file is
+//! the machine-readable artifact EXPERIMENTS.md E11 reads from. The
+//! acceptance readout: `int8+delta` and `topk:0.1+delta` must reach ≥3×
+//! `uplink_ratio` at ≥-1.0 `accuracy_delta_pts`.
+
+use fedcav_bench::compression;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let rounds = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_compression.json".to_string());
+
+    let spec = compression::sweep_spec(tiny, rounds);
+    let report = match compression::run_suite(&spec) {
+        Ok(r) => r,
+        Err(err) => {
+            let _ = writeln!(std::io::stderr(), "compression_bench failed: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    let _ = writeln!(w, "# compression_bench: tiny={tiny} rounds={}", spec.rounds);
+    let _ = writeln!(w, "scheme\tfinal_accuracy\taccuracy_delta_pts\ttotal_up_bytes\tuplink_ratio");
+    for r in &report.rows {
+        let _ = writeln!(
+            w,
+            "{}\t{:.4}\t{:+.2}\t{}\t{:.3}",
+            r.scheme, r.final_accuracy, r.accuracy_delta_pts, r.total_up_bytes, r.uplink_ratio
+        );
+    }
+    for scheme in ["int8+delta", "topk:0.1+delta"] {
+        let verdict = if report.meets(scheme, 3.0, 1.0) { "PASS" } else { "FAIL" };
+        let _ = writeln!(w, "# acceptance {scheme}: >=3x uplink at <=1pt loss: {verdict}");
+    }
+
+    if let Err(err) = std::fs::write(&out_path, report.to_json()) {
+        let _ = writeln!(std::io::stderr(), "failed to write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    let _ = writeln!(w, "# wrote {out_path}");
+}

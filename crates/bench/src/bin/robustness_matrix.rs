@@ -41,6 +41,7 @@ fn main() {
         noise_override: Some(0.45),
         executor: ClientExecutor::from_env(),
         backend: fedcav_tensor::backend_kind(),
+        codec: fedcav_fl::CodecSpec::Identity,
     };
 
     let algos: Vec<RobustAlgo> = if smoke {

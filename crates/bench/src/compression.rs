@@ -1,0 +1,226 @@
+//! Compression benchmark: the uplink-bytes / final-accuracy Pareto sweep
+//! over the wire-codec grid (DESIGN.md §17), serialised to the
+//! `BENCH_compression.json` artifact behind the `compression_bench` binary.
+//!
+//! Every grid point runs the *same* standard FedCav experiment — same
+//! seed, same partition, same client schedule — differing only in the
+//! [`CodecSpec`] installed on the delivery stage, so the `uplink_ratio`
+//! column isolates what the codec buys and `accuracy_delta_pts` what it
+//! costs. FedCav is the deliberate choice of strategy: it is the one
+//! algorithm whose uplink carries the inference loss ("one extra float",
+//! §6), so the sweep exercises the loss-in-frame wire path end to end.
+//!
+//! The JSON is hand-rolled (no serde in the workspace), same style as
+//! [`crate::scalebench`]: flat records, no escaping needed — scheme names
+//! come from [`CodecSpec::name`], which emits only `[a-z0-9:.+]`.
+
+use crate::experiment::{run_standard, Algo, Dist, ExperimentSpec};
+use fedcav_data::SyntheticKind;
+use fedcav_fl::{ClientExecutor, CodecSpec, History, LocalConfig, Result};
+use fedcav_tensor::BackendKind;
+
+/// One codec grid point.
+#[derive(Debug, Clone)]
+pub struct CompressionRow {
+    /// Codec name from [`CodecSpec::name`] (`"identity"` is the baseline).
+    pub scheme: String,
+    /// Final-round test accuracy under this codec.
+    pub final_accuracy: f32,
+    /// Accuracy minus the baseline's, in percentage points (positive =
+    /// the compressed run ended *better*; lossless schemes land at 0.0).
+    pub accuracy_delta_pts: f32,
+    /// Total uplink bytes across the run (encoded frames + envelopes).
+    pub total_up_bytes: u64,
+    /// Total downlink bytes across the run (always full-precision f32).
+    pub total_down_bytes: u64,
+    /// Baseline uplink bytes divided by this scheme's: >1 is a win.
+    pub uplink_ratio: f64,
+}
+
+/// Everything `BENCH_compression.json` carries.
+#[derive(Debug, Clone, Default)]
+pub struct CompressionReport {
+    /// One row per grid point, baseline first.
+    pub rows: Vec<CompressionRow>,
+}
+
+impl CompressionReport {
+    /// Serialise to the `BENCH_compression.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"fedcav-compression-bench-v1\",\n");
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"scheme\": \"{}\", \"final_accuracy\": {:.4}, \
+                 \"accuracy_delta_pts\": {:.2}, \"total_up_bytes\": {}, \
+                 \"total_down_bytes\": {}, \"uplink_ratio\": {:.3}}}{sep}\n",
+                r.scheme,
+                r.final_accuracy,
+                r.accuracy_delta_pts,
+                r.total_up_bytes,
+                r.total_down_bytes,
+                r.uplink_ratio
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The acceptance readout: does `scheme` (by exact name) reach at
+    /// least `min_ratio`× uplink reduction while losing at most
+    /// `max_loss_pts` accuracy points against the baseline?
+    pub fn meets(&self, scheme: &str, min_ratio: f64, max_loss_pts: f32) -> bool {
+        self.rows
+            .iter()
+            .find(|r| r.scheme == scheme)
+            .is_some_and(|r| r.uplink_ratio >= min_ratio && r.accuracy_delta_pts >= -max_loss_pts)
+    }
+}
+
+/// The standard codec grid, baseline first: the two lossless transports
+/// (identity, delta), int8 with and without the delta stage, f16+delta,
+/// and top-k at a 10% keep ratio both raw and composed with delta. The
+/// raw top-k point is deliberately included as the Pareto cautionary
+/// tale: sparsifying *parameters* instead of *changes* discards 90% of
+/// the model every round.
+pub fn codec_grid() -> Vec<CodecSpec> {
+    vec![
+        CodecSpec::Identity,
+        CodecSpec::Delta,
+        CodecSpec::Int8 { delta: false },
+        CodecSpec::Int8 { delta: true },
+        CodecSpec::F16 { delta: true },
+        CodecSpec::TopK { ratio: 0.1, delta: false },
+        CodecSpec::TopK { ratio: 0.1, delta: true },
+    ]
+}
+
+/// Sum a run's traffic ledger: (uplink, downlink) bytes across all rounds.
+fn traffic(h: &History) -> (u64, u64) {
+    let up = h.records.iter().map(|r| r.bytes_up).sum();
+    let down = h.records.iter().map(|r| r.bytes_down).sum();
+    (up, down)
+}
+
+/// The spec every grid point runs. `tiny` keeps unit tests in
+/// milliseconds; otherwise it is the standard fast preset (LeNet-5 on
+/// MNIST-like data, 30 clients at q=0.3) over `rounds` rounds.
+pub fn sweep_spec(tiny: bool, rounds: usize) -> ExperimentSpec {
+    if tiny {
+        ExperimentSpec {
+            kind: SyntheticKind::MnistLike,
+            n_clients: 4,
+            train_per_class: 6,
+            test_per_class: 2,
+            rounds: 2,
+            sample_ratio: 0.5,
+            local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+            seed: 7,
+            noise_override: None,
+            executor: ClientExecutor::Sequential,
+            backend: BackendKind::CpuBlocked,
+            codec: CodecSpec::Identity,
+        }
+    } else {
+        ExperimentSpec::fast(SyntheticKind::MnistLike, rounds)
+    }
+}
+
+/// Run one grid point: the standard FedCav experiment with `codec`
+/// installed (identity = the uncompressed legacy path).
+pub fn run_point(spec: &ExperimentSpec, codec: CodecSpec) -> Result<(f32, u64, u64)> {
+    let spec = ExperimentSpec { codec, ..*spec };
+    let history = run_standard(&spec, Dist::IidBalanced, Algo::FedCav)?;
+    let (up, down) = traffic(&history);
+    Ok((history.final_accuracy().unwrap_or(0.0), up, down))
+}
+
+/// Run the whole grid and assemble the Pareto report. The identity
+/// baseline runs first; every later row is normalised against it.
+pub fn run_suite(spec: &ExperimentSpec) -> Result<CompressionReport> {
+    let mut report = CompressionReport::default();
+    let mut baseline: Option<(f32, u64)> = None;
+    for codec in codec_grid() {
+        let (acc, up, down) = run_point(spec, codec)?;
+        let (base_acc, base_up) = *baseline.get_or_insert((acc, up));
+        report.rows.push(CompressionRow {
+            scheme: codec.name(),
+            final_accuracy: acc,
+            accuracy_delta_pts: (acc - base_acc) * 100.0,
+            total_up_bytes: up,
+            total_down_bytes: down,
+            uplink_ratio: if up == 0 { 0.0 } else { base_up as f64 / up as f64 },
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let report = CompressionReport {
+            rows: vec![
+                CompressionRow {
+                    scheme: "identity".to_string(),
+                    final_accuracy: 0.83,
+                    accuracy_delta_pts: 0.0,
+                    total_up_bytes: 4_000_000,
+                    total_down_bytes: 9_000_000,
+                    uplink_ratio: 1.0,
+                },
+                CompressionRow {
+                    scheme: "int8+delta".to_string(),
+                    final_accuracy: 0.828,
+                    accuracy_delta_pts: -0.2,
+                    total_up_bytes: 1_000_000,
+                    total_down_bytes: 9_000_000,
+                    uplink_ratio: 4.0,
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"fedcav-compression-bench-v1\""));
+        assert!(json.contains("\"scheme\": \"int8+delta\""));
+        assert!(json.contains("\"uplink_ratio\": 4.000"));
+        // No trailing commas (the classic hand-rolled-JSON bug).
+        assert!(!json.contains(",\n  ]"));
+        assert!(report.meets("int8+delta", 3.0, 1.0));
+        assert!(!report.meets("int8+delta", 5.0, 1.0));
+        assert!(!report.meets("int8+delta", 3.0, 0.1));
+        assert!(!report.meets("missing", 1.0, 100.0));
+    }
+
+    #[test]
+    fn grid_round_trips_through_spec_names() {
+        for codec in codec_grid() {
+            assert_eq!(CodecSpec::parse(&codec.name()), Some(codec));
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_compresses_uplink_without_breaking_the_run() {
+        let spec = sweep_spec(true, 2);
+        let report = run_suite(&spec).unwrap();
+        assert_eq!(report.rows.len(), codec_grid().len());
+        let baseline = &report.rows[0];
+        assert_eq!(baseline.scheme, "identity");
+        assert_eq!(baseline.uplink_ratio, 1.0);
+        for r in &report.rows {
+            assert!(r.total_up_bytes > 0, "{}", r.scheme);
+            assert_eq!(r.total_down_bytes, baseline.total_down_bytes, "{}", r.scheme);
+            assert!((0.0..=1.0).contains(&r.final_accuracy), "{}", r.scheme);
+        }
+        // The deterministic part of the Pareto claim holds at any scale:
+        // int8 quarters the uplink, top-k@10% roughly quintuples it.
+        let ratio_of = |name: &str| {
+            report.rows.iter().find(|r| r.scheme == name).map(|r| r.uplink_ratio).unwrap_or(0.0)
+        };
+        assert!(ratio_of("int8+delta") > 3.0);
+        assert!(ratio_of("topk:0.1+delta") > 3.0);
+        assert!((ratio_of("delta") - 1.0).abs() < 0.05, "lossless delta is not smaller");
+    }
+}

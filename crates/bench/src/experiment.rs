@@ -7,8 +7,8 @@ use fedcav_data::{
     partition, Dataset, FreshClassSplit, ImbalanceSpec, SyntheticConfig, SyntheticKind,
 };
 use fedcav_fl::{
-    CentralizedTrainer, ClientExecutor, CollectingTracer, FedAvg, FedProx, History, LocalConfig,
-    Simulation, SimulationConfig, Strategy,
+    CentralizedTrainer, ClientExecutor, CodecSpec, CollectingTracer, FedAvg, FedProx, History,
+    LocalConfig, Simulation, SimulationConfig, Strategy,
 };
 use fedcav_nn::{models, Sequential};
 use fedcav_tensor::{backend_kind, force_backend_kind, BackendKind, Result};
@@ -155,6 +155,12 @@ pub struct ExperimentSpec {
     /// ambient [`backend_kind`], so `FEDCAV_BACKEND` still selects it from
     /// the environment; set explicitly to pin a spec to one backend.
     pub backend: BackendKind,
+    /// Uplink wire codec for the federated runners. The presets default to
+    /// [`CodecSpec::Identity`], which keeps the legacy uncompressed path
+    /// (no transport installed, billing byte-identical to prior releases);
+    /// any other scheme routes every upload through
+    /// `decode(encode(·))` at the delivery stage and bills encoded frames.
+    pub codec: CodecSpec,
 }
 
 impl ExperimentSpec {
@@ -176,6 +182,7 @@ impl ExperimentSpec {
             }),
             executor: ClientExecutor::from_env(),
             backend: backend_kind(),
+            codec: CodecSpec::Identity,
         }
     }
 
@@ -193,6 +200,7 @@ impl ExperimentSpec {
             noise_override: None,
             executor: ClientExecutor::from_env(),
             backend: backend_kind(),
+            codec: CodecSpec::Identity,
         }
     }
 
@@ -264,6 +272,9 @@ pub fn run_standard_with(
     let clients = part.client_datasets(&train)?;
     let mut sim = Simulation::new(&*factory, clients, test, algo.strategy(), spec.sim_config());
     sim.set_executor(spec.executor);
+    if spec.codec != CodecSpec::Identity {
+        sim.set_codec(spec.codec);
+    }
     if let Some(tracer) = tracer {
         sim.set_tracer(tracer);
     }
@@ -438,6 +449,7 @@ mod tests {
             noise_override: None,
             executor: ClientExecutor::Sequential,
             backend: BackendKind::CpuBlocked,
+            codec: CodecSpec::Identity,
         }
     }
 

@@ -297,6 +297,7 @@ pub fn e2e_spec(tiny: bool) -> ExperimentSpec {
             noise_override: None,
             executor: ClientExecutor::Sequential,
             backend: BackendKind::CpuBlocked,
+            codec: fedcav_fl::CodecSpec::Identity,
         }
     } else {
         ExperimentSpec::fast(SyntheticKind::MnistLike, 3)

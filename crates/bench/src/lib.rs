@@ -19,6 +19,10 @@
 //! * [`robustness`] — the adversarial benchmark matrix (every aggregation
 //!   strategy × every attack × distribution × fault profile) behind the
 //!   `robustness_matrix` binary and `BENCH_robustness.json`,
+//! * [`compression`] — the wire-codec Pareto sweep (uplink bytes vs final
+//!   accuracy across identity/delta/int8/f16/top-k transports, DESIGN.md
+//!   §17) behind the `compression_bench` binary and
+//!   `BENCH_compression.json`,
 //! * [`scalebench`] — the streaming sharded driver at increasing
 //!   deployment sizes (up to `n = 1_000_000` at `q = 0.3%`), recording
 //!   round wall-clock and peak RSS behind the `scale_bench` binary and
@@ -30,12 +34,14 @@
 //! `cargo bench -p fedcav-bench --bench fig2_heterogeneity` (add
 //! `-- --full` for paper-scale parameters).
 
+pub mod compression;
 pub mod experiment;
 pub mod kernelbench;
 pub mod output;
 pub mod robustness;
 pub mod scalebench;
 
+pub use compression::{CompressionReport, CompressionRow};
 pub use experiment::{Algo, Dist, ExperimentSpec, Scale};
 pub use robustness::{Attack, FaultProfile, MatrixReport, RobustAlgo};
 pub use scalebench::{ScaleMeasurement, ScaleReport};

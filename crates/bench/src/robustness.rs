@@ -398,6 +398,7 @@ mod tests {
             noise_override: None,
             executor: ClientExecutor::Sequential,
             backend: fedcav_tensor::BackendKind::CpuBlocked,
+            codec: fedcav_fl::CodecSpec::Identity,
         }
     }
 

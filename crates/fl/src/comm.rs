@@ -44,6 +44,14 @@ impl CommModel {
     pub fn fedcav_overhead(&self, participants: usize) -> u64 {
         self.uplink(participants, true) - self.uplink(participants, false)
     }
+
+    /// Uplink bytes when a wire codec is installed: the encoded frame
+    /// bytes the delivery stage summed, plus one envelope per upload that
+    /// physically arrived. The inference loss, when the strategy needs
+    /// it, travels *inside* the frame — `loss_bytes` is not added again.
+    pub fn uplink_encoded(&self, frame_bytes: u64, delivered: usize) -> u64 {
+        frame_bytes + delivered as u64 * self.envelope_bytes
+    }
 }
 
 /// Cumulative traffic counters for a simulation.

@@ -73,6 +73,7 @@ pub mod sharded;
 pub mod sizeguard;
 pub mod stages;
 pub mod strategy;
+pub mod transport;
 pub mod update;
 
 pub use availability::{
@@ -100,7 +101,10 @@ pub use server::{FaultPolicy, Interceptor, ModelFactory, Simulation, SimulationC
 pub use sharded::{sample_cohort, ShardedConfig, ShardedRoundRecord, ShardedSimulation};
 pub use sizeguard::SizeGuard;
 pub use strategy::{Aggregation, RoundContext, Strategy, UpdateMeta, WeightDecision};
+pub use transport::UpdateTransport;
 pub use update::{LocalUpdate, UpdateDefect};
+
+pub use fedcav_nn::wire::CodecSpec;
 
 pub use fedcav_tensor::{Result, TensorError};
 pub use fedcav_trace::{CollectingTracer, NoopTracer, PhaseTimings, Tracer};

@@ -19,8 +19,10 @@ use crate::latency::LatencyModel;
 use crate::metrics::{History, RoundRecord};
 use crate::stages;
 use crate::strategy::Strategy;
+use crate::transport::UpdateTransport;
 use crate::update::LocalUpdate;
 use fedcav_data::Dataset;
+use fedcav_nn::wire::CodecSpec;
 use fedcav_nn::Sequential;
 use fedcav_tensor::{Result, TensorError};
 use fedcav_trace::{NoopTracer, PhaseTimings, Span, Tracer, Value};
@@ -105,6 +107,7 @@ pub struct Simulation<'a> {
     test: Dataset,
     strategy: Box<dyn Strategy + 'a>,
     interceptor: Option<Box<dyn Interceptor + 'a>>,
+    transport: Option<UpdateTransport>,
     availability: Box<dyn AvailabilityModel + 'a>,
     latency: Option<Box<dyn LatencyModel + 'a>>,
     fault_model: Option<Box<dyn FaultModel + 'a>>,
@@ -148,6 +151,7 @@ impl<'a> Simulation<'a> {
             test,
             strategy,
             interceptor: None,
+            transport: None,
             availability: Box::new(AlwaysAvailable),
             latency: None,
             fault_model: None,
@@ -169,6 +173,28 @@ impl<'a> Simulation<'a> {
     pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor + 'a>) -> &mut Self {
         self.interceptor = Some(interceptor);
         self
+    }
+
+    /// Install a compressed update transport: every arriving upload is run
+    /// through the codec at delivery (before billing and before any
+    /// adversarial interceptor), and `CommStats` bills the *encoded* frame
+    /// bytes. Returns `&mut self` for chaining.
+    pub fn set_transport(&mut self, transport: UpdateTransport) -> &mut Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Build and install the transport for a codec spec, deriving the
+    /// per-tensor layout from a fresh factory model. Returns `&mut self`
+    /// for chaining.
+    pub fn set_codec(&mut self, spec: CodecSpec) -> &mut Self {
+        let layout = (self.factory)().param_layout();
+        self.set_transport(UpdateTransport::new(spec, &layout))
+    }
+
+    /// The installed transport, if any.
+    pub fn transport(&self) -> Option<&UpdateTransport> {
+        self.transport.as_ref()
     }
 
     /// Install a tracer (default: [`NoopTracer`]). Tracing only *observes*
@@ -310,6 +336,7 @@ impl<'a> Simulation<'a> {
             comm: self.comm_model,
             counts_loss: self.strategy.uses_inference_loss(),
             global: &self.global,
+            transport: self.transport.as_ref(),
         };
         (env, &mut self.comm_stats, self.interceptor.as_deref_mut())
     }
@@ -1005,6 +1032,115 @@ mod tests {
         assert!(r.faults.degraded, "nothing left to aggregate");
         assert_eq!(r.bytes_up, model.uplink(3, false));
         assert_eq!(sim.comm_stats().total_up, r.bytes_up);
+    }
+
+    #[test]
+    fn codec_schemes_bill_encoded_frames_end_to_end() {
+        // Every scheme through the delivery stage: uplink must equal the
+        // encoded frame bytes plus one envelope per delivered upload —
+        // never the full-precision `uplink()` model.
+        for spec in [
+            CodecSpec::Identity,
+            CodecSpec::Delta,
+            CodecSpec::Int8 { delta: true },
+            CodecSpec::F16 { delta: false },
+            CodecSpec::TopK { ratio: 0.25, delta: true },
+        ] {
+            let (clients, test, img_len) = deployment(3);
+            let factory = move || {
+                let mut rng = StdRng::seed_from_u64(7);
+                models::mlp(&mut rng, img_len, 10)
+            };
+            let mut sim = full_participation_sim(&factory, clients, test);
+            sim.set_codec(spec);
+            let dim = sim.global().len();
+            let frame = sim.transport().unwrap().encoded_len(dim, false);
+            let r = sim.run_round().unwrap();
+            assert_eq!(r.aggregated(), 3, "{spec:?}");
+            assert_eq!(r.bytes_up, 3 * (frame + 24), "{spec:?}");
+            assert_eq!(sim.comm_stats().total_up, r.bytes_up, "{spec:?}");
+            assert!(sim.global().iter().all(|p| p.is_finite()), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn crashed_clients_consume_no_uplink_under_codec() {
+        let (clients, test, img_len) = deployment(4);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_codec(CodecSpec::Int8 { delta: false });
+        sim.set_fault_model(Box::new(TargetOne(0, InjectedFault::Crash)));
+        let dim = sim.global().len();
+        let frame = sim.transport().unwrap().encoded_len(dim, false);
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.bytes_down, CommModel::new(dim).downlink(4), "downlink stays full f32");
+        assert_eq!(r.bytes_up, 3 * (frame + 24), "the crashed client sent no frame");
+    }
+
+    #[test]
+    fn timed_out_upload_still_bills_its_encoded_frame() {
+        use crate::latency::UniformLatency;
+        let (clients, test, img_len) = deployment(3);
+        let factory = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            models::mlp(&mut rng, img_len, 10)
+        };
+        let mut sim = full_participation_sim(&factory, clients, test);
+        sim.set_codec(CodecSpec::TopK { ratio: 0.1, delta: true });
+        sim.set_latency(Box::new(UniformLatency(2.0)));
+        sim.set_fault_model(Box::new(TargetOne(1, InjectedFault::Straggle(10.0))));
+        sim.set_fault_policy(FaultPolicy { deadline: Some(5.0), ..Default::default() });
+        let dim = sim.global().len();
+        let frame = sim.transport().unwrap().encoded_len(dim, false);
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.faults.timed_out, 1);
+        assert_eq!(r.aggregated(), 2);
+        // The straggler's encoded frame was fully transmitted before the
+        // deadline verdict: all three frames bill.
+        assert_eq!(r.bytes_up, 3 * (frame + 24));
+        assert_eq!(sim.comm_stats().total_up, r.bytes_up);
+    }
+
+    #[test]
+    fn interceptor_cannot_distort_encoded_comm_accounting() {
+        // The SwallowAll adversary from the uncompressed regression, now
+        // with every codec scheme in front of it: the encoded frames were
+        // billed before interception, so the ledger must not move.
+        struct SwallowAll;
+        impl Interceptor for SwallowAll {
+            fn intercept(
+                &mut self,
+                _round: usize,
+                _global: &[f32],
+                updates: &mut Vec<LocalUpdate>,
+            ) -> Result<()> {
+                updates.clear();
+                Ok(())
+            }
+        }
+        for spec in [
+            CodecSpec::Int8 { delta: true },
+            CodecSpec::F16 { delta: true },
+            CodecSpec::TopK { ratio: 0.25, delta: false },
+        ] {
+            let (clients, test, img_len) = deployment(3);
+            let factory = move || {
+                let mut rng = StdRng::seed_from_u64(7);
+                models::mlp(&mut rng, img_len, 10)
+            };
+            let mut sim = full_participation_sim(&factory, clients, test);
+            sim.set_codec(spec);
+            sim.set_interceptor(Box::new(SwallowAll));
+            let dim = sim.global().len();
+            let frame = sim.transport().unwrap().encoded_len(dim, false);
+            let r = sim.run_round().unwrap();
+            assert!(r.faults.degraded, "{spec:?}: nothing left to aggregate");
+            assert_eq!(r.bytes_up, 3 * (frame + 24), "{spec:?}");
+            assert_eq!(sim.comm_stats().total_up, r.bytes_up, "{spec:?}");
+        }
     }
 
     /// Wraps an inner strategy and force-rejects one round, mimicking a

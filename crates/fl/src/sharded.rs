@@ -38,11 +38,13 @@
 //! Everything here is on the `no-panic-in-round-loop` lint path.
 
 use crate::client::{local_update, LocalConfig};
+use crate::comm::{CommModel, CommStats};
 use crate::executor::ClientExecutor;
 use crate::faults::{apply_fault, FaultModel, InjectedFault};
 use crate::metrics::{FaultEvent, FaultEventKind, FaultTelemetry};
 use crate::population::Population;
 use crate::server::ModelFactory;
+use crate::transport::UpdateTransport;
 use crate::stages::aggregation::{install, merge_shards, ParamFold, ShardAccumulator};
 use crate::stages::training::{derive_seed, CORRUPTION_STREAM};
 use crate::stages::{ClientOutcome, RoundContext as PipelineContext};
@@ -50,6 +52,7 @@ use crate::strategy::{
     Aggregation, RoundContext as StrategyContext, Strategy, UpdateMeta, WeightDecision,
 };
 use crate::update::LocalUpdate;
+use fedcav_nn::wire::CodecSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -107,6 +110,11 @@ pub struct ShardedRoundRecord {
     pub reject_reason: Option<String>,
     /// Dropped / quarantined contributions and quorum state.
     pub faults: FaultTelemetry,
+    /// Bytes the server pushed this round (global model broadcast).
+    pub bytes_down: u64,
+    /// Bytes the cohort pushed back — encoded frame sizes when a wire
+    /// codec is installed, the full-precision model otherwise.
+    pub bytes_up: u64,
 }
 
 /// Sample `ceil(q · n)` distinct client indices in O(k) time and memory
@@ -201,11 +209,14 @@ pub struct ShardedSimulation<'a> {
     strategy: Box<dyn Strategy + 'a>,
     fault_model: Option<Box<dyn FaultModel + 'a>>,
     executor: ClientExecutor,
+    transport: Option<UpdateTransport>,
     config: ShardedConfig,
     global: Vec<f32>,
     round: usize,
     rng: StdRng,
     records: Vec<ShardedRoundRecord>,
+    comm_model: CommModel,
+    comm_stats: CommStats,
 }
 
 impl<'a> ShardedSimulation<'a> {
@@ -220,17 +231,21 @@ impl<'a> ShardedSimulation<'a> {
     ) -> Self {
         let global = factory().flat_params();
         let rng = StdRng::seed_from_u64(config.seed);
+        let comm_model = CommModel::new(global.len());
         ShardedSimulation {
             factory,
             population,
             strategy,
             fault_model: None,
             executor: ClientExecutor::from_env(),
+            transport: None,
             config,
             global,
             round: 0,
             rng,
             records: Vec::new(),
+            comm_model,
+            comm_stats: CommStats::default(),
         }
     }
 
@@ -244,6 +259,32 @@ impl<'a> ShardedSimulation<'a> {
     pub fn set_executor(&mut self, executor: ClientExecutor) -> &mut Self {
         self.executor = executor;
         self
+    }
+
+    /// Install a compressed update transport: every pass-1 arrival is run
+    /// through the codec before validation (and re-decoded identically in
+    /// pass 2 — the codec is deterministic), and the round bills the
+    /// *encoded* frame bytes. Returns `&mut self`.
+    pub fn set_transport(&mut self, transport: UpdateTransport) -> &mut Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Build and install the transport for a codec spec, deriving the
+    /// per-tensor layout from a fresh factory model. Returns `&mut self`.
+    pub fn set_codec(&mut self, spec: CodecSpec) -> &mut Self {
+        let layout = (self.factory)().param_layout();
+        self.set_transport(UpdateTransport::new(spec, &layout))
+    }
+
+    /// The installed transport, if any.
+    pub fn transport(&self) -> Option<&UpdateTransport> {
+        self.transport.as_ref()
+    }
+
+    /// Cumulative traffic over all rounds run so far.
+    pub fn comm_stats(&self) -> CommStats {
+        self.comm_stats
     }
 
     /// Current global model parameters.
@@ -295,20 +336,49 @@ impl<'a> ShardedSimulation<'a> {
         };
 
         // Pass 1: train shard by shard, keep scalar metadata, drop params.
+        // When a transport is installed, every physically-arrived upload is
+        // run through the wire codec here — before validation, mirroring
+        // the materialized driver's delivery stage — and bills its encoded
+        // frame bytes (a codec-rejected frame still crossed the network).
+        let transport = self.transport.as_ref();
+        let counts_loss = self.strategy.uses_inference_loss();
+        let mut frame_bytes: u64 = 0;
         let mut shards = Vec::new();
         for (shard_idx, chunk) in ctx.participants.chunks(shard_size).enumerate() {
             let outcomes = self.executor.map(chunk, |&cid| train_one(&env, round, cid));
             let mut acc = ShardAccumulator::new(shard_idx);
             for (cid, _fault, outcome) in outcomes {
                 match outcome {
-                    ClientOutcome::Arrived(update) => {
-                        match update.validate(expected_len, max_norm) {
-                            Ok(()) => acc.fold(&update),
-                            Err(defect) => ctx.telemetry.record(FaultEvent {
-                                client: cid,
-                                kind: FaultEventKind::Quarantined,
-                                detail: defect.to_string(),
-                            }),
+                    ClientOutcome::Arrived(mut update) => {
+                        ctx.delivered += 1;
+                        let wire_ok = match transport {
+                            Some(t) => match t.apply(&mut update, env.global, counts_loss) {
+                                Ok(bytes) => {
+                                    frame_bytes += bytes;
+                                    true
+                                }
+                                Err(err) => {
+                                    frame_bytes +=
+                                        t.encoded_len(update.params.len(), counts_loss);
+                                    ctx.telemetry.record(FaultEvent {
+                                        client: cid,
+                                        kind: FaultEventKind::Quarantined,
+                                        detail: format!("wire codec rejected update: {err}"),
+                                    });
+                                    false
+                                }
+                            },
+                            None => true,
+                        };
+                        if wire_ok {
+                            match update.validate(expected_len, max_norm) {
+                                Ok(()) => acc.fold(&update),
+                                Err(defect) => ctx.telemetry.record(FaultEvent {
+                                    client: cid,
+                                    kind: FaultEventKind::Quarantined,
+                                    detail: defect.to_string(),
+                                }),
+                            }
                         }
                         // `update` drops here: the shard never accumulates
                         // more than one in-flight parameter vector beyond
@@ -329,6 +399,16 @@ impl<'a> ShardedSimulation<'a> {
             shards.push(acc);
         }
         let metas = merge_shards(shards);
+
+        // Bill the round before the quorum check: a degraded round still
+        // moved its bytes. Pass 2 replays the same physical uploads, so
+        // only pass 1 bills.
+        ctx.bytes_down = self.comm_model.downlink(ctx.participants.len());
+        ctx.bytes_up = match transport {
+            Some(_) => self.comm_model.uplink_encoded(frame_bytes, ctx.delivered),
+            None => self.comm_model.uplink(ctx.delivered, counts_loss),
+        };
+        self.comm_stats.record(ctx.bytes_down, ctx.bytes_up);
 
         // Loss statistics over the survivors, mirroring the validation
         // stage (0.0, not -inf, on an empty round).
@@ -373,8 +453,18 @@ impl<'a> ShardedSimulation<'a> {
                         // Clients are pure functions of (seed, round, id):
                         // anything but an identical re-arrival means the
                         // replay diverged, which ParamFold reports as an
-                        // alignment error below.
-                        if let ClientOutcome::Arrived(update) = outcome {
+                        // alignment error below. The transport re-decodes
+                        // identically (the codec is deterministic), so the
+                        // folded params are the pass-1 decoded params.
+                        if let ClientOutcome::Arrived(mut update) = outcome {
+                            if let Some(t) = transport {
+                                if t.apply(&mut update, env.global, counts_loss).is_err() {
+                                    // A survivor decoded fine in pass 1;
+                                    // defensive only — ParamFold reports
+                                    // the resulting misalignment.
+                                    continue;
+                                }
+                            }
                             fold.fold(&update)?;
                         }
                     }
@@ -395,7 +485,12 @@ impl<'a> ShardedSimulation<'a> {
                 let outcomes = self.executor.map(&survivors, |&cid| train_one(&env, round, cid));
                 let mut updates: Vec<LocalUpdate> = Vec::with_capacity(survivors.len());
                 for (_cid, _fault, outcome) in outcomes {
-                    if let ClientOutcome::Arrived(update) = outcome {
+                    if let ClientOutcome::Arrived(mut update) = outcome {
+                        if let Some(t) = transport {
+                            if t.apply(&mut update, env.global, counts_loss).is_err() {
+                                continue;
+                            }
+                        }
                         if update.validate(expected_len, max_norm).is_ok() {
                             updates.push(update);
                         }
@@ -438,6 +533,8 @@ impl<'a> ShardedSimulation<'a> {
             rejected: ctx.rejected,
             reject_reason: ctx.reject_reason,
             faults: ctx.telemetry,
+            bytes_down: ctx.bytes_down,
+            bytes_up: ctx.bytes_up,
         };
         self.records.push(record.clone());
         self.round += 1;
@@ -594,6 +691,61 @@ mod tests {
         assert_eq!(r.faults.quarantined, 1);
         assert_eq!(r.aggregated, 2);
         assert!(sim.global().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn sharded_transport_bills_encoded_frames() {
+        let f = factory();
+        let mut sim = ShardedSimulation::new(
+            &f,
+            tiny_population(4),
+            Box::new(FedAvg::new()),
+            ShardedConfig {
+                sample_ratio: 1.0,
+                local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                shard_size: 2,
+                ..Default::default()
+            },
+        );
+        sim.set_codec(CodecSpec::F16 { delta: true });
+        let dim = sim.global().len();
+        let frame = sim.transport().unwrap().encoded_len(dim, false);
+        let r = sim.run_round().unwrap();
+        assert_eq!(r.aggregated, 4);
+        assert_eq!(r.bytes_up, 4 * (frame + 24), "encoded frames + envelopes");
+        assert_eq!(r.bytes_down, CommModel::new(dim).downlink(4));
+        assert!(r.bytes_up < CommModel::new(dim).uplink(4, false), "f16 halves the uplink");
+        assert!(sim.global().iter().all(|p| p.is_finite()));
+        assert_eq!(sim.comm_stats().total_up, r.bytes_up);
+    }
+
+    #[test]
+    fn sharded_identity_codec_matches_no_transport_bit_for_bit() {
+        let run_with = |codec: Option<CodecSpec>| {
+            let f = factory();
+            let mut sim = ShardedSimulation::new(
+                &f,
+                tiny_population(4),
+                Box::new(FedAvg::new()),
+                ShardedConfig {
+                    sample_ratio: 1.0,
+                    local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+                    shard_size: 2,
+                    ..Default::default()
+                },
+            );
+            sim.set_executor(ClientExecutor::Sequential);
+            if let Some(spec) = codec {
+                sim.set_codec(spec);
+            }
+            sim.run(2).unwrap();
+            sim.global().to_vec()
+        };
+        let plain = run_with(None);
+        let identity = run_with(Some(CodecSpec::Identity));
+        let delta = run_with(Some(CodecSpec::Delta));
+        assert_eq!(plain, identity, "identity codec changed the trajectory");
+        assert_eq!(plain, delta, "bitwise delta is lossless and must match too");
     }
 
     #[test]

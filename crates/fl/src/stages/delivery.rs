@@ -17,6 +17,7 @@ use crate::faults::slowdown_of;
 use crate::latency::LatencyModel;
 use crate::metrics::{FaultEvent, FaultEventKind};
 use crate::server::Interceptor;
+use crate::transport::UpdateTransport;
 use fedcav_tensor::Result;
 use std::sync::Arc;
 
@@ -35,6 +36,9 @@ pub struct DeliveryEnv<'a> {
     /// training stage handed each client (shown to the interceptor,
     /// read-only).
     pub global: &'a Arc<Vec<f32>>,
+    /// Wire codec pipeline, if installed: every arriving upload is run
+    /// through `decode(encode(·))` and billed its *encoded* frame bytes.
+    pub transport: Option<&'a UpdateTransport>,
 }
 
 /// Drain `ctx.outcomes` into `ctx.updates`/`ctx.telemetry`, record straggler
@@ -54,11 +58,13 @@ pub fn run<'a>(
     let outcomes = std::mem::take(&mut ctx.outcomes);
     ctx.slowdowns.reserve(outcomes.len());
     ctx.updates.reserve(outcomes.len());
+    // Encoded uplink bytes actually spent this round (transport mode only).
+    let mut frame_bytes: u64 = 0;
     for (cid, fault, outcome) in outcomes {
         let slowdown = slowdown_of(fault);
         ctx.slowdowns.push((cid, slowdown));
         match outcome {
-            ClientOutcome::Arrived(update) => {
+            ClientOutcome::Arrived(mut update) => {
                 ctx.delivered += 1;
                 let late = match (env.deadline, env.latency) {
                     (Some(d), Some(m)) => {
@@ -68,12 +74,37 @@ pub fn run<'a>(
                     _ => None,
                 };
                 match late {
-                    Some((eff, d)) => ctx.telemetry.record(FaultEvent {
-                        client: cid,
-                        kind: FaultEventKind::TimedOut,
-                        detail: format!("latency {eff:.3}s exceeds round deadline {d:.3}s"),
-                    }),
-                    None => ctx.updates.push(update),
+                    Some((eff, d)) => {
+                        // The upload was fully transmitted before the
+                        // deadline verdict: bill its nominal encoded frame.
+                        if let Some(t) = env.transport {
+                            frame_bytes += t.encoded_len(update.params.len(), env.counts_loss);
+                        }
+                        ctx.telemetry.record(FaultEvent {
+                            client: cid,
+                            kind: FaultEventKind::TimedOut,
+                            detail: format!("latency {eff:.3}s exceeds round deadline {d:.3}s"),
+                        });
+                    }
+                    None => match env.transport {
+                        Some(t) => match t.apply(&mut update, env.global, env.counts_loss) {
+                            Ok(bytes) => {
+                                frame_bytes += bytes;
+                                ctx.updates.push(update);
+                            }
+                            Err(err) => {
+                                // A garbage frame still crossed the network.
+                                frame_bytes +=
+                                    t.encoded_len(update.params.len(), env.counts_loss);
+                                ctx.telemetry.record(FaultEvent {
+                                    client: cid,
+                                    kind: FaultEventKind::Quarantined,
+                                    detail: format!("wire codec rejected update: {err}"),
+                                });
+                            }
+                        },
+                        None => ctx.updates.push(update),
+                    },
                 }
             }
             ClientOutcome::Crashed => ctx.telemetry.record(FaultEvent {
@@ -90,7 +121,10 @@ pub fn run<'a>(
     }
 
     ctx.bytes_down = env.comm.downlink(ctx.participants.len());
-    ctx.bytes_up = env.comm.uplink(ctx.delivered, env.counts_loss);
+    ctx.bytes_up = match env.transport {
+        Some(_) => env.comm.uplink_encoded(frame_bytes, ctx.delivered),
+        None => env.comm.uplink(ctx.delivered, env.counts_loss),
+    };
     comm_stats.record(ctx.bytes_down, ctx.bytes_up);
 
     if let Some(interceptor) = interceptor {
@@ -119,6 +153,7 @@ mod tests {
             comm: CommModel::new(4),
             counts_loss: false,
             global,
+            transport: None,
         }
     }
 
@@ -155,6 +190,7 @@ mod tests {
             comm: CommModel::new(4),
             counts_loss: false,
             global: &global,
+            transport: None,
         };
         let mut stats = CommStats::default();
         run(&mut ctx, env, &mut stats, None).unwrap();
@@ -189,6 +225,49 @@ mod tests {
         assert!(ctx.updates.is_empty(), "the interceptor swallowed everything");
         assert_eq!(ctx.bytes_up, CommModel::new(4).uplink(2, false), "…but the bytes were spent");
         assert_eq!(stats.total_up, ctx.bytes_up);
+    }
+
+    #[test]
+    fn transport_bills_encoded_frames_and_replaces_params() {
+        use fedcav_nn::wire::CodecSpec;
+        let global = Arc::new(vec![0.0f32; 4]);
+        let transport = UpdateTransport::new(CodecSpec::F16 { delta: false }, &[]);
+        let mut ctx = RoundContext::new(0);
+        ctx.participants = vec![0, 1];
+        ctx.outcomes = vec![arrived(0, 0.5), arrived(1, 0.25)];
+        let mut env = env_no_latency(&global);
+        env.transport = Some(&transport);
+        let mut stats = CommStats::default();
+        run(&mut ctx, env, &mut stats, None).unwrap();
+        assert_eq!(ctx.updates.len(), 2);
+        let expected = 2 * (transport.encoded_len(4, false) + 24);
+        assert_eq!(ctx.bytes_up, expected, "uplink = encoded frames + envelopes");
+        assert_eq!(stats.total_up, expected);
+    }
+
+    #[test]
+    fn transport_quarantines_codec_rejected_upload_but_bills_its_frame() {
+        use fedcav_nn::wire::CodecSpec;
+        let global = Arc::new(vec![0.0f32; 4]);
+        let transport = UpdateTransport::new(CodecSpec::Int8 { delta: false }, &[]);
+        let mut ctx = RoundContext::new(0);
+        ctx.participants = vec![0, 1];
+        let mut poisoned = LocalUpdate::new(1, vec![0.0, f32::NAN, 0.0, 0.0], 0.5, 10);
+        poisoned.params[1] = f32::NAN;
+        ctx.outcomes =
+            vec![arrived(0, 0.5), (1, None, ClientOutcome::Arrived(poisoned))];
+        let mut env = env_no_latency(&global);
+        env.transport = Some(&transport);
+        let mut stats = CommStats::default();
+        run(&mut ctx, env, &mut stats, None).unwrap();
+        assert_eq!(ctx.updates.len(), 1, "rejected frame never reaches aggregation");
+        assert_eq!(ctx.telemetry.quarantined, 1);
+        assert_eq!(ctx.delivered, 2);
+        assert_eq!(
+            ctx.bytes_up,
+            2 * (transport.encoded_len(4, false) + 24),
+            "the garbage frame still crossed the network"
+        );
     }
 
     #[test]

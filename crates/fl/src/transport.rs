@@ -1,0 +1,147 @@
+//! Compressed update transport: the delivery-stage seam that runs every
+//! arriving upload through a wire codec (DESIGN.md §17).
+//!
+//! A [`UpdateTransport`] wraps one [`WireCodec`] built from a
+//! [`CodecSpec`] and the model's per-tensor layout. The delivery stage
+//! applies it to each physically-arrived update **before** billing and
+//! before the adversarial interceptor: the update's parameters are
+//! replaced by `decode(encode(params))` — the server aggregates exactly
+//! what survived the wire — and the *encoded frame size* is what
+//! [`crate::CommStats`] bills, extending the bill-at-delivery contract:
+//!
+//! * crashed / failed clients still bill **0** (nothing was sent),
+//! * timed-out uploads still bill their **full encoded frame** (the bytes
+//!   were spent before the deadline verdict), via the codec's
+//!   deterministic [`WireCodec::encoded_len`],
+//! * an upload the codec *rejects* (e.g. non-finite under int8) also
+//!   bills its nominal frame and is quarantined — a garbage frame still
+//!   crossed the network.
+//!
+//! The transport also implements [`Interceptor`], so the codec pipeline
+//! can be driven through the generic interception seam (`server.rs`)
+//! where a test or experiment wants the codec *after* billing instead.
+
+use crate::server::Interceptor;
+use crate::update::LocalUpdate;
+use fedcav_nn::wire::{decode, CodecSpec, WireCodec, WireError};
+use fedcav_tensor::{Result, TensorError};
+
+/// A built codec pipeline for one model shape.
+pub struct UpdateTransport {
+    spec: CodecSpec,
+    codec: Box<dyn WireCodec>,
+}
+
+impl std::fmt::Debug for UpdateTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateTransport").field("spec", &self.spec).finish()
+    }
+}
+
+impl UpdateTransport {
+    /// Build the transport for a codec spec and the model's per-tensor
+    /// layout ([`fedcav_nn::Sequential::param_layout`]; only int8 reads
+    /// it, and an empty layout degrades to one global segment).
+    pub fn new(spec: CodecSpec, layout: &[usize]) -> UpdateTransport {
+        UpdateTransport { spec, codec: spec.build(layout) }
+    }
+
+    /// The spec this transport was built from.
+    pub fn spec(&self) -> CodecSpec {
+        self.spec
+    }
+
+    /// Canonical scheme name (for records and bench rows).
+    pub fn name(&self) -> String {
+        self.spec.name()
+    }
+
+    /// Deterministic encoded frame size in bytes for a `dim`-parameter
+    /// update — what a timed-out or codec-rejected upload is billed.
+    pub fn encoded_len(&self, dim: usize, with_loss: bool) -> u64 {
+        self.codec.encoded_len(dim, with_loss) as u64
+    }
+
+    /// Run one update through the wire: encode against `global`, then
+    /// decode the frame back and replace the update's parameters with
+    /// what survived. Returns the encoded frame size in bytes (the
+    /// billable uplink traffic). The inference loss travels inside the
+    /// frame when `with_loss` and round-trips exactly (it is an f32 field
+    /// on the wire), so the update's loss is left untouched.
+    pub fn apply(
+        &self,
+        update: &mut LocalUpdate,
+        global: &[f32],
+        with_loss: bool,
+    ) -> std::result::Result<u64, WireError> {
+        let loss = with_loss.then_some(update.inference_loss);
+        let frame = self.codec.encode(&update.params, loss, global)?;
+        let bytes = frame.len() as u64;
+        let decoded = decode(&frame, global)?;
+        update.params = decoded.params;
+        Ok(bytes)
+    }
+}
+
+impl Interceptor for UpdateTransport {
+    /// Interceptor-seam mode: run every update through the codec in
+    /// place. Codec rejections surface as a [`TensorError`] (failing the
+    /// round) — the delivery-stage transport path quarantines instead,
+    /// which is what simulations use; this mode exists for tests and
+    /// pipelines that compose codecs with other interceptors.
+    fn intercept(
+        &mut self,
+        _round: usize,
+        global: &[f32],
+        updates: &mut Vec<LocalUpdate>,
+    ) -> Result<()> {
+        for update in updates.iter_mut() {
+            UpdateTransport::apply(self, update, global, true).map_err(|e| {
+                TensorError::InvalidShape {
+                    op: "wire-codec-intercept",
+                    shape: vec![],
+                    expected: e.to_string(),
+                }
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_replaces_params_with_wire_survivors_and_bills_frame_bytes() {
+        let t = UpdateTransport::new(CodecSpec::F16 { delta: false }, &[]);
+        let mut u = LocalUpdate::new(0, vec![0.1, -0.2, 0.3, 1.5], 0.7, 10);
+        let before = u.params.clone();
+        let bytes = t.apply(&mut u, &[0.0; 4], true).unwrap();
+        assert_eq!(bytes, t.encoded_len(4, true));
+        assert_ne!(u.params, before, "f16 narrowing must actually happen");
+        for (x, y) in before.iter().zip(&u.params) {
+            assert!((x - y).abs() <= x.abs() * 1e-3 + 1e-6);
+        }
+        assert_eq!(u.inference_loss, 0.7, "loss round-trips exactly");
+    }
+
+    #[test]
+    fn identity_transport_is_lossless() {
+        let t = UpdateTransport::new(CodecSpec::Identity, &[]);
+        let mut u = LocalUpdate::new(3, vec![0.25, -7.5, 1e-20], 1.25, 4);
+        let before = u.params.clone();
+        t.apply(&mut u, &[0.0; 3], false).unwrap();
+        for (x, y) in before.iter().zip(&u.params) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn interceptor_mode_maps_codec_rejection_to_round_error() {
+        let mut t = UpdateTransport::new(CodecSpec::Int8 { delta: false }, &[]);
+        let mut updates = vec![LocalUpdate::new(0, vec![1.0, f32::NAN], 0.1, 2)];
+        let global = vec![0.0f32; 2];
+        assert!(t.intercept(0, &global, &mut updates).is_err());
+    }
+}

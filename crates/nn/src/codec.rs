@@ -30,7 +30,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
-const MAGIC: u32 = 0x4644_4341;
+pub(crate) const MAGIC: u32 = 0x4644_4341;
 const VERSION: u16 = 1;
 const FLAG_HAS_LOSS: u16 = 1;
 
@@ -110,7 +110,9 @@ pub fn decode(mut data: &[u8]) -> Result<Frame, CodecError> {
     }
     // Verify CRC over everything except the trailing 4 bytes.
     let (body, crc_bytes) = data.split_at(total - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
+    let mut stored_le = [0u8; 4];
+    stored_le.iter_mut().zip(crc_bytes).for_each(|(d, s)| *d = *s);
+    let stored = u32::from_le_bytes(stored_le);
     let computed = crc32(body);
     if computed != stored {
         return Err(CodecError::BadChecksum { computed, stored });

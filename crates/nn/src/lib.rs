@@ -42,6 +42,7 @@ pub mod residual;
 pub mod schedule;
 pub mod sequential;
 pub mod summary;
+pub mod wire;
 
 pub use activations::ReLU;
 pub use adam::{Adam, AdamConfig};
@@ -56,6 +57,7 @@ pub use optim::{Sgd, SgdConfig};
 pub use pool::{GlobalAvgPool, MaxPool2d};
 pub use residual::BasicBlock;
 pub use sequential::Sequential;
+pub use wire::{CodecSpec, WireCodec, WireError, WireFrame};
 
 pub use fedcav_tensor::{Result, Tensor, TensorError};
 

@@ -63,6 +63,77 @@ pub fn max_error_bound(q: &QuantizedParams) -> f32 {
     q.scale / 2.0
 }
 
+/// A per-tensor quantization: one affine [`QuantizedParams`] per layout
+/// segment, in layer order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerTensorQuant {
+    /// One quantized segment per layout entry.
+    pub tensors: Vec<QuantizedParams>,
+}
+
+impl PerTensorQuant {
+    /// Total decoded parameter count across all segments.
+    pub fn len(&self) -> usize {
+        self.tensors.iter().map(|t| t.data.len()).sum()
+    }
+
+    /// Whether the quantization holds no parameters at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wire size in bytes (per-segment payload + the two f32 constants each).
+    pub fn wire_bytes(&self) -> usize {
+        self.tensors.iter().map(QuantizedParams::wire_bytes).sum()
+    }
+}
+
+/// Quantize a flat parameter vector **per tensor**: each `layout` segment
+/// gets its own affine `min`/`scale`, so a small-norm layer is no longer
+/// crushed by a large-norm neighbour's range — the global-affine failure
+/// mode `per_tensor_rescues_small_norm_layers` pins below. An empty
+/// `layout` means one segment covering the whole vector (the old global
+/// behaviour). Errors if the layout does not sum to `params.len()`, and
+/// propagates [`quantize`]'s empty/non-finite rejections per segment.
+pub fn quantize_per_tensor(params: &[f32], layout: &[usize]) -> Result<PerTensorQuant> {
+    let whole = [params.len()];
+    let layout: &[usize] = if layout.is_empty() { &whole } else { layout };
+    let total: usize = layout.iter().sum();
+    if total != params.len() {
+        return Err(TensorError::InvalidShape {
+            op: "quantize_per_tensor",
+            shape: layout.to_vec(),
+            expected: format!("layout summing to {}", params.len()),
+        });
+    }
+    let mut tensors = Vec::with_capacity(layout.len());
+    let mut rest = params;
+    for &n in layout {
+        let (Some(seg), Some(tail)) = (rest.get(..n), rest.get(n..)) else {
+            // Unreachable after the sum check above; stay panic-free anyway.
+            return Err(TensorError::Empty { op: "quantize_per_tensor" });
+        };
+        tensors.push(quantize(seg)?);
+        rest = tail;
+    }
+    Ok(PerTensorQuant { tensors })
+}
+
+/// Dequantize a per-tensor quantization back into one flat vector, in
+/// segment order.
+pub fn dequantize_per_tensor(q: &PerTensorQuant) -> Vec<f32> {
+    let mut out = Vec::with_capacity(q.len());
+    for t in &q.tensors {
+        out.extend(dequantize(t));
+    }
+    out
+}
+
+/// Worst-case absolute round-trip error per segment (`scale / 2` each).
+pub fn max_error_bound_per_tensor(q: &PerTensorQuant) -> Vec<f32> {
+    q.tensors.iter().map(max_error_bound).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +184,57 @@ mod tests {
         assert!(quantize(&[]).is_err());
         assert!(quantize(&[1.0, f32::NAN]).is_err());
         assert!(quantize(&[f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn per_tensor_rescues_small_norm_layers() {
+        // Two-layer model with a 100× norm ratio: layer A in ±100, layer B
+        // in ±1. The old global affine spreads one scale across both, so
+        // layer B round-trips with error up to ~0.39 (scale ≈ 200/255,
+        // bound scale/2) — a ~100× blow-up over the per-tensor bound
+        // ≈ 0.004 (scale ≈ 2/255). This is the regression the per-tensor
+        // API exists to fix.
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = init::uniform(&mut rng, &[256], -100.0, 100.0).into_vec();
+        let b = init::uniform(&mut rng, &[256], -1.0, 1.0).into_vec();
+        let mut params = a.clone();
+        params.extend_from_slice(&b);
+
+        let max_err_on_b = |back: &[f32]| {
+            params
+                .iter()
+                .zip(back)
+                .skip(256)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max)
+        };
+
+        // Old path: one global affine over the whole flat vector.
+        let global = quantize(&params).unwrap();
+        let err_global = max_err_on_b(&dequantize(&global));
+
+        // New path: per-tensor affine along the [256, 256] layout.
+        let pt = quantize_per_tensor(&params, &[256, 256]).unwrap();
+        let back = dequantize_per_tensor(&pt);
+        assert_eq!(back.len(), params.len());
+        let err_pt = max_err_on_b(&back);
+        let bounds = max_error_bound_per_tensor(&pt);
+        assert_eq!(bounds.len(), 2);
+        let bound_b = bounds[1] + 1e-6;
+        assert!(err_pt <= bound_b, "per-tensor error {err_pt} exceeds bound {bound_b}");
+        assert!(
+            err_global > 20.0 * bound_b,
+            "global-affine error {err_global} should blow up vs per-tensor bound {bound_b}"
+        );
+    }
+
+    #[test]
+    fn per_tensor_layout_must_sum_to_len() {
+        assert!(quantize_per_tensor(&[1.0, 2.0, 3.0], &[2, 2]).is_err());
+        // Empty layout falls back to one global segment.
+        let q = quantize_per_tensor(&[1.0, 2.0, 3.0], &[]).unwrap();
+        assert_eq!(q.tensors.len(), 1);
+        assert_eq!(q.len(), 3);
     }
 
     #[test]

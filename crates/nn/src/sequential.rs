@@ -92,6 +92,15 @@ impl Sequential {
         self.layers.iter().map(|l| l.state_len()).sum()
     }
 
+    /// Per-layer wire-format segment lengths: the nonzero `state_len`s in
+    /// layer order. This is the tensor partition of [`flat_params`]
+    /// (`Self::flat_params`) that the per-tensor wire codecs
+    /// (`fedcav-nn::wire`) quantize over; the entries sum to
+    /// [`state_len`](Self::state_len).
+    pub fn param_layout(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.state_len()).filter(|&n| n > 0).collect()
+    }
+
     /// Serialise the full model state into one flat vector.
     ///
     /// This is the FL wire format: what a client uploads and what the server

@@ -1,0 +1,483 @@
+//! Wire-format conformance + round-trip property suite for the v2 codec
+//! pipeline (DESIGN.md §17), in the same std-only harness style as
+//! `tests/kernel_properties.rs`: seeded SplitMix64 generator plus greedy
+//! shrinking, no external crates. Per scheme it proves:
+//!
+//! (a) `decode(encode(x))` error stays within the *documented* bound —
+//!     the f32 scheme (identity and bitwise delta) is bit-exact, int8 is
+//!     within the per-tensor `max_error_bound`, f16 decodes to exactly
+//!     `F16::from_f32(v)` (relative error ≤ 2⁻¹¹ for in-range normals),
+//!     and top-k is exact on kept coordinates with the dropped ones
+//!     landing on 0.0 (or the global value under delta),
+//! (b) encoding is deterministic: byte-identical run-to-run and when the
+//!     same update is encoded concurrently on `ScopedThreads(4)`,
+//! (c) NaN/Inf containment: a non-finite input either survives as
+//!     non-finite (f32, f16, kept top-k coordinates — poison stays
+//!     visible to downstream validation) or is rejected with the typed
+//!     [`WireError::NonFinite`] (int8) — never silently laundered into a
+//!     plausible finite value.
+//!
+//! Every property is vacuity-guarded: the case set must genuinely cover
+//! large dims, multi-tensor layouts and both delta variants, and the
+//! counters prove the per-coordinate assertions ran.
+
+use fedcav::fl::ClientExecutor;
+use fedcav::nn::quant;
+use fedcav::nn::wire::{self, CodecSpec, WireCodec, WireError};
+use fedcav::tensor::F16;
+
+// ---------------------------------------------------------------- harness
+
+/// SplitMix64: tiny, seedable, good enough to fuzz parameter vectors.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f32 in roughly [-8, 8] with an exact-0.0 spike (~12%) so
+    /// magnitude plateaus at zero genuinely occur, and occasional tiny
+    /// values so int8 per-tensor scales differ wildly between segments.
+    fn value(&mut self) -> f32 {
+        match self.next_u64() % 8 {
+            0 => 0.0,
+            1 => ((self.next_u64() % 2_000_001) as f32 / 1_000_000.0 - 1.0) * 1e-3,
+            _ => ((self.next_u64() % 2_000_001) as f32 / 1_000_000.0 - 1.0) * 8.0,
+        }
+    }
+
+    fn fill(&mut self, len: usize) -> Vec<f32> {
+        (0..len).map(|_| self.value()).collect()
+    }
+
+    /// A random per-tensor partition of `dim`: 1–4 segments, every one
+    /// non-empty (distinct interior cut points).
+    fn layout(&mut self, dim: usize) -> Vec<usize> {
+        let segments = 1 + (self.next_u64() as usize) % 4.min(dim);
+        let mut cuts = std::collections::BTreeSet::new();
+        while cuts.len() < segments - 1 {
+            cuts.insert(1 + self.next_u64() as usize % (dim - 1));
+        }
+        let mut layout = Vec::with_capacity(segments);
+        let mut prev = 0;
+        for c in cuts {
+            layout.push(c - prev);
+            prev = c;
+        }
+        layout.push(dim - prev);
+        layout
+    }
+}
+
+/// Greedy shrinking check, same contract as `tests/kernel_properties.rs`:
+/// on the first failing case, descend to any shrink candidate that still
+/// fails and report the minimal one.
+fn check<C: Clone + std::fmt::Debug>(
+    name: &str,
+    cases: &[C],
+    shrink: impl Fn(&C) -> Vec<C>,
+    prop: impl Fn(&C) -> Result<(), String>,
+) {
+    for case in cases {
+        let Err(first) = prop(case) else { continue };
+        let mut minimal = case.clone();
+        let mut message = first;
+        'descend: loop {
+            for candidate in shrink(&minimal) {
+                if let Err(msg) = prop(&candidate) {
+                    minimal = candidate;
+                    message = msg;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        panic!("property `{name}` failed; minimal case {minimal:?}: {message}");
+    }
+}
+
+/// One generated codec round-trip case. The vectors are derived from the
+/// seed on demand so shrinking `dim` stays meaningful.
+#[derive(Clone, Debug)]
+struct Case {
+    dim: usize,
+    seed: u64,
+}
+
+impl Case {
+    fn vectors(&self) -> (Vec<f32>, Vec<f32>, Vec<usize>) {
+        let mut g = Gen::new(self.seed);
+        let params = g.fill(self.dim);
+        let global = g.fill(self.dim);
+        let layout = g.layout(self.dim);
+        (params, global, layout)
+    }
+}
+
+fn cases() -> Vec<Case> {
+    let mut g = Gen::new(0xC0DEC);
+    let mut out: Vec<Case> = (0..40)
+        .map(|_| Case { dim: 1 + (g.next_u64() as usize) % 257, seed: g.next_u64() })
+        .collect();
+    // Pin the coverage the vacuity guard demands.
+    out.push(Case { dim: 1, seed: 7 });
+    out.push(Case { dim: 256, seed: 11 });
+    out
+}
+
+fn shrink_case(c: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    if c.dim > 1 {
+        out.push(Case { dim: c.dim / 2, seed: c.seed });
+        out.push(Case { dim: c.dim - 1, seed: c.seed });
+    }
+    if c.seed != 0 {
+        out.push(Case { dim: c.dim, seed: 0 });
+    }
+    out
+}
+
+/// Every spec in the conformance grid, both delta variants where they
+/// exist.
+fn specs() -> Vec<CodecSpec> {
+    vec![
+        CodecSpec::Identity,
+        CodecSpec::Delta,
+        CodecSpec::Int8 { delta: false },
+        CodecSpec::Int8 { delta: true },
+        CodecSpec::F16 { delta: false },
+        CodecSpec::F16 { delta: true },
+        CodecSpec::TopK { ratio: 0.1, delta: false },
+        CodecSpec::TopK { ratio: 0.1, delta: true },
+        CodecSpec::TopK { ratio: 1.0, delta: false },
+    ]
+}
+
+#[test]
+fn case_set_is_not_vacuous() {
+    let cs = cases();
+    assert!(cs.iter().any(|c| c.dim >= 200), "no large-dim case");
+    assert!(cs.iter().any(|c| c.dim == 1), "no single-coordinate case");
+    assert!(
+        cs.iter().filter(|c| c.dim >= 4).any(|c| c.vectors().2.len() >= 2),
+        "no multi-tensor layout ever generated"
+    );
+    assert!(specs().iter().any(|s| s.build(&[]).is_delta()), "no delta variant in the grid");
+    assert!(specs().iter().any(|s| !s.build(&[]).is_delta()), "no raw variant in the grid");
+}
+
+// --------------------------------------- (a) documented round-trip bounds
+
+#[test]
+fn f32_schemes_round_trip_bit_exact() {
+    for spec in [CodecSpec::Identity, CodecSpec::Delta] {
+        check(&format!("{} bit-exact", spec.name()), &cases(), shrink_case, |c| {
+            let (params, global, _) = c.vectors();
+            let codec = spec.build(&[]);
+            let frame = codec.encode(&params, Some(0.25), &global).map_err(|e| e.to_string())?;
+            let decoded = wire::decode(&frame, &global).map_err(|e| e.to_string())?;
+            if decoded.inference_loss != Some(0.25) {
+                return Err(format!("loss mangled: {:?}", decoded.inference_loss));
+            }
+            for (i, (p, d)) in params.iter().zip(&decoded.params).enumerate() {
+                if p.to_bits() != d.to_bits() {
+                    return Err(format!("coord {i}: {p} -> {d} not bit-exact"));
+                }
+            }
+            Ok(())
+        });
+    }
+}
+
+#[test]
+fn int8_round_trip_stays_within_the_per_tensor_bound() {
+    for delta in [false, true] {
+        check(&format!("int8 delta={delta} bound"), &cases(), shrink_case, |c| {
+            let (params, global, layout) = c.vectors();
+            let codec = CodecSpec::Int8 { delta }.build(&layout);
+            let frame = codec.encode(&params, None, &global).map_err(|e| e.to_string())?;
+            let decoded = wire::decode(&frame, &global).map_err(|e| e.to_string())?;
+            // The quantized vector is the delta under delta mode; the
+            // reconstruction error per coordinate is exactly the
+            // quantization error, so the documented per-tensor bound
+            // applies either way.
+            let src: Vec<f32> = if delta {
+                params.iter().zip(&global).map(|(p, g)| p - g).collect()
+            } else {
+                params.clone()
+            };
+            let q = quant::quantize_per_tensor(&src, &layout).map_err(|e| e.to_string())?;
+            // Expand the per-tensor bounds to one bound per coordinate.
+            let coord_bounds: Vec<f32> = q
+                .tensors
+                .iter()
+                .zip(quant::max_error_bound_per_tensor(&q))
+                .flat_map(|(t, b)| std::iter::repeat(b).take(t.data.len()))
+                .collect();
+            let reference: Vec<f32> = if delta {
+                quant::dequantize_per_tensor(&q).iter().zip(&global).map(|(d, g)| g + d).collect()
+            } else {
+                quant::dequantize_per_tensor(&q)
+            };
+            for (i, ((p, d), r)) in params.iter().zip(&decoded.params).zip(&reference).enumerate() {
+                if d.to_bits() != r.to_bits() {
+                    return Err(format!("coord {i}: wire {d} != in-process dequant {r}"));
+                }
+                let bound = coord_bounds.get(i).copied().unwrap_or(0.0) + 1e-5;
+                if (p - d).abs() > bound {
+                    return Err(format!("coord {i}: |{p} - {d}| exceeds bound {bound}"));
+                }
+            }
+            Ok(())
+        });
+    }
+}
+
+#[test]
+fn f16_round_trip_is_exactly_the_f16_projection() {
+    for delta in [false, true] {
+        check(&format!("f16 delta={delta} projection"), &cases(), shrink_case, |c| {
+            let (params, global, _) = c.vectors();
+            let codec = CodecSpec::F16 { delta }.build(&[]);
+            let frame = codec.encode(&params, None, &global).map_err(|e| e.to_string())?;
+            let decoded = wire::decode(&frame, &global).map_err(|e| e.to_string())?;
+            for i in 0..params.len() {
+                let (p, g, d) = (params[i], global[i], decoded.params[i]);
+                let expected =
+                    if delta { g + F16::from_f32(p - g).to_f32() } else { F16::from_f32(p).to_f32() };
+                if d.to_bits() != expected.to_bits() {
+                    return Err(format!("coord {i}: {d} != documented projection {expected}"));
+                }
+                // The headline bound: ≤ 2⁻¹¹ relative for in-range normal
+                // values (plus the subnormal absolute floor), measured on
+                // the value that actually crossed the wire (the delta in
+                // delta mode).
+                let v = if delta { p - g } else { p };
+                if v.is_finite() && v.abs() <= 65_504.0 {
+                    let err = (F16::from_f32(v).to_f32() - v).abs();
+                    if err > v.abs() * 4.9e-4 + 6.2e-5 {
+                        return Err(format!("coord {i}: f16 error {err} out of bound for {v}"));
+                    }
+                }
+            }
+            Ok(())
+        });
+    }
+}
+
+#[test]
+fn topk_round_trip_is_exact_on_kept_coordinates() {
+    for delta in [false, true] {
+        check(&format!("topk delta={delta} kept-exact"), &cases(), shrink_case, |c| {
+            let (params, global, _) = c.vectors();
+            let spec = CodecSpec::TopK { ratio: 0.3, delta };
+            let codec = spec.build(&[]);
+            let frame = codec.encode(&params, None, &global).map_err(|e| e.to_string())?;
+            let decoded = wire::decode(&frame, &global).map_err(|e| e.to_string())?;
+            // Recompute the documented selection independently: |x|
+            // descending under total_cmp, ties to the lower index.
+            let src: Vec<f32> = if delta {
+                params.iter().zip(&global).map(|(p, g)| p - g).collect()
+            } else {
+                params.clone()
+            };
+            let mut keyed: Vec<(f32, u32)> = src.iter().copied().zip(0u32..).collect();
+            keyed.sort_by(|a, b| b.0.abs().total_cmp(&a.0.abs()).then(a.1.cmp(&b.1)));
+            let k = (f64::from(0.3f32) * src.len() as f64 * (1.0 - 1e-6)).ceil() as usize;
+            let k = k.clamp(1, src.len());
+            let kept: std::collections::BTreeSet<u32> =
+                keyed.iter().take(k).map(|&(_, i)| i).collect();
+            for i in 0..params.len() {
+                let d = decoded.params[i];
+                let expected = match (kept.contains(&(i as u32)), delta) {
+                    (true, false) => src[i],
+                    (true, true) => global[i] + src[i],
+                    (false, false) => 0.0,
+                    (false, true) => global[i],
+                };
+                if d.to_bits() != expected.to_bits() {
+                    return Err(format!(
+                        "coord {i} (kept={}): {d} != expected {expected}",
+                        kept.contains(&(i as u32))
+                    ));
+                }
+            }
+            Ok(())
+        });
+    }
+}
+
+// ----------------------------------------------- (b) deterministic encode
+
+#[test]
+fn encode_is_deterministic_run_to_run_and_across_threads() {
+    let mut coords_checked = 0usize;
+    for spec in specs() {
+        for c in cases().iter().take(12) {
+            let (params, global, layout) = c.vectors();
+            let codec = spec.build(&layout);
+            let Ok(first) = codec.encode(&params, Some(1.5), &global) else {
+                continue;
+            };
+            let again = codec.encode(&params, Some(1.5), &global).expect("second encode");
+            assert_eq!(first, again, "{}: run-to-run bytes differ", spec.name());
+            // The same update encoded concurrently from four workers must
+            // produce the same bytes from every one of them — the codec
+            // holds no hidden mutable state.
+            let lanes: Vec<usize> = (0..8).collect();
+            let frames = ClientExecutor::ScopedThreads(4).map(&lanes, |_| {
+                codec.encode(&params, Some(1.5), &global).expect("threaded encode")
+            });
+            for f in frames {
+                assert_eq!(first, f, "{}: threaded encode diverged", spec.name());
+            }
+            coords_checked += params.len();
+        }
+    }
+    assert!(coords_checked > 1_000, "vacuous: only {coords_checked} coordinates exercised");
+}
+
+#[test]
+fn encoded_len_is_exact_for_every_scheme_and_dim() {
+    for spec in specs() {
+        for c in cases().iter().take(12) {
+            let (params, global, layout) = c.vectors();
+            let codec = spec.build(&layout);
+            for loss in [None, Some(0.5)] {
+                if let Ok(frame) = codec.encode(&params, loss, &global) {
+                    assert_eq!(
+                        frame.len(),
+                        codec.encoded_len(params.len(), loss.is_some()),
+                        "{} dim {} loss {:?}",
+                        spec.name(),
+                        params.len(),
+                        loss.is_some()
+                    );
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------- (c) NaN / Inf containment
+
+#[test]
+fn non_finite_inputs_are_contained_never_laundered() {
+    let global = vec![0.5f32; 8];
+    let mut poisoned = vec![1.0f32; 8];
+    poisoned[3] = f32::NAN;
+    poisoned[5] = f32::NEG_INFINITY;
+
+    // f32 schemes: bit-exact preservation, poison included.
+    for spec in [CodecSpec::Identity, CodecSpec::Delta] {
+        let codec = spec.build(&[]);
+        let frame = codec.encode(&poisoned, None, &global).expect("f32 encodes anything");
+        let decoded = wire::decode(&frame, &global).expect("decode");
+        assert!(decoded.params[3].is_nan(), "{}: NaN laundered", spec.name());
+        assert_eq!(decoded.params[5], f32::NEG_INFINITY, "{}", spec.name());
+    }
+
+    // int8: typed rejection — quantizing poison has no honest answer.
+    for delta in [false, true] {
+        let codec = CodecSpec::Int8 { delta }.build(&[]);
+        match codec.encode(&poisoned, None, &global) {
+            Err(WireError::NonFinite { scheme }) => assert_eq!(scheme, "int8"),
+            other => panic!("int8 delta={delta}: expected NonFinite, got {other:?}"),
+        }
+    }
+
+    // f16: canonicalised but still non-finite, sign preserved on the Inf.
+    let codec = CodecSpec::F16 { delta: false }.build(&[]);
+    let frame = codec.encode(&poisoned, None, &global).expect("f16 encodes poison");
+    let decoded = wire::decode(&frame, &global).expect("decode");
+    assert!(decoded.params[3].is_nan(), "f16 NaN laundered into a number");
+    assert_eq!(decoded.params[5], f32::NEG_INFINITY, "f16 -Inf lost its sign");
+    // Out-of-range finite values overflow to the correctly-signed Inf
+    // rather than silently saturating: still visible downstream.
+    let big = vec![1e30f32, -1e30, 1.0, 1.0];
+    let frame = codec.encode(&big, None, &[0.0; 4]).expect("encode");
+    let decoded = wire::decode(&frame, &[0.0; 4]).expect("decode");
+    assert_eq!(decoded.params[0], f32::INFINITY);
+    assert_eq!(decoded.params[1], f32::NEG_INFINITY);
+
+    // top-k: NaN sorts above +Inf in the IEEE total order, so the poison
+    // is always *kept* — sparsification must never hide an attack.
+    for delta in [false, true] {
+        let codec = CodecSpec::TopK { ratio: 0.125, delta }.build(&[]);
+        let frame = codec.encode(&poisoned, None, &global).expect("topk encodes poison");
+        let decoded = wire::decode(&frame, &global).expect("decode");
+        assert!(
+            decoded.params[3].is_nan(),
+            "topk delta={delta}: the NaN coordinate was dropped (k=1 must keep it)"
+        );
+    }
+}
+
+// ------------------------------- top-k tie-break plateau regression tests
+
+#[test]
+fn topk_tie_break_on_an_all_equal_plateau_keeps_the_lowest_indices() {
+    // Every coordinate has the same magnitude: the documented tie-break
+    // (lower index wins) makes the kept set exactly 0..k-1, stable across
+    // repeated encodes.
+    let params = vec![0.75f32; 20];
+    let global = vec![0.0f32; 20];
+    let codec = CodecSpec::TopK { ratio: 0.25, delta: false }.build(&[]);
+    let mut frames = Vec::new();
+    for _ in 0..10 {
+        frames.push(codec.encode(&params, None, &global).expect("encode"));
+    }
+    assert!(frames.windows(2).all(|w| w[0] == w[1]), "plateau encode not stable across runs");
+    let decoded = wire::decode(&frames[0], &global).expect("decode");
+    for (i, d) in decoded.params.iter().enumerate() {
+        let expected = if i < 5 { 0.75 } else { 0.0 };
+        assert_eq!(*d, expected, "coord {i}: tie-break drifted off the lowest-index rule");
+    }
+}
+
+#[test]
+fn topk_tie_break_on_sign_pairs_prefers_the_lower_index() {
+    // ±x pairs tie in magnitude; |x| descending with ties to the lower
+    // index must keep the *first* element of each pair, regardless of
+    // sign order.
+    let params = vec![2.0f32, -2.0, -1.0, 1.0, 0.5, -0.5, 0.1, 0.1];
+    let global = vec![0.0f32; 8];
+    let codec = CodecSpec::TopK { ratio: 0.375, delta: false }.build(&[]);
+    let frame = codec.encode(&params, None, &global).expect("encode");
+    let decoded = wire::decode(&frame, &global).expect("decode");
+    // k = 3: the three magnitude classes {2.0, 2.0}, {1.0, 1.0}, … tie
+    // pairwise; indices 0, 1 (both |2.0|) and 2 (first |1.0|) are kept.
+    assert_eq!(decoded.params, vec![2.0, -2.0, -1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+}
+
+#[test]
+fn topk_selection_is_independent_of_evaluation_order() {
+    // Shard order / thread interleaving never reorders coordinates of one
+    // update, but the selection must also be reproducible when the same
+    // logical tensor is assembled in a different traversal order and then
+    // presented identically: encode(params) is a pure function of the
+    // coordinate sequence. Build the vector twice by different
+    // construction orders and check byte-identical frames.
+    let mut g = Gen::new(42);
+    let forward: Vec<f32> = g.fill(64);
+    let mut reversed_build = vec![0.0f32; 64];
+    for i in (0..64).rev() {
+        reversed_build[i] = forward[i];
+    }
+    let global = vec![0.0f32; 64];
+    let codec = CodecSpec::TopK { ratio: 0.1, delta: false }.build(&[]);
+    let a = codec.encode(&forward, None, &global).expect("encode");
+    let b = codec.encode(&reversed_build, None, &global).expect("encode");
+    assert_eq!(a, b);
+}

@@ -1,0 +1,184 @@
+//! End-to-end bit-identity pin for the compressed update transport
+//! (DESIGN.md §17): routing every upload through the *lossless* wire
+//! schemes — identity framing and the exactly-invertible bitwise delta —
+//! must leave the training trajectory *bit-for-bit* identical to the
+//! legacy clone path, in both round drivers ([`Simulation`] and
+//! [`ShardedSimulation`]) and under both executors. The comparison is the
+//! same FNV-1a 64 fold over the final parameter bit patterns that
+//! `tests/backend_trajectory.rs` pins against.
+//!
+//! The vacuity guard is the ledger: the transported runs must bill
+//! *different* uplink byte totals than the clone path (encoded frames +
+//! envelope vs the legacy model) — proving the codec really sat in the
+//! delivery stage of every compared run rather than being silently
+//! skipped.
+
+use fedcav::core::{FedCav, FedCavConfig};
+use fedcav::data::synthetic::{SyntheticConfig, SyntheticKind};
+use fedcav::data::{partition, Dataset};
+use fedcav::fl::{
+    ClientExecutor, CodecSpec, LocalConfig, Population, ShardedConfig, ShardedSimulation,
+    Simulation, SimulationConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// FNV-1a 64 over the parameter bit patterns, little-endian — the same
+/// fold as `tests/backend_trajectory.rs`.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn param_hash(global: &[f32]) -> u64 {
+    fnv1a(global.iter().flat_map(|v| v.to_bits().to_le_bytes()))
+}
+
+fn deployment() -> (Vec<Dataset>, Dataset, usize) {
+    let (train, test) =
+        SyntheticConfig::new(SyntheticKind::MnistLike, 8, 2).generate().expect("synthetic data");
+    let mut rng = StdRng::seed_from_u64(0);
+    let part = partition::iid_balanced(&train, 4, &mut rng);
+    let img_len = train.image_len();
+    (part.client_datasets(&train).expect("partition"), test, img_len)
+}
+
+/// One materialized-driver run: FedCav (so the inference loss rides the
+/// wire), 4 IID clients at full participation, 2 rounds. Returns the
+/// final parameter hash and the total uplink bytes billed.
+fn run_simulation(executor: ClientExecutor, codec: Option<CodecSpec>) -> (u64, u64) {
+    let (clients, test, img_len) = deployment();
+    let factory = move || {
+        let mut rng = StdRng::seed_from_u64(7);
+        fedcav::nn::models::mlp(&mut rng, img_len, 10)
+    };
+    let mut sim = Simulation::new(
+        &factory,
+        clients,
+        test,
+        Box::new(FedCav::new(FedCavConfig::default())),
+        SimulationConfig {
+            sample_ratio: 1.0,
+            local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.1, prox_mu: 0.0 },
+            eval_batch: 32,
+            seed: 91,
+        },
+    );
+    sim.set_executor(executor);
+    if let Some(spec) = codec {
+        sim.set_codec(spec);
+    }
+    sim.run(2).expect("run");
+    (param_hash(sim.global()), sim.comm_stats().total_up)
+}
+
+/// One streaming-sharded run over a procedural population, same readouts.
+fn run_sharded(executor: ClientExecutor, codec: Option<CodecSpec>) -> (u64, u64) {
+    let factory = move || {
+        let mut rng = StdRng::seed_from_u64(7);
+        fedcav::nn::models::tiny_mlp(&mut rng, 28 * 28, 10)
+    };
+    let population = Population::new(64, 42, SyntheticConfig::new(SyntheticKind::MnistLike, 2, 1));
+    let mut sim = ShardedSimulation::new(
+        &factory,
+        population,
+        Box::new(FedCav::new(FedCavConfig::default())),
+        ShardedConfig {
+            sample_ratio: 0.25,
+            local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+            seed: 42,
+            shard_size: 4,
+            min_quorum: 1,
+            max_param_norm: None,
+        },
+    );
+    sim.set_executor(executor);
+    if let Some(spec) = codec {
+        sim.set_codec(spec);
+    }
+    sim.run(2).expect("run");
+    (param_hash(sim.global()), sim.comm_stats().total_up)
+}
+
+#[test]
+fn lossless_transport_is_bit_identical_in_the_materialized_driver() {
+    let executors = [ClientExecutor::Sequential, ClientExecutor::ScopedThreads(4)];
+    let (baseline_hash, baseline_up) = run_simulation(ClientExecutor::Sequential, None);
+    for executor in executors {
+        let (plain_hash, plain_up) = run_simulation(executor, None);
+        assert_eq!(plain_hash, baseline_hash, "{executor:?}: executor changed the clone path");
+        assert_eq!(plain_up, baseline_up);
+        for codec in [CodecSpec::Identity, CodecSpec::Delta] {
+            let (hash, up) = run_simulation(executor, Some(codec));
+            assert_eq!(
+                hash, baseline_hash,
+                "{executor:?} {codec:?}: lossless transport changed the trajectory"
+            );
+            assert_ne!(
+                up, baseline_up,
+                "{executor:?} {codec:?}: uplink billed like the clone path — was the \
+                 transport really installed?"
+            );
+        }
+    }
+}
+
+#[test]
+fn lossless_transport_is_bit_identical_in_the_sharded_driver() {
+    let executors = [ClientExecutor::Sequential, ClientExecutor::ScopedThreads(4)];
+    let (baseline_hash, baseline_up) = run_sharded(ClientExecutor::Sequential, None);
+    for executor in executors {
+        let (plain_hash, plain_up) = run_sharded(executor, None);
+        assert_eq!(plain_hash, baseline_hash, "{executor:?}: executor changed the clone path");
+        assert_eq!(plain_up, baseline_up);
+        for codec in [CodecSpec::Identity, CodecSpec::Delta] {
+            let (hash, up) = run_sharded(executor, Some(codec));
+            assert_eq!(
+                hash, baseline_hash,
+                "{executor:?} {codec:?}: lossless transport changed the trajectory"
+            );
+            assert_ne!(
+                up, baseline_up,
+                "{executor:?} {codec:?}: uplink billed like the clone path — was the \
+                 transport really installed?"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_two_drivers_agree_on_the_transported_ledger_shape() {
+    // Cross-driver coherence of the billing model itself: with the same
+    // codec the per-upload cost formula is shared code, so the sharded
+    // driver's encoded uplink must also be strictly below its own
+    // uncompressed ledger once a genuinely compressing scheme (f16) is
+    // installed — and the lossy run must still produce finite parameters.
+    let (_, plain_up) = run_sharded(ClientExecutor::Sequential, None);
+    let factory = move || {
+        let mut rng = StdRng::seed_from_u64(7);
+        fedcav::nn::models::tiny_mlp(&mut rng, 28 * 28, 10)
+    };
+    let population = Population::new(64, 42, SyntheticConfig::new(SyntheticKind::MnistLike, 2, 1));
+    let mut sim = ShardedSimulation::new(
+        &factory,
+        population,
+        Box::new(FedCav::new(FedCavConfig::default())),
+        ShardedConfig {
+            sample_ratio: 0.25,
+            local: LocalConfig { epochs: 1, batch_size: 8, lr: 0.05, prox_mu: 0.0 },
+            seed: 42,
+            shard_size: 4,
+            min_quorum: 1,
+            max_param_norm: None,
+        },
+    );
+    sim.set_executor(ClientExecutor::Sequential);
+    sim.set_codec(CodecSpec::F16 { delta: true });
+    sim.run(2).expect("run");
+    assert!(sim.comm_stats().total_up < plain_up, "f16 frames must undercut the f32 ledger");
+    assert!(sim.global().iter().all(|v| v.is_finite()));
+}

@@ -62,6 +62,7 @@ fn a_round_loop_composes_by_hand_from_the_public_stages() {
         comm: CommModel::new(global.len()),
         counts_loss: false,
         global: &global,
+        transport: None,
     };
     stages::delivery::run(&mut ctx, delivery_env, &mut comm_stats, None).expect("delivery");
     assert_eq!(ctx.delivered, 3);
